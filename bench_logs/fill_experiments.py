@@ -1,0 +1,39 @@
+"""Fill EXPERIMENTS.md placeholders from bench_logs/full_suite.txt sections."""
+import re, sys
+
+log = open('bench_logs/full_suite.txt').read()
+
+def section(name):
+    m = re.search(r"===== " + name + r" =====\n(.*?)(?=\n===== |\nEXIT=)", log, re.S)
+    assert m, f"section {name} missing"
+    body = m.group(1)
+    # strip file-write notices and leading progress lines
+    lines = [l for l in body.splitlines()
+             if not l.startswith('[wrote') and not re.match(r'^(fig\d|replicated)', l)]
+    return "\n".join(lines).strip()
+
+def code(text):
+    return "```text\n" + text + "\n```"
+
+exp = open('EXPERIMENTS.md').read()
+repl = {
+    'PLACEHOLDER-TABLE1': code(section('table1_params').split('# Figure 1')[0].strip()),
+    'PLACEHOLDER-FIG2': code(section('fig2_cov')),
+    'PLACEHOLDER-FIG3': code(section('fig3_throughput')),
+    'PLACEHOLDER-FIG4': code(section('fig4_loss')),
+    'PLACEHOLDER-FIG5': code(section('fig5_to_12_cwnd')),
+    'PLACEHOLDER-FIG13': code(section('fig13_timeout_ratio')),
+    'PLACEHOLDER-REPLICATED': code(section('replicated_figs')),
+    'PLACEHOLDER-BUFFER': code(section('ablation_buffer')),
+    'PLACEHOLDER-BINWIDTH': code(section('ablation_binwidth')),
+    'PLACEHOLDER-VEGASAB': code(section('ablation_vegas_ab')),
+    'PLACEHOLDER-SOURCES': code(section('ablation_sources')),
+    'PLACEHOLDER-HURST': code(section('ablation_hurst')),
+    'PLACEHOLDER-AQM': code(section('ablation_aqm')),
+    'PLACEHOLDER-RTT': code(section('ablation_rtt_fairness')),
+}
+for k, v in repl.items():
+    assert k in exp, k
+    exp = exp.replace(k, v)
+open('EXPERIMENTS.md', 'w').write(exp)
+print("filled", len(repl), "sections")

@@ -1,0 +1,41 @@
+//! Ablation: c.o.v. bin width.
+//!
+//! The paper measures burstiness in bins of one round-trip propagation
+//! delay (44 ms), arguing that statistical multiplexing lives or dies at
+//! millisecond granularity. This sweep recomputes the Reno-vs-Poisson
+//! c.o.v. ratio across bin widths to show the conclusion is not an artifact
+//! of the 44 ms choice.
+
+use tcpburst_bench::{bench_duration, bench_seed};
+use tcpburst_core::{Protocol, Scenario, ScenarioConfig};
+use tcpburst_des::SimDuration;
+
+fn main() {
+    let duration = bench_duration();
+    let clients = 60;
+    println!("# Ablation: c.o.v. bin width, {clients} clients, {duration} per cell");
+    println!(
+        "{:>10} {:>10} {:>12} {:>12} {:>10}",
+        "bin(ms)", "proto", "cov", "poisson", "ratio"
+    );
+    for bin_ms in [11u64, 22, 44, 88, 176, 352, 1000] {
+        for p in [Protocol::Udp, Protocol::Reno, Protocol::Vegas] {
+            let mut cfg = ScenarioConfig::paper(clients, p);
+            cfg.duration = duration;
+            cfg.seed = bench_seed();
+            cfg.cov_bin = Some(SimDuration::from_millis(bin_ms));
+            let r = Scenario::run(&cfg);
+            println!(
+                "{:>10} {:>10} {:>12.4} {:>12.4} {:>10.2}",
+                bin_ms,
+                p.label(),
+                r.cov,
+                r.poisson_cov,
+                r.cov_ratio()
+            );
+        }
+    }
+    println!(
+        "\n(The Poisson reference falls as 1/sqrt(bin). TCP Reno's excess peaks at\n RTT-to-few-RTT bins and washes out at second-scale bins: the burstiness is\n an RTT-scale, oscillatory phenomenon — the scale where statistical\n multiplexing lives, and one coarse Hurst aggregation never sees.)"
+    );
+}

@@ -1,0 +1,40 @@
+//! Ablation: gateway buffer size.
+//!
+//! The paper (citing Lakshman–Madhow) notes that Reno's performance "varies
+//! significantly with respect to the gateway buffer size" while Vegas needs
+//! only a few packets per connection. This sweep varies B around the
+//! paper's 50 packets and reports burstiness, goodput and loss for both.
+
+use tcpburst_bench::{bench_duration, bench_seed};
+use tcpburst_core::{Protocol, Scenario, ScenarioConfig};
+
+fn main() {
+    let duration = bench_duration();
+    let clients = 45;
+    println!(
+        "# Ablation: gateway buffer size (B), {clients} clients, {duration} per cell"
+    );
+    println!(
+        "{:>6} {:>8} {:>10} {:>10} {:>12} {:>8} {:>10}",
+        "B", "proto", "cov", "cov/pois", "delivered", "loss%", "timeouts"
+    );
+    for buffer in [10usize, 25, 50, 100, 200, 400] {
+        for p in [Protocol::Reno, Protocol::Vegas] {
+            let mut cfg = ScenarioConfig::paper(clients, p);
+            cfg.duration = duration;
+            cfg.seed = bench_seed();
+            cfg.params.gateway_buffer_pkts = buffer;
+            let r = Scenario::run(&cfg);
+            println!(
+                "{:>6} {:>8} {:>10.4} {:>10.2} {:>12} {:>8.2} {:>10}",
+                buffer,
+                p.label(),
+                r.cov,
+                r.cov_ratio(),
+                r.delivered_packets,
+                r.loss_percent,
+                r.tcp_totals.timeouts
+            );
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! Criterion microbenchmarks of the simulation engine itself: event-queue
+//! throughput, RED admission cost, and end-to-end events/second for a
+//! representative scenario.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+
+use tcpburst_core::{Protocol, Scenario, ScenarioConfig};
+use tcpburst_des::{EventQueue, SimDuration, SimRng, SimTime};
+use tcpburst_net::{Ecn, Packet, PacketKind, Queue, RedParams, RedQueue};
+use tcpburst_net::{FlowId, NodeId};
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("event_queue");
+    const N: u64 = 10_000;
+    g.throughput(Throughput::Elements(N));
+    g.bench_function("push_pop_10k_random", |b| {
+        let mut rng = SimRng::seed_from_u64(1);
+        let times: Vec<SimTime> = (0..N)
+            .map(|_| SimTime::from_nanos(rng.below(1_000_000_000)))
+            .collect();
+        b.iter_batched(
+            EventQueue::<u64>::new,
+            |mut q| {
+                for (i, &t) in times.iter().enumerate() {
+                    q.push(t, i as u64);
+                }
+                let mut acc = 0u64;
+                while let Some((_, e)) = q.pop() {
+                    acc = acc.wrapping_add(e);
+                }
+                acc
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    g.finish();
+}
+
+fn bench_red_queue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("red_queue");
+    const N: u64 = 10_000;
+    g.throughput(Throughput::Elements(N));
+    let pkt = Packet {
+        flow: FlowId(0),
+        kind: PacketKind::Datagram,
+        size_bytes: 1500,
+        src: NodeId(0),
+        dst: NodeId(1),
+        created_at: SimTime::ZERO,
+        ecn: Ecn::default(),
+    };
+    g.bench_function("enqueue_dequeue_10k", |b| {
+        b.iter_batched(
+            || RedQueue::new(RedParams::paper_defaults(), 3),
+            |mut q| {
+                for i in 0..N {
+                    let now = SimTime::from_micros(i * 200);
+                    let _ = q.enqueue(pkt, now);
+                    if q.len() > 20 {
+                        let _ = q.dequeue(now);
+                    }
+                }
+                q.stats().drops_total()
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    g.finish();
+}
+
+fn bench_scenario(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scenario");
+    g.sample_size(10);
+    for (name, protocol, clients) in [
+        ("reno_39cl_5s", Protocol::Reno, 39),
+        ("vegas_39cl_5s", Protocol::Vegas, 39),
+        ("udp_39cl_5s", Protocol::Udp, 39),
+    ] {
+        let mut cfg = ScenarioConfig::paper(clients, protocol);
+        cfg.duration = SimDuration::from_secs(5);
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let r = Scenario::run(&cfg);
+                criterion::black_box(r.events_processed)
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_event_queue, bench_red_queue, bench_scenario);
+criterion_main!(benches);

@@ -1,0 +1,144 @@
+//! Figures 5–12: congestion-window evolution.
+//!
+//! | Figure | Protocol | Clients | Paper's observation |
+//! |--------|----------|---------|---------------------|
+//! | 5  | Reno  | 20 | losses concentrate in slow start (send-buffer bursts) |
+//! | 6  | Reno  | 30 | congestion earlier in slow start; stabilizes late |
+//! | 7  | Reno  | 38 | stabilizes only after a long transient |
+//! | 8  | Reno  | 39 | never stabilizes (persistent congestion) |
+//! | 9  | Reno  | 60 | synchronized window cuts across streams |
+//! | 10 | Vegas | 20 | windows settle near their fair value |
+//! | 11 | Vegas | 30 | same |
+//! | 12 | Vegas | 60 | fair sharing under heavy load |
+//!
+//! Prints per-figure summary statistics (per-client window mean/sd, window
+//! cut events, cross-client synchrony) and writes the full 0.1 s-sampled
+//! traces as CSV for plotting.
+
+use std::fmt::Write as _;
+
+use tcpburst_bench::{bench_duration, bench_seed, write_figure_csv};
+use tcpburst_core::experiments::{
+    cwnd_evolution, paper_traced_clients, stabilization_time_units, CwndFigure,
+};
+use tcpburst_core::Protocol;
+use tcpburst_des::{SimDuration, SimTime};
+use tcpburst_stats::RunningStats;
+
+/// Counts downward window adjustments (loss responses) in a sampled trace.
+fn window_cuts(samples: &[f64]) -> usize {
+    samples.windows(2).filter(|w| w[1] < w[0]).count()
+}
+
+/// Fraction of 0.1 s steps in which at least half the traced clients cut
+/// their window simultaneously — a crude synchrony measure for the paper's
+/// "streams halve their windows at the same time" claim.
+fn synchrony(figure: &CwndFigure, end: SimTime) -> f64 {
+    let step = SimDuration::from_millis(100);
+    let sampled: Vec<Vec<f64>> = figure
+        .traces
+        .iter()
+        .map(|t| t.trace.sample_hold(step, end))
+        .collect();
+    let steps = sampled.first().map_or(0, |s| s.len().saturating_sub(1));
+    if steps == 0 {
+        return 0.0;
+    }
+    let mut any_cut = 0usize;
+    let mut joint_cut = 0usize;
+    for i in 0..steps {
+        let cuts = sampled.iter().filter(|s| s[i + 1] < s[i]).count();
+        if cuts > 0 {
+            any_cut += 1;
+            if cuts * 2 >= sampled.len() {
+                joint_cut += 1;
+            }
+        }
+    }
+    if any_cut == 0 {
+        0.0
+    } else {
+        joint_cut as f64 / any_cut as f64
+    }
+}
+
+fn main() {
+    let duration = bench_duration();
+    let end = SimTime::ZERO + duration;
+    let seed = bench_seed();
+    let figures: [(u32, Protocol, usize); 8] = [
+        (5, Protocol::Reno, 20),
+        (6, Protocol::Reno, 30),
+        (7, Protocol::Reno, 38),
+        (8, Protocol::Reno, 39),
+        (9, Protocol::Reno, 60),
+        (10, Protocol::Vegas, 20),
+        (11, Protocol::Vegas, 30),
+        (12, Protocol::Vegas, 60),
+    ];
+
+    println!(
+        "{:>4} {:>6} {:>8} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "fig", "proto", "clients", "cwnd mean", "cwnd sd", "cuts/cl", "synchrony", "stable@"
+    );
+    for (fig_no, protocol, clients) in figures {
+        let fig = cwnd_evolution(
+            protocol,
+            clients,
+            &paper_traced_clients(clients),
+            duration,
+            seed,
+        );
+        let step = SimDuration::from_millis(100);
+        let mut agg = RunningStats::new();
+        let mut cuts = 0usize;
+        let mut csv = String::from("t_units");
+        for t in &fig.traces {
+            let _ = write!(csv, ",client{}", t.client + 1);
+        }
+        csv.push('\n');
+        let sampled: Vec<Vec<f64>> = fig
+            .traces
+            .iter()
+            .map(|t| t.trace.sample_hold(step, end))
+            .collect();
+        for s in &sampled {
+            cuts += window_cuts(s);
+            for &w in s {
+                agg.push(w);
+            }
+        }
+        if let Some(rows) = sampled.first().map(Vec::len) {
+            for i in 0..rows {
+                let _ = write!(csv, "{i}");
+                for s in &sampled {
+                    let _ = write!(csv, ",{:.2}", s[i]);
+                }
+                csv.push('\n');
+            }
+        }
+        // The paper's stabilization verdict: the latest stabilization time
+        // among the traced clients, "never" if any client keeps cutting.
+        let stable = fig
+            .traces
+            .iter()
+            .map(|t| stabilization_time_units(&t.trace, duration))
+            .try_fold(0u64, |acc, s| s.map(|v| acc.max(v)));
+        println!(
+            "{:>4} {:>6} {:>8} {:>10.2} {:>10.2} {:>10.1} {:>10.2} {:>10}",
+            fig_no,
+            protocol.label(),
+            clients,
+            agg.mean(),
+            agg.population_std_dev(),
+            cuts as f64 / fig.traces.len().max(1) as f64,
+            synchrony(&fig, end),
+            stable.map_or("never".to_string(), |t| format!("{t}")),
+        );
+        write_figure_csv(&format!("fig{fig_no}_cwnd.csv"), &csv);
+        write_figure_csv(&format!("fig{fig_no}_cwnd.svg"), &fig.svg());
+    }
+    println!(
+        "\n(cuts/cl = downward window moves per traced client; synchrony = fraction of\n cut instants where >=half the traced clients cut together)"
+    );
+}

@@ -1,0 +1,27 @@
+//! Table 1 + Figure 1: prints the reconstructed simulation parameters and
+//! the network model, and verifies their internal consistency.
+
+use tcpburst_core::experiments::{table1, topology_ascii};
+use tcpburst_core::PaperParams;
+
+fn main() {
+    println!("{}", table1());
+    println!("{}", topology_ascii());
+
+    let p = PaperParams::default();
+    println!("derived quantities:");
+    println!(
+        "  round-trip propagation delay (c.o.v. bin): {}",
+        p.rtprop()
+    );
+    println!("  per-client offered load: {} pkt/s", p.lambda());
+    println!(
+        "  bottleneck capacity: {:.1} pkt/s  (raw congestion crossover at {:.1} clients)",
+        p.bottleneck_pkts_per_sec(),
+        p.bottleneck_pkts_per_sec() / p.lambda()
+    );
+    println!(
+        "  bandwidth-delay product: {:.0} packets",
+        p.bottleneck_pkts_per_sec() * p.rtprop().as_secs_f64()
+    );
+}

@@ -1,0 +1,174 @@
+//! `tcpburst` — command-line front end for the paper-reproduction harness.
+//!
+//! ```text
+//! tcpburst run   [--clients N] [--protocol P] [--secs S] [--seed K] [--ecn]
+//! tcpburst sweep [--secs S] [--seed K] [--clients a,b,c,...]
+//! tcpburst cwnd  [--clients N] [--protocol P] [--secs S]
+//! tcpburst table1
+//! ```
+
+use std::env;
+use std::process::ExitCode;
+
+use tcpburst_core::experiments::{
+    cwnd_evolution, paper_traced_clients, table1, topology_ascii, Sweep,
+};
+use tcpburst_core::{Protocol, Scenario, ScenarioConfig};
+use tcpburst_des::SimDuration;
+
+const USAGE: &str = "\
+tcpburst — reproduce 'On the Burstiness of the TCP Congestion-Control
+Mechanism in a Distributed Computing System' (ICDCS 2000)
+
+USAGE:
+    tcpburst run   [--clients N] [--protocol P] [--secs S] [--seed K] [--ecn]
+    tcpburst sweep [--secs S] [--seed K] [--clients a,b,c,...]
+    tcpburst cwnd  [--clients N] [--protocol P] [--secs S] [--seed K]
+    tcpburst table1
+
+PROTOCOLS:
+    udp, reno, reno-red, vegas, vegas-red, reno-delayack, tahoe, newreno, sack
+
+DEFAULTS:
+    run:   39 clients, reno, 30 s      sweep: paper set, 30 s
+    cwnd:  39 clients, reno, 20 s      seed:  0x1CDC2000
+";
+
+struct Args {
+    clients: usize,
+    client_list: Vec<usize>,
+    protocol: Protocol,
+    secs: u64,
+    seed: u64,
+    ecn: bool,
+}
+
+fn parse_protocol(name: &str) -> Result<Protocol, String> {
+    Ok(match name {
+        "udp" => Protocol::Udp,
+        "reno" => Protocol::Reno,
+        "reno-red" => Protocol::RenoRed,
+        "vegas" => Protocol::Vegas,
+        "vegas-red" => Protocol::VegasRed,
+        "reno-delayack" => Protocol::RenoDelayAck,
+        "tahoe" => Protocol::Tahoe,
+        "newreno" => Protocol::NewReno,
+        "sack" => Protocol::Sack,
+        other => return Err(format!("unknown protocol: {other}")),
+    })
+}
+
+fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
+    let mut args = Args {
+        clients: 39,
+        client_list: vec![5, 15, 25, 35, 39, 45, 60],
+        protocol: Protocol::Reno,
+        secs: 30,
+        seed: 0x1CDC_2000,
+        ecn: false,
+    };
+    while let Some(flag) = argv.next() {
+        let mut value = |name: &str| {
+            argv.next()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match flag.as_str() {
+            "--clients" => {
+                let v = value("--clients")?;
+                if v.contains(',') {
+                    args.client_list = v
+                        .split(',')
+                        .map(|s| s.trim().parse().map_err(|e| format!("--clients: {e}")))
+                        .collect::<Result<_, _>>()?;
+                    args.clients = *args.client_list.last().unwrap();
+                } else {
+                    args.clients = v.parse().map_err(|e| format!("--clients: {e}"))?;
+                }
+            }
+            "--protocol" => args.protocol = parse_protocol(&value("--protocol")?)?,
+            "--secs" => args.secs = value("--secs")?.parse().map_err(|e| format!("--secs: {e}"))?,
+            "--seed" => args.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--ecn" => args.ecn = true,
+            other => return Err(format!("unknown flag: {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn cmd_run(args: &Args) {
+    let mut cfg = ScenarioConfig::paper(args.clients, args.protocol);
+    cfg.duration = SimDuration::from_secs(args.secs);
+    cfg.seed = args.seed;
+    cfg.ecn = args.ecn;
+    let r = Scenario::run(&cfg);
+    println!(
+        "{} / {} clients / {} s{}",
+        args.protocol.label(),
+        args.clients,
+        args.secs,
+        if args.ecn { " / ECN" } else { "" }
+    );
+    println!("{r}");
+    println!(
+        "c.o.v. ratio vs Poisson: {:.2}x   avg queue: {:.1} pkts   mean delay: {:.1} ms",
+        r.cov_ratio(),
+        r.avg_queue_len,
+        r.mean_delay_secs * 1e3
+    );
+}
+
+fn cmd_sweep(args: &Args) {
+    let sweep = Sweep::run(
+        &Protocol::PAPER_SET,
+        &args.client_list,
+        SimDuration::from_secs(args.secs),
+        args.seed,
+    );
+    println!("{}", sweep.fig2_cov_table());
+    println!("{}", sweep.fig3_throughput_table());
+    println!("{}", sweep.fig4_loss_table());
+    println!("{}", sweep.fig13_timeout_ratio_table());
+}
+
+fn cmd_cwnd(args: &Args) {
+    let fig = cwnd_evolution(
+        args.protocol,
+        args.clients,
+        &paper_traced_clients(args.clients),
+        SimDuration::from_secs(args.secs),
+        args.seed,
+    );
+    println!("{}", fig.table());
+}
+
+fn main() -> ExitCode {
+    let mut argv = env::args().skip(1);
+    let Some(cmd) = argv.next() else {
+        eprint!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let args = match parse_args(argv) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n");
+            eprint!("{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match cmd.as_str() {
+        "run" => cmd_run(&args),
+        "sweep" => cmd_sweep(&args),
+        "cwnd" => cmd_cwnd(&args),
+        "table1" => {
+            println!("{}", table1());
+            println!("{}", topology_ascii());
+        }
+        "help" | "--help" | "-h" => print!("{USAGE}"),
+        other => {
+            eprintln!("error: unknown command {other}\n");
+            eprint!("{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

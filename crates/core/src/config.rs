@@ -1,0 +1,415 @@
+//! Scenario configuration: the reconstructed Table 1 plus every knob the
+//! ablation benches turn.
+
+use tcpburst_des::SimDuration;
+use tcpburst_net::{AdaptiveRedParams, DumbbellConfig, QueueSpec, RedParams};
+use tcpburst_traffic::ParetoOnOffConfig;
+use tcpburst_transport::{TcpConfig, TcpVariant, VegasParams};
+
+/// The paper's simulation parameters (Table 1), as reconstructed in
+/// DESIGN.md. All digits lost to the source transcription were recovered
+/// from arithmetic internal to the paper; see the design document for the
+/// evidence trail.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PaperParams {
+    /// Client access-link bandwidth `μc` (100 Mbps).
+    pub client_bandwidth_bps: u64,
+    /// Client access-link delay `τc` (2 ms).
+    pub client_delay: SimDuration,
+    /// Bottleneck bandwidth `μs` (50 Mbps).
+    pub bottleneck_bandwidth_bps: u64,
+    /// Bottleneck delay `τs` (20 ms).
+    pub bottleneck_delay: SimDuration,
+    /// TCP max advertised window (20 packets).
+    pub advertised_window: u32,
+    /// Gateway buffer size `B` (50 packets).
+    pub gateway_buffer_pkts: usize,
+    /// Packet size (1500 bytes).
+    pub packet_bytes: u32,
+    /// Mean packet inter-generation time `1/λ` (0.01 s).
+    pub mean_intergeneration_secs: f64,
+    /// Total test time (200 s).
+    pub total_test_secs: u64,
+    /// RED minimum threshold (10 packets).
+    pub red_min_th: f64,
+    /// RED maximum threshold (40 packets).
+    pub red_max_th: f64,
+}
+
+impl Default for PaperParams {
+    fn default() -> Self {
+        PaperParams {
+            client_bandwidth_bps: 100_000_000,
+            client_delay: SimDuration::from_millis(2),
+            bottleneck_bandwidth_bps: 50_000_000,
+            bottleneck_delay: SimDuration::from_millis(20),
+            advertised_window: 20,
+            gateway_buffer_pkts: 50,
+            packet_bytes: 1500,
+            mean_intergeneration_secs: 0.01,
+            total_test_secs: 200,
+            red_min_th: 10.0,
+            red_max_th: 40.0,
+        }
+    }
+}
+
+impl PaperParams {
+    /// Round-trip propagation delay `2(τc + τs)` — the c.o.v. bin width.
+    pub fn rtprop(&self) -> SimDuration {
+        (self.client_delay + self.bottleneck_delay) * 2
+    }
+
+    /// Per-client offered load in packets/second (`λ = 100`).
+    pub fn lambda(&self) -> f64 {
+        1.0 / self.mean_intergeneration_secs
+    }
+
+    /// The bottleneck's capacity in packets/second, ignoring header
+    /// overhead: 4166.7 pkt/s, which puts the onset of persistent congestion
+    /// around 41.7 offered-load clients — with TCP's retransmission and
+    /// burst overhead this lands at the paper's crossover "between 38 and
+    /// 39 clients".
+    pub fn bottleneck_pkts_per_sec(&self) -> f64 {
+        self.bottleneck_bandwidth_bps as f64 / (f64::from(self.packet_bytes) * 8.0)
+    }
+}
+
+/// Which transport the clients run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TransportKind {
+    /// UDP: packets forwarded with no feedback.
+    Udp,
+    /// TCP with the given congestion-control variant.
+    Tcp(TcpVariant),
+}
+
+/// Which queueing discipline the gateway runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GatewayKind {
+    /// Drop-tail FIFO.
+    Fifo,
+    /// Random early detection.
+    Red,
+    /// Self-configuring RED (adaptive `max_p`; the paper's reference [5]).
+    AdaptiveRed,
+}
+
+/// What the client applications generate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SourceKind {
+    /// Poisson arrivals at `rate` packets/second (the paper's workload).
+    Poisson {
+        /// Packets per second.
+        rate: f64,
+    },
+    /// Deterministic arrivals at `rate` packets/second.
+    Cbr {
+        /// Packets per second.
+        rate: f64,
+    },
+    /// Heavy-tailed ON/OFF arrivals.
+    ParetoOnOff(ParetoOnOffConfig),
+}
+
+impl SourceKind {
+    /// Long-run packets/second.
+    pub fn mean_rate(&self) -> f64 {
+        match *self {
+            SourceKind::Poisson { rate } | SourceKind::Cbr { rate } => rate,
+            SourceKind::ParetoOnOff(cfg) => cfg.mean_rate(),
+        }
+    }
+}
+
+/// The paper's protocol configurations, exactly as labelled in Figure 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Protocol {
+    /// UDP through a FIFO gateway.
+    Udp,
+    /// TCP Reno through a FIFO gateway.
+    Reno,
+    /// TCP Reno through a RED gateway.
+    RenoRed,
+    /// TCP Vegas through a FIFO gateway.
+    Vegas,
+    /// TCP Vegas through a RED gateway.
+    VegasRed,
+    /// TCP Reno with delayed ACKs through a FIFO gateway.
+    RenoDelayAck,
+    /// TCP Tahoe through a FIFO gateway (baseline, not in the paper's set).
+    Tahoe,
+    /// TCP NewReno through a FIFO gateway (baseline, not in the paper's
+    /// set).
+    NewReno,
+    /// TCP with selective acknowledgments through a FIFO gateway (baseline,
+    /// not in the paper's set).
+    Sack,
+}
+
+impl Protocol {
+    /// The figure legends' protocol set, in the paper's order.
+    pub const PAPER_SET: [Protocol; 6] = [
+        Protocol::Udp,
+        Protocol::Reno,
+        Protocol::RenoRed,
+        Protocol::Vegas,
+        Protocol::VegasRed,
+        Protocol::RenoDelayAck,
+    ];
+
+    /// The TCP-only set used by Figures 3, 4 and 13.
+    pub const PAPER_TCP_SET: [Protocol; 5] = [
+        Protocol::Reno,
+        Protocol::RenoRed,
+        Protocol::Vegas,
+        Protocol::VegasRed,
+        Protocol::RenoDelayAck,
+    ];
+
+    /// The label used in the paper's figure legends.
+    pub fn label(self) -> &'static str {
+        match self {
+            Protocol::Udp => "UDP",
+            Protocol::Reno => "Reno",
+            Protocol::RenoRed => "Reno/RED",
+            Protocol::Vegas => "Vegas",
+            Protocol::VegasRed => "Vegas/RED",
+            Protocol::RenoDelayAck => "Reno/DelayAck",
+            Protocol::Tahoe => "Tahoe",
+            Protocol::NewReno => "NewReno",
+            Protocol::Sack => "SACK",
+        }
+    }
+
+    /// The transport this protocol runs.
+    pub fn transport(self) -> TransportKind {
+        match self {
+            Protocol::Udp => TransportKind::Udp,
+            Protocol::Reno | Protocol::RenoRed | Protocol::RenoDelayAck => {
+                TransportKind::Tcp(TcpVariant::Reno)
+            }
+            Protocol::Vegas | Protocol::VegasRed => TransportKind::Tcp(TcpVariant::Vegas),
+            Protocol::Tahoe => TransportKind::Tcp(TcpVariant::Tahoe),
+            Protocol::NewReno => TransportKind::Tcp(TcpVariant::NewReno),
+            Protocol::Sack => TransportKind::Tcp(TcpVariant::Sack),
+        }
+    }
+
+    /// The gateway discipline this protocol is paired with.
+    pub fn gateway(self) -> GatewayKind {
+        match self {
+            Protocol::RenoRed | Protocol::VegasRed => GatewayKind::Red,
+            _ => GatewayKind::Fifo,
+        }
+    }
+
+    /// Whether the receivers delay ACKs.
+    pub fn delayed_ack(self) -> bool {
+        self == Protocol::RenoDelayAck
+    }
+}
+
+/// Full configuration of one simulation run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScenarioConfig {
+    /// Number of clients `M`.
+    pub num_clients: usize,
+    /// Transport under test.
+    pub transport: TransportKind,
+    /// Gateway discipline.
+    pub gateway: GatewayKind,
+    /// Receivers delay ACKs.
+    pub delayed_ack: bool,
+    /// Application workload.
+    pub source: SourceKind,
+    /// Physical parameters (Table 1).
+    pub params: PaperParams,
+    /// Vegas thresholds.
+    pub vegas: VegasParams,
+    /// RED `max_p` (thresholds come from [`PaperParams`]).
+    pub red_max_p: f64,
+    /// RED EWMA weight.
+    pub red_weight: f64,
+    /// Adaptation knobs when [`GatewayKind::AdaptiveRed`] is selected.
+    pub adaptive_red: AdaptiveRedParams,
+    /// Negotiate ECN on every TCP connection and let RED gateways mark
+    /// instead of early-drop (extension beyond the paper; off by default).
+    pub ecn: bool,
+    /// Simulated run length.
+    pub duration: SimDuration,
+    /// Initial interval excluded from the c.o.v. probe (0 = measure
+    /// everything, like the paper).
+    pub warmup: SimDuration,
+    /// c.o.v. bin width; `None` means one round-trip propagation delay.
+    pub cov_bin: Option<SimDuration>,
+    /// Heterogeneous-RTT factor (see
+    /// [`DumbbellConfig::client_delay_spread`]); 0 in the paper.
+    pub rtt_spread: f64,
+    /// Master seed; per-client streams are derived from it.
+    pub seed: u64,
+    /// Record per-connection congestion-window traces (Figures 5–12).
+    pub trace_cwnd: bool,
+    /// Record a structured event timeline (drops, timeouts, fast
+    /// retransmits, ECN cuts); capped at [`ScenarioConfig::EVENT_LOG_CAP`]
+    /// entries.
+    pub trace_events: bool,
+}
+
+impl ScenarioConfig {
+    /// Maximum number of entries an event log keeps (further events are
+    /// counted but not stored).
+    pub const EVENT_LOG_CAP: usize = 200_000;
+
+    /// The paper's setup for `num_clients` clients running `protocol`.
+    pub fn paper(num_clients: usize, protocol: Protocol) -> Self {
+        let params = PaperParams::default();
+        ScenarioConfig {
+            num_clients,
+            transport: protocol.transport(),
+            gateway: protocol.gateway(),
+            delayed_ack: protocol.delayed_ack(),
+            source: SourceKind::Poisson {
+                rate: params.lambda(),
+            },
+            params,
+            vegas: VegasParams::default(),
+            red_max_p: 0.1,
+            red_weight: 0.002,
+            adaptive_red: AdaptiveRedParams::default(),
+            ecn: false,
+            duration: SimDuration::from_secs(params.total_test_secs),
+            warmup: SimDuration::ZERO,
+            cov_bin: None,
+            rtt_spread: 0.0,
+            seed: 0x1CDC_2000,
+            trace_cwnd: false,
+            trace_events: false,
+        }
+    }
+
+    /// The c.o.v. bin width in effect (explicit override or the round-trip
+    /// propagation delay).
+    pub fn cov_bin_width(&self) -> SimDuration {
+        self.cov_bin.unwrap_or_else(|| self.params.rtprop())
+    }
+
+    /// The RED parameters assembled from this configuration.
+    pub fn red_params(&self) -> RedParams {
+        RedParams {
+            min_th: self.params.red_min_th,
+            max_th: self.params.red_max_th,
+            max_p: self.red_max_p,
+            weight: self.red_weight,
+            capacity: self.params.gateway_buffer_pkts,
+            mean_pkt_time_secs: f64::from(self.params.packet_bytes) * 8.0
+                / self.params.bottleneck_bandwidth_bps as f64,
+            ecn_marking: self.ecn,
+        }
+    }
+
+    /// The dumbbell topology this scenario builds.
+    pub fn dumbbell_config(&self) -> DumbbellConfig {
+        DumbbellConfig {
+            num_clients: self.num_clients,
+            client_bandwidth_bps: self.params.client_bandwidth_bps,
+            client_delay: self.params.client_delay,
+            client_delay_spread: self.rtt_spread,
+            bottleneck_bandwidth_bps: self.params.bottleneck_bandwidth_bps,
+            bottleneck_delay: self.params.bottleneck_delay,
+            gateway_queue: match self.gateway {
+                GatewayKind::Fifo => QueueSpec::DropTail {
+                    capacity: self.params.gateway_buffer_pkts,
+                },
+                GatewayKind::Red => QueueSpec::Red(self.red_params()),
+                GatewayKind::AdaptiveRed => {
+                    QueueSpec::AdaptiveRed(self.red_params(), self.adaptive_red)
+                }
+            },
+            access_queue_capacity: 1_000,
+            seed: self.seed,
+        }
+    }
+
+    /// The per-connection TCP configuration for this scenario.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scenario's transport is UDP.
+    pub fn tcp_config(&self) -> TcpConfig {
+        let TransportKind::Tcp(variant) = self.transport else {
+            panic!("scenario transport is UDP; no TCP config applies");
+        };
+        let mut cfg = TcpConfig::paper(variant);
+        cfg.mss_bytes = self.params.packet_bytes;
+        cfg.advertised_window = self.params.advertised_window;
+        cfg.delayed_ack = self.delayed_ack;
+        cfg.vegas = self.vegas;
+        cfg.trace_cwnd = self.trace_cwnd;
+        cfg.ecn = self.ecn;
+        cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_params_reconstruction_is_consistent() {
+        let p = PaperParams::default();
+        assert_eq!(p.rtprop(), SimDuration::from_millis(44));
+        assert_eq!(p.lambda(), 100.0);
+        assert!((p.bottleneck_pkts_per_sec() - 4166.7).abs() < 0.1);
+        // Raw crossover: offered load equals raw capacity at ~41.7 clients;
+        // TCP overhead brings the onset of persistent congestion to the
+        // paper's "between 38 and 39 clients".
+        let crossover = p.bottleneck_pkts_per_sec() / p.lambda();
+        assert!((40.0..43.0).contains(&crossover));
+    }
+
+    #[test]
+    fn protocol_table_matches_figure_legends() {
+        assert_eq!(Protocol::PAPER_SET.len(), 6);
+        assert_eq!(Protocol::Reno.label(), "Reno");
+        assert_eq!(Protocol::VegasRed.gateway(), GatewayKind::Red);
+        assert_eq!(Protocol::Vegas.gateway(), GatewayKind::Fifo);
+        assert!(Protocol::RenoDelayAck.delayed_ack());
+        assert!(!Protocol::Reno.delayed_ack());
+        assert_eq!(Protocol::Udp.transport(), TransportKind::Udp);
+        assert_eq!(
+            Protocol::RenoRed.transport(),
+            TransportKind::Tcp(TcpVariant::Reno)
+        );
+    }
+
+    #[test]
+    fn scenario_config_derives_consistent_pieces() {
+        let cfg = ScenarioConfig::paper(38, Protocol::RenoRed);
+        assert_eq!(cfg.cov_bin_width(), SimDuration::from_millis(44));
+        let red = cfg.red_params();
+        assert_eq!(red.min_th, 10.0);
+        assert_eq!(red.max_th, 40.0);
+        assert_eq!(red.capacity, 50);
+        let db = cfg.dumbbell_config();
+        assert_eq!(db.num_clients, 38);
+        assert!(matches!(db.gateway_queue, QueueSpec::Red(_)));
+        let tcp = cfg.tcp_config();
+        assert_eq!(tcp.mss_bytes, 1500);
+        assert_eq!(tcp.advertised_window, 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "transport is UDP")]
+    fn udp_scenario_has_no_tcp_config() {
+        ScenarioConfig::paper(5, Protocol::Udp).tcp_config();
+    }
+
+    #[test]
+    fn source_kinds_report_mean_rate() {
+        assert_eq!(SourceKind::Poisson { rate: 10.0 }.mean_rate(), 10.0);
+        assert_eq!(SourceKind::Cbr { rate: 5.0 }.mean_rate(), 5.0);
+        let pareto = SourceKind::ParetoOnOff(ParetoOnOffConfig::default());
+        assert!((pareto.mean_rate() - 10.0).abs() < 1e-9);
+    }
+}

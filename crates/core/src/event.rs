@@ -1,0 +1,42 @@
+//! The unified event type driving one scenario's simulation loop.
+
+use tcpburst_net::NetEvent;
+use tcpburst_transport::TransportEvent;
+
+/// Everything that can happen in a scenario.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Event {
+    /// A network event (link transmission completion or packet delivery).
+    Net(NetEvent),
+    /// A transport timer (RTO or delayed ACK).
+    Transport(TransportEvent),
+    /// Client `client`'s application generates its next packet.
+    Generate {
+        /// Index of the generating client.
+        client: u32,
+    },
+}
+
+impl From<NetEvent> for Event {
+    fn from(ev: NetEvent) -> Self {
+        Event::Net(ev)
+    }
+}
+
+impl From<TransportEvent> for Event {
+    fn from(ev: TransportEvent) -> Self {
+        Event::Transport(ev)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcpburst_net::LinkId;
+
+    #[test]
+    fn conversions_wrap_the_right_variant() {
+        let n: Event = NetEvent::TxComplete { link: LinkId(3) }.into();
+        assert!(matches!(n, Event::Net(NetEvent::TxComplete { link: LinkId(3) })));
+    }
+}

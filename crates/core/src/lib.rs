@@ -1,0 +1,59 @@
+//! # tcpburst-core
+//!
+//! The experiment harness reproducing *"On the Burstiness of the TCP
+//! Congestion-Control Mechanism in a Distributed Computing System"*
+//! (Tinnakornsrisuphap, Feng & Philp, ICDCS 2000).
+//!
+//! The paper's question: does TCP *modulate* smooth application traffic
+//! into bursty network traffic? Its instrument: the coefficient of
+//! variation (c.o.v.) of the number of packets arriving at a shared gateway
+//! per round-trip propagation delay, compared against the analytic c.o.v.
+//! of the generating aggregate Poisson process.
+//!
+//! This crate wires the substrates together into the paper's client /
+//! gateway / server simulation and exposes:
+//!
+//! * [`ScenarioConfig`] / [`Scenario`] — build and run one simulation
+//!   (N clients pushing Poisson traffic over a chosen transport through a
+//!   FIFO or RED gateway) and collect a [`ScenarioReport`],
+//! * [`Protocol`] — the paper's seven protocol configurations (Poisson
+//!   reference, UDP, Reno, Reno/RED, Vegas, Vegas/RED, Reno/DelayAck),
+//! * [`experiments`] — one generator per table/figure of the paper's
+//!   evaluation (Figure 2 c.o.v., Figure 3 throughput, Figure 4 loss,
+//!   Figures 5–12 congestion-window evolution, Figure 13 timeout ratio),
+//!   each returning printable rows,
+//! * [`PaperParams`] — the reconstructed Table 1.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use tcpburst_core::{Protocol, Scenario, ScenarioConfig};
+//! use tcpburst_des::SimDuration;
+//!
+//! // 20 Reno clients for 20 simulated seconds (the paper runs 200 s).
+//! let mut cfg = ScenarioConfig::paper(20, Protocol::Reno);
+//! cfg.duration = SimDuration::from_secs(20);
+//! let report = Scenario::run(&cfg);
+//! assert!(report.delivered_packets > 0);
+//! println!("c.o.v. = {:.3} (Poisson reference {:.3})",
+//!          report.cov, report.poisson_cov);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod event;
+pub mod experiments;
+pub mod plot;
+mod replicate;
+mod report;
+mod scenario;
+mod trace;
+
+pub use config::{GatewayKind, PaperParams, Protocol, ScenarioConfig, SourceKind, TransportKind};
+pub use event::Event;
+pub use replicate::{ReplicatedCell, ReplicatedSweep};
+pub use report::{FlowReport, ScenarioReport};
+pub use scenario::Scenario;
+pub use trace::{EventLog, TraceEvent, TraceKind};

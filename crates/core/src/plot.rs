@@ -1,0 +1,342 @@
+//! Minimal SVG line charts, dependency-free.
+//!
+//! The bench harness uses this to render each reproduced figure as an
+//! actual image (`target/paper_figures/*.svg`) next to the numeric tables,
+//! so the curve shapes can be compared against the paper's plots at a
+//! glance. Deliberately small: line series with markers, linear or log₁₀ y
+//! axis, ticks and a legend — nothing more.
+
+use std::fmt::Write as _;
+
+/// One named line series.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// `(x, y)` samples in x order.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates a series.
+    pub fn new(label: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
+        Series {
+            label: label.into(),
+            points,
+        }
+    }
+}
+
+/// Chart-wide options.
+#[derive(Debug, Clone)]
+pub struct ChartOptions {
+    /// Title shown above the plot area.
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// Render the y axis in log₁₀ (values must be positive).
+    pub log_y: bool,
+    /// Canvas width in pixels.
+    pub width: u32,
+    /// Canvas height in pixels.
+    pub height: u32,
+}
+
+impl Default for ChartOptions {
+    fn default() -> Self {
+        ChartOptions {
+            title: String::new(),
+            x_label: String::new(),
+            y_label: String::new(),
+            log_y: false,
+            width: 760,
+            height: 480,
+        }
+    }
+}
+
+const PALETTE: [&str; 8] = [
+    "#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b", "#17becf", "#7f7f7f",
+];
+const MARGIN_L: f64 = 70.0;
+const MARGIN_R: f64 = 160.0;
+const MARGIN_T: f64 = 40.0;
+const MARGIN_B: f64 = 55.0;
+
+fn nice_ticks(lo: f64, hi: f64, target: usize) -> Vec<f64> {
+    if hi <= lo {
+        return vec![lo];
+    }
+    let raw_step = (hi - lo) / target as f64;
+    let mag = 10f64.powf(raw_step.log10().floor());
+    let norm = raw_step / mag;
+    let step = if norm <= 1.0 {
+        1.0
+    } else if norm <= 2.0 {
+        2.0
+    } else if norm <= 5.0 {
+        5.0
+    } else {
+        10.0
+    } * mag;
+    let first = (lo / step).ceil() * step;
+    let mut ticks = Vec::new();
+    let mut t = first;
+    while t <= hi + step * 1e-9 {
+        ticks.push(t);
+        t += step;
+    }
+    ticks
+}
+
+fn fmt_tick(v: f64) -> String {
+    if v == 0.0 {
+        return "0".to_string();
+    }
+    let a = v.abs();
+    if !(0.01..100_000.0).contains(&a) {
+        format!("{v:.0e}")
+    } else if a >= 10.0 {
+        format!("{v:.0}")
+    } else if a >= 1.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+/// Renders `series` as an SVG document.
+///
+/// # Panics
+///
+/// Panics if `log_y` is requested and any y value is not strictly positive,
+/// or if no series has any points.
+pub fn render_line_chart(series: &[Series], opts: &ChartOptions) -> String {
+    let all: Vec<(f64, f64)> = series.iter().flat_map(|s| s.points.iter().copied()).collect();
+    assert!(!all.is_empty(), "nothing to plot");
+
+    let y_of = |y: f64| -> f64 {
+        if opts.log_y {
+            assert!(y > 0.0, "log-scale chart requires positive y, got {y}");
+            y.log10()
+        } else {
+            y
+        }
+    };
+
+    let (mut x_lo, mut x_hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut y_lo, mut y_hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &(x, y) in &all {
+        x_lo = x_lo.min(x);
+        x_hi = x_hi.max(x);
+        y_lo = y_lo.min(y_of(y));
+        y_hi = y_hi.max(y_of(y));
+    }
+    if x_lo == x_hi {
+        x_hi = x_lo + 1.0;
+    }
+    if y_lo == y_hi {
+        y_hi = y_lo + 1.0;
+    }
+    // A little headroom.
+    let pad = (y_hi - y_lo) * 0.05;
+    let (y_lo, y_hi) = (y_lo - pad, y_hi + pad);
+
+    let w = f64::from(opts.width);
+    let h = f64::from(opts.height);
+    let plot_w = w - MARGIN_L - MARGIN_R;
+    let plot_h = h - MARGIN_T - MARGIN_B;
+    let sx = |x: f64| MARGIN_L + (x - x_lo) / (x_hi - x_lo) * plot_w;
+    let sy = |y: f64| MARGIN_T + (1.0 - (y_of(y) - y_lo) / (y_hi - y_lo)) * plot_h;
+
+    let mut svg = String::new();
+    let _ = writeln!(
+        svg,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{}" height="{}" font-family="sans-serif" font-size="12">"#,
+        opts.width, opts.height
+    );
+    let _ = writeln!(svg, r##"<rect width="100%" height="100%" fill="white"/>"##);
+    let _ = writeln!(
+        svg,
+        r#"<text x="{}" y="22" text-anchor="middle" font-size="15">{}</text>"#,
+        MARGIN_L + plot_w / 2.0,
+        opts.title
+    );
+
+    // Axes box.
+    let _ = writeln!(
+        svg,
+        r##"<rect x="{MARGIN_L}" y="{MARGIN_T}" width="{plot_w}" height="{plot_h}" fill="none" stroke="#333"/>"##
+    );
+
+    // X ticks.
+    for t in nice_ticks(x_lo, x_hi, 8) {
+        let x = sx(t);
+        let _ = writeln!(
+            svg,
+            r##"<line x1="{x:.1}" y1="{}" x2="{x:.1}" y2="{}" stroke="#ccc"/>"##,
+            MARGIN_T,
+            MARGIN_T + plot_h
+        );
+        let _ = writeln!(
+            svg,
+            r#"<text x="{x:.1}" y="{}" text-anchor="middle">{}</text>"#,
+            MARGIN_T + plot_h + 18.0,
+            fmt_tick(t)
+        );
+    }
+    // Y ticks (in transformed space).
+    for t in nice_ticks(y_lo, y_hi, 6) {
+        let y = MARGIN_T + (1.0 - (t - y_lo) / (y_hi - y_lo)) * plot_h;
+        let label = if opts.log_y {
+            fmt_tick(10f64.powf(t))
+        } else {
+            fmt_tick(t)
+        };
+        let _ = writeln!(
+            svg,
+            r##"<line x1="{}" y1="{y:.1}" x2="{}" y2="{y:.1}" stroke="#ccc"/>"##,
+            MARGIN_L,
+            MARGIN_L + plot_w
+        );
+        let _ = writeln!(
+            svg,
+            r#"<text x="{}" y="{:.1}" text-anchor="end">{label}</text>"#,
+            MARGIN_L - 6.0,
+            y + 4.0
+        );
+    }
+    // Axis labels.
+    let _ = writeln!(
+        svg,
+        r#"<text x="{}" y="{}" text-anchor="middle">{}</text>"#,
+        MARGIN_L + plot_w / 2.0,
+        h - 12.0,
+        opts.x_label
+    );
+    let _ = writeln!(
+        svg,
+        r#"<text x="16" y="{}" text-anchor="middle" transform="rotate(-90 16 {})">{}</text>"#,
+        MARGIN_T + plot_h / 2.0,
+        MARGIN_T + plot_h / 2.0,
+        opts.y_label
+    );
+
+    // Series.
+    for (i, s) in series.iter().enumerate() {
+        let color = PALETTE[i % PALETTE.len()];
+        let mut path = String::new();
+        for (j, &(x, y)) in s.points.iter().enumerate() {
+            let _ = write!(
+                path,
+                "{}{:.1},{:.1} ",
+                if j == 0 { "M" } else { "L" },
+                sx(x),
+                sy(y)
+            );
+        }
+        let _ = writeln!(
+            svg,
+            r#"<path d="{path}" fill="none" stroke="{color}" stroke-width="1.8"/>"#
+        );
+        for &(x, y) in &s.points {
+            let _ = writeln!(
+                svg,
+                r#"<circle cx="{:.1}" cy="{:.1}" r="2.6" fill="{color}"/>"#,
+                sx(x),
+                sy(y)
+            );
+        }
+        // Legend entry.
+        let ly = MARGIN_T + 14.0 + i as f64 * 18.0;
+        let lx = MARGIN_L + plot_w + 12.0;
+        let _ = writeln!(
+            svg,
+            r#"<line x1="{lx}" y1="{ly}" x2="{}" y2="{ly}" stroke="{color}" stroke-width="2"/>"#,
+            lx + 22.0
+        );
+        let _ = writeln!(
+            svg,
+            r#"<text x="{}" y="{}">{}</text>"#,
+            lx + 28.0,
+            ly + 4.0,
+            s.label
+        );
+    }
+    svg.push_str("</svg>\n");
+    svg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_series() -> Vec<Series> {
+        vec![
+            Series::new("a", vec![(0.0, 1.0), (1.0, 2.0), (2.0, 1.5)]),
+            Series::new("b", vec![(0.0, 0.5), (1.0, 0.7), (2.0, 3.0)]),
+        ]
+    }
+
+    #[test]
+    fn renders_well_formed_svg() {
+        let svg = render_line_chart(&demo_series(), &ChartOptions::default());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert_eq!(svg.matches("<path").count(), 2);
+        assert_eq!(svg.matches("<circle").count(), 6);
+        assert!(svg.contains(">a</text>"));
+        assert!(svg.contains(">b</text>"));
+    }
+
+    #[test]
+    fn log_scale_renders_positive_data() {
+        let opts = ChartOptions {
+            log_y: true,
+            ..ChartOptions::default()
+        };
+        let svg = render_line_chart(
+            &[Series::new("s", vec![(1.0, 0.01), (2.0, 10.0)])],
+            &opts,
+        );
+        assert!(svg.contains("<path"));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive y")]
+    fn log_scale_rejects_zero() {
+        let opts = ChartOptions {
+            log_y: true,
+            ..ChartOptions::default()
+        };
+        render_line_chart(&[Series::new("s", vec![(1.0, 0.0)])], &opts);
+    }
+
+    #[test]
+    #[should_panic(expected = "nothing to plot")]
+    fn empty_chart_panics() {
+        render_line_chart(&[], &ChartOptions::default());
+    }
+
+    #[test]
+    fn ticks_are_round_and_cover_the_range() {
+        let ticks = nice_ticks(0.0, 100.0, 8);
+        assert!(ticks.len() >= 5);
+        assert!(ticks.windows(2).all(|w| w[1] > w[0]));
+        assert!(*ticks.first().unwrap() >= 0.0);
+        assert!(*ticks.last().unwrap() <= 100.0 + 1e-9);
+        // Degenerate range.
+        assert_eq!(nice_ticks(5.0, 5.0, 4), vec![5.0]);
+    }
+
+    #[test]
+    fn tick_labels_are_compact() {
+        assert_eq!(fmt_tick(0.0), "0");
+        assert_eq!(fmt_tick(250_000.0), format!("{:.0e}", 250_000.0));
+        assert_eq!(fmt_tick(12.0), "12");
+        assert_eq!(fmt_tick(1.5), "1.5");
+        assert_eq!(fmt_tick(0.044), "0.044");
+    }
+}

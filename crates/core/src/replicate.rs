@@ -1,0 +1,231 @@
+//! Multi-seed replication: run the same scenario across independent seeds
+//! and report mean ± 95% confidence half-width for every figure metric.
+//!
+//! The paper reports single runs (standard for 2000-era simulation
+//! studies); replication quantifies how much of each curve is signal. The
+//! replicated sweep powers the error bars in EXPERIMENTS.md.
+
+use std::fmt::Write as _;
+
+use tcpburst_des::SimDuration;
+use tcpburst_stats::RunningStats;
+
+use crate::config::{Protocol, ScenarioConfig};
+use crate::scenario::Scenario;
+
+/// Aggregated metrics of one (protocol, clients) grid point across seeds.
+#[derive(Debug, Clone)]
+pub struct ReplicatedCell {
+    /// Protocol configuration of this cell.
+    pub protocol: Protocol,
+    /// Number of clients of this cell.
+    pub clients: usize,
+    /// c.o.v. across seeds (Figure 2).
+    pub cov: RunningStats,
+    /// Analytic Poisson reference (seed-independent).
+    pub poisson_cov: f64,
+    /// Delivered packets across seeds (Figure 3).
+    pub delivered: RunningStats,
+    /// Loss percentage across seeds (Figure 4).
+    pub loss_percent: RunningStats,
+    /// Timeout/fast-retransmit ratio across seeds (Figure 13).
+    pub timeout_ratio: RunningStats,
+}
+
+/// A protocol × clients grid where every point is replicated across seeds.
+#[derive(Debug, Clone)]
+pub struct ReplicatedSweep {
+    /// All grid points.
+    pub cells: Vec<ReplicatedCell>,
+    protocols: Vec<Protocol>,
+    clients: Vec<usize>,
+    replications: usize,
+}
+
+impl ReplicatedSweep {
+    /// Runs every (protocol, clients) pair once per seed in `seeds`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any axis or the seed list is empty.
+    pub fn run(
+        protocols: &[Protocol],
+        clients: &[usize],
+        duration: SimDuration,
+        seeds: &[u64],
+    ) -> Self {
+        assert!(!protocols.is_empty(), "need at least one protocol");
+        assert!(!clients.is_empty(), "need at least one client count");
+        assert!(!seeds.is_empty(), "need at least one seed");
+        let mut cells = Vec::with_capacity(protocols.len() * clients.len());
+        for &p in protocols {
+            for &n in clients {
+                let mut cov = RunningStats::new();
+                let mut delivered = RunningStats::new();
+                let mut loss = RunningStats::new();
+                let mut ratio = RunningStats::new();
+                let mut poisson = 0.0;
+                for &seed in seeds {
+                    let mut cfg = ScenarioConfig::paper(n, p);
+                    cfg.duration = duration;
+                    cfg.seed = seed;
+                    let r = Scenario::run(&cfg);
+                    cov.push(r.cov);
+                    delivered.push(r.delivered_packets as f64);
+                    loss.push(r.loss_percent);
+                    ratio.push(r.timeout_dupack_ratio());
+                    poisson = r.poisson_cov;
+                }
+                cells.push(ReplicatedCell {
+                    protocol: p,
+                    clients: n,
+                    cov,
+                    poisson_cov: poisson,
+                    delivered,
+                    loss_percent: loss,
+                    timeout_ratio: ratio,
+                });
+            }
+        }
+        ReplicatedSweep {
+            cells,
+            protocols: protocols.to_vec(),
+            clients: clients.to_vec(),
+            replications: seeds.len(),
+        }
+    }
+
+    /// Number of seeds each point was run with.
+    pub fn replications(&self) -> usize {
+        self.replications
+    }
+
+    /// The cell for one grid point, if present.
+    pub fn cell(&self, protocol: Protocol, clients: usize) -> Option<&ReplicatedCell> {
+        self.cells
+            .iter()
+            .find(|c| c.protocol == protocol && c.clients == clients)
+    }
+
+    /// Renders a `mean ±ci95` table of `metric` for every grid point.
+    pub fn table<F: Fn(&ReplicatedCell) -> &RunningStats>(
+        &self,
+        title: &str,
+        metric: F,
+    ) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "# {title}  ({} replications, mean ±95% CI)",
+            self.replications
+        );
+        let _ = write!(out, "{:>8}", "clients");
+        for p in &self.protocols {
+            let _ = write!(out, " {:>22}", p.label());
+        }
+        let _ = writeln!(out);
+        for &n in &self.clients {
+            let _ = write!(out, "{n:>8}");
+            for &p in &self.protocols {
+                match self.cell(p, n) {
+                    Some(c) => {
+                        let s = metric(c);
+                        let _ = write!(
+                            out,
+                            " {:>13.4} ±{:>7.4}",
+                            s.mean(),
+                            s.ci95_half_width()
+                        );
+                    }
+                    None => {
+                        let _ = write!(out, " {:>22}", "-");
+                    }
+                }
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+
+    /// Figure 2 with error bars.
+    pub fn fig2_cov_table(&self) -> String {
+        self.table(
+            "Figure 2 (replicated): c.o.v. of the aggregated traffic",
+            |c| &c.cov,
+        )
+    }
+
+    /// Figure 3 with error bars.
+    pub fn fig3_throughput_table(&self) -> String {
+        self.table(
+            "Figure 3 (replicated): packets successfully transmitted",
+            |c| &c.delivered,
+        )
+    }
+
+    /// Figure 4 with error bars.
+    pub fn fig4_loss_table(&self) -> String {
+        self.table(
+            "Figure 4 (replicated): packet loss percentage",
+            |c| &c.loss_percent,
+        )
+    }
+
+    /// Figure 13 with error bars.
+    pub fn fig13_ratio_table(&self) -> String {
+        self.table(
+            "Figure 13 (replicated): timeout / duplicate-ACK retransmission ratio",
+            |c| &c.timeout_ratio,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ReplicatedSweep {
+        ReplicatedSweep::run(
+            &[Protocol::Udp, Protocol::Reno],
+            &[5],
+            SimDuration::from_secs(3),
+            &[1, 2, 3],
+        )
+    }
+
+    #[test]
+    fn replications_fill_every_cell() {
+        let s = tiny();
+        assert_eq!(s.replications(), 3);
+        assert_eq!(s.cells.len(), 2);
+        for c in &s.cells {
+            assert_eq!(c.cov.count(), 3);
+            assert_eq!(c.delivered.count(), 3);
+        }
+    }
+
+    #[test]
+    fn seeds_actually_vary_the_outcome() {
+        let s = tiny();
+        let udp = s.cell(Protocol::Udp, 5).unwrap();
+        // Three different seeds: the sample variance cannot be exactly 0.
+        assert!(udp.delivered.sample_variance() > 0.0);
+    }
+
+    #[test]
+    fn tables_render_mean_and_ci() {
+        let s = tiny();
+        let t = s.fig2_cov_table();
+        assert!(t.contains("replications"));
+        assert!(t.contains('±'));
+        assert!(s.fig3_throughput_table().contains("Figure 3"));
+        assert!(s.fig4_loss_table().contains("Figure 4"));
+        assert!(s.fig13_ratio_table().contains("Figure 13"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one seed")]
+    fn empty_seed_list_panics() {
+        ReplicatedSweep::run(&[Protocol::Udp], &[2], SimDuration::from_secs(1), &[]);
+    }
+}

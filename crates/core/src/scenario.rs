@@ -1,0 +1,489 @@
+//! One simulation run: build the dumbbell, attach endpoints and sources,
+//! drive the event loop, collect the report.
+
+use tcpburst_des::{Scheduler, SimRng, SimTime};
+use tcpburst_net::{Delivered, Dumbbell, NetEvent, FlowId, Packet, PacketKind};
+use tcpburst_stats::{jain_fairness, poisson_cov, BinnedCounter};
+use tcpburst_traffic::{ArrivalProcess, CbrSource, ParetoOnOffSource, PoissonSource};
+use tcpburst_transport::{
+    TcpReceiver, TcpSender, TimerKind, TransportEvent, UdpSender, UdpSink,
+};
+
+use crate::config::{ScenarioConfig, SourceKind, TransportKind};
+use crate::event::Event;
+use crate::report::{FlowReport, ScenarioReport};
+use crate::trace::{EventLog, TraceKind};
+
+/// The client-side transport endpoint of one flow.
+#[derive(Debug)]
+enum ClientEndpoint {
+    Tcp(Box<TcpSender>),
+    Udp(UdpSender),
+}
+
+/// The server-side transport endpoint of one flow.
+#[derive(Debug)]
+enum ServerEndpoint {
+    Tcp(Box<TcpReceiver>),
+    Udp(UdpSink),
+}
+
+/// A fully assembled simulation of the paper's Figure 1 network.
+///
+/// Most callers only need [`Scenario::run`]; the step-by-step API
+/// ([`Scenario::new`] + [`Scenario::run_to_completion`]) exists for tests
+/// and tools that want to inspect state mid-run.
+#[derive(Debug)]
+pub struct Scenario {
+    cfg: ScenarioConfig,
+    sched: Scheduler<Event>,
+    db: Dumbbell,
+    clients: Vec<ClientEndpoint>,
+    servers: Vec<ServerEndpoint>,
+    sources: Vec<Box<dyn ArrivalProcess>>,
+    probe: BinnedCounter,
+    /// Scratch buffer for packets produced by endpoint handlers.
+    outbox: Vec<Packet>,
+    generated: u64,
+    event_log: Option<EventLog>,
+}
+
+impl Scenario {
+    /// Builds the scenario (topology, endpoints, sources) without running
+    /// it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is inconsistent (zero clients, invalid
+    /// TCP or RED parameters).
+    pub fn new(cfg: &ScenarioConfig) -> Self {
+        let db = Dumbbell::build(&cfg.dumbbell_config());
+        let mut clients = Vec::with_capacity(cfg.num_clients);
+        let mut servers = Vec::with_capacity(cfg.num_clients);
+        let mut sources: Vec<Box<dyn ArrivalProcess>> = Vec::with_capacity(cfg.num_clients);
+
+        for i in 0..cfg.num_clients {
+            let flow = FlowId(i as u32);
+            let client_node = db.clients[i];
+            match cfg.transport {
+                TransportKind::Tcp(_) => {
+                    let tcp = cfg.tcp_config();
+                    clients.push(ClientEndpoint::Tcp(Box::new(TcpSender::new(
+                        tcp,
+                        flow,
+                        client_node,
+                        db.server,
+                    ))));
+                    servers.push(ServerEndpoint::Tcp(Box::new(TcpReceiver::new(
+                        tcp,
+                        flow,
+                        db.server,
+                        client_node,
+                    ))));
+                }
+                TransportKind::Udp => {
+                    clients.push(ClientEndpoint::Udp(UdpSender::new(
+                        flow,
+                        client_node,
+                        db.server,
+                        cfg.params.packet_bytes,
+                    )));
+                    servers.push(ServerEndpoint::Udp(UdpSink::new()));
+                }
+            }
+            let stream = SimRng::derive(cfg.seed, i as u64);
+            sources.push(match cfg.source {
+                SourceKind::Poisson { rate } => Box::new(PoissonSource::new(rate, stream)),
+                SourceKind::Cbr { rate } => Box::new(CbrSource::from_rate(rate)),
+                SourceKind::ParetoOnOff(pcfg) => {
+                    Box::new(ParetoOnOffSource::new(pcfg, stream))
+                }
+            });
+        }
+
+        let probe = BinnedCounter::starting_at(SimTime::ZERO + cfg.warmup, cfg.cov_bin_width());
+
+        let mut scenario = Scenario {
+            cfg: *cfg,
+            sched: Scheduler::new(),
+            db,
+            clients,
+            servers,
+            sources,
+            probe,
+            outbox: Vec::with_capacity(64),
+            generated: 0,
+            event_log: cfg
+                .trace_events
+                .then(|| EventLog::with_capacity(ScenarioConfig::EVENT_LOG_CAP)),
+        };
+        // Prime every client's first generation event.
+        for i in 0..scenario.cfg.num_clients {
+            let gap = scenario.sources[i].next_gap();
+            scenario
+                .sched
+                .schedule_after(gap, Event::Generate { client: i as u32 });
+        }
+        scenario
+    }
+
+    /// Builds and runs the scenario to its configured duration.
+    pub fn run(cfg: &ScenarioConfig) -> ScenarioReport {
+        let mut s = Scenario::new(cfg);
+        s.run_to_completion();
+        s.into_report()
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.sched.now()
+    }
+
+    /// Drives the event loop until the configured duration.
+    pub fn run_to_completion(&mut self) {
+        let horizon = SimTime::ZERO + self.cfg.duration;
+        while let Some((_, event)) = self.sched.pop_until(horizon) {
+            self.dispatch(event);
+        }
+    }
+
+    fn dispatch(&mut self, event: Event) {
+        match event {
+            Event::Generate { client } => self.on_generate(client),
+            Event::Net(NetEvent::TxComplete { link }) => {
+                self.db.network.on_tx_complete(link, &mut self.sched);
+            }
+            Event::Net(NetEvent::Delivery { link, packet }) => {
+                // The paper's probe: data packets arriving at the gateway,
+                // counted per round-trip propagation delay.
+                if self.db.network.link(link).to() == self.db.gateway && packet.kind.is_data() {
+                    self.probe.record(self.sched.now());
+                }
+                let flow = packet.flow;
+                match self.db.network.on_delivery(link, packet, &mut self.sched) {
+                    Delivered::ToHost { node, packet } => {
+                        self.on_host_delivery(node == self.db.server, packet);
+                    }
+                    Delivered::Forwarded { via, outcome, .. } => {
+                        if outcome.is_drop() && via == self.db.bottleneck {
+                            if let Some(log) = self.event_log.as_mut() {
+                                let early =
+                                    outcome != tcpburst_net::EnqueueOutcome::DroppedFull;
+                                log.record(
+                                    self.sched.now(),
+                                    TraceKind::GatewayDrop { flow, early },
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+            Event::Transport(ev) => self.on_transport_timer(ev),
+        }
+    }
+
+    fn on_generate(&mut self, client: u32) {
+        let idx = client as usize;
+        let now = self.sched.now();
+        self.generated += 1;
+        match &mut self.clients[idx] {
+            ClientEndpoint::Tcp(tcp) => {
+                tcp.on_app_packets(1, &mut self.sched, &mut self.outbox);
+            }
+            ClientEndpoint::Udp(udp) => {
+                let pkt = udp.on_app_packet(now);
+                self.outbox.push(pkt);
+            }
+        }
+        self.flush_outbox();
+        let gap = self.sources[idx].next_gap();
+        self.sched.schedule_after(gap, Event::Generate { client });
+    }
+
+    fn on_host_delivery(&mut self, at_server: bool, packet: Packet) {
+        let idx = packet.flow.0 as usize;
+        if at_server {
+            match (&mut self.servers[idx], packet.kind) {
+                (ServerEndpoint::Tcp(rx), PacketKind::TcpData { .. }) => {
+                    rx.on_data(&packet, &mut self.sched, &mut self.outbox);
+                }
+                (ServerEndpoint::Udp(sink), PacketKind::Datagram) => {
+                    let now = self.sched.now();
+                    sink.on_packet(&packet, now);
+                }
+                (endpoint, kind) => {
+                    unreachable!("server {endpoint:?} received unexpected {kind:?}")
+                }
+            }
+        } else {
+            match (&mut self.clients[idx], packet.kind) {
+                (ClientEndpoint::Tcp(tx), PacketKind::TcpAck { ack, ece, sack }) => {
+                    let before = tx.counters();
+                    tx.on_ack(ack, ece, sack, &mut self.sched, &mut self.outbox);
+                    if let Some(log) = self.event_log.as_mut() {
+                        let after = tx.counters();
+                        let now = self.sched.now();
+                        if after.fast_retransmits > before.fast_retransmits {
+                            log.record(now, TraceKind::FastRetransmit { flow: packet.flow });
+                        }
+                        if after.ecn_window_cuts > before.ecn_window_cuts {
+                            log.record(now, TraceKind::EcnCut { flow: packet.flow });
+                        }
+                    }
+                }
+                (endpoint, kind) => {
+                    unreachable!("client {endpoint:?} received unexpected {kind:?}")
+                }
+            }
+        }
+        self.flush_outbox();
+    }
+
+    fn on_transport_timer(&mut self, ev: TransportEvent) {
+        let idx = ev.flow.0 as usize;
+        match ev.kind {
+            TimerKind::Rto => {
+                if let ClientEndpoint::Tcp(tx) = &mut self.clients[idx] {
+                    let before = tx.counters().timeouts;
+                    tx.on_timer(ev.kind, ev.generation, &mut self.sched, &mut self.outbox);
+                    if tx.counters().timeouts > before {
+                        if let Some(log) = self.event_log.as_mut() {
+                            log.record(self.sched.now(), TraceKind::Timeout { flow: ev.flow });
+                        }
+                    }
+                }
+            }
+            TimerKind::DelAck => {
+                if let ServerEndpoint::Tcp(rx) = &mut self.servers[idx] {
+                    let now = self.sched.now();
+                    rx.on_timer(ev.kind, ev.generation, now, &mut self.outbox);
+                }
+            }
+        }
+        self.flush_outbox();
+    }
+
+    fn flush_outbox(&mut self) {
+        // FIFO: a burst of segments must hit the wire in sequence order.
+        let mut pkts = std::mem::take(&mut self.outbox);
+        for pkt in pkts.drain(..) {
+            self.db.network.inject(pkt, &mut self.sched);
+        }
+        self.outbox = pkts; // keep the allocation
+    }
+
+    /// Collects the final report (consumes the scenario).
+    pub fn into_report(self) -> ScenarioReport {
+        let cfg = self.cfg;
+        let end = SimTime::ZERO + cfg.duration;
+        let bins = self.probe.finish(end);
+        let cov = bins.cov();
+        let measured_window = cfg.duration - cfg.warmup;
+        let pcov = poisson_cov(
+            cfg.source.mean_rate(),
+            cfg.cov_bin_width().as_secs_f64(),
+            cfg.num_clients,
+        );
+
+        let mut flows = Vec::with_capacity(cfg.num_clients);
+        for (client, server) in self.clients.iter().zip(&self.servers) {
+            let (sent, counters, trace) = match client {
+                ClientEndpoint::Tcp(tx) => (
+                    tx.counters().data_packets_sent,
+                    Some(tx.counters()),
+                    cfg.trace_cwnd.then(|| tx.cwnd_trace().clone()),
+                ),
+                ClientEndpoint::Udp(udp) => (udp.packets_sent(), None, None),
+            };
+            let (delivered, mean_delay_secs) = match server {
+                ServerEndpoint::Tcp(rx) => (rx.counters().delivered, rx.delay_stats().mean()),
+                ServerEndpoint::Udp(sink) => (sink.delivered(), sink.mean_delay_secs()),
+            };
+            flows.push(FlowReport {
+                packets_sent: sent,
+                delivered,
+                mean_delay_secs,
+                tcp: counters,
+                cwnd_trace: trace,
+            });
+        }
+
+        let bottleneck_link = self.db.network.link(self.db.bottleneck);
+        let bottleneck_queue = bottleneck_link.queue().stats();
+        let avg_queue_len = bottleneck_link
+            .queue()
+            .occupancy()
+            .average(end, bottleneck_link.queue().len());
+        let delivered_packets: u64 = flows.iter().map(|f| f.delivered).sum();
+        let goodputs: Vec<f64> = flows.iter().map(|f| f.delivered as f64).collect();
+
+        let mut tcp_totals = tcpburst_transport::TcpCounters::default();
+        for f in &flows {
+            if let Some(c) = &f.tcp {
+                tcp_totals.merge(c);
+            }
+        }
+
+        let mean_delay_secs = if delivered_packets == 0 {
+            0.0
+        } else {
+            flows
+                .iter()
+                .map(|f| f.mean_delay_secs * f.delivered as f64)
+                .sum::<f64>()
+                / delivered_packets as f64
+        };
+        ScenarioReport {
+            cov,
+            poisson_cov: pcov,
+            bins,
+            generated_packets: self.generated,
+            delivered_packets,
+            loss_percent: bottleneck_queue.loss_fraction() * 100.0,
+            bottleneck_queue,
+            avg_queue_len,
+            mean_delay_secs,
+            fairness: jain_fairness(&goodputs),
+            tcp_totals,
+            flows,
+            duration_secs: measured_window.as_secs_f64(),
+            events_processed: self.sched.processed(),
+            event_log: self.event_log,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Protocol;
+    use tcpburst_des::SimDuration;
+
+    fn quick(protocol: Protocol, clients: usize, secs: u64) -> ScenarioReport {
+        let mut cfg = ScenarioConfig::paper(clients, protocol);
+        cfg.duration = SimDuration::from_secs(secs);
+        Scenario::run(&cfg)
+    }
+
+    #[test]
+    fn udp_delivers_everything_when_uncongested() {
+        let r = quick(Protocol::Udp, 5, 20);
+        // 5 clients * 10 pkt/s * 20 s = ~1000 generated; all fit in 3 Mbps.
+        assert!(r.generated_packets > 800);
+        assert_eq!(r.bottleneck_queue.drops_total(), 0);
+        assert_eq!(r.loss_percent, 0.0);
+        // Everything generated early enough arrives (tail still in flight).
+        assert!(r.delivered_packets as f64 >= 0.98 * r.generated_packets as f64);
+    }
+
+    #[test]
+    fn udp_cov_tracks_poisson_reference() {
+        let r = quick(Protocol::Udp, 20, 60);
+        let rel = (r.cov - r.poisson_cov).abs() / r.poisson_cov;
+        assert!(
+            rel < 0.15,
+            "UDP c.o.v. {} vs Poisson {} (rel {:.2})",
+            r.cov,
+            r.poisson_cov,
+            rel
+        );
+    }
+
+    #[test]
+    fn reno_uncongested_delivers_cleanly() {
+        let r = quick(Protocol::Reno, 5, 20);
+        assert!(r.delivered_packets as f64 >= 0.95 * r.generated_packets as f64);
+        assert_eq!(r.tcp_totals.timeouts, 0, "no congestion, no timeouts");
+        assert!(r.fairness > 0.95);
+    }
+
+    #[test]
+    fn reno_heavily_congested_saturates_and_drops() {
+        let r = quick(Protocol::Reno, 50, 30);
+        // Offered 5000 pkt/s >> capacity 4166.7 pkt/s.
+        assert!(r.loss_percent > 0.5, "loss {}%", r.loss_percent);
+        assert!(r.tcp_totals.timeouts + r.tcp_totals.fast_retransmits > 0);
+        // Delivered bounded by the bottleneck capacity.
+        let cap = 4166.7 * 30.0;
+        assert!(r.delivered_packets as f64 <= cap * 1.05);
+        assert!(
+            r.delivered_packets as f64 >= cap * 0.5,
+            "delivered {} should approach capacity {}",
+            r.delivered_packets,
+            cap
+        );
+    }
+
+    #[test]
+    fn reno_congested_is_burstier_than_poisson() {
+        let r = quick(Protocol::Reno, 45, 40);
+        assert!(
+            r.cov > 1.5 * r.poisson_cov,
+            "Reno c.o.v. {} should exceed Poisson {}",
+            r.cov,
+            r.poisson_cov
+        );
+    }
+
+    #[test]
+    fn vegas_smoother_than_reno_under_congestion() {
+        let reno = quick(Protocol::Reno, 45, 40);
+        let vegas = quick(Protocol::Vegas, 45, 40);
+        assert!(
+            vegas.cov < reno.cov,
+            "Vegas c.o.v. {} should be below Reno {}",
+            vegas.cov,
+            reno.cov
+        );
+    }
+
+    #[test]
+    fn same_seed_reproduces_identically() {
+        let a = quick(Protocol::Reno, 10, 10);
+        let b = quick(Protocol::Reno, 10, 10);
+        assert_eq!(a.cov, b.cov);
+        assert_eq!(a.delivered_packets, b.delivered_packets);
+        assert_eq!(a.events_processed, b.events_processed);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut cfg = ScenarioConfig::paper(10, Protocol::Reno);
+        cfg.duration = SimDuration::from_secs(10);
+        let a = Scenario::run(&cfg);
+        cfg.seed = 99;
+        let b = Scenario::run(&cfg);
+        assert_ne!(a.generated_packets, b.generated_packets);
+    }
+
+    #[test]
+    fn cwnd_traces_recorded_when_requested() {
+        let mut cfg = ScenarioConfig::paper(3, Protocol::Reno);
+        cfg.duration = SimDuration::from_secs(5);
+        cfg.trace_cwnd = true;
+        let r = Scenario::run(&cfg);
+        assert_eq!(r.flows.len(), 3);
+        for f in &r.flows {
+            let trace = f.cwnd_trace.as_ref().expect("trace requested");
+            assert!(!trace.is_empty());
+        }
+    }
+
+    #[test]
+    fn red_gateway_drops_early() {
+        let r = quick(Protocol::RenoRed, 50, 30);
+        assert!(
+            r.bottleneck_queue.drops_early + r.bottleneck_queue.drops_forced > 0,
+            "RED should be dropping probabilistically under overload"
+        );
+    }
+
+    #[test]
+    fn report_accounting_is_internally_consistent() {
+        let r = quick(Protocol::Reno, 20, 20);
+        let per_flow_delivered: u64 = r.flows.iter().map(|f| f.delivered).sum();
+        assert_eq!(per_flow_delivered, r.delivered_packets);
+        assert!(r.tcp_totals.data_packets_sent >= r.delivered_packets);
+        assert!(r.events_processed > 0);
+    }
+}

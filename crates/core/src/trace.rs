@@ -1,0 +1,215 @@
+//! Structured event tracing: a timeline of the discrete happenings the
+//! paper's analysis reasons about (gateway drops, timeouts, fast
+//! retransmissions, ECN window cuts).
+//!
+//! The paper's central mechanism is *synchronization*: many streams losing
+//! packets in the same instant and backing off together. Counters alone
+//! cannot show that; the event log preserves the timing so tools (the
+//! `timeline` example, tests) can look at co-occurrence directly.
+
+use tcpburst_des::{SimDuration, SimTime};
+use tcpburst_net::FlowId;
+
+/// One traced happening.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceKind {
+    /// The gateway's bottleneck queue dropped a packet of `flow`.
+    GatewayDrop {
+        /// The losing flow.
+        flow: FlowId,
+        /// True for RED early/forced drops, false for buffer overflow.
+        early: bool,
+    },
+    /// `flow`'s retransmission timer expired.
+    Timeout {
+        /// The stalling flow.
+        flow: FlowId,
+    },
+    /// `flow` retransmitted on duplicate ACKs.
+    FastRetransmit {
+        /// The recovering flow.
+        flow: FlowId,
+    },
+    /// `flow` halved its window on an ECN echo.
+    EcnCut {
+        /// The reacting flow.
+        flow: FlowId,
+    },
+}
+
+impl TraceKind {
+    /// The flow the event belongs to.
+    pub fn flow(&self) -> FlowId {
+        match *self {
+            TraceKind::GatewayDrop { flow, .. }
+            | TraceKind::Timeout { flow }
+            | TraceKind::FastRetransmit { flow }
+            | TraceKind::EcnCut { flow } => flow,
+        }
+    }
+}
+
+/// A timestamped [`TraceKind`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceEvent {
+    /// When it happened.
+    pub time: SimTime,
+    /// What happened.
+    pub kind: TraceKind,
+}
+
+/// A bounded, append-only event log.
+///
+/// Recording stops silently at the capacity (the count of suppressed events
+/// is kept) so a pathological run cannot exhaust memory.
+#[derive(Debug, Clone, Default)]
+pub struct EventLog {
+    events: Vec<TraceEvent>,
+    capacity: usize,
+    suppressed: u64,
+}
+
+impl EventLog {
+    /// Creates a log holding at most `capacity` events.
+    pub fn with_capacity(capacity: usize) -> Self {
+        EventLog {
+            events: Vec::new(),
+            capacity,
+            suppressed: 0,
+        }
+    }
+
+    /// Appends an event (or counts it as suppressed past the cap).
+    pub fn record(&mut self, time: SimTime, kind: TraceKind) {
+        if self.events.len() < self.capacity {
+            self.events.push(TraceEvent { time, kind });
+        } else {
+            self.suppressed += 1;
+        }
+    }
+
+    /// The recorded events, in time order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events that arrived after the log filled up.
+    pub fn suppressed(&self) -> u64 {
+        self.suppressed
+    }
+
+    /// Counts events matching `pred` in consecutive bins of `bin` width over
+    /// `[0, end)`.
+    pub fn binned_counts<F: Fn(&TraceKind) -> bool>(
+        &self,
+        bin: SimDuration,
+        end: SimTime,
+        pred: F,
+    ) -> Vec<u64> {
+        assert!(!bin.is_zero(), "bin width must be positive");
+        let n = end.saturating_since(SimTime::ZERO) / bin;
+        let mut out = vec![0u64; n as usize];
+        for ev in &self.events {
+            if !pred(&ev.kind) {
+                continue;
+            }
+            let idx = ev.time.saturating_since(SimTime::ZERO) / bin;
+            if (idx as usize) < out.len() {
+                out[idx as usize] += 1;
+            }
+        }
+        out
+    }
+
+    /// How many *distinct flows* take a loss-response event (timeout or fast
+    /// retransmit) within each window of `bin` — the paper's
+    /// synchronization signal: values near the flow count mean the streams
+    /// are cutting together.
+    pub fn loss_response_synchrony(&self, bin: SimDuration, end: SimTime) -> Vec<usize> {
+        assert!(!bin.is_zero(), "bin width must be positive");
+        let n = end.saturating_since(SimTime::ZERO) / bin;
+        let mut flows: Vec<std::collections::BTreeSet<FlowId>> =
+            vec![std::collections::BTreeSet::new(); n as usize];
+        for ev in &self.events {
+            let responding = matches!(
+                ev.kind,
+                TraceKind::Timeout { .. } | TraceKind::FastRetransmit { .. }
+            );
+            if !responding {
+                continue;
+            }
+            let idx = ev.time.saturating_since(SimTime::ZERO) / bin;
+            if (idx as usize) < flows.len() {
+                flows[idx as usize].insert(ev.kind.flow());
+            }
+        }
+        flows.into_iter().map(|s| s.len()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn at(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    #[test]
+    fn records_in_order_up_to_capacity() {
+        let mut log = EventLog::with_capacity(2);
+        log.record(at(1), TraceKind::Timeout { flow: FlowId(0) });
+        log.record(at(2), TraceKind::Timeout { flow: FlowId(1) });
+        log.record(at(3), TraceKind::Timeout { flow: FlowId(2) });
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.suppressed(), 1);
+        assert_eq!(log.events()[0].time, at(1));
+    }
+
+    #[test]
+    fn binned_counts_filter_and_bin() {
+        let mut log = EventLog::with_capacity(100);
+        log.record(at(5), TraceKind::GatewayDrop { flow: FlowId(0), early: false });
+        log.record(at(15), TraceKind::Timeout { flow: FlowId(0) });
+        log.record(at(16), TraceKind::GatewayDrop { flow: FlowId(1), early: true });
+        let drops = log.binned_counts(SimDuration::from_millis(10), at(30), |k| {
+            matches!(k, TraceKind::GatewayDrop { .. })
+        });
+        assert_eq!(drops, vec![1, 1, 0]);
+        let timeouts = log.binned_counts(SimDuration::from_millis(10), at(30), |k| {
+            matches!(k, TraceKind::Timeout { .. })
+        });
+        assert_eq!(timeouts, vec![0, 1, 0]);
+    }
+
+    #[test]
+    fn synchrony_counts_distinct_flows_only() {
+        let mut log = EventLog::with_capacity(100);
+        // Three responses from two flows in the first window.
+        log.record(at(1), TraceKind::Timeout { flow: FlowId(0) });
+        log.record(at(2), TraceKind::FastRetransmit { flow: FlowId(1) });
+        log.record(at(3), TraceKind::Timeout { flow: FlowId(0) });
+        // A drop is not a response event.
+        log.record(at(4), TraceKind::GatewayDrop { flow: FlowId(5), early: false });
+        let sync = log.loss_response_synchrony(SimDuration::from_millis(10), at(20));
+        assert_eq!(sync, vec![2, 0]);
+    }
+
+    #[test]
+    fn kind_exposes_flow() {
+        assert_eq!(
+            TraceKind::EcnCut { flow: FlowId(7) }.flow(),
+            FlowId(7)
+        );
+    }
+}

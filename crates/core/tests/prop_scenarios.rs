@@ -1,0 +1,84 @@
+//! Property tests of whole scenarios: arbitrary small configurations must
+//! run to completion with conserved accounting and physically sane metrics.
+
+use proptest::prelude::*;
+use tcpburst_core::{GatewayKind, Protocol, Scenario, ScenarioConfig};
+use tcpburst_des::SimDuration;
+
+fn protocols() -> impl Strategy<Value = Protocol> {
+    prop_oneof![
+        Just(Protocol::Udp),
+        Just(Protocol::Reno),
+        Just(Protocol::RenoRed),
+        Just(Protocol::Vegas),
+        Just(Protocol::VegasRed),
+        Just(Protocol::RenoDelayAck),
+        Just(Protocol::Tahoe),
+        Just(Protocol::NewReno),
+    ]
+}
+
+proptest! {
+    // Each case simulates a few seconds; keep the case count moderate.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn arbitrary_scenarios_run_and_conserve(
+        protocol in protocols(),
+        clients in 1usize..25,
+        secs in 2u64..6,
+        seed in any::<u64>(),
+        buffer in 2usize..100,
+        ecn in any::<bool>(),
+        adaptive in any::<bool>(),
+    ) {
+        let mut cfg = ScenarioConfig::paper(clients, protocol);
+        cfg.duration = SimDuration::from_secs(secs);
+        cfg.seed = seed;
+        cfg.params.gateway_buffer_pkts = buffer;
+        cfg.ecn = ecn;
+        if adaptive && cfg.gateway == GatewayKind::Red {
+            cfg.gateway = GatewayKind::AdaptiveRed;
+        }
+        let r = Scenario::run(&cfg);
+
+        // Conservation at the bottleneck.
+        let q = r.bottleneck_queue;
+        prop_assert!(q.departures + q.drops_total() <= q.arrivals);
+
+        // Goodput bounded by generation and by wire transmissions.
+        prop_assert!(r.delivered_packets <= r.generated_packets);
+        for f in &r.flows {
+            prop_assert!(f.delivered <= f.packets_sent);
+            prop_assert!(f.mean_delay_secs >= 0.0);
+        }
+
+        // Metrics are finite and physical.
+        prop_assert!(r.cov.is_finite() && r.cov >= 0.0);
+        prop_assert!(r.poisson_cov > 0.0);
+        prop_assert!((0.0..=100.0).contains(&r.loss_percent));
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&r.fairness));
+        prop_assert!(r.avg_queue_len >= 0.0);
+        prop_assert!(r.avg_queue_len <= buffer as f64 + 1e-9);
+
+        // Flow count matches the configuration.
+        prop_assert_eq!(r.flows.len(), clients);
+    }
+
+    /// Determinism as a property: any configuration replays identically.
+    #[test]
+    fn any_configuration_is_deterministic(
+        protocol in protocols(),
+        clients in 1usize..15,
+        seed in any::<u64>(),
+    ) {
+        let mut cfg = ScenarioConfig::paper(clients, protocol);
+        cfg.duration = SimDuration::from_secs(3);
+        cfg.seed = seed;
+        let a = Scenario::run(&cfg);
+        let b = Scenario::run(&cfg);
+        prop_assert_eq!(a.events_processed, b.events_processed);
+        prop_assert_eq!(a.delivered_packets, b.delivered_packets);
+        prop_assert_eq!(a.cov.to_bits(), b.cov.to_bits());
+    }
+}

@@ -1,0 +1,249 @@
+//! Seeded, reproducible randomness with the distributions the traffic and
+//! queue models need.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// A deterministic random-number source for one simulation run.
+///
+/// Wraps a seeded [`StdRng`] and adds inverse-transform samplers for the
+/// exponential and Pareto distributions (implemented here rather than pulled
+/// from `rand_distr` to keep the dependency footprint minimal and the
+/// sampling algorithm pinned).
+///
+/// # Example
+///
+/// ```
+/// use rand::RngCore;
+/// use tcpburst_des::SimRng;
+///
+/// let mut a = SimRng::seed_from_u64(42);
+/// let mut b = SimRng::seed_from_u64(42);
+/// assert_eq!(a.next_u64(), b.next_u64()); // same seed, same stream
+///
+/// let x = a.exponential(10.0); // mean 1/10 s
+/// assert!(x >= 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    inner: StdRng,
+}
+
+impl SimRng {
+    /// Creates an RNG from a 64-bit seed.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        SimRng {
+            inner: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Derives an independent child stream, e.g. one per traffic source.
+    ///
+    /// Mixes `stream` into the parent seed with SplitMix64 so sibling streams
+    /// are decorrelated even for adjacent indices.
+    pub fn derive(seed: u64, stream: u64) -> Self {
+        SimRng::seed_from_u64(splitmix64(seed ^ splitmix64(stream)))
+    }
+
+    /// A uniform draw in `[0, 1)`.
+    pub fn uniform(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// A uniform draw in `[low, high)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `low >= high`.
+    pub fn uniform_range(&mut self, low: f64, high: f64) -> f64 {
+        assert!(low < high, "empty range [{low}, {high})");
+        low + (high - low) * self.uniform()
+    }
+
+    /// An exponential draw with rate `lambda` (mean `1/lambda`), via inverse
+    /// transform: `-ln(1-U)/lambda`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lambda` is not strictly positive and finite.
+    pub fn exponential(&mut self, lambda: f64) -> f64 {
+        assert!(
+            lambda > 0.0 && lambda.is_finite(),
+            "exponential rate must be positive and finite, got {lambda}"
+        );
+        let u = self.uniform();
+        -(-u).ln_1p() / lambda // -ln(1-u)/lambda, stable for u near 0
+    }
+
+    /// A Pareto draw with scale `xm` and shape `alpha`:
+    /// `xm * (1-U)^(-1/alpha)`, supported on `[xm, inf)`.
+    ///
+    /// Heavy-tailed for `alpha <= 2` (infinite variance), the regime the
+    /// self-similarity literature uses for ON/OFF sources.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xm` or `alpha` is not strictly positive and finite.
+    pub fn pareto(&mut self, xm: f64, alpha: f64) -> f64 {
+        assert!(
+            xm > 0.0 && xm.is_finite(),
+            "pareto scale must be positive and finite, got {xm}"
+        );
+        assert!(
+            alpha > 0.0 && alpha.is_finite(),
+            "pareto shape must be positive and finite, got {alpha}"
+        );
+        let u = self.uniform();
+        xm * (1.0 - u).powf(-1.0 / alpha)
+    }
+
+    /// A Bernoulli draw: `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.uniform() < p
+    }
+
+    /// A uniform integer draw in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below(0) is an empty range");
+        self.inner.gen_range(0..n)
+    }
+}
+
+impl RngCore for SimRng {
+    fn next_u32(&mut self) -> u32 {
+        self.inner.next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.inner.fill_bytes(dest)
+    }
+
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
+        self.inner.try_fill_bytes(dest)
+    }
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::SimRng;
+    use proptest::prelude::{any, prop_assert, proptest};
+    use rand::RngCore;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::seed_from_u64(7);
+        let mut b = SimRng::seed_from_u64(7);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn derived_streams_differ() {
+        let mut a = SimRng::derive(7, 0);
+        let mut b = SimRng::derive(7, 1);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn exponential_mean_close_to_inverse_rate() {
+        let mut rng = SimRng::seed_from_u64(1);
+        let lambda = 10.0;
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| rng.exponential(lambda)).sum::<f64>() / n as f64;
+        let expect = 1.0 / lambda;
+        assert!(
+            (mean - expect).abs() < 0.02 * expect,
+            "mean {mean} vs {expect}"
+        );
+    }
+
+    #[test]
+    fn exponential_is_memoryless_in_distribution() {
+        // P(X > s+t | X > s) = P(X > t): compare tail fractions.
+        let mut rng = SimRng::seed_from_u64(2);
+        let xs: Vec<f64> = (0..200_000).map(|_| rng.exponential(1.0)).collect();
+        let tail = |t: f64| xs.iter().filter(|&&x| x > t).count() as f64 / xs.len() as f64;
+        let cond = xs.iter().filter(|&&x| x > 1.0).count() as f64;
+        let cond_tail = xs.iter().filter(|&&x| x > 2.0).count() as f64 / cond;
+        assert!((cond_tail - tail(1.0)).abs() < 0.02);
+    }
+
+    #[test]
+    fn pareto_respects_scale_floor() {
+        let mut rng = SimRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            assert!(rng.pareto(1.5, 1.2) >= 1.5);
+        }
+    }
+
+    #[test]
+    fn pareto_mean_matches_formula_for_finite_mean_shape() {
+        // E[X] = alpha*xm/(alpha-1) for alpha > 1.
+        let mut rng = SimRng::seed_from_u64(4);
+        let (xm, alpha) = (1.0, 2.5);
+        let n = 200_000;
+        let mean: f64 = (0..n).map(|_| rng.pareto(xm, alpha)).sum::<f64>() / n as f64;
+        let expect = alpha * xm / (alpha - 1.0);
+        assert!(
+            (mean - expect).abs() < 0.05 * expect,
+            "mean {mean} vs {expect}"
+        );
+    }
+
+    #[test]
+    fn chance_frequency_tracks_p() {
+        let mut rng = SimRng::seed_from_u64(5);
+        let hits = (0..100_000).filter(|_| rng.chance(0.3)).count();
+        assert!((hits as f64 / 100_000.0 - 0.3).abs() < 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "exponential rate")]
+    fn zero_rate_panics() {
+        SimRng::seed_from_u64(0).exponential(0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_uniform_in_unit_interval(seed in any::<u64>()) {
+            let mut rng = SimRng::seed_from_u64(seed);
+            for _ in 0..100 {
+                let u = rng.uniform();
+                prop_assert!((0.0..1.0).contains(&u));
+            }
+        }
+
+        #[test]
+        fn prop_exponential_nonnegative(seed in any::<u64>(), lambda in 0.001f64..1000.0) {
+            let mut rng = SimRng::seed_from_u64(seed);
+            for _ in 0..50 {
+                prop_assert!(rng.exponential(lambda) >= 0.0);
+            }
+        }
+
+        #[test]
+        fn prop_below_in_range(seed in any::<u64>(), n in 1u64..10_000) {
+            let mut rng = SimRng::seed_from_u64(seed);
+            for _ in 0..50 {
+                prop_assert!(rng.below(n) < n);
+            }
+        }
+    }
+}

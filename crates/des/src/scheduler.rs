@@ -1,0 +1,191 @@
+//! The virtual clock and simulation loop driver.
+
+use crate::queue::EventQueue;
+use crate::time::{SimDuration, SimTime};
+
+/// A discrete-event scheduler: a virtual clock plus a future-event list.
+///
+/// The scheduler owns *when* things happen; *what* happens is up to the
+/// caller, which pops events and dispatches them against its own state. This
+/// inversion keeps the engine free of borrow-checker gymnastics: simulation
+/// state lives in one place (the caller's world struct) and the scheduler is
+/// passed down by `&mut` wherever new events need to be spawned.
+///
+/// # Example
+///
+/// ```
+/// use tcpburst_des::{Scheduler, SimDuration, SimTime};
+///
+/// let mut sched = Scheduler::new();
+/// sched.schedule_after(SimDuration::from_secs(1), "tick");
+/// let mut ticks = 0;
+/// while let Some((_, ev)) = sched.pop() {
+///     assert_eq!(ev, "tick");
+///     ticks += 1;
+///     if ticks < 3 {
+///         sched.schedule_after(SimDuration::from_secs(1), "tick");
+///     }
+/// }
+/// assert_eq!(ticks, 3);
+/// assert_eq!(sched.now(), SimTime::from_secs(3));
+/// ```
+#[derive(Debug)]
+pub struct Scheduler<E> {
+    queue: EventQueue<E>,
+    now: SimTime,
+    processed: u64,
+}
+
+impl<E> Scheduler<E> {
+    /// Creates a scheduler with the clock at [`SimTime::ZERO`].
+    pub fn new() -> Self {
+        Scheduler {
+            queue: EventQueue::new(),
+            now: SimTime::ZERO,
+            processed: 0,
+        }
+    }
+
+    /// The current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `event` at the absolute instant `time`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is in the past (before [`Scheduler::now`]): the
+    /// simulated world cannot be causally rewritten.
+    pub fn schedule_at(&mut self, time: SimTime, event: E) {
+        assert!(
+            time >= self.now,
+            "cannot schedule into the past: now={}, requested={}",
+            self.now,
+            time
+        );
+        self.queue.push(time, event);
+    }
+
+    /// Schedules `event` to fire `delay` after the current time.
+    pub fn schedule_after(&mut self, delay: SimDuration, event: E) {
+        self.queue.push(self.now + delay, event);
+    }
+
+    /// Schedules `event` at the current instant (after all events already
+    /// queued for this instant).
+    pub fn schedule_now(&mut self, event: E) {
+        self.queue.push(self.now, event);
+    }
+
+    /// Removes the earliest event, advancing the clock to its timestamp.
+    ///
+    /// Returns `None` when no events remain; the clock stays where it was.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let (time, event) = self.queue.pop()?;
+        debug_assert!(time >= self.now, "event queue went backwards");
+        self.now = time;
+        self.processed += 1;
+        Some((time, event))
+    }
+
+    /// Like [`Scheduler::pop`], but refuses to advance past `horizon`.
+    ///
+    /// An event with `time > horizon` is left in the queue and the clock is
+    /// advanced to exactly `horizon`. Use this to end a run at a fixed
+    /// duration without draining stragglers.
+    pub fn pop_until(&mut self, horizon: SimTime) -> Option<(SimTime, E)> {
+        match self.queue.peek_time() {
+            Some(t) if t <= horizon => self.pop(),
+            _ => {
+                if self.now < horizon {
+                    self.now = horizon;
+                }
+                None
+            }
+        }
+    }
+
+    /// Number of events pending in the queue.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Number of events processed so far.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// The timestamp of the next pending event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.queue.peek_time()
+    }
+}
+
+impl<E> Default for Scheduler<E> {
+    fn default() -> Self {
+        Scheduler::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut s = Scheduler::new();
+        s.schedule_at(SimTime::from_millis(10), 1);
+        s.schedule_at(SimTime::from_millis(20), 2);
+        assert_eq!(s.now(), SimTime::ZERO);
+        s.pop();
+        assert_eq!(s.now(), SimTime::from_millis(10));
+        s.pop();
+        assert_eq!(s.now(), SimTime::from_millis(20));
+        assert_eq!(s.processed(), 2);
+    }
+
+    #[test]
+    fn schedule_after_is_relative_to_now() {
+        let mut s = Scheduler::new();
+        s.schedule_at(SimTime::from_millis(5), "first");
+        s.pop();
+        s.schedule_after(SimDuration::from_millis(3), "second");
+        let (t, _) = s.pop().unwrap();
+        assert_eq!(t, SimTime::from_millis(8));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule into the past")]
+    fn scheduling_into_past_panics() {
+        let mut s = Scheduler::new();
+        s.schedule_at(SimTime::from_millis(5), ());
+        s.pop();
+        s.schedule_at(SimTime::from_millis(1), ());
+    }
+
+    #[test]
+    fn pop_until_respects_horizon() {
+        let mut s = Scheduler::new();
+        s.schedule_at(SimTime::from_secs(1), "in");
+        s.schedule_at(SimTime::from_secs(10), "out");
+        let horizon = SimTime::from_secs(5);
+        assert_eq!(s.pop_until(horizon).map(|(_, e)| e), Some("in"));
+        assert_eq!(s.pop_until(horizon), None);
+        // Clock parked exactly at the horizon; the late event stays queued.
+        assert_eq!(s.now(), horizon);
+        assert_eq!(s.pending(), 1);
+    }
+
+    #[test]
+    fn schedule_now_runs_after_current_instant_events() {
+        let mut s = Scheduler::new();
+        s.schedule_at(SimTime::from_millis(1), "a");
+        s.schedule_at(SimTime::from_millis(1), "b");
+        let (_, first) = s.pop().unwrap();
+        assert_eq!(first, "a");
+        s.schedule_now("c");
+        assert_eq!(s.pop().map(|(_, e)| e), Some("b"));
+        assert_eq!(s.pop().map(|(_, e)| e), Some("c"));
+    }
+}

@@ -1,0 +1,135 @@
+//! Cancellable logical timers.
+//!
+//! A binary heap cannot delete arbitrary entries, so cancelling a scheduled
+//! timer is done lazily: every (re)arm bumps a generation counter, the
+//! generation is embedded in the scheduled event, and a firing whose
+//! generation no longer matches is simply ignored. [`TimerSlot`] packages
+//! that pattern.
+
+use crate::time::SimTime;
+
+/// An opaque token identifying one arming of a [`TimerSlot`].
+///
+/// Embed the token in the timer event you schedule; when the event pops, ask
+/// the slot whether that token is still live via [`TimerSlot::fires`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TimerGeneration(u64);
+
+/// One logical, re-armable, cancellable timer.
+///
+/// # Example
+///
+/// ```
+/// use tcpburst_des::{Scheduler, SimDuration, TimerGeneration, TimerSlot};
+///
+/// enum Ev { Timeout(TimerGeneration) }
+///
+/// let mut sched = Scheduler::new();
+/// let mut rto = TimerSlot::new();
+///
+/// // Arm, then re-arm before it fires: the first firing must be ignored.
+/// let g1 = rto.arm(sched.now() + SimDuration::from_millis(100));
+/// sched.schedule_after(SimDuration::from_millis(100), Ev::Timeout(g1));
+/// let g2 = rto.arm(sched.now() + SimDuration::from_millis(300));
+/// sched.schedule_after(SimDuration::from_millis(300), Ev::Timeout(g2));
+///
+/// let mut fired = 0;
+/// while let Some((_, Ev::Timeout(gen))) = sched.pop() {
+///     if rto.fires(gen) {
+///         rto.disarm();
+///         fired += 1;
+///     }
+/// }
+/// assert_eq!(fired, 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TimerSlot {
+    generation: u64,
+    deadline: Option<SimTime>,
+}
+
+impl TimerSlot {
+    /// Creates a disarmed timer.
+    pub fn new() -> Self {
+        TimerSlot::default()
+    }
+
+    /// Arms (or re-arms) the timer for `deadline`, invalidating any earlier
+    /// arming. Returns the token to embed in the scheduled event.
+    pub fn arm(&mut self, deadline: SimTime) -> TimerGeneration {
+        self.generation += 1;
+        self.deadline = Some(deadline);
+        TimerGeneration(self.generation)
+    }
+
+    /// Cancels the timer; any in-flight firing becomes stale.
+    pub fn disarm(&mut self) {
+        self.generation += 1;
+        self.deadline = None;
+    }
+
+    /// True if the timer is currently armed.
+    pub fn is_armed(&self) -> bool {
+        self.deadline.is_some()
+    }
+
+    /// The deadline of the current arming, if armed.
+    pub fn deadline(&self) -> Option<SimTime> {
+        self.deadline
+    }
+
+    /// True if a firing carrying `token` corresponds to the current arming
+    /// (i.e. the timer was not re-armed or cancelled since).
+    pub fn fires(&self, token: TimerGeneration) -> bool {
+        self.deadline.is_some() && token.0 == self.generation
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_slot_is_disarmed() {
+        let t = TimerSlot::new();
+        assert!(!t.is_armed());
+        assert_eq!(t.deadline(), None);
+    }
+
+    #[test]
+    fn arming_returns_live_token() {
+        let mut t = TimerSlot::new();
+        let g = t.arm(SimTime::from_secs(1));
+        assert!(t.is_armed());
+        assert_eq!(t.deadline(), Some(SimTime::from_secs(1)));
+        assert!(t.fires(g));
+    }
+
+    #[test]
+    fn rearm_invalidates_previous_token() {
+        let mut t = TimerSlot::new();
+        let g1 = t.arm(SimTime::from_secs(1));
+        let g2 = t.arm(SimTime::from_secs(2));
+        assert!(!t.fires(g1));
+        assert!(t.fires(g2));
+    }
+
+    #[test]
+    fn disarm_invalidates_token() {
+        let mut t = TimerSlot::new();
+        let g = t.arm(SimTime::from_secs(1));
+        t.disarm();
+        assert!(!t.fires(g));
+        assert!(!t.is_armed());
+    }
+
+    #[test]
+    fn stale_token_stays_stale_after_rearm() {
+        let mut t = TimerSlot::new();
+        let g1 = t.arm(SimTime::from_secs(1));
+        t.disarm();
+        let g2 = t.arm(SimTime::from_secs(3));
+        assert!(!t.fires(g1));
+        assert!(t.fires(g2));
+    }
+}

@@ -1,0 +1,37 @@
+//! Network substrate: packets, links, queues, routers and topologies.
+//!
+//! This crate models the data path of the paper's Figure 1 — `N` clients,
+//! one gateway, one server — at the same abstraction level as the *ns*
+//! simulator the original study used:
+//!
+//! * [`Packet`] — fixed-size data segments, ACKs and datagrams with
+//!   packet-granularity sequence numbers,
+//! * [`Queue`] implementations — [`DropTailQueue`] (FIFO) and [`RedQueue`]
+//!   (Floyd–Jacobson random early detection),
+//! * [`Link`] — simplex store-and-forward pipes with a serialization rate and
+//!   a propagation delay; a full-duplex cable is a pair of these,
+//! * [`Network`] — the arena of nodes and links plus static routing,
+//! * [`Dumbbell`] — the paper's client/gateway/server topology builder.
+//!
+//! The crate is purely mechanical: it moves packets and counts drops.
+//! Protocol behaviour lives in `tcpburst-transport`; instrumentation policy
+//! (what to probe, when) lives in `tcpburst-core`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod adaptive;
+mod link;
+mod network;
+mod packet;
+mod queue;
+mod topology;
+
+pub use adaptive::{AdaptiveRedParams, SelfConfiguringRed};
+pub use link::{Link, LinkStats};
+pub use network::{Delivered, NetEvent, Network};
+pub use packet::{Ecn, FlowId, LinkId, NodeId, Packet, PacketKind, SackBlocks, SeqNo};
+pub use queue::{
+    DropTailQueue, EnqueueOutcome, Occupancy, Queue, QueueStats, RedParams, RedQueue,
+};
+pub use topology::{Dumbbell, DumbbellConfig, QueueSpec};

@@ -1,0 +1,197 @@
+//! Simplex store-and-forward links.
+
+use tcpburst_des::{SimDuration, SimTime};
+
+use crate::packet::{NodeId, Packet};
+use crate::queue::Queue;
+
+/// Transmission accounting for one link.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LinkStats {
+    /// Packets fully serialized onto the wire.
+    pub packets_tx: u64,
+    /// Bytes fully serialized onto the wire.
+    pub bytes_tx: u64,
+}
+
+/// A one-directional link: a queue, a serialization rate and a propagation
+/// delay.
+///
+/// A packet leaving the queue occupies the transmitter for
+/// `size_bits / bandwidth` and arrives at the far end one propagation delay
+/// after serialization completes — the classic store-and-forward model. A
+/// full-duplex cable (as in the paper's topology) is modelled as two
+/// independent `Link`s, so ACKs never contend with data.
+#[derive(Debug)]
+pub struct Link {
+    from: NodeId,
+    to: NodeId,
+    bandwidth_bps: u64,
+    delay: SimDuration,
+    queue: Box<dyn Queue>,
+    busy: bool,
+    stats: LinkStats,
+}
+
+impl Link {
+    /// Creates a link from `from` to `to` with the given rate, propagation
+    /// delay and admission queue.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bandwidth_bps` is zero.
+    pub fn new(
+        from: NodeId,
+        to: NodeId,
+        bandwidth_bps: u64,
+        delay: SimDuration,
+        queue: Box<dyn Queue>,
+    ) -> Self {
+        assert!(bandwidth_bps > 0, "link bandwidth must be positive");
+        Link {
+            from,
+            to,
+            bandwidth_bps,
+            delay,
+            queue,
+            busy: false,
+            stats: LinkStats::default(),
+        }
+    }
+
+    /// The transmitting node.
+    pub fn from(&self) -> NodeId {
+        self.from
+    }
+
+    /// The receiving node.
+    pub fn to(&self) -> NodeId {
+        self.to
+    }
+
+    /// Serialization rate in bits per second.
+    pub fn bandwidth_bps(&self) -> u64 {
+        self.bandwidth_bps
+    }
+
+    /// One-way propagation delay.
+    pub fn delay(&self) -> SimDuration {
+        self.delay
+    }
+
+    /// Time to clock `bits` onto the wire at this link's rate.
+    pub fn tx_time(&self, bits: u64) -> SimDuration {
+        // ceil(bits * 1e9 / bandwidth) nanoseconds, in u128 to avoid overflow.
+        let ns = (u128::from(bits) * 1_000_000_000u128).div_ceil(u128::from(self.bandwidth_bps));
+        SimDuration::from_nanos(ns.min(u128::from(u64::MAX)) as u64)
+    }
+
+    /// The admission queue.
+    pub fn queue(&self) -> &dyn Queue {
+        self.queue.as_ref()
+    }
+
+    /// The admission queue, mutably.
+    pub fn queue_mut(&mut self) -> &mut dyn Queue {
+        self.queue.as_mut()
+    }
+
+    /// True while a packet is being serialized.
+    pub fn is_busy(&self) -> bool {
+        self.busy
+    }
+
+    /// Marks the transmitter busy/idle (managed by [`Network`](crate::Network)).
+    pub(crate) fn set_busy(&mut self, busy: bool) {
+        self.busy = busy;
+    }
+
+    pub(crate) fn note_tx(&mut self, pkt: &Packet) {
+        self.stats.packets_tx += 1;
+        self.stats.bytes_tx += u64::from(pkt.size_bytes);
+    }
+
+    /// Transmission counters.
+    pub fn stats(&self) -> LinkStats {
+        self.stats
+    }
+
+    /// Completion and delivery instants for a packet whose serialization
+    /// starts at `now`: `(tx_complete, delivery)`.
+    pub fn schedule_times(&self, pkt: &Packet, now: SimTime) -> (SimTime, SimTime) {
+        let done = now + self.tx_time(pkt.size_bits());
+        (done, done + self.delay)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{Ecn, FlowId, PacketKind};
+    use crate::queue::DropTailQueue;
+
+    fn link(bps: u64, delay_ms: u64) -> Link {
+        Link::new(
+            NodeId(0),
+            NodeId(1),
+            bps,
+            SimDuration::from_millis(delay_ms),
+            Box::new(DropTailQueue::new(10)),
+        )
+    }
+
+    fn pkt(bytes: u32) -> Packet {
+        Packet {
+            flow: FlowId(0),
+            kind: PacketKind::Datagram,
+            size_bytes: bytes,
+            src: NodeId(0),
+            dst: NodeId(1),
+            created_at: SimTime::ZERO,
+            ecn: Ecn::default(),
+        }
+    }
+
+    #[test]
+    fn tx_time_matches_rate() {
+        let l = link(1_000_000, 0); // 1 Mbps
+        assert_eq!(l.tx_time(8_000), SimDuration::from_millis(8));
+        // 3 Mbps, 1000-byte packet: 8000/3e6 s = 2.666… ms, rounded up.
+        let bottleneck = link(3_000_000, 0);
+        let t = bottleneck.tx_time(8_000);
+        assert_eq!(t.as_nanos(), 2_666_667);
+    }
+
+    #[test]
+    fn schedule_times_add_propagation() {
+        let l = link(1_000_000, 20);
+        let (done, arrive) = l.schedule_times(&pkt(1000), SimTime::from_millis(5));
+        assert_eq!(done, SimTime::from_millis(13)); // 5 + 8 ms serialization
+        assert_eq!(arrive, SimTime::from_millis(33)); // + 20 ms propagation
+    }
+
+    #[test]
+    fn tx_time_handles_large_packets_without_overflow() {
+        // 10^12 bits at 1 kbps = 10^9 seconds, exactly representable.
+        let l = link(1_000, 0);
+        assert_eq!(l.tx_time(1_000_000_000_000), SimDuration::from_secs(1_000_000_000));
+        // Pathological sizes saturate instead of wrapping.
+        let slow = link(1, 0);
+        assert_eq!(slow.tx_time(u64::MAX), SimDuration::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth must be positive")]
+    fn zero_bandwidth_panics() {
+        link(0, 1);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut l = link(1_000_000, 0);
+        l.note_tx(&pkt(1000));
+        l.note_tx(&pkt(40));
+        assert_eq!(l.stats().packets_tx, 2);
+        assert_eq!(l.stats().bytes_tx, 1040);
+    }
+}

@@ -1,0 +1,456 @@
+//! The node/link arena, static routing, and packet forwarding.
+
+use std::collections::HashMap;
+
+use tcpburst_des::{Scheduler, SimDuration};
+
+use crate::link::Link;
+use crate::packet::{LinkId, NodeId, Packet};
+use crate::queue::{EnqueueOutcome, Queue};
+
+/// Events the network schedules on the simulation loop.
+///
+/// The driving loop (in `tcpburst-core`) embeds these in its own event enum
+/// via `From`; the network's methods are generic over that enum.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum NetEvent {
+    /// A link finished serializing its current packet and may start the next.
+    TxComplete {
+        /// The transmitting link.
+        link: LinkId,
+    },
+    /// A packet reached the far end of a link.
+    Delivery {
+        /// The link the packet travelled on.
+        link: LinkId,
+        /// The packet itself.
+        packet: Packet,
+    },
+}
+
+/// What became of a delivered packet.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Delivered {
+    /// The packet reached its destination host; hand it to the transport
+    /// layer.
+    ToHost {
+        /// The destination node.
+        node: NodeId,
+        /// The delivered packet.
+        packet: Packet,
+    },
+    /// The packet hit a router and was offered to the next hop's queue
+    /// (`outcome` says whether it was admitted or dropped there).
+    Forwarded {
+        /// The router that forwarded it.
+        node: NodeId,
+        /// The next-hop link it was offered to.
+        via: LinkId,
+        /// Queue admission result at the next hop.
+        outcome: EnqueueOutcome,
+    },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum NodeKind {
+    Host,
+    Router,
+}
+
+/// A static network: nodes, simplex links and per-node routing tables.
+///
+/// The network is deliberately mechanical — it admits packets to queues,
+/// serializes them onto links, propagates them, and forwards at routers.
+/// Everything protocol- or measurement-shaped lives above it.
+///
+/// # Example
+///
+/// ```
+/// use tcpburst_des::{Scheduler, SimDuration, SimTime};
+/// use tcpburst_net::{
+///     Delivered, DropTailQueue, FlowId, NetEvent, Network, Packet, PacketKind,
+/// };
+///
+/// let mut net = Network::new();
+/// let a = net.add_host();
+/// let b = net.add_host();
+/// let ab = net.add_link(a, b, 1_000_000, SimDuration::from_millis(10),
+///                       Box::new(DropTailQueue::new(10)));
+/// net.set_route(a, b, ab);
+///
+/// let mut sched: Scheduler<NetEvent> = Scheduler::new();
+/// let pkt = Packet { flow: FlowId(0), kind: PacketKind::Datagram, size_bytes: 1000,
+///                    src: a, dst: b, created_at: SimTime::ZERO,
+///                    ecn: tcpburst_net::Ecn::NotCapable };
+/// net.inject(pkt, &mut sched);
+///
+/// let mut delivered = None;
+/// while let Some((_, ev)) = sched.pop() {
+///     match ev {
+///         NetEvent::TxComplete { link } => net.on_tx_complete(link, &mut sched),
+///         NetEvent::Delivery { link, packet } => {
+///             delivered = Some(net.on_delivery(link, packet, &mut sched));
+///         }
+///     }
+/// }
+/// assert!(matches!(delivered, Some(Delivered::ToHost { node, .. }) if node == b));
+/// // 8 ms serialization + 10 ms propagation:
+/// assert_eq!(sched.now(), SimTime::from_millis(18));
+/// ```
+#[derive(Debug, Default)]
+pub struct Network {
+    nodes: Vec<NodeKind>,
+    links: Vec<Link>,
+    routes: Vec<HashMap<NodeId, LinkId>>,
+}
+
+impl Network {
+    /// Creates an empty network.
+    pub fn new() -> Self {
+        Network::default()
+    }
+
+    /// Adds an end host (packets addressed to it are delivered upward).
+    pub fn add_host(&mut self) -> NodeId {
+        self.add_node(NodeKind::Host)
+    }
+
+    /// Adds a router (packets addressed elsewhere are forwarded).
+    pub fn add_router(&mut self) -> NodeId {
+        self.add_node(NodeKind::Router)
+    }
+
+    fn add_node(&mut self, kind: NodeKind) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(kind);
+        self.routes.push(HashMap::new());
+        id
+    }
+
+    /// Adds a simplex link and returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint does not exist or `bandwidth_bps` is zero.
+    pub fn add_link(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        bandwidth_bps: u64,
+        delay: SimDuration,
+        queue: Box<dyn Queue>,
+    ) -> LinkId {
+        assert!((from.0 as usize) < self.nodes.len(), "unknown node {from:?}");
+        assert!((to.0 as usize) < self.nodes.len(), "unknown node {to:?}");
+        let id = LinkId(self.links.len() as u32);
+        self.links.push(Link::new(from, to, bandwidth_bps, delay, queue));
+        id
+    }
+
+    /// Installs a route: at `node`, packets for `dst` leave via `via`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `via` does not originate at `node`.
+    pub fn set_route(&mut self, node: NodeId, dst: NodeId, via: LinkId) {
+        assert_eq!(
+            self.link(via).from(),
+            node,
+            "route at {node:?} must use a link leaving it"
+        );
+        self.routes[node.0 as usize].insert(dst, via);
+    }
+
+    /// Looks at a link.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is unknown.
+    pub fn link(&self, id: LinkId) -> &Link {
+        &self.links[id.0 as usize]
+    }
+
+    /// Looks at a link mutably (e.g. to read queue statistics).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is unknown.
+    pub fn link_mut(&mut self, id: LinkId) -> &mut Link {
+        &mut self.links[id.0 as usize]
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of simplex links.
+    pub fn link_count(&self) -> usize {
+        self.links.len()
+    }
+
+    /// The outgoing link `node` uses to reach `dst`, if routed.
+    pub fn route(&self, node: NodeId, dst: NodeId) -> Option<LinkId> {
+        self.routes[node.0 as usize].get(&dst).copied()
+    }
+
+    /// Injects a locally generated packet at its source node, offering it to
+    /// the first-hop queue.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the source has no route to the destination — a mis-built
+    /// topology is a programming error, not a runtime condition.
+    pub fn inject<E: From<NetEvent>>(
+        &mut self,
+        packet: Packet,
+        sched: &mut Scheduler<E>,
+    ) -> EnqueueOutcome {
+        let via = self
+            .route(packet.src, packet.dst)
+            .unwrap_or_else(|| panic!("no route from {:?} to {:?}", packet.src, packet.dst));
+        self.send_on(via, packet, sched)
+    }
+
+    /// Offers `packet` to `link`'s queue and starts the transmitter if idle.
+    pub fn send_on<E: From<NetEvent>>(
+        &mut self,
+        link: LinkId,
+        packet: Packet,
+        sched: &mut Scheduler<E>,
+    ) -> EnqueueOutcome {
+        let now = sched.now();
+        let l = &mut self.links[link.0 as usize];
+        let outcome = l.queue_mut().enqueue(packet, now);
+        if outcome == EnqueueOutcome::Accepted && !l.is_busy() {
+            self.start_tx(link, sched);
+        }
+        outcome
+    }
+
+    fn start_tx<E: From<NetEvent>>(&mut self, link: LinkId, sched: &mut Scheduler<E>) {
+        let now = sched.now();
+        let l = &mut self.links[link.0 as usize];
+        match l.queue_mut().dequeue(now) {
+            Some(pkt) => {
+                l.set_busy(true);
+                l.note_tx(&pkt);
+                let (done, arrive) = l.schedule_times(&pkt, now);
+                sched.schedule_at(done, NetEvent::TxComplete { link }.into());
+                sched.schedule_at(arrive, NetEvent::Delivery { link, packet: pkt }.into());
+            }
+            None => l.set_busy(false),
+        }
+    }
+
+    /// Handles a [`NetEvent::TxComplete`]: the link pulls the next queued
+    /// packet, if any.
+    pub fn on_tx_complete<E: From<NetEvent>>(&mut self, link: LinkId, sched: &mut Scheduler<E>) {
+        self.links[link.0 as usize].set_busy(false);
+        self.start_tx(link, sched);
+    }
+
+    /// Handles a [`NetEvent::Delivery`]: delivers to a host or forwards at a
+    /// router.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a router has no route for the packet's destination.
+    pub fn on_delivery<E: From<NetEvent>>(
+        &mut self,
+        link: LinkId,
+        packet: Packet,
+        sched: &mut Scheduler<E>,
+    ) -> Delivered {
+        let node = self.link(link).to();
+        match self.nodes[node.0 as usize] {
+            NodeKind::Host => Delivered::ToHost { node, packet },
+            NodeKind::Router => {
+                let via = self.route(node, packet.dst).unwrap_or_else(|| {
+                    panic!("router {node:?} has no route to {:?}", packet.dst)
+                });
+                let outcome = self.send_on(via, packet, sched);
+                Delivered::Forwarded { node, via, outcome }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{Ecn, FlowId, PacketKind};
+    use crate::queue::DropTailQueue;
+    use tcpburst_des::SimTime;
+
+    fn pkt(src: NodeId, dst: NodeId) -> Packet {
+        Packet {
+            flow: FlowId(0),
+            kind: PacketKind::Datagram,
+            size_bytes: 1000,
+            src,
+            dst,
+            created_at: SimTime::ZERO,
+            ecn: Ecn::default(),
+        }
+    }
+
+    fn dt(cap: usize) -> Box<dyn Queue> {
+        Box::new(DropTailQueue::new(cap))
+    }
+
+    /// host A -> router R -> host B, both hops 1 Mbps / 1 ms.
+    fn two_hop() -> (Network, NodeId, NodeId, LinkId, LinkId) {
+        let mut net = Network::new();
+        let a = net.add_host();
+        let r = net.add_router();
+        let b = net.add_host();
+        let ar = net.add_link(a, r, 1_000_000, SimDuration::from_millis(1), dt(10));
+        let rb = net.add_link(r, b, 1_000_000, SimDuration::from_millis(1), dt(10));
+        net.set_route(a, b, ar);
+        net.set_route(r, b, rb);
+        (net, a, b, ar, rb)
+    }
+
+    fn drain(net: &mut Network, sched: &mut Scheduler<NetEvent>) -> Vec<(SimTime, Delivered)> {
+        let mut out = Vec::new();
+        while let Some((t, ev)) = sched.pop() {
+            match ev {
+                NetEvent::TxComplete { link } => net.on_tx_complete(link, sched),
+                NetEvent::Delivery { link, packet } => {
+                    let d = net.on_delivery(link, packet, sched);
+                    if matches!(d, Delivered::ToHost { .. }) {
+                        out.push((t, d));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn packet_crosses_two_hops_with_correct_latency() {
+        let (mut net, a, b, _, _) = two_hop();
+        let mut sched = Scheduler::new();
+        net.inject(pkt(a, b), &mut sched);
+        let deliveries = drain(&mut net, &mut sched);
+        assert_eq!(deliveries.len(), 1);
+        // Each hop: 8 ms serialization + 1 ms propagation = 9 ms; two hops.
+        assert_eq!(deliveries[0].0, SimTime::from_millis(18));
+        match deliveries[0].1 {
+            Delivered::ToHost { node, packet } => {
+                assert_eq!(node, b);
+                assert_eq!(packet.dst, b);
+            }
+            _ => panic!("expected host delivery"),
+        }
+    }
+
+    #[test]
+    fn back_to_back_packets_serialize_not_parallelize() {
+        let (mut net, a, b, _, _) = two_hop();
+        let mut sched = Scheduler::new();
+        for _ in 0..3 {
+            net.inject(pkt(a, b), &mut sched);
+        }
+        let deliveries = drain(&mut net, &mut sched);
+        let times: Vec<SimTime> = deliveries.iter().map(|&(t, _)| t).collect();
+        // The pipe is rate-limited: arrivals are spaced by one serialization
+        // time (8 ms), not delivered simultaneously.
+        assert_eq!(
+            times,
+            vec![
+                SimTime::from_millis(18),
+                SimTime::from_millis(26),
+                SimTime::from_millis(34)
+            ]
+        );
+    }
+
+    #[test]
+    fn router_queue_drops_surface_in_outcome() {
+        let mut net = Network::new();
+        let a = net.add_host();
+        let r = net.add_router();
+        let b = net.add_host();
+        // Fast ingress (so the burst lands at R together), slow egress with a
+        // 1-packet queue.
+        let ar = net.add_link(a, r, 100_000_000, SimDuration::from_millis(1), dt(100));
+        let rb = net.add_link(r, b, 1_000_000, SimDuration::from_millis(1), dt(1));
+        net.set_route(a, b, ar);
+        net.set_route(r, b, rb);
+
+        let mut sched: Scheduler<NetEvent> = Scheduler::new();
+        for _ in 0..5 {
+            net.inject(pkt(a, b), &mut sched);
+        }
+        let mut drops = 0;
+        let mut host_rx = 0;
+        while let Some((_, ev)) = sched.pop() {
+            match ev {
+                NetEvent::TxComplete { link } => net.on_tx_complete(link, &mut sched),
+                NetEvent::Delivery { link, packet } => {
+                    match net.on_delivery(link, packet, &mut sched) {
+                        Delivered::Forwarded { outcome, .. } if outcome.is_drop() => drops += 1,
+                        Delivered::ToHost { .. } => host_rx += 1,
+                        _ => {}
+                    }
+                }
+            }
+        }
+        // 1 in service + 1 queued survive the burst; the rest drop.
+        assert_eq!(host_rx, 2);
+        assert_eq!(drops, 3);
+        assert_eq!(net.link(rb).queue().stats().drops_full, 3);
+    }
+
+    #[test]
+    fn full_duplex_directions_do_not_contend() {
+        let mut net = Network::new();
+        let a = net.add_host();
+        let b = net.add_host();
+        let ab = net.add_link(a, b, 1_000_000, SimDuration::from_millis(1), dt(10));
+        let ba = net.add_link(b, a, 1_000_000, SimDuration::from_millis(1), dt(10));
+        net.set_route(a, b, ab);
+        net.set_route(b, a, ba);
+        let mut sched: Scheduler<NetEvent> = Scheduler::new();
+        net.inject(pkt(a, b), &mut sched);
+        net.inject(pkt(b, a), &mut sched);
+        let deliveries = drain(&mut net, &mut sched);
+        // Both arrive at 9 ms: opposite directions are independent pipes.
+        assert_eq!(deliveries.len(), 2);
+        assert!(deliveries.iter().all(|&(t, _)| t == SimTime::from_millis(9)));
+    }
+
+    #[test]
+    #[should_panic(expected = "no route")]
+    fn missing_route_panics() {
+        let mut net = Network::new();
+        let a = net.add_host();
+        let b = net.add_host();
+        let mut sched: Scheduler<NetEvent> = Scheduler::new();
+        net.inject(pkt(a, b), &mut sched);
+    }
+
+    #[test]
+    #[should_panic(expected = "must use a link leaving it")]
+    fn route_via_foreign_link_panics() {
+        let mut net = Network::new();
+        let a = net.add_host();
+        let b = net.add_host();
+        let c = net.add_host();
+        let bc = net.add_link(b, c, 1_000_000, SimDuration::from_millis(1), dt(1));
+        net.set_route(a, c, bc);
+    }
+
+    #[test]
+    fn link_stats_count_transmissions() {
+        let (mut net, a, b, ar, rb) = two_hop();
+        let mut sched = Scheduler::new();
+        net.inject(pkt(a, b), &mut sched);
+        drain(&mut net, &mut sched);
+        assert_eq!(net.link(ar).stats().packets_tx, 1);
+        assert_eq!(net.link(rb).stats().packets_tx, 1);
+        assert_eq!(net.link(rb).stats().bytes_tx, 1000);
+    }
+}

@@ -1,0 +1,250 @@
+//! Packets and the identifier newtypes used across the workspace.
+
+use std::fmt;
+
+use tcpburst_des::SimTime;
+
+/// Identifies a node (host or router) within a [`Network`](crate::Network).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+/// Identifies a simplex link within a [`Network`](crate::Network).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LinkId(pub u32);
+
+/// Identifies one end-to-end flow (one client's connection to the server).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FlowId(pub u32);
+
+/// A packet-granularity sequence number.
+///
+/// The simulation works in whole segments (the paper's clients submit
+/// fixed-size 1000-byte packets), so sequence numbers count packets rather
+/// than bytes — the same simplification the *ns* TCP agents make.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SeqNo(pub u64);
+
+impl SeqNo {
+    /// The first sequence number of a connection.
+    pub const ZERO: SeqNo = SeqNo(0);
+
+    /// The following sequence number.
+    #[must_use]
+    pub fn next(self) -> SeqNo {
+        SeqNo(self.0 + 1)
+    }
+
+    /// Number of packets in `[self, later)`, saturating at zero.
+    pub fn distance_to(self, later: SeqNo) -> u64 {
+        later.0.saturating_sub(self.0)
+    }
+}
+
+impl fmt::Display for SeqNo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// The ECN codepoint carried in a packet's (virtual) IP header.
+///
+/// Simplified RFC 3168 model: an ECN-capable packet traversing a marking
+/// RED gateway is re-marked [`Ecn::CongestionExperienced`] instead of being
+/// early-dropped; the receiver echoes the mark back to the sender, which
+/// halves its window without any packet having been lost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Ecn {
+    /// The flow did not negotiate ECN; congestion is signalled by drops.
+    #[default]
+    NotCapable,
+    /// ECN-capable transport (ECT): may be marked instead of dropped.
+    Capable,
+    /// Congestion experienced (CE): a gateway marked this packet.
+    CongestionExperienced,
+}
+
+impl Ecn {
+    /// True if a marking gateway may set CE on this packet.
+    pub fn is_markable(self) -> bool {
+        matches!(self, Ecn::Capable)
+    }
+
+    /// True if a gateway marked this packet.
+    pub fn is_ce(self) -> bool {
+        matches!(self, Ecn::CongestionExperienced)
+    }
+}
+
+/// Up to three selective-acknowledgment ranges `[start, end)`, newest
+/// first — the RFC 2018 option, sized like the common three-block case.
+///
+/// # Example
+///
+/// ```
+/// use tcpburst_net::{SackBlocks, SeqNo};
+///
+/// let sack = SackBlocks::from_ranges(&[(SeqNo(7), SeqNo(9)), (SeqNo(3), SeqNo(4))]);
+/// assert!(sack.contains(SeqNo(8)));
+/// assert!(!sack.contains(SeqNo(5)));
+/// assert_eq!(sack.iter().count(), 2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct SackBlocks {
+    blocks: [Option<(SeqNo, SeqNo)>; 3],
+}
+
+impl SackBlocks {
+    /// No blocks.
+    pub const EMPTY: SackBlocks = SackBlocks { blocks: [None; 3] };
+
+    /// Builds from up to the first three `[start, end)` ranges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any range is empty or inverted.
+    pub fn from_ranges(ranges: &[(SeqNo, SeqNo)]) -> Self {
+        let mut blocks = [None; 3];
+        for (slot, &(s, e)) in blocks.iter_mut().zip(ranges) {
+            assert!(s < e, "SACK range [{s}, {e}) is empty or inverted");
+            *slot = Some((s, e));
+        }
+        SackBlocks { blocks }
+    }
+
+    /// The populated ranges.
+    pub fn iter(&self) -> impl Iterator<Item = (SeqNo, SeqNo)> + '_ {
+        self.blocks.iter().filter_map(|b| *b)
+    }
+
+    /// True if `seq` falls inside any block.
+    pub fn contains(&self, seq: SeqNo) -> bool {
+        self.iter().any(|(s, e)| s <= seq && seq < e)
+    }
+
+    /// True if no block is present.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.iter().all(Option::is_none)
+    }
+}
+
+/// What a packet carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PacketKind {
+    /// A TCP data segment carrying the packet with sequence number `seq`.
+    TcpData {
+        /// Sequence number of the carried segment.
+        seq: SeqNo,
+        /// True if this is a retransmission (lets probes separate first
+        /// transmissions from recovery traffic).
+        retransmit: bool,
+    },
+    /// A cumulative TCP acknowledgment: the receiver has everything below
+    /// `ack` and expects `ack` next.
+    TcpAck {
+        /// Next expected sequence number.
+        ack: SeqNo,
+        /// ECN echo: the receiver saw a congestion-experienced mark.
+        ece: bool,
+        /// Selective-acknowledgment ranges above the cumulative point.
+        sack: SackBlocks,
+    },
+    /// A UDP datagram (no transport feedback at all).
+    Datagram,
+}
+
+impl PacketKind {
+    /// True for payload-bearing kinds (TCP data and datagrams).
+    pub fn is_data(&self) -> bool {
+        matches!(self, PacketKind::TcpData { .. } | PacketKind::Datagram)
+    }
+
+    /// True for acknowledgments.
+    pub fn is_ack(&self) -> bool {
+        matches!(self, PacketKind::TcpAck { .. })
+    }
+}
+
+/// A packet in flight.
+///
+/// # Example
+///
+/// ```
+/// use tcpburst_des::SimTime;
+/// use tcpburst_net::{FlowId, NodeId, Packet, PacketKind, SeqNo};
+///
+/// let pkt = Packet {
+///     flow: FlowId(3),
+///     kind: PacketKind::TcpData { seq: SeqNo(7), retransmit: false },
+///     size_bytes: 1000,
+///     src: NodeId(3),
+///     dst: NodeId(99),
+///     created_at: SimTime::from_millis(12),
+///     ecn: tcpburst_net::Ecn::NotCapable,
+/// };
+/// assert!(pkt.kind.is_data());
+/// assert_eq!(pkt.size_bits(), 8000);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Packet {
+    /// The end-to-end flow this packet belongs to.
+    pub flow: FlowId,
+    /// Payload classification and transport header fields.
+    pub kind: PacketKind,
+    /// Wire size in bytes (drives serialization delay).
+    pub size_bytes: u32,
+    /// Originating node.
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+    /// When the packet was handed to the network (for delay accounting).
+    pub created_at: SimTime,
+    /// ECN codepoint (gateways may rewrite it to CE).
+    pub ecn: Ecn,
+}
+
+impl Packet {
+    /// Wire size in bits.
+    pub fn size_bits(&self) -> u64 {
+        u64::from(self.size_bytes) * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seqno_ordering_and_distance() {
+        assert!(SeqNo(1) < SeqNo(2));
+        assert_eq!(SeqNo(5).next(), SeqNo(6));
+        assert_eq!(SeqNo(3).distance_to(SeqNo(10)), 7);
+        assert_eq!(SeqNo(10).distance_to(SeqNo(3)), 0);
+        assert_eq!(SeqNo::ZERO.to_string(), "#0");
+    }
+
+    #[test]
+    fn kind_classification() {
+        let data = PacketKind::TcpData {
+            seq: SeqNo(1),
+            retransmit: false,
+        };
+        let ack = PacketKind::TcpAck { ack: SeqNo(2), ece: false, sack: SackBlocks::EMPTY };
+        assert!(data.is_data() && !data.is_ack());
+        assert!(ack.is_ack() && !ack.is_data());
+        assert!(PacketKind::Datagram.is_data());
+    }
+
+    #[test]
+    fn size_in_bits() {
+        let pkt = Packet {
+            flow: FlowId(0),
+            kind: PacketKind::Datagram,
+            size_bytes: 40,
+            src: NodeId(0),
+            dst: NodeId(1),
+            created_at: SimTime::ZERO,
+            ecn: Ecn::default(),
+        };
+        assert_eq!(pkt.size_bits(), 320);
+    }
+}

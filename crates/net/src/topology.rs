@@ -1,0 +1,366 @@
+//! The paper's client/gateway/server topology (Figure 1).
+
+use tcpburst_des::SimDuration;
+
+use crate::adaptive::{AdaptiveRedParams, SelfConfiguringRed};
+use crate::network::Network;
+use crate::packet::{LinkId, NodeId};
+use crate::queue::{DropTailQueue, Queue, RedParams, RedQueue};
+
+/// Which queueing discipline guards a link.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum QueueSpec {
+    /// Bounded FIFO with tail drop.
+    DropTail {
+        /// Buffer size in packets.
+        capacity: usize,
+    },
+    /// Random early detection.
+    Red(RedParams),
+    /// Self-configuring RED (adaptive `max_p`).
+    AdaptiveRed(RedParams, AdaptiveRedParams),
+}
+
+impl QueueSpec {
+    fn build(self, seed: u64) -> Box<dyn Queue> {
+        match self {
+            QueueSpec::DropTail { capacity } => Box::new(DropTailQueue::new(capacity)),
+            QueueSpec::Red(params) => Box::new(RedQueue::new(params, seed)),
+            QueueSpec::AdaptiveRed(red, adapt) => {
+                Box::new(SelfConfiguringRed::new(red, adapt, seed))
+            }
+        }
+    }
+}
+
+/// Configuration of the dumbbell topology.
+///
+/// Defaults (via [`DumbbellConfig::paper`]) reproduce the reconstructed
+/// Table 1 of the paper; every field can be overridden for ablations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DumbbellConfig {
+    /// Number of client hosts `M`.
+    pub num_clients: usize,
+    /// Client access-link bandwidth `μc` in bits per second.
+    pub client_bandwidth_bps: u64,
+    /// Client access-link one-way propagation delay `τc` (client 0's; see
+    /// [`DumbbellConfig::client_delay_spread`]).
+    pub client_delay: SimDuration,
+    /// Heterogeneous-RTT factor: client `i` of `M` gets access delay
+    /// `τc · (1 + spread · i/(M−1))`. Zero (the paper's setup) gives every
+    /// client the same delay; 1.0 doubles the last client's.
+    pub client_delay_spread: f64,
+    /// Bottleneck bandwidth `μs` in bits per second.
+    pub bottleneck_bandwidth_bps: u64,
+    /// Bottleneck one-way propagation delay `τs`.
+    pub bottleneck_delay: SimDuration,
+    /// Queue at the gateway's bottleneck output — the queue under test.
+    pub gateway_queue: QueueSpec,
+    /// Buffer size (packets) for access links and the reverse path; sized so
+    /// congestion only ever forms at the gateway, as in the paper.
+    pub access_queue_capacity: usize,
+    /// Seed for any randomized queue discipline (RED).
+    pub seed: u64,
+}
+
+impl DumbbellConfig {
+    /// The paper's Table 1 configuration with `num_clients` clients and a
+    /// plain FIFO gateway.
+    pub fn paper(num_clients: usize) -> Self {
+        DumbbellConfig {
+            num_clients,
+            client_bandwidth_bps: 100_000_000,
+            client_delay: SimDuration::from_millis(2),
+            client_delay_spread: 0.0,
+            bottleneck_bandwidth_bps: 50_000_000,
+            bottleneck_delay: SimDuration::from_millis(20),
+            gateway_queue: QueueSpec::DropTail { capacity: 50 },
+            access_queue_capacity: 1_000,
+            seed: 0,
+        }
+    }
+
+    /// Same, but with the paper's RED gateway.
+    pub fn paper_red(num_clients: usize) -> Self {
+        let mut cfg = Self::paper(num_clients);
+        cfg.gateway_queue = QueueSpec::Red(RedParams::paper_defaults());
+        cfg
+    }
+
+    /// Round-trip propagation delay `2(τc + τs)` for client 0 — the
+    /// paper's c.o.v. bin width.
+    pub fn rtprop(&self) -> SimDuration {
+        (self.client_delay + self.bottleneck_delay) * 2
+    }
+
+    /// Access delay of client `i` of `num_clients` under the spread rule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spread is negative or not finite.
+    pub fn client_delay_of(&self, i: usize) -> SimDuration {
+        assert!(
+            self.client_delay_spread >= 0.0 && self.client_delay_spread.is_finite(),
+            "delay spread must be non-negative and finite"
+        );
+        if self.num_clients <= 1 || self.client_delay_spread == 0.0 {
+            return self.client_delay;
+        }
+        let frac = i as f64 / (self.num_clients - 1) as f64;
+        SimDuration::from_secs_f64(
+            self.client_delay.as_secs_f64() * (1.0 + self.client_delay_spread * frac),
+        )
+    }
+}
+
+/// The built dumbbell: the network plus the ids instrumentation needs.
+#[derive(Debug)]
+pub struct Dumbbell {
+    /// The assembled network.
+    pub network: Network,
+    /// Client hosts, index-aligned with flows.
+    pub clients: Vec<NodeId>,
+    /// The shared gateway router.
+    pub gateway: NodeId,
+    /// The server host.
+    pub server: NodeId,
+    /// Client → gateway access links (one per client).
+    pub uplinks: Vec<LinkId>,
+    /// Gateway → client return links (one per client).
+    pub downlinks: Vec<LinkId>,
+    /// The gateway → server bottleneck (where the queue under test sits).
+    pub bottleneck: LinkId,
+    /// The server → gateway reverse link (carries ACKs).
+    pub reverse: LinkId,
+}
+
+impl Dumbbell {
+    /// Builds the topology of the paper's Figure 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_clients` is zero or any bandwidth/queue parameter is
+    /// invalid.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use tcpburst_net::{Dumbbell, DumbbellConfig};
+    ///
+    /// let db = Dumbbell::build(&DumbbellConfig::paper(4));
+    /// assert_eq!(db.clients.len(), 4);
+    /// // 4 clients + gateway + server:
+    /// assert_eq!(db.network.node_count(), 6);
+    /// // per client up+down, plus bottleneck and reverse:
+    /// assert_eq!(db.network.link_count(), 10);
+    /// ```
+    pub fn build(cfg: &DumbbellConfig) -> Self {
+        assert!(cfg.num_clients > 0, "need at least one client");
+        let mut network = Network::new();
+        let gateway = network.add_router();
+        let server = network.add_host();
+
+        let bottleneck = network.add_link(
+            gateway,
+            server,
+            cfg.bottleneck_bandwidth_bps,
+            cfg.bottleneck_delay,
+            cfg.gateway_queue.build(cfg.seed),
+        );
+        let reverse = network.add_link(
+            server,
+            gateway,
+            cfg.bottleneck_bandwidth_bps,
+            cfg.bottleneck_delay,
+            Box::new(DropTailQueue::new(cfg.access_queue_capacity)),
+        );
+        network.set_route(gateway, server, bottleneck);
+
+        let mut clients = Vec::with_capacity(cfg.num_clients);
+        let mut uplinks = Vec::with_capacity(cfg.num_clients);
+        let mut downlinks = Vec::with_capacity(cfg.num_clients);
+        for i in 0..cfg.num_clients {
+            let c = network.add_host();
+            let delay = cfg.client_delay_of(i);
+            let up = network.add_link(
+                c,
+                gateway,
+                cfg.client_bandwidth_bps,
+                delay,
+                Box::new(DropTailQueue::new(cfg.access_queue_capacity)),
+            );
+            let down = network.add_link(
+                gateway,
+                c,
+                cfg.client_bandwidth_bps,
+                delay,
+                Box::new(DropTailQueue::new(cfg.access_queue_capacity)),
+            );
+            network.set_route(c, server, up);
+            network.set_route(gateway, c, down);
+            network.set_route(server, c, reverse);
+            clients.push(c);
+            uplinks.push(up);
+            downlinks.push(down);
+        }
+
+        Dumbbell {
+            network,
+            clients,
+            gateway,
+            server,
+            uplinks,
+            downlinks,
+            bottleneck,
+            reverse,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::{Delivered, NetEvent};
+    use crate::packet::{Ecn, FlowId, Packet, PacketKind};
+    use tcpburst_des::{Scheduler, SimTime};
+
+    #[test]
+    fn paper_config_matches_reconstruction() {
+        let cfg = DumbbellConfig::paper(10);
+        assert_eq!(cfg.client_bandwidth_bps, 100_000_000);
+        assert_eq!(cfg.bottleneck_bandwidth_bps, 50_000_000);
+        assert_eq!(cfg.rtprop(), SimDuration::from_millis(44));
+        assert_eq!(cfg.gateway_queue, QueueSpec::DropTail { capacity: 50 });
+        match DumbbellConfig::paper_red(10).gateway_queue {
+            QueueSpec::Red(p) => {
+                assert_eq!(p.min_th, 10.0);
+                assert_eq!(p.max_th, 40.0);
+            }
+            other => panic!("expected RED, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn every_client_reaches_server_and_back() {
+        let db = Dumbbell::build(&DumbbellConfig::paper(5));
+        let mut net = db.network;
+        for (i, &c) in db.clients.iter().enumerate() {
+            let mut sched: Scheduler<NetEvent> = Scheduler::new();
+            // Client -> server.
+            net.inject(
+                Packet {
+                    flow: FlowId(i as u32),
+                    kind: PacketKind::Datagram,
+                    size_bytes: 1000,
+                    src: c,
+                    dst: db.server,
+                    created_at: SimTime::ZERO,
+                    ecn: Ecn::default(),
+                },
+                &mut sched,
+            );
+            let mut reached_server = false;
+            while let Some((_, ev)) = sched.pop() {
+                match ev {
+                    NetEvent::TxComplete { link } => net.on_tx_complete(link, &mut sched),
+                    NetEvent::Delivery { link, packet } => {
+                        if let Delivered::ToHost { node, .. } =
+                            net.on_delivery(link, packet, &mut sched)
+                        {
+                            assert_eq!(node, db.server);
+                            reached_server = true;
+                        }
+                    }
+                }
+            }
+            assert!(reached_server, "client {i} cannot reach the server");
+
+            // Server -> client (the ACK path).
+            let mut sched: Scheduler<NetEvent> = Scheduler::new();
+            net.inject(
+                Packet {
+                    flow: FlowId(i as u32),
+                    kind: PacketKind::TcpAck {
+                        ack: crate::SeqNo(1),
+                        ece: false,
+                        sack: crate::SackBlocks::EMPTY,
+                    },
+                    size_bytes: 40,
+                    src: db.server,
+                    dst: c,
+                    created_at: SimTime::ZERO,
+                    ecn: Ecn::default(),
+                },
+                &mut sched,
+            );
+            let mut reached_client = false;
+            while let Some((_, ev)) = sched.pop() {
+                match ev {
+                    NetEvent::TxComplete { link } => net.on_tx_complete(link, &mut sched),
+                    NetEvent::Delivery { link, packet } => {
+                        if let Delivered::ToHost { node, .. } =
+                            net.on_delivery(link, packet, &mut sched)
+                        {
+                            assert_eq!(node, c);
+                            reached_client = true;
+                        }
+                    }
+                }
+            }
+            assert!(reached_client, "server cannot reach client {i}");
+        }
+    }
+
+    #[test]
+    fn bottleneck_queue_is_the_configured_one() {
+        let db = Dumbbell::build(&DumbbellConfig::paper(2));
+        // DropTail with capacity 50: fill it and watch the 51st drop.
+        let mut net = db.network;
+        let mut sched: Scheduler<NetEvent> = Scheduler::new();
+        let make = |i: u32| Packet {
+            flow: FlowId(i),
+            kind: PacketKind::Datagram,
+            size_bytes: 1000,
+            src: db.gateway,
+            dst: db.server,
+            created_at: SimTime::ZERO,
+            ecn: Ecn::default(),
+        };
+        // First packet goes straight into service, then 50 fit in the buffer.
+        for i in 0..51 {
+            assert!(!net.send_on(db.bottleneck, make(i), &mut sched).is_drop());
+        }
+        assert!(net.send_on(db.bottleneck, make(51), &mut sched).is_drop());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one client")]
+    fn zero_clients_panics() {
+        Dumbbell::build(&DumbbellConfig::paper(0));
+    }
+
+    #[test]
+    fn delay_spread_interpolates_linearly() {
+        let mut cfg = DumbbellConfig::paper(5);
+        assert_eq!(cfg.client_delay_of(0), cfg.client_delay);
+        assert_eq!(cfg.client_delay_of(4), cfg.client_delay);
+        cfg.client_delay_spread = 1.0;
+        assert_eq!(cfg.client_delay_of(0), SimDuration::from_millis(2));
+        assert_eq!(cfg.client_delay_of(4), SimDuration::from_millis(4));
+        assert_eq!(cfg.client_delay_of(2), SimDuration::from_millis(3));
+        // The built topology uses the per-client delays.
+        let db = Dumbbell::build(&cfg);
+        assert_eq!(
+            db.network.link(db.uplinks[4]).delay(),
+            SimDuration::from_millis(4)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "delay spread")]
+    fn negative_spread_panics() {
+        let mut cfg = DumbbellConfig::paper(5);
+        cfg.client_delay_spread = -0.5;
+        cfg.client_delay_of(1);
+    }
+}

@@ -1,0 +1,270 @@
+//! The per-RTT arrival-count probe.
+
+use tcpburst_des::{SimDuration, SimTime};
+
+use crate::running::RunningStats;
+
+/// Counts events in consecutive fixed-width virtual-time bins.
+///
+/// This is the paper's measurement instrument: it sits at the gateway and
+/// counts data-packet arrivals in bins one round-trip propagation delay wide;
+/// the coefficient of variation of those counts is the burstiness metric of
+/// Figure 2. Bins with zero arrivals count — an idle RTT is a real
+/// observation, and skipping it would bias the c.o.v. down.
+///
+/// Events must be recorded in non-decreasing time order (they come from a
+/// discrete-event loop, so they are).
+///
+/// # Example
+///
+/// ```
+/// use tcpburst_des::{SimDuration, SimTime};
+/// use tcpburst_stats::BinnedCounter;
+///
+/// let mut probe = BinnedCounter::new(SimDuration::from_millis(44));
+/// probe.record(SimTime::from_millis(10));   // bin 0
+/// probe.record(SimTime::from_millis(50));   // bin 1
+/// probe.record(SimTime::from_millis(60));   // bin 1
+/// let counts = probe.finish(SimTime::from_millis(132)); // 3 full bins
+/// assert_eq!(counts.counts(), &[1, 2, 0]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BinnedCounter {
+    bin: SimDuration,
+    origin: SimTime,
+    current_bin: u64,
+    current_count: u64,
+    counts: Vec<u64>,
+    total: u64,
+}
+
+/// The finished observation series produced by [`BinnedCounter::finish`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct BinCounts {
+    counts: Vec<u64>,
+    bin: SimDuration,
+}
+
+impl BinnedCounter {
+    /// Creates a counter with bins of width `bin`, starting at time zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bin` is zero.
+    pub fn new(bin: SimDuration) -> Self {
+        Self::starting_at(SimTime::ZERO, bin)
+    }
+
+    /// Creates a counter whose first bin begins at `origin` (events before
+    /// `origin` — e.g. a warm-up interval — are ignored).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bin` is zero.
+    pub fn starting_at(origin: SimTime, bin: SimDuration) -> Self {
+        assert!(!bin.is_zero(), "bin width must be positive");
+        BinnedCounter {
+            bin,
+            origin,
+            current_bin: 0,
+            current_count: 0,
+            counts: Vec::new(),
+            total: 0,
+        }
+    }
+
+    /// The configured bin width.
+    pub fn bin_width(&self) -> SimDuration {
+        self.bin
+    }
+
+    /// Total events recorded (including those still in the open bin).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Records one event at time `t`.
+    ///
+    /// Events earlier than the origin are ignored; events earlier than the
+    /// currently open bin are counted into it (cannot happen when fed from a
+    /// monotonic event loop, but is tolerated rather than panicking).
+    pub fn record(&mut self, t: SimTime) {
+        let Some(since) = t.checked_since(self.origin) else {
+            return;
+        };
+        let idx = since / self.bin;
+        if idx > self.current_bin {
+            self.flush_through(idx);
+        }
+        self.current_count += 1;
+        self.total += 1;
+    }
+
+    fn flush_through(&mut self, idx: u64) {
+        self.counts.push(self.current_count);
+        self.current_count = 0;
+        // Empty bins between the last event and this one are observations too.
+        for _ in (self.current_bin + 1)..idx {
+            self.counts.push(0);
+        }
+        self.current_bin = idx;
+    }
+
+    /// Closes the series at `end`, returning counts for every *complete* bin
+    /// in `[origin, end)`. The final partial bin, if any, is discarded so a
+    /// short tail does not read as a spuriously quiet RTT.
+    pub fn finish(mut self, end: SimTime) -> BinCounts {
+        let complete = end.saturating_since(self.origin) / self.bin;
+        if complete > self.current_bin {
+            self.flush_through(complete);
+        }
+        self.counts.truncate(complete as usize);
+        BinCounts {
+            counts: self.counts,
+            bin: self.bin,
+        }
+    }
+}
+
+impl BinCounts {
+    /// The per-bin event counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Number of complete bins observed.
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// True if no complete bin was observed.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// The bin width the counts were taken with.
+    pub fn bin_width(&self) -> SimDuration {
+        self.bin
+    }
+
+    /// Streaming moments of the counts.
+    pub fn stats(&self) -> RunningStats {
+        self.counts.iter().map(|&c| c as f64).collect()
+    }
+
+    /// Coefficient of variation of the per-bin counts — the paper's
+    /// burstiness metric.
+    pub fn cov(&self) -> f64 {
+        self.stats().cov()
+    }
+
+    /// The counts as `f64`s, for the Hurst estimators.
+    pub fn to_f64(&self) -> Vec<f64> {
+        self.counts.iter().map(|&c| c as f64).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn probe(ms: u64) -> BinnedCounter {
+        BinnedCounter::new(SimDuration::from_millis(ms))
+    }
+
+    #[test]
+    fn counts_land_in_correct_bins() {
+        let mut p = probe(10);
+        for &ms in &[0u64, 5, 9, 10, 25, 25, 39] {
+            p.record(SimTime::from_millis(ms));
+        }
+        let c = p.finish(SimTime::from_millis(40));
+        assert_eq!(c.counts(), &[3, 1, 2, 1]);
+        assert_eq!(c.len(), 4);
+    }
+
+    #[test]
+    fn empty_bins_are_observations() {
+        let mut p = probe(10);
+        p.record(SimTime::from_millis(1));
+        p.record(SimTime::from_millis(45));
+        let c = p.finish(SimTime::from_millis(50));
+        assert_eq!(c.counts(), &[1, 0, 0, 0, 1]);
+    }
+
+    #[test]
+    fn partial_final_bin_is_discarded() {
+        let mut p = probe(10);
+        p.record(SimTime::from_millis(1));
+        p.record(SimTime::from_millis(12));
+        // End mid-way through bin 1: only bin 0 is complete.
+        let c = p.finish(SimTime::from_millis(15));
+        assert_eq!(c.counts(), &[1]);
+    }
+
+    #[test]
+    fn events_before_origin_are_warmup() {
+        let mut p = BinnedCounter::starting_at(
+            SimTime::from_millis(100),
+            SimDuration::from_millis(10),
+        );
+        p.record(SimTime::from_millis(50)); // warm-up, ignored
+        p.record(SimTime::from_millis(105));
+        let c = p.finish(SimTime::from_millis(120));
+        assert_eq!(c.counts(), &[1, 0]);
+        assert_eq!(c.stats().count(), 2);
+    }
+
+    #[test]
+    fn deterministic_arrivals_have_zero_cov() {
+        let mut p = probe(10);
+        for bin in 0..100u64 {
+            for k in 0..5u64 {
+                p.record(SimTime::from_millis(bin * 10 + k));
+            }
+        }
+        let c = p.finish(SimTime::from_millis(1000));
+        assert_eq!(c.cov(), 0.0);
+        assert_eq!(c.stats().mean(), 5.0);
+    }
+
+    #[test]
+    fn bursty_arrivals_have_higher_cov_than_smooth() {
+        // Same total packets, two shapes: all in every 10th bin vs uniform.
+        let mut bursty = probe(10);
+        let mut smooth = probe(10);
+        for bin in 0..100u64 {
+            if bin % 10 == 0 {
+                for k in 0..10u64 {
+                    bursty.record(SimTime::from_millis(bin * 10 + k.min(9)));
+                }
+            }
+            smooth.record(SimTime::from_millis(bin * 10));
+        }
+        let end = SimTime::from_millis(1000);
+        assert!(bursty.finish(end).cov() > smooth.finish(end).cov());
+    }
+
+    #[test]
+    fn no_events_yields_zero_bins_before_end() {
+        let p = probe(10);
+        let c = p.finish(SimTime::from_millis(35));
+        assert_eq!(c.counts(), &[0, 0, 0]);
+        assert_eq!(c.cov(), 0.0);
+    }
+
+    #[test]
+    fn total_tracks_all_recorded() {
+        let mut p = probe(10);
+        for ms in 0..25u64 {
+            p.record(SimTime::from_millis(ms));
+        }
+        assert_eq!(p.total(), 25);
+    }
+
+    #[test]
+    #[should_panic(expected = "bin width")]
+    fn zero_bin_width_panics() {
+        BinnedCounter::new(SimDuration::ZERO);
+    }
+}

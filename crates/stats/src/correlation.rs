@@ -1,0 +1,165 @@
+//! Second-order structure of arrival-count series: autocorrelation and the
+//! index of dispersion for counts.
+//!
+//! The paper's companion work ("A New Statistical Model for Characterizing
+//! Aggregate Network Traffic", Feng et al.) characterizes TCP-modulated
+//! traffic through exactly these quantities: a Poisson stream has IDC = 1
+//! and no lag correlation, while TCP's feedback loop introduces strong
+//! positive correlation at round-trip lags.
+
+/// Sample autocorrelation of `xs` at lags `0..=max_lag`.
+///
+/// Uses the standard biased estimator (normalizing by the lag-0
+/// autocovariance), which is guaranteed to lie in `[-1, 1]`.
+///
+/// Returns an empty vector when the series is shorter than 2 points or has
+/// zero variance; otherwise `result[0] == 1.0`.
+///
+/// # Example
+///
+/// ```
+/// use tcpburst_stats::autocorrelation;
+///
+/// // A strictly alternating series is perfectly anti-correlated at lag 1.
+/// let xs: Vec<f64> = (0..100).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+/// let ac = autocorrelation(&xs, 2);
+/// assert!((ac[0] - 1.0).abs() < 1e-12);
+/// assert!(ac[1] < -0.9);
+/// assert!(ac[2] > 0.9);
+/// ```
+pub fn autocorrelation(xs: &[f64], max_lag: usize) -> Vec<f64> {
+    let n = xs.len();
+    if n < 2 {
+        return Vec::new();
+    }
+    let mean = xs.iter().sum::<f64>() / n as f64;
+    let c0: f64 = xs.iter().map(|&x| (x - mean) * (x - mean)).sum();
+    if c0 == 0.0 {
+        return Vec::new();
+    }
+    let max_lag = max_lag.min(n - 1);
+    (0..=max_lag)
+        .map(|lag| {
+            let c: f64 = (0..n - lag)
+                .map(|i| (xs[i] - mean) * (xs[i + lag] - mean))
+                .sum();
+            c / c0
+        })
+        .collect()
+}
+
+/// Index of dispersion for counts (IDC): variance over mean of a count
+/// series.
+///
+/// IDC = 1 for Poisson counts; IDC > 1 signals burstiness (over-dispersion)
+/// at the series' time scale. Returns `0.0` when the mean is zero.
+///
+/// # Example
+///
+/// ```
+/// use tcpburst_stats::index_of_dispersion;
+///
+/// let constant = vec![4.0; 100];
+/// assert_eq!(index_of_dispersion(&constant), 0.0); // under-dispersed
+/// ```
+pub fn index_of_dispersion(counts: &[f64]) -> f64 {
+    if counts.is_empty() {
+        return 0.0;
+    }
+    let n = counts.len() as f64;
+    let mean = counts.iter().sum::<f64>() / n;
+    if mean == 0.0 {
+        return 0.0;
+    }
+    let var = counts.iter().map(|&c| (c - mean) * (c - mean)).sum::<f64>() / n;
+    var / mean
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn lag_zero_is_one() {
+        let xs = [1.0, 5.0, 2.0, 8.0, 3.0];
+        let ac = autocorrelation(&xs, 3);
+        assert!((ac[0] - 1.0).abs() < 1e-12);
+        assert_eq!(ac.len(), 4);
+    }
+
+    #[test]
+    fn iid_series_has_no_lag_correlation() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let xs: Vec<f64> = (0..20_000).map(|_| rng.gen::<f64>()).collect();
+        let ac = autocorrelation(&xs, 5);
+        for (lag, &r) in ac.iter().enumerate().skip(1) {
+            assert!(r.abs() < 0.05, "lag {lag} correlation {r} too strong");
+        }
+    }
+
+    #[test]
+    fn smoothed_series_has_positive_lag_correlation() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        let mut level = 0.0;
+        let xs: Vec<f64> = (0..10_000)
+            .map(|_| {
+                level = 0.9 * level + rng.gen::<f64>();
+                level
+            })
+            .collect();
+        let ac = autocorrelation(&xs, 1);
+        assert!(ac[1] > 0.7, "lag-1 correlation {} too weak", ac[1]);
+    }
+
+    #[test]
+    fn degenerate_series_yield_empty() {
+        assert!(autocorrelation(&[], 3).is_empty());
+        assert!(autocorrelation(&[1.0], 3).is_empty());
+        assert!(autocorrelation(&[2.0; 50], 3).is_empty());
+    }
+
+    #[test]
+    fn max_lag_is_clamped_to_series_length() {
+        let ac = autocorrelation(&[1.0, 2.0, 3.0], 100);
+        assert_eq!(ac.len(), 3); // lags 0, 1, 2
+    }
+
+    #[test]
+    fn poisson_counts_have_idc_near_one() {
+        // Generate Poisson(4) counts by thinning uniform draws.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let counts: Vec<f64> = (0..50_000)
+            .map(|_| {
+                // Knuth's algorithm for small lambda.
+                let l = (-4.0f64).exp();
+                let mut k = 0u32;
+                let mut p = 1.0;
+                loop {
+                    p *= rng.gen::<f64>();
+                    if p <= l {
+                        break;
+                    }
+                    k += 1;
+                }
+                f64::from(k)
+            })
+            .collect();
+        let idc = index_of_dispersion(&counts);
+        assert!((idc - 1.0).abs() < 0.05, "IDC {idc}");
+    }
+
+    #[test]
+    fn bursty_counts_have_idc_above_one() {
+        // Half the windows empty, half at 8: mean 4, var 16, IDC 4.
+        let counts: Vec<f64> = (0..1000).map(|i| if i % 2 == 0 { 8.0 } else { 0.0 }).collect();
+        let idc = index_of_dispersion(&counts);
+        assert!((idc - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_and_zero_mean_are_zero() {
+        assert_eq!(index_of_dispersion(&[]), 0.0);
+        assert_eq!(index_of_dispersion(&[0.0; 10]), 0.0);
+    }
+}

@@ -1,0 +1,88 @@
+//! Bandwidth-sharing fairness.
+
+/// Jain's fairness index: `(Σx)² / (n · Σx²)`.
+///
+/// Ranges from `1/n` (one flow takes everything) to `1.0` (perfectly equal
+/// shares). The paper observes (Figures 10–12) that TCP Vegas shares the
+/// bottleneck more fairly than Reno; the fairness example and the cwnd bench
+/// quantify that with this index over per-flow goodput.
+///
+/// Returns `1.0` for an empty slice (vacuously fair) and `0.0` when all
+/// allocations are zero.
+///
+/// # Panics
+///
+/// Panics if any allocation is negative.
+///
+/// # Example
+///
+/// ```
+/// use tcpburst_stats::jain_fairness;
+///
+/// assert_eq!(jain_fairness(&[5.0, 5.0, 5.0]), 1.0);
+/// let skewed = jain_fairness(&[30.0, 0.0, 0.0]);
+/// assert!((skewed - 1.0 / 3.0).abs() < 1e-12);
+/// ```
+pub fn jain_fairness(allocations: &[f64]) -> f64 {
+    if allocations.is_empty() {
+        return 1.0;
+    }
+    assert!(
+        allocations.iter().all(|&x| x >= 0.0),
+        "allocations must be non-negative"
+    );
+    let sum: f64 = allocations.iter().sum();
+    let sum_sq: f64 = allocations.iter().map(|&x| x * x).sum();
+    if sum_sq == 0.0 {
+        return 0.0;
+    }
+    sum * sum / (allocations.len() as f64 * sum_sq)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn equal_shares_are_perfectly_fair() {
+        assert!((jain_fairness(&[7.0; 10]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_hog_gives_one_over_n() {
+        let mut alloc = vec![0.0; 8];
+        alloc[3] = 42.0;
+        assert!((jain_fairness(&alloc) - 1.0 / 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn index_is_scale_invariant() {
+        let a = jain_fairness(&[1.0, 2.0, 3.0]);
+        let b = jain_fairness(&[10.0, 20.0, 30.0]);
+        assert!((a - b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_and_all_zero_edge_cases() {
+        assert_eq!(jain_fairness(&[]), 1.0);
+        assert_eq!(jain_fairness(&[0.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_allocation_panics() {
+        jain_fairness(&[1.0, -1.0]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_index_bounded(xs in proptest::collection::vec(0.0f64..1e6, 1..50)) {
+            let j = jain_fairness(&xs);
+            prop_assert!(j <= 1.0 + 1e-12);
+            if xs.iter().any(|&x| x > 0.0) {
+                prop_assert!(j >= 1.0 / xs.len() as f64 - 1e-12);
+            }
+        }
+    }
+}

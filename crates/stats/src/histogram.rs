@@ -1,0 +1,178 @@
+//! Fixed-width histograms with quantile queries.
+
+/// A histogram over `[low, high)` with equal-width buckets plus underflow and
+/// overflow counters.
+///
+/// Used for queue-length and RTT distributions in the examples and ablation
+/// benches.
+///
+/// # Example
+///
+/// ```
+/// use tcpburst_stats::Histogram;
+///
+/// let mut h = Histogram::new(0.0, 50.0, 50); // queue length 0..50, unit buckets
+/// for q in [1.0, 1.2, 3.0, 48.0, 60.0] {
+///     h.record(q);
+/// }
+/// assert_eq!(h.total(), 5);
+/// assert_eq!(h.overflow(), 1);
+/// assert!(h.quantile(0.5).unwrap() < 10.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    low: f64,
+    high: f64,
+    buckets: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram over `[low, high)` with `buckets` equal buckets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `low >= high`, either bound is not finite, or `buckets` is 0.
+    pub fn new(low: f64, high: f64, buckets: usize) -> Self {
+        assert!(
+            low.is_finite() && high.is_finite() && low < high,
+            "invalid histogram range [{low}, {high})"
+        );
+        assert!(buckets > 0, "need at least one bucket");
+        Histogram {
+            low,
+            high,
+            buckets: vec![0; buckets],
+            underflow: 0,
+            overflow: 0,
+            total: 0,
+        }
+    }
+
+    /// Width of each bucket.
+    pub fn bucket_width(&self) -> f64 {
+        (self.high - self.low) / self.buckets.len() as f64
+    }
+
+    /// Records one observation. Non-finite values are counted as overflow.
+    pub fn record(&mut self, x: f64) {
+        self.total += 1;
+        if !x.is_finite() || x >= self.high {
+            self.overflow += 1;
+        } else if x < self.low {
+            self.underflow += 1;
+        } else {
+            let idx = ((x - self.low) / self.bucket_width()) as usize;
+            // Guard the top edge against FP rounding.
+            let idx = idx.min(self.buckets.len() - 1);
+            self.buckets[idx] += 1;
+        }
+    }
+
+    /// Total observations recorded, including under/overflow.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Observations below the range.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Observations at or above the range's upper bound (or non-finite).
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Per-bucket counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// Approximate `q`-quantile (`0.0 ..= 1.0`), as the upper edge of the
+    /// bucket where the cumulative count crosses `q·total`. Underflow counts
+    /// toward the lowest bucket; returns the range top if the quantile lands
+    /// in overflow. `None` when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&q), "quantile {q} outside [0, 1]");
+        if self.total == 0 {
+            return None;
+        }
+        let target = (q * self.total as f64).ceil().max(1.0) as u64;
+        let mut cum = self.underflow;
+        if cum >= target {
+            return Some(self.low);
+        }
+        for (i, &c) in self.buckets.iter().enumerate() {
+            cum += c;
+            if cum >= target {
+                return Some(self.low + (i as f64 + 1.0) * self.bucket_width());
+            }
+        }
+        Some(self.high)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_land_in_expected_buckets() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        h.record(0.0);
+        h.record(0.99);
+        h.record(5.5);
+        h.record(9.999);
+        assert_eq!(h.counts()[0], 2);
+        assert_eq!(h.counts()[5], 1);
+        assert_eq!(h.counts()[9], 1);
+        assert_eq!(h.total(), 4);
+    }
+
+    #[test]
+    fn under_and_overflow_are_tracked() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        h.record(-0.5);
+        h.record(1.0); // upper bound is exclusive
+        h.record(f64::NAN);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.total(), 3);
+    }
+
+    #[test]
+    fn quantiles_bracket_the_median() {
+        let mut h = Histogram::new(0.0, 100.0, 100);
+        for i in 0..100 {
+            h.record(i as f64);
+        }
+        let median = h.quantile(0.5).unwrap();
+        assert!((49.0..=51.0).contains(&median), "median {median}");
+        assert_eq!(h.quantile(1.0), Some(100.0));
+    }
+
+    #[test]
+    fn quantile_of_empty_is_none() {
+        let h = Histogram::new(0.0, 1.0, 2);
+        assert_eq!(h.quantile(0.5), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn out_of_range_quantile_panics() {
+        Histogram::new(0.0, 1.0, 2).quantile(1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid histogram range")]
+    fn inverted_range_panics() {
+        Histogram::new(1.0, 0.0, 2);
+    }
+}

@@ -1,0 +1,284 @@
+//! Numerically stable streaming moments.
+
+use std::fmt;
+
+/// Streaming mean/variance accumulator (Welford's online algorithm).
+///
+/// Tracks count, mean, variance (sample and population), min and max in O(1)
+/// space with good numerical behaviour even for long runs of similar values.
+/// Two accumulators can be [merged](RunningStats::merge) (Chan et al.'s
+/// parallel formula), which the experiment harness uses to combine per-seed
+/// replications.
+///
+/// # Example
+///
+/// ```
+/// use tcpburst_stats::RunningStats;
+///
+/// let stats: RunningStats = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].iter().copied().collect();
+/// assert_eq!(stats.count(), 8);
+/// assert!((stats.mean() - 5.0).abs() < 1e-12);
+/// assert!((stats.population_std_dev() - 2.0).abs() < 1e-12);
+/// assert!((stats.cov() - 0.4).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RunningStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl RunningStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        RunningStats {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Folds one observation in.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// True if no observations were pushed.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Arithmetic mean; `0.0` when empty.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population variance (divide by `n`); `0.0` with fewer than 1 sample.
+    pub fn population_variance(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Sample variance (divide by `n-1`); `0.0` with fewer than 2 samples.
+    pub fn sample_variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn population_std_dev(&self) -> f64 {
+        self.population_variance().sqrt()
+    }
+
+    /// Sample standard deviation.
+    pub fn sample_std_dev(&self) -> f64 {
+        self.sample_variance().sqrt()
+    }
+
+    /// Coefficient of variation: population standard deviation over mean.
+    ///
+    /// This is the paper's burstiness metric. Returns `0.0` when the mean is
+    /// zero (an all-zero series is maximally smooth, not undefined-bursty).
+    pub fn cov(&self) -> f64 {
+        if self.mean == 0.0 {
+            0.0
+        } else {
+            self.population_std_dev() / self.mean
+        }
+    }
+
+    /// Smallest observation; `+inf` when empty.
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation; `-inf` when empty.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Merges another accumulator into this one, as if every observation of
+    /// `other` had been pushed here.
+    pub fn merge(&mut self, other: &RunningStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Half-width of the normal-approximation 95% confidence interval of the
+    /// mean (`1.96 * s / sqrt(n)`); `0.0` with fewer than 2 samples.
+    pub fn ci95_half_width(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            1.96 * self.sample_std_dev() / (self.count as f64).sqrt()
+        }
+    }
+}
+
+impl Extend<f64> for RunningStats {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+}
+
+impl FromIterator<f64> for RunningStats {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut s = RunningStats::new();
+        s.extend(iter);
+        s
+    }
+}
+
+impl fmt::Display for RunningStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.4} sd={:.4} cov={:.4}",
+            self.count,
+            self.mean(),
+            self.population_std_dev(),
+            self.cov()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_stats_are_neutral() {
+        let s = RunningStats::new();
+        assert!(s.is_empty());
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.population_variance(), 0.0);
+        assert_eq!(s.cov(), 0.0);
+        assert_eq!(s.ci95_half_width(), 0.0);
+    }
+
+    #[test]
+    fn single_value_has_zero_variance() {
+        let mut s = RunningStats::new();
+        s.push(42.0);
+        assert_eq!(s.mean(), 42.0);
+        assert_eq!(s.population_variance(), 0.0);
+        assert_eq!(s.min(), 42.0);
+        assert_eq!(s.max(), 42.0);
+    }
+
+    #[test]
+    fn matches_two_pass_computation() {
+        let xs = [1.5, 2.5, 3.0, -4.0, 10.0, 0.25];
+        let s: RunningStats = xs.iter().copied().collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / xs.len() as f64;
+        assert!((s.mean() - mean).abs() < 1e-12);
+        assert!((s.population_variance() - var).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_equals_sequential_push() {
+        let xs: Vec<f64> = (0..50).map(|i| (i as f64).sin() * 10.0).collect();
+        let (a, b) = xs.split_at(20);
+        let mut left: RunningStats = a.iter().copied().collect();
+        let right: RunningStats = b.iter().copied().collect();
+        left.merge(&right);
+        let all: RunningStats = xs.iter().copied().collect();
+        assert_eq!(left.count(), all.count());
+        assert!((left.mean() - all.mean()).abs() < 1e-10);
+        assert!((left.population_variance() - all.population_variance()).abs() < 1e-10);
+        assert_eq!(left.min(), all.min());
+        assert_eq!(left.max(), all.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut s: RunningStats = [1.0, 2.0].iter().copied().collect();
+        let before = s;
+        s.merge(&RunningStats::new());
+        assert_eq!(s, before);
+        let mut e = RunningStats::new();
+        e.merge(&before);
+        assert_eq!(e, before);
+    }
+
+    #[test]
+    fn cov_is_scale_invariant() {
+        let a: RunningStats = [1.0, 2.0, 3.0].iter().copied().collect();
+        let b: RunningStats = [10.0, 20.0, 30.0].iter().copied().collect();
+        assert!((a.cov() - b.cov()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn numerically_stable_for_large_offsets() {
+        // Same spread around a huge offset: naive sum-of-squares would
+        // catastrophically cancel.
+        let base = 1e12;
+        let s: RunningStats = [base + 1.0, base + 2.0, base + 3.0].iter().copied().collect();
+        assert!((s.population_variance() - 2.0 / 3.0).abs() < 1e-3);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_variance_nonnegative(xs in proptest::collection::vec(-1e6f64..1e6, 0..100)) {
+            let s: RunningStats = xs.iter().copied().collect();
+            prop_assert!(s.population_variance() >= 0.0);
+            prop_assert!(s.sample_variance() >= 0.0);
+        }
+
+        #[test]
+        fn prop_min_le_mean_le_max(xs in proptest::collection::vec(-1e6f64..1e6, 1..100)) {
+            let s: RunningStats = xs.iter().copied().collect();
+            prop_assert!(s.min() <= s.mean() + 1e-9);
+            prop_assert!(s.mean() <= s.max() + 1e-9);
+        }
+
+        #[test]
+        fn prop_merge_any_split(xs in proptest::collection::vec(-1e3f64..1e3, 2..60), split in 0usize..60) {
+            let split = split.min(xs.len());
+            let (a, b) = xs.split_at(split);
+            let mut m: RunningStats = a.iter().copied().collect();
+            m.merge(&b.iter().copied().collect());
+            let all: RunningStats = xs.iter().copied().collect();
+            prop_assert!((m.mean() - all.mean()).abs() < 1e-9);
+            prop_assert!((m.population_variance() - all.population_variance()).abs() < 1e-6);
+        }
+    }
+}

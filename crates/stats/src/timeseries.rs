@@ -1,0 +1,205 @@
+//! `(time, value)` trace recording, used for congestion-window evolution
+//! plots (the paper's Figures 5–12).
+
+use tcpburst_des::{SimDuration, SimTime};
+
+/// An append-only series of `(time, value)` samples.
+///
+/// Values are recorded on change (event-driven), and the series can be
+/// resampled onto a fixed grid for plotting with sample-and-hold semantics —
+/// exactly how a congestion window behaves between updates.
+///
+/// # Example
+///
+/// ```
+/// use tcpburst_des::{SimDuration, SimTime};
+/// use tcpburst_stats::TimeSeries;
+///
+/// let mut cwnd = TimeSeries::new();
+/// cwnd.record(SimTime::ZERO, 1.0);
+/// cwnd.record(SimTime::from_millis(30), 2.0);
+/// cwnd.record(SimTime::from_millis(90), 4.0);
+///
+/// let grid = cwnd.sample_hold(SimDuration::from_millis(40), SimTime::from_millis(120));
+/// assert_eq!(grid, vec![1.0, 2.0, 2.0]); // values at t = 0, 40, 80 ms
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TimeSeries {
+    times: Vec<SimTime>,
+    values: Vec<f64>,
+}
+
+impl TimeSeries {
+    /// Creates an empty series.
+    pub fn new() -> Self {
+        TimeSeries::default()
+    }
+
+    /// Appends a sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is earlier than the last recorded sample (traces come
+    /// from a monotonic event loop).
+    pub fn record(&mut self, t: SimTime, value: f64) {
+        if let Some(&last) = self.times.last() {
+            assert!(t >= last, "time series must be recorded in order");
+        }
+        self.times.push(t);
+        self.values.push(value);
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// True if no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+
+    /// The raw samples, in recording order.
+    pub fn iter(&self) -> impl Iterator<Item = (SimTime, f64)> + '_ {
+        self.times.iter().copied().zip(self.values.iter().copied())
+    }
+
+    /// The last recorded value, if any.
+    pub fn last(&self) -> Option<(SimTime, f64)> {
+        Some((*self.times.last()?, *self.values.last()?))
+    }
+
+    /// The value in effect at time `t` (sample-and-hold): the most recent
+    /// sample at or before `t`, or `None` if `t` precedes the first sample.
+    pub fn value_at(&self, t: SimTime) -> Option<f64> {
+        match self.times.partition_point(|&s| s <= t) {
+            0 => None,
+            i => Some(self.values[i - 1]),
+        }
+    }
+
+    /// Resamples onto the grid `t = 0, step, 2·step, …` up to (excluding)
+    /// `end`, holding the previous value between samples. Grid points before
+    /// the first sample read as `0.0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step` is zero.
+    pub fn sample_hold(&self, step: SimDuration, end: SimTime) -> Vec<f64> {
+        assert!(!step.is_zero(), "sampling step must be positive");
+        let n = end.saturating_since(SimTime::ZERO) / step;
+        let mut out = Vec::with_capacity(n as usize);
+        let mut t = SimTime::ZERO;
+        for _ in 0..n {
+            out.push(self.value_at(t).unwrap_or(0.0));
+            t += step;
+        }
+        out
+    }
+
+    /// Mean of the recorded values weighted by how long each was held,
+    /// evaluated over `[first sample, end]`. Returns `None` when empty or
+    /// when `end` precedes the first sample.
+    pub fn time_weighted_mean(&self, end: SimTime) -> Option<f64> {
+        let first = *self.times.first()?;
+        let span = end.checked_since(first)?;
+        if span.is_zero() {
+            return Some(self.values[0]);
+        }
+        let mut acc = 0.0;
+        for i in 0..self.len() {
+            let start = self.times[i];
+            if start >= end {
+                break;
+            }
+            let stop = self.times.get(i + 1).copied().unwrap_or(end).min(end);
+            acc += self.values[i] * (stop - start).as_secs_f64();
+        }
+        Some(acc / span.as_secs_f64())
+    }
+}
+
+impl Extend<(SimTime, f64)> for TimeSeries {
+    fn extend<I: IntoIterator<Item = (SimTime, f64)>>(&mut self, iter: I) {
+        for (t, v) in iter {
+            self.record(t, v);
+        }
+    }
+}
+
+impl FromIterator<(SimTime, f64)> for TimeSeries {
+    fn from_iter<I: IntoIterator<Item = (SimTime, f64)>>(iter: I) -> Self {
+        let mut ts = TimeSeries::new();
+        ts.extend(iter);
+        ts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> SimTime {
+        SimTime::from_millis(v)
+    }
+
+    #[test]
+    fn value_at_holds_previous_sample() {
+        let ts: TimeSeries = [(ms(10), 1.0), (ms(20), 5.0)].into_iter().collect();
+        assert_eq!(ts.value_at(ms(5)), None);
+        assert_eq!(ts.value_at(ms(10)), Some(1.0));
+        assert_eq!(ts.value_at(ms(15)), Some(1.0));
+        assert_eq!(ts.value_at(ms(20)), Some(5.0));
+        assert_eq!(ts.value_at(ms(99)), Some(5.0));
+    }
+
+    #[test]
+    fn sample_hold_grid() {
+        let ts: TimeSeries = [(ms(0), 2.0), (ms(35), 7.0)].into_iter().collect();
+        let grid = ts.sample_hold(SimDuration::from_millis(10), ms(60));
+        assert_eq!(grid, vec![2.0, 2.0, 2.0, 2.0, 7.0, 7.0]);
+    }
+
+    #[test]
+    fn sample_hold_before_first_sample_is_zero() {
+        let ts: TimeSeries = [(ms(25), 3.0)].into_iter().collect();
+        let grid = ts.sample_hold(SimDuration::from_millis(10), ms(40));
+        assert_eq!(grid, vec![0.0, 0.0, 0.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "in order")]
+    fn out_of_order_recording_panics() {
+        let mut ts = TimeSeries::new();
+        ts.record(ms(10), 1.0);
+        ts.record(ms(5), 2.0);
+    }
+
+    #[test]
+    fn time_weighted_mean_weights_by_hold_time() {
+        // 1.0 held for 10 ms, then 3.0 for 30 ms: mean = (10+90)/40 = 2.5.
+        let ts: TimeSeries = [(ms(0), 1.0), (ms(10), 3.0)].into_iter().collect();
+        let m = ts.time_weighted_mean(ms(40)).unwrap();
+        assert!((m - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn time_weighted_mean_of_empty_is_none() {
+        assert_eq!(TimeSeries::new().time_weighted_mean(ms(10)), None);
+    }
+
+    #[test]
+    fn last_and_len() {
+        let ts: TimeSeries = [(ms(0), 1.0), (ms(1), 2.0)].into_iter().collect();
+        assert_eq!(ts.len(), 2);
+        assert_eq!(ts.last(), Some((ms(1), 2.0)));
+        assert!(!ts.is_empty());
+    }
+
+    #[test]
+    fn equal_timestamps_are_allowed() {
+        // Two cwnd updates in the same event instant: last one wins at read.
+        let ts: TimeSeries = [(ms(1), 1.0), (ms(1), 2.0)].into_iter().collect();
+        assert_eq!(ts.value_at(ms(1)), Some(2.0));
+    }
+}

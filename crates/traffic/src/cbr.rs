@@ -1,0 +1,70 @@
+//! Constant-bit-rate arrivals: the zero-variance control workload.
+
+use tcpburst_des::SimDuration;
+
+use crate::ArrivalProcess;
+
+/// A deterministic source emitting one packet every `interval`.
+///
+/// Useful as a control in the source-law ablation: any burstiness measured
+/// at the gateway under CBR input is introduced *entirely* by the protocol
+/// stack and the network.
+#[derive(Debug, Clone)]
+pub struct CbrSource {
+    interval: SimDuration,
+}
+
+impl CbrSource {
+    /// Creates a source with the given constant gap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is zero.
+    pub fn new(interval: SimDuration) -> Self {
+        assert!(!interval.is_zero(), "CBR interval must be positive");
+        CbrSource { interval }
+    }
+
+    /// Creates a source emitting `rate` packets per second.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not strictly positive and finite.
+    pub fn from_rate(rate: f64) -> Self {
+        assert!(
+            rate > 0.0 && rate.is_finite(),
+            "rate must be positive and finite, got {rate}"
+        );
+        CbrSource::new(SimDuration::from_secs_f64(1.0 / rate))
+    }
+}
+
+impl ArrivalProcess for CbrSource {
+    fn next_gap(&mut self) -> SimDuration {
+        self.interval
+    }
+
+    fn mean_rate(&self) -> f64 {
+        1.0 / self.interval.as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gaps_are_constant() {
+        let mut s = CbrSource::from_rate(10.0);
+        for _ in 0..100 {
+            assert_eq!(s.next_gap(), SimDuration::from_millis(100));
+        }
+        assert!((s.mean_rate() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "interval must be positive")]
+    fn zero_interval_panics() {
+        CbrSource::new(SimDuration::ZERO);
+    }
+}

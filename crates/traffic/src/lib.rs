@@ -1,0 +1,81 @@
+//! Workload generators for the `tcpburst` workspace.
+//!
+//! The paper's clients generate **Poisson** traffic: single fixed-size
+//! packets with exponentially distributed inter-generation times
+//! ([`PoissonSource`]). Two more generators support the ablation studies:
+//!
+//! * [`CbrSource`] — deterministic constant-bit-rate arrivals (a
+//!   zero-variance control),
+//! * [`ParetoOnOffSource`] — heavy-tailed ON/OFF bursts, the standard
+//!   construction for self-similar aggregate input in the literature the
+//!   paper engages (Willinger et al.).
+//!
+//! Every generator implements [`ArrivalProcess`]: a stream of gaps between
+//! consecutive packet submissions. The experiment harness turns gaps into
+//! `Generate` events on the simulation loop.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use tcpburst_des::{SimDuration, SimRng};
+
+mod cbr;
+mod pareto;
+mod poisson;
+
+pub use cbr::CbrSource;
+pub use pareto::{ParetoOnOffConfig, ParetoOnOffSource};
+pub use poisson::PoissonSource;
+
+/// A stream of inter-arrival gaps: the time from one application packet
+/// submission to the next.
+///
+/// Implementations are deterministic given their seed, so simulations are
+/// exactly reproducible.
+pub trait ArrivalProcess: std::fmt::Debug {
+    /// The gap before the next packet is submitted.
+    fn next_gap(&mut self) -> SimDuration;
+
+    /// The long-run average packet rate in packets/second (used to compute
+    /// the analytic reference curves).
+    fn mean_rate(&self) -> f64;
+}
+
+/// Builds the paper's client workload: Poisson with mean inter-generation
+/// time `1/lambda = 0.01` seconds, independently seeded per client.
+///
+/// # Example
+///
+/// ```
+/// use tcpburst_traffic::{paper_source, ArrivalProcess};
+///
+/// let mut src = paper_source(/* seed */ 1, /* client */ 0);
+/// assert_eq!(src.mean_rate(), 100.0); // 100 packets/s: 1/0.01 s
+/// let gap = src.next_gap();
+/// assert!(gap.as_secs_f64() >= 0.0);
+/// ```
+pub fn paper_source(seed: u64, client: u64) -> PoissonSource {
+    PoissonSource::new(100.0, SimRng::derive(seed, client))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_source_rate_is_hundred_per_second() {
+        assert_eq!(paper_source(0, 0).mean_rate(), 100.0);
+    }
+
+    #[test]
+    fn paper_sources_are_reproducible_and_distinct() {
+        let mut a1 = paper_source(7, 3);
+        let mut a2 = paper_source(7, 3);
+        let mut b = paper_source(7, 4);
+        let ga1: Vec<_> = (0..32).map(|_| a1.next_gap()).collect();
+        let ga2: Vec<_> = (0..32).map(|_| a2.next_gap()).collect();
+        let gb: Vec<_> = (0..32).map(|_| b.next_gap()).collect();
+        assert_eq!(ga1, ga2);
+        assert_ne!(ga1, gb);
+    }
+}

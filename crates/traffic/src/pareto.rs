@@ -1,0 +1,196 @@
+//! Heavy-tailed ON/OFF arrivals (Willinger et al.'s self-similarity
+//! construction).
+
+use tcpburst_des::{SimDuration, SimRng};
+
+use crate::ArrivalProcess;
+
+/// Parameters of a [`ParetoOnOffSource`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ParetoOnOffConfig {
+    /// Packet emission rate during an ON burst, in packets/second.
+    pub peak_rate: f64,
+    /// Mean ON-period length, in seconds.
+    pub mean_on_secs: f64,
+    /// Mean OFF-period length, in seconds.
+    pub mean_off_secs: f64,
+    /// Pareto shape for both period laws; `1 < shape <= 2` gives the
+    /// infinite-variance regime that produces self-similar aggregates.
+    pub shape: f64,
+}
+
+impl Default for ParetoOnOffConfig {
+    /// A configuration whose *average* rate matches the paper's 10 pkt/s
+    /// Poisson clients (50% duty cycle at 20 pkt/s peak), with the classic
+    /// `shape = 1.5`.
+    fn default() -> Self {
+        ParetoOnOffConfig {
+            peak_rate: 20.0,
+            mean_on_secs: 0.5,
+            mean_off_secs: 0.5,
+            shape: 1.5,
+        }
+    }
+}
+
+impl ParetoOnOffConfig {
+    fn validate(&self) {
+        assert!(
+            self.peak_rate > 0.0 && self.peak_rate.is_finite(),
+            "peak rate must be positive and finite"
+        );
+        assert!(
+            self.mean_on_secs > 0.0 && self.mean_off_secs > 0.0,
+            "ON/OFF period means must be positive"
+        );
+        assert!(
+            self.shape > 1.0,
+            "shape must exceed 1 so period means are finite, got {}",
+            self.shape
+        );
+    }
+
+    /// The long-run average rate: `peak · on/(on + off)` packets/second.
+    pub fn mean_rate(&self) -> f64 {
+        self.peak_rate * self.mean_on_secs / (self.mean_on_secs + self.mean_off_secs)
+    }
+}
+
+/// An ON/OFF source with Pareto-distributed period lengths.
+///
+/// During an ON period packets are emitted back-to-back at `peak_rate`;
+/// during OFF periods the source is silent. With `1 < shape < 2` the period
+/// law has infinite variance and the superposition of many such sources is
+/// asymptotically self-similar — the input model of the literature the paper
+/// argues should not be studied in isolation from TCP.
+#[derive(Debug, Clone)]
+pub struct ParetoOnOffSource {
+    cfg: ParetoOnOffConfig,
+    rng: SimRng,
+    /// Packets left in the current ON burst.
+    remaining_in_burst: u64,
+}
+
+impl ParetoOnOffSource {
+    /// Creates a source; the first packet arrives after an initial OFF
+    /// period, so a fleet of sources does not start synchronized.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see
+    /// [`ParetoOnOffConfig`] field docs).
+    pub fn new(cfg: ParetoOnOffConfig, rng: SimRng) -> Self {
+        cfg.validate();
+        ParetoOnOffSource {
+            cfg,
+            rng,
+            remaining_in_burst: 0,
+        }
+    }
+
+    /// Draws a Pareto period with the configured shape and the given mean.
+    /// Pareto(xm, a) has mean `a·xm/(a−1)`, so `xm = mean·(a−1)/a`.
+    fn pareto_period(&mut self, mean: f64) -> f64 {
+        let a = self.cfg.shape;
+        let xm = mean * (a - 1.0) / a;
+        self.rng.pareto(xm, a)
+    }
+}
+
+impl ArrivalProcess for ParetoOnOffSource {
+    fn next_gap(&mut self) -> SimDuration {
+        let tx_time = 1.0 / self.cfg.peak_rate;
+        if self.remaining_in_burst > 0 {
+            self.remaining_in_burst -= 1;
+            return SimDuration::from_secs_f64(tx_time);
+        }
+        // Start a new cycle: an OFF period, then an ON period whose length
+        // determines the burst size.
+        let off = self.pareto_period(self.cfg.mean_off_secs);
+        let on = self.pareto_period(self.cfg.mean_on_secs);
+        let burst = (on * self.cfg.peak_rate).round().max(1.0) as u64;
+        self.remaining_in_burst = burst - 1;
+        SimDuration::from_secs_f64(off + tx_time)
+    }
+
+    fn mean_rate(&self) -> f64 {
+        self.cfg.mean_rate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn source(seed: u64) -> ParetoOnOffSource {
+        ParetoOnOffSource::new(ParetoOnOffConfig::default(), SimRng::seed_from_u64(seed))
+    }
+
+    #[test]
+    fn default_mean_rate_matches_paper_load() {
+        assert!((ParetoOnOffConfig::default().mean_rate() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn long_run_rate_approaches_mean_rate() {
+        let mut s = source(1);
+        let n = 200_000;
+        let total: f64 = (0..n).map(|_| s.next_gap().as_secs_f64()).sum();
+        let rate = n as f64 / total;
+        // Heavy tails converge slowly; accept a generous band.
+        assert!(
+            (rate - 10.0).abs() < 2.5,
+            "long-run rate {rate} too far from 10"
+        );
+    }
+
+    #[test]
+    fn gaps_alternate_bursts_and_silences() {
+        let mut s = source(2);
+        let gaps: Vec<f64> = (0..10_000).map(|_| s.next_gap().as_secs_f64()).collect();
+        let tx = 1.0 / 20.0;
+        let in_burst = gaps.iter().filter(|&&g| (g - tx).abs() < 1e-12).count();
+        let silences = gaps.len() - in_burst;
+        assert!(in_burst > 0, "no back-to-back burst gaps seen");
+        assert!(silences > 0, "no OFF periods seen");
+        // Every OFF gap is at least the minimum Pareto period plus one
+        // transmission time.
+        let min_off = 0.5 * 0.5 / 1.5; // mean (a-1)/a
+        assert!(gaps
+            .iter()
+            .filter(|&&g| (g - tx).abs() >= 1e-12)
+            .all(|&g| g >= min_off + tx - 1e-9));
+    }
+
+    #[test]
+    fn gap_cov_exceeds_poisson() {
+        // Heavy-tailed ON/OFF gaps are burstier than exponential (c.o.v. 1).
+        let mut s = source(3);
+        let gaps: Vec<f64> = (0..100_000).map(|_| s.next_gap().as_secs_f64()).collect();
+        let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+        let var = gaps.iter().map(|g| (g - mean).powi(2)).sum::<f64>() / gaps.len() as f64;
+        let cov = var.sqrt() / mean;
+        assert!(cov > 1.3, "ON/OFF gap c.o.v. {cov} not heavy enough");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = source(9);
+        let mut b = source(9);
+        for _ in 0..100 {
+            assert_eq!(a.next_gap(), b.next_gap());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "shape must exceed 1")]
+    fn shape_at_most_one_panics() {
+        ParetoOnOffSource::new(
+            ParetoOnOffConfig {
+                shape: 1.0,
+                ..ParetoOnOffConfig::default()
+            },
+            SimRng::seed_from_u64(0),
+        );
+    }
+}

@@ -1,0 +1,110 @@
+//! The paper's client workload: Poisson packet generation.
+
+use tcpburst_des::{SimDuration, SimRng};
+
+use crate::ArrivalProcess;
+
+/// A Poisson packet source: exponentially distributed gaps with rate
+/// `lambda` packets per second.
+///
+/// The aggregate of `n` independent Poisson sources is Poisson with rate
+/// `n·lambda`, whose per-bin count c.o.v. is `1/sqrt(lambda·bin·n)` — the
+/// smooth reference the paper compares every transport against.
+#[derive(Debug, Clone)]
+pub struct PoissonSource {
+    lambda: f64,
+    rng: SimRng,
+}
+
+impl PoissonSource {
+    /// Creates a source with rate `lambda` packets/second.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lambda` is not strictly positive and finite.
+    pub fn new(lambda: f64, rng: SimRng) -> Self {
+        assert!(
+            lambda > 0.0 && lambda.is_finite(),
+            "rate must be positive and finite, got {lambda}"
+        );
+        PoissonSource { lambda, rng }
+    }
+
+    /// The configured rate in packets/second.
+    pub fn rate(&self) -> f64 {
+        self.lambda
+    }
+}
+
+impl ArrivalProcess for PoissonSource {
+    fn next_gap(&mut self) -> SimDuration {
+        SimDuration::from_secs_f64(self.rng.exponential(self.lambda))
+    }
+
+    fn mean_rate(&self) -> f64 {
+        self.lambda
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn source(lambda: f64, seed: u64) -> PoissonSource {
+        PoissonSource::new(lambda, SimRng::seed_from_u64(seed))
+    }
+
+    #[test]
+    fn mean_gap_matches_rate() {
+        let mut s = source(10.0, 1);
+        let n = 100_000;
+        let total: f64 = (0..n).map(|_| s.next_gap().as_secs_f64()).sum();
+        let mean = total / n as f64;
+        assert!((mean - 0.1).abs() < 0.002, "mean gap {mean}");
+    }
+
+    #[test]
+    fn gap_cov_is_one() {
+        // Exponential distribution: std dev equals mean, c.o.v. = 1.
+        let mut s = source(10.0, 2);
+        let gaps: Vec<f64> = (0..100_000).map(|_| s.next_gap().as_secs_f64()).collect();
+        let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+        let var = gaps.iter().map(|g| (g - mean).powi(2)).sum::<f64>() / gaps.len() as f64;
+        let cov = var.sqrt() / mean;
+        assert!((cov - 1.0).abs() < 0.02, "c.o.v. {cov}");
+    }
+
+    #[test]
+    fn counts_per_window_are_poisson_distributed() {
+        // Mean ≈ variance for the per-window packet counts.
+        let mut s = source(10.0, 3);
+        let window = 1.0;
+        let mut counts = Vec::new();
+        let mut t = 0.0;
+        let mut count = 0u64;
+        for _ in 0..200_000 {
+            t += s.next_gap().as_secs_f64();
+            if t >= window {
+                counts.push(count as f64);
+                count = 0;
+                t -= window;
+                // Skip whole empty windows.
+                while t >= window {
+                    counts.push(0.0);
+                    t -= window;
+                }
+            }
+            count += 1;
+        }
+        let mean = counts.iter().sum::<f64>() / counts.len() as f64;
+        let var = counts.iter().map(|c| (c - mean).powi(2)).sum::<f64>() / counts.len() as f64;
+        let ratio = var / mean;
+        assert!((ratio - 1.0).abs() < 0.05, "index of dispersion {ratio}");
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be positive")]
+    fn zero_rate_panics() {
+        source(0.0, 0);
+    }
+}

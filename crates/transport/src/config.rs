@@ -1,0 +1,196 @@
+//! Transport configuration.
+
+use tcpburst_des::SimDuration;
+
+/// Which congestion-control algorithm a [`TcpSender`](crate::TcpSender)
+/// runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TcpVariant {
+    /// Jacobson '88: any loss signal re-enters slow start from `cwnd = 1`.
+    Tahoe,
+    /// Tahoe plus fast retransmit / fast recovery — the paper's main
+    /// subject. A partial ACK ends recovery (which is exactly why multi-loss
+    /// windows in Reno tend to end in a timeout, the synchronizing event the
+    /// paper highlights).
+    Reno,
+    /// Reno with RFC 6582 partial-ACK handling: recovery persists until the
+    /// whole pre-loss window is acknowledged. Implemented as a baseline.
+    NewReno,
+    /// Brakmo–Peterson '95 congestion avoidance: keep
+    /// `α ≤ (expected − actual)·baseRTT ≤ β` packets queued at the
+    /// bottleneck; double the window only every other RTT in slow start.
+    Vegas,
+    /// Reno with selective acknowledgments (RFC 2018 receiver, simplified
+    /// RFC 3517 recovery): multiple holes in one window are repaired within
+    /// one recovery episode instead of stalling into a timeout.
+    Sack,
+}
+
+impl TcpVariant {
+    /// True for Vegas (which carries extra per-RTT state).
+    pub fn is_vegas(self) -> bool {
+        matches!(self, TcpVariant::Vegas)
+    }
+
+    /// True if the receiver should attach SACK blocks and the sender keeps
+    /// a scoreboard.
+    pub fn uses_sack(self) -> bool {
+        matches!(self, TcpVariant::Sack)
+    }
+}
+
+/// Vegas congestion-avoidance thresholds, in packets of induced queueing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VegasParams {
+    /// Linear-increase threshold: grow if fewer than `alpha` packets are
+    /// queued at the gateway. The paper uses 1.
+    pub alpha: f64,
+    /// Linear-decrease threshold: shrink if more than `beta` packets are
+    /// queued. The paper uses 3.
+    pub beta: f64,
+    /// Slow-start exit threshold. The paper (and Brakmo) use 1.
+    pub gamma: f64,
+}
+
+impl Default for VegasParams {
+    fn default() -> Self {
+        VegasParams {
+            alpha: 1.0,
+            beta: 3.0,
+            gamma: 1.0,
+        }
+    }
+}
+
+/// Parameters of one TCP connection.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TcpConfig {
+    /// Congestion-control flavour.
+    pub variant: TcpVariant,
+    /// Data segment size in bytes (the paper's clients send 1500-byte
+    /// packets).
+    pub mss_bytes: u32,
+    /// Pure-ACK size in bytes.
+    pub ack_bytes: u32,
+    /// Receiver's advertised (flow-control) window, in packets. Static, per
+    /// the paper: 20.
+    pub advertised_window: u32,
+    /// Whether the receiver delays ACKs (ack every second segment or on a
+    /// timer) — the paper's "Reno/DelayAck" configuration.
+    pub delayed_ack: bool,
+    /// Delayed-ACK flush timer.
+    pub delack_delay: SimDuration,
+    /// Coarse retransmission-timer granularity (BSD heartbeat); the RTO is
+    /// rounded up to a multiple of this.
+    pub tick: SimDuration,
+    /// Lower bound on the RTO.
+    pub min_rto: SimDuration,
+    /// Upper bound on the (backed-off) RTO.
+    pub max_rto: SimDuration,
+    /// Initial congestion window, in packets.
+    pub initial_cwnd: f64,
+    /// Initial slow-start threshold, in packets. Effectively unbounded by
+    /// default so the first slow start runs until loss (window growth is
+    /// still capped by `advertised_window`).
+    pub initial_ssthresh: f64,
+    /// Vegas thresholds (ignored by the loss-based variants).
+    pub vegas: VegasParams,
+    /// Record a `(time, cwnd)` trace on every window change (Figures 5–12).
+    pub trace_cwnd: bool,
+    /// Negotiate ECN: data segments are sent ECN-capable and the sender
+    /// halves its window (at most once per RTT) on an ECN echo instead of
+    /// waiting for a drop. Requires a marking gateway to have any effect.
+    pub ecn: bool,
+}
+
+impl TcpConfig {
+    /// The paper's connection parameters for the given variant.
+    pub fn paper(variant: TcpVariant) -> Self {
+        TcpConfig {
+            variant,
+            mss_bytes: 1500,
+            ack_bytes: 40,
+            advertised_window: 20,
+            delayed_ack: false,
+            delack_delay: SimDuration::from_millis(100),
+            tick: SimDuration::from_millis(100),
+            min_rto: SimDuration::from_millis(200),
+            max_rto: SimDuration::from_secs(64),
+            initial_cwnd: 1.0,
+            initial_ssthresh: 1e9,
+            vegas: VegasParams::default(),
+            trace_cwnd: false,
+            ecn: false,
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inconsistent values (zero windows, inverted RTO bounds,
+    /// non-positive Vegas thresholds).
+    pub fn validate(&self) {
+        assert!(self.mss_bytes > 0, "MSS must be positive");
+        assert!(self.ack_bytes > 0, "ACK size must be positive");
+        assert!(self.advertised_window > 0, "advertised window must be positive");
+        assert!(self.initial_cwnd >= 1.0, "initial cwnd must be at least 1");
+        assert!(self.initial_ssthresh >= 2.0, "initial ssthresh must be at least 2");
+        assert!(!self.tick.is_zero(), "timer tick must be positive");
+        assert!(self.min_rto <= self.max_rto, "min_rto must not exceed max_rto");
+        assert!(
+            self.vegas.alpha > 0.0 && self.vegas.alpha <= self.vegas.beta,
+            "Vegas thresholds must satisfy 0 < alpha <= beta"
+        );
+        assert!(self.vegas.gamma > 0.0, "Vegas gamma must be positive");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults_are_valid_for_all_variants() {
+        for v in [
+            TcpVariant::Tahoe,
+            TcpVariant::Reno,
+            TcpVariant::NewReno,
+            TcpVariant::Vegas,
+            TcpVariant::Sack,
+        ] {
+            let cfg = TcpConfig::paper(v);
+            cfg.validate();
+            assert_eq!(cfg.mss_bytes, 1500);
+            assert_eq!(cfg.advertised_window, 20);
+        }
+    }
+
+    #[test]
+    fn vegas_defaults_match_paper() {
+        let p = VegasParams::default();
+        assert_eq!((p.alpha, p.beta, p.gamma), (1.0, 3.0, 1.0));
+        assert!(TcpVariant::Vegas.is_vegas());
+        assert!(!TcpVariant::Reno.is_vegas());
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha <= beta")]
+    fn inverted_vegas_thresholds_panic() {
+        let mut cfg = TcpConfig::paper(TcpVariant::Vegas);
+        cfg.vegas = VegasParams {
+            alpha: 5.0,
+            beta: 1.0,
+            gamma: 1.0,
+        };
+        cfg.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "advertised window")]
+    fn zero_window_panics() {
+        let mut cfg = TcpConfig::paper(TcpVariant::Reno);
+        cfg.advertised_window = 0;
+        cfg.validate();
+    }
+}

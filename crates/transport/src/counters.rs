@@ -1,0 +1,136 @@
+//! Per-connection event counters — the raw material for the paper's
+//! Figures 3, 4 and 13.
+
+/// Sender-side counters for one TCP connection.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TcpCounters {
+    /// Segments handed to the network, including retransmissions.
+    pub data_packets_sent: u64,
+    /// Retransmitted segments (timeout- or dupack-triggered).
+    pub retransmits: u64,
+    /// Retransmission-timer expiries (the numerator of Figure 13).
+    pub timeouts: u64,
+    /// Duplicate-ACK-triggered retransmissions: Reno/NewReno fast
+    /// retransmits and Vegas's early dup-ACK retransmissions (the
+    /// denominator of Figure 13).
+    pub fast_retransmits: u64,
+    /// ACK packets processed.
+    pub acks_received: u64,
+    /// Duplicate ACKs observed.
+    pub dup_acks_received: u64,
+    /// RTT measurements taken (Karn-filtered).
+    pub rtt_samples: u64,
+    /// Packets the application submitted to the send buffer.
+    pub app_packets_submitted: u64,
+    /// Largest send-buffer backlog seen, in packets (the paper's Section 3.2
+    /// slow-start-burst mechanism feeds on this backlog).
+    pub peak_backlog: u64,
+    /// Window reductions triggered by ECN echoes (no packet was lost).
+    pub ecn_window_cuts: u64,
+}
+
+impl TcpCounters {
+    /// Ratio of timeouts to duplicate-ACK-triggered retransmissions —
+    /// Figure 13's y-axis. Uses a pseudocount of 1 in the denominator so a
+    /// recovery-free run is finite.
+    pub fn timeout_to_dupack_ratio(&self) -> f64 {
+        self.timeouts as f64 / (self.fast_retransmits.max(1)) as f64
+    }
+
+    /// Merges another connection's counters (for per-scenario aggregation).
+    pub fn merge(&mut self, other: &TcpCounters) {
+        self.data_packets_sent += other.data_packets_sent;
+        self.retransmits += other.retransmits;
+        self.timeouts += other.timeouts;
+        self.fast_retransmits += other.fast_retransmits;
+        self.acks_received += other.acks_received;
+        self.dup_acks_received += other.dup_acks_received;
+        self.rtt_samples += other.rtt_samples;
+        self.app_packets_submitted += other.app_packets_submitted;
+        self.peak_backlog = self.peak_backlog.max(other.peak_backlog);
+        self.ecn_window_cuts += other.ecn_window_cuts;
+    }
+}
+
+/// Receiver-side counters for one TCP connection.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReceiverCounters {
+    /// In-order segments delivered to the application (goodput — the paper's
+    /// "packets successfully transmitted", Figure 3).
+    pub delivered: u64,
+    /// Segments that arrived out of order and were buffered.
+    pub out_of_order: u64,
+    /// Segments that were duplicates of already-delivered data.
+    pub duplicates: u64,
+    /// ACK packets emitted.
+    pub acks_sent: u64,
+    /// ACKs emitted by the delayed-ACK timer rather than by data arrival.
+    pub delack_timer_acks: u64,
+}
+
+impl ReceiverCounters {
+    /// Merges another receiver's counters.
+    pub fn merge(&mut self, other: &ReceiverCounters) {
+        self.delivered += other.delivered;
+        self.out_of_order += other.out_of_order;
+        self.duplicates += other.duplicates;
+        self.acks_sent += other.acks_sent;
+        self.delack_timer_acks += other.delack_timer_acks;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_handles_zero_denominator() {
+        let c = TcpCounters {
+            timeouts: 5,
+            fast_retransmits: 0,
+            ..TcpCounters::default()
+        };
+        assert_eq!(c.timeout_to_dupack_ratio(), 5.0);
+    }
+
+    #[test]
+    fn ratio_divides_when_possible() {
+        let c = TcpCounters {
+            timeouts: 6,
+            fast_retransmits: 3,
+            ..TcpCounters::default()
+        };
+        assert_eq!(c.timeout_to_dupack_ratio(), 2.0);
+    }
+
+    #[test]
+    fn merge_sums_and_maxes() {
+        let mut a = TcpCounters {
+            data_packets_sent: 10,
+            peak_backlog: 4,
+            ..TcpCounters::default()
+        };
+        let b = TcpCounters {
+            data_packets_sent: 5,
+            peak_backlog: 9,
+            timeouts: 1,
+            ..TcpCounters::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.data_packets_sent, 15);
+        assert_eq!(a.peak_backlog, 9);
+        assert_eq!(a.timeouts, 1);
+
+        let mut r = ReceiverCounters {
+            delivered: 7,
+            ..ReceiverCounters::default()
+        };
+        r.merge(&ReceiverCounters {
+            delivered: 3,
+            acks_sent: 2,
+            ..ReceiverCounters::default()
+        });
+        assert_eq!(r.delivered, 10);
+        assert_eq!(r.acks_sent, 2);
+    }
+}

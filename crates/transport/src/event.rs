@@ -1,0 +1,30 @@
+//! Timer events the transport layer schedules on the simulation loop.
+
+use tcpburst_des::TimerGeneration;
+use tcpburst_net::FlowId;
+
+/// Which logical timer fired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TimerKind {
+    /// The sender's retransmission timeout.
+    Rto,
+    /// The receiver's delayed-ACK flush timer.
+    DelAck,
+}
+
+/// A transport timer firing, addressed by flow.
+///
+/// The driving loop embeds these in its event enum via `From` and routes
+/// them to the right [`TcpSender`](crate::TcpSender) (for [`TimerKind::Rto`])
+/// or [`TcpReceiver`](crate::TcpReceiver) (for [`TimerKind::DelAck`]).
+/// Stale firings (the timer was re-armed or cancelled since this event was
+/// scheduled) are filtered inside the handlers via the generation token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransportEvent {
+    /// Which connection the timer belongs to.
+    pub flow: FlowId,
+    /// Which timer fired.
+    pub kind: TimerKind,
+    /// Arming generation, checked against the owning `TimerSlot`.
+    pub generation: TimerGeneration,
+}

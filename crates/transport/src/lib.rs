@@ -1,0 +1,45 @@
+//! Transport protocols for the `tcpburst` workspace.
+//!
+//! Implements, from the algorithm descriptions in the literature, every
+//! transport the paper evaluates:
+//!
+//! * [`TcpSender`] / [`TcpReceiver`] — a packet-granularity TCP with
+//!   slow start, congestion avoidance, fast retransmit and fast recovery,
+//!   Jacobson/Karels RTO estimation with Karn's rule and exponential
+//!   backoff, go-back-N timeout recovery, and optional delayed ACKs;
+//! * [`TcpVariant`] — the congestion-control flavours: **Tahoe** (loss ⇒
+//!   slow start), **Reno** (fast recovery, the paper's workhorse),
+//!   **NewReno** (partial-ACK retransmission, RFC 6582 semantics) and
+//!   **Vegas** (Brakmo–Peterson congestion *avoidance* via the
+//!   expected-vs-actual rate difference, with α/β/γ thresholds);
+//! * [`UdpSender`] / [`UdpSink`] — the no-feedback baseline.
+//!
+//! The senders are *sans-io* state machines: they consume ACKs and timer
+//! firings, and push fully formed [`Packet`](tcpburst_net::Packet)s into a
+//! caller-supplied buffer. The driving loop (in `tcpburst-core`) injects
+//! those packets into the network and routes [`TransportEvent`] timers back.
+//!
+//! Like the *ns* agents the paper used, sequence numbers count whole
+//! segments, and the application writes segments into an unbounded send
+//! buffer that the congestion window drains — the decoupling the paper's
+//! Section 3.2 identifies as the source of slow-start bursts.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod counters;
+mod event;
+mod receiver;
+mod rtt;
+mod sender;
+mod udp;
+mod vegas;
+
+pub use config::{TcpConfig, TcpVariant, VegasParams};
+pub use counters::{ReceiverCounters, TcpCounters};
+pub use event::{TimerKind, TransportEvent};
+pub use receiver::TcpReceiver;
+pub use rtt::RttEstimator;
+pub use sender::TcpSender;
+pub use udp::{UdpSender, UdpSink};

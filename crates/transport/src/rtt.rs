@@ -1,0 +1,225 @@
+//! Round-trip-time estimation and retransmission timeouts.
+
+use tcpburst_des::SimDuration;
+
+/// Jacobson/Karels RTT estimator with exponential timer backoff.
+///
+/// Maintains the smoothed RTT and mean deviation with the classic gains
+/// (`1/8` and `1/4`), computes `RTO = srtt + 4·rttvar` rounded **up** to the
+/// coarse timer tick, clamps it to `[min_rto, max_rto]`, and doubles it per
+/// backoff (Karn's algorithm: callers must not feed samples from
+/// retransmitted segments; a fresh sample resets the backoff).
+///
+/// # Example
+///
+/// ```
+/// use tcpburst_des::SimDuration;
+/// use tcpburst_transport::RttEstimator;
+///
+/// let mut est = RttEstimator::new(
+///     SimDuration::from_millis(100), // tick
+///     SimDuration::from_millis(200), // min RTO
+///     SimDuration::from_secs(64),    // max RTO
+/// );
+/// est.sample(SimDuration::from_millis(44));
+/// let rto = est.rto();
+/// assert!(rto >= SimDuration::from_millis(200));
+/// est.back_off();
+/// assert_eq!(est.rto(), rto * 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RttEstimator {
+    srtt: Option<f64>,
+    rttvar: f64,
+    tick: SimDuration,
+    min_rto: SimDuration,
+    max_rto: SimDuration,
+    backoff: u32,
+}
+
+/// Cap on consecutive doublings (RTO also saturates at `max_rto`).
+const MAX_BACKOFF: u32 = 6;
+
+impl RttEstimator {
+    /// Creates an estimator with the given timer granularity and RTO bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tick` is zero or `min_rto > max_rto`.
+    pub fn new(tick: SimDuration, min_rto: SimDuration, max_rto: SimDuration) -> Self {
+        assert!(!tick.is_zero(), "tick must be positive");
+        assert!(min_rto <= max_rto, "min_rto must not exceed max_rto");
+        RttEstimator {
+            srtt: None,
+            rttvar: 0.0,
+            tick,
+            min_rto,
+            max_rto,
+            backoff: 0,
+        }
+    }
+
+    /// Feeds one RTT measurement (from a segment transmitted exactly once —
+    /// Karn's rule is the caller's responsibility) and resets the backoff.
+    pub fn sample(&mut self, rtt: SimDuration) {
+        let m = rtt.as_secs_f64();
+        match self.srtt {
+            None => {
+                self.srtt = Some(m);
+                self.rttvar = m / 2.0;
+            }
+            Some(srtt) => {
+                let err = m - srtt;
+                self.srtt = Some(srtt + err / 8.0);
+                self.rttvar += (err.abs() - self.rttvar) / 4.0;
+            }
+        }
+        self.backoff = 0;
+    }
+
+    /// The smoothed RTT, if at least one sample has been taken.
+    pub fn srtt(&self) -> Option<SimDuration> {
+        self.srtt.map(SimDuration::from_secs_f64)
+    }
+
+    /// The current mean deviation estimate.
+    pub fn rttvar(&self) -> SimDuration {
+        SimDuration::from_secs_f64(self.rttvar)
+    }
+
+    /// The current retransmission timeout, including backoff.
+    ///
+    /// Before any sample, returns the tick-rounded, clamped `min_rto`
+    /// equivalent of a conservative initial estimate (3 s, per RFC 1122),
+    /// backed off as usual.
+    pub fn rto(&self) -> SimDuration {
+        let base = match self.srtt {
+            None => 3.0,
+            Some(srtt) => srtt + 4.0 * self.rttvar,
+        };
+        let mut rto = SimDuration::from_secs_f64(base);
+        // Round up to the coarse-timer granularity, like a BSD heartbeat.
+        let rem = rto % self.tick;
+        if !rem.is_zero() {
+            rto = rto - rem + self.tick;
+        }
+        rto = rto.max(self.min_rto);
+        rto = rto.saturating_mul(1u64 << self.backoff.min(MAX_BACKOFF));
+        rto.min(self.max_rto)
+    }
+
+    /// Doubles the timeout (called on each expiry), saturating.
+    pub fn back_off(&mut self) {
+        self.backoff = (self.backoff + 1).min(MAX_BACKOFF);
+    }
+
+    /// Current number of consecutive backoffs.
+    pub fn backoff_level(&self) -> u32 {
+        self.backoff
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn est() -> RttEstimator {
+        RttEstimator::new(
+            SimDuration::from_millis(100),
+            SimDuration::from_millis(200),
+            SimDuration::from_secs(64),
+        )
+    }
+
+    #[test]
+    fn initial_rto_is_conservative() {
+        let e = est();
+        assert_eq!(e.rto(), SimDuration::from_secs(3));
+        assert_eq!(e.srtt(), None);
+    }
+
+    #[test]
+    fn first_sample_initializes_srtt_and_var() {
+        let mut e = est();
+        e.sample(SimDuration::from_millis(80));
+        assert_eq!(e.srtt(), Some(SimDuration::from_millis(80)));
+        assert_eq!(e.rttvar(), SimDuration::from_millis(40));
+        // 80 + 4*40 = 240 ms, rounded up to 300 ms tick boundary.
+        assert_eq!(e.rto(), SimDuration::from_millis(300));
+    }
+
+    #[test]
+    fn steady_samples_converge_and_floor_applies() {
+        let mut e = est();
+        for _ in 0..100 {
+            e.sample(SimDuration::from_millis(44));
+        }
+        let srtt = e.srtt().unwrap();
+        assert!((srtt.as_secs_f64() - 0.044).abs() < 0.001);
+        // Variance decays toward 0; RTO hits the 200 ms floor.
+        assert_eq!(e.rto(), SimDuration::from_millis(200));
+    }
+
+    #[test]
+    fn variance_grows_on_fluctuation() {
+        let mut e = est();
+        for _ in 0..20 {
+            e.sample(SimDuration::from_millis(44));
+        }
+        let quiet = e.rto();
+        for i in 0..20 {
+            e.sample(SimDuration::from_millis(if i % 2 == 0 { 20 } else { 180 }));
+        }
+        assert!(e.rto() > quiet);
+    }
+
+    #[test]
+    fn backoff_doubles_and_sample_resets() {
+        let mut e = est();
+        e.sample(SimDuration::from_millis(44));
+        let base = e.rto();
+        e.back_off();
+        assert_eq!(e.rto(), base * 2);
+        e.back_off();
+        assert_eq!(e.rto(), base * 4);
+        assert_eq!(e.backoff_level(), 2);
+        e.sample(SimDuration::from_millis(44));
+        assert_eq!(e.backoff_level(), 0);
+        assert!(e.rto() <= base * 2);
+    }
+
+    #[test]
+    fn rto_saturates_at_max() {
+        let mut e = RttEstimator::new(
+            SimDuration::from_millis(100),
+            SimDuration::from_millis(200),
+            SimDuration::from_secs(2),
+        );
+        e.sample(SimDuration::from_millis(500));
+        for _ in 0..10 {
+            e.back_off();
+        }
+        assert_eq!(e.rto(), SimDuration::from_secs(2));
+    }
+
+    #[test]
+    fn rto_is_multiple_of_tick_before_clamping() {
+        let mut e = est();
+        e.sample(SimDuration::from_millis(123));
+        let rto = e.rto();
+        assert!(
+            (rto % SimDuration::from_millis(100)).is_zero(),
+            "rto {rto} not tick-aligned"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "tick must be positive")]
+    fn zero_tick_panics() {
+        RttEstimator::new(
+            SimDuration::ZERO,
+            SimDuration::from_millis(200),
+            SimDuration::from_secs(64),
+        );
+    }
+}

@@ -1,0 +1,1183 @@
+//! The TCP sender: window management, loss recovery, retransmission timers.
+
+use std::collections::{BTreeSet, VecDeque};
+
+use tcpburst_des::{Scheduler, SimTime, TimerGeneration, TimerSlot};
+use tcpburst_net::{Ecn, FlowId, NodeId, Packet, PacketKind, SackBlocks, SeqNo};
+use tcpburst_stats::TimeSeries;
+
+use crate::config::{TcpConfig, TcpVariant};
+use crate::counters::TcpCounters;
+use crate::event::{TimerKind, TransportEvent};
+use crate::rtt::RttEstimator;
+use crate::vegas::{Vegas, VegasDecision};
+
+/// Congestion-control phase.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Phase {
+    SlowStart,
+    CongestionAvoidance,
+    /// Reno-style fast recovery; `recover` is `snd_nxt` at entry (NewReno
+    /// stays in recovery until the cumulative ACK reaches it).
+    FastRecovery { recover: SeqNo },
+}
+
+/// Book-keeping for one transmitted, not-yet-acknowledged segment.
+#[derive(Debug, Clone, Copy)]
+struct SendRecord {
+    seq: SeqNo,
+    last_sent: SimTime,
+    retransmitted: bool,
+}
+
+/// The client-side endpoint of one TCP connection.
+///
+/// A sans-io state machine: the application submits segments with
+/// [`on_app_packets`](TcpSender::on_app_packets) (they accumulate in an
+/// unbounded send buffer, exactly the decoupling the paper's Section 3.2
+/// analyzes), ACKs arrive through [`on_ack`](TcpSender::on_ack), timer
+/// firings through [`on_timer`](TcpSender::on_timer), and every outbound
+/// segment is pushed to the caller's `Vec<Packet>` for injection into the
+/// network.
+///
+/// The loss-based variants follow the classic state machine: slow start
+/// (`cwnd += 1` per ACK) below `ssthresh`, congestion avoidance
+/// (`cwnd += 1/cwnd` per ACK) above it, fast retransmit on the third
+/// duplicate ACK, and go-back-N slow-start restart on timeout with Karn's
+/// rule and exponential RTO backoff. Reno and NewReno differ only in
+/// partial-ACK handling inside fast recovery; Tahoe never enters fast
+/// recovery. Vegas replaces the window-growth rules with its per-RTT
+/// `diff`-based controller (see [`crate::VegasParams`]) and adds the
+/// fine-grained early-retransmission check on the first two duplicate ACKs.
+#[derive(Debug)]
+pub struct TcpSender {
+    cfg: TcpConfig,
+    flow: FlowId,
+    local: NodeId,
+    remote: NodeId,
+
+    snd_una: SeqNo,
+    snd_nxt: SeqNo,
+    /// One past the last segment the application has submitted.
+    app_limit: SeqNo,
+
+    cwnd: f64,
+    ssthresh: f64,
+    dup_acks: u32,
+    phase: Phase,
+
+    /// Records for `[snd_una, highest_sent)`, front-aligned with `snd_una`.
+    records: VecDeque<SendRecord>,
+    rtt: RttEstimator,
+    rto_timer: TimerSlot,
+    vegas: Option<Vegas>,
+    /// When the window was last reduced in response to an ECN echo (the
+    /// response is rate-limited to once per RTT, like RFC 3168's CWR).
+    last_ecn_cut: Option<SimTime>,
+    /// Growth is suppressed for the ACK that carried the ECN echo.
+    hold_growth: bool,
+    /// SACK scoreboard: segments above `snd_una` the receiver holds.
+    sacked: BTreeSet<SeqNo>,
+    /// Next hole candidate during a SACK recovery episode.
+    sack_rtx_next: SeqNo,
+
+    counters: TcpCounters,
+    trace: TimeSeries,
+}
+
+impl TcpSender {
+    /// Creates a sender for `flow`, living on node `local`, sending to
+    /// `remote`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see
+    /// [`TcpConfig::validate`]).
+    pub fn new(cfg: TcpConfig, flow: FlowId, local: NodeId, remote: NodeId) -> Self {
+        cfg.validate();
+        let vegas = cfg
+            .variant
+            .is_vegas()
+            .then(|| Vegas::new(cfg.vegas, cfg.max_rto));
+        let mut sender = TcpSender {
+            cfg,
+            flow,
+            local,
+            remote,
+            snd_una: SeqNo::ZERO,
+            snd_nxt: SeqNo::ZERO,
+            app_limit: SeqNo::ZERO,
+            cwnd: cfg.initial_cwnd,
+            ssthresh: cfg.initial_ssthresh,
+            dup_acks: 0,
+            phase: Phase::SlowStart,
+            records: VecDeque::new(),
+            rtt: RttEstimator::new(cfg.tick, cfg.min_rto, cfg.max_rto),
+            rto_timer: TimerSlot::new(),
+            vegas,
+            last_ecn_cut: None,
+            hold_growth: false,
+            sacked: BTreeSet::new(),
+            sack_rtx_next: SeqNo::ZERO,
+            counters: TcpCounters::default(),
+            trace: TimeSeries::new(),
+        };
+        if sender.cfg.trace_cwnd {
+            sender.trace.record(SimTime::ZERO, sender.cwnd);
+        }
+        sender
+    }
+
+    /// The current congestion window, in packets.
+    pub fn cwnd(&self) -> f64 {
+        self.cwnd
+    }
+
+    /// The current slow-start threshold, in packets.
+    pub fn ssthresh(&self) -> f64 {
+        self.ssthresh
+    }
+
+    /// Packets in flight (sent, not yet cumulatively acknowledged).
+    pub fn in_flight(&self) -> u64 {
+        self.snd_una.distance_to(self.snd_nxt)
+    }
+
+    /// Segments submitted by the application but not yet transmitted.
+    pub fn backlog(&self) -> u64 {
+        self.snd_nxt.distance_to(self.app_limit)
+    }
+
+    /// Oldest unacknowledged sequence number.
+    pub fn snd_una(&self) -> SeqNo {
+        self.snd_una
+    }
+
+    /// Next fresh sequence number.
+    pub fn snd_nxt(&self) -> SeqNo {
+        self.snd_nxt
+    }
+
+    /// True while the sender is in slow start.
+    pub fn in_slow_start(&self) -> bool {
+        self.phase == Phase::SlowStart
+    }
+
+    /// True while the sender is in fast recovery.
+    pub fn in_fast_recovery(&self) -> bool {
+        matches!(self.phase, Phase::FastRecovery { .. })
+    }
+
+    /// Sender counters.
+    pub fn counters(&self) -> TcpCounters {
+        self.counters
+    }
+
+    /// The RTT estimator (for inspection).
+    pub fn rtt(&self) -> &RttEstimator {
+        &self.rtt
+    }
+
+    /// The `(time, cwnd)` trace; empty unless
+    /// [`TcpConfig::trace_cwnd`] was set.
+    pub fn cwnd_trace(&self) -> &TimeSeries {
+        &self.trace
+    }
+
+    /// Vegas's minimum observed RTT in seconds, if this is a Vegas sender
+    /// with at least one measurement.
+    pub fn vegas_base_rtt(&self) -> Option<f64> {
+        self.vegas.as_ref().and_then(|v| v.base_rtt())
+    }
+
+    /// The application submits `count` more segments to the (unbounded) send
+    /// buffer; anything the window permits goes out immediately.
+    pub fn on_app_packets<E: From<TransportEvent>>(
+        &mut self,
+        count: u64,
+        sched: &mut Scheduler<E>,
+        out: &mut Vec<Packet>,
+    ) {
+        self.app_limit = SeqNo(self.app_limit.0 + count);
+        self.counters.app_packets_submitted += count;
+        self.send_pending(sched, out);
+        self.counters.peak_backlog = self.counters.peak_backlog.max(self.backlog());
+    }
+
+    /// Handles a cumulative acknowledgment. `ece` is the ACK's ECN-echo
+    /// flag (ignored unless this connection negotiated ECN,
+    /// [`TcpConfig::ecn`]); `sack` carries the receiver's selective
+    /// acknowledgments (ignored unless the variant is
+    /// [`TcpVariant::Sack`]).
+    pub fn on_ack<E: From<TransportEvent>>(
+        &mut self,
+        ack: SeqNo,
+        ece: bool,
+        sack: SackBlocks,
+        sched: &mut Scheduler<E>,
+        out: &mut Vec<Packet>,
+    ) {
+        self.counters.acks_received += 1;
+        if ece && self.cfg.ecn {
+            self.on_ecn_echo(sched.now());
+        }
+        if self.cfg.variant.uses_sack() {
+            for (s, e) in sack.iter() {
+                let lo = s.max(self.snd_una);
+                let hi = e.min(self.snd_nxt);
+                let mut q = lo;
+                while q < hi {
+                    self.sacked.insert(q);
+                    q = q.next();
+                }
+            }
+        }
+        if ack > self.snd_una {
+            self.on_new_ack(ack, sched, out);
+        } else if self.in_flight() > 0 {
+            self.on_dup_ack(sched, out);
+        }
+    }
+
+    /// The lowest un-SACKed hole in `[self.sack_rtx_next, upto)` that is
+    /// *lost* by RFC 3517's DupThresh heuristic: at least three SACKed
+    /// segments lie above it. Merely in-flight segments (no evidence above
+    /// them) are left alone.
+    fn next_sack_hole(&self, upto: SeqNo) -> Option<SeqNo> {
+        let mut q = self.sack_rtx_next.max(self.snd_una);
+        while q < upto {
+            if !self.sacked.contains(&q) {
+                let evidence = self.sacked.range(q..).take(3).count();
+                if evidence >= 3 {
+                    return Some(q);
+                }
+                // Not enough SACK evidence above this hole; anything higher
+                // has even less, so stop scanning.
+                return None;
+            }
+            q = q.next();
+        }
+        None
+    }
+
+    /// RFC 3168 response, simplified: halve the window at most once per
+    /// smoothed RTT; no retransmission is needed because nothing was lost.
+    fn on_ecn_echo(&mut self, now: SimTime) {
+        if self.in_fast_recovery() {
+            return; // already responding to loss
+        }
+        let holdoff = self
+            .rtt
+            .srtt()
+            .unwrap_or(self.cfg.min_rto)
+            .max(self.cfg.tick);
+        if let Some(last) = self.last_ecn_cut {
+            if now.saturating_since(last) < holdoff {
+                return;
+            }
+        }
+        self.last_ecn_cut = Some(now);
+        self.counters.ecn_window_cuts += 1;
+        self.hold_growth = true;
+        self.ssthresh = (self.in_flight() as f64 / 2.0).max(2.0);
+        self.set_cwnd(now, self.ssthresh);
+        if self.phase == Phase::SlowStart {
+            self.phase = Phase::CongestionAvoidance;
+        }
+    }
+
+    fn on_new_ack<E: From<TransportEvent>>(
+        &mut self,
+        ack: SeqNo,
+        sched: &mut Scheduler<E>,
+        out: &mut Vec<Packet>,
+    ) {
+        let now = sched.now();
+        let newly_acked = self.snd_una.distance_to(ack);
+
+        // Retire send records; sample the RTT from the newest segment that
+        // was transmitted exactly once (Karn's rule).
+        let mut sample = None;
+        while let Some(front) = self.records.front() {
+            if front.seq >= ack {
+                break;
+            }
+            let r = self.records.pop_front().expect("front exists");
+            if !r.retransmitted {
+                sample = Some(now.saturating_since(r.last_sent));
+            }
+        }
+        if let Some(s) = sample {
+            self.rtt.sample(s);
+            self.counters.rtt_samples += 1;
+            if let Some(v) = self.vegas.as_mut() {
+                v.on_rtt_sample(s);
+            }
+        }
+
+        self.snd_una = ack;
+        if self.snd_nxt < self.snd_una {
+            // A segment from before a go-back-N rewind was still in flight
+            // and got acknowledged; fast-forward past it.
+            self.snd_nxt = self.snd_una;
+        }
+        if !self.sacked.is_empty() {
+            self.sacked = self.sacked.split_off(&self.snd_una);
+        }
+
+        match self.phase {
+            Phase::FastRecovery { recover } => {
+                let full = ack >= recover;
+                match self.cfg.variant {
+                    TcpVariant::Sack if !full => {
+                        // Partial ACK: the cumulative point is the next lost
+                        // segment (even if an earlier retransmission of it
+                        // was lost too, RFC 3517 §5 step C). Repair it,
+                        // deflate by the amount acknowledged, stay in
+                        // recovery.
+                        self.set_cwnd(now, (self.cwnd - newly_acked as f64 + 1.0).max(1.0));
+                        self.transmit(self.snd_una, now, out);
+                        self.sack_rtx_next = self.sack_rtx_next.max(self.snd_una.next());
+                        self.arm_rto(sched);
+                    }
+                    TcpVariant::NewReno if !full => {
+                        // Partial ACK: the next hole is lost too. Retransmit
+                        // it, deflate by the amount acknowledged, stay in
+                        // recovery (RFC 6582).
+                        self.set_cwnd(now, (self.cwnd - newly_acked as f64 + 1.0).max(1.0));
+                        self.transmit(self.snd_una, now, out);
+                        self.arm_rto(sched);
+                    }
+                    _ => {
+                        // Reno and Vegas leave recovery on any new ACK (this
+                        // is precisely why a multi-loss window in Reno
+                        // usually ends in a timeout); NewReno leaves on a
+                        // full ACK.
+                        self.set_cwnd(now, self.ssthresh.max(1.0));
+                        self.phase = if self.cwnd < self.ssthresh {
+                            Phase::SlowStart
+                        } else {
+                            Phase::CongestionAvoidance
+                        };
+                        self.dup_acks = 0;
+                    }
+                }
+            }
+            Phase::SlowStart | Phase::CongestionAvoidance => {
+                self.dup_acks = 0;
+                if self.hold_growth {
+                    // RFC 3168: no window increase on the ACK that echoed
+                    // congestion.
+                    self.hold_growth = false;
+                } else {
+                    self.grow_window(now);
+                }
+            }
+        }
+
+        if self.in_flight() == 0 {
+            self.rto_timer.disarm();
+        } else {
+            self.arm_rto(sched);
+        }
+        self.send_pending(sched, out);
+
+        // Vegas's once-per-RTT decision. This runs after `send_pending` so
+        // the next epoch marker covers the full flight just released — the
+        // epoch must span one whole window, not end at its first ACK.
+        if let Some(v) = self.vegas.as_mut() {
+            if v.epoch_closed_by(ack) {
+                let in_ss = self.phase == Phase::SlowStart;
+                let in_fr = matches!(self.phase, Phase::FastRecovery { .. });
+                let decision = v.close_epoch(self.cwnd, in_ss, ack, self.snd_nxt);
+                // During fast recovery the window is managed by the loss
+                // machinery (inflation/deflation); close the epoch to keep
+                // the measurement cadence but skip the adjustment.
+                let decision = if in_fr { VegasDecision::Hold } else { decision };
+                match decision {
+                    VegasDecision::Increase => {
+                        let grown = (self.cwnd + 1.0).min(f64::from(self.cfg.advertised_window));
+                        self.set_cwnd(now, grown);
+                    }
+                    VegasDecision::Decrease => {
+                        self.set_cwnd(now, (self.cwnd - 1.0).max(2.0));
+                    }
+                    VegasDecision::ExitSlowStart => {
+                        // Brakmo: back off by one eighth and switch to the
+                        // linear regime.
+                        self.set_cwnd(now, (self.cwnd * 7.0 / 8.0).max(2.0));
+                        self.ssthresh = 2.0;
+                        if self.phase == Phase::SlowStart {
+                            self.phase = Phase::CongestionAvoidance;
+                        }
+                    }
+                    VegasDecision::Hold | VegasDecision::NoMeasurement => {}
+                }
+                // An increase may have opened the window.
+                self.send_pending(sched, out);
+            }
+        }
+    }
+
+    fn on_dup_ack<E: From<TransportEvent>>(
+        &mut self,
+        sched: &mut Scheduler<E>,
+        out: &mut Vec<Packet>,
+    ) {
+        let now = sched.now();
+        self.counters.dup_acks_received += 1;
+        self.dup_acks += 1;
+
+        if self.in_fast_recovery() {
+            // Window inflation: each dup ACK signals a departure.
+            self.set_cwnd(now, self.cwnd + 1.0);
+            if self.cfg.variant.uses_sack() {
+                // The scoreboard lets us repair further holes without
+                // waiting for partial ACKs.
+                if let Phase::FastRecovery { recover } = self.phase {
+                    if let Some(hole) = self.next_sack_hole(recover) {
+                        self.transmit(hole, now, out);
+                        self.sack_rtx_next = hole.next();
+                        return;
+                    }
+                }
+            }
+            self.send_pending(sched, out);
+            return;
+        }
+
+        let vegas_early = match (&self.vegas, self.records.front()) {
+            (Some(v), Some(front)) => {
+                self.dup_acks <= 2 && v.early_retransmit_due(front.last_sent, now)
+            }
+            _ => false,
+        };
+        if self.dup_acks >= 3 || vegas_early {
+            self.enter_loss_recovery(sched, out);
+        }
+    }
+
+    fn enter_loss_recovery<E: From<TransportEvent>>(
+        &mut self,
+        sched: &mut Scheduler<E>,
+        out: &mut Vec<Packet>,
+    ) {
+        let now = sched.now();
+        let flight = self.in_flight() as f64;
+        self.counters.fast_retransmits += 1;
+        match self.cfg.variant {
+            TcpVariant::Tahoe => {
+                // Tahoe: fast retransmit, then slow-start from scratch.
+                self.ssthresh = (flight / 2.0).max(2.0);
+                self.set_cwnd(now, 1.0);
+                self.phase = Phase::SlowStart;
+                self.dup_acks = 0;
+                self.snd_nxt = self.snd_una; // go-back-N
+                self.send_pending(sched, out);
+            }
+            TcpVariant::Reno | TcpVariant::NewReno | TcpVariant::Sack => {
+                self.ssthresh = (flight / 2.0).max(2.0);
+                self.phase = Phase::FastRecovery { recover: self.snd_nxt };
+                self.transmit(self.snd_una, now, out);
+                self.sack_rtx_next = self.snd_una.next();
+                self.set_cwnd(now, self.ssthresh + 3.0);
+                self.arm_rto(sched);
+            }
+            TcpVariant::Vegas => {
+                // Vegas cuts less aggressively (to 3/4) because its loss was
+                // detected early, before the queue collapsed.
+                self.ssthresh = (flight * 0.75).max(2.0);
+                self.phase = Phase::FastRecovery { recover: self.snd_nxt };
+                self.transmit(self.snd_una, now, out);
+                self.set_cwnd(now, self.ssthresh + 3.0);
+                self.arm_rto(sched);
+            }
+        }
+    }
+
+    /// Handles a timer firing addressed to this sender.
+    pub fn on_timer<E: From<TransportEvent>>(
+        &mut self,
+        kind: TimerKind,
+        generation: TimerGeneration,
+        sched: &mut Scheduler<E>,
+        out: &mut Vec<Packet>,
+    ) {
+        if kind != TimerKind::Rto || !self.rto_timer.fires(generation) {
+            return; // stale or misrouted firing
+        }
+        self.rto_timer.disarm();
+        if self.in_flight() == 0 {
+            return;
+        }
+        let now = sched.now();
+        self.counters.timeouts += 1;
+
+        // Classic timeout response: halve into ssthresh, collapse the window
+        // to one segment, back the timer off, resend from the hole
+        // (go-back-N, like the ns agents).
+        self.ssthresh = (self.in_flight() as f64 / 2.0).max(2.0);
+        self.set_cwnd(now, 1.0);
+        self.phase = Phase::SlowStart;
+        self.dup_acks = 0;
+        self.rtt.back_off();
+        self.snd_nxt = self.snd_una;
+        self.sacked.clear();
+        if let Some(v) = self.vegas.as_mut() {
+            v.reset_epoch(self.snd_una.next());
+        }
+        self.send_pending(sched, out);
+        // send_pending arms the timer only if something went out; make sure
+        // a zombie connection still retries.
+        if !self.rto_timer.is_armed() {
+            self.arm_rto(sched);
+        }
+    }
+
+    /// The usable window: `min(⌊cwnd⌋, advertised)`.
+    fn usable_window(&self) -> u64 {
+        (self.cwnd.floor() as u64).min(u64::from(self.cfg.advertised_window))
+    }
+
+    fn send_pending<E: From<TransportEvent>>(
+        &mut self,
+        sched: &mut Scheduler<E>,
+        out: &mut Vec<Packet>,
+    ) {
+        let now = sched.now();
+        let mut sent_any = false;
+        while self.in_flight() < self.usable_window() && self.snd_nxt < self.app_limit {
+            let seq = self.snd_nxt;
+            self.transmit(seq, now, out);
+            self.snd_nxt = seq.next();
+            sent_any = true;
+        }
+        if sent_any && !self.rto_timer.is_armed() {
+            self.arm_rto(sched);
+        }
+    }
+
+    fn transmit(&mut self, seq: SeqNo, now: SimTime, out: &mut Vec<Packet>) {
+        let idx = (seq.0 - self.snd_una.0) as usize;
+        let retransmit = if idx < self.records.len() {
+            let r = &mut self.records[idx];
+            debug_assert_eq!(r.seq, seq, "send records out of alignment");
+            r.last_sent = now;
+            r.retransmitted = true;
+            true
+        } else {
+            debug_assert_eq!(idx, self.records.len(), "non-contiguous transmission");
+            self.records.push_back(SendRecord {
+                seq,
+                last_sent: now,
+                retransmitted: false,
+            });
+            false
+        };
+        if retransmit {
+            self.counters.retransmits += 1;
+        }
+        self.counters.data_packets_sent += 1;
+        out.push(Packet {
+            flow: self.flow,
+            kind: PacketKind::TcpData { seq, retransmit },
+            size_bytes: self.cfg.mss_bytes,
+            src: self.local,
+            dst: self.remote,
+            created_at: now,
+            ecn: if self.cfg.ecn {
+                Ecn::Capable
+            } else {
+                Ecn::NotCapable
+            },
+        });
+    }
+
+    /// Per-ACK window growth for the loss-based variants; Vegas grows only
+    /// in slow start, and only on its growth-parity RTTs.
+    fn grow_window(&mut self, now: SimTime) {
+        let adv = f64::from(self.cfg.advertised_window);
+        match &self.vegas {
+            Some(v) => {
+                if self.phase == Phase::SlowStart && v.may_grow_in_slow_start() {
+                    self.set_cwnd(now, (self.cwnd + 1.0).min(adv));
+                }
+            }
+            None => {
+                if self.cwnd < self.ssthresh {
+                    self.set_cwnd(now, (self.cwnd + 1.0).min(adv));
+                } else {
+                    self.set_cwnd(now, (self.cwnd + 1.0 / self.cwnd).min(adv));
+                }
+            }
+        }
+        if self.phase == Phase::SlowStart && self.cwnd >= self.ssthresh {
+            self.phase = Phase::CongestionAvoidance;
+        }
+    }
+
+    fn set_cwnd(&mut self, now: SimTime, value: f64) {
+        self.cwnd = value;
+        if self.cfg.trace_cwnd {
+            self.trace.record(now, value);
+        }
+    }
+
+    fn arm_rto<E: From<TransportEvent>>(&mut self, sched: &mut Scheduler<E>) {
+        let deadline = sched.now() + self.rtt.rto();
+        let generation = self.rto_timer.arm(deadline);
+        sched.schedule_at(
+            deadline,
+            TransportEvent {
+                flow: self.flow,
+                kind: TimerKind::Rto,
+                generation,
+            }
+            .into(),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::VegasParams;
+
+    type Sched = Scheduler<TransportEvent>;
+
+    fn sender(variant: TcpVariant) -> (TcpSender, Sched, Vec<Packet>) {
+        let cfg = TcpConfig::paper(variant);
+        (
+            TcpSender::new(cfg, FlowId(0), NodeId(0), NodeId(1)),
+            Sched::new(),
+            Vec::new(),
+        )
+    }
+
+    fn data_seqs(out: &[Packet]) -> Vec<u64> {
+        out.iter()
+            .filter_map(|p| match p.kind {
+                PacketKind::TcpData { seq, .. } => Some(seq.0),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Advances the scheduler clock without dispatching (timer events are
+    /// delivered manually where a test needs them).
+    fn advance(sched: &mut Sched, ms: u64) {
+        let target = sched.now() + tcpburst_des::SimDuration::from_millis(ms);
+        while sched.pop_until(target).is_some() {}
+    }
+
+    #[test]
+    fn initial_window_sends_one_packet() {
+        let (mut s, mut sched, mut out) = sender(TcpVariant::Reno);
+        s.on_app_packets(10, &mut sched, &mut out);
+        assert_eq!(data_seqs(&out), vec![0]);
+        assert_eq!(s.in_flight(), 1);
+        assert_eq!(s.backlog(), 9);
+        assert!(s.in_slow_start());
+    }
+
+    #[test]
+    fn slow_start_doubles_per_rtt() {
+        let (mut s, mut sched, mut out) = sender(TcpVariant::Reno);
+        s.on_app_packets(100, &mut sched, &mut out);
+        out.clear();
+        // ACK the first packet: cwnd 1 -> 2, releasing two more packets.
+        advance(&mut sched, 44);
+        s.on_ack(SeqNo(1), false, SackBlocks::EMPTY, &mut sched, &mut out);
+        assert_eq!(data_seqs(&out), vec![1, 2]);
+        assert_eq!(s.cwnd(), 2.0);
+        out.clear();
+        // ACK both: cwnd -> 4.
+        advance(&mut sched, 44);
+        s.on_ack(SeqNo(2), false, SackBlocks::EMPTY, &mut sched, &mut out);
+        s.on_ack(SeqNo(3), false, SackBlocks::EMPTY, &mut sched, &mut out);
+        assert_eq!(s.cwnd(), 4.0);
+        assert_eq!(data_seqs(&out), vec![3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn congestion_avoidance_grows_linearly() {
+        let (mut s, mut sched, mut out) = sender(TcpVariant::Reno);
+        s.ssthresh = 2.0;
+        s.on_app_packets(100, &mut sched, &mut out);
+        out.clear();
+        // First ACK: slow start (cwnd 1 < ssthresh 2) -> cwnd 2, phase CA.
+        s.on_ack(SeqNo(1), false, SackBlocks::EMPTY, &mut sched, &mut out);
+        assert!(!s.in_slow_start());
+        assert_eq!(s.cwnd(), 2.0);
+        // Two more ACKs at cwnd 2: each adds 1/cwnd.
+        s.on_ack(SeqNo(2), false, SackBlocks::EMPTY, &mut sched, &mut out);
+        assert!((s.cwnd() - 2.5).abs() < 1e-9);
+        s.on_ack(SeqNo(3), false, SackBlocks::EMPTY, &mut sched, &mut out);
+        assert!((s.cwnd() - 2.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cwnd_capped_by_advertised_window() {
+        let (mut s, mut sched, mut out) = sender(TcpVariant::Reno);
+        s.on_app_packets(1000, &mut sched, &mut out);
+        let mut acked = 0u64;
+        for _ in 0..100 {
+            acked += 1;
+            s.on_ack(SeqNo(acked), false, SackBlocks::EMPTY, &mut sched, &mut out);
+        }
+        assert!(s.cwnd() <= 20.0);
+        assert!(s.in_flight() <= 20);
+    }
+
+    #[test]
+    fn third_dup_ack_triggers_fast_retransmit() {
+        let (mut s, mut sched, mut out) = sender(TcpVariant::Reno);
+        s.ssthresh = 2.0; // get to CA quickly
+        s.on_app_packets(100, &mut sched, &mut out);
+        // Grow the window a bit.
+        for a in 1..=8u64 {
+            s.on_ack(SeqNo(a), false, SackBlocks::EMPTY, &mut sched, &mut out);
+        }
+        let flight_before = s.in_flight();
+        assert!(flight_before >= 4, "need at least 4 in flight");
+        out.clear();
+        // Packet 8 lost: three dup ACKs for 8.
+        s.on_ack(SeqNo(8), false, SackBlocks::EMPTY, &mut sched, &mut out);
+        s.on_ack(SeqNo(8), false, SackBlocks::EMPTY, &mut sched, &mut out);
+        assert!(!s.in_fast_recovery());
+        s.on_ack(SeqNo(8), false, SackBlocks::EMPTY, &mut sched, &mut out);
+        assert!(s.in_fast_recovery());
+        // The hole was retransmitted.
+        let retx: Vec<_> = out
+            .iter()
+            .filter(|p| matches!(p.kind, PacketKind::TcpData { retransmit: true, .. }))
+            .collect();
+        assert_eq!(retx.len(), 1);
+        assert!(matches!(retx[0].kind, PacketKind::TcpData { seq: SeqNo(8), .. }));
+        assert_eq!(s.counters().fast_retransmits, 1);
+        assert_eq!(s.ssthresh(), (flight_before as f64 / 2.0).max(2.0));
+        assert_eq!(s.cwnd(), s.ssthresh() + 3.0);
+    }
+
+    #[test]
+    fn fast_recovery_inflates_and_deflates() {
+        let (mut s, mut sched, mut out) = sender(TcpVariant::Reno);
+        s.ssthresh = 2.0;
+        s.on_app_packets(100, &mut sched, &mut out);
+        for a in 1..=8u64 {
+            s.on_ack(SeqNo(a), false, SackBlocks::EMPTY, &mut sched, &mut out);
+        }
+        for _ in 0..3 {
+            s.on_ack(SeqNo(8), false, SackBlocks::EMPTY, &mut sched, &mut out);
+        }
+        let after_retx = s.cwnd();
+        // Additional dup ACKs inflate.
+        s.on_ack(SeqNo(8), false, SackBlocks::EMPTY, &mut sched, &mut out);
+        assert_eq!(s.cwnd(), after_retx + 1.0);
+        // The retransmission is finally acknowledged: deflate to ssthresh.
+        let recovery_ack = s.snd_nxt();
+        s.on_ack(recovery_ack, false, SackBlocks::EMPTY, &mut sched, &mut out);
+        assert!(!s.in_fast_recovery());
+        assert_eq!(s.cwnd(), s.ssthresh());
+        assert_eq!(s.counters().timeouts, 0);
+    }
+
+    #[test]
+    fn reno_partial_ack_exits_recovery_newreno_stays() {
+        for (variant, expect_still_in_fr) in
+            [(TcpVariant::Reno, false), (TcpVariant::NewReno, true)]
+        {
+            let (mut s, mut sched, mut out) = sender(variant);
+            s.ssthresh = 2.0;
+            s.on_app_packets(100, &mut sched, &mut out);
+            for a in 1..=8u64 {
+                s.on_ack(SeqNo(a), false, SackBlocks::EMPTY, &mut sched, &mut out);
+            }
+            for _ in 0..3 {
+                s.on_ack(SeqNo(8), false, SackBlocks::EMPTY, &mut sched, &mut out);
+            }
+            assert!(s.in_fast_recovery());
+            out.clear();
+            // Partial ACK: one packet past the hole, but well short of
+            // everything outstanding at entry.
+            let partial = SeqNo(9);
+            assert!(partial < s.snd_nxt());
+            s.on_ack(partial, false, SackBlocks::EMPTY, &mut sched, &mut out);
+            assert_eq!(
+                s.in_fast_recovery(),
+                expect_still_in_fr,
+                "variant {variant:?}"
+            );
+            if expect_still_in_fr {
+                // NewReno retransmits the next hole immediately.
+                assert!(data_seqs(&out).contains(&9), "NewReno must plug the hole");
+            }
+        }
+    }
+
+    #[test]
+    fn tahoe_fast_retransmit_collapses_to_slow_start() {
+        let (mut s, mut sched, mut out) = sender(TcpVariant::Tahoe);
+        s.ssthresh = 2.0;
+        s.on_app_packets(100, &mut sched, &mut out);
+        for a in 1..=8u64 {
+            s.on_ack(SeqNo(a), false, SackBlocks::EMPTY, &mut sched, &mut out);
+        }
+        out.clear();
+        for _ in 0..3 {
+            s.on_ack(SeqNo(8), false, SackBlocks::EMPTY, &mut sched, &mut out);
+        }
+        assert!(!s.in_fast_recovery(), "Tahoe has no fast recovery");
+        assert!(s.in_slow_start());
+        assert_eq!(s.cwnd(), 1.0);
+        // Go-back-N: exactly one packet (the hole) goes out at cwnd 1.
+        assert_eq!(data_seqs(&out), vec![8]);
+        assert_eq!(s.counters().fast_retransmits, 1);
+    }
+
+    #[test]
+    fn timeout_collapses_window_and_backs_off() {
+        let (mut s, mut sched, mut out) = sender(TcpVariant::Reno);
+        s.on_app_packets(10, &mut sched, &mut out);
+        out.clear();
+        // Let the RTO fire (no ACKs at all).
+        let (t, ev) = sched.pop().expect("RTO scheduled");
+        assert_eq!(ev.kind, TimerKind::Rto);
+        assert_eq!(t, SimTime::ZERO + s.rtt().rto()); // armed at send time
+        s.on_timer(ev.kind, ev.generation, &mut sched, &mut out);
+        assert_eq!(s.counters().timeouts, 1);
+        assert_eq!(s.cwnd(), 1.0);
+        assert!(s.in_slow_start());
+        // The first packet is retransmitted, marked as such.
+        assert!(matches!(
+            out[0].kind,
+            PacketKind::TcpData { seq: SeqNo(0), retransmit: true }
+        ));
+        assert_eq!(s.counters().retransmits, 1);
+        assert_eq!(s.rtt().backoff_level(), 1);
+    }
+
+    #[test]
+    fn stale_rto_firing_is_ignored() {
+        let (mut s, mut sched, mut out) = sender(TcpVariant::Reno);
+        s.on_app_packets(5, &mut sched, &mut out);
+        let (_, stale) = sched.pop().expect("first RTO");
+        // An ACK re-arms the timer, invalidating the popped firing.
+        s.on_ack(SeqNo(1), false, SackBlocks::EMPTY, &mut sched, &mut out);
+        out.clear();
+        s.on_timer(stale.kind, stale.generation, &mut sched, &mut out);
+        assert_eq!(s.counters().timeouts, 0);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn rto_disarmed_when_everything_acked() {
+        let (mut s, mut sched, mut out) = sender(TcpVariant::Reno);
+        s.on_app_packets(1, &mut sched, &mut out);
+        s.on_ack(SeqNo(1), false, SackBlocks::EMPTY, &mut sched, &mut out);
+        assert_eq!(s.in_flight(), 0);
+        // The queued firing is stale.
+        let (_, ev) = sched.pop().expect("old RTO event");
+        out.clear();
+        s.on_timer(ev.kind, ev.generation, &mut sched, &mut out);
+        assert_eq!(s.counters().timeouts, 0);
+    }
+
+    #[test]
+    fn karn_rule_skips_retransmitted_samples() {
+        let (mut s, mut sched, mut out) = sender(TcpVariant::Reno);
+        s.on_app_packets(2, &mut sched, &mut out);
+        // Timeout retransmits packet 0.
+        let (_, ev) = sched.pop().unwrap();
+        s.on_timer(ev.kind, ev.generation, &mut sched, &mut out);
+        // The (late) ACK for it must not feed the estimator.
+        s.on_ack(SeqNo(1), false, SackBlocks::EMPTY, &mut sched, &mut out);
+        assert_eq!(s.counters().rtt_samples, 0);
+        // A fresh, never-retransmitted packet does.
+        s.on_ack(SeqNo(2), false, SackBlocks::EMPTY, &mut sched, &mut out);
+        assert_eq!(s.counters().rtt_samples, 1);
+    }
+
+    #[test]
+    fn backlog_waits_for_window_not_app() {
+        let (mut s, mut sched, mut out) = sender(TcpVariant::Reno);
+        s.on_app_packets(50, &mut sched, &mut out);
+        assert_eq!(s.backlog(), 49);
+        assert_eq!(s.counters().peak_backlog, 49);
+        assert_eq!(s.counters().app_packets_submitted, 50);
+        // As the window opens, the backlog drains in bursts — the paper's
+        // slow-start burst mechanism.
+        out.clear();
+        s.on_ack(SeqNo(1), false, SackBlocks::EMPTY, &mut sched, &mut out);
+        assert_eq!(out.len(), 2);
+        assert_eq!(s.backlog(), 47);
+    }
+
+    #[test]
+    fn cwnd_trace_records_changes() {
+        let mut cfg = TcpConfig::paper(TcpVariant::Reno);
+        cfg.trace_cwnd = true;
+        let mut s = TcpSender::new(cfg, FlowId(0), NodeId(0), NodeId(1));
+        let mut sched = Sched::new();
+        let mut out = Vec::new();
+        s.on_app_packets(10, &mut sched, &mut out);
+        advance(&mut sched, 44);
+        s.on_ack(SeqNo(1), false, SackBlocks::EMPTY, &mut sched, &mut out);
+        let trace = s.cwnd_trace();
+        assert!(trace.len() >= 2);
+        assert_eq!(trace.last().unwrap().1, 2.0);
+    }
+
+    #[test]
+    fn vegas_slow_start_grows_every_other_rtt() {
+        let mut cfg = TcpConfig::paper(TcpVariant::Vegas);
+        cfg.vegas = VegasParams {
+            alpha: 1.0,
+            beta: 3.0,
+            gamma: 1000.0, // never exit slow start in this test
+        };
+        let mut s = TcpSender::new(cfg, FlowId(0), NodeId(0), NodeId(1));
+        let mut sched = Sched::new();
+        let mut out = Vec::new();
+        s.on_app_packets(1000, &mut sched, &mut out);
+        assert_eq!(s.cwnd(), 1.0);
+        // Epoch 1 (grow parity): ACK for packet 0 -> cwnd 2.
+        advance(&mut sched, 44);
+        s.on_ack(SeqNo(1), false, SackBlocks::EMPTY, &mut sched, &mut out);
+        assert_eq!(s.cwnd(), 2.0);
+        // Epoch 2 (hold parity): ACKs do not grow the window.
+        advance(&mut sched, 44);
+        s.on_ack(SeqNo(2), false, SackBlocks::EMPTY, &mut sched, &mut out);
+        s.on_ack(SeqNo(3), false, SackBlocks::EMPTY, &mut sched, &mut out);
+        assert_eq!(s.cwnd(), 2.0);
+        // Epoch 3 (grow parity again): cwnd 2 -> 4.
+        advance(&mut sched, 44);
+        s.on_ack(SeqNo(4), false, SackBlocks::EMPTY, &mut sched, &mut out);
+        s.on_ack(SeqNo(5), false, SackBlocks::EMPTY, &mut sched, &mut out);
+        assert_eq!(s.cwnd(), 4.0);
+    }
+
+    #[test]
+    fn vegas_exits_slow_start_on_queue_buildup() {
+        let (mut s, mut sched, mut out) = sender(TcpVariant::Vegas);
+        s.on_app_packets(1000, &mut sched, &mut out);
+        // Epoch 1 at base RTT 44 ms.
+        advance(&mut sched, 44);
+        s.on_ack(SeqNo(1), false, SackBlocks::EMPTY, &mut sched, &mut out);
+        let before = s.cwnd();
+        assert!(s.in_slow_start());
+        // Epoch 2: RTT has tripled — a lot of queueing. diff > gamma.
+        advance(&mut sched, 132);
+        let target = s.snd_nxt();
+        while s.snd_una() < target {
+            let a = s.snd_una().next();
+            s.on_ack(a, false, SackBlocks::EMPTY, &mut sched, &mut out);
+        }
+        assert!(!s.in_slow_start(), "Vegas should have left slow start");
+        assert!(s.cwnd() <= before + 2.0, "no exponential blow-up");
+    }
+
+    /// Acknowledges the oldest outstanding packet exactly `delay_ms` after
+    /// its (re)transmission, advancing the simulated clock as needed.
+    fn ack_after(s: &mut TcpSender, sched: &mut Sched, out: &mut Vec<Packet>, delay_ms: u64) {
+        let sent = s.records.front().expect("something in flight").last_sent;
+        let target = sent + tcpburst_des::SimDuration::from_millis(delay_ms);
+        while sched.pop_until(target).is_some() {}
+        let a = s.snd_una().next();
+        s.on_ack(a, false, SackBlocks::EMPTY, sched, out);
+    }
+
+    #[test]
+    fn vegas_decreases_when_queue_exceeds_beta() {
+        let (mut s, mut sched, mut out) = sender(TcpVariant::Vegas);
+        // Start in congestion avoidance with a roomy window.
+        s.phase = Phase::CongestionAvoidance;
+        s.ssthresh = 2.0;
+        s.cwnd = 10.0;
+        s.on_app_packets(100_000, &mut sched, &mut out);
+        // Several epochs at the 44 ms base RTT: diff ≈ 0, Vegas probes up.
+        for _ in 0..50 {
+            ack_after(&mut s, &mut sched, &mut out, 44);
+        }
+        let uncongested = s.cwnd();
+        assert!(uncongested > 10.0, "diff < alpha should grow the window");
+        // The path RTT doubles (persistent queueing): diff = cwnd/2, so
+        // Vegas must shed one packet per RTT until cwnd/2 <= beta = 3.
+        for _ in 0..300 {
+            ack_after(&mut s, &mut sched, &mut out, 88);
+        }
+        assert!(
+            s.cwnd() <= 6.5,
+            "cwnd {} should settle into the [alpha, beta] band (≤ 2·beta)",
+            s.cwnd()
+        );
+        assert!(s.cwnd() >= 2.0, "Vegas never collapses below 2");
+        assert_eq!(s.counters().timeouts, 0, "no losses were injected");
+    }
+
+    #[test]
+    fn duplicate_acks_with_nothing_outstanding_are_ignored() {
+        let (mut s, mut sched, mut out) = sender(TcpVariant::Reno);
+        s.on_app_packets(1, &mut sched, &mut out);
+        s.on_ack(SeqNo(1), false, SackBlocks::EMPTY, &mut sched, &mut out);
+        for _ in 0..5 {
+            s.on_ack(SeqNo(1), false, SackBlocks::EMPTY, &mut sched, &mut out);
+        }
+        assert_eq!(s.counters().dup_acks_received, 0);
+        assert!(!s.in_fast_recovery());
+    }
+
+    #[test]
+    fn ecn_echo_halves_window_once_per_rtt() {
+        let mut cfg = TcpConfig::paper(TcpVariant::Reno);
+        cfg.ecn = true;
+        let mut s = TcpSender::new(cfg, FlowId(0), NodeId(0), NodeId(1));
+        let mut sched = Sched::new();
+        let mut out = Vec::new();
+        s.ssthresh = 2.0;
+        s.on_app_packets(100, &mut sched, &mut out);
+        for a in 1..=8u64 {
+            s.on_ack(SeqNo(a), false, SackBlocks::EMPTY, &mut sched, &mut out);
+        }
+        let before = s.cwnd();
+        let flight = s.in_flight() as f64;
+        // First ECE: cut to half the flight.
+        s.on_ack(SeqNo(9), true, SackBlocks::EMPTY, &mut sched, &mut out);
+        assert_eq!(s.counters().ecn_window_cuts, 1);
+        assert!(s.cwnd() <= (flight / 2.0).max(2.0) + 1e-9);
+        assert!(s.cwnd() < before);
+        // A second ECE within the same RTT is ignored (once-per-RTT rule).
+        let after_first = s.cwnd();
+        s.on_ack(SeqNo(10), true, SackBlocks::EMPTY, &mut sched, &mut out);
+        assert_eq!(s.counters().ecn_window_cuts, 1);
+        assert!(s.cwnd() >= after_first - 1e-9);
+        // No retransmissions happened: nothing was lost.
+        assert_eq!(s.counters().retransmits, 0);
+        assert_eq!(s.counters().timeouts, 0);
+    }
+
+    #[test]
+    fn ecn_echo_ignored_when_not_negotiated() {
+        let (mut s, mut sched, mut out) = sender(TcpVariant::Reno);
+        s.on_app_packets(10, &mut sched, &mut out);
+        s.on_ack(SeqNo(1), true, SackBlocks::EMPTY, &mut sched, &mut out);
+        assert_eq!(s.counters().ecn_window_cuts, 0);
+    }
+
+    #[test]
+    fn ecn_sender_marks_segments_capable() {
+        let mut cfg = TcpConfig::paper(TcpVariant::Reno);
+        cfg.ecn = true;
+        let mut s = TcpSender::new(cfg, FlowId(0), NodeId(0), NodeId(1));
+        let mut sched = Sched::new();
+        let mut out = Vec::new();
+        s.on_app_packets(1, &mut sched, &mut out);
+        assert_eq!(out[0].ecn, Ecn::Capable);
+    }
+
+    /// Two holes in one window: Reno exits recovery on the partial ACK and
+    /// (with no further dup ACKs) stalls into a timeout; SACK repairs both
+    /// holes within the same recovery episode.
+    #[test]
+    fn sack_repairs_multiple_holes_in_one_recovery() {
+        let (mut s, mut sched, mut out) = sender(TcpVariant::Sack);
+        // Open the window wide enough for a 14-packet flight.
+        s.phase = Phase::CongestionAvoidance;
+        s.ssthresh = 2.0;
+        s.cwnd = 14.0;
+        s.on_app_packets(100, &mut sched, &mut out);
+        assert_eq!(s.snd_nxt(), SeqNo(14));
+        out.clear();
+        // Packets 8 and 10 are lost; 9 and 11..=13 arrive and generate
+        // dup ACKs for 8 with growing SACK information. ACKs 1..8 arrive
+        // first.
+        for a in 1..=8u64 {
+            s.on_ack(SeqNo(a), false, SackBlocks::EMPTY, &mut sched, &mut out);
+        }
+        out.clear();
+        let sack1 = SackBlocks::from_ranges(&[(SeqNo(9), SeqNo(10))]);
+        let sack2 = SackBlocks::from_ranges(&[(SeqNo(11), SeqNo(12)), (SeqNo(9), SeqNo(10))]);
+        let sack3 = SackBlocks::from_ranges(&[(SeqNo(11), SeqNo(13)), (SeqNo(9), SeqNo(10))]);
+        let sack4 = SackBlocks::from_ranges(&[(SeqNo(11), SeqNo(14)), (SeqNo(9), SeqNo(10))]);
+        s.on_ack(SeqNo(8), false, sack1, &mut sched, &mut out);
+        s.on_ack(SeqNo(8), false, sack2, &mut sched, &mut out);
+        s.on_ack(SeqNo(8), false, sack3, &mut sched, &mut out);
+        assert!(s.in_fast_recovery());
+        // Hole 8 was fast-retransmitted.
+        assert_eq!(data_seqs(&out), vec![8]);
+        out.clear();
+        // The 4th dup ACK: the scoreboard now shows 3 SACKed segments above
+        // hole 10 (11, 12, 13), so RFC 3517 declares it lost and SACK
+        // repairs it without waiting for the partial ACK.
+        s.on_ack(SeqNo(8), false, sack4, &mut sched, &mut out);
+        assert_eq!(data_seqs(&out), vec![10]);
+        out.clear();
+        // Partial ACK up to 10 (hole 8 repaired): stay in recovery.
+        s.on_ack(SeqNo(10), false, sack4, &mut sched, &mut out);
+        assert!(s.in_fast_recovery(), "SACK stays in recovery on partial ACK");
+        // Full ACK ends the episode with no timeout.
+        let recover = s.snd_nxt();
+        s.on_ack(recover, false, SackBlocks::EMPTY, &mut sched, &mut out);
+        assert!(!s.in_fast_recovery());
+        assert_eq!(s.counters().timeouts, 0);
+        assert_eq!(s.counters().fast_retransmits, 1);
+    }
+
+    /// Holes without three SACKed segments above them are treated as
+    /// in-flight, not lost (RFC 3517 DupThresh): no spurious retransmission.
+    #[test]
+    fn sack_requires_dupthresh_evidence_before_repairing() {
+        let (mut s, mut sched, mut out) = sender(TcpVariant::Sack);
+        s.phase = Phase::CongestionAvoidance;
+        s.ssthresh = 2.0;
+        s.cwnd = 14.0;
+        s.on_app_packets(100, &mut sched, &mut out);
+        for a in 1..=8u64 {
+            s.on_ack(SeqNo(a), false, SackBlocks::EMPTY, &mut sched, &mut out);
+        }
+        out.clear();
+        // Only packets 9 and 11 SACKed: hole 10 has one segment above it.
+        let weak = SackBlocks::from_ranges(&[(SeqNo(11), SeqNo(12)), (SeqNo(9), SeqNo(10))]);
+        for _ in 0..3 {
+            s.on_ack(SeqNo(8), false, weak, &mut sched, &mut out);
+        }
+        assert!(s.in_fast_recovery());
+        assert_eq!(data_seqs(&out), vec![8], "only the cumulative hole goes out");
+        out.clear();
+        // Further dup ACKs with the same weak evidence must not touch 10.
+        s.on_ack(SeqNo(8), false, weak, &mut sched, &mut out);
+        assert!(!data_seqs(&out).contains(&10));
+    }
+
+    #[test]
+    fn sack_scoreboard_is_cleared_by_timeout_and_cumack() {
+        let (mut s, mut sched, mut out) = sender(TcpVariant::Sack);
+        s.on_app_packets(10, &mut sched, &mut out);
+        let sack = SackBlocks::from_ranges(&[(SeqNo(0), SeqNo(1))]);
+        // A dup ack at snd_una=0 carrying SACK for packet 0 is nonsense
+        // (below the hole), but ranges intersected with [snd_una, snd_nxt)
+        // keep the scoreboard consistent; a cumulative ACK retires entries.
+        s.on_ack(SeqNo(1), false, sack, &mut sched, &mut out);
+        assert_eq!(s.snd_una(), SeqNo(1));
+        // Timeout clears whatever remains and goes back N.
+        let (_, ev) = sched.pop().expect("rto armed");
+        s.on_timer(ev.kind, ev.generation, &mut sched, &mut out);
+        assert_eq!(s.counters().timeouts, 1);
+        assert!(s.in_slow_start());
+    }
+
+    #[test]
+    fn counters_track_sends_and_acks() {
+        let (mut s, mut sched, mut out) = sender(TcpVariant::Reno);
+        s.on_app_packets(3, &mut sched, &mut out);
+        s.on_ack(SeqNo(1), false, SackBlocks::EMPTY, &mut sched, &mut out);
+        s.on_ack(SeqNo(2), false, SackBlocks::EMPTY, &mut sched, &mut out);
+        s.on_ack(SeqNo(3), false, SackBlocks::EMPTY, &mut sched, &mut out);
+        let c = s.counters();
+        assert_eq!(c.data_packets_sent, 3);
+        assert_eq!(c.acks_received, 3);
+        assert_eq!(c.retransmits, 0);
+        assert!(c.rtt_samples >= 1);
+    }
+}
+

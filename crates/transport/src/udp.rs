@@ -1,0 +1,145 @@
+//! UDP: the transparent baseline.
+//!
+//! The paper uses UDP to show that, absent flow and congestion control, the
+//! aggregate traffic entering the gateway is statistically indistinguishable
+//! from the generating (Poisson) process. The sender forwards every
+//! application packet immediately; the sink just counts deliveries.
+
+use tcpburst_des::SimTime;
+use tcpburst_net::{Ecn, FlowId, NodeId, Packet, PacketKind};
+
+/// The client-side UDP endpoint: every application packet goes straight to
+/// the network.
+///
+/// # Example
+///
+/// ```
+/// use tcpburst_des::SimTime;
+/// use tcpburst_net::{FlowId, NodeId};
+/// use tcpburst_transport::UdpSender;
+///
+/// let mut udp = UdpSender::new(FlowId(0), NodeId(0), NodeId(9), 1000);
+/// let pkt = udp.on_app_packet(SimTime::from_millis(3));
+/// assert_eq!(pkt.size_bytes, 1000);
+/// assert_eq!(udp.packets_sent(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct UdpSender {
+    flow: FlowId,
+    local: NodeId,
+    remote: NodeId,
+    payload_bytes: u32,
+    packets_sent: u64,
+}
+
+impl UdpSender {
+    /// Creates a sender for `flow` from `local` to `remote` with fixed-size
+    /// datagrams.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `payload_bytes` is zero.
+    pub fn new(flow: FlowId, local: NodeId, remote: NodeId, payload_bytes: u32) -> Self {
+        assert!(payload_bytes > 0, "payload size must be positive");
+        UdpSender {
+            flow,
+            local,
+            remote,
+            payload_bytes,
+            packets_sent: 0,
+        }
+    }
+
+    /// The application hands over one packet; it is forwarded unmodified.
+    pub fn on_app_packet(&mut self, now: SimTime) -> Packet {
+        self.packets_sent += 1;
+        Packet {
+            flow: self.flow,
+            kind: PacketKind::Datagram,
+            size_bytes: self.payload_bytes,
+            src: self.local,
+            dst: self.remote,
+            created_at: now,
+            ecn: Ecn::default(),
+        }
+    }
+
+    /// Datagrams sent so far.
+    pub fn packets_sent(&self) -> u64 {
+        self.packets_sent
+    }
+}
+
+/// The server-side UDP endpoint: counts deliveries and total latency.
+#[derive(Debug, Clone, Default)]
+pub struct UdpSink {
+    delivered: u64,
+    total_delay_secs: f64,
+}
+
+impl UdpSink {
+    /// Creates an empty sink.
+    pub fn new() -> Self {
+        UdpSink::default()
+    }
+
+    /// Records the delivery of `pkt` at `now`.
+    pub fn on_packet(&mut self, pkt: &Packet, now: SimTime) {
+        self.delivered += 1;
+        self.total_delay_secs += now.saturating_since(pkt.created_at).as_secs_f64();
+    }
+
+    /// Datagrams delivered.
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Mean one-way delay of delivered datagrams, in seconds (zero when
+    /// nothing arrived).
+    pub fn mean_delay_secs(&self) -> f64 {
+        if self.delivered == 0 {
+            0.0
+        } else {
+            self.total_delay_secs / self.delivered as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcpburst_des::SimDuration;
+
+    #[test]
+    fn sender_stamps_addressing_and_kind() {
+        let mut u = UdpSender::new(FlowId(4), NodeId(2), NodeId(7), 1000);
+        let p = u.on_app_packet(SimTime::from_millis(5));
+        assert_eq!(p.flow, FlowId(4));
+        assert_eq!(p.src, NodeId(2));
+        assert_eq!(p.dst, NodeId(7));
+        assert_eq!(p.kind, PacketKind::Datagram);
+        assert_eq!(p.created_at, SimTime::from_millis(5));
+    }
+
+    #[test]
+    fn sink_tracks_count_and_delay() {
+        let mut u = UdpSender::new(FlowId(0), NodeId(0), NodeId(1), 1000);
+        let mut sink = UdpSink::new();
+        let sent = SimTime::from_millis(10);
+        let p = u.on_app_packet(sent);
+        sink.on_packet(&p, sent + SimDuration::from_millis(30));
+        assert_eq!(sink.delivered(), 1);
+        assert!((sink.mean_delay_secs() - 0.030).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_sink_has_zero_delay() {
+        assert_eq!(UdpSink::new().mean_delay_secs(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "payload size")]
+    fn zero_payload_panics() {
+        UdpSender::new(FlowId(0), NodeId(0), NodeId(1), 0);
+    }
+}

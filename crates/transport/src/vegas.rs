@@ -1,0 +1,282 @@
+//! TCP Vegas per-RTT congestion-avoidance state (Brakmo & Peterson 1995).
+//!
+//! Vegas compares the *expected* throughput `cwnd / baseRTT` with the
+//! *actual* throughput `cwnd / RTT` once per round-trip. The difference,
+//! scaled by `baseRTT`, estimates how many of this connection's packets are
+//! sitting in the bottleneck queue; Vegas steers that estimate into the
+//! `[α, β]` band with linear window moves, and leaves slow start (where the
+//! window doubles only every *other* RTT) as soon as the estimate exceeds
+//! `γ`.
+
+use tcpburst_des::{SimDuration, SimTime};
+use tcpburst_net::SeqNo;
+
+use crate::config::VegasParams;
+use crate::rtt::RttEstimator;
+
+/// What the Vegas controller decided at an RTT-epoch boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum VegasDecision {
+    /// Not enough data this epoch; leave the window alone.
+    NoMeasurement,
+    /// Fewer than `alpha` packets queued: linear increase.
+    Increase,
+    /// Within the `[alpha, beta]` band: hold.
+    Hold,
+    /// More than `beta` packets queued: linear decrease.
+    Decrease,
+    /// (Slow start only) more than `gamma` packets queued: leave slow start.
+    ExitSlowStart,
+}
+
+/// The Vegas side-car carried by a [`TcpSender`](crate::TcpSender) running
+/// [`TcpVariant::Vegas`](crate::TcpVariant::Vegas).
+#[derive(Debug, Clone)]
+pub(crate) struct Vegas {
+    params: VegasParams,
+    /// Smallest RTT ever observed (propagation + minimum queueing).
+    base_rtt: Option<f64>,
+    /// Sum/count of RTT samples within the current epoch.
+    rtt_sum: f64,
+    rtt_count: u32,
+    /// The epoch ends when the cumulative ACK passes this sequence number.
+    epoch_end: SeqNo,
+    /// Slow-start parity: Vegas grows the window only every other RTT.
+    grow_this_epoch: bool,
+    /// Fine-grained estimator for the early dup-ACK retransmission check.
+    pub(crate) fine: RttEstimator,
+}
+
+impl Vegas {
+    pub(crate) fn new(params: VegasParams, max_rto: SimDuration) -> Self {
+        Vegas {
+            params,
+            base_rtt: None,
+            rtt_sum: 0.0,
+            rtt_count: 0,
+            epoch_end: SeqNo(1),
+            grow_this_epoch: true,
+            fine: RttEstimator::new(SimDuration::from_nanos(1), SimDuration::from_millis(1), max_rto),
+        }
+    }
+
+    /// The minimum RTT observed so far.
+    pub(crate) fn base_rtt(&self) -> Option<f64> {
+        self.base_rtt
+    }
+
+    /// True if slow-start window growth is allowed in the current epoch.
+    pub(crate) fn may_grow_in_slow_start(&self) -> bool {
+        self.grow_this_epoch
+    }
+
+    /// Feeds one fine-grained RTT sample (every ACKed, never-retransmitted
+    /// segment).
+    pub(crate) fn on_rtt_sample(&mut self, rtt: SimDuration) {
+        let secs = rtt.as_secs_f64();
+        self.base_rtt = Some(match self.base_rtt {
+            None => secs,
+            Some(b) => b.min(secs),
+        });
+        self.rtt_sum += secs;
+        self.rtt_count += 1;
+        self.fine.sample(rtt);
+    }
+
+    /// True when `ack` closes the current measurement epoch.
+    pub(crate) fn epoch_closed_by(&self, ack: SeqNo) -> bool {
+        ack >= self.epoch_end
+    }
+
+    /// Vegas's backlog estimate: `diff = cwnd · (1 − baseRTT/RTT)` packets,
+    /// using the epoch's average RTT. `None` without samples.
+    pub(crate) fn diff_packets(&self, cwnd: f64) -> Option<f64> {
+        let base = self.base_rtt?;
+        if self.rtt_count == 0 {
+            return None;
+        }
+        let avg = self.rtt_sum / f64::from(self.rtt_count);
+        if avg <= 0.0 {
+            return None;
+        }
+        Some(cwnd * (1.0 - base / avg))
+    }
+
+    /// Closes the epoch: makes the once-per-RTT decision, flips the
+    /// slow-start parity and resets the accumulators. `next_end` should be
+    /// the sender's `snd_nxt` (the epoch closes when everything currently
+    /// outstanding has been acknowledged).
+    pub(crate) fn close_epoch(
+        &mut self,
+        cwnd: f64,
+        in_slow_start: bool,
+        ack: SeqNo,
+        next_end: SeqNo,
+    ) -> VegasDecision {
+        let decision = match self.diff_packets(cwnd) {
+            None => VegasDecision::NoMeasurement,
+            Some(diff) => {
+                if in_slow_start {
+                    if diff > self.params.gamma {
+                        VegasDecision::ExitSlowStart
+                    } else {
+                        VegasDecision::Hold
+                    }
+                } else if diff < self.params.alpha {
+                    VegasDecision::Increase
+                } else if diff > self.params.beta {
+                    VegasDecision::Decrease
+                } else {
+                    VegasDecision::Hold
+                }
+            }
+        };
+        self.rtt_sum = 0.0;
+        self.rtt_count = 0;
+        self.grow_this_epoch = !self.grow_this_epoch;
+        self.epoch_end = next_end.max(ack.next());
+        decision
+    }
+
+    /// Resets epoch bookkeeping after a timeout (`base_rtt` survives — the
+    /// path did not change, the queue did).
+    pub(crate) fn reset_epoch(&mut self, next_end: SeqNo) {
+        self.rtt_sum = 0.0;
+        self.rtt_count = 0;
+        self.grow_this_epoch = true;
+        self.epoch_end = next_end;
+    }
+
+    /// True if a dup-ACK at `now` for a segment last transmitted at
+    /// `last_sent` should trigger Vegas's early retransmission (the
+    /// fine-grained timeout check Brakmo applies to the first and second
+    /// duplicate ACKs).
+    pub(crate) fn early_retransmit_due(&self, last_sent: SimTime, now: SimTime) -> bool {
+        now.saturating_since(last_sent) > self.fine.rto()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vegas() -> Vegas {
+        Vegas::new(VegasParams::default(), SimDuration::from_secs(64))
+    }
+
+    fn ms(v: u64) -> SimDuration {
+        SimDuration::from_millis(v)
+    }
+
+    #[test]
+    fn base_rtt_tracks_minimum() {
+        let mut v = vegas();
+        v.on_rtt_sample(ms(50));
+        v.on_rtt_sample(ms(44));
+        v.on_rtt_sample(ms(90));
+        assert_eq!(v.base_rtt(), Some(0.044));
+    }
+
+    #[test]
+    fn diff_is_zero_at_base_rtt() {
+        let mut v = vegas();
+        v.on_rtt_sample(ms(44));
+        let diff = v.diff_packets(10.0).unwrap();
+        assert!(diff.abs() < 1e-9, "no queueing ⇒ diff 0, got {diff}");
+    }
+
+    #[test]
+    fn diff_estimates_queued_packets() {
+        let mut v = vegas();
+        v.on_rtt_sample(ms(44)); // establishes base
+        // Second epoch: all samples at 88 ms (queueing doubled the RTT).
+        v.close_epoch(10.0, false, SeqNo(1), SeqNo(10));
+        v.on_rtt_sample(ms(88));
+        // diff = cwnd (1 - 44/88) = 5 packets queued.
+        let diff = v.diff_packets(10.0).unwrap();
+        assert!((diff - 5.0).abs() < 1e-9, "diff {diff}");
+    }
+
+    #[test]
+    fn decisions_follow_alpha_beta_band() {
+        let mut v = vegas();
+        v.on_rtt_sample(ms(44));
+        v.close_epoch(10.0, false, SeqNo(1), SeqNo(5));
+
+        // diff ≈ 0 < alpha ⇒ increase.
+        v.on_rtt_sample(ms(44));
+        assert_eq!(
+            v.close_epoch(10.0, false, SeqNo(5), SeqNo(10)),
+            VegasDecision::Increase
+        );
+
+        // diff = 20·(1−44/49.5) = 2.22 ⇒ within [1, 3]: hold.
+        v.on_rtt_sample(SimDuration::from_micros(49_500));
+        assert_eq!(
+            v.close_epoch(20.0, false, SeqNo(10), SeqNo(20)),
+            VegasDecision::Hold
+        );
+
+        // diff = 20·(1−44/88) = 10 > beta ⇒ decrease.
+        v.on_rtt_sample(ms(88));
+        assert_eq!(
+            v.close_epoch(20.0, false, SeqNo(20), SeqNo(30)),
+            VegasDecision::Decrease
+        );
+    }
+
+    #[test]
+    fn slow_start_exits_past_gamma() {
+        let mut v = vegas();
+        v.on_rtt_sample(ms(44));
+        v.close_epoch(4.0, true, SeqNo(1), SeqNo(4));
+        // diff = 8·(1−44/88) = 4 > gamma = 1 ⇒ exit.
+        v.on_rtt_sample(ms(88));
+        assert_eq!(
+            v.close_epoch(8.0, true, SeqNo(4), SeqNo(12)),
+            VegasDecision::ExitSlowStart
+        );
+    }
+
+    #[test]
+    fn slow_start_growth_alternates_epochs() {
+        let mut v = vegas();
+        assert!(v.may_grow_in_slow_start());
+        v.on_rtt_sample(ms(44));
+        v.close_epoch(2.0, true, SeqNo(1), SeqNo(2));
+        assert!(!v.may_grow_in_slow_start());
+        v.on_rtt_sample(ms(44));
+        v.close_epoch(2.0, true, SeqNo(2), SeqNo(4));
+        assert!(v.may_grow_in_slow_start());
+    }
+
+    #[test]
+    fn epoch_without_samples_yields_no_measurement() {
+        let mut v = vegas();
+        assert_eq!(
+            v.close_epoch(2.0, false, SeqNo(1), SeqNo(3)),
+            VegasDecision::NoMeasurement
+        );
+    }
+
+    #[test]
+    fn epoch_end_never_stalls() {
+        let mut v = vegas();
+        v.on_rtt_sample(ms(44));
+        // Even if snd_nxt == ack (idle flow), the next epoch end moves past
+        // the ack so the epoch cannot close repeatedly on one ACK.
+        v.close_epoch(1.0, false, SeqNo(7), SeqNo(7));
+        assert!(!v.epoch_closed_by(SeqNo(7)));
+        assert!(v.epoch_closed_by(SeqNo(8)));
+    }
+
+    #[test]
+    fn early_retransmit_uses_fine_timer() {
+        let mut v = vegas();
+        v.on_rtt_sample(ms(40));
+        let rto = v.fine.rto();
+        let sent = SimTime::from_millis(100);
+        assert!(!v.early_retransmit_due(sent, sent + rto / 2));
+        assert!(v.early_retransmit_due(sent, sent + rto + ms(1)));
+    }
+}

@@ -1,0 +1,192 @@
+//! Property-based fuzzing of the TCP sender/receiver state machines.
+//!
+//! A sender is driven with arbitrary-but-causally-valid event sequences
+//! (application writes, cumulative ACKs drawn from the valid range, timer
+//! firings, duplicate ACKs) and must uphold its invariants throughout:
+//! no panic, window bounds, sequence-number ordering, counter consistency.
+
+use proptest::prelude::*;
+use tcpburst_des::{Scheduler, SimDuration};
+use tcpburst_net::{FlowId, NodeId, Packet, PacketKind, SackBlocks, SeqNo};
+use tcpburst_transport::{TcpConfig, TcpSender, TcpVariant, TimerKind, TransportEvent};
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Submit 1..=n application packets.
+    App(u64),
+    /// Acknowledge up to the k-th outstanding packet (cumulative).
+    AckForward(u64),
+    /// Send a duplicate ACK (ack == snd_una).
+    DupAck,
+    /// Same, but with the ECN-echo bit set.
+    EceAck,
+    /// Let simulated time pass (milliseconds).
+    Advance(u64),
+    /// Fire the next pending timer event, if any.
+    FireTimer,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (1u64..20).prop_map(Op::App),
+        (1u64..25).prop_map(Op::AckForward),
+        Just(Op::DupAck),
+        Just(Op::EceAck),
+        (1u64..500).prop_map(Op::Advance),
+        Just(Op::FireTimer),
+    ]
+}
+
+fn variants() -> impl Strategy<Value = TcpVariant> {
+    prop_oneof![
+        Just(TcpVariant::Tahoe),
+        Just(TcpVariant::Reno),
+        Just(TcpVariant::NewReno),
+        Just(TcpVariant::Vegas),
+        Just(TcpVariant::Sack),
+    ]
+}
+
+/// Drives one sender through `ops`, checking invariants after every step.
+fn drive(variant: TcpVariant, ecn: bool, ops: &[Op]) -> Result<(), TestCaseError> {
+    let mut cfg = TcpConfig::paper(variant);
+    cfg.ecn = ecn;
+    cfg.trace_cwnd = true;
+    let mut s = TcpSender::new(cfg, FlowId(0), NodeId(0), NodeId(1));
+    let mut sched: Scheduler<TransportEvent> = Scheduler::new();
+    let mut out: Vec<Packet> = Vec::new();
+    let mut timer_backlog: Vec<TransportEvent> = Vec::new();
+
+    for op in ops {
+        match *op {
+            Op::App(n) => s.on_app_packets(n, &mut sched, &mut out),
+            Op::AckForward(k) => {
+                // A cumulative ACK for min(snd_una + k, snd_nxt): the
+                // receiver can never acknowledge data that was not sent.
+                let target = SeqNo((s.snd_una().0 + k).min(s.snd_nxt().0));
+                if target > s.snd_una() {
+                    s.on_ack(target, false, SackBlocks::EMPTY, &mut sched, &mut out);
+                }
+            }
+            Op::DupAck => s.on_ack(s.snd_una(), false, SackBlocks::EMPTY, &mut sched, &mut out),
+            Op::EceAck => s.on_ack(s.snd_una(), true, SackBlocks::EMPTY, &mut sched, &mut out),
+            Op::Advance(ms) => {
+                let target = sched.now() + SimDuration::from_millis(ms);
+                while let Some((_, ev)) = sched.pop_until(target) {
+                    timer_backlog.push(ev);
+                }
+            }
+            Op::FireTimer => {
+                if let Some(ev) = timer_backlog.pop() {
+                    s.on_timer(ev.kind, ev.generation, &mut sched, &mut out);
+                } else if let Some((_, ev)) = sched.pop() {
+                    s.on_timer(ev.kind, ev.generation, &mut sched, &mut out);
+                }
+            }
+        }
+
+        // --- invariants ---
+        prop_assert!(s.cwnd() >= 1.0, "cwnd {} fell below 1", s.cwnd());
+        prop_assert!(s.ssthresh() >= 2.0, "ssthresh {} fell below 2", s.ssthresh());
+        prop_assert!(
+            s.snd_una() <= s.snd_nxt(),
+            "snd_una {} passed snd_nxt {}",
+            s.snd_una(),
+            s.snd_nxt()
+        );
+        prop_assert!(
+            s.in_flight() <= 20,
+            "flight {} exceeds the advertised window",
+            s.in_flight()
+        );
+        let c = s.counters();
+        prop_assert!(c.retransmits <= c.data_packets_sent);
+        prop_assert!(c.data_packets_sent <= c.app_packets_submitted + c.retransmits);
+        // Every emitted packet is a data segment addressed to the peer.
+        for p in &out {
+            let is_data = matches!(p.kind, PacketKind::TcpData { .. });
+            prop_assert!(is_data, "sender emitted a non-data packet");
+            prop_assert_eq!(p.dst, NodeId(1));
+        }
+        out.clear();
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn sender_invariants_hold_under_arbitrary_events(
+        variant in variants(),
+        ecn in any::<bool>(),
+        ops in proptest::collection::vec(op_strategy(), 1..200),
+    ) {
+        drive(variant, ecn, &ops)?;
+    }
+
+    /// The receiver never panics and its cumulative ACK never regresses,
+    /// whatever segment order arrives.
+    #[test]
+    fn receiver_ack_is_monotone_under_reordering(
+        seqs in proptest::collection::vec(0u64..40, 1..200),
+        delayed_ack in any::<bool>(),
+    ) {
+        let mut cfg = TcpConfig::paper(TcpVariant::Reno);
+        cfg.delayed_ack = delayed_ack;
+        let mut r = tcpburst_transport::TcpReceiver::new(cfg, FlowId(0), NodeId(1), NodeId(0));
+        let mut sched: Scheduler<TransportEvent> = Scheduler::new();
+        let mut out = Vec::new();
+        let mut highest_ack = 0u64;
+        for &q in &seqs {
+            let pkt = Packet {
+                flow: FlowId(0),
+                kind: PacketKind::TcpData { seq: SeqNo(q), retransmit: false },
+                size_bytes: 1500,
+                src: NodeId(0),
+                dst: NodeId(1),
+                created_at: sched.now(),
+                ecn: tcpburst_net::Ecn::NotCapable,
+            };
+            r.on_data(&pkt, &mut sched, &mut out);
+            for p in out.drain(..) {
+                let PacketKind::TcpAck { ack, .. } = p.kind else {
+                    return Err(TestCaseError::fail("receiver emitted non-ACK"));
+                };
+                prop_assert!(ack.0 >= highest_ack, "ACK regressed {} -> {}", highest_ack, ack.0);
+                highest_ack = ack.0;
+            }
+        }
+        // Everything at or above the cumulative point is either delivered or
+        // still buffered; the counters must account for every arrival.
+        let c = r.counters();
+        prop_assert_eq!(
+            c.delivered + c.duplicates + r.reorder_buffer_len() as u64,
+            seqs.len() as u64
+        );
+        // Total delivered equals the cumulative point.
+        prop_assert_eq!(c.delivered, r.rcv_nxt().0);
+    }
+
+    /// Fire every timer at most once after the fact: stale generations are
+    /// always ignored (no spurious timeout avalanche).
+    #[test]
+    fn stale_timer_replay_is_harmless(
+        app in 1u64..50,
+        replays in 1usize..20,
+    ) {
+        let cfg = TcpConfig::paper(TcpVariant::Reno);
+        let mut s = TcpSender::new(cfg, FlowId(0), NodeId(0), NodeId(1));
+        let mut sched: Scheduler<TransportEvent> = Scheduler::new();
+        let mut out = Vec::new();
+        s.on_app_packets(app, &mut sched, &mut out);
+        // Collect the armed RTO event, then deliver it many times.
+        let Some((_, ev)) = sched.pop() else { return Ok(()); };
+        prop_assert_eq!(ev.kind, TimerKind::Rto);
+        for _ in 0..replays {
+            s.on_timer(ev.kind, ev.generation, &mut sched, &mut out);
+        }
+        // Only the first replay may count; the rest are stale.
+        prop_assert!(s.counters().timeouts <= 1, "timeouts {}", s.counters().timeouts);
+    }
+}

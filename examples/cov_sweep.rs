@@ -1,0 +1,42 @@
+//! A compact Figure 2/3/4/13 sweep: all of the paper's protocol
+//! configurations across a range of client counts.
+//!
+//! ```text
+//! cargo run --release --example cov_sweep [seconds]
+//! ```
+//!
+//! Uses a reduced duration (default 20 s vs the paper's 200 s) so the sweep
+//! finishes in well under a minute; the bench harness
+//! (`cargo bench -p tcpburst-bench`) runs the full-scale version.
+
+use std::env;
+
+use tcpburst_core::experiments::Sweep;
+use tcpburst_core::Protocol;
+use tcpburst_des::SimDuration;
+
+fn main() {
+    let seconds: u64 = env::args()
+        .nth(1)
+        .map(|a| a.parse().expect("seconds must be an integer"))
+        .unwrap_or(20);
+    let clients = [5, 15, 25, 35, 39, 45, 60];
+
+    println!(
+        "Sweeping {} protocols x {:?} clients, {} s each...\n",
+        Protocol::PAPER_SET.len(),
+        clients,
+        seconds
+    );
+    let sweep = Sweep::run(
+        &Protocol::PAPER_SET,
+        &clients,
+        SimDuration::from_secs(seconds),
+        42,
+    );
+
+    println!("{}", sweep.fig2_cov_table());
+    println!("{}", sweep.fig3_throughput_table());
+    println!("{}", sweep.fig4_loss_table());
+    println!("{}", sweep.fig13_timeout_ratio_table());
+}

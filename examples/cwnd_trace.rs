@@ -1,0 +1,57 @@
+//! Congestion-window evolution (the paper's Figures 5-12).
+//!
+//! ```text
+//! cargo run --release --example cwnd_trace [protocol] [num_clients] [seconds]
+//! ```
+//!
+//! Prints the sampled cwnd (0.1 s grid, like the paper's time unit) of three
+//! representative clients, plus a coarse ASCII strip chart of the first
+//! client's window so the slow-start sawtooth vs Vegas's flat window is
+//! visible at a glance.
+
+use std::env;
+
+use tcpburst_core::experiments::{cwnd_evolution, paper_traced_clients};
+use tcpburst_core::Protocol;
+use tcpburst_des::{SimDuration, SimTime};
+
+fn main() {
+    let mut args = env::args().skip(1);
+    let protocol = match args.next().as_deref() {
+        None | Some("reno") => Protocol::Reno,
+        Some("vegas") => Protocol::Vegas,
+        Some("tahoe") => Protocol::Tahoe,
+        Some("newreno") => Protocol::NewReno,
+        Some(other) => panic!("unknown protocol {other} (use reno/vegas/tahoe/newreno)"),
+    };
+    let clients: usize = args
+        .next()
+        .map(|a| a.parse().expect("num_clients must be an integer"))
+        .unwrap_or(39);
+    let seconds: u64 = args
+        .next()
+        .map(|a| a.parse().expect("seconds must be an integer"))
+        .unwrap_or(10);
+
+    let duration = SimDuration::from_secs(seconds);
+    let fig = cwnd_evolution(
+        protocol,
+        clients,
+        &paper_traced_clients(clients),
+        duration,
+        7,
+    );
+
+    println!("{}", fig.table());
+
+    // ASCII strip chart of client 1's window, one row per 0.5 s.
+    if let Some(first) = fig.traces.first() {
+        println!("client 1 window (each row = 0.5 s, width = cwnd in packets):");
+        let step = SimDuration::from_millis(500);
+        let samples = first.trace.sample_hold(step, SimTime::ZERO + duration);
+        for (i, w) in samples.iter().enumerate() {
+            let bar = "#".repeat(w.round().max(0.0) as usize);
+            println!("{:>6.1}s |{bar}", i as f64 * 0.5);
+        }
+    }
+}

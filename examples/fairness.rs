@@ -1,0 +1,60 @@
+//! Bandwidth-sharing fairness: Reno vs Vegas (the paper's Section 3.3/3.4
+//! observation that Vegas "shares available bandwidth more fairly").
+//!
+//! Prints Jain's fairness index and the per-flow goodput spread for each
+//! variant under heavy congestion, plus per-flow goodput histogram strips.
+//!
+//! ```text
+//! cargo run --release --example fairness [num_clients] [seconds]
+//! ```
+
+use std::env;
+
+use tcpburst_core::{Protocol, Scenario, ScenarioConfig};
+use tcpburst_des::SimDuration;
+use tcpburst_stats::RunningStats;
+
+fn main() {
+    let mut args = env::args().skip(1);
+    let clients: usize = args
+        .next()
+        .map(|a| a.parse().expect("num_clients must be an integer"))
+        .unwrap_or(60);
+    let seconds: u64 = args
+        .next()
+        .map(|a| a.parse().expect("seconds must be an integer"))
+        .unwrap_or(30);
+
+    for p in [
+        Protocol::Tahoe,
+        Protocol::Reno,
+        Protocol::NewReno,
+        Protocol::Sack,
+        Protocol::Vegas,
+    ] {
+        let mut cfg = ScenarioConfig::paper(clients, p);
+        cfg.duration = SimDuration::from_secs(seconds);
+        let r = Scenario::run(&cfg);
+        let stats: RunningStats = r.flows.iter().map(|f| f.delivered as f64).collect();
+        println!(
+            "{:<8} fairness {:.4}  goodput/flow mean {:>7.1} min {:>6.0} max {:>6.0} (pkts)",
+            p.label(),
+            r.fairness,
+            stats.mean(),
+            stats.min(),
+            stats.max()
+        );
+        // A histogram strip: flows bucketed by goodput relative to the mean.
+        let mut buckets = [0usize; 8];
+        for f in &r.flows {
+            let rel = f.delivered as f64 / stats.mean().max(1.0);
+            let idx = ((rel * 4.0) as usize).min(buckets.len() - 1);
+            buckets[idx] += 1;
+        }
+        print!("         share histogram (x0.25 of mean): ");
+        for b in buckets {
+            print!("{b:>4}");
+        }
+        println!("\n");
+    }
+}

@@ -1,0 +1,69 @@
+//! Quickstart: run one scenario from the paper and print its report.
+//!
+//! ```text
+//! cargo run --release --example quickstart [num_clients] [protocol] [seconds]
+//! ```
+//!
+//! Defaults to 39 Reno clients (the paper's congestion crossover) for 30
+//! simulated seconds. Protocols: udp, reno, reno-red, vegas, vegas-red,
+//! reno-delayack, tahoe, newreno.
+
+use std::env;
+
+use tcpburst_core::{Protocol, Scenario, ScenarioConfig};
+use tcpburst_des::SimDuration;
+
+fn parse_protocol(name: &str) -> Option<Protocol> {
+    Some(match name.to_ascii_lowercase().as_str() {
+        "udp" => Protocol::Udp,
+        "reno" => Protocol::Reno,
+        "reno-red" => Protocol::RenoRed,
+        "vegas" => Protocol::Vegas,
+        "vegas-red" => Protocol::VegasRed,
+        "reno-delayack" => Protocol::RenoDelayAck,
+        "tahoe" => Protocol::Tahoe,
+        "newreno" => Protocol::NewReno,
+        _ => return None,
+    })
+}
+
+fn main() {
+    let mut args = env::args().skip(1);
+    let clients: usize = args
+        .next()
+        .map(|a| a.parse().expect("num_clients must be an integer"))
+        .unwrap_or(39);
+    let protocol = args
+        .next()
+        .map(|a| parse_protocol(&a).expect("unknown protocol"))
+        .unwrap_or(Protocol::Reno);
+    let seconds: u64 = args
+        .next()
+        .map(|a| a.parse().expect("seconds must be an integer"))
+        .unwrap_or(30);
+
+    let mut cfg = ScenarioConfig::paper(clients, protocol);
+    cfg.duration = SimDuration::from_secs(seconds);
+
+    println!(
+        "Running {} clients of {} for {} simulated seconds...",
+        clients,
+        protocol.label(),
+        seconds
+    );
+    let start = std::time::Instant::now();
+    let report = Scenario::run(&cfg);
+    let wall = start.elapsed();
+
+    println!("{report}");
+    println!(
+        "c.o.v. ratio vs Poisson: {:.2}x  (the paper's burstiness metric)",
+        report.cov_ratio()
+    );
+    println!(
+        "[{} events in {:.2?}, {:.1}M events/s]",
+        report.events_processed,
+        wall,
+        report.events_processed as f64 / wall.as_secs_f64() / 1e6
+    );
+}

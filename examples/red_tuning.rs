@@ -1,0 +1,67 @@
+//! RED parameter exploration: how the (min_th, max_th) thresholds shape
+//! c.o.v., throughput and loss for Reno and Vegas under heavy congestion.
+//!
+//! The paper (Section 3.5) finds that RED *hurts* both Reno and Vegas at the
+//! paper's (10, 40) settings; this tool shows how sensitive that conclusion
+//! is to the thresholds.
+//!
+//! ```text
+//! cargo run --release --example red_tuning [num_clients] [seconds]
+//! ```
+
+use std::env;
+
+use tcpburst_core::{Protocol, Scenario, ScenarioConfig};
+use tcpburst_des::SimDuration;
+
+fn main() {
+    let mut args = env::args().skip(1);
+    let clients: usize = args
+        .next()
+        .map(|a| a.parse().expect("num_clients must be an integer"))
+        .unwrap_or(45);
+    let seconds: u64 = args
+        .next()
+        .map(|a| a.parse().expect("seconds must be an integer"))
+        .unwrap_or(20);
+
+    println!(
+        "{clients} clients, {seconds} s per cell. Plain-FIFO baselines first, then RED threshold grid.\n"
+    );
+    println!(
+        "{:<14} {:>10} {:>10} {:>12} {:>8}",
+        "config", "cov", "cov/pois", "delivered", "loss%"
+    );
+
+    for p in [Protocol::Reno, Protocol::Vegas] {
+        let mut cfg = ScenarioConfig::paper(clients, p);
+        cfg.duration = SimDuration::from_secs(seconds);
+        let r = Scenario::run(&cfg);
+        println!(
+            "{:<14} {:>10.4} {:>10.2} {:>12} {:>8.2}",
+            p.label(),
+            r.cov,
+            r.cov_ratio(),
+            r.delivered_packets,
+            r.loss_percent
+        );
+    }
+
+    for p in [Protocol::RenoRed, Protocol::VegasRed] {
+        for (min_th, max_th) in [(5.0, 15.0), (10.0, 40.0), (15.0, 45.0), (25.0, 50.0)] {
+            let mut cfg = ScenarioConfig::paper(clients, p);
+            cfg.duration = SimDuration::from_secs(seconds);
+            cfg.params.red_min_th = min_th;
+            cfg.params.red_max_th = max_th;
+            let r = Scenario::run(&cfg);
+            println!(
+                "{:<14} {:>10.4} {:>10.2} {:>12} {:>8.2}   (min {min_th}, max {max_th})",
+                p.label(),
+                r.cov,
+                r.cov_ratio(),
+                r.delivered_packets,
+                r.loss_percent
+            );
+        }
+    }
+}

@@ -1,0 +1,304 @@
+//! Cross-crate integration tests: the full stack (des → net → transport →
+//! traffic → core) wired together, checked for conservation laws, timer
+//! hygiene and reproducibility.
+
+use tcpburst_core::{GatewayKind, Protocol, Scenario, ScenarioConfig, SourceKind};
+use tcpburst_des::SimDuration;
+use tcpburst_traffic::ParetoOnOffConfig;
+use tcpburst_transport::TcpVariant;
+
+fn cfg(clients: usize, protocol: Protocol, secs: u64) -> ScenarioConfig {
+    let mut cfg = ScenarioConfig::paper(clients, protocol);
+    cfg.duration = SimDuration::from_secs(secs);
+    cfg
+}
+
+/// Every packet offered to the bottleneck queue is accounted for: it either
+/// departed, was dropped, or is still queued/in flight at the end.
+#[test]
+fn bottleneck_accounting_conserves_packets() {
+    for p in [Protocol::Udp, Protocol::Reno, Protocol::Vegas] {
+        let r = Scenario::run(&cfg(45, p, 10));
+        let q = r.bottleneck_queue;
+        assert!(
+            q.departures + q.drops_total() <= q.arrivals,
+            "{p:?}: departures {} + drops {} exceed arrivals {}",
+            q.departures,
+            q.drops_total(),
+            q.arrivals
+        );
+        // The residue (still queued at the end) is at most the buffer size
+        // plus the packet in service.
+        let residue = q.arrivals - q.departures - q.drops_total();
+        assert!(residue <= 51, "{p:?}: residue {residue} exceeds buffer");
+    }
+}
+
+/// Goodput can never exceed what the senders put on the wire, and the wire
+/// count includes retransmissions.
+#[test]
+fn goodput_bounded_by_transmissions() {
+    let r = Scenario::run(&cfg(40, Protocol::Reno, 10));
+    assert!(r.delivered_packets <= r.tcp_totals.data_packets_sent);
+    assert!(r.tcp_totals.retransmits <= r.tcp_totals.data_packets_sent);
+    for f in &r.flows {
+        assert!(f.delivered <= f.packets_sent);
+    }
+}
+
+/// In-order delivery: per-flow goodput counts only unique segments, so it is
+/// bounded by what the application generated.
+#[test]
+fn goodput_bounded_by_generation() {
+    let r = Scenario::run(&cfg(30, Protocol::Reno, 10));
+    let submitted: u64 = r
+        .flows
+        .iter()
+        .filter_map(|f| f.tcp.as_ref())
+        .map(|c| c.app_packets_submitted)
+        .sum();
+    assert_eq!(submitted, r.generated_packets);
+    assert!(r.delivered_packets <= r.generated_packets);
+}
+
+/// The whole pipeline is deterministic: same seed, same everything.
+#[test]
+fn end_to_end_determinism_across_protocols() {
+    for p in [
+        Protocol::Udp,
+        Protocol::Reno,
+        Protocol::RenoRed,
+        Protocol::Vegas,
+        Protocol::VegasRed,
+        Protocol::RenoDelayAck,
+        Protocol::Tahoe,
+        Protocol::NewReno,
+        Protocol::Sack,
+    ] {
+        let a = Scenario::run(&cfg(15, p, 5));
+        let b = Scenario::run(&cfg(15, p, 5));
+        assert_eq!(a.events_processed, b.events_processed, "{p:?}");
+        assert_eq!(a.delivered_packets, b.delivered_packets, "{p:?}");
+        assert_eq!(a.cov.to_bits(), b.cov.to_bits(), "{p:?}");
+        assert_eq!(
+            a.bottleneck_queue.drops_total(),
+            b.bottleneck_queue.drops_total(),
+            "{p:?}"
+        );
+    }
+}
+
+/// Delayed ACKs halve the reverse-path ACK count (roughly) without breaking
+/// delivery.
+#[test]
+fn delayed_ack_reduces_ack_traffic() {
+    let plain = Scenario::run(&cfg(20, Protocol::Reno, 10));
+    let delack = Scenario::run(&cfg(20, Protocol::RenoDelayAck, 10));
+    assert!(
+        delack.tcp_totals.acks_received < plain.tcp_totals.acks_received,
+        "delack acks {} should be below plain {}",
+        delack.tcp_totals.acks_received,
+        plain.tcp_totals.acks_received
+    );
+    // Uncongested at 20 clients: both deliver essentially everything.
+    assert!(delack.delivered_packets as f64 >= 0.95 * delack.generated_packets as f64);
+}
+
+/// All TCP variants make forward progress under heavy congestion and drop
+/// some packets at the gateway (none deadlocks, none is loss-free).
+#[test]
+fn every_variant_survives_heavy_congestion() {
+    for v in [
+        TcpVariant::Tahoe,
+        TcpVariant::Reno,
+        TcpVariant::NewReno,
+        TcpVariant::Vegas,
+        TcpVariant::Sack,
+    ] {
+        let mut c = cfg(50, Protocol::Reno, 10);
+        c.transport = tcpburst_core::TransportKind::Tcp(v);
+        let r = Scenario::run(&c);
+        let capacity = 4166.7 * 10.0;
+        assert!(
+            r.delivered_packets as f64 > 0.6 * capacity,
+            "{v:?} delivered only {} of ~{capacity}",
+            r.delivered_packets
+        );
+        assert!(
+            r.bottleneck_queue.drops_total() > 0,
+            "{v:?} suspiciously lost nothing at 120% offered load"
+        );
+    }
+}
+
+/// RED and FIFO gateways both work with every transport; RED's drops are
+/// (mostly) early/forced rather than buffer overflows.
+#[test]
+fn red_drops_before_the_buffer_fills() {
+    let mut c = cfg(50, Protocol::RenoRed, 10);
+    c.gateway = GatewayKind::Red;
+    let r = Scenario::run(&c);
+    let q = r.bottleneck_queue;
+    assert!(
+        q.drops_early + q.drops_forced > q.drops_full,
+        "RED should act before overflow: early {} forced {} full {}",
+        q.drops_early,
+        q.drops_forced,
+        q.drops_full
+    );
+}
+
+/// The c.o.v. probe sees exactly the data packets that reached the gateway:
+/// generated minus access-link residue (access links never drop at these
+/// loads).
+#[test]
+fn probe_counts_match_gateway_arrivals() {
+    let r = Scenario::run(&cfg(10, Protocol::Udp, 10));
+    let counted: u64 = r.bins.counts().iter().sum();
+    // Bins cover complete windows only, so counted <= arrivals; the gap is
+    // at most the final partial bin plus packets in flight on access links.
+    assert!(counted <= r.bottleneck_queue.arrivals);
+    let gap = r.bottleneck_queue.arrivals - counted;
+    assert!(gap <= 200, "unaccounted gap {gap} too large");
+}
+
+/// Alternate sources plug into the same harness.
+#[test]
+fn cbr_and_pareto_sources_run_end_to_end() {
+    let mut c = cfg(20, Protocol::Reno, 10);
+    c.source = SourceKind::Cbr { rate: 100.0 };
+    let cbr = Scenario::run(&c);
+    assert!(cbr.delivered_packets > 0);
+
+    c.source = SourceKind::ParetoOnOff(ParetoOnOffConfig::default());
+    let pareto = Scenario::run(&c);
+    assert!(pareto.delivered_packets > 0);
+
+    // Same mean rate, very different burst structure: the heavy-tailed
+    // input should be burstier at the gateway than the CBR input.
+    assert!(
+        pareto.cov > cbr.cov,
+        "Pareto ON/OFF cov {} should exceed CBR cov {}",
+        pareto.cov,
+        cbr.cov
+    );
+}
+
+/// Warm-up exclusion and custom bin widths are honoured by the probe.
+#[test]
+fn warmup_and_bin_overrides_apply() {
+    let mut c = cfg(20, Protocol::Reno, 10);
+    c.warmup = SimDuration::from_secs(5);
+    c.cov_bin = Some(SimDuration::from_millis(100));
+    let r = Scenario::run(&c);
+    // 5 s of 100 ms bins = 50 complete bins.
+    assert_eq!(r.bins.len(), 50);
+    assert_eq!(r.bins.bin_width(), SimDuration::from_millis(100));
+}
+
+/// Per-flow fairness on a symmetric topology is near-perfect when
+/// uncongested, for every transport.
+#[test]
+fn symmetric_uncongested_flows_share_equally() {
+    for p in [Protocol::Udp, Protocol::Reno, Protocol::Vegas] {
+        let r = Scenario::run(&cfg(10, p, 15));
+        assert!(
+            r.fairness > 0.98,
+            "{p:?}: fairness {} too low for an uncongested symmetric net",
+            r.fairness
+        );
+    }
+}
+
+/// ECN end-to-end: with a marking RED gateway and ECN-negotiating Reno,
+/// congestion is signalled by marks, losses fall relative to dropping RED,
+/// and senders take echo-driven window cuts.
+#[test]
+fn ecn_marks_replace_losses_on_red() {
+    let mut plain = cfg(50, Protocol::RenoRed, 15);
+    let dropping = Scenario::run(&plain);
+    plain.ecn = true;
+    let marking = Scenario::run(&plain);
+
+    assert!(marking.bottleneck_queue.ecn_marks > 0, "no CE marks");
+    assert!(marking.tcp_totals.ecn_window_cuts > 0, "no echo cuts");
+    assert!(
+        marking.loss_percent < dropping.loss_percent,
+        "ECN loss {}% should be below dropping RED {}%",
+        marking.loss_percent,
+        dropping.loss_percent
+    );
+    assert!(
+        marking.delivered_packets >= dropping.delivered_packets,
+        "ECN goodput {} should not trail dropping RED {}",
+        marking.delivered_packets,
+        dropping.delivered_packets
+    );
+    // Without a marking gateway, an ECN-negotiating sender sees no echoes.
+    let mut fifo = cfg(50, Protocol::Reno, 15);
+    fifo.ecn = true;
+    let fifo_run = Scenario::run(&fifo);
+    assert_eq!(fifo_run.tcp_totals.ecn_window_cuts, 0);
+}
+
+/// The self-configuring RED gateway runs end-to-end and adapts without
+/// collapsing throughput.
+#[test]
+fn adaptive_red_gateway_works() {
+    let mut c = cfg(50, Protocol::RenoRed, 15);
+    c.gateway = tcpburst_core::GatewayKind::AdaptiveRed;
+    let r = Scenario::run(&c);
+    assert!(r.delivered_packets as f64 > 0.6 * 4166.7 * 15.0);
+    assert!(r.bottleneck_queue.drops_total() > 0);
+}
+
+/// The delay and occupancy instrumentation reports sane values: the mean
+/// one-way delay is at least the propagation floor (22 ms) and at most
+/// propagation plus a full buffer's worth of queueing.
+#[test]
+fn delay_and_occupancy_metrics_are_physical() {
+    let r = Scenario::run(&cfg(45, Protocol::Reno, 15));
+    // One-way propagation = 22 ms; full 50-packet queue at 50 Mbps adds
+    // only ~12 ms, access queueing a bit more.
+    assert!(
+        r.mean_delay_secs >= 0.022,
+        "delay {} below propagation floor",
+        r.mean_delay_secs
+    );
+    assert!(
+        r.mean_delay_secs <= 0.060,
+        "delay {} implausibly high",
+        r.mean_delay_secs
+    );
+    assert!(r.avg_queue_len > 0.0);
+    assert!(
+        r.avg_queue_len <= 50.0,
+        "avg queue {} exceeds the buffer",
+        r.avg_queue_len
+    );
+    for f in &r.flows {
+        assert!(f.mean_delay_secs >= 0.022);
+    }
+}
+
+/// SACK's selective retransmission resolves multi-loss windows that drive
+/// Reno into timeouts: under the same heavy congestion, SACK takes fewer
+/// timeouts per fast-retransmit episode.
+#[test]
+fn sack_times_out_less_than_reno() {
+    let reno = Scenario::run(&cfg(55, Protocol::Reno, 20));
+    let sack = Scenario::run(&cfg(55, Protocol::Sack, 20));
+    assert!(
+        sack.timeout_dupack_ratio() < reno.timeout_dupack_ratio(),
+        "SACK ratio {} should be below Reno {}",
+        sack.timeout_dupack_ratio(),
+        reno.timeout_dupack_ratio()
+    );
+    // And it must not cost goodput.
+    assert!(
+        sack.delivered_packets as f64 >= 0.97 * reno.delivered_packets as f64,
+        "SACK {} vs Reno {}",
+        sack.delivered_packets,
+        reno.delivered_packets
+    );
+}

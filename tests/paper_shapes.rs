@@ -1,0 +1,255 @@
+//! The paper's qualitative claims, asserted at reduced scale.
+//!
+//! These tests pin the *shape* of every headline result (who wins, in which
+//! direction, roughly by how much) using shorter runs than the paper's
+//! 200 s; the full-scale numbers live in the bench harness and
+//! EXPERIMENTS.md.
+
+use tcpburst_core::experiments::{cwnd_evolution, paper_traced_clients};
+use tcpburst_core::{Protocol, Scenario, ScenarioConfig};
+use tcpburst_des::{SimDuration, SimTime};
+use tcpburst_stats::RunningStats;
+
+const SECS: u64 = 25;
+
+fn run(clients: usize, protocol: Protocol) -> tcpburst_core::ScenarioReport {
+    let mut cfg = ScenarioConfig::paper(clients, protocol);
+    cfg.duration = SimDuration::from_secs(SECS);
+    Scenario::run(&cfg)
+}
+
+/// Figure 2, uncongested regime: every transport's c.o.v. is close to the
+/// aggregated-Poisson reference ("the different TCP implementations exhibit
+/// nearly identical behavior" below the congestion knee).
+#[test]
+fn fig2_uncongested_everything_tracks_poisson() {
+    for p in [Protocol::Udp, Protocol::Reno, Protocol::Vegas] {
+        let r = run(15, p);
+        assert!(
+            (0.8..1.4).contains(&r.cov_ratio()),
+            "{p:?}: uncongested cov ratio {} strays from 1",
+            r.cov_ratio()
+        );
+    }
+}
+
+/// Figure 2, UDP: no adverse modulation at any load.
+#[test]
+fn fig2_udp_never_modulates() {
+    for n in [20, 40, 60] {
+        let r = run(n, Protocol::Udp);
+        assert!(
+            (0.85..1.25).contains(&r.cov_ratio()),
+            "UDP at {n} clients: cov ratio {}",
+            r.cov_ratio()
+        );
+    }
+}
+
+/// Figure 2, heavy congestion: Reno modulates the aggregate to be far
+/// burstier than Poisson (the paper reports >140%); Vegas stays at or below
+/// the reference.
+#[test]
+fn fig2_reno_bursty_vegas_smooth_under_heavy_congestion() {
+    let reno = run(60, Protocol::Reno);
+    let vegas = run(60, Protocol::Vegas);
+    assert!(
+        reno.cov_ratio() > 1.5,
+        "Reno cov ratio {} should be well above Poisson",
+        reno.cov_ratio()
+    );
+    assert!(
+        vegas.cov_ratio() < 1.1,
+        "Vegas cov ratio {} should hug the Poisson reference",
+        vegas.cov_ratio()
+    );
+    assert!(
+        reno.cov > 2.0 * vegas.cov,
+        "Reno cov {} should dwarf Vegas cov {}",
+        reno.cov,
+        vegas.cov
+    );
+}
+
+/// Figure 2: RED increases Reno's modulation relative to plain FIFO under
+/// heavy congestion.
+#[test]
+fn fig2_red_worsens_reno_burstiness() {
+    let plain = run(60, Protocol::Reno);
+    let red = run(60, Protocol::RenoRed);
+    assert!(
+        red.cov > plain.cov * 0.9,
+        "Reno/RED cov {} collapsed below plain Reno {}",
+        red.cov,
+        plain.cov
+    );
+    // The paper: Reno/RED is the burstiest configuration of all.
+    assert!(
+        red.cov_ratio() > 1.4,
+        "Reno/RED cov ratio {} should be far above Poisson",
+        red.cov_ratio()
+    );
+}
+
+/// Figure 3: under heavy congestion Vegas sustains at least Reno's
+/// throughput, and each plain variant beats its RED counterpart.
+#[test]
+fn fig3_throughput_ordering() {
+    let reno = run(60, Protocol::Reno);
+    let reno_red = run(60, Protocol::RenoRed);
+    let vegas = run(60, Protocol::Vegas);
+    let vegas_red = run(60, Protocol::VegasRed);
+    assert!(
+        vegas.delivered_packets as f64 >= 0.98 * reno.delivered_packets as f64,
+        "Vegas {} should not trail Reno {}",
+        vegas.delivered_packets,
+        reno.delivered_packets
+    );
+    assert!(
+        reno.delivered_packets > reno_red.delivered_packets,
+        "plain Reno {} should beat Reno/RED {}",
+        reno.delivered_packets,
+        reno_red.delivered_packets
+    );
+    assert!(
+        vegas.delivered_packets > vegas_red.delivered_packets,
+        "plain Vegas {} should beat Vegas/RED {}",
+        vegas.delivered_packets,
+        vegas_red.delivered_packets
+    );
+}
+
+/// Figure 4: Vegas loses fewer packets than Reno; Vegas/RED is the worst
+/// loss configuration (duplicate ACKs keep pushing data into a full RED
+/// gateway).
+#[test]
+fn fig4_loss_ordering() {
+    let reno = run(60, Protocol::Reno);
+    let vegas = run(60, Protocol::Vegas);
+    let vegas_red = run(60, Protocol::VegasRed);
+    assert!(
+        vegas.loss_percent < reno.loss_percent,
+        "Vegas loss {}% should be below Reno {}%",
+        vegas.loss_percent,
+        reno.loss_percent
+    );
+    assert!(
+        vegas_red.loss_percent > vegas.loss_percent,
+        "Vegas/RED loss {}% should exceed plain Vegas {}%",
+        vegas_red.loss_percent,
+        vegas.loss_percent
+    );
+}
+
+/// Figure 13: Reno resolves far more of its losses by timeout than Vegas
+/// does (Vegas's fine-grained dup-ACK retransmission catches them early).
+#[test]
+fn fig13_timeout_ratio_reno_above_vegas() {
+    let reno = run(60, Protocol::Reno);
+    let vegas = run(60, Protocol::Vegas);
+    assert!(
+        reno.timeout_dupack_ratio() > vegas.timeout_dupack_ratio(),
+        "Reno ratio {} should exceed Vegas ratio {}",
+        reno.timeout_dupack_ratio(),
+        vegas.timeout_dupack_ratio()
+    );
+    assert!(
+        reno.tcp_totals.timeouts > vegas.tcp_totals.timeouts,
+        "Reno timeouts {} should exceed Vegas {}",
+        reno.tcp_totals.timeouts,
+        vegas.tcp_totals.timeouts
+    );
+}
+
+/// Figures 5 vs 10 (uncongested cwnd evolution): Reno's windows keep
+/// probing (high variability); Vegas's settle near a stable operating point
+/// (low variability).
+#[test]
+fn fig5_vs_fig10_cwnd_variability() {
+    let duration = SimDuration::from_secs(15);
+    let spread = |protocol| {
+        let fig = cwnd_evolution(protocol, 39, &paper_traced_clients(39), duration, 3);
+        let mut agg = RunningStats::new();
+        for t in &fig.traces {
+            // Skip the first 5 s (startup transient), sample at 0.1 s.
+            let samples = t
+                .trace
+                .sample_hold(SimDuration::from_millis(100), SimTime::ZERO + duration);
+            for &w in &samples[50..] {
+                agg.push(w);
+            }
+        }
+        agg
+    };
+    let reno = spread(Protocol::Reno);
+    let vegas = spread(Protocol::Vegas);
+    assert!(
+        reno.population_std_dev() > vegas.population_std_dev(),
+        "Reno cwnd sd {} should exceed Vegas sd {}",
+        reno.population_std_dev(),
+        vegas.population_std_dev()
+    );
+}
+
+/// Figures 8–9: under persistent congestion Reno windows fluctuate without
+/// settling — the trace keeps changing through the entire run.
+#[test]
+fn fig8_reno_windows_never_stabilize_past_crossover() {
+    let duration = SimDuration::from_secs(20);
+    let fig = cwnd_evolution(Protocol::Reno, 45, &[0], duration, 5);
+    let trace = &fig.traces[0].trace;
+    // Count direction changes in the second half of the run.
+    let samples = trace.sample_hold(SimDuration::from_millis(100), SimTime::ZERO + duration);
+    let tail = &samples[samples.len() / 2..];
+    let changes = tail.windows(2).filter(|w| w[0] != w[1]).count();
+    assert!(
+        changes > 10,
+        "expected ongoing window fluctuation, saw {changes} changes"
+    );
+}
+
+/// Section 3.2: the slow-start burst mechanism — the application keeps
+/// writing while the window is collapsed, so the send buffer backlogs and
+/// the post-recovery window dumps a burst. Peak backlog must far exceed the
+/// advertised window under heavy congestion.
+#[test]
+fn sec32_send_buffers_accumulate_under_congestion() {
+    let r = run(60, Protocol::Reno);
+    assert!(
+        r.tcp_totals.peak_backlog > 20,
+        "peak backlog {} should exceed the 20-packet advertised window",
+        r.tcp_totals.peak_backlog
+    );
+}
+
+/// Section 3.2/3.4: "TCP streams tend to recognize congestion in the
+/// network at the same time and thus halve their congestion windows at the
+/// same time." Reno's loss responses must cluster across flows far more
+/// than Vegas's under heavy congestion.
+#[test]
+fn sec34_reno_loss_responses_synchronize_across_flows() {
+    let synchrony_peak = |protocol| {
+        let mut cfg = ScenarioConfig::paper(50, protocol);
+        cfg.duration = SimDuration::from_secs(15);
+        cfg.trace_events = true;
+        let r = Scenario::run(&cfg);
+        let log = r.event_log.expect("tracing enabled");
+        log.loss_response_synchrony(
+            SimDuration::from_millis(500),
+            SimTime::ZERO + cfg.duration,
+        )
+        .into_iter()
+        .max()
+        .unwrap_or(0)
+    };
+    let reno = synchrony_peak(Protocol::Reno);
+    let vegas = synchrony_peak(Protocol::Vegas);
+    assert!(
+        reno >= 25,
+        "Reno peak synchrony {reno}/50 flows too low for the paper's claim"
+    );
+    assert!(
+        reno > vegas,
+        "Reno synchrony {reno} should exceed Vegas {vegas}"
+    );
+}
