@@ -1,9 +1,10 @@
 //! `tcpburst` — command-line front end for the paper-reproduction harness.
 //!
 //! ```text
-//! tcpburst run   [--clients N] [--protocol P] [--secs S] [--seed K] [--ecn]
-//! tcpburst sweep [--secs S] [--seed K] [--clients a,b,c,...]
-//! tcpburst cwnd  [--clients N] [--protocol P] [--secs S]
+//! tcpburst run       [--clients N] [--protocol P] [--secs S] [--seed K] [--ecn]
+//! tcpburst sweep     [--secs S] [--seed K] [--clients a,b,c,...] [--jobs N]
+//! tcpburst replicate [--secs S] [--seed K] [--seeds R] [--clients ...] [--jobs N]
+//! tcpburst cwnd      [--clients N] [--protocol P] [--secs S]
 //! tcpburst table1
 //! ```
 
@@ -13,7 +14,7 @@ use std::process::ExitCode;
 use tcpburst_core::experiments::{
     cwnd_evolution, paper_traced_clients, table1, topology_ascii, Sweep,
 };
-use tcpburst_core::{Protocol, Scenario, ScenarioConfig};
+use tcpburst_core::{Protocol, ReplicatedSweep, Scenario, ScenarioConfig};
 use tcpburst_des::SimDuration;
 
 const USAGE: &str = "\
@@ -21,17 +22,23 @@ tcpburst — reproduce 'On the Burstiness of the TCP Congestion-Control
 Mechanism in a Distributed Computing System' (ICDCS 2000)
 
 USAGE:
-    tcpburst run   [--clients N] [--protocol P] [--secs S] [--seed K] [--ecn]
-    tcpburst sweep [--secs S] [--seed K] [--clients a,b,c,...]
-    tcpburst cwnd  [--clients N] [--protocol P] [--secs S] [--seed K]
+    tcpburst run       [--clients N] [--protocol P] [--secs S] [--seed K] [--ecn]
+    tcpburst sweep     [--secs S] [--seed K] [--clients a,b,c,...] [--jobs N]
+    tcpburst replicate [--secs S] [--seed K] [--seeds R] [--clients a,b,c,...]
+                       [--jobs N]
+    tcpburst cwnd      [--clients N] [--protocol P] [--secs S] [--seed K]
     tcpburst table1
 
 PROTOCOLS:
     udp, reno, reno-red, vegas, vegas-red, reno-delayack, tahoe, newreno, sack
 
 DEFAULTS:
-    run:   39 clients, reno, 30 s      sweep: paper set, 30 s
-    cwnd:  39 clients, reno, 20 s      seed:  0x1CDC2000
+    run:   39 clients, reno, 30 s      sweep:     paper set, 30 s
+    cwnd:  39 clients, reno, 20 s      replicate: 5 seeds from --seed
+    seed:  0x1CDC2000                  jobs:      0 = all available cores
+
+Sweeps fan grid points across --jobs worker threads; the output is
+bit-identical for every --jobs value (--jobs 1 runs fully serial).
 ";
 
 struct Args {
@@ -40,6 +47,8 @@ struct Args {
     protocol: Protocol,
     secs: u64,
     seed: u64,
+    seeds: usize,
+    jobs: usize,
     ecn: bool,
 }
 
@@ -65,6 +74,8 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
         protocol: Protocol::Reno,
         secs: 30,
         seed: 0x1CDC_2000,
+        seeds: 5,
+        jobs: 0,
         ecn: false,
     };
     while let Some(flag) = argv.next() {
@@ -88,6 +99,13 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
             "--protocol" => args.protocol = parse_protocol(&value("--protocol")?)?,
             "--secs" => args.secs = value("--secs")?.parse().map_err(|e| format!("--secs: {e}"))?,
             "--seed" => args.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--seeds" => {
+                args.seeds = value("--seeds")?.parse().map_err(|e| format!("--seeds: {e}"))?;
+                if args.seeds == 0 {
+                    return Err("--seeds must be at least 1".into());
+                }
+            }
+            "--jobs" => args.jobs = value("--jobs")?.parse().map_err(|e| format!("--jobs: {e}"))?,
             "--ecn" => args.ecn = true,
             other => return Err(format!("unknown flag: {other}")),
         }
@@ -115,19 +133,41 @@ fn cmd_run(args: &Args) {
         r.avg_queue_len,
         r.mean_delay_secs * 1e3
     );
+    println!(
+        "engine: {} events in {:.2} s ({:.0} events/s)",
+        r.events_processed,
+        r.wall_clock_secs,
+        r.events_per_sec()
+    );
 }
 
 fn cmd_sweep(args: &Args) {
-    let sweep = Sweep::run(
+    let sweep = Sweep::run_with_jobs(
         &Protocol::PAPER_SET,
         &args.client_list,
         SimDuration::from_secs(args.secs),
         args.seed,
+        args.jobs,
     );
     println!("{}", sweep.fig2_cov_table());
     println!("{}", sweep.fig3_throughput_table());
     println!("{}", sweep.fig4_loss_table());
     println!("{}", sweep.fig13_timeout_ratio_table());
+}
+
+fn cmd_replicate(args: &Args) {
+    let seeds: Vec<u64> = (0..args.seeds as u64).map(|i| args.seed + i).collect();
+    let sweep = ReplicatedSweep::run_with_jobs(
+        &Protocol::PAPER_SET,
+        &args.client_list,
+        SimDuration::from_secs(args.secs),
+        &seeds,
+        args.jobs,
+    );
+    println!("{}", sweep.fig2_cov_table());
+    println!("{}", sweep.fig3_throughput_table());
+    println!("{}", sweep.fig4_loss_table());
+    println!("{}", sweep.fig13_ratio_table());
 }
 
 fn cmd_cwnd(args: &Args) {
@@ -158,6 +198,7 @@ fn main() -> ExitCode {
     match cmd.as_str() {
         "run" => cmd_run(&args),
         "sweep" => cmd_sweep(&args),
+        "replicate" => cmd_replicate(&args),
         "cwnd" => cmd_cwnd(&args),
         "table1" => {
             println!("{}", table1());

@@ -294,6 +294,18 @@ impl ScenarioConfig {
         self.cov_bin.unwrap_or_else(|| self.params.rtprop())
     }
 
+    /// Pre-sizing hint for the scheduler's future-event list.
+    ///
+    /// Concurrently pending events scale with the number of clients: per
+    /// flow there is at most one generation event, one RTO and one
+    /// delayed-ACK timer, plus a handful of in-flight link events bounded
+    /// by the advertised window. A window's worth of slack per client
+    /// plus a fixed floor covers the steady state without reallocation;
+    /// being a hint, a miss only costs the heap doublings it costs today.
+    pub fn event_list_capacity(&self) -> usize {
+        64 + self.num_clients * (self.params.advertised_window as usize + 4)
+    }
+
     /// The RED parameters assembled from this configuration.
     pub fn red_params(&self) -> RedParams {
         RedParams {

@@ -47,7 +47,8 @@ pub struct Sweep {
 
 impl Sweep {
     /// Runs every (protocol, clients) combination for `duration` simulated
-    /// seconds with the given master seed.
+    /// seconds with the given master seed, fanned across all available
+    /// cores (see [`Sweep::run_with_jobs`]).
     ///
     /// # Panics
     ///
@@ -58,21 +59,45 @@ impl Sweep {
         duration: SimDuration,
         seed: u64,
     ) -> Self {
+        Sweep::run_with_jobs(protocols, clients, duration, seed, 0)
+    }
+
+    /// Like [`Sweep::run`], with an explicit worker-thread count.
+    ///
+    /// Every grid point is an independent simulation with its own derived
+    /// RNG streams, so the grid is executed by
+    /// [`run_indexed`](crate::parallel::run_indexed) and reassembled in
+    /// canonical (protocol-major, clients-minor) order: the result is
+    /// **bit-identical for every `jobs` value**. `jobs == 0` means
+    /// available parallelism; `jobs == 1` takes the exact serial path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either axis is empty.
+    pub fn run_with_jobs(
+        protocols: &[Protocol],
+        clients: &[usize],
+        duration: SimDuration,
+        seed: u64,
+        jobs: usize,
+    ) -> Self {
         assert!(!protocols.is_empty(), "need at least one protocol");
         assert!(!clients.is_empty(), "need at least one client count");
-        let mut cells = Vec::with_capacity(protocols.len() * clients.len());
-        for &p in protocols {
-            for &n in clients {
-                let mut cfg = ScenarioConfig::paper(n, p);
-                cfg.duration = duration;
-                cfg.seed = seed;
-                cells.push(SweepCell {
-                    protocol: p,
-                    clients: n,
-                    report: Scenario::run(&cfg),
-                });
+        let grid: Vec<(Protocol, usize)> = protocols
+            .iter()
+            .flat_map(|&p| clients.iter().map(move |&n| (p, n)))
+            .collect();
+        let cells = crate::parallel::run_indexed(jobs, grid.len(), |i| {
+            let (p, n) = grid[i];
+            let mut cfg = ScenarioConfig::paper(n, p);
+            cfg.duration = duration;
+            cfg.seed = seed;
+            SweepCell {
+                protocol: p,
+                clients: n,
+                report: Scenario::run(&cfg),
             }
-        }
+        });
         Sweep {
             cells,
             protocols: protocols.to_vec(),

@@ -22,7 +22,10 @@
 //!   evaluation (Figure 2 c.o.v., Figure 3 throughput, Figure 4 loss,
 //!   Figures 5–12 congestion-window evolution, Figure 13 timeout ratio),
 //!   each returning printable rows,
-//! * [`PaperParams`] — the reconstructed Table 1.
+//! * [`PaperParams`] — the reconstructed Table 1,
+//! * [`parallel`] — the deterministic multi-core fan-out engine behind
+//!   [`experiments::Sweep`] and [`ReplicatedSweep`]: any `--jobs` value
+//!   produces bit-identical reports.
 //!
 //! ## Quickstart
 //!
@@ -45,6 +48,7 @@
 mod config;
 mod event;
 pub mod experiments;
+pub mod parallel;
 pub mod plot;
 mod replicate;
 mod report;
@@ -53,6 +57,7 @@ mod trace;
 
 pub use config::{GatewayKind, PaperParams, Protocol, ScenarioConfig, SourceKind, TransportKind};
 pub use event::Event;
+pub use parallel::{available_jobs, run_indexed};
 pub use replicate::{ReplicatedCell, ReplicatedSweep};
 pub use report::{FlowReport, ScenarioReport};
 pub use scenario::Scenario;

@@ -43,7 +43,8 @@ pub struct ReplicatedSweep {
 }
 
 impl ReplicatedSweep {
-    /// Runs every (protocol, clients) pair once per seed in `seeds`.
+    /// Runs every (protocol, clients) pair once per seed in `seeds`, fanned
+    /// across all available cores (see [`ReplicatedSweep::run_with_jobs`]).
     ///
     /// # Panics
     ///
@@ -54,10 +55,69 @@ impl ReplicatedSweep {
         duration: SimDuration,
         seeds: &[u64],
     ) -> Self {
+        ReplicatedSweep::run_with_jobs(protocols, clients, duration, seeds, 0)
+    }
+
+    /// Like [`ReplicatedSweep::run`], with an explicit worker-thread count.
+    ///
+    /// The full `(protocol, clients, seed)` grid — the sweep's unit of
+    /// independent work — is executed by
+    /// [`run_indexed`](crate::parallel::run_indexed), then folded into
+    /// per-cell [`RunningStats`] serially in canonical seed order, so the
+    /// floating-point accumulation (and therefore every mean and CI digit)
+    /// is **bit-identical for every `jobs` value**. `jobs == 0` means
+    /// available parallelism; `jobs == 1` takes the exact serial path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any axis or the seed list is empty.
+    pub fn run_with_jobs(
+        protocols: &[Protocol],
+        clients: &[usize],
+        duration: SimDuration,
+        seeds: &[u64],
+        jobs: usize,
+    ) -> Self {
         assert!(!protocols.is_empty(), "need at least one protocol");
         assert!(!clients.is_empty(), "need at least one client count");
         assert!(!seeds.is_empty(), "need at least one seed");
+
+        /// Just the per-run numbers the fold needs — workers return this
+        /// instead of the full [`ScenarioReport`] so a wide seed axis does
+        /// not hold every flow table and bin vector alive at once.
+        struct RunSample {
+            cov: f64,
+            poisson_cov: f64,
+            delivered: f64,
+            loss_percent: f64,
+            timeout_ratio: f64,
+        }
+
+        let grid: Vec<(Protocol, usize, u64)> = protocols
+            .iter()
+            .flat_map(|&p| {
+                clients
+                    .iter()
+                    .flat_map(move |&n| seeds.iter().map(move |&s| (p, n, s)))
+            })
+            .collect();
+        let samples = crate::parallel::run_indexed(jobs, grid.len(), |i| {
+            let (p, n, seed) = grid[i];
+            let mut cfg = ScenarioConfig::paper(n, p);
+            cfg.duration = duration;
+            cfg.seed = seed;
+            let r = Scenario::run(&cfg);
+            RunSample {
+                cov: r.cov,
+                poisson_cov: r.poisson_cov,
+                delivered: r.delivered_packets as f64,
+                loss_percent: r.loss_percent,
+                timeout_ratio: r.timeout_dupack_ratio(),
+            }
+        });
+
         let mut cells = Vec::with_capacity(protocols.len() * clients.len());
+        let mut sample_iter = samples.into_iter();
         for &p in protocols {
             for &n in clients {
                 let mut cov = RunningStats::new();
@@ -65,16 +125,13 @@ impl ReplicatedSweep {
                 let mut loss = RunningStats::new();
                 let mut ratio = RunningStats::new();
                 let mut poisson = 0.0;
-                for &seed in seeds {
-                    let mut cfg = ScenarioConfig::paper(n, p);
-                    cfg.duration = duration;
-                    cfg.seed = seed;
-                    let r = Scenario::run(&cfg);
-                    cov.push(r.cov);
-                    delivered.push(r.delivered_packets as f64);
-                    loss.push(r.loss_percent);
-                    ratio.push(r.timeout_dupack_ratio());
-                    poisson = r.poisson_cov;
+                for _ in seeds {
+                    let s = sample_iter.next().expect("one sample per grid point");
+                    cov.push(s.cov);
+                    delivered.push(s.delivered);
+                    loss.push(s.loss_percent);
+                    ratio.push(s.timeout_ratio);
+                    poisson = s.poisson_cov;
                 }
                 cells.push(ReplicatedCell {
                     protocol: p,

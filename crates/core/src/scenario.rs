@@ -46,6 +46,9 @@ pub struct Scenario {
     outbox: Vec<Packet>,
     generated: u64,
     event_log: Option<EventLog>,
+    /// Host time spent inside [`Scenario::run_to_completion`], feeding the
+    /// report's events/sec throughput counter.
+    wall_clock: std::time::Duration,
 }
 
 impl Scenario {
@@ -105,7 +108,7 @@ impl Scenario {
 
         let mut scenario = Scenario {
             cfg: *cfg,
-            sched: Scheduler::new(),
+            sched: Scheduler::with_capacity(cfg.event_list_capacity()),
             db,
             clients,
             servers,
@@ -116,6 +119,7 @@ impl Scenario {
             event_log: cfg
                 .trace_events
                 .then(|| EventLog::with_capacity(ScenarioConfig::EVENT_LOG_CAP)),
+            wall_clock: std::time::Duration::ZERO,
         };
         // Prime every client's first generation event.
         for i in 0..scenario.cfg.num_clients {
@@ -141,10 +145,12 @@ impl Scenario {
 
     /// Drives the event loop until the configured duration.
     pub fn run_to_completion(&mut self) {
+        let started = std::time::Instant::now();
         let horizon = SimTime::ZERO + self.cfg.duration;
         while let Some((_, event)) = self.sched.pop_until(horizon) {
             self.dispatch(event);
         }
+        self.wall_clock += started.elapsed();
     }
 
     fn dispatch(&mut self, event: Event) {
@@ -348,6 +354,7 @@ impl Scenario {
             flows,
             duration_secs: measured_window.as_secs_f64(),
             events_processed: self.sched.processed(),
+            wall_clock_secs: self.wall_clock.as_secs_f64(),
             event_log: self.event_log,
         }
     }

@@ -11,8 +11,10 @@
 //! * [`TimerSlot`] — a cancellable/re-armable logical timer built on
 //!   generation counters (scheduled events cannot be deleted from the heap,
 //!   so stale firings are filtered at delivery),
-//! * [`SimRng`] — a seeded, reproducible random-number source with the
-//!   distributions the traffic models need (exponential, Pareto, uniform).
+//! * [`SimRng`] — a seeded, reproducible random-number source (an in-tree
+//!   xoshiro256++, no external dependencies) with the distributions the
+//!   traffic models need (exponential, Pareto, uniform) and documented
+//!   per-entity stream splitting.
 //!
 //! # Example
 //!

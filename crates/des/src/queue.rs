@@ -97,6 +97,11 @@ impl<E> EventQueue<E> {
         self.heap.len()
     }
 
+    /// Number of events the queue can hold without reallocating.
+    pub fn capacity(&self) -> usize {
+        self.heap.capacity()
+    }
+
     /// True if no events are pending.
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()

@@ -46,6 +46,29 @@ impl<E> Scheduler<E> {
         }
     }
 
+    /// Creates a scheduler whose future-event list has room for `capacity`
+    /// events before reallocating.
+    ///
+    /// Pre-sizing matters on the simulation hot path: the event heap grows
+    /// with the number of concurrently active flows and timers, and letting
+    /// it double its way up from empty costs a series of reallocation +
+    /// copy cycles at exactly the moment the run is busiest. Callers that
+    /// know their scale (e.g. a scenario with `M` clients) should pass a
+    /// proportional capacity hint.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Scheduler {
+            queue: EventQueue::with_capacity(capacity),
+            now: SimTime::ZERO,
+            processed: 0,
+        }
+    }
+
+    /// Number of events the future-event list can hold without
+    /// reallocating.
+    pub fn capacity(&self) -> usize {
+        self.queue.capacity()
+    }
+
     /// The current simulated time.
     pub fn now(&self) -> SimTime {
         self.now

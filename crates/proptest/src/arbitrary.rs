@@ -1,0 +1,71 @@
+//! `any::<T>()` for the primitive types the workspace tests draw.
+
+use std::marker::PhantomData;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Types with a canonical whole-domain generation strategy.
+pub trait Arbitrary {
+    /// Draws one value from the type's full domain.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! int_arbitrary {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            #[allow(clippy::cast_possible_truncation)]
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// The strategy returned by [`any`].
+#[derive(Debug)]
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// A strategy covering the full domain of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn any_u64_varies() {
+        let mut rng = TestRng::from_seed(3);
+        let s = any::<u64>();
+        let a = s.sample(&mut rng);
+        let b = s.sample(&mut rng);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn any_bool_hits_both_values() {
+        let mut rng = TestRng::from_seed(4);
+        let s = any::<bool>();
+        let draws: Vec<bool> = (0..64).map(|_| s.sample(&mut rng)).collect();
+        assert!(draws.iter().any(|&b| b));
+        assert!(draws.iter().any(|&b| !b));
+    }
+}

@@ -1,0 +1,146 @@
+//! A minimal, dependency-free subset of the `proptest` API.
+//!
+//! This crate lets the workspace's property tests compile and run without
+//! registry access. It keeps the *call-site* syntax of the real proptest —
+//! `proptest! { #[test] fn f(x in 0u64..10) { prop_assert!(...) } }` — but
+//! replaces the engine with a deterministic xoshiro256++ case generator and
+//! drops shrinking. See `README.md` for the exact supported surface and the
+//! differences from the real crate.
+
+#![forbid(unsafe_code)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    //! Everything a property test usually imports.
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, OneOf, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest};
+}
+
+/// Fails the current test case with a formatted message unless `cond` holds.
+///
+/// Expands to an early `return Err(TestCaseError)` inside the case closure,
+/// mirroring the real proptest's control flow (so `prop_assert!` works in
+/// helper functions returning `Result<(), TestCaseError>` too).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!(
+            $cond,
+            "assertion failed: {} at {}:{}",
+            stringify!($cond),
+            file!(),
+            line!()
+        )
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Fails the current test case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}` (left: `{:?}`, right: `{:?}`) at {}:{}",
+            stringify!($left),
+            stringify!($right),
+            l,
+            r,
+            file!(),
+            line!()
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: left `{:?}` != right `{:?}`: {}",
+                    l,
+                    r,
+                    format!($($fmt)*)
+                ),
+            ));
+        }
+    }};
+}
+
+/// Skips the current case (counted as a rejection) unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}
+
+/// Picks one of several strategies (all yielding the same value type) with
+/// equal probability. Weighted variants of the real macro are not supported.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// Defines `#[test]` functions whose arguments are drawn from strategies.
+///
+/// Supports the real macro's common form: an optional
+/// `#![proptest_config(...)]` header followed by any number of
+/// `#[test] fn name(arg in strategy, ...) { body }` items (doc comments and
+/// extra attributes allowed).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { config = ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            config = ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (config = ($config:expr);) => {};
+    (config = ($config:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            $crate::test_runner::run_cases(&$config, stringify!($name), |__rng| {
+                $(let $arg = $crate::strategy::Strategy::sample(&($strategy), __rng);)+
+                let __outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                __outcome
+            });
+        }
+        $crate::__proptest_items! { config = ($config); $($rest)* }
+    };
+}

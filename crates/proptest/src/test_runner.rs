@@ -1,0 +1,258 @@
+//! The case generator and runner behind the `proptest!` macro.
+
+use std::fmt;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+/// Default seed for the deterministic case stream. Override with the
+/// `PROPTEST_SHIM_SEED` environment variable to explore other streams.
+const DEFAULT_SEED: u64 = 0x1CDC_2000_D5E5_7E57;
+
+/// Why a test case did not pass: a genuine failure or a rejected assumption.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The case violated an assertion.
+    Fail(String),
+    /// The case did not meet a `prop_assume!` precondition; it is skipped
+    /// rather than counted as a failure.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A failed case with the given reason.
+    pub fn fail<M: Into<String>>(reason: M) -> Self {
+        TestCaseError::Fail(reason.into())
+    }
+
+    /// A rejected (skipped) case with the given reason.
+    pub fn reject<M: Into<String>>(reason: M) -> Self {
+        TestCaseError::Reject(reason.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "{m}"),
+            TestCaseError::Reject(m) => write!(f, "rejected: {m}"),
+        }
+    }
+}
+
+/// Runner configuration. Only the knobs this workspace uses are modelled.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases each test runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// The deterministic random source strategies draw from: xoshiro256++
+/// seeded through SplitMix64 (the generator family's recommended
+/// initialization).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+fn splitmix64(x: &mut u64) -> u64 {
+    *x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl TestRng {
+    /// An RNG whose stream is fully determined by `seed`.
+    pub fn from_seed(seed: u64) -> Self {
+        let mut x = seed;
+        TestRng {
+            s: [
+                splitmix64(&mut x),
+                splitmix64(&mut x),
+                splitmix64(&mut x),
+                splitmix64(&mut x),
+            ],
+        }
+    }
+
+    /// The next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0]
+            .wrapping_add(s[3])
+            .rotate_left(23)
+            .wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// An unbiased uniform draw in `[0, n)` (Lemire's multiply-shift with
+    /// rejection).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below(0) is an empty range");
+        let mut x = self.next_u64();
+        let mut m = u128::from(x) * u128::from(n);
+        let mut low = m as u64;
+        if low < n {
+            let threshold = n.wrapping_neg() % n;
+            while low < threshold {
+                x = self.next_u64();
+                m = u128::from(x) * u128::from(n);
+                low = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+
+    /// A uniform draw in `[0, 1)` with 53 bits of precision.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+fn base_seed() -> u64 {
+    match std::env::var("PROPTEST_SHIM_SEED") {
+        Ok(v) => v
+            .parse::<u64>()
+            .unwrap_or_else(|_| panic!("PROPTEST_SHIM_SEED must be a u64, got {v:?}")),
+        Err(_) => DEFAULT_SEED,
+    }
+}
+
+/// FNV-1a over the test name, so every test gets its own case stream even
+/// under one base seed.
+fn name_hash(name: &str) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Drives `case` for the configured number of cases, panicking (like a
+/// normal failed `#[test]`) on the first failing case with enough context
+/// to reproduce it.
+pub fn run_cases<F>(config: &ProptestConfig, name: &str, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let seed = base_seed() ^ name_hash(name);
+    let mut rng = TestRng::from_seed(seed);
+    let mut rejected: u32 = 0;
+    let mut index: u32 = 0;
+    while index < config.cases {
+        let outcome = catch_unwind(AssertUnwindSafe(|| case(&mut rng)));
+        match outcome {
+            Ok(Ok(())) => index += 1,
+            Ok(Err(TestCaseError::Reject(_))) => {
+                rejected += 1;
+                assert!(
+                    rejected < config.cases.saturating_mul(16).max(1024),
+                    "proptest shim: {name} rejected too many cases ({rejected})"
+                );
+            }
+            Ok(Err(TestCaseError::Fail(reason))) => {
+                panic!(
+                    "proptest shim: {name} failed at case {index}/{} (base seed {seed:#x}): \
+                     {reason}",
+                    config.cases
+                );
+            }
+            Err(panic_payload) => {
+                eprintln!(
+                    "proptest shim: {name} panicked at case {index}/{} (base seed {seed:#x})",
+                    config.cases
+                );
+                resume_unwind(panic_payload);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = TestRng::from_seed(9);
+        let mut b = TestRng::from_seed(9);
+        for _ in 0..128 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn below_is_in_range() {
+        let mut rng = TestRng::from_seed(1);
+        for n in [1u64, 2, 3, 10, 1000, u64::MAX] {
+            for _ in 0..64 {
+                assert!(rng.below(n) < n);
+            }
+        }
+    }
+
+    #[test]
+    fn unit_f64_in_half_open_interval() {
+        let mut rng = TestRng::from_seed(2);
+        for _ in 0..1000 {
+            let u = rng.unit_f64();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn run_cases_completes_on_success() {
+        let mut count = 0;
+        run_cases(&ProptestConfig::with_cases(10), "ok", |_| {
+            count += 1;
+            Ok(())
+        });
+        assert_eq!(count, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn run_cases_reports_failures() {
+        run_cases(&ProptestConfig::with_cases(3), "boom_test", |_| {
+            Err(TestCaseError::fail("boom"))
+        });
+    }
+
+    #[test]
+    fn rejections_do_not_fail_but_are_bounded() {
+        let mut flip = false;
+        run_cases(&ProptestConfig::with_cases(5), "rejecting", |_| {
+            flip = !flip;
+            if flip {
+                Err(TestCaseError::reject("skip"))
+            } else {
+                Ok(())
+            }
+        });
+    }
+}

@@ -78,7 +78,7 @@ pub fn index_of_dispersion(counts: &[f64]) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::{Rng, SeedableRng};
+    use tcpburst_des::SimRng;
 
     #[test]
     fn lag_zero_is_one() {
@@ -90,8 +90,8 @@ mod tests {
 
     #[test]
     fn iid_series_has_no_lag_correlation() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
-        let xs: Vec<f64> = (0..20_000).map(|_| rng.gen::<f64>()).collect();
+        let mut rng = SimRng::seed_from_u64(5);
+        let xs: Vec<f64> = (0..20_000).map(|_| rng.uniform()).collect();
         let ac = autocorrelation(&xs, 5);
         for (lag, &r) in ac.iter().enumerate().skip(1) {
             assert!(r.abs() < 0.05, "lag {lag} correlation {r} too strong");
@@ -100,11 +100,11 @@ mod tests {
 
     #[test]
     fn smoothed_series_has_positive_lag_correlation() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        let mut rng = SimRng::seed_from_u64(6);
         let mut level = 0.0;
         let xs: Vec<f64> = (0..10_000)
             .map(|_| {
-                level = 0.9 * level + rng.gen::<f64>();
+                level = 0.9 * level + rng.uniform();
                 level
             })
             .collect();
@@ -128,7 +128,7 @@ mod tests {
     #[test]
     fn poisson_counts_have_idc_near_one() {
         // Generate Poisson(4) counts by thinning uniform draws.
-        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let mut rng = SimRng::seed_from_u64(7);
         let counts: Vec<f64> = (0..50_000)
             .map(|_| {
                 // Knuth's algorithm for small lambda.
@@ -136,7 +136,7 @@ mod tests {
                 let mut k = 0u32;
                 let mut p = 1.0;
                 loop {
-                    p *= rng.gen::<f64>();
+                    p *= rng.uniform();
                     if p <= l {
                         break;
                     }

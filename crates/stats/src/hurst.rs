@@ -148,11 +148,11 @@ fn rs_of_window(w: &[f64]) -> Option<f64> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::{Rng, SeedableRng};
+    use tcpburst_des::SimRng;
 
     fn iid_series(n: usize, seed: u64) -> Vec<f64> {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-        (0..n).map(|_| rng.gen::<f64>()).collect()
+        let mut rng = SimRng::seed_from_u64(seed);
+        (0..n).map(|_| rng.uniform()).collect()
     }
 
     /// Fractional Gaussian-ish long-memory series via aggregated AR cascades

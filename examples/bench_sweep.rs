@@ -1,0 +1,65 @@
+//! Dependency-free throughput benchmark for the parallel sweep engine.
+//!
+//! Runs a reduced-duration Figure-2 grid twice — once serial (`jobs = 1`),
+//! once on every available core — checks the outputs agree bit-for-bit,
+//! and writes `BENCH_sweep.json` with the headline numbers:
+//!
+//! ```json
+//! {"events_per_sec": ..., "wall_clock_s": ..., "threads": ..., "speedup": ...}
+//! ```
+//!
+//! The `crates/bench` criterion harness needs registry access; this example
+//! builds offline and is what `scripts/verify.sh` runs in CI.
+//!
+//! ```sh
+//! cargo run --release --example bench_sweep
+//! ```
+
+use std::time::Instant;
+
+use tcpburst_core::experiments::Sweep;
+use tcpburst_core::{available_jobs, Protocol};
+use tcpburst_des::SimDuration;
+
+/// One timed sweep over the Figure 2 grid at a reduced duration.
+fn timed_sweep(jobs: usize) -> (Sweep, f64) {
+    let clients = [5, 15, 25, 35, 39, 45];
+    let start = Instant::now();
+    let sweep = Sweep::run_with_jobs(
+        &Protocol::PAPER_SET,
+        &clients,
+        SimDuration::from_secs(10),
+        0x1CDC_2000,
+        jobs,
+    );
+    (sweep, start.elapsed().as_secs_f64())
+}
+
+fn main() {
+    let threads = available_jobs();
+    println!("benchmarking Figure 2 grid: serial vs {threads} thread(s)");
+
+    let (serial, serial_s) = timed_sweep(1);
+    let events: u64 = serial.cells.iter().map(|c| c.report.events_processed).sum();
+    println!("  jobs=1: {events} events in {serial_s:.2} s");
+
+    let (parallel, parallel_s) = timed_sweep(0);
+    println!("  jobs={threads}: {events} events in {parallel_s:.2} s");
+
+    // The whole point of the engine: threading must not change the answer.
+    assert_eq!(
+        serial.fig2_cov_table(),
+        parallel.fig2_cov_table(),
+        "parallel sweep diverged from serial output"
+    );
+
+    let events_per_sec = events as f64 / parallel_s;
+    let speedup = serial_s / parallel_s;
+    let json = format!(
+        "{{\"events_per_sec\": {events_per_sec:.0}, \"wall_clock_s\": {parallel_s:.3}, \
+         \"threads\": {threads}, \"serial_wall_clock_s\": {serial_s:.3}, \
+         \"speedup\": {speedup:.2}}}\n"
+    );
+    std::fs::write("BENCH_sweep.json", &json).expect("write BENCH_sweep.json");
+    print!("BENCH_sweep.json: {json}");
+}

@@ -1,0 +1,25 @@
+#!/usr/bin/env sh
+# CI gate for tcpburst. Everything here must run fully offline: the
+# workspace has no external dependencies (see README "Offline builds").
+#
+#   sh scripts/verify.sh          # tier-1 + determinism + throughput bench
+#   BENCH=0 sh scripts/verify.sh  # skip the benchmark (quick gate)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> tier-1: cargo build --release"
+cargo build --release --offline
+
+echo "==> tier-1: cargo test -q"
+cargo test -q --offline
+
+echo "==> determinism: parallel sweep must equal serial bit-for-bit"
+cargo test -q --offline -p tcpburst-core --test parallel_determinism
+
+if [ "${BENCH:-1}" = "1" ]; then
+    echo "==> throughput: events/sec benchmark (writes BENCH_sweep.json)"
+    cargo run --release --offline --example bench_sweep
+fi
+
+echo "==> verify OK"
