@@ -1,7 +1,7 @@
 //! Scenario configuration: the reconstructed Table 1 plus every knob the
 //! ablation benches turn.
 
-use tcpburst_des::SimDuration;
+use tcpburst_des::{QueueBackend, SimDuration};
 use tcpburst_net::{AdaptiveRedParams, DumbbellConfig, QueueSpec, RedParams};
 use tcpburst_traffic::ParetoOnOffConfig;
 use tcpburst_transport::{TcpConfig, TcpVariant, VegasParams};
@@ -248,6 +248,11 @@ pub struct ScenarioConfig {
     pub rtt_spread: f64,
     /// Master seed; per-client streams are derived from it.
     pub seed: u64,
+    /// Which data structure backs the future-event list. Both backends
+    /// produce bit-identical simulation output (same `(time, seq)` total
+    /// order); [`QueueBackend::BinaryHeap`] exists for A/B benchmarking
+    /// against the calendar queue.
+    pub queue: QueueBackend,
     /// Record per-connection congestion-window traces (Figures 5–12).
     pub trace_cwnd: bool,
     /// Record a structured event timeline (drops, timeouts, fast
@@ -283,6 +288,7 @@ impl ScenarioConfig {
             cov_bin: None,
             rtt_spread: 0.0,
             seed: 0x1CDC_2000,
+            queue: QueueBackend::Calendar,
             trace_cwnd: false,
             trace_events: false,
         }

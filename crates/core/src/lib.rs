@@ -50,6 +50,7 @@ mod event;
 pub mod experiments;
 pub mod parallel;
 pub mod plot;
+mod profile;
 mod replicate;
 mod report;
 mod scenario;
@@ -58,6 +59,7 @@ mod trace;
 pub use config::{GatewayKind, PaperParams, Protocol, ScenarioConfig, SourceKind, TransportKind};
 pub use event::Event;
 pub use parallel::{available_jobs, run_indexed};
+pub use profile::{DispatchProfile, EventClassStats, TimerReport};
 pub use replicate::{ReplicatedCell, ReplicatedSweep};
 pub use report::{FlowReport, ScenarioReport};
 pub use scenario::Scenario;

@@ -11,6 +11,7 @@ use tcpburst_transport::{
 
 use crate::config::{ScenarioConfig, SourceKind, TransportKind};
 use crate::event::Event;
+use crate::profile::{DispatchProfile, ProfClock, TimerReport};
 use crate::report::{FlowReport, ScenarioReport};
 use crate::trace::{EventLog, TraceKind};
 
@@ -46,6 +47,12 @@ pub struct Scenario {
     outbox: Vec<Packet>,
     generated: u64,
     event_log: Option<EventLog>,
+    /// Per-event-class dispatch counts (and timing with `event-timing` on).
+    profile: DispatchProfile,
+    /// Timer firings that reached dispatch but were stale — superseded
+    /// after the in-place queue deletion missed. Near zero on the calendar
+    /// backend; every superseded firing on the binary-heap backend.
+    stale_fired: u64,
     /// Host time spent inside [`Scenario::run_to_completion`], feeding the
     /// report's events/sec throughput counter.
     wall_clock: std::time::Duration,
@@ -108,7 +115,7 @@ impl Scenario {
 
         let mut scenario = Scenario {
             cfg: *cfg,
-            sched: Scheduler::with_capacity(cfg.event_list_capacity()),
+            sched: Scheduler::with_capacity_and_backend(cfg.event_list_capacity(), cfg.queue),
             db,
             clients,
             servers,
@@ -119,6 +126,8 @@ impl Scenario {
             event_log: cfg
                 .trace_events
                 .then(|| EventLog::with_capacity(ScenarioConfig::EVENT_LOG_CAP)),
+            profile: DispatchProfile::default(),
+            stale_fired: 0,
             wall_clock: std::time::Duration::ZERO,
         };
         // Prime every client's first generation event.
@@ -154,10 +163,15 @@ impl Scenario {
     }
 
     fn dispatch(&mut self, event: Event) {
+        let clock = ProfClock::start();
         match event {
-            Event::Generate { client } => self.on_generate(client),
+            Event::Generate { client } => {
+                self.on_generate(client);
+                clock.charge(&mut self.profile.generate);
+            }
             Event::Net(NetEvent::TxComplete { link }) => {
                 self.db.network.on_tx_complete(link, &mut self.sched);
+                clock.charge(&mut self.profile.net_tx);
             }
             Event::Net(NetEvent::Delivery { link, packet }) => {
                 // The paper's probe: data packets arriving at the gateway,
@@ -183,8 +197,12 @@ impl Scenario {
                         }
                     }
                 }
+                clock.charge(&mut self.profile.net_delivery);
             }
-            Event::Transport(ev) => self.on_transport_timer(ev),
+            Event::Transport(ev) => {
+                self.on_transport_timer(ev);
+                clock.charge(&mut self.profile.transport);
+            }
         }
     }
 
@@ -251,7 +269,11 @@ impl Scenario {
             TimerKind::Rto => {
                 if let ClientEndpoint::Tcp(tx) = &mut self.clients[idx] {
                     let before = tx.counters().timeouts;
-                    tx.on_timer(ev.kind, ev.generation, &mut self.sched, &mut self.outbox);
+                    let live =
+                        tx.on_timer(ev.kind, ev.generation, &mut self.sched, &mut self.outbox);
+                    if !live {
+                        self.stale_fired += 1;
+                    }
                     if tx.counters().timeouts > before {
                         if let Some(log) = self.event_log.as_mut() {
                             log.record(self.sched.now(), TraceKind::Timeout { flow: ev.flow });
@@ -262,7 +284,10 @@ impl Scenario {
             TimerKind::DelAck => {
                 if let ServerEndpoint::Tcp(rx) = &mut self.servers[idx] {
                     let now = self.sched.now();
-                    rx.on_timer(ev.kind, ev.generation, now, &mut self.outbox);
+                    let live = rx.on_timer(ev.kind, ev.generation, now, &mut self.outbox);
+                    if !live {
+                        self.stale_fired += 1;
+                    }
                 }
             }
         }
@@ -355,6 +380,12 @@ impl Scenario {
             duration_secs: measured_window.as_secs_f64(),
             events_processed: self.sched.processed(),
             wall_clock_secs: self.wall_clock.as_secs_f64(),
+            timers: TimerReport {
+                stale_fired: self.stale_fired,
+                cancelled_in_place: self.sched.cancelled_in_place(),
+                pending_peak: self.sched.pending_peak() as u64,
+            },
+            dispatch: self.profile,
             event_log: self.event_log,
         }
     }

@@ -1,0 +1,396 @@
+//! The calendar-queue backend of the future-event list.
+//!
+//! A calendar queue (Brown 1988) hashes events by time into an array of
+//! buckets — "days" on a calendar whose "year" spans `nbuckets × width`
+//! nanoseconds. Dequeueing walks the calendar from the current day forward;
+//! because the days partition time, the first in-window event found is the
+//! global minimum. With the bucket count resized to track the population and
+//! the bucket width re-estimated from the observed inter-event gaps, both
+//! enqueue and dequeue are O(1) amortized, versus the binary heap's
+//! O(log n) sift per operation.
+//!
+//! Two representation choices keep the constant factor below the heap's:
+//! the bucket width is always a power of two, so hashing a timestamp to a
+//! day is a shift-and-mask instead of a 64-bit division, and an occupancy
+//! bitmap (one bit per bucket) lets the dequeue scan jump over runs of
+//! empty days with `trailing_zeros` instead of touching their `Vec`
+//! headers.
+//!
+//! Unlike a heap, buckets also support *deletion by key*: an event whose
+//! `(time, seq)` is known can be removed in place, which is what makes the
+//! scheduler's eager timer cancellation possible.
+//!
+//! Determinism: every structural decision (bucket index, resize trigger,
+//! width estimate) is a pure function of the pushed `(time, seq)` sequence,
+//! so the pop order is exactly the ascending `(time, seq)` order regardless
+//! of resize history — property-tested against a [`std::collections::BinaryHeap`]
+//! reference in `tests/prop_calendar.rs`.
+
+use std::cell::Cell;
+
+use crate::time::SimTime;
+
+/// One scheduled event.
+#[derive(Debug)]
+pub(crate) struct Entry<E> {
+    pub(crate) time: SimTime,
+    pub(crate) seq: u64,
+    pub(crate) event: E,
+}
+
+/// Fewest buckets the calendar ever holds.
+const MIN_BUCKETS: usize = 4;
+/// Most buckets the calendar ever holds (bounds memory on hostile inputs).
+const MAX_BUCKETS: usize = 1 << 20;
+/// log2 of the bucket width before the first calibration (2^20 ns ≈ 1 ms —
+/// the first resize replaces it with an estimate from the live population).
+const DEFAULT_SHIFT: u32 = 20;
+/// Narrowest bucket the estimator will pick (2 ns): keeping the shift ≥ 1
+/// means a day number `nanos >> shift` can never be `u64::MAX`, so `day + 1`
+/// in the scan arithmetic cannot overflow.
+const MIN_SHIFT: u32 = 1;
+/// Widest bucket the estimator will pick (2^40 ns ≈ 18 simulated minutes).
+const MAX_SHIFT: u32 = 40;
+
+#[derive(Debug)]
+pub(crate) struct Calendar<E> {
+    /// Each bucket is sorted *descending* by `(time, seq)` so the bucket
+    /// minimum pops from the tail in O(1).
+    buckets: Vec<Vec<Entry<E>>>,
+    /// One bit per bucket: set iff the bucket is nonempty. The dequeue scan
+    /// works word-at-a-time on this map, so a year of empty days costs
+    /// `nbuckets / 64` word tests instead of `nbuckets` pointer chases.
+    occupied: Vec<u64>,
+    /// log2 of the bucket width ("day" length = `1 << shift` nanoseconds).
+    shift: u32,
+    len: usize,
+    /// The dequeue scan's current day number (`nanos >> shift`, un-masked).
+    ///
+    /// `Cell` so [`Calendar::peek`] (`&self`) can persist scan progress:
+    /// advancing past buckets that were verified empty-in-window is a pure
+    /// accelerator and never changes what pops next.
+    cur_day: Cell<u64>,
+    /// Whether the width has been estimated from live data yet.
+    calibrated: bool,
+}
+
+impl<E> Calendar<E> {
+    pub(crate) fn with_capacity(capacity: usize) -> Self {
+        let nbuckets = (capacity / 2)
+            .max(MIN_BUCKETS)
+            .next_power_of_two()
+            .min(MAX_BUCKETS);
+        let per_bucket = capacity / nbuckets + 1;
+        Calendar {
+            buckets: (0..nbuckets)
+                .map(|_| Vec::with_capacity(per_bucket))
+                .collect(),
+            occupied: vec![0; nbuckets.div_ceil(64)],
+            shift: DEFAULT_SHIFT,
+            len: 0,
+            cur_day: Cell::new(0),
+            calibrated: false,
+        }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.len
+    }
+
+    pub(crate) fn capacity(&self) -> usize {
+        self.buckets.iter().map(Vec::capacity).sum()
+    }
+
+    #[inline]
+    fn day_of(&self, nanos: u64) -> u64 {
+        nanos >> self.shift
+    }
+
+    #[inline]
+    fn bucket_of_day(&self, day: u64) -> usize {
+        (day as usize) & (self.buckets.len() - 1)
+    }
+
+    #[inline]
+    fn mark_occupied(&mut self, idx: usize) {
+        self.occupied[idx >> 6] |= 1 << (idx & 63);
+    }
+
+    #[inline]
+    fn mark_empty(&mut self, idx: usize) {
+        self.occupied[idx >> 6] &= !(1 << (idx & 63));
+    }
+
+    pub(crate) fn push(&mut self, entry: Entry<E>) {
+        let day = self.day_of(entry.time.as_nanos());
+        // An event landing before the current scan day would be skipped by
+        // the forward walk; rewind the scan to it.
+        if day < self.cur_day.get() {
+            self.cur_day.set(day);
+        }
+        let idx = self.bucket_of_day(day);
+        let bucket = &mut self.buckets[idx];
+        let key = (entry.time, entry.seq);
+        // Buckets are sorted descending, so the tail is the bucket minimum.
+        // A well-calibrated ring keeps buckets near-empty, and seq numbers
+        // grow monotonically, so most pushes append at the tail.
+        match bucket.last() {
+            Some(tail) if (tail.time, tail.seq) < key => {
+                let pos = bucket.partition_point(|e| (e.time, e.seq) > key);
+                bucket.insert(pos, entry);
+            }
+            _ => bucket.push(entry),
+        }
+        self.mark_occupied(idx);
+        self.len += 1;
+
+        if self.len > self.buckets.len() {
+            // Keep the table at least twice the population: a mostly-empty
+            // ring makes the average day hold ≲1 event, so a dequeue is one
+            // bitmap hop instead of a sorted-bucket walk.
+            self.resize(2 * self.len);
+        } else if !self.calibrated && self.len >= 32 {
+            // First calibration: the default width is a guess; re-estimate
+            // from the live population once it is big enough to sample.
+            self.resize(2 * self.len);
+        }
+    }
+
+    /// First occupied bucket at ring distance `>= skip` from the bucket of
+    /// `from_day`, probing at most `limit` buckets; returns `(index, ring
+    /// distance)`.
+    fn next_occupied(&self, from_day: u64, skip: usize, limit: usize) -> Option<(usize, usize)> {
+        let nbuckets = self.buckets.len();
+        let mask = nbuckets - 1;
+        let start = self.bucket_of_day(from_day);
+        let mut dist = skip;
+        while dist < limit {
+            let idx = (start + dist) & mask;
+            let in_word = idx & 63;
+            // Bits of this word at or above the current position.
+            let word = self.occupied[idx >> 6] >> in_word;
+            if word != 0 {
+                let hop = word.trailing_zeros() as usize;
+                // The hit must stay inside this word *and* the probe limit;
+                // past the word end, fall through to the next word.
+                if in_word + hop <= 63 && dist + hop < limit {
+                    return Some(((idx + hop) & mask, dist + hop));
+                }
+                if dist + (64 - in_word) >= limit {
+                    return None;
+                }
+            }
+            dist += 64 - in_word;
+        }
+        None
+    }
+
+    /// Locates the bucket holding the global minimum `(time, seq)` entry,
+    /// advancing the scan state past verified-empty days on the way.
+    ///
+    /// Must not be called on an empty calendar.
+    fn locate_min(&self) -> usize {
+        debug_assert!(self.len > 0, "locate_min on empty calendar");
+        let nbuckets = self.buckets.len();
+        let day = self.cur_day.get();
+        // Fast path: the scan is already parked on the minimum's day (the
+        // common case right after a peek, or when a popped day holds more).
+        let idx = self.bucket_of_day(day);
+        if let Some(e) = self.buckets[idx].last() {
+            if self.day_of(e.time.as_nanos()) <= day {
+                return idx;
+            }
+        }
+        // One calendar year: jump occupied bucket to occupied bucket. Days
+        // partition time and are scanned in order, so the first entry found
+        // belonging to its probe day is the global minimum. An occupied
+        // bucket whose minimum lies in a *later* year is skipped over.
+        let mut skip = 1;
+        while let Some((idx, dist)) = self.next_occupied(day, skip, nbuckets) {
+            let e = self.buckets[idx].last().expect("occupied bucket is nonempty");
+            let e_day = self.day_of(e.time.as_nanos());
+            if e_day <= day + dist as u64 {
+                self.cur_day.set(e_day);
+                return idx;
+            }
+            skip = dist + 1;
+        }
+        // Rare: every pending event lies beyond one full calendar year.
+        // Fall back to a direct search across bucket minima.
+        let (key, best) = self
+            .iter_occupied()
+            .map(|i| {
+                let e = self.buckets[i].last().expect("occupied bucket is nonempty");
+                ((e.time, e.seq), i)
+            })
+            .min_by_key(|&(key, _)| key)
+            .expect("len > 0 but all buckets empty");
+        self.cur_day.set(self.day_of(key.0.as_nanos()));
+        best
+    }
+
+    /// Indices of the nonempty buckets, in bucket order.
+    fn iter_occupied(&self) -> impl Iterator<Item = usize> + '_ {
+        self.occupied.iter().enumerate().flat_map(|(w, &bits)| {
+            let mut bits = bits;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    return None;
+                }
+                let b = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                Some(w * 64 + b)
+            })
+        })
+    }
+
+    /// Timestamp of the earliest pending event.
+    pub(crate) fn peek(&self) -> Option<SimTime> {
+        if self.len == 0 {
+            return None;
+        }
+        let idx = self.locate_min();
+        self.buckets[idx].last().map(|e| e.time)
+    }
+
+    pub(crate) fn pop(&mut self) -> Option<Entry<E>> {
+        if self.len == 0 {
+            return None;
+        }
+        let idx = self.locate_min();
+        Some(self.pop_from(idx))
+    }
+
+    /// Pops the minimum only if it is due by `horizon` — one bucket scan
+    /// where a `peek` + `pop` pair would do two.
+    pub(crate) fn pop_due(&mut self, horizon: SimTime) -> Option<Entry<E>> {
+        if self.len == 0 {
+            return None;
+        }
+        let idx = self.locate_min();
+        let min = self.buckets[idx].last().expect("locate_min found an entry");
+        if min.time > horizon {
+            return None;
+        }
+        Some(self.pop_from(idx))
+    }
+
+    fn pop_from(&mut self, idx: usize) -> Entry<E> {
+        let entry = self.buckets[idx].pop().expect("locate_min found an entry");
+        if self.buckets[idx].is_empty() {
+            self.mark_empty(idx);
+        }
+        self.len -= 1;
+        self.maybe_shrink();
+        entry
+    }
+
+    /// Removes the event with exactly this `(time, seq)`, if still queued.
+    pub(crate) fn cancel(&mut self, time: SimTime, seq: u64) -> Option<E> {
+        let idx = self.bucket_of_day(self.day_of(time.as_nanos()));
+        let bucket = &mut self.buckets[idx];
+        let key = (time, seq);
+        let pos = bucket.partition_point(|e| (e.time, e.seq) > key);
+        if pos < bucket.len() && bucket[pos].time == time && bucket[pos].seq == seq {
+            let entry = bucket.remove(pos);
+            if self.buckets[idx].is_empty() {
+                self.mark_empty(idx);
+            }
+            self.len -= 1;
+            self.maybe_shrink();
+            Some(entry.event)
+        } else {
+            None
+        }
+    }
+
+    fn maybe_shrink(&mut self) {
+        let nbuckets = self.buckets.len();
+        // 4x hysteresis against the grow trigger (`len > nbuckets`) so a
+        // population oscillating around a threshold cannot thrash resizes.
+        if nbuckets > MIN_BUCKETS && self.len < nbuckets / 8 {
+            self.resize(2 * self.len);
+        }
+    }
+
+    /// Rebuilds the calendar with `new_nbuckets` buckets and a bucket width
+    /// re-estimated from the live population. O(n), amortized O(1) because
+    /// it only triggers on doubling/halving thresholds.
+    fn resize(&mut self, new_nbuckets: usize) {
+        let new_nbuckets = new_nbuckets
+            .clamp(MIN_BUCKETS, MAX_BUCKETS)
+            .next_power_of_two();
+        let mut entries: Vec<Entry<E>> = Vec::with_capacity(self.len);
+        for bucket in &mut self.buckets {
+            entries.append(bucket);
+        }
+        if let Some(shift) = estimate_shift(&entries) {
+            self.shift = shift;
+        }
+        self.calibrated = true;
+        self.buckets = (0..new_nbuckets).map(|_| Vec::new()).collect();
+        self.occupied = vec![0; new_nbuckets.div_ceil(64)];
+        let mask = new_nbuckets - 1;
+        let shift = self.shift;
+        for entry in entries {
+            let idx = ((entry.time.as_nanos() >> shift) as usize) & mask;
+            self.buckets[idx].push(entry);
+        }
+        for (idx, bucket) in self.buckets.iter_mut().enumerate() {
+            if !bucket.is_empty() {
+                self.occupied[idx >> 6] |= 1 << (idx & 63);
+                // (time, seq) is unique, so unstable sort is deterministic.
+                bucket.sort_unstable_by(|a, b| (b.time, b.seq).cmp(&(a.time, a.seq)));
+            }
+        }
+        // Re-park the scan on the earliest pending event.
+        let min_nanos = self
+            .buckets
+            .iter()
+            .filter_map(|b| b.last().map(|e| e.time.as_nanos()))
+            .min()
+            .unwrap_or(0);
+        self.cur_day.set(min_nanos >> self.shift);
+    }
+}
+
+/// Estimates a bucket shift (log2 width) targeting one event per day,
+/// from a deterministic sample of the live population. `None` when there
+/// are too few distinct timestamps to tell.
+///
+/// A strided sample of `k` of the `n` timestamps, sorted, has consecutive
+/// gaps averaging `span / k` over the densely-populated core; the *median*
+/// sampled gap ignores the handful of giant gaps contributed by far-future
+/// outliers (retransmission timers parked hundreds of milliseconds out).
+/// Rescaling that median by `k / n` recovers the core inter-event gap — the
+/// ideal day width — without ever sorting the full population.
+fn estimate_shift<E>(entries: &[Entry<E>]) -> Option<u32> {
+    const SAMPLE: usize = 128;
+    let n = entries.len();
+    if n < 2 {
+        return None;
+    }
+    let step = (n / SAMPLE).max(1);
+    let mut sample: Vec<u64> = entries
+        .iter()
+        .step_by(step)
+        .take(SAMPLE)
+        .map(|e| e.time.as_nanos())
+        .collect();
+    sample.sort_unstable();
+    let mut gaps: Vec<u64> = sample
+        .windows(2)
+        .map(|w| w[1] - w[0])
+        .filter(|&g| g > 0)
+        .collect();
+    if gaps.is_empty() {
+        return None;
+    }
+    gaps.sort_unstable();
+    let median = gaps[gaps.len() / 2];
+    // median ≈ core_span / sample_len, so median * sample_len / n ≈ the
+    // core inter-event gap. The u128 widening cannot overflow.
+    let width = ((u128::from(median) * sample.len() as u128 / n as u128) as u64).max(2);
+    let width = width.next_power_of_two();
+    Some(width.trailing_zeros().clamp(MIN_SHIFT, MAX_SHIFT))
+}

@@ -5,12 +5,15 @@
 //! * [`SimTime`] / [`SimDuration`] — an integer-nanosecond virtual clock with
 //!   exact arithmetic (no floating-point drift in the event queue),
 //! * [`EventQueue`] — a priority queue of timestamped events with a
-//!   deterministic FIFO tie-break for simultaneous events,
+//!   deterministic FIFO tie-break for simultaneous events; backed by a
+//!   calendar queue (O(1) amortized, supports in-place cancellation via
+//!   [`EventKey`]) with a [`QueueBackend::BinaryHeap`] reference backend for
+//!   A/B benchmarking,
 //! * [`Scheduler`] — the virtual clock plus the queue, i.e. the core
 //!   simulation loop driver,
-//! * [`TimerSlot`] — a cancellable/re-armable logical timer built on
-//!   generation counters (scheduled events cannot be deleted from the heap,
-//!   so stale firings are filtered at delivery),
+//! * [`TimerSlot`] — a cancellable/re-armable logical timer: eager in-place
+//!   deletion of superseded firings where the backend supports it, with
+//!   generation-counter filtering at delivery as the safety net,
 //! * [`SimRng`] — a seeded, reproducible random-number source (an in-tree
 //!   xoshiro256++, no external dependencies) with the distributions the
 //!   traffic models need (exponential, Pareto, uniform) and documented
@@ -38,13 +41,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod calendar;
 mod queue;
 mod rng;
 mod scheduler;
 mod time;
 mod timer;
 
-pub use queue::EventQueue;
+pub use queue::{EventKey, EventQueue, QueueBackend};
 pub use rng::SimRng;
 pub use scheduler::Scheduler;
 pub use time::{SimDuration, SimTime};

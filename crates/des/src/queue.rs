@@ -3,14 +3,55 @@
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
+use crate::calendar::{Calendar, Entry};
 use crate::time::SimTime;
+
+/// Which data structure backs an [`EventQueue`].
+///
+/// Both backends expose the identical total order — ascending `(time, seq)`,
+/// i.e. non-decreasing time with FIFO tie-break — so swapping backends never
+/// changes a simulation's output, only its speed. That is property-tested in
+/// `tests/prop_calendar.rs`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum QueueBackend {
+    /// A calendar queue (Brown 1988): bucketed time wheel with adaptive
+    /// bucket width. O(1) amortized push/pop and supports in-place
+    /// cancellation by [`EventKey`]. The default.
+    #[default]
+    Calendar,
+    /// A [`BinaryHeap`]: O(log n) push/pop, no in-place cancellation
+    /// ([`EventQueue::cancel`] always reports a miss, so timer cancellation
+    /// degrades to the lazy generation-counter path). Kept as the reference
+    /// implementation and A/B baseline for benchmarks.
+    BinaryHeap,
+}
+
+/// A handle to one scheduled event, returned by [`EventQueue::push_keyed`].
+///
+/// The key is the event's `(time, seq)` coordinate, which is unique for the
+/// lifetime of the queue. Pass it to [`EventQueue::cancel`] to delete the
+/// event before it pops. A key whose event has already popped (or been
+/// cancelled) simply misses — cancellation is idempotent and never affects
+/// any other event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventKey {
+    time: SimTime,
+    seq: u64,
+}
+
+impl EventKey {
+    /// The timestamp this key's event was scheduled for.
+    pub fn time(&self) -> SimTime {
+        self.time
+    }
+}
 
 /// A priority queue of timestamped events.
 ///
 /// Events pop in non-decreasing time order; events scheduled for the same
 /// instant pop in the order they were inserted (FIFO tie-break via a
 /// monotonically increasing sequence number), which keeps simulations
-/// deterministic regardless of heap internals.
+/// deterministic regardless of queue internals.
 ///
 /// # Example
 ///
@@ -26,32 +67,39 @@ use crate::time::SimTime;
 /// ```
 #[derive(Debug)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
+    inner: Inner<E>,
     next_seq: u64,
+    cancelled_in_place: u64,
 }
 
 #[derive(Debug)]
-struct Entry<E> {
+enum Inner<E> {
+    Calendar(Calendar<E>),
+    Heap(BinaryHeap<HeapEntry<E>>),
+}
+
+#[derive(Debug)]
+struct HeapEntry<E> {
     time: SimTime,
     seq: u64,
     event: E,
 }
 
-impl<E> PartialEq for Entry<E> {
+impl<E> PartialEq for HeapEntry<E> {
     fn eq(&self, other: &Self) -> bool {
         self.time == other.time && self.seq == other.seq
     }
 }
 
-impl<E> Eq for Entry<E> {}
+impl<E> Eq for HeapEntry<E> {}
 
-impl<E> PartialOrd for Entry<E> {
+impl<E> PartialOrd for HeapEntry<E> {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
     }
 }
 
-impl<E> Ord for Entry<E> {
+impl<E> Ord for HeapEntry<E> {
     fn cmp(&self, other: &Self) -> Ordering {
         // BinaryHeap is a max-heap; reverse so the earliest (time, seq) wins.
         (other.time, other.seq).cmp(&(self.time, self.seq))
@@ -59,57 +107,134 @@ impl<E> Ord for Entry<E> {
 }
 
 impl<E> EventQueue<E> {
-    /// Creates an empty queue.
+    /// Creates an empty queue on the default backend.
     pub fn new() -> Self {
+        EventQueue::with_capacity(0)
+    }
+
+    /// Creates an empty queue with room for `capacity` events, on the
+    /// default backend.
+    pub fn with_capacity(capacity: usize) -> Self {
+        EventQueue::with_capacity_and_backend(capacity, QueueBackend::default())
+    }
+
+    /// Creates an empty queue on an explicit [`QueueBackend`].
+    pub fn with_capacity_and_backend(capacity: usize, backend: QueueBackend) -> Self {
+        let inner = match backend {
+            QueueBackend::Calendar => Inner::Calendar(Calendar::with_capacity(capacity)),
+            QueueBackend::BinaryHeap => Inner::Heap(BinaryHeap::with_capacity(capacity)),
+        };
         EventQueue {
-            heap: BinaryHeap::new(),
+            inner,
             next_seq: 0,
+            cancelled_in_place: 0,
         }
     }
 
-    /// Creates an empty queue with room for `capacity` events.
-    pub fn with_capacity(capacity: usize) -> Self {
-        EventQueue {
-            heap: BinaryHeap::with_capacity(capacity),
-            next_seq: 0,
+    /// Which backend this queue runs on.
+    pub fn backend(&self) -> QueueBackend {
+        match self.inner {
+            Inner::Calendar(_) => QueueBackend::Calendar,
+            Inner::Heap(_) => QueueBackend::BinaryHeap,
         }
     }
 
     /// Schedules `event` at absolute time `time`.
     pub fn push(&mut self, time: SimTime, event: E) {
+        self.push_keyed(time, event);
+    }
+
+    /// Schedules `event` at absolute time `time` and returns the
+    /// [`EventKey`] that can later [`cancel`](EventQueue::cancel) it.
+    pub fn push_keyed(&mut self, time: SimTime, event: E) -> EventKey {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Entry { time, seq, event });
+        match &mut self.inner {
+            Inner::Calendar(cal) => cal.push(Entry { time, seq, event }),
+            Inner::Heap(heap) => heap.push(HeapEntry { time, seq, event }),
+        }
+        EventKey { time, seq }
+    }
+
+    /// Deletes the event identified by `key` before it pops, returning it.
+    ///
+    /// Returns `None` when the event is no longer queued (already popped or
+    /// already cancelled) — and always on the [`QueueBackend::BinaryHeap`]
+    /// backend, which cannot delete interior entries; callers must then fall
+    /// back to lazy invalidation (see [`TimerSlot`](crate::TimerSlot)).
+    pub fn cancel(&mut self, key: EventKey) -> Option<E> {
+        match &mut self.inner {
+            Inner::Calendar(cal) => {
+                let event = cal.cancel(key.time, key.seq)?;
+                self.cancelled_in_place += 1;
+                Some(event)
+            }
+            Inner::Heap(_) => None,
+        }
     }
 
     /// Removes and returns the earliest event, or `None` if empty.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        self.heap.pop().map(|e| (e.time, e.event))
+        match &mut self.inner {
+            Inner::Calendar(cal) => cal.pop().map(|e| (e.time, e.event)),
+            Inner::Heap(heap) => heap.pop().map(|e| (e.time, e.event)),
+        }
+    }
+
+    /// Removes and returns the earliest event only if its timestamp is at
+    /// most `horizon`; otherwise leaves the queue untouched and returns
+    /// `None`.
+    ///
+    /// Equivalent to a [`peek_time`](EventQueue::peek_time) followed by a
+    /// conditional [`pop`](EventQueue::pop), but the calendar backend pays
+    /// for a single bucket scan instead of two.
+    pub fn pop_due(&mut self, horizon: SimTime) -> Option<(SimTime, E)> {
+        match &mut self.inner {
+            Inner::Calendar(cal) => cal.pop_due(horizon).map(|e| (e.time, e.event)),
+            Inner::Heap(heap) => match heap.peek() {
+                Some(e) if e.time <= horizon => heap.pop().map(|e| (e.time, e.event)),
+                _ => None,
+            },
+        }
     }
 
     /// The timestamp of the earliest pending event, if any.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|e| e.time)
+        match &self.inner {
+            Inner::Calendar(cal) => cal.peek(),
+            Inner::Heap(heap) => heap.peek().map(|e| e.time),
+        }
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        match &self.inner {
+            Inner::Calendar(cal) => cal.len(),
+            Inner::Heap(heap) => heap.len(),
+        }
     }
 
     /// Number of events the queue can hold without reallocating.
     pub fn capacity(&self) -> usize {
-        self.heap.capacity()
+        match &self.inner {
+            Inner::Calendar(cal) => cal.capacity(),
+            Inner::Heap(heap) => heap.capacity(),
+        }
     }
 
     /// True if no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len() == 0
     }
 
     /// Total number of events ever scheduled on this queue.
     pub fn scheduled_total(&self) -> u64 {
         self.next_seq
+    }
+
+    /// Number of events deleted in place via [`EventQueue::cancel`].
+    pub fn cancelled_in_place(&self) -> u64 {
+        self.cancelled_in_place
     }
 }
 
@@ -124,63 +249,124 @@ mod tests {
     use super::*;
     use proptest::prelude::*;
 
+    /// Both backends, so every test exercises calendar and heap alike.
+    fn both() -> [EventQueue<u64>; 2] {
+        [
+            EventQueue::with_capacity_and_backend(0, QueueBackend::Calendar),
+            EventQueue::with_capacity_and_backend(0, QueueBackend::BinaryHeap),
+        ]
+    }
+
     #[test]
     fn pops_in_time_order() {
-        let mut q = EventQueue::new();
-        for &ms in &[5u64, 1, 9, 3, 7] {
-            q.push(SimTime::from_millis(ms), ms);
+        for mut q in both() {
+            for &ms in &[5u64, 1, 9, 3, 7] {
+                q.push(SimTime::from_millis(ms), ms);
+            }
+            let popped: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+            assert_eq!(popped, vec![1, 3, 5, 7, 9]);
         }
-        let popped: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
-        assert_eq!(popped, vec![1, 3, 5, 7, 9]);
     }
 
     #[test]
     fn simultaneous_events_pop_fifo() {
-        let mut q = EventQueue::new();
-        let t = SimTime::from_millis(1);
-        for i in 0..100 {
-            q.push(t, i);
+        for mut q in both() {
+            let t = SimTime::from_millis(1);
+            for i in 0..100 {
+                q.push(t, i);
+            }
+            let popped: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+            assert_eq!(popped, (0..100).collect::<Vec<_>>());
         }
-        let popped: Vec<i32> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
-        assert_eq!(popped, (0..100).collect::<Vec<_>>());
     }
 
     #[test]
     fn peek_does_not_remove() {
-        let mut q = EventQueue::new();
-        q.push(SimTime::from_secs(1), ());
-        assert_eq!(q.peek_time(), Some(SimTime::from_secs(1)));
-        assert_eq!(q.len(), 1);
-        assert!(!q.is_empty());
-        q.pop();
-        assert_eq!(q.peek_time(), None);
-        assert!(q.is_empty());
+        for mut q in both() {
+            q.push(SimTime::from_secs(1), 0);
+            assert_eq!(q.peek_time(), Some(SimTime::from_secs(1)));
+            assert_eq!(q.len(), 1);
+            assert!(!q.is_empty());
+            q.pop();
+            assert_eq!(q.peek_time(), None);
+            assert!(q.is_empty());
+        }
     }
 
     #[test]
     fn counts_total_scheduled() {
-        let mut q = EventQueue::new();
-        q.push(SimTime::ZERO, ());
-        q.push(SimTime::ZERO, ());
+        for mut q in both() {
+            q.push(SimTime::ZERO, 0);
+            q.push(SimTime::ZERO, 1);
+            q.pop();
+            assert_eq!(q.scheduled_total(), 2);
+        }
+    }
+
+    #[test]
+    fn cancel_removes_exactly_one_event() {
+        let mut q: EventQueue<&str> = EventQueue::new();
+        q.push(SimTime::from_millis(1), "keep-1");
+        let key = q.push_keyed(SimTime::from_millis(2), "drop");
+        q.push(SimTime::from_millis(2), "keep-2");
+        assert_eq!(q.cancel(key), Some("drop"));
+        assert_eq!(q.cancelled_in_place(), 1);
+        // Second cancel of the same key misses harmlessly.
+        assert_eq!(q.cancel(key), None);
+        assert_eq!(q.cancelled_in_place(), 1);
+        let popped: Vec<&str> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(popped, ["keep-1", "keep-2"]);
+    }
+
+    #[test]
+    fn cancel_after_pop_misses() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        let key = q.push_keyed(SimTime::from_millis(1), ());
         q.pop();
-        assert_eq!(q.scheduled_total(), 2);
+        assert_eq!(q.cancel(key), None);
+        assert_eq!(q.cancelled_in_place(), 0);
+    }
+
+    #[test]
+    fn heap_backend_reports_cancel_miss() {
+        let mut q = EventQueue::with_capacity_and_backend(0, QueueBackend::BinaryHeap);
+        let key = q.push_keyed(SimTime::from_millis(1), ());
+        assert_eq!(q.backend(), QueueBackend::BinaryHeap);
+        assert_eq!(q.cancel(key), None);
+        assert_eq!(q.len(), 1, "heap backend leaves the event queued");
+    }
+
+    #[test]
+    fn push_before_advanced_peek_still_pops_first() {
+        // Peeking far ahead advances the calendar's scan; a later push at an
+        // earlier time must still pop first.
+        let mut q: EventQueue<&str> = EventQueue::new();
+        q.push(SimTime::from_secs(100), "late");
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(100)));
+        q.push(SimTime::from_millis(1), "early");
+        assert_eq!(q.pop().map(|(_, e)| e), Some("early"));
+        assert_eq!(q.pop().map(|(_, e)| e), Some("late"));
     }
 
     proptest! {
         /// Any batch of (time, payload) pairs pops sorted by time, with ties
-        /// broken by insertion order.
+        /// broken by insertion order — on both backends.
         #[test]
         fn prop_pop_order_is_stable_sort(times in proptest::collection::vec(0u64..1_000, 0..200)) {
-            let mut q = EventQueue::new();
-            for (i, &t) in times.iter().enumerate() {
-                q.push(SimTime::from_nanos(t), i);
+            for mut q in [
+                EventQueue::with_capacity_and_backend(0, QueueBackend::Calendar),
+                EventQueue::with_capacity_and_backend(0, QueueBackend::BinaryHeap),
+            ] {
+                for (i, &t) in times.iter().enumerate() {
+                    q.push(SimTime::from_nanos(t), i);
+                }
+                let mut expected: Vec<(u64, usize)> =
+                    times.iter().copied().enumerate().map(|(i, t)| (t, i)).collect();
+                expected.sort(); // stable on (time, index)
+                let got: Vec<(u64, usize)> =
+                    std::iter::from_fn(|| q.pop()).map(|(t, i)| (t.as_nanos(), i)).collect();
+                prop_assert_eq!(got, expected);
             }
-            let mut expected: Vec<(u64, usize)> =
-                times.iter().copied().enumerate().map(|(i, t)| (t, i)).collect();
-            expected.sort(); // stable on (time, index)
-            let got: Vec<(u64, usize)> =
-                std::iter::from_fn(|| q.pop()).map(|(t, i)| (t.as_nanos(), i)).collect();
-            prop_assert_eq!(got, expected);
         }
     }
 }

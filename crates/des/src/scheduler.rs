@@ -1,6 +1,6 @@
 //! The virtual clock and simulation loop driver.
 
-use crate::queue::EventQueue;
+use crate::queue::{EventKey, EventQueue, QueueBackend};
 use crate::time::{SimDuration, SimTime};
 
 /// A discrete-event scheduler: a virtual clock plus a future-event list.
@@ -10,6 +10,21 @@ use crate::time::{SimDuration, SimTime};
 /// inversion keeps the engine free of borrow-checker gymnastics: simulation
 /// state lives in one place (the caller's world struct) and the scheduler is
 /// passed down by `&mut` wherever new events need to be spawned.
+///
+/// # Monotonicity contract
+///
+/// All three scheduling entry points guarantee the event lands at or after
+/// [`Scheduler::now`]:
+///
+/// * [`schedule_at`](Scheduler::schedule_at) panics on a past `time`;
+/// * [`schedule_after`](Scheduler::schedule_after) adds a non-negative delay
+///   with saturating arithmetic, so even a delay that overflows the clock
+///   lands at [`SimTime::MAX`], never in the past;
+/// * [`schedule_now`](Scheduler::schedule_now) targets `now` exactly.
+///
+/// Together with the queue's ascending `(time, seq)` pop order this makes
+/// the clock monotone: no event ever observes a world state newer than its
+/// own timestamp.
 ///
 /// # Example
 ///
@@ -34,33 +49,45 @@ pub struct Scheduler<E> {
     queue: EventQueue<E>,
     now: SimTime,
     processed: u64,
+    pending_peak: usize,
 }
 
 impl<E> Scheduler<E> {
     /// Creates a scheduler with the clock at [`SimTime::ZERO`].
     pub fn new() -> Self {
-        Scheduler {
-            queue: EventQueue::new(),
-            now: SimTime::ZERO,
-            processed: 0,
-        }
+        Scheduler::with_capacity(0)
     }
 
     /// Creates a scheduler whose future-event list has room for `capacity`
     /// events before reallocating.
     ///
-    /// Pre-sizing matters on the simulation hot path: the event heap grows
+    /// Pre-sizing matters on the simulation hot path: the event queue grows
     /// with the number of concurrently active flows and timers, and letting
     /// it double its way up from empty costs a series of reallocation +
     /// copy cycles at exactly the moment the run is busiest. Callers that
     /// know their scale (e.g. a scenario with `M` clients) should pass a
     /// proportional capacity hint.
     pub fn with_capacity(capacity: usize) -> Self {
+        Scheduler::with_capacity_and_backend(capacity, QueueBackend::default())
+    }
+
+    /// Creates a scheduler on an explicit [`QueueBackend`].
+    ///
+    /// Both backends produce identical simulation output (same `(time, seq)`
+    /// total order); the choice only affects speed, and exists so benchmarks
+    /// can A/B the calendar queue against the binary-heap reference.
+    pub fn with_capacity_and_backend(capacity: usize, backend: QueueBackend) -> Self {
         Scheduler {
-            queue: EventQueue::with_capacity(capacity),
+            queue: EventQueue::with_capacity_and_backend(capacity, backend),
             now: SimTime::ZERO,
             processed: 0,
+            pending_peak: 0,
         }
+    }
+
+    /// Which backend the future-event list runs on.
+    pub fn backend(&self) -> QueueBackend {
+        self.queue.backend()
     }
 
     /// Number of events the future-event list can hold without
@@ -74,31 +101,75 @@ impl<E> Scheduler<E> {
         self.now
     }
 
+    fn note_pushed(&mut self) {
+        let len = self.queue.len();
+        if len > self.pending_peak {
+            self.pending_peak = len;
+        }
+    }
+
     /// Schedules `event` at the absolute instant `time`.
+    ///
+    /// Monotonicity: `time` must be at or after [`Scheduler::now`]; the
+    /// simulated world cannot be causally rewritten.
     ///
     /// # Panics
     ///
-    /// Panics if `time` is in the past (before [`Scheduler::now`]): the
-    /// simulated world cannot be causally rewritten.
+    /// Panics if `time` is in the past (before [`Scheduler::now`]).
     pub fn schedule_at(&mut self, time: SimTime, event: E) {
+        self.schedule_at_keyed(time, event);
+    }
+
+    /// Like [`Scheduler::schedule_at`], but returns the [`EventKey`] that
+    /// can later [`cancel`](Scheduler::cancel) the event.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is in the past (before [`Scheduler::now`]).
+    pub fn schedule_at_keyed(&mut self, time: SimTime, event: E) -> EventKey {
         assert!(
             time >= self.now,
             "cannot schedule into the past: now={}, requested={}",
             self.now,
             time
         );
-        self.queue.push(time, event);
+        let key = self.queue.push_keyed(time, event);
+        self.note_pushed();
+        key
     }
 
     /// Schedules `event` to fire `delay` after the current time.
+    ///
+    /// Monotonicity: the target is `now + delay` with saturating addition,
+    /// so it is always at or after [`Scheduler::now`] — a delay large enough
+    /// to overflow the clock lands at [`SimTime::MAX`] instead of wrapping
+    /// into the past.
     pub fn schedule_after(&mut self, delay: SimDuration, event: E) {
-        self.queue.push(self.now + delay, event);
+        let time = self.now + delay;
+        debug_assert!(time >= self.now, "saturating add went backwards");
+        self.queue.push(time, event);
+        self.note_pushed();
     }
 
     /// Schedules `event` at the current instant (after all events already
     /// queued for this instant).
+    ///
+    /// Monotonicity: the target is exactly [`Scheduler::now`], so the event
+    /// can never land in the past; the FIFO tie-break orders it after
+    /// everything already queued for this instant.
     pub fn schedule_now(&mut self, event: E) {
         self.queue.push(self.now, event);
+        self.note_pushed();
+    }
+
+    /// Deletes a previously scheduled event before it pops, returning it.
+    ///
+    /// Returns `None` when the event already popped or was already
+    /// cancelled — and always on the [`QueueBackend::BinaryHeap`] backend,
+    /// which cannot delete interior entries (callers then fall back to lazy
+    /// generation-counter invalidation; see [`TimerSlot`](crate::TimerSlot)).
+    pub fn cancel(&mut self, key: EventKey) -> Option<E> {
+        self.queue.cancel(key)
     }
 
     /// Removes the earliest event, advancing the clock to its timestamp.
@@ -118,9 +189,14 @@ impl<E> Scheduler<E> {
     /// advanced to exactly `horizon`. Use this to end a run at a fixed
     /// duration without draining stragglers.
     pub fn pop_until(&mut self, horizon: SimTime) -> Option<(SimTime, E)> {
-        match self.queue.peek_time() {
-            Some(t) if t <= horizon => self.pop(),
-            _ => {
+        match self.queue.pop_due(horizon) {
+            Some((time, event)) => {
+                debug_assert!(time >= self.now, "event queue went backwards");
+                self.now = time;
+                self.processed += 1;
+                Some((time, event))
+            }
+            None => {
                 if self.now < horizon {
                     self.now = horizon;
                 }
@@ -134,9 +210,20 @@ impl<E> Scheduler<E> {
         self.queue.len()
     }
 
+    /// Highest number of simultaneously pending events seen so far.
+    pub fn pending_peak(&self) -> usize {
+        self.pending_peak
+    }
+
     /// Number of events processed so far.
     pub fn processed(&self) -> u64 {
         self.processed
+    }
+
+    /// Number of scheduled events deleted in place via
+    /// [`Scheduler::cancel`] before they could fire.
+    pub fn cancelled_in_place(&self) -> u64 {
+        self.queue.cancelled_in_place()
     }
 
     /// The timestamp of the next pending event, if any.
@@ -188,6 +275,17 @@ mod tests {
     }
 
     #[test]
+    fn schedule_after_saturates_instead_of_wrapping() {
+        let mut s = Scheduler::new();
+        s.schedule_at(SimTime::from_secs(1), ());
+        s.pop();
+        // A delay that overflows the clock must land at MAX, not wrap
+        // behind `now`.
+        s.schedule_after(SimDuration::from_nanos(u64::MAX), ());
+        assert_eq!(s.peek_time(), Some(SimTime::MAX));
+    }
+
+    #[test]
     fn pop_until_respects_horizon() {
         let mut s = Scheduler::new();
         s.schedule_at(SimTime::from_secs(1), "in");
@@ -210,5 +308,28 @@ mod tests {
         s.schedule_now("c");
         assert_eq!(s.pop().map(|(_, e)| e), Some("b"));
         assert_eq!(s.pop().map(|(_, e)| e), Some("c"));
+    }
+
+    #[test]
+    fn cancel_skips_the_event_and_counts() {
+        let mut s = Scheduler::new();
+        let key = s.schedule_at_keyed(SimTime::from_millis(5), "timer");
+        s.schedule_at(SimTime::from_millis(7), "data");
+        assert_eq!(s.cancel(key), Some("timer"));
+        assert_eq!(s.cancelled_in_place(), 1);
+        assert_eq!(s.pop().map(|(_, e)| e), Some("data"));
+        assert!(s.pop().is_none());
+    }
+
+    #[test]
+    fn pending_peak_tracks_high_water_mark() {
+        let mut s = Scheduler::new();
+        for ms in 1..=5u64 {
+            s.schedule_at(SimTime::from_millis(ms), ());
+        }
+        while s.pop().is_some() {}
+        s.schedule_after(SimDuration::from_millis(1), ());
+        assert_eq!(s.pending_peak(), 5);
+        assert_eq!(s.pending(), 1);
     }
 }

@@ -1,11 +1,20 @@
 //! Cancellable logical timers.
 //!
-//! A binary heap cannot delete arbitrary entries, so cancelling a scheduled
-//! timer is done lazily: every (re)arm bumps a generation counter, the
-//! generation is embedded in the scheduled event, and a firing whose
-//! generation no longer matches is simply ignored. [`TimerSlot`] packages
-//! that pattern.
+//! Two cancellation strategies, layered:
+//!
+//! * **Lazy (generation counter).** Every (re)arm bumps a generation, the
+//!   generation is embedded in the scheduled event, and a firing whose
+//!   generation no longer matches is ignored. Works on any queue backend and
+//!   is the safety net for events that are already in flight.
+//! * **Eager (in-place deletion).** [`TimerSlot::schedule`] remembers the
+//!   [`EventKey`] of the queued firing; a re-arm or
+//!   [`TimerSlot::cancel_scheduled`] deletes the stale entry from the queue
+//!   on the spot, so dead timer events never travel through the hot loop at
+//!   all. On a backend that cannot delete (the binary heap), the deletion
+//!   misses harmlessly and the lazy layer picks up the slack.
 
+use crate::queue::EventKey;
+use crate::scheduler::Scheduler;
 use crate::time::SimTime;
 
 /// An opaque token identifying one arming of a [`TimerSlot`].
@@ -27,11 +36,13 @@ pub struct TimerGeneration(u64);
 /// let mut sched = Scheduler::new();
 /// let mut rto = TimerSlot::new();
 ///
-/// // Arm, then re-arm before it fires: the first firing must be ignored.
-/// let g1 = rto.arm(sched.now() + SimDuration::from_millis(100));
-/// sched.schedule_after(SimDuration::from_millis(100), Ev::Timeout(g1));
-/// let g2 = rto.arm(sched.now() + SimDuration::from_millis(300));
-/// sched.schedule_after(SimDuration::from_millis(300), Ev::Timeout(g2));
+/// // Schedule, then re-schedule before it fires: the first entry is
+/// // deleted from the queue in place, so only one firing ever pops.
+/// let first = sched.now() + SimDuration::from_millis(100);
+/// rto.schedule(&mut sched, first, Ev::Timeout);
+/// let second = sched.now() + SimDuration::from_millis(300);
+/// rto.schedule(&mut sched, second, Ev::Timeout);
+/// assert_eq!(sched.pending(), 1);
 ///
 /// let mut fired = 0;
 /// while let Some((_, Ev::Timeout(gen))) = sched.pop() {
@@ -46,6 +57,8 @@ pub struct TimerGeneration(u64);
 pub struct TimerSlot {
     generation: u64,
     deadline: Option<SimTime>,
+    /// Queue entry of the current arming's firing, when scheduled eagerly.
+    key: Option<EventKey>,
 }
 
 impl TimerSlot {
@@ -56,16 +69,62 @@ impl TimerSlot {
 
     /// Arms (or re-arms) the timer for `deadline`, invalidating any earlier
     /// arming. Returns the token to embed in the scheduled event.
+    ///
+    /// This is the lazy half only: the caller schedules the firing event
+    /// itself, and a superseded firing is filtered at delivery by
+    /// [`TimerSlot::fires`]. Prefer [`TimerSlot::schedule`], which also
+    /// deletes the superseded firing from the queue.
     pub fn arm(&mut self, deadline: SimTime) -> TimerGeneration {
         self.generation += 1;
         self.deadline = Some(deadline);
+        self.key = None;
         TimerGeneration(self.generation)
     }
 
+    /// Arms (or re-arms) the timer for `deadline` and schedules the firing
+    /// event, deleting any previously queued firing in place.
+    ///
+    /// `make` builds the event from the fresh [`TimerGeneration`]; embed the
+    /// token so [`TimerSlot::fires`] can validate the firing when it pops
+    /// (the lazy safety net still applies if the deletion missed, e.g. on
+    /// the binary-heap backend).
+    pub fn schedule<E>(
+        &mut self,
+        sched: &mut Scheduler<E>,
+        deadline: SimTime,
+        make: impl FnOnce(TimerGeneration) -> E,
+    ) -> TimerGeneration {
+        self.cancel_queued(sched);
+        self.generation += 1;
+        self.deadline = Some(deadline);
+        let token = TimerGeneration(self.generation);
+        self.key = Some(sched.schedule_at_keyed(deadline, make(token)));
+        token
+    }
+
     /// Cancels the timer; any in-flight firing becomes stale.
+    ///
+    /// Lazy half only — a queued firing stays in the queue and is filtered
+    /// at delivery. Use [`TimerSlot::cancel_scheduled`] to also delete it.
     pub fn disarm(&mut self) {
         self.generation += 1;
         self.deadline = None;
+        // Keep `key`: a later `schedule` can still reap the dead entry.
+    }
+
+    /// Cancels the timer and deletes its queued firing in place, if the
+    /// backend supports deletion (the lazy generation check covers the
+    /// rest).
+    pub fn cancel_scheduled<E>(&mut self, sched: &mut Scheduler<E>) {
+        self.cancel_queued(sched);
+        self.disarm();
+    }
+
+    /// Deletes the currently tracked queue entry, if any.
+    fn cancel_queued<E>(&mut self, sched: &mut Scheduler<E>) {
+        if let Some(key) = self.key.take() {
+            sched.cancel(key);
+        }
     }
 
     /// True if the timer is currently armed.
@@ -131,5 +190,44 @@ mod tests {
         let g2 = t.arm(SimTime::from_secs(3));
         assert!(!t.fires(g1));
         assert!(t.fires(g2));
+    }
+
+    #[test]
+    fn reschedule_deletes_previous_firing_from_queue() {
+        let mut sched: Scheduler<TimerGeneration> = Scheduler::new();
+        let mut t = TimerSlot::new();
+        t.schedule(&mut sched, SimTime::from_secs(1), |g| g);
+        let g2 = t.schedule(&mut sched, SimTime::from_secs(2), |g| g);
+        assert_eq!(sched.pending(), 1, "stale firing deleted in place");
+        assert_eq!(sched.cancelled_in_place(), 1);
+        let (when, popped) = sched.pop().unwrap();
+        assert_eq!(when, SimTime::from_secs(2));
+        assert!(t.fires(popped));
+        assert_eq!(popped, g2);
+    }
+
+    #[test]
+    fn cancel_scheduled_empties_queue_and_disarms() {
+        let mut sched: Scheduler<TimerGeneration> = Scheduler::new();
+        let mut t = TimerSlot::new();
+        let g = t.schedule(&mut sched, SimTime::from_secs(1), |g| g);
+        t.cancel_scheduled(&mut sched);
+        assert!(!t.is_armed());
+        assert!(!t.fires(g));
+        assert!(sched.pop().is_none());
+        assert_eq!(sched.cancelled_in_place(), 1);
+    }
+
+    #[test]
+    fn plain_disarm_keeps_entry_reapable_by_next_schedule() {
+        let mut sched: Scheduler<TimerGeneration> = Scheduler::new();
+        let mut t = TimerSlot::new();
+        t.schedule(&mut sched, SimTime::from_secs(1), |g| g);
+        t.disarm(); // lazy: entry stays queued
+        assert_eq!(sched.pending(), 1);
+        t.schedule(&mut sched, SimTime::from_secs(2), |g| g);
+        // The re-schedule reaped the disarmed-but-queued entry.
+        assert_eq!(sched.pending(), 1);
+        assert_eq!(sched.cancelled_in_place(), 1);
     }
 }

@@ -31,6 +31,12 @@ pub struct Link {
     queue: Box<dyn Queue>,
     busy: bool,
     stats: LinkStats,
+    /// One-entry `(bits, nanos)` memo for [`Link::tx_time`]. A link
+    /// typically carries a single packet size (data one way, ACKs the
+    /// other), so this replaces a 128-bit ceiling division per transmitted
+    /// packet with a compare. `(0, 0)` is a correct seed: zero bits
+    /// serialize in zero time.
+    tx_memo: std::cell::Cell<(u64, u64)>,
 }
 
 impl Link {
@@ -56,6 +62,7 @@ impl Link {
             queue,
             busy: false,
             stats: LinkStats::default(),
+            tx_memo: std::cell::Cell::new((0, 0)),
         }
     }
 
@@ -81,9 +88,15 @@ impl Link {
 
     /// Time to clock `bits` onto the wire at this link's rate.
     pub fn tx_time(&self, bits: u64) -> SimDuration {
+        let (memo_bits, memo_ns) = self.tx_memo.get();
+        if bits == memo_bits {
+            return SimDuration::from_nanos(memo_ns);
+        }
         // ceil(bits * 1e9 / bandwidth) nanoseconds, in u128 to avoid overflow.
         let ns = (u128::from(bits) * 1_000_000_000u128).div_ceil(u128::from(self.bandwidth_bps));
-        SimDuration::from_nanos(ns.min(u128::from(u64::MAX)) as u64)
+        let ns = ns.min(u128::from(u64::MAX)) as u64;
+        self.tx_memo.set((bits, ns));
+        SimDuration::from_nanos(ns)
     }
 
     /// The admission queue.

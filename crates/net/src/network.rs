@@ -1,7 +1,5 @@
 //! The node/link arena, static routing, and packet forwarding.
 
-use std::collections::HashMap;
-
 use tcpburst_des::{Scheduler, SimDuration};
 
 use crate::link::Link;
@@ -57,6 +55,9 @@ enum NodeKind {
     Router,
 }
 
+/// Marks "no route" in the flat routing tables.
+const NO_ROUTE: u32 = u32::MAX;
+
 /// A static network: nodes, simplex links and per-node routing tables.
 ///
 /// The network is deliberately mechanical — it admits packets to queues,
@@ -101,7 +102,11 @@ enum NodeKind {
 pub struct Network {
     nodes: Vec<NodeKind>,
     links: Vec<Link>,
-    routes: Vec<HashMap<NodeId, LinkId>>,
+    /// `routes[node][dst]` is the outgoing link id (or [`NO_ROUTE`]). A flat
+    /// table instead of per-node hash maps: the lookup sits on the
+    /// per-packet forwarding path, where array indexing beats hashing by an
+    /// order of magnitude.
+    routes: Vec<Vec<u32>>,
 }
 
 impl Network {
@@ -123,7 +128,7 @@ impl Network {
     fn add_node(&mut self, kind: NodeKind) -> NodeId {
         let id = NodeId(self.nodes.len() as u32);
         self.nodes.push(kind);
-        self.routes.push(HashMap::new());
+        self.routes.push(Vec::new());
         id
     }
 
@@ -158,7 +163,11 @@ impl Network {
             node,
             "route at {node:?} must use a link leaving it"
         );
-        self.routes[node.0 as usize].insert(dst, via);
+        let table = &mut self.routes[node.0 as usize];
+        if table.len() <= dst.0 as usize {
+            table.resize(dst.0 as usize + 1, NO_ROUTE);
+        }
+        table[dst.0 as usize] = via.0;
     }
 
     /// Looks at a link.
@@ -190,8 +199,12 @@ impl Network {
     }
 
     /// The outgoing link `node` uses to reach `dst`, if routed.
+    #[inline]
     pub fn route(&self, node: NodeId, dst: NodeId) -> Option<LinkId> {
-        self.routes[node.0 as usize].get(&dst).copied()
+        match self.routes[node.0 as usize].get(dst.0 as usize) {
+            Some(&via) if via != NO_ROUTE => Some(LinkId(via)),
+            _ => None,
+        }
     }
 
     /// Injects a locally generated packet at its source node, offering it to

@@ -100,7 +100,7 @@ impl TcpReceiver {
             // Duplicate of delivered or buffered data: ACK immediately so the
             // sender sees where we are.
             self.counters.duplicates += 1;
-            self.send_ack(now, out);
+            self.ack_now(sched, now, out);
         } else if seq == self.rcv_nxt {
             self.delay.push(now.saturating_since(pkt.created_at).as_secs_f64());
             self.rcv_nxt = self.rcv_nxt.next();
@@ -113,47 +113,67 @@ impl TcpReceiver {
             if self.cfg.delayed_ack {
                 self.unacked_segments += 1;
                 if self.unacked_segments >= 2 {
-                    self.send_ack(now, out);
+                    self.ack_now(sched, now, out);
                 } else if !self.delack_timer.is_armed() {
-                    let gen = self.delack_timer.arm(now + self.cfg.delack_delay);
-                    sched.schedule_at(
+                    let flow = self.flow;
+                    self.delack_timer.schedule(
+                        sched,
                         now + self.cfg.delack_delay,
-                        TransportEvent {
-                            flow: self.flow,
-                            kind: TimerKind::DelAck,
-                            generation: gen,
-                        }
-                        .into(),
+                        |generation| {
+                            TransportEvent {
+                                flow,
+                                kind: TimerKind::DelAck,
+                                generation,
+                            }
+                            .into()
+                        },
                     );
                 }
             } else {
-                self.send_ack(now, out);
+                self.ack_now(sched, now, out);
             }
         } else {
             // A hole: buffer and emit an immediate duplicate ACK.
             self.delay.push(now.saturating_since(pkt.created_at).as_secs_f64());
             self.out_of_order.insert(seq);
             self.counters.out_of_order += 1;
-            self.send_ack(now, out);
+            self.ack_now(sched, now, out);
         }
     }
 
+    /// Emits an ACK immediately, deleting any pending delayed-ACK firing
+    /// from the queue in place (the ACK it would have sent is superseded).
+    fn ack_now<E: From<TransportEvent>>(
+        &mut self,
+        sched: &mut Scheduler<E>,
+        now: SimTime,
+        out: &mut Vec<Packet>,
+    ) {
+        self.delack_timer.cancel_scheduled(sched);
+        self.send_ack(now, out);
+    }
+
     /// Handles a timer firing addressed to this receiver.
+    ///
+    /// Returns `true` if the firing was live (matched the current arming)
+    /// and `false` if it was stale or misrouted — callers use this to count
+    /// how much dead-timer traffic still reaches dispatch.
     pub fn on_timer(
         &mut self,
         kind: TimerKind,
         generation: TimerGeneration,
         now: SimTime,
         out: &mut Vec<Packet>,
-    ) {
+    ) -> bool {
         if kind != TimerKind::DelAck || !self.delack_timer.fires(generation) {
-            return; // stale or misrouted firing
+            return false; // stale or misrouted firing
         }
         self.delack_timer.disarm();
         if self.unacked_segments > 0 {
             self.counters.delack_timer_acks += 1;
             self.send_ack(now, out);
         }
+        true
     }
 
     /// Builds up to three SACK ranges from the reorder buffer, newest
@@ -317,11 +337,11 @@ mod tests {
         let mut sched = Sched::new();
         let mut out = Vec::new();
         r.on_data(&data(0), &mut sched, &mut out);
-        r.on_data(&data(1), &mut sched, &mut out); // flushes, disarms timer
+        r.on_data(&data(1), &mut sched, &mut out); // flushes, cancels timer
         out.clear();
-        let (t, ev) = sched.pop().expect("timer event still queued");
-        r.on_timer(ev.kind, ev.generation, t, &mut out);
-        assert!(out.is_empty(), "stale delack firing must be ignored");
+        // Eager cancellation deleted the queued firing in place.
+        assert!(sched.pop().is_none(), "delack firing should be cancelled in place");
+        assert_eq!(sched.cancelled_in_place(), 1);
     }
 
     #[test]

@@ -376,7 +376,9 @@ impl TcpSender {
         }
 
         if self.in_flight() == 0 {
-            self.rto_timer.disarm();
+            // Everything acknowledged: delete the queued RTO firing in place
+            // instead of letting a dead event travel through the queue.
+            self.rto_timer.cancel_scheduled(sched);
         } else {
             self.arm_rto(sched);
         }
@@ -496,19 +498,25 @@ impl TcpSender {
     }
 
     /// Handles a timer firing addressed to this sender.
+    ///
+    /// Returns `true` if the firing was live (matched the current arming)
+    /// and `false` if it was stale or misrouted — callers use this to count
+    /// how much dead-timer traffic still reaches dispatch (it should be
+    /// nearly zero with eager cancellation; see
+    /// [`TimerSlot::schedule`](tcpburst_des::TimerSlot::schedule)).
     pub fn on_timer<E: From<TransportEvent>>(
         &mut self,
         kind: TimerKind,
         generation: TimerGeneration,
         sched: &mut Scheduler<E>,
         out: &mut Vec<Packet>,
-    ) {
+    ) -> bool {
         if kind != TimerKind::Rto || !self.rto_timer.fires(generation) {
-            return; // stale or misrouted firing
+            return false; // stale or misrouted firing
         }
         self.rto_timer.disarm();
         if self.in_flight() == 0 {
-            return;
+            return true;
         }
         let now = sched.now();
         self.counters.timeouts += 1;
@@ -532,6 +540,7 @@ impl TcpSender {
         if !self.rto_timer.is_armed() {
             self.arm_rto(sched);
         }
+        true
     }
 
     /// The usable window: `min(⌊cwnd⌋, advertised)`.
@@ -625,16 +634,18 @@ impl TcpSender {
 
     fn arm_rto<E: From<TransportEvent>>(&mut self, sched: &mut Scheduler<E>) {
         let deadline = sched.now() + self.rtt.rto();
-        let generation = self.rto_timer.arm(deadline);
-        sched.schedule_at(
-            deadline,
+        let flow = self.flow;
+        // Eager re-arm: the superseded firing (one per ACK on a busy
+        // connection) is deleted from the queue instead of shipped through
+        // dispatch as a dead event.
+        self.rto_timer.schedule(sched, deadline, |generation| {
             TransportEvent {
-                flow: self.flow,
+                flow,
                 kind: TimerKind::Rto,
                 generation,
             }
-            .into(),
-        );
+            .into()
+        });
     }
 }
 
@@ -876,10 +887,10 @@ mod tests {
         s.on_app_packets(1, &mut sched, &mut out);
         s.on_ack(SeqNo(1), false, SackBlocks::EMPTY, &mut sched, &mut out);
         assert_eq!(s.in_flight(), 0);
-        // The queued firing is stale.
-        let (_, ev) = sched.pop().expect("old RTO event");
-        out.clear();
-        s.on_timer(ev.kind, ev.generation, &mut sched, &mut out);
+        // Eager cancellation deleted the queued firing in place: nothing
+        // dead left to travel through the queue.
+        assert!(sched.pop().is_none(), "RTO event should be cancelled in place");
+        assert_eq!(sched.cancelled_in_place(), 1);
         assert_eq!(s.counters().timeouts, 0);
     }
 

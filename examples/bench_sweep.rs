@@ -1,11 +1,16 @@
 //! Dependency-free throughput benchmark for the parallel sweep engine.
 //!
-//! Runs a reduced-duration Figure-2 grid twice — once serial (`jobs = 1`),
-//! once on every available core — checks the outputs agree bit-for-bit,
-//! and writes `BENCH_sweep.json` with the headline numbers:
+//! Runs a reduced-duration Figure-2 grid at `--jobs` ∈ {1, 2, 4, all
+//! cores}, checks every parallel output against the serial run bit-for-bit,
+//! and writes `BENCH_sweep.json` as an array with one record per thread
+//! count, so the bench trajectory shows the actual parallel scaling curve:
 //!
 //! ```json
-//! {"events_per_sec": ..., "wall_clock_s": ..., "threads": ..., "speedup": ...}
+//! [
+//!   {"threads": 1, "events_per_sec": ..., "wall_clock_s": ..., "speedup": 1.00},
+//!   {"threads": 2, ...},
+//!   ...
+//! ]
 //! ```
 //!
 //! The `crates/bench` criterion harness needs registry access; this example
@@ -15,6 +20,7 @@
 //! cargo run --release --example bench_sweep
 //! ```
 
+use std::fmt::Write as _;
 use std::time::Instant;
 
 use tcpburst_core::experiments::Sweep;
@@ -36,30 +42,50 @@ fn timed_sweep(jobs: usize) -> (Sweep, f64) {
 }
 
 fn main() {
-    let threads = available_jobs();
-    println!("benchmarking Figure 2 grid: serial vs {threads} thread(s)");
+    let max_jobs = available_jobs();
+    // {1, 2, 4, max}, deduplicated and capped at the available cores.
+    let mut thread_counts: Vec<usize> = [1, 2, 4, max_jobs]
+        .into_iter()
+        .filter(|&j| j <= max_jobs)
+        .collect();
+    thread_counts.sort_unstable();
+    thread_counts.dedup();
+    println!("benchmarking Figure 2 grid at jobs ∈ {thread_counts:?}");
 
     let (serial, serial_s) = timed_sweep(1);
     let events: u64 = serial.cells.iter().map(|c| c.report.events_processed).sum();
+    let serial_table = serial.fig2_cov_table();
     println!("  jobs=1: {events} events in {serial_s:.2} s");
 
-    let (parallel, parallel_s) = timed_sweep(0);
-    println!("  jobs={threads}: {events} events in {parallel_s:.2} s");
-
-    // The whole point of the engine: threading must not change the answer.
-    assert_eq!(
-        serial.fig2_cov_table(),
-        parallel.fig2_cov_table(),
-        "parallel sweep diverged from serial output"
-    );
-
-    let events_per_sec = events as f64 / parallel_s;
-    let speedup = serial_s / parallel_s;
-    let json = format!(
-        "{{\"events_per_sec\": {events_per_sec:.0}, \"wall_clock_s\": {parallel_s:.3}, \
-         \"threads\": {threads}, \"serial_wall_clock_s\": {serial_s:.3}, \
-         \"speedup\": {speedup:.2}}}\n"
-    );
+    let mut json = String::from("[\n");
+    for (i, &jobs) in thread_counts.iter().enumerate() {
+        let (sweep, wall_s) = if jobs == 1 {
+            (None, serial_s)
+        } else {
+            let (sweep, wall_s) = timed_sweep(jobs);
+            println!("  jobs={jobs}: {events} events in {wall_s:.2} s");
+            (Some(sweep), wall_s)
+        };
+        // The whole point of the engine: threading must not change the
+        // answer.
+        if let Some(sweep) = &sweep {
+            assert_eq!(
+                serial_table,
+                sweep.fig2_cov_table(),
+                "jobs={jobs} sweep diverged from serial output"
+            );
+        }
+        let events_per_sec = events as f64 / wall_s;
+        let speedup = serial_s / wall_s;
+        let _ = writeln!(
+            json,
+            "  {{\"threads\": {jobs}, \"events_per_sec\": {events_per_sec:.0}, \
+             \"wall_clock_s\": {wall_s:.3}, \"serial_wall_clock_s\": {serial_s:.3}, \
+             \"speedup\": {speedup:.2}}}{}",
+            if i + 1 < thread_counts.len() { "," } else { "" }
+        );
+    }
+    json.push_str("]\n");
     std::fs::write("BENCH_sweep.json", &json).expect("write BENCH_sweep.json");
-    print!("BENCH_sweep.json: {json}");
+    print!("BENCH_sweep.json:\n{json}");
 }

@@ -141,11 +141,11 @@ fn main() {
                 let i = tev.flow.0 as usize;
                 match tev.kind {
                     TimerKind::Rto => {
-                        senders[i].on_timer(tev.kind, tev.generation, &mut sched, &mut out)
+                        senders[i].on_timer(tev.kind, tev.generation, &mut sched, &mut out);
                     }
                     TimerKind::DelAck => {
                         let now = sched.now();
-                        receivers[i].on_timer(tev.kind, tev.generation, now, &mut out)
+                        receivers[i].on_timer(tev.kind, tev.generation, now, &mut out);
                     }
                 }
             }

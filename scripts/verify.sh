@@ -3,7 +3,7 @@
 # workspace has no external dependencies (see README "Offline builds").
 #
 #   sh scripts/verify.sh          # tier-1 + determinism + throughput bench
-#   BENCH=0 sh scripts/verify.sh  # skip the benchmark (quick gate)
+#   BENCH=0 sh scripts/verify.sh  # skip the benchmarks (quick gate)
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -16,9 +16,31 @@ cargo test -q --offline
 
 echo "==> determinism: parallel sweep must equal serial bit-for-bit"
 cargo test -q --offline -p tcpburst-core --test parallel_determinism
+# Rerun with a single-threaded test harness: harness scheduling must not be
+# what makes the determinism tests pass.
+cargo test -q --offline -p tcpburst-core --test parallel_determinism -- --test-threads=1
 
 if [ "${BENCH:-1}" = "1" ]; then
-    echo "==> throughput: events/sec benchmark (writes BENCH_sweep.json)"
+    echo "==> event engine: bench_des smoke (calendar vs binary heap)"
+    cargo run --release --offline --example bench_des -- --smoke
+    # The smoke run must have produced parseable JSON with a real
+    # (nonzero) events/s measurement in it.
+    if command -v python3 >/dev/null 2>&1; then
+        python3 - <<'EOF'
+import json
+with open("BENCH_des_smoke.json") as f:
+    data = json.load(f)
+for side in ("calendar", "binary_heap"):
+    eps = data["scenario"][side]["events_per_sec"]
+    assert eps > 0, f"{side}: events_per_sec is zero"
+print("BENCH_des_smoke.json: valid JSON, nonzero events/s")
+EOF
+    else
+        grep -q '"events_per_sec": [1-9]' BENCH_des_smoke.json
+        echo "BENCH_des_smoke.json: nonzero events/s (python3 unavailable, grep check)"
+    fi
+
+    echo "==> throughput: parallel sweep benchmark (writes BENCH_sweep.json)"
     cargo run --release --offline --example bench_sweep
 fi
 
