@@ -1,131 +1,145 @@
 //! `tcpburst` — command-line front end for the paper-reproduction harness.
 //!
-//! ```text
-//! tcpburst run       [--clients N] [--protocol P] [--secs S] [--seed K] [--ecn]
-//! tcpburst sweep     [--secs S] [--seed K] [--clients a,b,c,...] [--jobs N]
-//! tcpburst replicate [--secs S] [--seed K] [--seeds R] [--clients ...] [--jobs N]
-//! tcpburst cwnd      [--clients N] [--protocol P] [--secs S]
-//! tcpburst table1
-//! ```
+//! Every scenario flag is owned by one stage of the
+//! [`ScenarioBuilder`]; the CLI only keeps the flags that orchestrate
+//! *many* scenarios (`--jobs`, `--seeds`, comma-separated `--clients`
+//! lists). Flag parsing, dispatch and the usage text below all derive from
+//! [`ScenarioBuilder::CLI_FLAGS`], so the help can never go stale.
 
 use std::env;
 use std::process::ExitCode;
 
 use tcpburst_core::experiments::{
-    cwnd_evolution, paper_traced_clients, table1, topology_ascii, Sweep,
+    cwnd_evolution_from, paper_traced_clients, table1, topology_ascii, Sweep,
 };
-use tcpburst_core::{Protocol, ReplicatedSweep, Scenario, ScenarioConfig};
-use tcpburst_des::SimDuration;
+use tcpburst_core::{Protocol, ReplicatedSweep, Scenario, ScenarioBuilder};
 
-const USAGE: &str = "\
+fn usage() -> String {
+    format!(
+        "\
 tcpburst — reproduce 'On the Burstiness of the TCP Congestion-Control
 Mechanism in a Distributed Computing System' (ICDCS 2000)
 
 USAGE:
-    tcpburst run       [--clients N] [--protocol P] [--secs S] [--seed K] [--ecn]
-    tcpburst sweep     [--secs S] [--seed K] [--clients a,b,c,...] [--jobs N]
-    tcpburst replicate [--secs S] [--seed K] [--seeds R] [--clients a,b,c,...]
+    tcpburst run       [scenario flags]
+    tcpburst sweep     [scenario flags] [--clients a,b,c,...] [--jobs N]
+    tcpburst replicate [scenario flags] [--clients a,b,c,...] [--seeds R]
                        [--jobs N]
-    tcpburst cwnd      [--clients N] [--protocol P] [--secs S] [--seed K]
+    tcpburst cwnd      [scenario flags]
     tcpburst table1
+
+SCENARIO FLAGS (one builder stage each):
+{}
+ORCHESTRATION:
+    --clients a,b,c        sweep/replicate client-count axis
+    --seeds R              replications per grid point (from --seed up)
+    --jobs N               worker threads; 0 = all cores
 
 PROTOCOLS:
     udp, reno, reno-red, vegas, vegas-red, reno-delayack, tahoe, newreno, sack
 
 DEFAULTS:
-    run:   39 clients, reno, 30 s      sweep:     paper set, 30 s
-    cwnd:  39 clients, reno, 20 s      replicate: 5 seeds from --seed
-    seed:  0x1CDC2000                  jobs:      0 = all available cores
+    39 clients, reno, 30 s, seed 0x1CDC2000; sweeps use the paper's
+    protocol set. Sweeps fan grid points across --jobs worker threads; the
+    output is bit-identical for every --jobs value (--jobs 1 is fully
+    serial), with or without --impair.
 
-Sweeps fan grid points across --jobs worker threads; the output is
-bit-identical for every --jobs value (--jobs 1 runs fully serial).
-";
-
-struct Args {
-    clients: usize,
-    client_list: Vec<usize>,
-    protocol: Protocol,
-    secs: u64,
-    seed: u64,
-    seeds: usize,
-    jobs: usize,
-    ecn: bool,
+EXAMPLES:
+    tcpburst run --clients 39 --protocol reno --impair flap:3s/10s,corrupt:1e-5
+    tcpburst sweep --clients 5,15,25,35,39 --secs 60 --jobs 0
+",
+        ScenarioBuilder::cli_help()
+    )
 }
 
-fn parse_protocol(name: &str) -> Result<Protocol, String> {
-    Ok(match name {
-        "udp" => Protocol::Udp,
-        "reno" => Protocol::Reno,
-        "reno-red" => Protocol::RenoRed,
-        "vegas" => Protocol::Vegas,
-        "vegas-red" => Protocol::VegasRed,
-        "reno-delayack" => Protocol::RenoDelayAck,
-        "tahoe" => Protocol::Tahoe,
-        "newreno" => Protocol::NewReno,
-        "sack" => Protocol::Sack,
-        other => return Err(format!("unknown protocol: {other}")),
-    })
+struct Args {
+    cfg: tcpburst_core::ScenarioConfig,
+    /// Remembered separately because the config stores the protocol only as
+    /// its expanded transport/gateway knobs.
+    protocol: Protocol,
+    client_list: Vec<usize>,
+    seeds: usize,
+    jobs: usize,
 }
 
 fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
-    let mut args = Args {
-        clients: 39,
-        client_list: vec![5, 15, 25, 35, 39, 45, 60],
-        protocol: Protocol::Reno,
-        secs: 30,
-        seed: 0x1CDC_2000,
-        seeds: 5,
-        jobs: 0,
-        ecn: false,
-    };
+    let mut builder = ScenarioBuilder::paper()
+        .instrumentation(|i| i.secs(30).seed(0x1CDC_2000));
+    let mut protocol = Protocol::Reno;
+    let mut client_list = vec![5, 15, 25, 35, 39, 45, 60];
+    let mut seeds = 5usize;
+    let mut jobs = 0usize;
     while let Some(flag) = argv.next() {
-        let mut value = |name: &str| {
-            argv.next()
-                .ok_or_else(|| format!("{name} requires a value"))
-        };
         match flag.as_str() {
-            "--clients" => {
-                let v = value("--clients")?;
-                if v.contains(',') {
-                    args.client_list = v
-                        .split(',')
-                        .map(|s| s.trim().parse().map_err(|e| format!("--clients: {e}")))
-                        .collect::<Result<_, _>>()?;
-                    args.clients = *args.client_list.last().unwrap();
-                } else {
-                    args.clients = v.parse().map_err(|e| format!("--clients: {e}"))?;
-                }
-            }
-            "--protocol" => args.protocol = parse_protocol(&value("--protocol")?)?,
-            "--secs" => args.secs = value("--secs")?.parse().map_err(|e| format!("--secs: {e}"))?,
-            "--seed" => args.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
             "--seeds" => {
-                args.seeds = value("--seeds")?.parse().map_err(|e| format!("--seeds: {e}"))?;
-                if args.seeds == 0 {
+                let v = argv.next().ok_or("--seeds requires a value")?;
+                seeds = v.parse().map_err(|e| format!("--seeds: {e}"))?;
+                if seeds == 0 {
                     return Err("--seeds must be at least 1".into());
                 }
             }
-            "--jobs" => args.jobs = value("--jobs")?.parse().map_err(|e| format!("--jobs: {e}"))?,
-            "--ecn" => args.ecn = true,
-            other => return Err(format!("unknown flag: {other}")),
+            "--jobs" => {
+                let v = argv.next().ok_or("--jobs requires a value")?;
+                jobs = v.parse().map_err(|e| format!("--jobs: {e}"))?;
+            }
+            _ => {
+                let Some(spec) = ScenarioBuilder::flag_spec(&flag) else {
+                    return Err(format!("unknown flag: {flag}"));
+                };
+                let value = match spec.metavar {
+                    Some(_) => Some(
+                        argv.next()
+                            .ok_or_else(|| format!("{flag} requires a value"))?,
+                    ),
+                    None => None,
+                };
+                // A comma list is the sweep axis, not one scenario's client
+                // count; the last entry still lands in the builder so `run`
+                // sees a sensible value.
+                if flag == "--clients" {
+                    let v = value.as_deref().unwrap_or_default();
+                    if v.contains(',') {
+                        client_list = v
+                            .split(',')
+                            .map(|s| s.trim().parse().map_err(|e| format!("--clients: {e}")))
+                            .collect::<Result<_, _>>()?;
+                        let last = client_list.last().unwrap().to_string();
+                        builder.apply_cli_flag("--clients", Some(&last))?;
+                        continue;
+                    }
+                }
+                if flag == "--protocol" {
+                    protocol = value.as_deref().unwrap_or_default().parse()?;
+                }
+                builder.apply_cli_flag(&flag, value.as_deref())?;
+            }
         }
     }
-    Ok(args)
+    let cfg = builder.try_finish()?;
+    Ok(Args {
+        cfg,
+        protocol,
+        client_list,
+        seeds,
+        jobs,
+    })
 }
 
 fn cmd_run(args: &Args) {
-    let mut cfg = ScenarioConfig::paper(args.clients, args.protocol);
-    cfg.duration = SimDuration::from_secs(args.secs);
-    cfg.seed = args.seed;
-    cfg.ecn = args.ecn;
-    let r = Scenario::run(&cfg);
-    println!(
-        "{} / {} clients / {} s{}",
+    let r = Scenario::run(&args.cfg);
+    let secs = args.cfg.duration.as_nanos() as f64 / 1e9;
+    let mut headline = format!(
+        "{} / {} clients / {secs} s",
         args.protocol.label(),
-        args.clients,
-        args.secs,
-        if args.ecn { " / ECN" } else { "" }
+        args.cfg.num_clients,
     );
+    if args.cfg.ecn {
+        headline.push_str(" / ECN");
+    }
+    if !args.cfg.impair.is_none() {
+        headline.push_str(&format!(" / impair {}", args.cfg.impair));
+    }
+    println!("{headline}");
     println!("{r}");
     println!(
         "c.o.v. ratio vs Poisson: {:.2}x   avg queue: {:.1} pkts   mean delay: {:.1} ms",
@@ -142,11 +156,10 @@ fn cmd_run(args: &Args) {
 }
 
 fn cmd_sweep(args: &Args) {
-    let sweep = Sweep::run_with_jobs(
+    let sweep = Sweep::run_with_jobs_from(
+        &args.cfg,
         &Protocol::PAPER_SET,
         &args.client_list,
-        SimDuration::from_secs(args.secs),
-        args.seed,
         args.jobs,
     );
     println!("{}", sweep.fig2_cov_table());
@@ -156,11 +169,11 @@ fn cmd_sweep(args: &Args) {
 }
 
 fn cmd_replicate(args: &Args) {
-    let seeds: Vec<u64> = (0..args.seeds as u64).map(|i| args.seed + i).collect();
-    let sweep = ReplicatedSweep::run_with_jobs(
+    let seeds: Vec<u64> = (0..args.seeds as u64).map(|i| args.cfg.seed + i).collect();
+    let sweep = ReplicatedSweep::run_with_jobs_from(
+        &args.cfg,
         &Protocol::PAPER_SET,
         &args.client_list,
-        SimDuration::from_secs(args.secs),
         &seeds,
         args.jobs,
     );
@@ -171,12 +184,11 @@ fn cmd_replicate(args: &Args) {
 }
 
 fn cmd_cwnd(args: &Args) {
-    let fig = cwnd_evolution(
+    let fig = cwnd_evolution_from(
+        &args.cfg,
         args.protocol,
-        args.clients,
-        &paper_traced_clients(args.clients),
-        SimDuration::from_secs(args.secs),
-        args.seed,
+        args.cfg.num_clients,
+        &paper_traced_clients(args.cfg.num_clients),
     );
     println!("{}", fig.table());
 }
@@ -184,14 +196,14 @@ fn cmd_cwnd(args: &Args) {
 fn main() -> ExitCode {
     let mut argv = env::args().skip(1);
     let Some(cmd) = argv.next() else {
-        eprint!("{USAGE}");
+        eprint!("{}", usage());
         return ExitCode::FAILURE;
     };
     let args = match parse_args(argv) {
         Ok(a) => a,
         Err(e) => {
             eprintln!("error: {e}\n");
-            eprint!("{USAGE}");
+            eprint!("{}", usage());
             return ExitCode::FAILURE;
         }
     };
@@ -204,10 +216,10 @@ fn main() -> ExitCode {
             println!("{}", table1());
             println!("{}", topology_ascii());
         }
-        "help" | "--help" | "-h" => print!("{USAGE}"),
+        "help" | "--help" | "-h" => print!("{}", usage()),
         other => {
             eprintln!("error: unknown command {other}\n");
-            eprint!("{USAGE}");
+            eprint!("{}", usage());
             return ExitCode::FAILURE;
         }
     }

@@ -1,8 +1,10 @@
 //! Scenario configuration: the reconstructed Table 1 plus every knob the
 //! ablation benches turn.
 
+use std::str::FromStr;
+
 use tcpburst_des::{QueueBackend, SimDuration};
-use tcpburst_net::{AdaptiveRedParams, DumbbellConfig, QueueSpec, RedParams};
+use tcpburst_net::{AdaptiveRedParams, DumbbellConfig, Impairments, QueueSpec, RedParams};
 use tcpburst_traffic::ParetoOnOffConfig;
 use tcpburst_transport::{TcpConfig, TcpVariant, VegasParams};
 
@@ -210,6 +212,27 @@ impl Protocol {
     }
 }
 
+impl FromStr for Protocol {
+    type Err = String;
+
+    /// Parses the CLI spelling: `udp`, `reno`, `reno-red`, `vegas`,
+    /// `vegas-red`, `reno-delayack`, `tahoe`, `newreno`, `sack`.
+    fn from_str(name: &str) -> Result<Self, Self::Err> {
+        Ok(match name {
+            "udp" => Protocol::Udp,
+            "reno" => Protocol::Reno,
+            "reno-red" => Protocol::RenoRed,
+            "vegas" => Protocol::Vegas,
+            "vegas-red" => Protocol::VegasRed,
+            "reno-delayack" => Protocol::RenoDelayAck,
+            "tahoe" => Protocol::Tahoe,
+            "newreno" => Protocol::NewReno,
+            "sack" => Protocol::Sack,
+            other => return Err(format!("unknown protocol: {other}")),
+        })
+    }
+}
+
 /// Full configuration of one simulation run.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ScenarioConfig {
@@ -248,6 +271,9 @@ pub struct ScenarioConfig {
     pub rtt_spread: f64,
     /// Master seed; per-client streams are derived from it.
     pub seed: u64,
+    /// Deterministic fault-injection schedule; [`Impairments::NONE`] (the
+    /// default) schedules nothing and keeps the healthy path zero-overhead.
+    pub impair: Impairments,
     /// Which data structure backs the future-event list. Both backends
     /// produce bit-identical simulation output (same `(time, seq)` total
     /// order); [`QueueBackend::BinaryHeap`] exists for A/B benchmarking
@@ -267,13 +293,30 @@ impl ScenarioConfig {
     pub const EVENT_LOG_CAP: usize = 200_000;
 
     /// The paper's setup for `num_clients` clients running `protocol`.
+    ///
+    /// Superseded by the staged [`ScenarioBuilder`](crate::ScenarioBuilder):
+    /// `ScenarioBuilder::paper().clients(n).protocol(p)...finish()`.
+    #[deprecated(
+        since = "0.4.0",
+        note = "use ScenarioBuilder::paper() and walk its stages instead"
+    )]
     pub fn paper(num_clients: usize, protocol: Protocol) -> Self {
+        let mut cfg = Self::paper_default();
+        cfg.num_clients = num_clients;
+        cfg.apply_protocol(protocol);
+        cfg
+    }
+
+    /// The paper's full Table 1 baseline: 39 Reno clients, FIFO gateway,
+    /// Poisson workload, 200 simulated seconds. The builder's starting
+    /// point.
+    pub(crate) fn paper_default() -> Self {
         let params = PaperParams::default();
         ScenarioConfig {
-            num_clients,
-            transport: protocol.transport(),
-            gateway: protocol.gateway(),
-            delayed_ack: protocol.delayed_ack(),
+            num_clients: 39,
+            transport: Protocol::Reno.transport(),
+            gateway: Protocol::Reno.gateway(),
+            delayed_ack: Protocol::Reno.delayed_ack(),
             source: SourceKind::Poisson {
                 rate: params.lambda(),
             },
@@ -288,10 +331,19 @@ impl ScenarioConfig {
             cov_bin: None,
             rtt_spread: 0.0,
             seed: 0x1CDC_2000,
+            impair: Impairments::NONE,
             queue: QueueBackend::Calendar,
             trace_cwnd: false,
             trace_events: false,
         }
+    }
+
+    /// Sets the transport, gateway and delayed-ACK knobs from one of the
+    /// paper's named protocol configurations.
+    pub(crate) fn apply_protocol(&mut self, protocol: Protocol) {
+        self.transport = protocol.transport();
+        self.gateway = protocol.gateway();
+        self.delayed_ack = protocol.delayed_ack();
     }
 
     /// The c.o.v. bin width in effect (explicit override or the round-trip
@@ -402,8 +454,28 @@ mod tests {
     }
 
     #[test]
+    fn protocols_parse_from_cli_spellings() {
+        assert_eq!("reno".parse::<Protocol>(), Ok(Protocol::Reno));
+        assert_eq!("vegas-red".parse::<Protocol>(), Ok(Protocol::VegasRed));
+        assert_eq!("reno-delayack".parse::<Protocol>(), Ok(Protocol::RenoDelayAck));
+        assert!("cubic".parse::<Protocol>().is_err());
+    }
+
+    #[test]
+    fn deprecated_paper_matches_builder_path() {
+        #[allow(deprecated)]
+        let old = ScenarioConfig::paper(38, Protocol::RenoRed);
+        let mut new = ScenarioConfig::paper_default();
+        new.num_clients = 38;
+        new.apply_protocol(Protocol::RenoRed);
+        assert_eq!(old, new);
+    }
+
+    #[test]
     fn scenario_config_derives_consistent_pieces() {
-        let cfg = ScenarioConfig::paper(38, Protocol::RenoRed);
+        let mut cfg = ScenarioConfig::paper_default();
+        cfg.num_clients = 38;
+        cfg.apply_protocol(Protocol::RenoRed);
         assert_eq!(cfg.cov_bin_width(), SimDuration::from_millis(44));
         let red = cfg.red_params();
         assert_eq!(red.min_th, 10.0);
@@ -420,7 +492,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "transport is UDP")]
     fn udp_scenario_has_no_tcp_config() {
-        ScenarioConfig::paper(5, Protocol::Udp).tcp_config();
+        let mut cfg = ScenarioConfig::paper_default();
+        cfg.apply_protocol(Protocol::Udp);
+        cfg.tcp_config();
     }
 
     #[test]

@@ -15,6 +15,27 @@ pub enum Event {
         /// Index of the generating client.
         client: u32,
     },
+    /// A scheduled impairment action (see [`ImpairEvent`]).
+    Impair(ImpairEvent),
+}
+
+/// Impairment-schedule actions, executed as ordinary scheduler events so
+/// that fault injection shares the deterministic `(time, seq)` total order
+/// with everything else.
+///
+/// Each toggle variant advances a [`tcpburst_des::PhaseCycle`] and
+/// reschedules itself for the new phase's hold time; `CrossArrival` injects
+/// one background datagram and draws the next inter-arrival gap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ImpairEvent {
+    /// Toggle the bottleneck link between up and down.
+    FlapToggle,
+    /// Toggle the bottleneck bandwidth between nominal and scaled.
+    CapacityToggle,
+    /// Toggle the bottleneck propagation delay between nominal and scaled.
+    DelayToggle,
+    /// Inject one background cross-traffic datagram at the gateway.
+    CrossArrival,
 }
 
 impl From<NetEvent> for Event {
@@ -29,6 +50,12 @@ impl From<TransportEvent> for Event {
     }
 }
 
+impl From<ImpairEvent> for Event {
+    fn from(ev: ImpairEvent) -> Self {
+        Event::Impair(ev)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -36,7 +63,12 @@ mod tests {
 
     #[test]
     fn conversions_wrap_the_right_variant() {
-        let n: Event = NetEvent::TxComplete { link: LinkId(3) }.into();
-        assert!(matches!(n, Event::Net(NetEvent::TxComplete { link: LinkId(3) })));
+        let n: Event = NetEvent::TxComplete { link: LinkId(3), epoch: 0 }.into();
+        assert!(matches!(
+            n,
+            Event::Net(NetEvent::TxComplete { link: LinkId(3), epoch: 0 })
+        ));
+        let i: Event = ImpairEvent::FlapToggle.into();
+        assert!(matches!(i, Event::Impair(ImpairEvent::FlapToggle)));
     }
 }

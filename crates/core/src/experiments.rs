@@ -81,6 +81,27 @@ impl Sweep {
         seed: u64,
         jobs: usize,
     ) -> Self {
+        let base = crate::builder::ScenarioBuilder::paper()
+            .instrumentation(|i| i.duration(duration).seed(seed))
+            .finish();
+        Sweep::run_with_jobs_from(&base, protocols, clients, jobs)
+    }
+
+    /// Like [`Sweep::run_with_jobs`], but every grid point inherits all the
+    /// non-axis knobs (duration, seed, workload, impairments, …) from
+    /// `base` — typically assembled with the staged
+    /// [`ScenarioBuilder`](crate::ScenarioBuilder). Only the protocol and
+    /// client count vary across the grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either axis is empty.
+    pub fn run_with_jobs_from(
+        base: &ScenarioConfig,
+        protocols: &[Protocol],
+        clients: &[usize],
+        jobs: usize,
+    ) -> Self {
         assert!(!protocols.is_empty(), "need at least one protocol");
         assert!(!clients.is_empty(), "need at least one client count");
         let grid: Vec<(Protocol, usize)> = protocols
@@ -89,9 +110,9 @@ impl Sweep {
             .collect();
         let cells = crate::parallel::run_indexed(jobs, grid.len(), |i| {
             let (p, n) = grid[i];
-            let mut cfg = ScenarioConfig::paper(n, p);
-            cfg.duration = duration;
-            cfg.seed = seed;
+            let mut cfg = *base;
+            cfg.num_clients = n;
+            cfg.apply_protocol(p);
             SweepCell {
                 protocol: p,
                 clients: n,
@@ -461,10 +482,25 @@ pub fn cwnd_evolution(
     duration: SimDuration,
     seed: u64,
 ) -> CwndFigure {
-    let mut cfg = ScenarioConfig::paper(num_clients, protocol);
-    cfg.duration = duration;
-    cfg.seed = seed;
+    let base = crate::builder::ScenarioBuilder::paper()
+        .instrumentation(|i| i.duration(duration).seed(seed))
+        .finish();
+    cwnd_evolution_from(&base, protocol, num_clients, traced_clients)
+}
+
+/// Like [`cwnd_evolution`], but inheriting every non-axis knob (duration,
+/// seed, workload, impairments, …) from `base`.
+pub fn cwnd_evolution_from(
+    base: &ScenarioConfig,
+    protocol: Protocol,
+    num_clients: usize,
+    traced_clients: &[usize],
+) -> CwndFigure {
+    let mut cfg = *base;
+    cfg.num_clients = num_clients;
+    cfg.apply_protocol(protocol);
     cfg.trace_cwnd = true;
+    let duration = cfg.duration;
     let report = Scenario::run(&cfg);
     let traces = traced_clients
         .iter()

@@ -27,15 +27,24 @@
 //!   [`experiments::Sweep`] and [`ReplicatedSweep`]: any `--jobs` value
 //!   produces bit-identical reports.
 //!
+//! Scenarios are assembled with the staged [`ScenarioBuilder`]
+//! (topology → workload → transport → impairments → instrumentation);
+//! the same stages drive the `tcpburst` CLI's flag handling, and the
+//! [`Impairments`] schedule injects deterministic faults (link flaps,
+//! corruption, cross-traffic) without breaking the bit-identical
+//! parallel-sweep contract.
+//!
 //! ## Quickstart
 //!
 //! ```
-//! use tcpburst_core::{Protocol, Scenario, ScenarioConfig};
-//! use tcpburst_des::SimDuration;
+//! use tcpburst_core::{Protocol, Scenario, ScenarioBuilder};
 //!
 //! // 20 Reno clients for 20 simulated seconds (the paper runs 200 s).
-//! let mut cfg = ScenarioConfig::paper(20, Protocol::Reno);
-//! cfg.duration = SimDuration::from_secs(20);
+//! let cfg = ScenarioBuilder::paper()
+//!     .topology(|t| t.clients(20))
+//!     .transport(|t| t.protocol(Protocol::Reno))
+//!     .instrumentation(|i| i.secs(20))
+//!     .finish();
 //! let report = Scenario::run(&cfg);
 //! assert!(report.delivered_packets > 0);
 //! println!("c.o.v. = {:.3} (Poisson reference {:.3})",
@@ -45,6 +54,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod builder;
 mod config;
 mod event;
 pub mod experiments;
@@ -56,11 +66,17 @@ mod report;
 mod scenario;
 mod trace;
 
+pub use builder::{
+    BuilderStage, CliFlag, ImpairmentStage, InstrumentationStage, ScenarioBuilder, TopologyStage,
+    TransportStage, WorkloadStage,
+};
 pub use config::{GatewayKind, PaperParams, Protocol, ScenarioConfig, SourceKind, TransportKind};
-pub use event::Event;
+pub use event::{Event, ImpairEvent};
 pub use parallel::{available_jobs, run_indexed};
 pub use profile::{DispatchProfile, EventClassStats, TimerReport};
 pub use replicate::{ReplicatedCell, ReplicatedSweep};
-pub use report::{FlowReport, ScenarioReport};
+pub use report::{FlowReport, ImpairmentReport, ScenarioReport};
 pub use scenario::Scenario;
 pub use trace::{EventLog, TraceEvent, TraceKind};
+
+pub use tcpburst_net::Impairments;

@@ -46,12 +46,19 @@ pub struct DispatchProfile {
     pub net_delivery: EventClassStats,
     /// Transport timer firings (RTO, delayed ACK).
     pub transport: EventClassStats,
+    /// Impairment-schedule events (flap/capacity/delay toggles, cross
+    /// arrivals); zero on unimpaired runs.
+    pub impair: EventClassStats,
 }
 
 impl DispatchProfile {
     /// Total events dispatched across all classes.
     pub fn total(&self) -> u64 {
-        self.generate.count + self.net_tx.count + self.net_delivery.count + self.transport.count
+        self.generate.count
+            + self.net_tx.count
+            + self.net_delivery.count
+            + self.transport.count
+            + self.impair.count
     }
 }
 
@@ -67,6 +74,9 @@ impl fmt::Display for DispatchProfile {
             "dispatch: generate {}, net-tx {}, net-delivery {}, transport {}",
             self.generate.count, self.net_tx.count, self.net_delivery.count, self.transport.count
         )?;
+        if self.impair.count > 0 {
+            write!(f, ", impair {}", self.impair.count)?;
+        }
         if timed {
             write!(
                 f,

@@ -78,6 +78,26 @@ impl ReplicatedSweep {
         seeds: &[u64],
         jobs: usize,
     ) -> Self {
+        let base = crate::builder::ScenarioBuilder::paper()
+            .instrumentation(|i| i.duration(duration))
+            .finish();
+        ReplicatedSweep::run_with_jobs_from(&base, protocols, clients, seeds, jobs)
+    }
+
+    /// Like [`ReplicatedSweep::run_with_jobs`], but every grid point
+    /// inherits the non-axis knobs (duration, workload, impairments, …)
+    /// from `base`; only protocol, client count, and seed vary.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any axis or the seed list is empty.
+    pub fn run_with_jobs_from(
+        base: &ScenarioConfig,
+        protocols: &[Protocol],
+        clients: &[usize],
+        seeds: &[u64],
+        jobs: usize,
+    ) -> Self {
         assert!(!protocols.is_empty(), "need at least one protocol");
         assert!(!clients.is_empty(), "need at least one client count");
         assert!(!seeds.is_empty(), "need at least one seed");
@@ -103,8 +123,9 @@ impl ReplicatedSweep {
             .collect();
         let samples = crate::parallel::run_indexed(jobs, grid.len(), |i| {
             let (p, n, seed) = grid[i];
-            let mut cfg = ScenarioConfig::paper(n, p);
-            cfg.duration = duration;
+            let mut cfg = *base;
+            cfg.num_clients = n;
+            cfg.apply_protocol(p);
             cfg.seed = seed;
             let r = Scenario::run(&cfg);
             RunSample {

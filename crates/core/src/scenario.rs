@@ -1,8 +1,10 @@
 //! One simulation run: build the dumbbell, attach endpoints and sources,
 //! drive the event loop, collect the report.
 
-use tcpburst_des::{Scheduler, SimRng, SimTime};
-use tcpburst_net::{Delivered, Dumbbell, NetEvent, FlowId, Packet, PacketKind};
+use tcpburst_des::{PhaseCycle, Scheduler, SimDuration, SimRng, SimTime};
+use tcpburst_net::{
+    Delivered, Dumbbell, Ecn, FlowId, NetEvent, Packet, PacketKind, WireLoss, CROSS_TRAFFIC_FLOW,
+};
 use tcpburst_stats::{jain_fairness, poisson_cov, BinnedCounter};
 use tcpburst_traffic::{ArrivalProcess, CbrSource, ParetoOnOffSource, PoissonSource};
 use tcpburst_transport::{
@@ -10,10 +12,17 @@ use tcpburst_transport::{
 };
 
 use crate::config::{ScenarioConfig, SourceKind, TransportKind};
-use crate::event::Event;
+use crate::event::{Event, ImpairEvent};
 use crate::profile::{DispatchProfile, ProfClock, TimerReport};
-use crate::report::{FlowReport, ScenarioReport};
+use crate::report::{FlowReport, ImpairmentReport, ScenarioReport};
 use crate::trace::{EventLog, TraceKind};
+
+/// RNG stream index for cross-traffic inter-arrival gaps; client streams
+/// are numbered from zero, so the top of the space can never collide.
+const CROSS_STREAM: u64 = u64::MAX;
+/// Seed perturbation for the network's wire-corruption RNG, keeping it
+/// independent of every arrival stream.
+const WIRE_SEED_XOR: u64 = 0x7769_7265_636f_7272; // "wirecorr"
 
 /// The client-side transport endpoint of one flow.
 #[derive(Debug)]
@@ -27,6 +36,44 @@ enum ClientEndpoint {
 enum ServerEndpoint {
     Tcp(Box<TcpReceiver>),
     Udp(UdpSink),
+}
+
+/// A periodic two-state toggle between a nominal and a perturbed value.
+#[derive(Debug)]
+struct Toggle<T> {
+    cycle: PhaseCycle,
+    nominal: T,
+    perturbed: T,
+}
+
+impl<T: Copy> Toggle<T> {
+    /// Advances the cycle and returns the value now in effect.
+    fn advance(&mut self) -> T {
+        if self.cycle.advance() == 0 {
+            self.nominal
+        } else {
+            self.perturbed
+        }
+    }
+}
+
+/// Background cross-traffic generator state.
+#[derive(Debug)]
+struct CrossRuntime {
+    source: PoissonSource,
+    packet_bytes: u32,
+}
+
+/// Live state of the impairment schedule. Boxed and absent on healthy runs
+/// so the unimpaired hot loop pays nothing for the machinery.
+#[derive(Debug)]
+struct ImpairRuntime {
+    /// Flap phases `[up, down]`; index 0 means the link is currently lit.
+    flap: Option<PhaseCycle>,
+    capacity: Option<Toggle<u64>>,
+    delay: Option<Toggle<SimDuration>>,
+    cross: Option<CrossRuntime>,
+    counters: ImpairmentReport,
 }
 
 /// A fully assembled simulation of the paper's Figure 1 network.
@@ -56,6 +103,8 @@ pub struct Scenario {
     /// Host time spent inside [`Scenario::run_to_completion`], feeding the
     /// report's events/sec throughput counter.
     wall_clock: std::time::Duration,
+    /// Impairment-schedule state; `None` on healthy runs.
+    impair_rt: Option<Box<ImpairRuntime>>,
 }
 
 impl Scenario {
@@ -113,6 +162,41 @@ impl Scenario {
 
         let probe = BinnedCounter::starting_at(SimTime::ZERO + cfg.warmup, cfg.cov_bin_width());
 
+        let impair_rt = (!cfg.impair.is_none()).then(|| {
+            cfg.impair
+                .validate()
+                .unwrap_or_else(|e| panic!("invalid impairment schedule: {e}"));
+            Box::new(ImpairRuntime {
+                flap: cfg.impair.flap.map(|f| PhaseCycle::new([f.up, f.down])),
+                capacity: cfg.impair.capacity.map(|c| {
+                    let nominal = cfg.params.bottleneck_bandwidth_bps;
+                    Toggle {
+                        cycle: PhaseCycle::new([c.period, c.period]),
+                        nominal,
+                        perturbed: ((nominal as f64 * c.factor).round() as u64).max(1),
+                    }
+                }),
+                delay: cfg.impair.delay.map(|d| {
+                    let nominal = cfg.params.bottleneck_delay;
+                    Toggle {
+                        cycle: PhaseCycle::new([d.period, d.period]),
+                        nominal,
+                        perturbed: SimDuration::from_nanos(
+                            (nominal.as_nanos() as f64 * d.factor).round() as u64,
+                        ),
+                    }
+                }),
+                cross: cfg.impair.cross.map(|x| CrossRuntime {
+                    source: PoissonSource::new(
+                        x.rate_pps,
+                        SimRng::derive(cfg.seed, CROSS_STREAM),
+                    ),
+                    packet_bytes: x.packet_bytes,
+                }),
+                counters: ImpairmentReport::default(),
+            })
+        });
+
         let mut scenario = Scenario {
             cfg: *cfg,
             sched: Scheduler::with_capacity_and_backend(cfg.event_list_capacity(), cfg.queue),
@@ -129,6 +213,7 @@ impl Scenario {
             profile: DispatchProfile::default(),
             stale_fired: 0,
             wall_clock: std::time::Duration::ZERO,
+            impair_rt,
         };
         // Prime every client's first generation event.
         for i in 0..scenario.cfg.num_clients {
@@ -136,6 +221,39 @@ impl Scenario {
             scenario
                 .sched
                 .schedule_after(gap, Event::Generate { client: i as u32 });
+        }
+        // Arm the impairment schedule: per-hop corruption on every link,
+        // plus the first firing of each periodic perturbation.
+        if scenario.cfg.impair.corrupt_prob > 0.0 {
+            let net = &mut scenario.db.network;
+            net.set_wire_seed(scenario.cfg.seed ^ WIRE_SEED_XOR);
+            for id in 0..net.link_count() {
+                net.link_mut(tcpburst_net::LinkId(id as u32))
+                    .set_corrupt_prob(scenario.cfg.impair.corrupt_prob);
+            }
+        }
+        if let Some(rt) = scenario.impair_rt.as_mut() {
+            if let Some(cycle) = &rt.flap {
+                scenario
+                    .sched
+                    .schedule_after(cycle.hold(), Event::Impair(ImpairEvent::FlapToggle));
+            }
+            if let Some(t) = &rt.capacity {
+                scenario
+                    .sched
+                    .schedule_after(t.cycle.hold(), Event::Impair(ImpairEvent::CapacityToggle));
+            }
+            if let Some(t) = &rt.delay {
+                scenario
+                    .sched
+                    .schedule_after(t.cycle.hold(), Event::Impair(ImpairEvent::DelayToggle));
+            }
+            if let Some(x) = rt.cross.as_mut() {
+                let gap = x.source.next_gap();
+                scenario
+                    .sched
+                    .schedule_after(gap, Event::Impair(ImpairEvent::CrossArrival));
+            }
         }
         scenario
     }
@@ -169,22 +287,29 @@ impl Scenario {
                 self.on_generate(client);
                 clock.charge(&mut self.profile.generate);
             }
-            Event::Net(NetEvent::TxComplete { link }) => {
-                self.db.network.on_tx_complete(link, &mut self.sched);
+            Event::Net(NetEvent::TxComplete { link, epoch }) => {
+                self.db.network.on_tx_complete(link, epoch, &mut self.sched);
                 clock.charge(&mut self.profile.net_tx);
             }
-            Event::Net(NetEvent::Delivery { link, packet }) => {
+            Event::Net(NetEvent::Delivery { link, epoch, packet }) => {
                 // The paper's probe: data packets arriving at the gateway,
-                // counted per round-trip propagation delay.
-                if self.db.network.link(link).to() == self.db.gateway && packet.kind.is_data() {
-                    self.probe.record(self.sched.now());
-                }
+                // counted per round-trip propagation delay. Decide before
+                // the delivery call (which consumes the packet), record
+                // after it — a packet lost on the wire never arrives.
+                let probed =
+                    self.db.network.link(link).to() == self.db.gateway && packet.kind.is_data();
                 let flow = packet.flow;
-                match self.db.network.on_delivery(link, packet, &mut self.sched) {
+                match self.db.network.on_delivery(link, epoch, packet, &mut self.sched) {
                     Delivered::ToHost { node, packet } => {
+                        if probed {
+                            self.probe.record(self.sched.now());
+                        }
                         self.on_host_delivery(node == self.db.server, packet);
                     }
                     Delivered::Forwarded { via, outcome, .. } => {
+                        if probed {
+                            self.probe.record(self.sched.now());
+                        }
                         if outcome.is_drop() && via == self.db.bottleneck {
                             if let Some(log) = self.event_log.as_mut() {
                                 let early =
@@ -196,12 +321,90 @@ impl Scenario {
                             }
                         }
                     }
+                    Delivered::LostOnWire { cause, .. } => {
+                        if let Some(rt) = self.impair_rt.as_mut() {
+                            match cause {
+                                WireLoss::LinkDown => rt.counters.lost_in_flight += 1,
+                                WireLoss::Corrupted => rt.counters.corrupted += 1,
+                            }
+                        }
+                        if cause == WireLoss::Corrupted {
+                            if let Some(log) = self.event_log.as_mut() {
+                                log.record(self.sched.now(), TraceKind::Corrupted { flow });
+                            }
+                        }
+                    }
                 }
                 clock.charge(&mut self.profile.net_delivery);
             }
             Event::Transport(ev) => {
                 self.on_transport_timer(ev);
                 clock.charge(&mut self.profile.transport);
+            }
+            Event::Impair(ev) => {
+                self.on_impair(ev);
+                clock.charge(&mut self.profile.impair);
+            }
+        }
+    }
+
+    /// Executes one impairment-schedule event and re-arms its successor.
+    fn on_impair(&mut self, ev: ImpairEvent) {
+        let now = self.sched.now();
+        let Some(rt) = self.impair_rt.as_mut() else {
+            unreachable!("impairment event without a schedule");
+        };
+        match ev {
+            ImpairEvent::FlapToggle => {
+                let cycle = rt.flap.as_mut().expect("flap toggle without a flap");
+                let up = cycle.advance() == 0;
+                self.db
+                    .network
+                    .set_link_up(self.db.bottleneck, up, &mut self.sched);
+                if up {
+                    rt.counters.link_up_events += 1;
+                } else {
+                    rt.counters.link_down_events += 1;
+                }
+                if let Some(log) = self.event_log.as_mut() {
+                    log.record(now, if up { TraceKind::LinkUp } else { TraceKind::LinkDown });
+                }
+                self.sched
+                    .schedule_after(cycle.hold(), Event::Impair(ImpairEvent::FlapToggle));
+            }
+            ImpairEvent::CapacityToggle => {
+                let t = rt.capacity.as_mut().expect("capacity toggle without one");
+                let rate = t.advance();
+                self.db
+                    .network
+                    .link_mut(self.db.bottleneck)
+                    .set_bandwidth_bps(rate);
+                self.sched
+                    .schedule_after(t.cycle.hold(), Event::Impair(ImpairEvent::CapacityToggle));
+            }
+            ImpairEvent::DelayToggle => {
+                let t = rt.delay.as_mut().expect("delay toggle without one");
+                let delay = t.advance();
+                self.db.network.link_mut(self.db.bottleneck).set_delay(delay);
+                self.sched
+                    .schedule_after(t.cycle.hold(), Event::Impair(ImpairEvent::DelayToggle));
+            }
+            ImpairEvent::CrossArrival => {
+                let x = rt.cross.as_mut().expect("cross arrival without a source");
+                let pkt = Packet {
+                    flow: CROSS_TRAFFIC_FLOW,
+                    kind: PacketKind::Datagram,
+                    size_bytes: x.packet_bytes,
+                    src: self.db.gateway,
+                    dst: self.db.server,
+                    created_at: now,
+                    ecn: Ecn::NotCapable,
+                };
+                rt.counters.cross_injected += 1;
+                self.db.network.inject(pkt, &mut self.sched);
+                let gap = x.source.next_gap();
+                self.sched
+                    .schedule_after(gap, Event::Impair(ImpairEvent::CrossArrival));
             }
         }
     }
@@ -225,6 +428,13 @@ impl Scenario {
     }
 
     fn on_host_delivery(&mut self, at_server: bool, packet: Packet) {
+        if packet.flow == CROSS_TRAFFIC_FLOW {
+            // Background datagrams carry no transport state; count and drop.
+            if let Some(rt) = self.impair_rt.as_mut() {
+                rt.counters.cross_delivered += 1;
+            }
+            return;
+        }
         let idx = packet.flow.0 as usize;
         if at_server {
             match (&mut self.servers[idx], packet.kind) {
@@ -387,6 +597,10 @@ impl Scenario {
             },
             dispatch: self.profile,
             event_log: self.event_log,
+            impairments: self
+                .impair_rt
+                .map(|rt| rt.counters)
+                .unwrap_or_default(),
         }
     }
 }
@@ -394,13 +608,19 @@ impl Scenario {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::builder::ScenarioBuilder;
     use crate::config::Protocol;
-    use tcpburst_des::SimDuration;
+
+    fn quick_cfg(protocol: Protocol, clients: usize, secs: u64) -> ScenarioConfig {
+        ScenarioBuilder::paper()
+            .topology(|t| t.clients(clients))
+            .transport(|t| t.protocol(protocol))
+            .instrumentation(|i| i.secs(secs))
+            .finish()
+    }
 
     fn quick(protocol: Protocol, clients: usize, secs: u64) -> ScenarioReport {
-        let mut cfg = ScenarioConfig::paper(clients, protocol);
-        cfg.duration = SimDuration::from_secs(secs);
-        Scenario::run(&cfg)
+        Scenario::run(&quick_cfg(protocol, clients, secs))
     }
 
     #[test]
@@ -486,8 +706,7 @@ mod tests {
 
     #[test]
     fn different_seeds_differ() {
-        let mut cfg = ScenarioConfig::paper(10, Protocol::Reno);
-        cfg.duration = SimDuration::from_secs(10);
+        let mut cfg = quick_cfg(Protocol::Reno, 10, 10);
         let a = Scenario::run(&cfg);
         cfg.seed = 99;
         let b = Scenario::run(&cfg);
@@ -496,8 +715,7 @@ mod tests {
 
     #[test]
     fn cwnd_traces_recorded_when_requested() {
-        let mut cfg = ScenarioConfig::paper(3, Protocol::Reno);
-        cfg.duration = SimDuration::from_secs(5);
+        let mut cfg = quick_cfg(Protocol::Reno, 3, 5);
         cfg.trace_cwnd = true;
         let r = Scenario::run(&cfg);
         assert_eq!(r.flows.len(), 3);
@@ -523,5 +741,98 @@ mod tests {
         assert_eq!(per_flow_delivered, r.delivered_packets);
         assert!(r.tcp_totals.data_packets_sent >= r.delivered_packets);
         assert!(r.events_processed > 0);
+        assert!(!r.impairments.any(), "healthy run fired no impairments");
+    }
+
+    #[test]
+    fn flaps_cause_outages_and_recoveries() {
+        let cfg = ScenarioBuilder::from_config(quick_cfg(Protocol::Reno, 5, 10))
+            .impairments(|i| {
+                i.flap(SimDuration::from_millis(500), SimDuration::from_secs(2))
+            })
+            .finish();
+        let r = Scenario::run(&cfg);
+        // Cycle 2.5 s over 10 s: downs at 2, 4.5, 7, 9.5; ups at 2.5, 5,
+        // 7.5, and 10 (events at exactly the end time still dispatch).
+        assert_eq!(r.impairments.link_down_events, 4);
+        assert_eq!(r.impairments.link_up_events, 4);
+        assert!(
+            r.impairments.lost_in_flight > 0,
+            "a loaded bottleneck going down catches packets mid-flight"
+        );
+        assert!(r.delivered_packets > 0, "flows recover between outages");
+    }
+
+    #[test]
+    fn flap_trace_appears_in_the_event_log() {
+        let mut cfg = ScenarioBuilder::from_config(quick_cfg(Protocol::Reno, 3, 10))
+            .impairments(|i| {
+                i.flap(SimDuration::from_secs(1), SimDuration::from_secs(3))
+            })
+            .finish();
+        cfg.trace_events = true;
+        let r = Scenario::run(&cfg);
+        let log = r.event_log.expect("trace requested");
+        let downs = log
+            .events()
+            .iter()
+            .filter(|e| e.kind == TraceKind::LinkDown)
+            .count();
+        let ups = log
+            .events()
+            .iter()
+            .filter(|e| e.kind == TraceKind::LinkUp)
+            .count();
+        assert_eq!(downs as u64, r.impairments.link_down_events);
+        assert_eq!(ups as u64, r.impairments.link_up_events);
+    }
+
+    #[test]
+    fn corruption_loses_packets_deterministically() {
+        let clean = quick(Protocol::Reno, 5, 10);
+        let cfg = ScenarioBuilder::from_config(quick_cfg(Protocol::Reno, 5, 10))
+            .impairments(|i| i.corrupt(0.02))
+            .finish();
+        let a = Scenario::run(&cfg);
+        let b = Scenario::run(&cfg);
+        assert!(a.impairments.corrupted > 0);
+        assert!(a.delivered_packets < clean.delivered_packets);
+        assert_eq!(a.delivered_packets, b.delivered_packets);
+        assert_eq!(a.impairments.corrupted, b.impairments.corrupted);
+        assert_eq!(a.cov, b.cov);
+    }
+
+    #[test]
+    fn cross_traffic_competes_and_is_counted_separately() {
+        let cfg = ScenarioBuilder::from_config(quick_cfg(Protocol::Reno, 5, 10))
+            .impairments(|i| i.cross(500.0, 1500))
+            .finish();
+        let r = Scenario::run(&cfg);
+        // Poisson 500 pkt/s over 10 s: ~5000 injections.
+        assert!(r.impairments.cross_injected > 4000);
+        assert!(r.impairments.cross_delivered > 0);
+        assert!(r.impairments.cross_delivered <= r.impairments.cross_injected);
+        // Cross datagrams never appear in per-flow goodput.
+        let per_flow: u64 = r.flows.iter().map(|f| f.delivered).sum();
+        assert_eq!(per_flow, r.delivered_packets);
+    }
+
+    #[test]
+    fn capacity_and_delay_variation_stretch_delays() {
+        let base = quick(Protocol::Reno, 5, 10);
+        let cfg = ScenarioBuilder::from_config(quick_cfg(Protocol::Reno, 5, 10))
+            .impairments(|i| {
+                i.capacity(0.2, SimDuration::from_secs(1))
+                    .delay_variation(4.0, SimDuration::from_secs(1))
+            })
+            .finish();
+        let r = Scenario::run(&cfg);
+        assert!(
+            r.mean_delay_secs > base.mean_delay_secs,
+            "degraded bottleneck ({} s) should beat nominal ({} s)",
+            r.mean_delay_secs,
+            base.mean_delay_secs
+        );
+        assert!(r.delivered_packets > 0);
     }
 }

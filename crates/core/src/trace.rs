@@ -35,16 +35,28 @@ pub enum TraceKind {
         /// The reacting flow.
         flow: FlowId,
     },
+    /// The bottleneck link went down (impairment schedule).
+    LinkDown,
+    /// The bottleneck link came back up (impairment schedule).
+    LinkUp,
+    /// A packet of `flow` was corrupted on the wire and lost.
+    Corrupted {
+        /// The losing flow.
+        flow: FlowId,
+    },
 }
 
 impl TraceKind {
-    /// The flow the event belongs to.
-    pub fn flow(&self) -> FlowId {
+    /// The flow the event belongs to, if it belongs to one (link-state
+    /// transitions affect every flow at once and carry none).
+    pub fn flow(&self) -> Option<FlowId> {
         match *self {
             TraceKind::GatewayDrop { flow, .. }
             | TraceKind::Timeout { flow }
             | TraceKind::FastRetransmit { flow }
-            | TraceKind::EcnCut { flow } => flow,
+            | TraceKind::EcnCut { flow }
+            | TraceKind::Corrupted { flow } => Some(flow),
+            TraceKind::LinkDown | TraceKind::LinkUp => None,
         }
     }
 }
@@ -148,9 +160,10 @@ impl EventLog {
             if !responding {
                 continue;
             }
+            let Some(flow) = ev.kind.flow() else { continue };
             let idx = ev.time.saturating_since(SimTime::ZERO) / bin;
             if (idx as usize) < flows.len() {
-                flows[idx as usize].insert(ev.kind.flow());
+                flows[idx as usize].insert(flow);
             }
         }
         flows.into_iter().map(|s| s.len()).collect()
@@ -209,7 +222,27 @@ mod tests {
     fn kind_exposes_flow() {
         assert_eq!(
             TraceKind::EcnCut { flow: FlowId(7) }.flow(),
-            FlowId(7)
+            Some(FlowId(7))
         );
+        assert_eq!(
+            TraceKind::Corrupted { flow: FlowId(3) }.flow(),
+            Some(FlowId(3))
+        );
+        assert_eq!(TraceKind::LinkDown.flow(), None);
+        assert_eq!(TraceKind::LinkUp.flow(), None);
+    }
+
+    #[test]
+    fn link_transitions_are_binnable_but_not_synchrony() {
+        let mut log = EventLog::with_capacity(100);
+        log.record(at(1), TraceKind::LinkDown);
+        log.record(at(4), TraceKind::LinkUp);
+        log.record(at(2), TraceKind::Timeout { flow: FlowId(0) });
+        let downs = log.binned_counts(SimDuration::from_millis(10), at(10), |k| {
+            matches!(k, TraceKind::LinkDown | TraceKind::LinkUp)
+        });
+        assert_eq!(downs, vec![2]);
+        let sync = log.loss_response_synchrony(SimDuration::from_millis(10), at(10));
+        assert_eq!(sync, vec![1]);
     }
 }

@@ -2,7 +2,7 @@
 //! run to completion with conserved accounting and physically sane metrics.
 
 use proptest::prelude::*;
-use tcpburst_core::{GatewayKind, Protocol, Scenario, ScenarioConfig};
+use tcpburst_core::{GatewayKind, Protocol, Scenario, ScenarioBuilder};
 use tcpburst_des::SimDuration;
 
 fn protocols() -> impl Strategy<Value = Protocol> {
@@ -32,11 +32,11 @@ proptest! {
         ecn in any::<bool>(),
         adaptive in any::<bool>(),
     ) {
-        let mut cfg = ScenarioConfig::paper(clients, protocol);
-        cfg.duration = SimDuration::from_secs(secs);
-        cfg.seed = seed;
-        cfg.params.gateway_buffer_pkts = buffer;
-        cfg.ecn = ecn;
+        let mut cfg = ScenarioBuilder::paper()
+            .topology(|t| t.clients(clients).buffer_pkts(buffer))
+            .transport(|t| t.protocol(protocol).ecn(ecn))
+            .instrumentation(|i| i.duration(SimDuration::from_secs(secs)).seed(seed))
+            .finish();
         if adaptive && cfg.gateway == GatewayKind::Red {
             cfg.gateway = GatewayKind::AdaptiveRed;
         }
@@ -72,9 +72,11 @@ proptest! {
         clients in 1usize..15,
         seed in any::<u64>(),
     ) {
-        let mut cfg = ScenarioConfig::paper(clients, protocol);
-        cfg.duration = SimDuration::from_secs(3);
-        cfg.seed = seed;
+        let cfg = ScenarioBuilder::paper()
+            .topology(|t| t.clients(clients))
+            .transport(|t| t.protocol(protocol))
+            .instrumentation(|i| i.secs(3).seed(seed))
+            .finish();
         let a = Scenario::run(&cfg);
         let b = Scenario::run(&cfg);
         prop_assert_eq!(a.events_processed, b.events_processed);

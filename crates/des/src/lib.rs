@@ -14,6 +14,8 @@
 //! * [`TimerSlot`] — a cancellable/re-armable logical timer: eager in-place
 //!   deletion of superseded firings where the backend supports it, with
 //!   generation-counter filtering at delivery as the safety net,
+//! * [`PhaseCycle`] — a repeating schedule of hold times (e.g. link
+//!   up/down flapping) driven by self-rescheduling events,
 //! * [`SimRng`] — a seeded, reproducible random-number source (an in-tree
 //!   xoshiro256++, no external dependencies) with the distributions the
 //!   traffic models need (exponential, Pareto, uniform) and documented
@@ -52,4 +54,4 @@ pub use queue::{EventKey, EventQueue, QueueBackend};
 pub use rng::SimRng;
 pub use scheduler::Scheduler;
 pub use time::{SimDuration, SimTime};
-pub use timer::{TimerGeneration, TimerSlot};
+pub use timer::{PhaseCycle, TimerGeneration, TimerSlot};

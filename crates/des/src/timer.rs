@@ -1,4 +1,4 @@
-//! Cancellable logical timers.
+//! Cancellable logical timers and repeating phase cycles.
 //!
 //! Two cancellation strategies, layered:
 //!
@@ -15,7 +15,90 @@
 
 use crate::queue::EventKey;
 use crate::scheduler::Scheduler;
-use crate::time::SimTime;
+use crate::time::{SimDuration, SimTime};
+
+/// A deterministic repeating sequence of timed phases.
+///
+/// This is the driver behind impairment schedules (link up/down flaps,
+/// periodic capacity or delay toggles): the cycle starts in phase 0, and
+/// each transition event advances it to the next phase and re-schedules
+/// itself after that phase's hold time. The cycle itself holds no clock —
+/// it only answers "which phase am I in, and how long does it last", so the
+/// schedule is driven entirely by ordinary scheduler events and stays
+/// bit-identical on every queue backend.
+///
+/// # Example
+///
+/// ```
+/// use tcpburst_des::{PhaseCycle, Scheduler, SimDuration, SimTime};
+///
+/// // A link that is up 10 s (phase 0), then down 3 s (phase 1), repeating.
+/// let mut cycle = PhaseCycle::new([
+///     SimDuration::from_secs(10),
+///     SimDuration::from_secs(3),
+/// ]);
+/// let mut sched: Scheduler<&str> = Scheduler::new();
+/// sched.schedule_after(cycle.hold(), "toggle");
+///
+/// let (t, _) = sched.pop().unwrap();
+/// assert_eq!(t, SimTime::from_secs(10));
+/// assert_eq!(cycle.advance(), 1); // entering the down phase
+/// sched.schedule_after(cycle.hold(), "toggle");
+/// let (t, _) = sched.pop().unwrap();
+/// assert_eq!(t, SimTime::from_secs(13));
+/// assert_eq!(cycle.advance(), 0); // back up
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseCycle {
+    phases: Box<[SimDuration]>,
+    index: usize,
+}
+
+impl PhaseCycle {
+    /// Creates a cycle over `phases`, starting in phase 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `phases` is empty or any phase has zero length (a
+    /// zero-length phase would schedule its transition at the current
+    /// instant forever, wedging the event loop).
+    pub fn new(phases: impl Into<Box<[SimDuration]>>) -> Self {
+        let phases = phases.into();
+        assert!(!phases.is_empty(), "a phase cycle needs at least one phase");
+        assert!(
+            phases.iter().all(|p| !p.is_zero()),
+            "every phase must have a positive length"
+        );
+        PhaseCycle { phases, index: 0 }
+    }
+
+    /// The phase the cycle is currently in.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// How long the current phase lasts — the delay until the next
+    /// transition event.
+    pub fn hold(&self) -> SimDuration {
+        self.phases[self.index]
+    }
+
+    /// Moves to the next phase (wrapping), returning its index.
+    pub fn advance(&mut self) -> usize {
+        self.index = (self.index + 1) % self.phases.len();
+        self.index
+    }
+
+    /// Number of phases in one full cycle.
+    pub fn len(&self) -> usize {
+        self.phases.len()
+    }
+
+    /// Always false: construction rejects empty cycles.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
 
 /// An opaque token identifying one arming of a [`TimerSlot`].
 ///
@@ -147,6 +230,34 @@ impl TimerSlot {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn phase_cycle_wraps_deterministically() {
+        let mut c = PhaseCycle::new([
+            SimDuration::from_secs(10),
+            SimDuration::from_secs(3),
+        ]);
+        assert_eq!(c.len(), 2);
+        assert!(!c.is_empty());
+        assert_eq!(c.index(), 0);
+        assert_eq!(c.hold(), SimDuration::from_secs(10));
+        assert_eq!(c.advance(), 1);
+        assert_eq!(c.hold(), SimDuration::from_secs(3));
+        assert_eq!(c.advance(), 0);
+        assert_eq!(c.hold(), SimDuration::from_secs(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one phase")]
+    fn empty_phase_cycle_panics() {
+        PhaseCycle::new([] as [SimDuration; 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive length")]
+    fn zero_length_phase_panics() {
+        PhaseCycle::new([SimDuration::from_secs(1), SimDuration::ZERO]);
+    }
 
     #[test]
     fn fresh_slot_is_disarmed() {

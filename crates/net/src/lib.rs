@@ -16,11 +16,17 @@
 //! The crate is purely mechanical: it moves packets and counts drops.
 //! Protocol behaviour lives in `tcpburst-transport`; instrumentation policy
 //! (what to probe, when) lives in `tcpburst-core`.
+//!
+//! Fault injection is described by [`Impairments`] (see [`impair`]) and
+//! executed by the [`Network`]'s link state machine: links can go down
+//! (dropping in-flight packets), change rate or delay mid-run, and corrupt
+//! packets on the wire — all deterministically.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod adaptive;
+pub mod impair;
 mod link;
 mod network;
 mod packet;
@@ -28,8 +34,11 @@ mod queue;
 mod topology;
 
 pub use adaptive::{AdaptiveRedParams, SelfConfiguringRed};
+pub use impair::{
+    CapacityVariation, CrossTraffic, DelayVariation, Impairments, LinkFlap, CROSS_TRAFFIC_FLOW,
+};
 pub use link::{Link, LinkStats};
-pub use network::{Delivered, NetEvent, Network};
+pub use network::{Delivered, NetEvent, Network, WireLoss};
 pub use packet::{Ecn, FlowId, LinkId, NodeId, Packet, PacketKind, SackBlocks, SeqNo};
 pub use queue::{
     DropTailQueue, EnqueueOutcome, Occupancy, Queue, QueueStats, RedParams, RedQueue,

@@ -12,6 +12,11 @@ pub struct LinkStats {
     pub packets_tx: u64,
     /// Bytes fully serialized onto the wire.
     pub bytes_tx: u64,
+    /// Packets lost because the link went down while they were in flight
+    /// (being serialized or propagating).
+    pub lost_in_flight: u64,
+    /// Packets lost to random wire corruption.
+    pub corrupted: u64,
 }
 
 /// A one-directional link: a queue, a serialization rate and a propagation
@@ -30,13 +35,22 @@ pub struct Link {
     delay: SimDuration,
     queue: Box<dyn Queue>,
     busy: bool,
+    /// False while the link is administratively down (fault injection).
+    up: bool,
+    /// Incremented on every down transition; events stamped with an older
+    /// epoch refer to transmissions the outage invalidated.
+    epoch: u32,
+    /// Per-hop wire corruption probability (0 = never).
+    corrupt_prob: f64,
     stats: LinkStats,
-    /// One-entry `(bits, nanos)` memo for [`Link::tx_time`]. A link
+    /// One-entry `(bits, rate, nanos)` memo for [`Link::tx_time`]. A link
     /// typically carries a single packet size (data one way, ACKs the
     /// other), so this replaces a 128-bit ceiling division per transmitted
-    /// packet with a compare. `(0, 0)` is a correct seed: zero bits
-    /// serialize in zero time.
-    tx_memo: std::cell::Cell<(u64, u64)>,
+    /// packet with two compares. Keying on the rate as well as the size
+    /// keeps the memo correct when fault injection retunes the bandwidth
+    /// mid-run. `(0, rate, 0)` is a correct seed: zero bits serialize in
+    /// zero time at any rate.
+    tx_memo: std::cell::Cell<(u64, u64, u64)>,
 }
 
 impl Link {
@@ -61,8 +75,11 @@ impl Link {
             delay,
             queue,
             busy: false,
+            up: true,
+            epoch: 0,
+            corrupt_prob: 0.0,
             stats: LinkStats::default(),
-            tx_memo: std::cell::Cell::new((0, 0)),
+            tx_memo: std::cell::Cell::new((0, bandwidth_bps, 0)),
         }
     }
 
@@ -81,21 +98,88 @@ impl Link {
         self.bandwidth_bps
     }
 
+    /// Retunes the serialization rate (fault injection: time-varying
+    /// capacity). Packets already being serialized keep the schedule they
+    /// were given at the old rate — the bits on the wire cannot be
+    /// re-clocked — but every subsequent transmission uses the new one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bandwidth_bps` is zero.
+    pub fn set_bandwidth_bps(&mut self, bandwidth_bps: u64) {
+        assert!(bandwidth_bps > 0, "link bandwidth must be positive");
+        self.bandwidth_bps = bandwidth_bps;
+    }
+
     /// One-way propagation delay.
     pub fn delay(&self) -> SimDuration {
         self.delay
     }
 
+    /// Retunes the propagation delay (fault injection: time-varying path
+    /// length). Packets already propagating keep their old arrival times.
+    pub fn set_delay(&mut self, delay: SimDuration) {
+        self.delay = delay;
+    }
+
+    /// True while the link is administratively up.
+    pub fn is_up(&self) -> bool {
+        self.up
+    }
+
+    /// The current up/down epoch (bumped on every down transition).
+    pub fn epoch(&self) -> u32 {
+        self.epoch
+    }
+
+    /// Per-hop wire corruption probability.
+    pub fn corrupt_prob(&self) -> f64 {
+        self.corrupt_prob
+    }
+
+    /// Sets the per-hop wire corruption probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prob` is not a probability.
+    pub fn set_corrupt_prob(&mut self, prob: f64) {
+        assert!(
+            (0.0..=1.0).contains(&prob),
+            "corruption probability must be in [0, 1], got {prob}"
+        );
+        self.corrupt_prob = prob;
+    }
+
+    /// Marks the link up or down (managed by [`Network`](crate::Network)).
+    ///
+    /// A down transition bumps the epoch, invalidating every in-flight
+    /// transmission, and idles the transmitter.
+    pub(crate) fn set_up(&mut self, up: bool) {
+        if self.up && !up {
+            self.epoch = self.epoch.wrapping_add(1);
+            self.busy = false;
+        }
+        self.up = up;
+    }
+
+    pub(crate) fn note_lost_in_flight(&mut self) {
+        self.stats.lost_in_flight += 1;
+    }
+
+    pub(crate) fn note_corrupted(&mut self) {
+        self.stats.corrupted += 1;
+    }
+
     /// Time to clock `bits` onto the wire at this link's rate.
     pub fn tx_time(&self, bits: u64) -> SimDuration {
-        let (memo_bits, memo_ns) = self.tx_memo.get();
-        if bits == memo_bits {
+        let (memo_bits, memo_rate, memo_ns) = self.tx_memo.get();
+        if bits == memo_bits && self.bandwidth_bps == memo_rate {
             return SimDuration::from_nanos(memo_ns);
         }
         // ceil(bits * 1e9 / bandwidth) nanoseconds, in u128 to avoid overflow.
         let ns = (u128::from(bits) * 1_000_000_000u128).div_ceil(u128::from(self.bandwidth_bps));
         let ns = ns.min(u128::from(u64::MAX)) as u64;
-        self.tx_memo.set((bits, ns));
+        self.tx_memo.set((bits, self.bandwidth_bps, ns));
         SimDuration::from_nanos(ns)
     }
 
@@ -197,6 +281,51 @@ mod tests {
     #[should_panic(expected = "bandwidth must be positive")]
     fn zero_bandwidth_panics() {
         link(0, 1);
+    }
+
+    #[test]
+    fn tx_time_memo_invalidates_on_rate_change() {
+        let mut l = link(1_000_000, 0);
+        assert_eq!(l.tx_time(8_000), SimDuration::from_millis(8));
+        // Same size, half the rate: the memo must not serve the stale time.
+        l.set_bandwidth_bps(500_000);
+        assert_eq!(l.tx_time(8_000), SimDuration::from_millis(16));
+        l.set_bandwidth_bps(1_000_000);
+        assert_eq!(l.tx_time(8_000), SimDuration::from_millis(8));
+    }
+
+    #[test]
+    fn set_delay_changes_schedule_times() {
+        let mut l = link(1_000_000, 20);
+        l.set_delay(SimDuration::from_millis(5));
+        let (done, arrive) = l.schedule_times(&pkt(1000), SimTime::ZERO);
+        assert_eq!(done, SimTime::from_millis(8));
+        assert_eq!(arrive, SimTime::from_millis(13));
+    }
+
+    #[test]
+    fn down_transition_bumps_epoch_and_idles() {
+        let mut l = link(1_000_000, 0);
+        assert!(l.is_up());
+        assert_eq!(l.epoch(), 0);
+        l.set_busy(true);
+        l.set_up(false);
+        assert!(!l.is_up());
+        assert!(!l.is_busy());
+        assert_eq!(l.epoch(), 1);
+        // Coming back up does not bump the epoch again.
+        l.set_up(true);
+        assert_eq!(l.epoch(), 1);
+        // A redundant down-while-down is a no-op.
+        l.set_up(false);
+        l.set_up(false);
+        assert_eq!(l.epoch(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in [0, 1]")]
+    fn corruption_probability_is_validated() {
+        link(1_000, 0).set_corrupt_prob(1.5);
     }
 
     #[test]

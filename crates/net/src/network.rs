@@ -1,6 +1,6 @@
 //! The node/link arena, static routing, and packet forwarding.
 
-use tcpburst_des::{Scheduler, SimDuration};
+use tcpburst_des::{Scheduler, SimDuration, SimRng};
 
 use crate::link::Link;
 use crate::packet::{LinkId, NodeId, Packet};
@@ -10,20 +10,40 @@ use crate::queue::{EnqueueOutcome, Queue};
 ///
 /// The driving loop (in `tcpburst-core`) embeds these in its own event enum
 /// via `From`; the network's methods are generic over that enum.
+///
+/// Both variants carry the link's up/down `epoch` at the instant
+/// serialization started. A link going down bumps its epoch, so events
+/// stamped before the outage arrive stale and the network discards them —
+/// that is how "in-flight packets on a downed link are dropped" is
+/// expressed without deleting interior queue entries (which the binary-heap
+/// backend cannot do; lazy invalidation keeps both backends bit-identical).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum NetEvent {
     /// A link finished serializing its current packet and may start the next.
     TxComplete {
         /// The transmitting link.
         link: LinkId,
+        /// The link's epoch when serialization started.
+        epoch: u32,
     },
     /// A packet reached the far end of a link.
     Delivery {
         /// The link the packet travelled on.
         link: LinkId,
+        /// The link's epoch when serialization started.
+        epoch: u32,
         /// The packet itself.
         packet: Packet,
     },
+}
+
+/// Why a packet died on the wire rather than in a queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireLoss {
+    /// The link went down while the packet was in flight.
+    LinkDown,
+    /// Random wire corruption (the receiver discards the frame).
+    Corrupted,
 }
 
 /// What became of a delivered packet.
@@ -46,6 +66,15 @@ pub enum Delivered {
         via: LinkId,
         /// Queue admission result at the next hop.
         outcome: EnqueueOutcome,
+    },
+    /// The packet never made it across the link (fault injection).
+    LostOnWire {
+        /// The link it died on.
+        link: LinkId,
+        /// The lost packet.
+        packet: Packet,
+        /// What killed it.
+        cause: WireLoss,
     },
 }
 
@@ -88,9 +117,9 @@ const NO_ROUTE: u32 = u32::MAX;
 /// let mut delivered = None;
 /// while let Some((_, ev)) = sched.pop() {
 ///     match ev {
-///         NetEvent::TxComplete { link } => net.on_tx_complete(link, &mut sched),
-///         NetEvent::Delivery { link, packet } => {
-///             delivered = Some(net.on_delivery(link, packet, &mut sched));
+///         NetEvent::TxComplete { link, epoch } => net.on_tx_complete(link, epoch, &mut sched),
+///         NetEvent::Delivery { link, epoch, packet } => {
+///             delivered = Some(net.on_delivery(link, epoch, packet, &mut sched));
 ///         }
 ///     }
 /// }
@@ -98,7 +127,7 @@ const NO_ROUTE: u32 = u32::MAX;
 /// // 8 ms serialization + 10 ms propagation:
 /// assert_eq!(sched.now(), SimTime::from_millis(18));
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Network {
     nodes: Vec<NodeKind>,
     links: Vec<Link>,
@@ -107,12 +136,57 @@ pub struct Network {
     /// per-packet forwarding path, where array indexing beats hashing by an
     /// order of magnitude.
     routes: Vec<Vec<u32>>,
+    /// Stream for wire-corruption draws, consumed in delivery order — the
+    /// event queue's `(time, seq)` total order is identical on every
+    /// backend, so the draws (and therefore the losses) are deterministic.
+    wire_rng: SimRng,
+}
+
+impl Default for Network {
+    fn default() -> Self {
+        Network {
+            nodes: Vec::new(),
+            links: Vec::new(),
+            routes: Vec::new(),
+            wire_rng: SimRng::seed_from_u64(0),
+        }
+    }
 }
 
 impl Network {
     /// Creates an empty network.
     pub fn new() -> Self {
         Network::default()
+    }
+
+    /// Reseeds the wire-corruption stream (call once at build time when any
+    /// link has a nonzero corruption probability).
+    pub fn set_wire_seed(&mut self, seed: u64) {
+        self.wire_rng = SimRng::seed_from_u64(seed);
+    }
+
+    /// Takes `link` up or down.
+    ///
+    /// Going **down** bumps the link's epoch: the packet being serialized
+    /// and every packet still propagating are lost (their events arrive
+    /// stale and are discarded), while packets waiting in the admission
+    /// queue survive the outage. Going **up** restarts the transmitter if
+    /// anything is queued. Returns `true` if the state actually changed.
+    pub fn set_link_up<E: From<NetEvent>>(
+        &mut self,
+        link: LinkId,
+        up: bool,
+        sched: &mut Scheduler<E>,
+    ) -> bool {
+        let l = &mut self.links[link.0 as usize];
+        if l.is_up() == up {
+            return false;
+        }
+        l.set_up(up);
+        if up {
+            self.start_tx(link, sched);
+        }
+        true
     }
 
     /// Adds an end host (packets addressed to it are delivered upward).
@@ -244,27 +318,53 @@ impl Network {
     fn start_tx<E: From<NetEvent>>(&mut self, link: LinkId, sched: &mut Scheduler<E>) {
         let now = sched.now();
         let l = &mut self.links[link.0 as usize];
+        if !l.is_up() {
+            // A downed transmitter holds its queue; the link-up transition
+            // restarts it.
+            return;
+        }
         match l.queue_mut().dequeue(now) {
             Some(pkt) => {
                 l.set_busy(true);
                 l.note_tx(&pkt);
+                let epoch = l.epoch();
                 let (done, arrive) = l.schedule_times(&pkt, now);
-                sched.schedule_at(done, NetEvent::TxComplete { link }.into());
-                sched.schedule_at(arrive, NetEvent::Delivery { link, packet: pkt }.into());
+                sched.schedule_at(done, NetEvent::TxComplete { link, epoch }.into());
+                sched.schedule_at(
+                    arrive,
+                    NetEvent::Delivery { link, epoch, packet: pkt }.into(),
+                );
             }
             None => l.set_busy(false),
         }
     }
 
     /// Handles a [`NetEvent::TxComplete`]: the link pulls the next queued
-    /// packet, if any.
-    pub fn on_tx_complete<E: From<NetEvent>>(&mut self, link: LinkId, sched: &mut Scheduler<E>) {
-        self.links[link.0 as usize].set_busy(false);
+    /// packet, if any. A stale `epoch` (the link went down after this
+    /// serialization started) is ignored — the outage already idled the
+    /// transmitter, and the up transition restarts it.
+    pub fn on_tx_complete<E: From<NetEvent>>(
+        &mut self,
+        link: LinkId,
+        epoch: u32,
+        sched: &mut Scheduler<E>,
+    ) {
+        let l = &mut self.links[link.0 as usize];
+        if epoch != l.epoch() {
+            return;
+        }
+        l.set_busy(false);
         self.start_tx(link, sched);
     }
 
     /// Handles a [`NetEvent::Delivery`]: delivers to a host or forwards at a
     /// router.
+    ///
+    /// A stale `epoch` means the link went down while the packet was in
+    /// flight: it is reported [`Delivered::LostOnWire`] with
+    /// [`WireLoss::LinkDown`]. A link with a nonzero corruption probability
+    /// then rolls the wire die; a corrupted packet is reported with
+    /// [`WireLoss::Corrupted`].
     ///
     /// # Panics
     ///
@@ -272,9 +372,28 @@ impl Network {
     pub fn on_delivery<E: From<NetEvent>>(
         &mut self,
         link: LinkId,
+        epoch: u32,
         packet: Packet,
         sched: &mut Scheduler<E>,
     ) -> Delivered {
+        let l = &mut self.links[link.0 as usize];
+        if epoch != l.epoch() {
+            l.note_lost_in_flight();
+            return Delivered::LostOnWire {
+                link,
+                packet,
+                cause: WireLoss::LinkDown,
+            };
+        }
+        let corrupt_prob = l.corrupt_prob();
+        if corrupt_prob > 0.0 && self.wire_rng.uniform() < corrupt_prob {
+            self.links[link.0 as usize].note_corrupted();
+            return Delivered::LostOnWire {
+                link,
+                packet,
+                cause: WireLoss::Corrupted,
+            };
+        }
         let node = self.link(link).to();
         match self.nodes[node.0 as usize] {
             NodeKind::Host => Delivered::ToHost { node, packet },
@@ -329,9 +448,9 @@ mod tests {
         let mut out = Vec::new();
         while let Some((t, ev)) = sched.pop() {
             match ev {
-                NetEvent::TxComplete { link } => net.on_tx_complete(link, sched),
-                NetEvent::Delivery { link, packet } => {
-                    let d = net.on_delivery(link, packet, sched);
+                NetEvent::TxComplete { link, epoch } => net.on_tx_complete(link, epoch, sched),
+                NetEvent::Delivery { link, epoch, packet } => {
+                    let d = net.on_delivery(link, epoch, packet, sched);
                     if matches!(d, Delivered::ToHost { .. }) {
                         out.push((t, d));
                     }
@@ -401,9 +520,9 @@ mod tests {
         let mut host_rx = 0;
         while let Some((_, ev)) = sched.pop() {
             match ev {
-                NetEvent::TxComplete { link } => net.on_tx_complete(link, &mut sched),
-                NetEvent::Delivery { link, packet } => {
-                    match net.on_delivery(link, packet, &mut sched) {
+                NetEvent::TxComplete { link, epoch } => net.on_tx_complete(link, epoch, &mut sched),
+                NetEvent::Delivery { link, epoch, packet } => {
+                    match net.on_delivery(link, epoch, packet, &mut sched) {
                         Delivered::Forwarded { outcome, .. } if outcome.is_drop() => drops += 1,
                         Delivered::ToHost { .. } => host_rx += 1,
                         _ => {}
@@ -454,6 +573,117 @@ mod tests {
         let c = net.add_host();
         let bc = net.add_link(b, c, 1_000_000, SimDuration::from_millis(1), dt(1));
         net.set_route(a, c, bc);
+    }
+
+    /// Flap driver: the up/down transitions ride the same event queue as
+    /// the network events, exactly as `tcpburst-core` schedules them.
+    #[derive(Debug, Clone, Copy, PartialEq)]
+    enum FlapEv {
+        Net(NetEvent),
+        Down,
+        Up,
+    }
+
+    impl From<NetEvent> for FlapEv {
+        fn from(ev: NetEvent) -> Self {
+            FlapEv::Net(ev)
+        }
+    }
+
+    #[test]
+    fn downed_link_drops_in_flight_but_keeps_queued() {
+        let mut net = Network::new();
+        let a = net.add_host();
+        let b = net.add_host();
+        // 1 Mbps: a 1000-byte packet serializes in 8 ms.
+        let ab = net.add_link(a, b, 1_000_000, SimDuration::from_millis(1), dt(10));
+        net.set_route(a, b, ab);
+        let mut sched: Scheduler<FlapEv> = Scheduler::new();
+        // Three packets: one in service, two queued.
+        for _ in 0..3 {
+            net.inject(pkt(a, b), &mut sched);
+        }
+        // Down at 4 ms (mid-serialization of the first), up at 20 ms.
+        sched.schedule_at(SimTime::from_millis(4), FlapEv::Down);
+        sched.schedule_at(SimTime::from_millis(20), FlapEv::Up);
+        let mut lost = Vec::new();
+        let mut arrived = Vec::new();
+        while let Some((t, ev)) = sched.pop() {
+            match ev {
+                FlapEv::Down => {
+                    assert!(net.set_link_up(ab, false, &mut sched));
+                }
+                FlapEv::Up => {
+                    assert!(net.set_link_up(ab, true, &mut sched));
+                }
+                FlapEv::Net(NetEvent::TxComplete { link, epoch }) => {
+                    net.on_tx_complete(link, epoch, &mut sched)
+                }
+                FlapEv::Net(NetEvent::Delivery { link, epoch, packet }) => {
+                    match net.on_delivery(link, epoch, packet, &mut sched) {
+                        Delivered::ToHost { .. } => arrived.push(t),
+                        Delivered::LostOnWire { cause, .. } => lost.push(cause),
+                        Delivered::Forwarded { .. } => unreachable!("no routers here"),
+                    }
+                }
+            }
+        }
+        // The in-service packet is lost; the two queued ones survive the
+        // outage and go out back-to-back after the link returns.
+        assert_eq!(lost, vec![WireLoss::LinkDown]);
+        assert_eq!(net.link(ab).stats().lost_in_flight, 1);
+        // up at 20 ms + 8 ms serialization + 1 ms propagation = 29 ms.
+        assert_eq!(
+            arrived,
+            vec![SimTime::from_millis(29), SimTime::from_millis(37)]
+        );
+    }
+
+    #[test]
+    fn downed_link_queues_new_arrivals_without_transmitting() {
+        let mut net = Network::new();
+        let a = net.add_host();
+        let b = net.add_host();
+        let ab = net.add_link(a, b, 1_000_000, SimDuration::from_millis(1), dt(10));
+        net.set_route(a, b, ab);
+        let mut sched: Scheduler<NetEvent> = Scheduler::new();
+        net.set_link_up(ab, false, &mut sched);
+        net.inject(pkt(a, b), &mut sched);
+        // Nothing scheduled: the transmitter is down, the packet waits.
+        assert_eq!(sched.pending(), 0);
+        assert_eq!(net.link(ab).queue().len(), 1);
+        net.set_link_up(ab, true, &mut sched);
+        let deliveries = drain(&mut net, &mut sched);
+        assert_eq!(deliveries.len(), 1);
+    }
+
+    #[test]
+    fn corruption_probability_one_kills_every_packet() {
+        let mut net = Network::new();
+        let a = net.add_host();
+        let b = net.add_host();
+        let ab = net.add_link(a, b, 1_000_000, SimDuration::from_millis(1), dt(10));
+        net.set_route(a, b, ab);
+        net.link_mut(ab).set_corrupt_prob(1.0);
+        net.set_wire_seed(7);
+        let mut sched: Scheduler<NetEvent> = Scheduler::new();
+        for _ in 0..5 {
+            net.inject(pkt(a, b), &mut sched);
+        }
+        let mut corrupted = 0;
+        while let Some((_, ev)) = sched.pop() {
+            match ev {
+                NetEvent::TxComplete { link, epoch } => net.on_tx_complete(link, epoch, &mut sched),
+                NetEvent::Delivery { link, epoch, packet } => {
+                    match net.on_delivery(link, epoch, packet, &mut sched) {
+                        Delivered::LostOnWire { cause: WireLoss::Corrupted, .. } => corrupted += 1,
+                        other => panic!("expected corruption, got {other:?}"),
+                    }
+                }
+            }
+        }
+        assert_eq!(corrupted, 5);
+        assert_eq!(net.link(ab).stats().corrupted, 5);
     }
 
     #[test]

@@ -262,10 +262,10 @@ mod tests {
             let mut reached_server = false;
             while let Some((_, ev)) = sched.pop() {
                 match ev {
-                    NetEvent::TxComplete { link } => net.on_tx_complete(link, &mut sched),
-                    NetEvent::Delivery { link, packet } => {
+                    NetEvent::TxComplete { link, epoch } => net.on_tx_complete(link, epoch, &mut sched),
+                    NetEvent::Delivery { link, epoch, packet } => {
                         if let Delivered::ToHost { node, .. } =
-                            net.on_delivery(link, packet, &mut sched)
+                            net.on_delivery(link, epoch, packet, &mut sched)
                         {
                             assert_eq!(node, db.server);
                             reached_server = true;
@@ -296,10 +296,10 @@ mod tests {
             let mut reached_client = false;
             while let Some((_, ev)) = sched.pop() {
                 match ev {
-                    NetEvent::TxComplete { link } => net.on_tx_complete(link, &mut sched),
-                    NetEvent::Delivery { link, packet } => {
+                    NetEvent::TxComplete { link, epoch } => net.on_tx_complete(link, epoch, &mut sched),
+                    NetEvent::Delivery { link, epoch, packet } => {
                         if let Delivered::ToHost { node, .. } =
-                            net.on_delivery(link, packet, &mut sched)
+                            net.on_delivery(link, epoch, packet, &mut sched)
                         {
                             assert_eq!(node, c);
                             reached_client = true;

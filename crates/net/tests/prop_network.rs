@@ -53,9 +53,11 @@ proptest! {
         let mut arrival = None;
         while let Some((t, ev)) = sched.pop() {
             match ev {
-                NetEvent::TxComplete { link } => net.on_tx_complete(link, &mut sched),
-                NetEvent::Delivery { link, packet } => {
-                    if let Delivered::ToHost { node, .. } = net.on_delivery(link, packet, &mut sched) {
+                NetEvent::TxComplete { link, epoch } => net.on_tx_complete(link, epoch, &mut sched),
+                NetEvent::Delivery { link, epoch, packet } => {
+                    if let Delivered::ToHost { node, .. } =
+                        net.on_delivery(link, epoch, packet, &mut sched)
+                    {
                         prop_assert_eq!(node, db.server);
                         arrival = Some(t);
                     }

@@ -15,22 +15,30 @@
 //! Results go to `BENCH_des.json` (`BENCH_des_smoke.json` with `--smoke`,
 //! which shrinks everything so CI can assert the harness works in seconds).
 //!
+//! `--regress` instead *checks* the disabled-impairments fast path: it
+//! re-times the recorded scenario on the calendar backend and fails (exit
+//! 1) if events/s fell more than 5% below the `BENCH_des.json` baseline —
+//! the guard that the fault-injection hooks cost nothing when off.
+//!
 //! ```sh
-//! cargo run --release --example bench_des            # full benchmark
-//! cargo run --release --example bench_des -- --smoke # CI smoke test
+//! cargo run --release --example bench_des              # full benchmark
+//! cargo run --release --example bench_des -- --smoke   # CI smoke test
+//! cargo run --release --example bench_des -- --regress # compare to baseline
 //! ```
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use tcpburst_core::{Protocol, Scenario, ScenarioConfig, ScenarioReport};
-use tcpburst_des::{EventQueue, QueueBackend, SimDuration, SimRng, SimTime};
+use tcpburst_core::{Protocol, Scenario, ScenarioBuilder, ScenarioReport};
+use tcpburst_des::{EventQueue, QueueBackend, SimRng, SimTime};
 
 /// One timed scenario run on the given backend.
 fn timed_scenario(clients: usize, secs: u64, backend: QueueBackend) -> ScenarioReport {
-    let mut cfg = ScenarioConfig::paper(clients, Protocol::Reno);
-    cfg.duration = SimDuration::from_secs(secs);
-    cfg.queue = backend;
+    let cfg = ScenarioBuilder::paper()
+        .topology(|t| t.clients(clients))
+        .transport(|t| t.protocol(Protocol::Reno))
+        .instrumentation(|i| i.secs(secs).queue(backend))
+        .finish();
     Scenario::run(&cfg)
 }
 
@@ -75,7 +83,56 @@ fn hold_model(n: usize, ops: usize, backend: QueueBackend) -> f64 {
     (ops * 2) as f64 / elapsed
 }
 
+/// Pulls `"events_per_sec"` out of the `"calendar"` object of a previously
+/// written `BENCH_des.json` without a JSON dependency: the file is our own
+/// output, so a positional scan is reliable.
+fn baseline_calendar_events_per_sec(json: &str) -> Option<f64> {
+    let cal = json.find("\"calendar\"")?;
+    let rest = &json[cal..];
+    let key = "\"events_per_sec\": ";
+    let at = rest.find(key)? + key.len();
+    let tail = &rest[at..];
+    let end = tail.find([',', '}', '\n'])?;
+    tail[..end].trim().parse().ok()
+}
+
+/// `--regress`: compare a fresh calendar-backend run against the recorded
+/// baseline. Returns the process exit code.
+fn regress(baseline_path: &str) -> u8 {
+    let json = match std::fs::read_to_string(baseline_path) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("cannot read {baseline_path}: {e} (run bench_des first)");
+            return 1;
+        }
+    };
+    let Some(baseline) = baseline_calendar_events_per_sec(&json) else {
+        eprintln!("no calendar events_per_sec in {baseline_path}");
+        return 1;
+    };
+    let (clients, secs, reps) = (64, 30, 3);
+    println!("regress: {clients}-client Reno, {secs} simulated s, best of {reps}");
+    let run = best_scenario(reps, clients, secs, QueueBackend::Calendar);
+    let now = run.events_per_sec();
+    let ratio = now / baseline;
+    println!(
+        "  baseline {baseline:.0} events/s, now {now:.0} events/s ({:+.1}%)",
+        (ratio - 1.0) * 100.0
+    );
+    if ratio < 0.95 {
+        eprintln!("  FAIL: more than 5% below baseline");
+        1
+    } else {
+        println!("  OK: within the 5% budget");
+        0
+    }
+}
+
 fn main() {
+    if std::env::args().any(|a| a == "--regress") {
+        let code = regress("BENCH_des.json");
+        std::process::exit(code.into());
+    }
     let smoke = std::env::args().any(|a| a == "--smoke");
     let (clients, secs, reps, sizes, ops, path): (usize, u64, usize, &[usize], usize, &str) =
         if smoke {

@@ -10,8 +10,7 @@
 
 use std::env;
 
-use tcpburst_core::{Protocol, Scenario, ScenarioConfig};
-use tcpburst_des::SimDuration;
+use tcpburst_core::{Protocol, Scenario, ScenarioBuilder};
 use tcpburst_stats::RunningStats;
 
 fn main() {
@@ -32,8 +31,11 @@ fn main() {
         Protocol::Sack,
         Protocol::Vegas,
     ] {
-        let mut cfg = ScenarioConfig::paper(clients, p);
-        cfg.duration = SimDuration::from_secs(seconds);
+        let cfg = ScenarioBuilder::paper()
+            .topology(|t| t.clients(clients))
+            .transport(|t| t.protocol(p))
+            .instrumentation(|i| i.secs(seconds))
+            .finish();
         let r = Scenario::run(&cfg);
         let stats: RunningStats = r.flows.iter().map(|f| f.delivered as f64).collect();
         println!(

@@ -1,0 +1,133 @@
+//! Fault injection: how Reno and Vegas ride out bottleneck outages.
+//!
+//! Runs the paper's dumbbell with a repeating link flap, then reads two
+//! things out of each run:
+//!
+//! - the **c.o.v.** of gateway arrivals (the paper's burstiness metric) —
+//!   outages synchronize the flows, so it rises well above the healthy
+//!   baseline; and
+//! - the **recovery time** after each outage: how long until the per-bin
+//!   arrival count climbs back to half the pre-outage mean, read straight
+//!   from the c.o.v. probe's bins.
+//!
+//! ```text
+//! cargo run --release --example faults            # full comparison
+//! cargo run --release --example faults -- --smoke # seconds-scale CI run
+//! ```
+
+use tcpburst_core::{Protocol, Scenario, ScenarioBuilder, TraceKind};
+use tcpburst_des::{SimDuration, SimTime};
+
+struct FaultSummary {
+    cov_ratio: f64,
+    delivered: u64,
+    outages: u64,
+    lost_in_flight: u64,
+    mean_recovery_ms: Option<f64>,
+}
+
+/// Mean time from each link-up transition until the probe's per-bin
+/// arrival count first reaches half the pre-outage mean.
+fn mean_recovery_ms(
+    bins: &tcpburst_stats::BinCounts,
+    healthy_mean: f64,
+    ups: &[SimTime],
+) -> Option<f64> {
+    if healthy_mean <= 0.0 {
+        return None;
+    }
+    let w = bins.bin_width();
+    let counts = bins.counts();
+    let mut total_ms = 0.0;
+    let mut recovered = 0usize;
+    for &up in ups {
+        let start = (up.saturating_since(SimTime::ZERO) / w) as usize;
+        if let Some(offset) = counts[start.min(counts.len())..]
+            .iter()
+            .position(|&c| c as f64 >= healthy_mean * 0.5)
+        {
+            total_ms += offset as f64 * (w.as_nanos() as f64 / 1e6);
+            recovered += 1;
+        }
+    }
+    (recovered > 0).then(|| total_ms / recovered as f64)
+}
+
+fn run(protocol: Protocol, clients: usize, secs: u64, down: u64, up: u64) -> FaultSummary {
+    let cfg = ScenarioBuilder::paper()
+        .topology(|t| t.clients(clients))
+        .transport(|t| t.protocol(protocol))
+        .impairments(|i| i.flap(SimDuration::from_secs(down), SimDuration::from_secs(up)))
+        .instrumentation(|i| {
+            i.secs(secs)
+                .warmup(SimDuration::ZERO) // bins start at t=0: bin i maps to time i*w
+                .trace_events(true)
+        })
+        .finish();
+    let r = Scenario::run(&cfg);
+    let log = r.event_log.as_ref().expect("tracing enabled");
+
+    let first_down = log
+        .events()
+        .iter()
+        .find(|e| e.kind == TraceKind::LinkDown)
+        .map(|e| e.time)
+        .unwrap_or(SimTime::ZERO + cfg.duration);
+    let ups: Vec<SimTime> = log
+        .events()
+        .iter()
+        .filter(|e| e.kind == TraceKind::LinkUp)
+        .map(|e| e.time)
+        .collect();
+
+    // Healthy throughput = mean bin count before the first outage.
+    let w = r.bins.bin_width();
+    let healthy_bins = (first_down.saturating_since(SimTime::ZERO) / w) as usize;
+    let healthy = &r.bins.counts()[..healthy_bins.min(r.bins.len())];
+    let healthy_mean = if healthy.is_empty() {
+        0.0
+    } else {
+        healthy.iter().sum::<u64>() as f64 / healthy.len() as f64
+    };
+
+    FaultSummary {
+        cov_ratio: r.cov_ratio(),
+        delivered: r.delivered_packets,
+        outages: r.impairments.link_down_events,
+        lost_in_flight: r.impairments.lost_in_flight,
+        mean_recovery_ms: mean_recovery_ms(&r.bins, healthy_mean, &ups),
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (clients, secs, down, up) = if smoke { (8, 12, 1, 3) } else { (30, 60, 2, 8) };
+    println!(
+        "{clients} clients, {secs} s, bottleneck flapping {down} s down / {up} s up\n"
+    );
+    println!(
+        "{:<8} {:>9} {:>10} {:>8} {:>14} {:>13}",
+        "proto", "cov/pois", "delivered", "outages", "lost in-flight", "recovery (ms)"
+    );
+    for p in [Protocol::Reno, Protocol::Vegas] {
+        let s = run(p, clients, secs, down, up);
+        println!(
+            "{:<8} {:>9.2} {:>10} {:>8} {:>14} {:>13}",
+            p.label(),
+            s.cov_ratio,
+            s.delivered,
+            s.outages,
+            s.lost_in_flight,
+            s.mean_recovery_ms
+                .map(|ms| format!("{ms:.0}"))
+                .unwrap_or_else(|| "-".into()),
+        );
+    }
+    println!(
+        "\nEvery outage loses the in-flight packets and stalls every flow at\n\
+         once; the flap is the strongest synchronizer the paper's mechanism\n\
+         admits. Reno's flows all timeout and slow-start together — arrival\n\
+         c.o.v. rises far above the healthy baseline — while Vegas's\n\
+         RTT-based estimator refills the pipe with less overshoot."
+    );
+}

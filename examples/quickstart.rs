@@ -10,21 +10,10 @@
 
 use std::env;
 
-use tcpburst_core::{Protocol, Scenario, ScenarioConfig};
-use tcpburst_des::SimDuration;
+use tcpburst_core::{Protocol, Scenario, ScenarioBuilder};
 
 fn parse_protocol(name: &str) -> Option<Protocol> {
-    Some(match name.to_ascii_lowercase().as_str() {
-        "udp" => Protocol::Udp,
-        "reno" => Protocol::Reno,
-        "reno-red" => Protocol::RenoRed,
-        "vegas" => Protocol::Vegas,
-        "vegas-red" => Protocol::VegasRed,
-        "reno-delayack" => Protocol::RenoDelayAck,
-        "tahoe" => Protocol::Tahoe,
-        "newreno" => Protocol::NewReno,
-        _ => return None,
-    })
+    name.to_ascii_lowercase().parse().ok()
 }
 
 fn main() {
@@ -42,8 +31,11 @@ fn main() {
         .map(|a| a.parse().expect("seconds must be an integer"))
         .unwrap_or(30);
 
-    let mut cfg = ScenarioConfig::paper(clients, protocol);
-    cfg.duration = SimDuration::from_secs(seconds);
+    let cfg = ScenarioBuilder::paper()
+        .topology(|t| t.clients(clients))
+        .transport(|t| t.protocol(protocol))
+        .instrumentation(|i| i.secs(seconds))
+        .finish();
 
     println!(
         "Running {} clients of {} for {} simulated seconds...",

@@ -11,8 +11,7 @@
 
 use std::env;
 
-use tcpburst_core::{Protocol, Scenario, ScenarioConfig};
-use tcpburst_des::SimDuration;
+use tcpburst_core::{Protocol, Scenario, ScenarioBuilder};
 
 fn main() {
     let mut args = env::args().skip(1);
@@ -34,8 +33,11 @@ fn main() {
     );
 
     for p in [Protocol::Reno, Protocol::Vegas] {
-        let mut cfg = ScenarioConfig::paper(clients, p);
-        cfg.duration = SimDuration::from_secs(seconds);
+        let cfg = ScenarioBuilder::paper()
+            .topology(|t| t.clients(clients))
+            .transport(|t| t.protocol(p))
+            .instrumentation(|i| i.secs(seconds))
+            .finish();
         let r = Scenario::run(&cfg);
         println!(
             "{:<14} {:>10.4} {:>10.2} {:>12} {:>8.2}",
@@ -49,8 +51,11 @@ fn main() {
 
     for p in [Protocol::RenoRed, Protocol::VegasRed] {
         for (min_th, max_th) in [(5.0, 15.0), (10.0, 40.0), (15.0, 45.0), (25.0, 50.0)] {
-            let mut cfg = ScenarioConfig::paper(clients, p);
-            cfg.duration = SimDuration::from_secs(seconds);
+            let mut cfg = ScenarioBuilder::paper()
+                .topology(|t| t.clients(clients))
+                .transport(|t| t.protocol(p))
+                .instrumentation(|i| i.secs(seconds))
+                .finish();
             cfg.params.red_min_th = min_th;
             cfg.params.red_max_th = max_th;
             let r = Scenario::run(&cfg);

@@ -13,7 +13,7 @@
 
 use std::env;
 
-use tcpburst_core::{Protocol, Scenario, ScenarioConfig, TraceKind};
+use tcpburst_core::{Protocol, Scenario, ScenarioBuilder, TraceKind};
 use tcpburst_des::{SimDuration, SimTime};
 
 fn main() {
@@ -33,9 +33,11 @@ fn main() {
         .map(|a| a.parse().expect("seconds must be an integer"))
         .unwrap_or(15);
 
-    let mut cfg = ScenarioConfig::paper(clients, protocol);
-    cfg.duration = SimDuration::from_secs(seconds);
-    cfg.trace_events = true;
+    let cfg = ScenarioBuilder::paper()
+        .topology(|t| t.clients(clients))
+        .transport(|t| t.protocol(protocol))
+        .instrumentation(|i| i.secs(seconds).trace_events(true))
+        .finish();
     let report = Scenario::run(&cfg);
     let log = report.event_log.as_ref().expect("tracing enabled");
 

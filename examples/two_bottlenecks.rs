@@ -120,10 +120,12 @@ fn main() {
                 let gap = sources[i].next_gap();
                 sched.schedule_after(gap, Event::Generate { flow });
             }
-            Event::Net(NetEvent::TxComplete { link }) => net.on_tx_complete(link, &mut sched),
-            Event::Net(NetEvent::Delivery { link, packet }) => {
+            Event::Net(NetEvent::TxComplete { link, epoch }) => {
+                net.on_tx_complete(link, epoch, &mut sched)
+            }
+            Event::Net(NetEvent::Delivery { link, epoch, packet }) => {
                 if let Delivered::ToHost { node, packet } =
-                    net.on_delivery(link, packet, &mut sched)
+                    net.on_delivery(link, epoch, packet, &mut sched)
                 {
                     let i = packet.flow.0 as usize;
                     match packet.kind {

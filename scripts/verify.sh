@@ -20,6 +20,15 @@ cargo test -q --offline -p tcpburst-core --test parallel_determinism
 # what makes the determinism tests pass.
 cargo test -q --offline -p tcpburst-core --test parallel_determinism -- --test-threads=1
 
+echo "==> fault injection: impaired runs stay deterministic"
+cargo test -q --offline -p tcpburst-core --test impair_determinism
+
+echo "==> fault injection: CLI smoke (flap + corruption + cross-traffic)"
+./target/release/tcpburst run --clients 10 --secs 5 \
+    --impair flap:500ms/2s,corrupt:1e-4,cross:100 | grep -q "impairments:"
+cargo run --release --offline --example faults -- --smoke > /dev/null
+echo "impaired run reported impairment counters; faults example ran"
+
 if [ "${BENCH:-1}" = "1" ]; then
     echo "==> event engine: bench_des smoke (calendar vs binary heap)"
     cargo run --release --offline --example bench_des -- --smoke
@@ -42,6 +51,9 @@ EOF
 
     echo "==> throughput: parallel sweep benchmark (writes BENCH_sweep.json)"
     cargo run --release --offline --example bench_sweep
+
+    echo "==> zero overhead: disabled impairments within 5% of BENCH_des.json"
+    cargo run --release --offline --example bench_des -- --regress
 fi
 
 echo "==> verify OK"

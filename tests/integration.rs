@@ -2,15 +2,17 @@
 //! traffic → core) wired together, checked for conservation laws, timer
 //! hygiene and reproducibility.
 
-use tcpburst_core::{GatewayKind, Protocol, Scenario, ScenarioConfig, SourceKind};
+use tcpburst_core::{GatewayKind, Protocol, Scenario, ScenarioBuilder, ScenarioConfig, SourceKind};
 use tcpburst_des::SimDuration;
 use tcpburst_traffic::ParetoOnOffConfig;
 use tcpburst_transport::TcpVariant;
 
 fn cfg(clients: usize, protocol: Protocol, secs: u64) -> ScenarioConfig {
-    let mut cfg = ScenarioConfig::paper(clients, protocol);
-    cfg.duration = SimDuration::from_secs(secs);
-    cfg
+    ScenarioBuilder::paper()
+        .topology(|t| t.clients(clients))
+        .transport(|t| t.protocol(protocol))
+        .instrumentation(|i| i.secs(secs))
+        .finish()
 }
 
 /// Every packet offered to the bottleneck queue is accounted for: it either

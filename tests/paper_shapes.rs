@@ -6,15 +6,18 @@
 //! EXPERIMENTS.md.
 
 use tcpburst_core::experiments::{cwnd_evolution, paper_traced_clients};
-use tcpburst_core::{Protocol, Scenario, ScenarioConfig};
+use tcpburst_core::{Protocol, Scenario, ScenarioBuilder};
 use tcpburst_des::{SimDuration, SimTime};
 use tcpburst_stats::RunningStats;
 
 const SECS: u64 = 25;
 
 fn run(clients: usize, protocol: Protocol) -> tcpburst_core::ScenarioReport {
-    let mut cfg = ScenarioConfig::paper(clients, protocol);
-    cfg.duration = SimDuration::from_secs(SECS);
+    let cfg = ScenarioBuilder::paper()
+        .topology(|t| t.clients(clients))
+        .transport(|t| t.protocol(protocol))
+        .instrumentation(|i| i.secs(SECS))
+        .finish();
     Scenario::run(&cfg)
 }
 
@@ -229,9 +232,11 @@ fn sec32_send_buffers_accumulate_under_congestion() {
 #[test]
 fn sec34_reno_loss_responses_synchronize_across_flows() {
     let synchrony_peak = |protocol| {
-        let mut cfg = ScenarioConfig::paper(50, protocol);
-        cfg.duration = SimDuration::from_secs(15);
-        cfg.trace_events = true;
+        let cfg = ScenarioBuilder::paper()
+            .topology(|t| t.clients(50))
+            .transport(|t| t.protocol(protocol))
+            .instrumentation(|i| i.secs(15).trace_events(true))
+            .finish();
         let r = Scenario::run(&cfg);
         let log = r.event_log.expect("tracing enabled");
         log.loss_response_synchrony(
