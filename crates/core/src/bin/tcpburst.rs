@@ -7,12 +7,18 @@
 //! [`ScenarioBuilder::CLI_FLAGS`], so the help can never go stale.
 
 use std::env;
+use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Duration;
 
 use tcpburst_core::experiments::{
-    cwnd_evolution_from, paper_traced_clients, table1, topology_ascii, Sweep,
+    cwnd_evolution_from, paper_traced_clients, table1, topology_ascii,
 };
-use tcpburst_core::{Protocol, ReplicatedSweep, Scenario, ScenarioBuilder};
+use tcpburst_des::SimDuration;
+use tcpburst_core::{
+    run_point, FailurePolicy, Protocol, ReplicatedSweep, RunBudget, RunError, ScenarioBuilder,
+    SupervisedSweep, SweepSupervisor,
+};
 
 fn usage() -> String {
     format!(
@@ -35,6 +41,23 @@ ORCHESTRATION:
     --seeds R              replications per grid point (from --seed up)
     --jobs N               worker threads; 0 = all cores
 
+ROBUSTNESS (supervision and watchdog budgets):
+    --keep-going           run every grid point; report failures at the end
+                           (default)
+    --fail-fast            stop claiming new points after the first failure
+    --retries N            budget-failure retries per point, doubling the
+                           budget each time (default 1)
+    --max-events N         abort a run after N scheduler events
+    --max-sim-secs S       abort a run after S simulated seconds
+    --max-wall-secs S      abort a run after S wall-clock seconds
+                           (budgets apply to `run` too: the partial report
+                           prints, marked PARTIAL RUN, and the exit is
+                           nonzero)
+    --journal PATH         append each completed sweep point to a JSONL
+                           journal (truncates PATH)
+    --resume PATH          skip points already in the journal; the output is
+                           byte-identical to an uninterrupted sweep
+
 PROTOCOLS:
     udp, reno, reno-red, vegas, vegas-red, reno-delayack, tahoe, newreno, sack
 
@@ -42,11 +65,14 @@ DEFAULTS:
     39 clients, reno, 30 s, seed 0x1CDC2000; sweeps use the paper's
     protocol set. Sweeps fan grid points across --jobs worker threads; the
     output is bit-identical for every --jobs value (--jobs 1 is fully
-    serial), with or without --impair.
+    serial), with or without --impair. Figure tables go to stdout; the
+    supervision summary and per-point failures go to stderr.
 
 EXAMPLES:
     tcpburst run --clients 39 --protocol reno --impair flap:3s/10s,corrupt:1e-5
     tcpburst sweep --clients 5,15,25,35,39 --secs 60 --jobs 0
+    tcpburst sweep --clients 5,15 --journal sweep.jsonl
+    tcpburst sweep --clients 5,15 --resume sweep.jsonl
 ",
         ScenarioBuilder::cli_help()
     )
@@ -60,6 +86,11 @@ struct Args {
     client_list: Vec<usize>,
     seeds: usize,
     jobs: usize,
+    policy: FailurePolicy,
+    retries: u32,
+    budget: RunBudget,
+    journal: Option<PathBuf>,
+    resume: Option<PathBuf>,
 }
 
 fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
@@ -69,6 +100,11 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
     let mut client_list = vec![5, 15, 25, 35, 39, 45, 60];
     let mut seeds = 5usize;
     let mut jobs = 0usize;
+    let mut policy = FailurePolicy::KeepGoing;
+    let mut retries = 1u32;
+    let mut budget = RunBudget::UNLIMITED;
+    let mut journal = None;
+    let mut resume = None;
     while let Some(flag) = argv.next() {
         match flag.as_str() {
             "--seeds" => {
@@ -82,6 +118,41 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
                 let v = argv.next().ok_or("--jobs requires a value")?;
                 jobs = v.parse().map_err(|e| format!("--jobs: {e}"))?;
             }
+            "--keep-going" => policy = FailurePolicy::KeepGoing,
+            "--fail-fast" => policy = FailurePolicy::FailFast,
+            "--retries" => {
+                let v = argv.next().ok_or("--retries requires a value")?;
+                retries = v.parse().map_err(|e| format!("--retries: {e}"))?;
+            }
+            "--max-events" => {
+                let v = argv.next().ok_or("--max-events requires a value")?;
+                let n: u64 = v.parse().map_err(|e| format!("--max-events: {e}"))?;
+                budget.max_events = Some(n);
+            }
+            "--max-sim-secs" => {
+                let v = argv.next().ok_or("--max-sim-secs requires a value")?;
+                let s: f64 = v.parse().map_err(|e| format!("--max-sim-secs: {e}"))?;
+                if !(s > 0.0) {
+                    return Err("--max-sim-secs must be positive".into());
+                }
+                budget.max_sim_time = Some(SimDuration::from_nanos((s * 1e9) as u64));
+            }
+            "--max-wall-secs" => {
+                let v = argv.next().ok_or("--max-wall-secs requires a value")?;
+                let s: f64 = v.parse().map_err(|e| format!("--max-wall-secs: {e}"))?;
+                if !(s >= 0.0) {
+                    return Err("--max-wall-secs must be non-negative".into());
+                }
+                budget.max_wall = Some(Duration::from_secs_f64(s));
+            }
+            "--journal" => {
+                let v = argv.next().ok_or("--journal requires a value")?;
+                journal = Some(PathBuf::from(v));
+            }
+            "--resume" => {
+                let v = argv.next().ok_or("--resume requires a value")?;
+                resume = Some(PathBuf::from(v));
+            }
             _ => {
                 let Some(spec) = ScenarioBuilder::flag_spec(&flag) else {
                     return Err(format!("unknown flag: {flag}"));
@@ -93,20 +164,20 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
                     ),
                     None => None,
                 };
-                // A comma list is the sweep axis, not one scenario's client
-                // count; the last entry still lands in the builder so `run`
-                // sees a sensible value.
+                // The --clients value doubles as the sweep axis; a single
+                // number is a one-point axis. The last entry still lands in
+                // the builder so `run` sees a sensible value.
                 if flag == "--clients" {
                     let v = value.as_deref().unwrap_or_default();
-                    if v.contains(',') {
-                        client_list = v
-                            .split(',')
-                            .map(|s| s.trim().parse().map_err(|e| format!("--clients: {e}")))
-                            .collect::<Result<_, _>>()?;
-                        let last = client_list.last().unwrap().to_string();
-                        builder.apply_cli_flag("--clients", Some(&last))?;
-                        continue;
-                    }
+                    client_list = v
+                        .split(',')
+                        .map(|s| s.trim().parse().map_err(|e| format!("--clients: {e}")))
+                        .collect::<Result<_, _>>()?;
+                    let Some(last) = client_list.last() else {
+                        return Err("--clients requires at least one count".into());
+                    };
+                    builder.apply_cli_flag("--clients", Some(&last.to_string()))?;
+                    continue;
                 }
                 if flag == "--protocol" {
                     protocol = value.as_deref().unwrap_or_default().parse()?;
@@ -115,6 +186,11 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
             }
         }
     }
+    if journal.is_some() && resume.is_some() {
+        return Err("--journal and --resume are mutually exclusive; \
+                    --resume already appends to the journal it resumes"
+            .into());
+    }
     let cfg = builder.try_finish()?;
     Ok(Args {
         cfg,
@@ -122,11 +198,27 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
         client_list,
         seeds,
         jobs,
+        policy,
+        retries,
+        budget,
+        journal,
+        resume,
     })
 }
 
-fn cmd_run(args: &Args) {
-    let r = Scenario::run(&args.cfg);
+fn cmd_run(args: &Args) -> Result<(), String> {
+    // A budget abort or audit failure still prints the (partial) report —
+    // that diagnostic is the whole point — and then fails the command.
+    let (r, failure) = match run_point(&args.cfg, &args.budget) {
+        Ok(r) => (r, None),
+        Err(RunError::BudgetExceeded { exceeded, report }) => {
+            (*report, Some(format!("{exceeded} budget exceeded")))
+        }
+        Err(RunError::InvariantViolation { violations, report }) => {
+            (*report, Some(format!("{} invariant violation(s)", violations.len())))
+        }
+        Err(e) => return Err(e.to_string()),
+    };
     let secs = args.cfg.duration.as_nanos() as f64 / 1e9;
     let mut headline = format!(
         "{} / {} clients / {secs} s",
@@ -153,34 +245,67 @@ fn cmd_run(args: &Args) {
         r.wall_clock_secs,
         r.events_per_sec()
     );
+    match failure {
+        None => Ok(()),
+        Some(msg) => Err(msg),
+    }
 }
 
-fn cmd_sweep(args: &Args) {
-    let sweep = Sweep::run_with_jobs_from(
-        &args.cfg,
-        &Protocol::PAPER_SET,
-        &args.client_list,
-        args.jobs,
-    );
-    println!("{}", sweep.fig2_cov_table());
-    println!("{}", sweep.fig3_throughput_table());
-    println!("{}", sweep.fig4_loss_table());
-    println!("{}", sweep.fig13_timeout_ratio_table());
+fn cmd_sweep(args: &Args) -> Result<(), String> {
+    let supervisor = SweepSupervisor::new(&args.cfg, &Protocol::PAPER_SET, &args.client_list)
+        .jobs(args.jobs)
+        .policy(args.policy)
+        .budget(args.budget)
+        .retries(args.retries);
+    let supervised: SupervisedSweep = match (&args.journal, &args.resume) {
+        (Some(path), None) => supervisor.run_with_journal(path).map_err(|e| e.to_string())?,
+        (None, Some(path)) => supervisor.resume_from(path).map_err(|e| e.to_string())?,
+        _ => supervisor.run(),
+    };
+    // Figure tables on stdout stay byte-identical whether the sweep ran
+    // fresh, journalled, or resumed; supervision bookkeeping goes to stderr.
+    println!("{}", supervised.sweep.fig2_cov_table());
+    println!("{}", supervised.sweep.fig3_throughput_table());
+    println!("{}", supervised.sweep.fig4_loss_table());
+    println!("{}", supervised.sweep.fig13_timeout_ratio_table());
+    if supervised.resumed_points > 0 {
+        eprintln!(
+            "resumed {} point(s) from journal, ran {} fresh",
+            supervised.resumed_points, supervised.completed_points
+        );
+    }
+    for f in &supervised.failures {
+        eprintln!("FAILED  {f}");
+    }
+    for p in &supervised.skipped {
+        eprintln!("SKIPPED {p} (fail-fast abort)");
+    }
+    if supervised.all_complete() {
+        Ok(())
+    } else {
+        Err(format!(
+            "{} point(s) failed, {} skipped",
+            supervised.failures.len(),
+            supervised.skipped.len()
+        ))
+    }
 }
 
-fn cmd_replicate(args: &Args) {
+fn cmd_replicate(args: &Args) -> Result<(), String> {
     let seeds: Vec<u64> = (0..args.seeds as u64).map(|i| args.cfg.seed + i).collect();
-    let sweep = ReplicatedSweep::run_with_jobs_from(
+    let sweep = ReplicatedSweep::try_run_with_jobs_from(
         &args.cfg,
         &Protocol::PAPER_SET,
         &args.client_list,
         &seeds,
         args.jobs,
-    );
+    )
+    .map_err(|f| format!("replicated sweep point failed: {f}"))?;
     println!("{}", sweep.fig2_cov_table());
     println!("{}", sweep.fig3_throughput_table());
     println!("{}", sweep.fig4_loss_table());
     println!("{}", sweep.fig13_ratio_table());
+    Ok(())
 }
 
 fn cmd_cwnd(args: &Args) {
@@ -207,21 +332,36 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    match cmd.as_str() {
+    let result = match cmd.as_str() {
         "run" => cmd_run(&args),
         "sweep" => cmd_sweep(&args),
         "replicate" => cmd_replicate(&args),
-        "cwnd" => cmd_cwnd(&args),
+        "cwnd" => {
+            cmd_cwnd(&args);
+            Ok(())
+        }
         "table1" => {
             println!("{}", table1());
             println!("{}", topology_ascii());
+            Ok(())
         }
-        "help" | "--help" | "-h" => print!("{}", usage()),
+        "help" | "--help" | "-h" => {
+            print!("{}", usage());
+            Ok(())
+        }
         other => {
             eprintln!("error: unknown command {other}\n");
             eprint!("{}", usage());
             return ExitCode::FAILURE;
         }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        // Runtime failures (point failures, journal I/O) are not usage
+        // errors: report them without re-printing the help.
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
     }
-    ExitCode::SUCCESS
 }

@@ -32,7 +32,7 @@ use tcpburst_net::{CapacityVariation, CrossTraffic, DelayVariation, Impairments,
 use tcpburst_traffic::ParetoOnOffConfig;
 use tcpburst_transport::VegasParams;
 
-use crate::config::{GatewayKind, Protocol, ScenarioConfig, SourceKind};
+use crate::config::{ConfigError, GatewayKind, Protocol, ScenarioConfig, SourceKind};
 
 /// Which builder stage owns a CLI flag.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -145,11 +145,11 @@ impl ScenarioBuilder {
     ///
     /// # Errors
     ///
-    /// Returns a description of the first inconsistency (currently only an
-    /// invalid impairment schedule can arise, since stage setters validate
-    /// eagerly).
-    pub fn try_finish(self) -> Result<ScenarioConfig, String> {
-        self.cfg.impair.validate()?;
+    /// Returns the first inconsistency as a typed [`ConfigError`]
+    /// (currently only an invalid impairment schedule can arise, since
+    /// stage setters validate eagerly).
+    pub fn try_finish(self) -> Result<ScenarioConfig, ConfigError> {
+        self.cfg.impair.validate().map_err(ConfigError::Impairments)?;
         Ok(self.cfg)
     }
 
@@ -171,7 +171,7 @@ impl ScenarioBuilder {
     /// `--clients` lists) are not scenario configuration and stay in the
     /// CLI proper.
     #[rustfmt::skip]
-    pub const CLI_FLAGS: [CliFlag; 14] = [
+    pub const CLI_FLAGS: [CliFlag; 15] = [
         CliFlag { name: "--clients", metavar: Some("N"), help: "number of clients M", stage: BuilderStage::Topology },
         CliFlag { name: "--spread", metavar: Some("F"), help: "heterogeneous-RTT spread factor (0 = paper)", stage: BuilderStage::Topology },
         CliFlag { name: "--buffer", metavar: Some("PKTS"), help: "gateway buffer size B", stage: BuilderStage::Topology },
@@ -186,6 +186,7 @@ impl ScenarioBuilder {
         CliFlag { name: "--seed", metavar: Some("K"), help: "master RNG seed", stage: BuilderStage::Instrumentation },
         CliFlag { name: "--queue", metavar: Some("BACKEND"), help: "event list: calendar or heap", stage: BuilderStage::Instrumentation },
         CliFlag { name: "--trace-events", metavar: None, help: "record the structured event timeline", stage: BuilderStage::Instrumentation },
+        CliFlag { name: "--audit", metavar: None, help: "end-of-run invariant audit (conservation, cwnd floor)", stage: BuilderStage::Instrumentation },
     ];
 
     /// Looks up a flag in [`ScenarioBuilder::CLI_FLAGS`]; the CLI uses this
@@ -201,25 +202,28 @@ impl ScenarioBuilder {
     ///
     /// # Errors
     ///
-    /// Returns a message when the flag is recognized but its value is
-    /// missing or malformed.
-    pub fn apply_cli_flag(&mut self, flag: &str, value: Option<&str>) -> Result<bool, String> {
+    /// Returns a typed [`ConfigError`] when the flag is recognized but its
+    /// value is missing or malformed.
+    pub fn apply_cli_flag(&mut self, flag: &str, value: Option<&str>) -> Result<bool, ConfigError> {
         let Some(spec) = Self::flag_spec(flag) else {
             return Ok(false);
         };
         if spec.metavar.is_some() && value.is_none() {
-            return Err(format!("{flag} requires a value"));
+            return Err(ConfigError::MissingValue(spec.name));
         }
         let v = value.unwrap_or_default();
+        // The stages take the table's `&'static` spelling, not the caller's
+        // transient `flag`, so errors can carry the flag name by reference.
+        let name = spec.name;
         match spec.stage {
-            BuilderStage::Topology => TopologyStage { cfg: &mut self.cfg }.apply_flag(flag, v)?,
-            BuilderStage::Workload => WorkloadStage { cfg: &mut self.cfg }.apply_flag(flag, v)?,
-            BuilderStage::Transport => TransportStage { cfg: &mut self.cfg }.apply_flag(flag, v)?,
+            BuilderStage::Topology => TopologyStage { cfg: &mut self.cfg }.apply_flag(name, v)?,
+            BuilderStage::Workload => WorkloadStage { cfg: &mut self.cfg }.apply_flag(name, v)?,
+            BuilderStage::Transport => TransportStage { cfg: &mut self.cfg }.apply_flag(name, v)?,
             BuilderStage::Impairments => {
-                ImpairmentStage { cfg: &mut self.cfg }.apply_flag(flag, v)?;
+                ImpairmentStage { cfg: &mut self.cfg }.apply_flag(name, v)?;
             }
             BuilderStage::Instrumentation => {
-                InstrumentationStage { cfg: &mut self.cfg }.apply_flag(flag, v)?;
+                InstrumentationStage { cfg: &mut self.cfg }.apply_flag(name, v)?;
             }
         }
         Ok(true)
@@ -251,11 +255,14 @@ impl ScenarioBuilder {
     }
 }
 
-fn parse_num<T: std::str::FromStr>(flag: &str, v: &str) -> Result<T, String>
+fn parse_num<T: std::str::FromStr>(flag: &'static str, v: &str) -> Result<T, ConfigError>
 where
     T::Err: std::fmt::Display,
 {
-    v.parse().map_err(|e| format!("{flag}: {e}"))
+    v.parse().map_err(|e| ConfigError::InvalidValue {
+        flag,
+        reason: format!("{e}"),
+    })
 }
 
 /// Topology stage: how many clients, link geometry, the gateway queue.
@@ -302,7 +309,7 @@ impl TopologyStage<'_> {
         self
     }
 
-    fn apply_flag(self, flag: &str, v: &str) -> Result<(), String> {
+    fn apply_flag(self, flag: &'static str, v: &str) -> Result<(), ConfigError> {
         match flag {
             "--clients" => {
                 let n = parse_num(flag, v)?;
@@ -359,7 +366,7 @@ impl WorkloadStage<'_> {
         self
     }
 
-    fn apply_flag(self, flag: &str, v: &str) -> Result<(), String> {
+    fn apply_flag(self, flag: &'static str, v: &str) -> Result<(), ConfigError> {
         match flag {
             "--rate" => {
                 let rate: f64 = parse_num(flag, v)?;
@@ -374,7 +381,12 @@ impl WorkloadStage<'_> {
                     "poisson" => SourceKind::Poisson { rate },
                     "cbr" => SourceKind::Cbr { rate },
                     "pareto" => SourceKind::ParetoOnOff(ParetoOnOffConfig::default()),
-                    other => return Err(format!("unknown source: {other}")),
+                    other => {
+                        return Err(ConfigError::InvalidValue {
+                            flag,
+                            reason: format!("unknown source: {other}"),
+                        })
+                    }
                 };
             }
             _ => unreachable!("flag table routed {flag} to the workload stage"),
@@ -421,7 +433,7 @@ impl TransportStage<'_> {
         self
     }
 
-    fn apply_flag(self, flag: &str, v: &str) -> Result<(), String> {
+    fn apply_flag(self, flag: &'static str, v: &str) -> Result<(), ConfigError> {
         match flag {
             "--protocol" => {
                 let p: Protocol = v.parse()?;
@@ -488,13 +500,14 @@ impl ImpairmentStage<'_> {
     ///
     /// # Errors
     ///
-    /// Returns a description of the first malformed clause.
-    pub fn spec(self, spec: &str) -> Result<Self, String> {
-        self.cfg.impair = Impairments::parse(spec)?;
+    /// Returns the first malformed clause as
+    /// [`ConfigError::Impairments`].
+    pub fn spec(self, spec: &str) -> Result<Self, ConfigError> {
+        self.cfg.impair = Impairments::parse(spec).map_err(ConfigError::Impairments)?;
         Ok(self)
     }
 
-    fn apply_flag(self, flag: &str, v: &str) -> Result<(), String> {
+    fn apply_flag(self, flag: &'static str, v: &str) -> Result<(), ConfigError> {
         match flag {
             "--impair" => {
                 self.spec(v)?;
@@ -560,7 +573,14 @@ impl InstrumentationStage<'_> {
         self
     }
 
-    fn apply_flag(self, flag: &str, v: &str) -> Result<(), String> {
+    /// Run the end-of-run invariant auditor (see
+    /// [`ScenarioConfig::audit`]).
+    pub fn audit(self, on: bool) -> Self {
+        self.cfg.audit = on;
+        self
+    }
+
+    fn apply_flag(self, flag: &'static str, v: &str) -> Result<(), ConfigError> {
         match flag {
             "--secs" => {
                 let s = parse_num(flag, v)?;
@@ -569,7 +589,10 @@ impl InstrumentationStage<'_> {
             "--warmup" => {
                 let s: f64 = parse_num(flag, v)?;
                 if !(s >= 0.0 && s.is_finite()) {
-                    return Err(format!("--warmup: {s} must be non-negative"));
+                    return Err(ConfigError::InvalidValue {
+                        flag,
+                        reason: format!("{s} must be non-negative"),
+                    });
                 }
                 self.warmup(SimDuration::from_nanos((s * 1e9).round() as u64));
             }
@@ -581,12 +604,20 @@ impl InstrumentationStage<'_> {
                 let backend = match v {
                     "calendar" => QueueBackend::Calendar,
                     "heap" => QueueBackend::BinaryHeap,
-                    other => return Err(format!("unknown queue backend: {other}")),
+                    other => {
+                        return Err(ConfigError::InvalidValue {
+                            flag,
+                            reason: format!("unknown queue backend: {other}"),
+                        })
+                    }
                 };
                 self.queue(backend);
             }
             "--trace-events" => {
                 self.trace_events(true);
+            }
+            "--audit" => {
+                self.audit(true);
             }
             _ => unreachable!("flag table routed {flag} to the instrumentation stage"),
         }
@@ -640,6 +671,7 @@ mod tests {
         assert!(b.apply_cli_flag("--secs", Some("7")).unwrap());
         assert!(b.apply_cli_flag("--queue", Some("heap")).unwrap());
         assert!(b.apply_cli_flag("--ecn", None).unwrap());
+        assert!(b.apply_cli_flag("--audit", None).unwrap());
         assert!(!b.apply_cli_flag("--jobs", Some("4")).unwrap());
         let cfg = b.finish();
         assert_eq!(cfg.num_clients, 17);
@@ -649,6 +681,7 @@ mod tests {
         assert_eq!(cfg.duration, SimDuration::from_secs(7));
         assert_eq!(cfg.queue, QueueBackend::BinaryHeap);
         assert!(cfg.ecn);
+        assert!(cfg.audit);
     }
 
     #[test]
@@ -657,10 +690,12 @@ mod tests {
         assert!(b
             .apply_cli_flag("--clients", None)
             .unwrap_err()
+            .to_string()
             .contains("--clients"));
         assert!(b
             .apply_cli_flag("--clients", Some("x"))
             .unwrap_err()
+            .to_string()
             .contains("--clients"));
         assert!(b.apply_cli_flag("--impair", Some("warp:9")).is_err());
         assert!(b.apply_cli_flag("--queue", Some("splay")).is_err());
@@ -674,7 +709,7 @@ mod tests {
             .impairments(|i| i.set(impair))
             .try_finish()
             .unwrap_err();
-        assert!(err.contains("corrupt"));
+        assert!(err.to_string().contains("corrupt"));
     }
 
     #[test]

@@ -1,12 +1,59 @@
 //! Scenario configuration: the reconstructed Table 1 plus every knob the
 //! ablation benches turn.
 
+use std::fmt;
 use std::str::FromStr;
 
 use tcpburst_des::{QueueBackend, SimDuration};
 use tcpburst_net::{AdaptiveRedParams, DumbbellConfig, Impairments, QueueSpec, RedParams};
 use tcpburst_traffic::ParetoOnOffConfig;
 use tcpburst_transport::{TcpConfig, TcpVariant, VegasParams};
+
+/// A configuration or CLI-parsing problem, reported instead of panicking.
+///
+/// Every fallible path through [`ScenarioBuilder`](crate::ScenarioBuilder)
+/// and [`Protocol::from_str`] surfaces one of these variants; the CLI
+/// renders them via [`fmt::Display`]. True invariants (a mis-built
+/// topology, a UDP scenario asking for a TCP config) stay panics — they
+/// are programming errors, not user input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// A flag the builder does not recognize.
+    UnknownFlag(String),
+    /// A flag that requires a value got none.
+    MissingValue(&'static str),
+    /// A flag's value failed to parse or is out of range.
+    InvalidValue {
+        /// The flag as typed, e.g. `--clients`.
+        flag: &'static str,
+        /// Why the value was rejected.
+        reason: String,
+    },
+    /// A protocol name outside the CLI spellings.
+    UnknownProtocol(String),
+    /// The impairment schedule failed to parse or validate.
+    Impairments(String),
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::UnknownFlag(flag) => write!(f, "unknown flag: {flag}"),
+            ConfigError::MissingValue(flag) => write!(f, "{flag} requires a value"),
+            ConfigError::InvalidValue { flag, reason } => write!(f, "{flag}: {reason}"),
+            ConfigError::UnknownProtocol(name) => write!(f, "unknown protocol: {name}"),
+            ConfigError::Impairments(reason) => write!(f, "{reason}"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl From<ConfigError> for String {
+    fn from(e: ConfigError) -> String {
+        e.to_string()
+    }
+}
 
 /// The paper's simulation parameters (Table 1), as reconstructed in
 /// DESIGN.md. All digits lost to the source transcription were recovered
@@ -184,6 +231,24 @@ impl Protocol {
         }
     }
 
+    /// The CLI spelling of this protocol — the exact string
+    /// [`Protocol::from_str`] accepts, so it round-trips through run
+    /// journals and scripts (unlike [`Protocol::label`], whose `Reno/RED`
+    /// style does not parse back).
+    pub fn cli_name(self) -> &'static str {
+        match self {
+            Protocol::Udp => "udp",
+            Protocol::Reno => "reno",
+            Protocol::RenoRed => "reno-red",
+            Protocol::Vegas => "vegas",
+            Protocol::VegasRed => "vegas-red",
+            Protocol::RenoDelayAck => "reno-delayack",
+            Protocol::Tahoe => "tahoe",
+            Protocol::NewReno => "newreno",
+            Protocol::Sack => "sack",
+        }
+    }
+
     /// The transport this protocol runs.
     pub fn transport(self) -> TransportKind {
         match self {
@@ -213,7 +278,7 @@ impl Protocol {
 }
 
 impl FromStr for Protocol {
-    type Err = String;
+    type Err = ConfigError;
 
     /// Parses the CLI spelling: `udp`, `reno`, `reno-red`, `vegas`,
     /// `vegas-red`, `reno-delayack`, `tahoe`, `newreno`, `sack`.
@@ -228,7 +293,7 @@ impl FromStr for Protocol {
             "tahoe" => Protocol::Tahoe,
             "newreno" => Protocol::NewReno,
             "sack" => Protocol::Sack,
-            other => return Err(format!("unknown protocol: {other}")),
+            other => return Err(ConfigError::UnknownProtocol(other.to_string())),
         })
     }
 }
@@ -285,6 +350,13 @@ pub struct ScenarioConfig {
     /// retransmits, ECN cuts); capped at [`ScenarioConfig::EVENT_LOG_CAP`]
     /// entries.
     pub trace_events: bool,
+    /// Run the end-of-run invariant auditor: packet conservation across
+    /// every queue and wire, non-negative occupancy, monotone clock,
+    /// cwnd ≥ 1 MSS. Violations land in
+    /// [`ScenarioReport::audit`](crate::ScenarioReport) as structured
+    /// counters. Off by default — the audited run loop tracks clock
+    /// monotonicity, which the zero-overhead hot path skips.
+    pub audit: bool,
 }
 
 impl ScenarioConfig {
@@ -335,6 +407,7 @@ impl ScenarioConfig {
             queue: QueueBackend::Calendar,
             trace_cwnd: false,
             trace_events: false,
+            audit: false,
         }
     }
 
@@ -458,7 +531,39 @@ mod tests {
         assert_eq!("reno".parse::<Protocol>(), Ok(Protocol::Reno));
         assert_eq!("vegas-red".parse::<Protocol>(), Ok(Protocol::VegasRed));
         assert_eq!("reno-delayack".parse::<Protocol>(), Ok(Protocol::RenoDelayAck));
-        assert!("cubic".parse::<Protocol>().is_err());
+        assert_eq!(
+            "cubic".parse::<Protocol>(),
+            Err(ConfigError::UnknownProtocol("cubic".into()))
+        );
+    }
+
+    #[test]
+    fn cli_names_round_trip_through_from_str() {
+        for p in [
+            Protocol::Udp,
+            Protocol::Reno,
+            Protocol::RenoRed,
+            Protocol::Vegas,
+            Protocol::VegasRed,
+            Protocol::RenoDelayAck,
+            Protocol::Tahoe,
+            Protocol::NewReno,
+            Protocol::Sack,
+        ] {
+            assert_eq!(p.cli_name().parse::<Protocol>(), Ok(p));
+        }
+    }
+
+    #[test]
+    fn config_errors_render_the_offending_input() {
+        let e = ConfigError::InvalidValue {
+            flag: "--clients",
+            reason: "invalid digit".into(),
+        };
+        assert!(e.to_string().contains("--clients"));
+        assert!(ConfigError::MissingValue("--seed").to_string().contains("--seed"));
+        let s: String = ConfigError::UnknownProtocol("cubic".into()).into();
+        assert!(s.contains("cubic"));
     }
 
     #[test]

@@ -45,6 +45,19 @@ pub struct Sweep {
     clients: Vec<usize>,
 }
 
+/// The canonical (protocol-major, clients-minor) flattening of the sweep
+/// grid, shared by [`Sweep`] and the sweep supervisor so journalled and
+/// freshly-run points index identically.
+pub(crate) fn canonical_grid(
+    protocols: &[Protocol],
+    clients: &[usize],
+) -> Vec<(Protocol, usize)> {
+    protocols
+        .iter()
+        .flat_map(|&p| clients.iter().map(move |&n| (p, n)))
+        .collect()
+}
+
 impl Sweep {
     /// Runs every (protocol, clients) combination for `duration` simulated
     /// seconds with the given master seed, fanned across all available
@@ -104,10 +117,7 @@ impl Sweep {
     ) -> Self {
         assert!(!protocols.is_empty(), "need at least one protocol");
         assert!(!clients.is_empty(), "need at least one client count");
-        let grid: Vec<(Protocol, usize)> = protocols
-            .iter()
-            .flat_map(|&p| clients.iter().map(move |&n| (p, n)))
-            .collect();
+        let grid = canonical_grid(protocols, clients);
         let cells = crate::parallel::run_indexed(jobs, grid.len(), |i| {
             let (p, n) = grid[i];
             let mut cfg = *base;
@@ -119,10 +129,22 @@ impl Sweep {
                 report: Scenario::run(&cfg),
             }
         });
+        Sweep::from_cells(cells, protocols.to_vec(), clients.to_vec())
+    }
+
+    /// Assembles a sweep from already-computed cells (typically from the
+    /// supervisor, where failed grid points leave holes). Cells must be in
+    /// canonical (protocol-major, clients-minor) order; missing points
+    /// render as `-` in every figure table.
+    pub fn from_cells(
+        cells: Vec<SweepCell>,
+        protocols: Vec<Protocol>,
+        clients: Vec<usize>,
+    ) -> Self {
         Sweep {
             cells,
-            protocols: protocols.to_vec(),
-            clients: clients.to_vec(),
+            protocols,
+            clients,
         }
     }
 

@@ -64,19 +64,27 @@ mod profile;
 mod replicate;
 mod report;
 mod scenario;
+pub mod supervise;
 mod trace;
 
 pub use builder::{
     BuilderStage, CliFlag, ImpairmentStage, InstrumentationStage, ScenarioBuilder, TopologyStage,
     TransportStage, WorkloadStage,
 };
-pub use config::{GatewayKind, PaperParams, Protocol, ScenarioConfig, SourceKind, TransportKind};
+pub use config::{
+    ConfigError, GatewayKind, PaperParams, Protocol, ScenarioConfig, SourceKind, TransportKind,
+};
 pub use event::{Event, ImpairEvent};
-pub use parallel::{available_jobs, run_indexed};
+pub use parallel::{available_jobs, run_indexed, run_indexed_partial, PartialResults};
 pub use profile::{DispatchProfile, EventClassStats, TimerReport};
 pub use replicate::{ReplicatedCell, ReplicatedSweep};
 pub use report::{FlowReport, ImpairmentReport, ScenarioReport};
 pub use scenario::Scenario;
+pub use supervise::{
+    run_point, AuditReport, ExceededBudget, FailurePolicy, InvariantViolation, JournalEntry,
+    PointFailure, PointOutcome, RunBudget, RunError, RunJournal, SupervisedSweep, Supervisor,
+    SweepPoint, SweepSupervisor,
+};
 pub use trace::{EventLog, TraceEvent, TraceKind};
 
 pub use tcpburst_net::Impairments;

@@ -11,7 +11,20 @@ use tcpburst_des::SimDuration;
 use tcpburst_stats::RunningStats;
 
 use crate::config::{Protocol, ScenarioConfig};
-use crate::scenario::Scenario;
+use crate::supervise::{
+    run_point, FailurePolicy, PointFailure, PointOutcome, RunBudget, Supervisor, SweepPoint,
+};
+
+/// Just the per-run numbers the fold needs — workers return this instead
+/// of the full [`ScenarioReport`](crate::ScenarioReport) so a wide seed
+/// axis does not hold every flow table and bin vector alive at once.
+struct RunSample {
+    cov: f64,
+    poisson_cov: f64,
+    delivered: f64,
+    loss_percent: f64,
+    timeout_ratio: f64,
+}
 
 /// Aggregated metrics of one (protocol, clients) grid point across seeds.
 #[derive(Debug, Clone)]
@@ -98,20 +111,32 @@ impl ReplicatedSweep {
         seeds: &[u64],
         jobs: usize,
     ) -> Self {
+        match Self::try_run_with_jobs_from(base, protocols, clients, seeds, jobs) {
+            Ok(sweep) => sweep,
+            Err(failure) => panic!("replicated sweep point failed: {failure}"),
+        }
+    }
+
+    /// Like [`ReplicatedSweep::run_with_jobs_from`], but every grid point
+    /// runs under the sweep supervisor: a panicking or audit-failing point
+    /// surfaces as a typed [`PointFailure`] instead of unwinding the pool
+    /// and discarding the other runs' work. The confidence-interval fold
+    /// needs every sample, so the first failure (in canonical grid order)
+    /// fails the whole replication.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any axis or the seed list is empty.
+    pub fn try_run_with_jobs_from(
+        base: &ScenarioConfig,
+        protocols: &[Protocol],
+        clients: &[usize],
+        seeds: &[u64],
+        jobs: usize,
+    ) -> Result<Self, PointFailure> {
         assert!(!protocols.is_empty(), "need at least one protocol");
         assert!(!clients.is_empty(), "need at least one client count");
         assert!(!seeds.is_empty(), "need at least one seed");
-
-        /// Just the per-run numbers the fold needs — workers return this
-        /// instead of the full [`ScenarioReport`] so a wide seed axis does
-        /// not hold every flow table and bin vector alive at once.
-        struct RunSample {
-            cov: f64,
-            poisson_cov: f64,
-            delivered: f64,
-            loss_percent: f64,
-            timeout_ratio: f64,
-        }
 
         let grid: Vec<(Protocol, usize, u64)> = protocols
             .iter()
@@ -121,21 +146,45 @@ impl ReplicatedSweep {
                     .flat_map(move |&n| seeds.iter().map(move |&s| (p, n, s)))
             })
             .collect();
-        let samples = crate::parallel::run_indexed(jobs, grid.len(), |i| {
+        let supervisor = Supervisor {
+            jobs,
+            policy: FailurePolicy::KeepGoing,
+            budget: RunBudget::UNLIMITED,
+            retries: 0,
+        };
+        let outcomes = supervisor.run_grid(grid.len(), |i, budget| {
             let (p, n, seed) = grid[i];
             let mut cfg = *base;
             cfg.num_clients = n;
             cfg.apply_protocol(p);
             cfg.seed = seed;
-            let r = Scenario::run(&cfg);
-            RunSample {
+            let r = run_point(&cfg, budget)?;
+            Ok(RunSample {
                 cov: r.cov,
                 poisson_cov: r.poisson_cov,
                 delivered: r.delivered_packets as f64,
                 loss_percent: r.loss_percent,
                 timeout_ratio: r.timeout_dupack_ratio(),
-            }
+            })
         });
+        let mut samples = Vec::with_capacity(outcomes.len());
+        for (i, outcome) in outcomes.into_iter().enumerate() {
+            let (protocol, clients, seed) = grid[i];
+            match outcome {
+                PointOutcome::Done(sample) => samples.push(sample),
+                PointOutcome::Failed(error) => {
+                    return Err(PointFailure {
+                        point: SweepPoint {
+                            protocol,
+                            clients,
+                            seed,
+                        },
+                        error,
+                    })
+                }
+                PointOutcome::Skipped => unreachable!("keep-going never skips"),
+            }
+        }
 
         let mut cells = Vec::with_capacity(protocols.len() * clients.len());
         let mut sample_iter = samples.into_iter();
@@ -165,12 +214,12 @@ impl ReplicatedSweep {
                 });
             }
         }
-        ReplicatedSweep {
+        Ok(ReplicatedSweep {
             cells,
             protocols: protocols.to_vec(),
             clients: clients.to_vec(),
             replications: seeds.len(),
-        }
+        })
     }
 
     /// Number of seeds each point was run with.

@@ -15,6 +15,7 @@ use crate::config::{ScenarioConfig, SourceKind, TransportKind};
 use crate::event::{Event, ImpairEvent};
 use crate::profile::{DispatchProfile, ProfClock, TimerReport};
 use crate::report::{FlowReport, ImpairmentReport, ScenarioReport};
+use crate::supervise::{AuditReport, ExceededBudget, InvariantViolation, RunBudget};
 use crate::trace::{EventLog, TraceKind};
 
 /// RNG stream index for cross-traffic inter-arrival gaps; client streams
@@ -105,6 +106,15 @@ pub struct Scenario {
     wall_clock: std::time::Duration,
     /// Impairment-schedule state; `None` on healthy runs.
     impair_rt: Option<Box<ImpairRuntime>>,
+    /// Packets handed to the network (endpoint segments, ACKs and
+    /// cross-traffic) — the left side of the audit's conservation identity.
+    injected: u64,
+    /// Packets the network delivered to any host endpoint.
+    host_delivered: u64,
+    /// First non-monotone clock step seen (tracked only under `audit`).
+    clock_violation: Option<(SimTime, SimTime)>,
+    /// Which watchdog budget aborted the run, if any.
+    budget_exceeded: Option<ExceededBudget>,
 }
 
 impl Scenario {
@@ -214,6 +224,10 @@ impl Scenario {
             stale_fired: 0,
             wall_clock: std::time::Duration::ZERO,
             impair_rt,
+            injected: 0,
+            host_delivered: 0,
+            clock_violation: None,
+            budget_exceeded: None,
         };
         // Prime every client's first generation event.
         for i in 0..scenario.cfg.num_clients {
@@ -272,12 +286,79 @@ impl Scenario {
 
     /// Drives the event loop until the configured duration.
     pub fn run_to_completion(&mut self) {
+        self.run_with_budget(&RunBudget::UNLIMITED);
+    }
+
+    /// Drives the event loop until the configured duration or until a
+    /// watchdog limit fires, whichever comes first. Returns which budget
+    /// aborted the run (`None` when the run completed); an aborted
+    /// scenario still yields a full diagnostic report via
+    /// [`Scenario::into_report`], with
+    /// [`budget_exceeded`](ScenarioReport::budget_exceeded) set.
+    ///
+    /// With no limits set and auditing off, this is the exact unmodified
+    /// hot loop — sweeps that opt into nothing pay for nothing.
+    pub fn run_with_budget(&mut self, budget: &RunBudget) -> Option<ExceededBudget> {
         let started = std::time::Instant::now();
         let horizon = SimTime::ZERO + self.cfg.duration;
-        while let Some((_, event)) = self.sched.pop_until(horizon) {
+
+        if budget.is_unlimited() && !self.cfg.audit {
+            while let Some((_, event)) = self.sched.pop_until(horizon) {
+                self.dispatch(event);
+            }
+            self.wall_clock += started.elapsed();
+            return None;
+        }
+
+        let sim_horizon = match budget.max_sim_time {
+            Some(cap) => horizon.min(SimTime::ZERO + cap),
+            None => horizon,
+        };
+        let mut tripped = None;
+        let mut last_t = self.sched.now();
+        let mut since_wall_check = 0u32;
+        while let Some((t, event)) = self.sched.pop_until(sim_horizon) {
+            if self.cfg.audit && t < last_t && self.clock_violation.is_none() {
+                self.clock_violation = Some((last_t, t));
+            }
+            last_t = t;
             self.dispatch(event);
+            if let Some(max) = budget.max_events {
+                if self.sched.processed() >= max {
+                    tripped = Some(ExceededBudget::Events);
+                    break;
+                }
+            }
+            if let Some(max) = budget.max_wall {
+                since_wall_check += 1;
+                // Checking the host clock per event would dominate the
+                // loop; every few thousand events bounds the overshoot at
+                // microseconds while keeping the hot path branch-cheap.
+                if since_wall_check >= 4096 || max.is_zero() {
+                    since_wall_check = 0;
+                    if started.elapsed() >= max {
+                        tripped = Some(ExceededBudget::WallClock);
+                        break;
+                    }
+                }
+            }
         }
         self.wall_clock += started.elapsed();
+
+        // A limit only counts as *exceeded* if the simulation still had
+        // work left inside the configured horizon — a run that hits its
+        // event cap on its very last event simply finished.
+        let more_pending = self
+            .sched
+            .peek_time()
+            .is_some_and(|t| t <= horizon);
+        self.budget_exceeded = match tripped {
+            Some(e) if more_pending => Some(e),
+            Some(_) => None,
+            None if sim_horizon < horizon && more_pending => Some(ExceededBudget::SimTime),
+            None => None,
+        };
+        self.budget_exceeded
     }
 
     fn dispatch(&mut self, event: Event) {
@@ -401,6 +482,7 @@ impl Scenario {
                     ecn: Ecn::NotCapable,
                 };
                 rt.counters.cross_injected += 1;
+                self.injected += 1;
                 self.db.network.inject(pkt, &mut self.sched);
                 let gap = x.source.next_gap();
                 self.sched
@@ -428,6 +510,7 @@ impl Scenario {
     }
 
     fn on_host_delivery(&mut self, at_server: bool, packet: Packet) {
+        self.host_delivered += 1;
         if packet.flow == CROSS_TRAFFIC_FLOW {
             // Background datagrams carry no transport state; count and drop.
             if let Some(rt) = self.impair_rt.as_mut() {
@@ -507,14 +590,142 @@ impl Scenario {
     fn flush_outbox(&mut self) {
         // FIFO: a burst of segments must hit the wire in sequence order.
         let mut pkts = std::mem::take(&mut self.outbox);
+        self.injected += pkts.len() as u64;
         for pkt in pkts.drain(..) {
             self.db.network.inject(pkt, &mut self.sched);
         }
         self.outbox = pkts; // keep the allocation
     }
 
+    /// End-of-run invariant audit: checks the per-link and global packet
+    /// conservation identities, non-negative occupancy, the cwnd floor,
+    /// app-layer accounting and clock monotonicity.
+    fn run_audit(&self) -> AuditReport {
+        let end = self.sched.now();
+        let net = &self.db.network;
+        let mut violations = Vec::new();
+        let mut queue_drops = 0u64;
+        let mut wire_lost = 0u64;
+        let mut queued_at_end = 0u64;
+        let mut in_flight_at_end = 0u64;
+
+        for id in 0..net.link_count() {
+            let link = net.link(tcpburst_net::LinkId(id as u32));
+            let q = link.queue().stats();
+            let len = link.queue().len() as u64;
+            if q.arrivals != q.departures + q.drops_total() + len {
+                violations.push(InvariantViolation {
+                    invariant: "queue-conservation",
+                    detail: format!(
+                        "link {id}: arrivals {} != departures {} + drops {} + backlog {len}",
+                        q.arrivals,
+                        q.departures,
+                        q.drops_total()
+                    ),
+                });
+            }
+            let s = link.stats();
+            if q.departures != s.packets_tx {
+                violations.push(InvariantViolation {
+                    invariant: "queue-wire-coupling",
+                    detail: format!(
+                        "link {id}: {} queue departures but {} wire transmissions",
+                        q.departures, s.packets_tx
+                    ),
+                });
+            }
+            let flight = s.packets_tx as i128
+                - s.arrived as i128
+                - s.lost_in_flight as i128
+                - s.corrupted as i128;
+            if flight < 0 {
+                violations.push(InvariantViolation {
+                    invariant: "wire-conservation",
+                    detail: format!(
+                        "link {id}: tx {} < arrived {} + lost {} + corrupted {} \
+                         (negative in-flight residual {flight})",
+                        s.packets_tx, s.arrived, s.lost_in_flight, s.corrupted
+                    ),
+                });
+            }
+            let avg = link.queue().occupancy().average(end, link.queue().len());
+            if !(avg >= 0.0) {
+                violations.push(InvariantViolation {
+                    invariant: "occupancy-non-negative",
+                    detail: format!("link {id}: time-weighted average backlog {avg}"),
+                });
+            }
+            queue_drops += q.drops_total();
+            wire_lost += s.lost_in_flight + s.corrupted;
+            queued_at_end += len;
+            in_flight_at_end += flight.max(0) as u64;
+        }
+
+        let accounted =
+            self.host_delivered + queue_drops + wire_lost + queued_at_end + in_flight_at_end;
+        if self.injected != accounted {
+            violations.push(InvariantViolation {
+                invariant: "packet-conservation",
+                detail: format!(
+                    "injected {} != delivered {} + drops {queue_drops} + wire-lost \
+                     {wire_lost} + queued {queued_at_end} + in-flight {in_flight_at_end} \
+                     (= {accounted})",
+                    self.injected, self.host_delivered
+                ),
+            });
+        }
+
+        let submitted: u64 = self
+            .clients
+            .iter()
+            .map(|c| match c {
+                ClientEndpoint::Tcp(tx) => tx.counters().app_packets_submitted,
+                ClientEndpoint::Udp(udp) => udp.packets_sent(),
+            })
+            .sum();
+        if self.generated != submitted {
+            violations.push(InvariantViolation {
+                invariant: "app-conservation",
+                detail: format!(
+                    "{} packets generated but {submitted} submitted to transports",
+                    self.generated
+                ),
+            });
+        }
+
+        for (i, c) in self.clients.iter().enumerate() {
+            if let ClientEndpoint::Tcp(tx) = c {
+                let cwnd = tx.cwnd();
+                if !(cwnd >= 1.0) {
+                    violations.push(InvariantViolation {
+                        invariant: "cwnd-floor",
+                        detail: format!("client {i}: cwnd {cwnd} below 1 MSS"),
+                    });
+                }
+            }
+        }
+
+        if let Some((prev, t)) = self.clock_violation {
+            violations.push(InvariantViolation {
+                invariant: "monotone-clock",
+                detail: format!("clock stepped backwards from {prev:?} to {t:?}"),
+            });
+        }
+
+        AuditReport {
+            injected: self.injected,
+            host_delivered: self.host_delivered,
+            queue_drops,
+            wire_lost,
+            queued_at_end,
+            in_flight_at_end,
+            violations,
+        }
+    }
+
     /// Collects the final report (consumes the scenario).
     pub fn into_report(self) -> ScenarioReport {
+        let audit = self.cfg.audit.then(|| self.run_audit());
         let cfg = self.cfg;
         let end = SimTime::ZERO + cfg.duration;
         let bins = self.probe.finish(end);
@@ -601,6 +812,8 @@ impl Scenario {
                 .impair_rt
                 .map(|rt| rt.counters)
                 .unwrap_or_default(),
+            audit,
+            budget_exceeded: self.budget_exceeded,
         }
     }
 }
@@ -611,11 +824,13 @@ mod tests {
     use crate::builder::ScenarioBuilder;
     use crate::config::Protocol;
 
+    /// Test scenarios run with the invariant auditor on: every test run
+    /// doubles as a conservation check.
     fn quick_cfg(protocol: Protocol, clients: usize, secs: u64) -> ScenarioConfig {
         ScenarioBuilder::paper()
             .topology(|t| t.clients(clients))
             .transport(|t| t.protocol(protocol))
-            .instrumentation(|i| i.secs(secs))
+            .instrumentation(|i| i.secs(secs).audit(true))
             .finish()
     }
 
@@ -815,6 +1030,97 @@ mod tests {
         // Cross datagrams never appear in per-flow goodput.
         let per_flow: u64 = r.flows.iter().map(|f| f.delivered).sum();
         assert_eq!(per_flow, r.delivered_packets);
+    }
+
+    #[test]
+    fn audit_passes_and_conservation_holds_exactly() {
+        for protocol in [Protocol::Udp, Protocol::Reno, Protocol::VegasRed] {
+            let r = quick(protocol, 20, 10);
+            let audit = r.audit.as_ref().expect("audit enabled in tests");
+            assert!(audit.passed(), "{protocol:?}: {audit}");
+            assert_eq!(
+                audit.injected,
+                audit.host_delivered
+                    + audit.queue_drops
+                    + audit.wire_lost
+                    + audit.queued_at_end
+                    + audit.in_flight_at_end,
+                "{protocol:?}"
+            );
+            assert!(audit.injected > 0);
+        }
+    }
+
+    #[test]
+    fn audit_passes_under_combined_impairments() {
+        let cfg = ScenarioBuilder::from_config(quick_cfg(Protocol::Reno, 10, 10))
+            .impairments(|i| {
+                i.flap(SimDuration::from_millis(500), SimDuration::from_secs(2))
+                    .corrupt(1e-3)
+                    .cross(200.0, 1500)
+            })
+            .finish();
+        let r = Scenario::run(&cfg);
+        let audit = r.audit.as_ref().expect("audit enabled");
+        assert!(audit.passed(), "{audit}");
+        assert!(audit.wire_lost > 0, "flaps and corruption lose packets");
+    }
+
+    #[test]
+    fn audit_does_not_change_the_simulation() {
+        let mut cfg = quick_cfg(Protocol::Reno, 15, 10);
+        cfg.audit = false;
+        let plain = Scenario::run(&cfg);
+        cfg.audit = true;
+        let audited = Scenario::run(&cfg);
+        assert!(plain.audit.is_none());
+        assert_eq!(plain.cov, audited.cov);
+        assert_eq!(plain.delivered_packets, audited.delivered_packets);
+        assert_eq!(plain.events_processed, audited.events_processed);
+    }
+
+    #[test]
+    fn event_budget_aborts_into_partial_report() {
+        let cfg = quick_cfg(Protocol::Reno, 10, 30);
+        let budget = RunBudget {
+            max_events: Some(500),
+            ..RunBudget::UNLIMITED
+        };
+        let mut s = Scenario::new(&cfg);
+        let exceeded = s.run_with_budget(&budget);
+        assert_eq!(exceeded, Some(ExceededBudget::Events));
+        let r = s.into_report();
+        assert_eq!(r.budget_exceeded, Some(ExceededBudget::Events));
+        assert_eq!(r.events_processed, 500);
+        assert!(r.to_string().contains("PARTIAL RUN"));
+    }
+
+    #[test]
+    fn sim_time_budget_truncates_the_horizon() {
+        let cfg = quick_cfg(Protocol::Reno, 5, 20);
+        let budget = RunBudget {
+            max_sim_time: Some(SimDuration::from_secs(2)),
+            ..RunBudget::UNLIMITED
+        };
+        let mut s = Scenario::new(&cfg);
+        let exceeded = s.run_with_budget(&budget);
+        assert_eq!(exceeded, Some(ExceededBudget::SimTime));
+        assert_eq!(s.now(), SimTime::ZERO + SimDuration::from_secs(2));
+    }
+
+    #[test]
+    fn generous_budget_is_not_exceeded() {
+        let cfg = quick_cfg(Protocol::Udp, 3, 2);
+        let budget = RunBudget {
+            max_events: Some(u64::MAX),
+            max_sim_time: Some(SimDuration::from_secs(1000)),
+            ..RunBudget::UNLIMITED
+        };
+        let mut s = Scenario::new(&cfg);
+        assert_eq!(s.run_with_budget(&budget), None);
+        let r = s.into_report();
+        assert_eq!(r.budget_exceeded, None);
+        assert!(r.delivered_packets > 0);
     }
 
     #[test]

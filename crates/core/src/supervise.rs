@@ -1,0 +1,1040 @@
+//! Fault-tolerant sweep supervision: typed run errors, watchdog budgets,
+//! invariant auditing and resumable run journals.
+//!
+//! The paper's figures are grids of hundreds of independent
+//! `(protocol, clients, seed)` runs. A production-scale harness cannot let
+//! one bad grid point destroy the batch, hang the pool, or silently corrupt
+//! a figure, so this module wraps every point in three layers of defence:
+//!
+//! 1. **Typed failures** — each point runs under `catch_unwind`; panics,
+//!    budget aborts, audit failures and journal I/O errors all surface as a
+//!    [`RunError`] carried in the point's [`PointOutcome`] instead of
+//!    unwinding the sweep.
+//! 2. **Watchdog budgets** — a [`RunBudget`] caps simulated time, scheduler
+//!    events and (optionally) wall-clock time per point. A tripped budget
+//!    aborts the run into a *diagnostic partial report*
+//!    ([`ScenarioReport::budget_exceeded`]) rather than hanging; budget
+//!    failures are retried with a doubled budget up to
+//!    [`Supervisor::retries`] times (retrying a deterministic simulation
+//!    under the *same* budget would deterministically fail again).
+//! 3. **Invariant auditing** — with [`ScenarioConfig::audit`] set, the end
+//!    of every run is checked against the packet-conservation identity
+//!    (see [`AuditReport`]), non-negative queue occupancy, a monotone
+//!    clock, and the cwnd ≥ 1 MSS floor; a violated invariant becomes
+//!    [`RunError::InvariantViolation`] with the offending counters.
+//!
+//! Completed points are journalled as one JSONL line each
+//! ([`RunJournal`]), keyed by an FNV-1a hash of the sweep configuration,
+//! so `tcpburst sweep --resume <journal>` skips finished points and
+//! reproduces the fresh run's figure tables byte-for-byte at any `--jobs`.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{BufRead, BufReader, Write as _};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+use tcpburst_des::{SimDuration, SimTime};
+
+use crate::config::{Protocol, ScenarioConfig};
+use crate::experiments::{Sweep, SweepCell};
+use crate::report::ScenarioReport;
+use crate::scenario::Scenario;
+
+// ---------------------------------------------------------------------------
+// Invariant auditing
+// ---------------------------------------------------------------------------
+
+/// One violated end-of-run invariant, with the counters that broke it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvariantViolation {
+    /// Stable identifier of the invariant (e.g. `"packet-conservation"`).
+    pub invariant: &'static str,
+    /// Human-readable account of the offending counters.
+    pub detail: String,
+}
+
+impl fmt::Display for InvariantViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.invariant, self.detail)
+    }
+}
+
+/// The end-of-run invariant audit: the global packet-conservation ledger
+/// plus every violation found.
+///
+/// The conservation identity is exact, not statistical: every packet handed
+/// to the network (`injected`, counting client segments, ACKs and
+/// cross-traffic) must be accounted for as delivered to a host, dropped at
+/// a queue, lost on the wire, still queued, or still in flight —
+///
+/// ```text
+/// injected = host_delivered + queue_drops + wire_lost
+///          + queued_at_end + in_flight_at_end
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AuditReport {
+    /// Packets injected into the network (data, ACKs, cross-traffic).
+    pub injected: u64,
+    /// Packets delivered to any host endpoint (server data, client ACKs,
+    /// cross-traffic sinks).
+    pub host_delivered: u64,
+    /// Packets dropped at admission by any queue, summed over links.
+    pub queue_drops: u64,
+    /// Packets lost on the wire (link-down in flight + corruption).
+    pub wire_lost: u64,
+    /// Packets still sitting in link queues when the run ended.
+    pub queued_at_end: u64,
+    /// Packets serialized but not yet delivered when the run ended.
+    pub in_flight_at_end: u64,
+    /// Every invariant that did not hold; empty means the audit passed.
+    pub violations: Vec<InvariantViolation>,
+}
+
+impl AuditReport {
+    /// True when every audited invariant held.
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+impl fmt::Display for AuditReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "audit {}: injected {} = delivered {} + drops {} + wire-lost {} \
+             + queued {} + in-flight {}",
+            if self.passed() {
+                "PASS".to_string()
+            } else {
+                format!("FAIL ({} violations)", self.violations.len())
+            },
+            self.injected,
+            self.host_delivered,
+            self.queue_drops,
+            self.wire_lost,
+            self.queued_at_end,
+            self.in_flight_at_end,
+        )?;
+        for v in &self.violations {
+            write!(f, "\n  violated {v}")?;
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Watchdog budgets
+// ---------------------------------------------------------------------------
+
+/// Which watchdog limit aborted a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExceededBudget {
+    /// The simulated-time cap fired with events still pending.
+    SimTime,
+    /// The scheduler-event cap fired with events still pending.
+    Events,
+    /// The wall-clock cap fired with events still pending.
+    WallClock,
+}
+
+impl fmt::Display for ExceededBudget {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ExceededBudget::SimTime => "simulated-time",
+            ExceededBudget::Events => "event-count",
+            ExceededBudget::WallClock => "wall-clock",
+        })
+    }
+}
+
+/// Per-run watchdog limits. Any combination may be set; [`RunBudget::UNLIMITED`]
+/// disables the watchdog entirely (and with auditing off, the scenario's
+/// fast event loop is used unchanged).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunBudget {
+    /// Cap on simulated time; the run is truncated at this horizon.
+    pub max_sim_time: Option<SimDuration>,
+    /// Cap on scheduler events processed.
+    pub max_events: Option<u64>,
+    /// Cap on host wall-clock time (checked every few thousand events).
+    pub max_wall: Option<Duration>,
+}
+
+impl RunBudget {
+    /// No limits at all.
+    pub const UNLIMITED: RunBudget = RunBudget {
+        max_sim_time: None,
+        max_events: None,
+        max_wall: None,
+    };
+
+    /// True when no limit is set.
+    pub fn is_unlimited(&self) -> bool {
+        self.max_sim_time.is_none() && self.max_events.is_none() && self.max_wall.is_none()
+    }
+
+    /// The budget with every set limit doubled — the deterministic-retry
+    /// policy (the same budget on the same seed would fail identically).
+    pub fn doubled(&self) -> RunBudget {
+        RunBudget {
+            max_sim_time: self
+                .max_sim_time
+                .map(|d| SimDuration::from_nanos(d.as_nanos().saturating_mul(2))),
+            max_events: self.max_events.map(|e| e.saturating_mul(2)),
+            max_wall: self.max_wall.map(|w| w.saturating_mul(2)),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Error taxonomy
+// ---------------------------------------------------------------------------
+
+/// Why one grid point failed. Budget and audit failures carry the partial
+/// report so the diagnosis (which counters, how far the run got) survives.
+#[derive(Debug)]
+pub enum RunError {
+    /// The scenario panicked; the payload is preserved as text.
+    Panicked {
+        /// The panic message.
+        message: String,
+    },
+    /// The end-of-run audit found broken invariants.
+    InvariantViolation {
+        /// Every violated invariant.
+        violations: Vec<InvariantViolation>,
+        /// The full (corrupt) report, for diagnosis.
+        report: Box<ScenarioReport>,
+    },
+    /// A watchdog budget aborted the run.
+    BudgetExceeded {
+        /// Which limit fired.
+        exceeded: ExceededBudget,
+        /// The diagnostic partial report (its
+        /// [`budget_exceeded`](ScenarioReport::budget_exceeded) is set).
+        report: Box<ScenarioReport>,
+    },
+    /// Journal I/O failed.
+    Io {
+        /// The journal path involved.
+        path: PathBuf,
+        /// The underlying error, as text.
+        message: String,
+    },
+}
+
+impl RunError {
+    /// Stable lowercase tag for each variant (for logs and tests).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            RunError::Panicked { .. } => "panicked",
+            RunError::InvariantViolation { .. } => "invariant-violation",
+            RunError::BudgetExceeded { .. } => "budget-exceeded",
+            RunError::Io { .. } => "io",
+        }
+    }
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::Panicked { message } => write!(f, "panicked: {message}"),
+            RunError::InvariantViolation { violations, .. } => {
+                write!(f, "{} invariant violation(s)", violations.len())?;
+                for v in violations {
+                    write!(f, "; {v}")?;
+                }
+                Ok(())
+            }
+            RunError::BudgetExceeded { exceeded, report } => write!(
+                f,
+                "{exceeded} budget exceeded after {} events",
+                report.events_processed
+            ),
+            RunError::Io { path, message } => {
+                write!(f, "journal {}: {message}", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+/// Renders a caught panic payload as text (the standard `String` /
+/// `&'static str` payloads verbatim, anything else as a placeholder).
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Running one point
+// ---------------------------------------------------------------------------
+
+/// Builds and runs one scenario under a watchdog budget, converting panics,
+/// budget aborts and audit failures into [`RunError`]s.
+pub fn run_point(cfg: &ScenarioConfig, budget: &RunBudget) -> Result<ScenarioReport, RunError> {
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        let mut s = Scenario::new(cfg);
+        let exceeded = s.run_with_budget(budget);
+        (exceeded, s.into_report())
+    }));
+    let (exceeded, report) = match outcome {
+        Ok(pair) => pair,
+        Err(payload) => {
+            return Err(RunError::Panicked {
+                message: panic_message(payload.as_ref()),
+            })
+        }
+    };
+    if let Some(exceeded) = exceeded {
+        return Err(RunError::BudgetExceeded {
+            exceeded,
+            report: Box::new(report),
+        });
+    }
+    if let Some(audit) = &report.audit {
+        if !audit.passed() {
+            return Err(RunError::InvariantViolation {
+                violations: audit.violations.clone(),
+                report: Box::new(report),
+            });
+        }
+    }
+    Ok(report)
+}
+
+// ---------------------------------------------------------------------------
+// The supervisor
+// ---------------------------------------------------------------------------
+
+/// What to do with the rest of the grid when one point fails.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum FailurePolicy {
+    /// Run every point; report failures alongside the completed grid.
+    /// Fully deterministic.
+    #[default]
+    KeepGoing,
+    /// Stop claiming new points after the first failure. Which in-flight
+    /// points still complete depends on worker timing, so the *set* of
+    /// skipped points is not deterministic — only use this for quick
+    /// smoke-out of a broken configuration.
+    FailFast,
+}
+
+/// The outcome of one supervised grid point.
+#[derive(Debug)]
+pub enum PointOutcome<T> {
+    /// The point completed (possibly after budget-doubling retries).
+    Done(T),
+    /// The point failed with a typed error.
+    Failed(RunError),
+    /// The point was never attempted (fail-fast abort).
+    Skipped,
+}
+
+/// Runs a task grid with per-point panic isolation, watchdog budgets,
+/// bounded deterministic retry and a failure policy.
+#[derive(Debug, Clone)]
+pub struct Supervisor {
+    /// Worker threads (0 = all cores, 1 = fully serial).
+    pub jobs: usize,
+    /// Keep-going (default) or fail-fast.
+    pub policy: FailurePolicy,
+    /// Watchdog budget applied to every point.
+    pub budget: RunBudget,
+    /// How many times a budget-class failure is retried, doubling the
+    /// budget each time. Panics and audit failures are never retried —
+    /// the simulation is deterministic, so they would recur exactly.
+    pub retries: u32,
+}
+
+impl Default for Supervisor {
+    fn default() -> Self {
+        Supervisor {
+            jobs: 0,
+            policy: FailurePolicy::KeepGoing,
+            budget: RunBudget::UNLIMITED,
+            retries: 1,
+        }
+    }
+}
+
+impl Supervisor {
+    /// Runs `run(0..tasks)` across the worker pool. Each attempt is wrapped
+    /// in `catch_unwind`; a `BudgetExceeded` error is retried with a
+    /// doubled budget up to [`Supervisor::retries`] times. Outcomes come
+    /// back in task order.
+    pub fn run_grid<T, F>(&self, tasks: usize, run: F) -> Vec<PointOutcome<T>>
+    where
+        T: Send,
+        F: Fn(usize, &RunBudget) -> Result<T, RunError> + Sync,
+    {
+        let abort = AtomicBool::new(false);
+        let mut partial =
+            crate::parallel::run_indexed_partial(self.jobs, tasks, |index| {
+                if abort.load(Ordering::SeqCst) {
+                    return PointOutcome::Skipped;
+                }
+                let mut budget = self.budget;
+                let mut attempt = 0u32;
+                loop {
+                    let result = catch_unwind(AssertUnwindSafe(|| run(index, &budget)));
+                    let error = match result {
+                        Ok(Ok(value)) => return PointOutcome::Done(value),
+                        Ok(Err(error)) => error,
+                        Err(payload) => RunError::Panicked {
+                            message: panic_message(payload.as_ref()),
+                        },
+                    };
+                    if matches!(error, RunError::BudgetExceeded { .. }) && attempt < self.retries
+                    {
+                        attempt += 1;
+                        budget = budget.doubled();
+                        continue;
+                    }
+                    if self.policy == FailurePolicy::FailFast {
+                        abort.store(true, Ordering::SeqCst);
+                    }
+                    return PointOutcome::Failed(error);
+                }
+            });
+        // The worker closure never panics (every attempt is caught), so the
+        // partial results are complete; panics would only appear if the
+        // harness itself broke.
+        partial
+            .results
+            .iter_mut()
+            .map(|slot| match slot.take() {
+                Some(outcome) => outcome,
+                None => PointOutcome::Failed(RunError::Panicked {
+                    message: "supervisor worker died before reporting".to_string(),
+                }),
+            })
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Config hashing and the run journal
+// ---------------------------------------------------------------------------
+
+/// 64-bit FNV-1a over `bytes` — tiny, dependency-free, stable across runs
+/// (unlike `DefaultHasher`, which is randomly keyed per process).
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Hash identifying a sweep: the full base configuration (`Debug` form is
+/// stable and covers every knob) plus both grid axes. A journal written
+/// under one key refuses to resume under another.
+pub fn sweep_key(base: &ScenarioConfig, protocols: &[Protocol], clients: &[usize]) -> u64 {
+    let text = format!("{base:?}|{protocols:?}|{clients:?}");
+    fnv1a64(text.as_bytes())
+}
+
+fn point_key(sweep: u64, protocol: Protocol, clients: usize, seed: u64) -> u64 {
+    let text = format!("{sweep:016x}|{}|{clients}|{seed}", protocol.cli_name());
+    fnv1a64(text.as_bytes())
+}
+
+const JOURNAL_MAGIC: &str = "tcpburst-sweep";
+const JOURNAL_VERSION: u32 = 1;
+
+/// Splits a flat one-line JSON object into `(key, raw value)` pairs. Only
+/// handles the journal's own output (no nesting, no commas inside values),
+/// which is all the resume path ever reads.
+fn json_fields(line: &str) -> Option<Vec<(&str, &str)>> {
+    let inner = line.trim().strip_prefix('{')?.strip_suffix('}')?;
+    let mut out = Vec::new();
+    for part in inner.split(',') {
+        let (k, v) = part.split_once(':')?;
+        let k = k.trim().strip_prefix('"')?.strip_suffix('"')?;
+        out.push((k, v.trim()));
+    }
+    Some(out)
+}
+
+fn unquote(v: &str) -> Option<&str> {
+    v.strip_prefix('"')?.strip_suffix('"')
+}
+
+/// One journalled grid point: the figure-table metrics of a completed run.
+///
+/// Floating-point fields are written with Rust's shortest-round-trip
+/// `Display` and parsed back with `str::parse`, which is exact — a resumed
+/// sweep renders the same table bytes as the fresh run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JournalEntry {
+    /// The point's key (sweep hash ⊕ protocol ⊕ clients ⊕ seed).
+    pub key: u64,
+    /// Protocol of the point.
+    pub protocol: Protocol,
+    /// Client count of the point.
+    pub clients: usize,
+    /// Seed of the point.
+    pub seed: u64,
+    /// Measured c.o.v. (Figure 2).
+    pub cov: f64,
+    /// Analytic Poisson reference c.o.v.
+    pub poisson_cov: f64,
+    /// Packets generated.
+    pub generated: u64,
+    /// Packets delivered (Figure 3).
+    pub delivered: u64,
+    /// Gateway loss percentage (Figure 4).
+    pub loss_percent: f64,
+    /// TCP timeouts (Figure 13 numerator).
+    pub timeouts: u64,
+    /// TCP fast retransmits (Figure 13 denominator).
+    pub fast_retransmits: u64,
+    /// Scheduler events the run processed.
+    pub events: u64,
+}
+
+impl JournalEntry {
+    /// Captures the journalled metrics of one completed run.
+    pub fn from_report(
+        key: u64,
+        protocol: Protocol,
+        clients: usize,
+        seed: u64,
+        report: &ScenarioReport,
+    ) -> Self {
+        JournalEntry {
+            key,
+            protocol,
+            clients,
+            seed,
+            cov: report.cov,
+            poisson_cov: report.poisson_cov,
+            generated: report.generated_packets,
+            delivered: report.delivered_packets,
+            loss_percent: report.loss_percent,
+            timeouts: report.tcp_totals.timeouts,
+            fast_retransmits: report.tcp_totals.fast_retransmits,
+            events: report.events_processed,
+        }
+    }
+
+    /// One JSONL line (no trailing newline).
+    pub fn to_json_line(&self) -> String {
+        format!(
+            "{{\"key\":\"{:016x}\",\"protocol\":\"{}\",\"clients\":{},\"seed\":{},\
+             \"cov\":{},\"poisson_cov\":{},\"generated\":{},\"delivered\":{},\
+             \"loss_percent\":{},\"timeouts\":{},\"fast_retransmits\":{},\"events\":{}}}",
+            self.key,
+            self.protocol.cli_name(),
+            self.clients,
+            self.seed,
+            self.cov,
+            self.poisson_cov,
+            self.generated,
+            self.delivered,
+            self.loss_percent,
+            self.timeouts,
+            self.fast_retransmits,
+            self.events,
+        )
+    }
+
+    /// Parses one journal line; `None` for malformed (e.g. truncated) lines.
+    pub fn parse(line: &str) -> Option<JournalEntry> {
+        let fields = json_fields(line)?;
+        let get = |name: &str| fields.iter().find(|(k, _)| *k == name).map(|(_, v)| *v);
+        Some(JournalEntry {
+            key: u64::from_str_radix(unquote(get("key")?)?, 16).ok()?,
+            protocol: unquote(get("protocol")?)?.parse().ok()?,
+            clients: get("clients")?.parse().ok()?,
+            seed: get("seed")?.parse().ok()?,
+            cov: get("cov")?.parse().ok()?,
+            poisson_cov: get("poisson_cov")?.parse().ok()?,
+            generated: get("generated")?.parse().ok()?,
+            delivered: get("delivered")?.parse().ok()?,
+            loss_percent: get("loss_percent")?.parse().ok()?,
+            timeouts: get("timeouts")?.parse().ok()?,
+            fast_retransmits: get("fast_retransmits")?.parse().ok()?,
+            events: get("events")?.parse().ok()?,
+        })
+    }
+
+    /// Rebuilds a stub [`ScenarioReport`] carrying exactly the fields the
+    /// figure tables render; everything else is zeroed. Good enough to make
+    /// a resumed sweep's output byte-identical, *not* a full report.
+    pub fn reconstruct_report(&self) -> ScenarioReport {
+        use tcpburst_stats::BinnedCounter;
+        let probe = BinnedCounter::new(SimDuration::from_millis(1));
+        ScenarioReport {
+            cov: self.cov,
+            poisson_cov: self.poisson_cov,
+            bins: probe.finish(SimTime::ZERO),
+            generated_packets: self.generated,
+            delivered_packets: self.delivered,
+            loss_percent: self.loss_percent,
+            bottleneck_queue: Default::default(),
+            avg_queue_len: 0.0,
+            mean_delay_secs: 0.0,
+            fairness: 0.0,
+            tcp_totals: tcpburst_transport::TcpCounters {
+                timeouts: self.timeouts,
+                fast_retransmits: self.fast_retransmits,
+                ..Default::default()
+            },
+            flows: Vec::new(),
+            duration_secs: 0.0,
+            events_processed: self.events,
+            wall_clock_secs: 0.0,
+            timers: Default::default(),
+            dispatch: Default::default(),
+            event_log: None,
+            impairments: Default::default(),
+            audit: None,
+            budget_exceeded: None,
+        }
+    }
+}
+
+/// An append-only JSONL journal of completed grid points. Thread-safe:
+/// workers append entries as points finish, under a mutex, with a flush per
+/// line so a killed sweep loses at most the line being written.
+#[derive(Debug)]
+pub struct RunJournal {
+    file: Mutex<File>,
+    path: PathBuf,
+}
+
+fn io_error(path: &Path, e: std::io::Error) -> RunError {
+    RunError::Io {
+        path: path.to_path_buf(),
+        message: e.to_string(),
+    }
+}
+
+impl RunJournal {
+    /// Creates (truncating) a journal for the given sweep key and writes
+    /// the header line.
+    pub fn create(path: &Path, sweep: u64) -> Result<RunJournal, RunError> {
+        let mut file = File::create(path).map_err(|e| io_error(path, e))?;
+        writeln!(
+            file,
+            "{{\"journal\":\"{JOURNAL_MAGIC}\",\"version\":{JOURNAL_VERSION},\
+             \"sweep\":\"{sweep:016x}\"}}"
+        )
+        .map_err(|e| io_error(path, e))?;
+        file.flush().map_err(|e| io_error(path, e))?;
+        Ok(RunJournal {
+            file: Mutex::new(file),
+            path: path.to_path_buf(),
+        })
+    }
+
+    /// Opens an existing journal for resumption: validates the header
+    /// against `sweep`, parses every well-formed entry (a truncated last
+    /// line — the kill case — is skipped), and reopens the file in append
+    /// mode for the remaining points.
+    pub fn resume(path: &Path, sweep: u64) -> Result<(RunJournal, Vec<JournalEntry>), RunError> {
+        let file = File::open(path).map_err(|e| io_error(path, e))?;
+        let mut lines = BufReader::new(file).lines();
+        let header = match lines.next() {
+            Some(line) => line.map_err(|e| io_error(path, e))?,
+            None => {
+                return Err(RunError::Io {
+                    path: path.to_path_buf(),
+                    message: "empty journal (missing header)".to_string(),
+                })
+            }
+        };
+        let fields = json_fields(&header).unwrap_or_default();
+        let get = |name: &str| fields.iter().find(|(k, _)| *k == name).map(|(_, v)| *v);
+        let magic = get("journal").and_then(unquote);
+        let recorded = get("sweep")
+            .and_then(unquote)
+            .and_then(|s| u64::from_str_radix(s, 16).ok());
+        if magic != Some(JOURNAL_MAGIC) {
+            return Err(RunError::Io {
+                path: path.to_path_buf(),
+                message: "not a tcpburst sweep journal".to_string(),
+            });
+        }
+        if recorded != Some(sweep) {
+            return Err(RunError::Io {
+                path: path.to_path_buf(),
+                message: format!(
+                    "journal was written for a different sweep configuration \
+                     (recorded {:016x}, expected {sweep:016x})",
+                    recorded.unwrap_or(0)
+                ),
+            });
+        }
+        let mut entries = Vec::new();
+        for line in lines {
+            let line = line.map_err(|e| io_error(path, e))?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            // A malformed line is a half-written tail from a killed run;
+            // that point simply re-runs.
+            if let Some(entry) = JournalEntry::parse(&line) {
+                entries.push(entry);
+            }
+        }
+        let file = OpenOptions::new()
+            .append(true)
+            .open(path)
+            .map_err(|e| io_error(path, e))?;
+        Ok((
+            RunJournal {
+                file: Mutex::new(file),
+                path: path.to_path_buf(),
+            },
+            entries,
+        ))
+    }
+
+    /// Appends one completed point (one line, flushed).
+    pub fn append(&self, entry: &JournalEntry) -> Result<(), RunError> {
+        let mut file = self
+            .file
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        writeln!(file, "{}", entry.to_json_line()).map_err(|e| io_error(&self.path, e))?;
+        file.flush().map_err(|e| io_error(&self.path, e))
+    }
+
+    /// The journal's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Supervised sweeps
+// ---------------------------------------------------------------------------
+
+/// One grid point's coordinates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SweepPoint {
+    /// Protocol of the point.
+    pub protocol: Protocol,
+    /// Client count of the point.
+    pub clients: usize,
+    /// Seed of the point.
+    pub seed: u64,
+}
+
+impl fmt::Display for SweepPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} x {} clients (seed {})",
+            self.protocol.label(),
+            self.clients,
+            self.seed
+        )
+    }
+}
+
+/// A failed grid point and why it failed.
+#[derive(Debug)]
+pub struct PointFailure {
+    /// The point's coordinates.
+    pub point: SweepPoint,
+    /// The typed failure.
+    pub error: RunError,
+}
+
+impl fmt::Display for PointFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.point, self.error)
+    }
+}
+
+/// The outcome of a supervised sweep: the completed grid (failures leave
+/// holes that render as `-`) plus structured per-point failures.
+#[derive(Debug)]
+pub struct SupervisedSweep {
+    /// Completed cells, assembled in canonical grid order.
+    pub sweep: Sweep,
+    /// Every failed point, in canonical grid order.
+    pub failures: Vec<PointFailure>,
+    /// Points skipped by a fail-fast abort.
+    pub skipped: Vec<SweepPoint>,
+    /// How many points were restored from a resumed journal.
+    pub resumed_points: usize,
+    /// How many points actually ran (freshly) to completion.
+    pub completed_points: usize,
+}
+
+impl SupervisedSweep {
+    /// True when every grid point completed (fresh or resumed).
+    pub fn all_complete(&self) -> bool {
+        self.failures.is_empty() && self.skipped.is_empty()
+    }
+}
+
+/// Orchestrates a protocol × clients sweep under a [`Supervisor`], with
+/// optional journalling and resumption.
+#[derive(Debug, Clone)]
+pub struct SweepSupervisor {
+    base: ScenarioConfig,
+    protocols: Vec<Protocol>,
+    clients: Vec<usize>,
+    /// The supervision knobs (jobs, policy, budget, retries).
+    pub supervisor: Supervisor,
+}
+
+impl SweepSupervisor {
+    /// A supervisor for the given grid; every non-axis knob (duration,
+    /// seed, workload, impairments, audit, …) comes from `base`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either axis is empty.
+    pub fn new(base: &ScenarioConfig, protocols: &[Protocol], clients: &[usize]) -> Self {
+        assert!(!protocols.is_empty(), "need at least one protocol");
+        assert!(!clients.is_empty(), "need at least one client count");
+        SweepSupervisor {
+            base: *base,
+            protocols: protocols.to_vec(),
+            clients: clients.to_vec(),
+            supervisor: Supervisor::default(),
+        }
+    }
+
+    /// Sets the worker-thread count (0 = all cores).
+    pub fn jobs(mut self, jobs: usize) -> Self {
+        self.supervisor.jobs = jobs;
+        self
+    }
+
+    /// Sets the failure policy.
+    pub fn policy(mut self, policy: FailurePolicy) -> Self {
+        self.supervisor.policy = policy;
+        self
+    }
+
+    /// Sets the per-point watchdog budget.
+    pub fn budget(mut self, budget: RunBudget) -> Self {
+        self.supervisor.budget = budget;
+        self
+    }
+
+    /// Sets the budget-failure retry bound.
+    pub fn retries(mut self, retries: u32) -> Self {
+        self.supervisor.retries = retries;
+        self
+    }
+
+    /// The sweep key this grid journals under.
+    pub fn key(&self) -> u64 {
+        sweep_key(&self.base, &self.protocols, &self.clients)
+    }
+
+    /// Runs the whole grid with no journal.
+    pub fn run(&self) -> SupervisedSweep {
+        self.run_inner(None, &HashMap::new())
+    }
+
+    /// Runs the grid, journalling every completed point to `path`
+    /// (truncating any existing file).
+    pub fn run_with_journal(&self, path: &Path) -> Result<SupervisedSweep, RunError> {
+        let journal = RunJournal::create(path, self.key())?;
+        Ok(self.run_inner(Some(&journal), &HashMap::new()))
+    }
+
+    /// Resumes from an existing journal: completed points are restored from
+    /// their journal entries (and *not* re-run or re-appended); the rest
+    /// run normally and are appended as they finish. The rendered figure
+    /// tables are byte-identical to an uninterrupted run at any job count.
+    pub fn resume_from(&self, path: &Path) -> Result<SupervisedSweep, RunError> {
+        let (journal, entries) = RunJournal::resume(path, self.key())?;
+        let done: HashMap<u64, JournalEntry> =
+            entries.into_iter().map(|e| (e.key, e)).collect();
+        Ok(self.run_inner(Some(&journal), &done))
+    }
+
+    fn run_inner(
+        &self,
+        journal: Option<&RunJournal>,
+        done: &HashMap<u64, JournalEntry>,
+    ) -> SupervisedSweep {
+        let grid = crate::experiments::canonical_grid(&self.protocols, &self.clients);
+        let sweep = self.key();
+        let seed = self.base.seed;
+        let resumed = AtomicUsize::new(0);
+        let outcomes = self.supervisor.run_grid(grid.len(), |i, budget| {
+            let (p, n) = grid[i];
+            let key = point_key(sweep, p, n, seed);
+            if let Some(entry) = done.get(&key) {
+                resumed.fetch_add(1, Ordering::Relaxed);
+                return Ok(SweepCell {
+                    protocol: p,
+                    clients: n,
+                    report: entry.reconstruct_report(),
+                });
+            }
+            let mut cfg = self.base;
+            cfg.num_clients = n;
+            cfg.apply_protocol(p);
+            let report = run_point(&cfg, budget)?;
+            if let Some(journal) = journal {
+                journal.append(&JournalEntry::from_report(key, p, n, seed, &report))?;
+            }
+            Ok(SweepCell {
+                protocol: p,
+                clients: n,
+                report,
+            })
+        });
+
+        let mut cells = Vec::new();
+        let mut failures = Vec::new();
+        let mut skipped = Vec::new();
+        for (i, outcome) in outcomes.into_iter().enumerate() {
+            let (protocol, clients) = grid[i];
+            let point = SweepPoint {
+                protocol,
+                clients,
+                seed,
+            };
+            match outcome {
+                PointOutcome::Done(cell) => cells.push(cell),
+                PointOutcome::Failed(error) => failures.push(PointFailure { point, error }),
+                PointOutcome::Skipped => skipped.push(point),
+            }
+        }
+        let resumed_points = resumed.load(Ordering::Relaxed);
+        let completed_points = cells.len() - resumed_points;
+        SupervisedSweep {
+            sweep: Sweep::from_cells(cells, self.protocols.clone(), self.clients.clone()),
+            failures,
+            skipped,
+            resumed_points,
+            completed_points,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_is_stable_and_input_sensitive() {
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"abc"), fnv1a64(b"abc"));
+        assert_ne!(fnv1a64(b"abc"), fnv1a64(b"abd"));
+    }
+
+    #[test]
+    fn sweep_key_covers_config_and_axes() {
+        let base = ScenarioConfig::paper_default();
+        let k = sweep_key(&base, &[Protocol::Reno], &[5, 10]);
+        assert_eq!(k, sweep_key(&base, &[Protocol::Reno], &[5, 10]));
+        assert_ne!(k, sweep_key(&base, &[Protocol::Vegas], &[5, 10]));
+        assert_ne!(k, sweep_key(&base, &[Protocol::Reno], &[5, 10, 15]));
+        let mut other = base;
+        other.seed = base.seed ^ 1;
+        assert_ne!(k, sweep_key(&other, &[Protocol::Reno], &[5, 10]));
+    }
+
+    #[test]
+    fn journal_entry_round_trips_exactly() {
+        let entry = JournalEntry {
+            key: 0xdead_beef_0123_4567,
+            protocol: Protocol::VegasRed,
+            clients: 39,
+            seed: 0x1CDC_2000,
+            cov: 1.234_567_890_123_456_7,
+            poisson_cov: 0.1 + 0.2, // famously not 0.3
+            generated: 123_456,
+            delivered: 120_000,
+            loss_percent: 2.796_523e-3,
+            timeouts: 17,
+            fast_retransmits: 4,
+            events: 9_876_543,
+        };
+        let parsed = JournalEntry::parse(&entry.to_json_line()).expect("parses");
+        assert_eq!(parsed, entry);
+        assert_eq!(parsed.cov.to_bits(), entry.cov.to_bits());
+        assert_eq!(parsed.poisson_cov.to_bits(), entry.poisson_cov.to_bits());
+        assert_eq!(parsed.loss_percent.to_bits(), entry.loss_percent.to_bits());
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected_not_crashed() {
+        assert_eq!(JournalEntry::parse(""), None);
+        assert_eq!(JournalEntry::parse("{"), None);
+        assert_eq!(JournalEntry::parse("{\"key\":\"zz\"}"), None);
+        // A truncated tail (the kill case).
+        let full = JournalEntry {
+            key: 1,
+            protocol: Protocol::Udp,
+            clients: 5,
+            seed: 7,
+            cov: 0.5,
+            poisson_cov: 0.4,
+            generated: 10,
+            delivered: 10,
+            loss_percent: 0.0,
+            timeouts: 0,
+            fast_retransmits: 0,
+            events: 100,
+        }
+        .to_json_line();
+        let cut = &full[..full.len() / 2];
+        assert_eq!(JournalEntry::parse(cut), None);
+    }
+
+    #[test]
+    fn panic_messages_cover_both_standard_payloads() {
+        let p = catch_unwind(|| panic!("static message")).unwrap_err();
+        assert_eq!(panic_message(p.as_ref()), "static message");
+        let p = catch_unwind(|| panic!("formatted {}", 42)).unwrap_err();
+        assert_eq!(panic_message(p.as_ref()), "formatted 42");
+    }
+
+    #[test]
+    fn doubled_budget_doubles_every_set_limit() {
+        let b = RunBudget {
+            max_sim_time: Some(SimDuration::from_secs(3)),
+            max_events: Some(1000),
+            max_wall: Some(Duration::from_millis(10)),
+        };
+        let d = b.doubled();
+        assert_eq!(d.max_sim_time, Some(SimDuration::from_secs(6)));
+        assert_eq!(d.max_events, Some(2000));
+        assert_eq!(d.max_wall, Some(Duration::from_millis(20)));
+        assert!(RunBudget::UNLIMITED.doubled().is_unlimited());
+    }
+
+    #[test]
+    fn error_taxonomy_kinds_and_display() {
+        let e = RunError::Panicked {
+            message: "boom".into(),
+        };
+        assert_eq!(e.kind(), "panicked");
+        assert!(e.to_string().contains("boom"));
+        let e = RunError::Io {
+            path: PathBuf::from("/tmp/x.jsonl"),
+            message: "denied".into(),
+        };
+        assert_eq!(e.kind(), "io");
+        assert!(e.to_string().contains("x.jsonl"));
+    }
+}

@@ -1,0 +1,181 @@
+//! Integration tests of the sweep supervisor: panic isolation, failure
+//! policies, watchdog budgets with doubling retries, and the invariant
+//! auditor on the paper's own configurations.
+
+use std::sync::Mutex;
+use std::time::Duration;
+
+use tcpburst_core::{
+    run_point, ExceededBudget, FailurePolicy, PointOutcome, Protocol, RunBudget, RunError,
+    ScenarioBuilder, ScenarioConfig, Supervisor,
+};
+
+fn audited_cfg(protocol: Protocol, clients: usize, secs: u64) -> ScenarioConfig {
+    ScenarioBuilder::paper()
+        .topology(|t| t.clients(clients))
+        .transport(|t| t.protocol(protocol))
+        .instrumentation(|i| i.secs(secs).audit(true))
+        .finish()
+}
+
+#[test]
+fn keep_going_isolates_a_panicking_point() {
+    let sup = Supervisor {
+        jobs: 2,
+        policy: FailurePolicy::KeepGoing,
+        budget: RunBudget::UNLIMITED,
+        retries: 0,
+    };
+    let outcomes = sup.run_grid(8, |i, _| {
+        if i == 5 {
+            panic!("deliberate point failure");
+        }
+        Ok(i * i)
+    });
+    assert_eq!(outcomes.len(), 8);
+    let mut done = 0;
+    for (i, o) in outcomes.iter().enumerate() {
+        match o {
+            PointOutcome::Done(v) => {
+                assert_eq!(*v, i * i);
+                done += 1;
+            }
+            PointOutcome::Failed(RunError::Panicked { message }) => {
+                assert_eq!(i, 5, "only point 5 panics");
+                assert!(message.contains("deliberate point failure"));
+            }
+            other => panic!("unexpected outcome at {i}: {other:?}"),
+        }
+    }
+    assert_eq!(done, 7, "the other seven points must survive the panic");
+}
+
+#[test]
+fn fail_fast_skips_the_tail_serially() {
+    // With one worker the claim order is the task order, so the skipped
+    // set is exactly the tail after the failure.
+    let sup = Supervisor {
+        jobs: 1,
+        policy: FailurePolicy::FailFast,
+        retries: 0,
+        ..Supervisor::default()
+    };
+    let outcomes = sup.run_grid(6, |i, _| {
+        if i == 2 {
+            panic!("boom");
+        }
+        Ok(i)
+    });
+    assert!(matches!(outcomes[0], PointOutcome::Done(0)));
+    assert!(matches!(outcomes[1], PointOutcome::Done(1)));
+    assert!(matches!(
+        outcomes[2],
+        PointOutcome::Failed(RunError::Panicked { .. })
+    ));
+    for o in &outcomes[3..] {
+        assert!(matches!(o, PointOutcome::Skipped));
+    }
+}
+
+#[test]
+fn budget_failures_retry_with_doubled_budget() {
+    // A 5-second Reno run needs far more than 200 events, so every attempt
+    // exhausts its budget; the supervisor must hand the closure 50, then
+    // 100, then 200 events before giving up.
+    let cfg = audited_cfg(Protocol::Reno, 5, 5);
+    let budgets = Mutex::new(Vec::new());
+    let sup = Supervisor {
+        jobs: 1,
+        policy: FailurePolicy::KeepGoing,
+        budget: RunBudget {
+            max_events: Some(50),
+            ..RunBudget::UNLIMITED
+        },
+        retries: 2,
+    };
+    let outcomes = sup.run_grid(1, |_, budget| {
+        budgets
+            .lock()
+            .expect("no poisoned lock")
+            .push(budget.max_events.expect("event cap set"));
+        run_point(&cfg, budget).map(|r| r.events_processed)
+    });
+    assert_eq!(*budgets.lock().expect("no poisoned lock"), vec![50, 100, 200]);
+    match &outcomes[0] {
+        PointOutcome::Failed(RunError::BudgetExceeded { exceeded, report }) => {
+            assert!(matches!(exceeded, ExceededBudget::Events));
+            // The diagnostic partial report survives the abort.
+            assert!(matches!(
+                report.budget_exceeded,
+                Some(ExceededBudget::Events)
+            ));
+            assert_eq!(report.events_processed, 200);
+            assert!(report.to_string().contains("PARTIAL RUN"));
+        }
+        other => panic!("expected a budget failure, got {other:?}"),
+    }
+}
+
+#[test]
+fn panics_are_never_retried() {
+    let attempts = Mutex::new(0u32);
+    let sup = Supervisor {
+        jobs: 1,
+        retries: 5,
+        ..Supervisor::default()
+    };
+    let outcomes = sup.run_grid(1, |_, _| -> Result<(), RunError> {
+        *attempts.lock().expect("no poisoned lock") += 1;
+        panic!("deterministic panic would recur");
+    });
+    assert_eq!(*attempts.lock().expect("no poisoned lock"), 1);
+    assert!(matches!(
+        outcomes[0],
+        PointOutcome::Failed(RunError::Panicked { .. })
+    ));
+}
+
+#[test]
+fn zero_wall_clock_budget_aborts_into_partial_report() {
+    let cfg = audited_cfg(Protocol::Reno, 5, 10);
+    let budget = RunBudget {
+        max_wall: Some(Duration::ZERO),
+        ..RunBudget::UNLIMITED
+    };
+    match run_point(&cfg, &budget) {
+        Err(RunError::BudgetExceeded { exceeded, report }) => {
+            assert!(matches!(exceeded, ExceededBudget::WallClock));
+            assert!(matches!(
+                report.budget_exceeded,
+                Some(ExceededBudget::WallClock)
+            ));
+            assert!(report.events_processed >= 1, "at least one event ran");
+        }
+        other => panic!("expected a wall-clock abort, got {other:?}"),
+    }
+}
+
+#[test]
+fn audit_passes_on_the_paper_reno_configuration() {
+    let cfg = audited_cfg(Protocol::Reno, 64, 5);
+    let r = run_point(&cfg, &RunBudget::UNLIMITED).expect("64-client Reno audits clean");
+    let audit = r.audit.expect("auditor ran");
+    assert!(audit.passed(), "{audit}");
+    assert_eq!(
+        audit.injected,
+        audit.host_delivered
+            + audit.queue_drops
+            + audit.wire_lost
+            + audit.queued_at_end
+            + audit.in_flight_at_end,
+        "packet conservation holds exactly"
+    );
+}
+
+#[test]
+fn audit_passes_on_the_paper_vegas_configuration() {
+    let cfg = audited_cfg(Protocol::Vegas, 64, 5);
+    let r = run_point(&cfg, &RunBudget::UNLIMITED).expect("64-client Vegas audits clean");
+    let audit = r.audit.expect("auditor ran");
+    assert!(audit.passed(), "{audit}");
+}

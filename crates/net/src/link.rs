@@ -17,6 +17,13 @@ pub struct LinkStats {
     pub lost_in_flight: u64,
     /// Packets lost to random wire corruption.
     pub corrupted: u64,
+    /// Packets that survived the wire and reached the far end.
+    ///
+    /// Together these counters close the wire's conservation identity —
+    /// `packets_tx = arrived + lost_in_flight + corrupted + in_flight` —
+    /// which the invariant auditor checks at end of run (the residual
+    /// `in_flight` must be non-negative).
+    pub arrived: u64,
 }
 
 /// A one-directional link: a queue, a serialization rate and a propagation
@@ -168,6 +175,10 @@ impl Link {
 
     pub(crate) fn note_corrupted(&mut self) {
         self.stats.corrupted += 1;
+    }
+
+    pub(crate) fn note_arrived(&mut self) {
+        self.stats.arrived += 1;
     }
 
     /// Time to clock `bits` onto the wire at this link's rate.

@@ -394,7 +394,9 @@ impl Network {
                 cause: WireLoss::Corrupted,
             };
         }
-        let node = self.link(link).to();
+        let l = &mut self.links[link.0 as usize];
+        l.note_arrived();
+        let node = l.to();
         match self.nodes[node.0 as usize] {
             NodeKind::Host => Delivered::ToHost { node, packet },
             NodeKind::Router => {
@@ -684,6 +686,10 @@ mod tests {
         }
         assert_eq!(corrupted, 5);
         assert_eq!(net.link(ab).stats().corrupted, 5);
+        // Corrupted frames never count as arrived; the wire identity
+        // tx = arrived + corrupted + lost_in_flight still closes.
+        assert_eq!(net.link(ab).stats().arrived, 0);
+        assert_eq!(net.link(ab).stats().packets_tx, 5);
     }
 
     #[test]
@@ -695,5 +701,7 @@ mod tests {
         assert_eq!(net.link(ar).stats().packets_tx, 1);
         assert_eq!(net.link(rb).stats().packets_tx, 1);
         assert_eq!(net.link(rb).stats().bytes_tx, 1000);
+        assert_eq!(net.link(ar).stats().arrived, 1);
+        assert_eq!(net.link(rb).stats().arrived, 1);
     }
 }

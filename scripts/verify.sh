@@ -29,6 +29,47 @@ echo "==> fault injection: CLI smoke (flap + corruption + cross-traffic)"
 cargo run --release --offline --example faults -- --smoke > /dev/null
 echo "impaired run reported impairment counters; faults example ran"
 
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+echo "==> invariant auditor: CLI smoke (--audit must report audit PASS)"
+# Capture to a file: grep -q on a pipe would close it early and panic the
+# writer with a broken pipe.
+./target/release/tcpburst run --clients 10 --secs 5 --audit > "$TMP/audit.txt"
+grep -q "audit PASS" "$TMP/audit.txt"
+
+echo "==> resume round-trip: truncated journal must reproduce the sweep"
+# 6-point sweep (paper protocol set x one client count... the paper set has
+# 6 protocols, so --clients 5 gives exactly 6 grid points), journalled.
+./target/release/tcpburst sweep --clients 5 --secs 3 --jobs 2 \
+    --journal "$TMP/sweep.jsonl" > "$TMP/fresh.txt"
+# Simulate a mid-sweep kill: keep the header plus 3 of the 6 entries.
+head -n 4 "$TMP/sweep.jsonl" > "$TMP/trunc.jsonl"
+# Resume at a different worker count: the figure tables must still be
+# byte-identical to the uninterrupted run's.
+./target/release/tcpburst sweep --clients 5 --secs 3 --jobs 4 \
+    --resume "$TMP/trunc.jsonl" > "$TMP/resumed.txt" 2> "$TMP/resumed.err"
+diff "$TMP/fresh.txt" "$TMP/resumed.txt"
+grep -q "resumed 3 point(s)" "$TMP/resumed.err"
+echo "resumed sweep output is byte-identical to the fresh run"
+
+echo "==> robustness: no bare unwrap in non-test library code"
+# Scan crates/core/src and crates/net/src, ignoring everything at or below
+# a #[cfg(test)] marker in each file (module tests live at the bottom).
+# Internal invariants must use .expect("message") so a violation names
+# itself; fallible paths must return Result.
+UNWRAPS="$(awk '
+    FNR == 1 { in_tests = 0 }
+    /#\[cfg\(test\)\]/ { in_tests = 1 }
+    !in_tests && /\.unwrap\(\)/ { print FILENAME ":" FNR ": " $0 }
+' $(find crates/core/src crates/net/src -name '*.rs'))"
+if [ -n "$UNWRAPS" ]; then
+    echo "bare .unwrap() in non-test library code:" >&2
+    echo "$UNWRAPS" >&2
+    exit 1
+fi
+echo "library sources are unwrap-free outside #[cfg(test)]"
+
 if [ "${BENCH:-1}" = "1" ]; then
     echo "==> event engine: bench_des smoke (calendar vs binary heap)"
     cargo run --release --offline --example bench_des -- --smoke
