@@ -8,7 +8,7 @@
 //! quantifies how much of the RED pathology each remedy recovers.
 
 use tcpburst_bench::{bench_duration, bench_seed};
-use tcpburst_core::{GatewayKind, Protocol, Scenario, ScenarioConfig};
+use tcpburst_core::{GatewayKind, Protocol, Scenario, ScenarioBuilder};
 
 fn main() {
     let duration = bench_duration();
@@ -26,11 +26,11 @@ fn main() {
             (GatewayKind::AdaptiveRed, false, "AdaptiveRED"),
         ];
         for (gateway, ecn, gw_name) in cells {
-            let mut cfg = ScenarioConfig::paper(clients, base);
-            cfg.duration = duration;
-            cfg.seed = bench_seed();
-            cfg.gateway = gateway;
-            cfg.ecn = ecn;
+            let cfg = ScenarioBuilder::paper()
+                .transport(|t| t.protocol(base).ecn(ecn))
+                .topology(|t| t.clients(clients).gateway(gateway))
+                .instrumentation(|i| i.duration(duration).seed(bench_seed()))
+                .finish();
             let r = Scenario::run(&cfg);
             println!(
                 "{:>10} {:>16} {:>6} {:>10.4} {:>10.2} {:>12} {:>8.2} {:>8} {:>9}",

@@ -7,7 +7,7 @@
 //! of the 44 ms choice.
 
 use tcpburst_bench::{bench_duration, bench_seed};
-use tcpburst_core::{Protocol, Scenario, ScenarioConfig};
+use tcpburst_core::{Protocol, Scenario, ScenarioBuilder};
 use tcpburst_des::SimDuration;
 
 fn main() {
@@ -20,10 +20,15 @@ fn main() {
     );
     for bin_ms in [11u64, 22, 44, 88, 176, 352, 1000] {
         for p in [Protocol::Udp, Protocol::Reno, Protocol::Vegas] {
-            let mut cfg = ScenarioConfig::paper(clients, p);
-            cfg.duration = duration;
-            cfg.seed = bench_seed();
-            cfg.cov_bin = Some(SimDuration::from_millis(bin_ms));
+            let cfg = ScenarioBuilder::paper()
+                .topology(|t| t.clients(clients))
+                .transport(|t| t.protocol(p))
+                .instrumentation(|i| {
+                    i.duration(duration)
+                        .seed(bench_seed())
+                        .cov_bin(Some(SimDuration::from_millis(bin_ms)))
+                })
+                .finish();
             let r = Scenario::run(&cfg);
             println!(
                 "{:>10} {:>10} {:>12.4} {:>12.4} {:>10.2}",

@@ -6,7 +6,7 @@
 //! paper's 50 packets and reports burstiness, goodput and loss for both.
 
 use tcpburst_bench::{bench_duration, bench_seed};
-use tcpburst_core::{Protocol, Scenario, ScenarioConfig};
+use tcpburst_core::{Protocol, Scenario, ScenarioBuilder};
 
 fn main() {
     let duration = bench_duration();
@@ -20,10 +20,11 @@ fn main() {
     );
     for buffer in [10usize, 25, 50, 100, 200, 400] {
         for p in [Protocol::Reno, Protocol::Vegas] {
-            let mut cfg = ScenarioConfig::paper(clients, p);
-            cfg.duration = duration;
-            cfg.seed = bench_seed();
-            cfg.params.gateway_buffer_pkts = buffer;
+            let cfg = ScenarioBuilder::paper()
+                .topology(|t| t.clients(clients).buffer_pkts(buffer))
+                .transport(|t| t.protocol(p))
+                .instrumentation(|i| i.duration(duration).seed(bench_seed()))
+                .finish();
             let r = Scenario::run(&cfg);
             println!(
                 "{:>6} {:>8} {:>10.4} {:>10.2} {:>12} {:>8.2} {:>10}",

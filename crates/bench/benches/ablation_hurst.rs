@@ -7,7 +7,7 @@
 //! the c.o.v.) so the two views can be compared directly.
 
 use tcpburst_bench::{bench_duration, bench_seed};
-use tcpburst_core::{Protocol, Scenario, ScenarioConfig};
+use tcpburst_core::{Protocol, Scenario, ScenarioBuilder};
 use tcpburst_des::SimDuration;
 use tcpburst_stats::{autocorrelation, hurst, index_of_dispersion};
 
@@ -20,11 +20,16 @@ fn main() {
     );
     for clients in [20usize, 39, 60] {
         for p in [Protocol::Udp, Protocol::Reno, Protocol::Vegas] {
-            let mut cfg = ScenarioConfig::paper(clients, p);
-            cfg.duration = duration;
-            cfg.seed = bench_seed();
-            // Finer bins give the Hurst estimators more points to aggregate.
-            cfg.cov_bin = Some(SimDuration::from_millis(11));
+            let cfg = ScenarioBuilder::paper()
+                .topology(|t| t.clients(clients))
+                .transport(|t| t.protocol(p))
+                // Finer bins give the Hurst estimators more points to aggregate.
+                .instrumentation(|i| {
+                    i.duration(duration)
+                        .seed(bench_seed())
+                        .cov_bin(Some(SimDuration::from_millis(11)))
+                })
+                .finish();
             let r = Scenario::run(&cfg);
             let series = r.bins.to_f64();
             let h_vt = hurst::variance_time(&series);

@@ -8,7 +8,7 @@
 //! queue-based sharing.
 
 use tcpburst_bench::{bench_duration, bench_seed};
-use tcpburst_core::{Protocol, Scenario, ScenarioConfig};
+use tcpburst_core::{Protocol, Scenario, ScenarioBuilder};
 use tcpburst_stats::RunningStats;
 
 fn main() {
@@ -23,10 +23,11 @@ fn main() {
     );
     for spread in [0.0, 1.0, 3.0, 9.0] {
         for p in [Protocol::Reno, Protocol::Vegas] {
-            let mut cfg = ScenarioConfig::paper(clients, p);
-            cfg.duration = duration;
-            cfg.seed = bench_seed();
-            cfg.rtt_spread = spread;
+            let cfg = ScenarioBuilder::paper()
+                .topology(|t| t.clients(clients).rtt_spread(spread))
+                .transport(|t| t.protocol(p))
+                .instrumentation(|i| i.duration(duration).seed(bench_seed()))
+                .finish();
             let r = Scenario::run(&cfg);
             let flows: RunningStats = r.flows.iter().map(|f| f.delivered as f64).collect();
             println!(

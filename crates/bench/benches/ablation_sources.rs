@@ -8,7 +8,7 @@
 //! the input factor once the network is congested.
 
 use tcpburst_bench::{bench_duration, bench_seed};
-use tcpburst_core::{Protocol, Scenario, ScenarioConfig, SourceKind};
+use tcpburst_core::{Protocol, Scenario, ScenarioBuilder, SourceKind};
 use tcpburst_traffic::ParetoOnOffConfig;
 
 fn main() {
@@ -34,10 +34,12 @@ fn main() {
     ];
     for (name, source) in sources {
         for p in [Protocol::Udp, Protocol::Reno, Protocol::Vegas] {
-            let mut cfg = ScenarioConfig::paper(clients, p);
-            cfg.duration = duration;
-            cfg.seed = bench_seed();
-            cfg.source = source;
+            let cfg = ScenarioBuilder::paper()
+                .topology(|t| t.clients(clients))
+                .transport(|t| t.protocol(p))
+                .workload(|w| w.source(source))
+                .instrumentation(|i| i.duration(duration).seed(bench_seed()))
+                .finish();
             let r = Scenario::run(&cfg);
             println!(
                 "{:>14} {:>8} {:>10.4} {:>12} {:>8.2}",

@@ -6,7 +6,7 @@
 //! burstiness/loss trade-off, on both FIFO and RED gateways.
 
 use tcpburst_bench::{bench_duration, bench_seed};
-use tcpburst_core::{Protocol, Scenario, ScenarioConfig};
+use tcpburst_core::{Protocol, Scenario, ScenarioBuilder};
 use tcpburst_transport::VegasParams;
 
 fn main() {
@@ -21,14 +21,17 @@ fn main() {
     );
     for (alpha, beta) in [(0.5, 1.5), (1.0, 3.0), (2.0, 4.0), (4.0, 8.0)] {
         for p in [Protocol::Vegas, Protocol::VegasRed] {
-            let mut cfg = ScenarioConfig::paper(clients, p);
-            cfg.duration = duration;
-            cfg.seed = bench_seed();
-            cfg.vegas = VegasParams {
-                alpha,
-                beta,
-                gamma: 1.0,
-            };
+            let cfg = ScenarioBuilder::paper()
+                .topology(|t| t.clients(clients))
+                .transport(|t| {
+                    t.protocol(p).vegas(VegasParams {
+                        alpha,
+                        beta,
+                        gamma: 1.0,
+                    })
+                })
+                .instrumentation(|i| i.duration(duration).seed(bench_seed()))
+                .finish();
             let r = Scenario::run(&cfg);
             println!(
                 "{:>12} {:>10} {:>10.4} {:>10.2} {:>12} {:>8.2} {:>10}",

@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 
-use tcpburst_core::{Protocol, Scenario, ScenarioConfig};
+use tcpburst_core::{Protocol, Scenario, ScenarioBuilder};
 use tcpburst_des::{EventQueue, SimDuration, SimRng, SimTime};
 use tcpburst_net::{Ecn, Packet, PacketKind, Queue, RedParams, RedQueue};
 use tcpburst_net::{FlowId, NodeId};
@@ -76,8 +76,11 @@ fn bench_scenario(c: &mut Criterion) {
         ("vegas_39cl_5s", Protocol::Vegas, 39),
         ("udp_39cl_5s", Protocol::Udp, 39),
     ] {
-        let mut cfg = ScenarioConfig::paper(clients, protocol);
-        cfg.duration = SimDuration::from_secs(5);
+        let cfg = ScenarioBuilder::paper()
+            .topology(|t| t.clients(clients))
+            .transport(|t| t.protocol(protocol))
+            .instrumentation(|i| i.duration(SimDuration::from_secs(5)))
+            .finish();
         g.bench_function(name, |b| {
             b.iter(|| {
                 let r = Scenario::run(&cfg);

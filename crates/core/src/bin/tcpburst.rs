@@ -38,6 +38,8 @@ SCENARIO FLAGS (one builder stage each):
 {}
 ORCHESTRATION:
     --clients a,b,c        sweep/replicate client-count axis
+    --protocols a,b,c      sweep/replicate protocol set (default: the
+                           paper's six; accepts any PROTOCOLS name)
     --seeds R              replications per grid point (from --seed up)
     --jobs N               worker threads; 0 = all cores
 
@@ -59,7 +61,12 @@ ROBUSTNESS (supervision and watchdog budgets):
                            byte-identical to an uninterrupted sweep
 
 PROTOCOLS:
-    udp, reno, reno-red, vegas, vegas-red, reno-delayack, tahoe, newreno, sack
+    udp, reno, reno-red, vegas, vegas-red, reno-delayack, tahoe, newreno,
+    sack, gaimd
+
+    --variant swaps only the TCP congestion-control policy, keeping the
+    gateway and ACK behaviour from --protocol; gaimd:<alpha>,<beta> sets
+    the Ott-Swanson exponents (gaimd alone means alpha=0, beta=1 = Reno).
 
 DEFAULTS:
     39 clients, reno, 30 s, seed 0x1CDC2000; sweeps use the paper's
@@ -73,6 +80,8 @@ EXAMPLES:
     tcpburst sweep --clients 5,15,25,35,39 --secs 60 --jobs 0
     tcpburst sweep --clients 5,15 --journal sweep.jsonl
     tcpburst sweep --clients 5,15 --resume sweep.jsonl
+    tcpburst sweep --clients 20,39 --protocols reno,gaimd --secs 10
+    tcpburst run --clients 39 --variant gaimd:0.31,0.875
 ",
         ScenarioBuilder::cli_help()
     )
@@ -84,6 +93,7 @@ struct Args {
     /// its expanded transport/gateway knobs.
     protocol: Protocol,
     client_list: Vec<usize>,
+    protocol_set: Vec<Protocol>,
     seeds: usize,
     jobs: usize,
     policy: FailurePolicy,
@@ -98,6 +108,7 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
         .instrumentation(|i| i.secs(30).seed(0x1CDC_2000));
     let mut protocol = Protocol::Reno;
     let mut client_list = vec![5, 15, 25, 35, 39, 45, 60];
+    let mut protocol_set: Vec<Protocol> = Protocol::PAPER_SET.to_vec();
     let mut seeds = 5usize;
     let mut jobs = 0usize;
     let mut policy = FailurePolicy::KeepGoing;
@@ -112,6 +123,16 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
                 seeds = v.parse().map_err(|e| format!("--seeds: {e}"))?;
                 if seeds == 0 {
                     return Err("--seeds must be at least 1".into());
+                }
+            }
+            "--protocols" => {
+                let v = argv.next().ok_or("--protocols requires a value")?;
+                protocol_set = v
+                    .split(',')
+                    .map(|s| s.trim().parse().map_err(String::from))
+                    .collect::<Result<_, String>>()?;
+                if protocol_set.is_empty() {
+                    return Err("--protocols requires at least one name".into());
                 }
             }
             "--jobs" => {
@@ -182,6 +203,16 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
                 if flag == "--protocol" {
                     protocol = value.as_deref().unwrap_or_default().parse()?;
                 }
+                if flag == "--variant" {
+                    // Keep the headline label in sync with the policy swap;
+                    // bare names map onto their FIFO protocol rows, and any
+                    // gaimd spec is labelled GAIMD.
+                    let v = value.as_deref().unwrap_or_default();
+                    let name = v.split(':').next().unwrap_or(v);
+                    if let Ok(p) = name.parse::<Protocol>() {
+                        protocol = p;
+                    }
+                }
                 builder.apply_cli_flag(&flag, value.as_deref())?;
             }
         }
@@ -196,6 +227,7 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
         cfg,
         protocol,
         client_list,
+        protocol_set,
         seeds,
         jobs,
         policy,
@@ -252,7 +284,7 @@ fn cmd_run(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_sweep(args: &Args) -> Result<(), String> {
-    let supervisor = SweepSupervisor::new(&args.cfg, &Protocol::PAPER_SET, &args.client_list)
+    let supervisor = SweepSupervisor::new(&args.cfg, &args.protocol_set, &args.client_list)
         .jobs(args.jobs)
         .policy(args.policy)
         .budget(args.budget)
@@ -295,7 +327,7 @@ fn cmd_replicate(args: &Args) -> Result<(), String> {
     let seeds: Vec<u64> = (0..args.seeds as u64).map(|i| args.cfg.seed + i).collect();
     let sweep = ReplicatedSweep::try_run_with_jobs_from(
         &args.cfg,
-        &Protocol::PAPER_SET,
+        &args.protocol_set,
         &args.client_list,
         &seeds,
         args.jobs,

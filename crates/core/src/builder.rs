@@ -30,9 +30,11 @@
 use tcpburst_des::{QueueBackend, SimDuration};
 use tcpburst_net::{CapacityVariation, CrossTraffic, DelayVariation, Impairments, LinkFlap};
 use tcpburst_traffic::ParetoOnOffConfig;
-use tcpburst_transport::VegasParams;
+use tcpburst_transport::{GaimdParams, TcpVariant, VegasParams};
 
-use crate::config::{ConfigError, GatewayKind, Protocol, ScenarioConfig, SourceKind};
+use crate::config::{
+    ConfigError, GatewayKind, Protocol, ScenarioConfig, SourceKind, TransportKind,
+};
 
 /// Which builder stage owns a CLI flag.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -171,13 +173,14 @@ impl ScenarioBuilder {
     /// `--clients` lists) are not scenario configuration and stay in the
     /// CLI proper.
     #[rustfmt::skip]
-    pub const CLI_FLAGS: [CliFlag; 15] = [
+    pub const CLI_FLAGS: [CliFlag; 16] = [
         CliFlag { name: "--clients", metavar: Some("N"), help: "number of clients M", stage: BuilderStage::Topology },
         CliFlag { name: "--spread", metavar: Some("F"), help: "heterogeneous-RTT spread factor (0 = paper)", stage: BuilderStage::Topology },
         CliFlag { name: "--buffer", metavar: Some("PKTS"), help: "gateway buffer size B", stage: BuilderStage::Topology },
         CliFlag { name: "--rate", metavar: Some("PPS"), help: "per-client offered load (packets/s)", stage: BuilderStage::Workload },
         CliFlag { name: "--source", metavar: Some("KIND"), help: "workload: poisson, cbr or pareto", stage: BuilderStage::Workload },
         CliFlag { name: "--protocol", metavar: Some("P"), help: "protocol configuration (see PROTOCOLS)", stage: BuilderStage::Transport },
+        CliFlag { name: "--variant", metavar: Some("V"), help: "TCP policy only: tahoe|reno|newreno|vegas|sack|gaimd:a,b", stage: BuilderStage::Transport },
         CliFlag { name: "--window", metavar: Some("PKTS"), help: "TCP max advertised window", stage: BuilderStage::Transport },
         CliFlag { name: "--ecn", metavar: None, help: "negotiate ECN; RED gateways mark, not drop", stage: BuilderStage::Transport },
         CliFlag { name: "--impair", metavar: Some("SPEC"), help: "fault schedule, e.g. flap:3s/10s,corrupt:1e-5", stage: BuilderStage::Impairments },
@@ -263,6 +266,44 @@ where
         flag,
         reason: format!("{e}"),
     })
+}
+
+/// Parses a `--variant` value: a bare policy name, or `gaimd:<alpha>,<beta>`
+/// with the Ott–Swanson exponents spelled out.
+fn parse_variant(v: &str) -> Result<(TcpVariant, Option<GaimdParams>), ConfigError> {
+    const FLAG: &str = "--variant";
+    let invalid = |reason: String| ConfigError::InvalidValue { flag: FLAG, reason };
+    if let Some(spec) = v.strip_prefix("gaimd:") {
+        let (a, b) = spec
+            .split_once(',')
+            .ok_or_else(|| invalid(format!("expected gaimd:<alpha>,<beta>, got `{v}`")))?;
+        let alpha: f64 = a
+            .trim()
+            .parse()
+            .map_err(|e| invalid(format!("alpha: {e}")))?;
+        let beta: f64 = b.trim().parse().map_err(|e| invalid(format!("beta: {e}")))?;
+        if !(0.0..1.0).contains(&alpha) {
+            return Err(invalid(format!("alpha must lie in [0, 1), got {alpha}")));
+        }
+        if !(beta > 0.0 && beta <= 1.0) {
+            return Err(invalid(format!("beta must lie in (0, 1], got {beta}")));
+        }
+        return Ok((TcpVariant::Gaimd, Some(GaimdParams { alpha, beta })));
+    }
+    let variant = match v {
+        "tahoe" => TcpVariant::Tahoe,
+        "reno" => TcpVariant::Reno,
+        "newreno" => TcpVariant::NewReno,
+        "vegas" => TcpVariant::Vegas,
+        "sack" => TcpVariant::Sack,
+        "gaimd" => TcpVariant::Gaimd, // defaults: (0, 1), i.e. Reno
+        other => {
+            return Err(invalid(format!(
+                "unknown variant `{other}` (expected tahoe|reno|newreno|vegas|sack|gaimd:a,b)"
+            )))
+        }
+    };
+    Ok((variant, None))
 }
 
 /// Topology stage: how many clients, link geometry, the gateway queue.
@@ -427,6 +468,21 @@ impl TransportStage<'_> {
         self
     }
 
+    /// Swaps the TCP congestion-control policy without touching the
+    /// gateway discipline or delayed ACKs (unlike
+    /// [`protocol`](Self::protocol), which sets all three together).
+    pub fn variant(self, v: TcpVariant) -> Self {
+        self.cfg.transport = TransportKind::Tcp(v);
+        self
+    }
+
+    /// Generalized-AIMD `(alpha, beta)` exponents; only consulted when
+    /// the variant is [`TcpVariant::Gaimd`].
+    pub fn gaimd(self, params: GaimdParams) -> Self {
+        self.cfg.gaimd = params;
+        self
+    }
+
     /// Negotiate ECN; RED gateways mark instead of early-drop.
     pub fn ecn(self, on: bool) -> Self {
         self.cfg.ecn = on;
@@ -438,6 +494,13 @@ impl TransportStage<'_> {
             "--protocol" => {
                 let p: Protocol = v.parse()?;
                 self.protocol(p);
+            }
+            "--variant" => {
+                let (variant, gaimd) = parse_variant(v)?;
+                let this = self.variant(variant);
+                if let Some(params) = gaimd {
+                    this.gaimd(params);
+                }
             }
             "--window" => {
                 let w = parse_num(flag, v)?;
@@ -682,6 +745,32 @@ mod tests {
         assert_eq!(cfg.queue, QueueBackend::BinaryHeap);
         assert!(cfg.ecn);
         assert!(cfg.audit);
+    }
+
+    #[test]
+    fn variant_flag_swaps_policy_without_touching_gateway() {
+        let mut b = ScenarioBuilder::paper();
+        assert!(b.apply_cli_flag("--protocol", Some("reno-red")).unwrap());
+        assert!(b.apply_cli_flag("--variant", Some("gaimd:0.5,0.75")).unwrap());
+        let cfg = b.finish();
+        assert_eq!(cfg.transport, TransportKind::Tcp(TcpVariant::Gaimd));
+        assert_eq!(cfg.gateway, GatewayKind::Red, "--variant must not reset the gateway");
+        assert_eq!(cfg.gaimd, GaimdParams { alpha: 0.5, beta: 0.75 });
+    }
+
+    #[test]
+    fn bare_variant_names_parse_and_bad_specs_fail() {
+        let mut b = ScenarioBuilder::paper();
+        assert!(b.apply_cli_flag("--variant", Some("vegas")).unwrap());
+        assert_eq!(b.clone().finish().transport, TransportKind::Tcp(TcpVariant::Vegas));
+        assert!(b.apply_cli_flag("--variant", Some("gaimd")).unwrap());
+        let cfg = b.clone().finish();
+        assert_eq!(cfg.transport, TransportKind::Tcp(TcpVariant::Gaimd));
+        assert_eq!(cfg.gaimd, GaimdParams::default());
+        for bad in ["cubic", "gaimd:0.5", "gaimd:1.5,1", "gaimd:0,0", "gaimd:x,y"] {
+            let err = b.apply_cli_flag("--variant", Some(bad)).unwrap_err();
+            assert!(err.to_string().contains("--variant"), "{bad}: {err}");
+        }
     }
 
     #[test]

@@ -7,7 +7,7 @@ use std::str::FromStr;
 use tcpburst_des::{QueueBackend, SimDuration};
 use tcpburst_net::{AdaptiveRedParams, DumbbellConfig, Impairments, QueueSpec, RedParams};
 use tcpburst_traffic::ParetoOnOffConfig;
-use tcpburst_transport::{TcpConfig, TcpVariant, VegasParams};
+use tcpburst_transport::{GaimdParams, TcpConfig, TcpVariant, VegasParams};
 
 /// A configuration or CLI-parsing problem, reported instead of panicking.
 ///
@@ -194,6 +194,10 @@ pub enum Protocol {
     /// TCP with selective acknowledgments through a FIFO gateway (baseline,
     /// not in the paper's set).
     Sack,
+    /// Ott–Swanson generalized AIMD through a FIFO gateway (extension
+    /// beyond the paper; the `(alpha, beta)` exponents live in
+    /// [`ScenarioConfig::gaimd`]).
+    Gaimd,
 }
 
 impl Protocol {
@@ -228,6 +232,7 @@ impl Protocol {
             Protocol::Tahoe => "Tahoe",
             Protocol::NewReno => "NewReno",
             Protocol::Sack => "SACK",
+            Protocol::Gaimd => "GAIMD",
         }
     }
 
@@ -246,6 +251,7 @@ impl Protocol {
             Protocol::Tahoe => "tahoe",
             Protocol::NewReno => "newreno",
             Protocol::Sack => "sack",
+            Protocol::Gaimd => "gaimd",
         }
     }
 
@@ -260,6 +266,7 @@ impl Protocol {
             Protocol::Tahoe => TransportKind::Tcp(TcpVariant::Tahoe),
             Protocol::NewReno => TransportKind::Tcp(TcpVariant::NewReno),
             Protocol::Sack => TransportKind::Tcp(TcpVariant::Sack),
+            Protocol::Gaimd => TransportKind::Tcp(TcpVariant::Gaimd),
         }
     }
 
@@ -281,7 +288,7 @@ impl FromStr for Protocol {
     type Err = ConfigError;
 
     /// Parses the CLI spelling: `udp`, `reno`, `reno-red`, `vegas`,
-    /// `vegas-red`, `reno-delayack`, `tahoe`, `newreno`, `sack`.
+    /// `vegas-red`, `reno-delayack`, `tahoe`, `newreno`, `sack`, `gaimd`.
     fn from_str(name: &str) -> Result<Self, Self::Err> {
         Ok(match name {
             "udp" => Protocol::Udp,
@@ -293,6 +300,7 @@ impl FromStr for Protocol {
             "tahoe" => Protocol::Tahoe,
             "newreno" => Protocol::NewReno,
             "sack" => Protocol::Sack,
+            "gaimd" => Protocol::Gaimd,
             other => return Err(ConfigError::UnknownProtocol(other.to_string())),
         })
     }
@@ -315,6 +323,9 @@ pub struct ScenarioConfig {
     pub params: PaperParams,
     /// Vegas thresholds.
     pub vegas: VegasParams,
+    /// Generalized-AIMD exponents (used when the transport is
+    /// [`TcpVariant::Gaimd`]; ignored otherwise).
+    pub gaimd: GaimdParams,
     /// RED `max_p` (thresholds come from [`PaperParams`]).
     pub red_max_p: f64,
     /// RED EWMA weight.
@@ -394,6 +405,7 @@ impl ScenarioConfig {
             },
             params,
             vegas: VegasParams::default(),
+            gaimd: GaimdParams::default(),
             red_max_p: 0.1,
             red_weight: 0.002,
             adaptive_red: AdaptiveRedParams::default(),
@@ -488,6 +500,7 @@ impl ScenarioConfig {
         cfg.advertised_window = self.params.advertised_window;
         cfg.delayed_ack = self.delayed_ack;
         cfg.vegas = self.vegas;
+        cfg.gaimd = self.gaimd;
         cfg.trace_cwnd = self.trace_cwnd;
         cfg.ecn = self.ecn;
         cfg
@@ -549,6 +562,7 @@ mod tests {
             Protocol::Tahoe,
             Protocol::NewReno,
             Protocol::Sack,
+            Protocol::Gaimd,
         ] {
             assert_eq!(p.cli_name().parse::<Protocol>(), Ok(p));
         }

@@ -19,6 +19,8 @@ use std::fmt::Write as _;
 use tcpburst_des::{SimDuration, SimTime};
 use tcpburst_stats::TimeSeries;
 
+use tcpburst_transport::GaimdParams;
+
 use crate::config::{PaperParams, Protocol, ScenarioConfig};
 use crate::plot::{render_line_chart, ChartOptions, Series};
 use crate::report::ScenarioReport;
@@ -366,6 +368,82 @@ impl Sweep {
                 c.protocol.label(),
                 c.clients,
                 c.report.timeout_dupack_ratio()
+            );
+        }
+        out
+    }
+}
+
+/// A generalized-AIMD exponent sweep: the paper's burstiness probe
+/// (Figure 2's c.o.v.) replayed across the Ott–Swanson `alpha` axis at a
+/// fixed `beta`, to show how softening the additive increase smooths the
+/// aggregated traffic. `alpha = 0` with `beta = 1` is exactly Reno, so the
+/// first column of the default sweep doubles as a regression anchor.
+#[derive(Debug, Clone)]
+pub struct GaimdAlphaSweep {
+    /// `(alpha, report)` per grid point, in `alphas` order.
+    pub cells: Vec<(f64, ScenarioReport)>,
+    /// The fixed multiplicative-decrease exponent.
+    pub beta: f64,
+    /// Client count shared by every point.
+    pub clients: usize,
+}
+
+impl GaimdAlphaSweep {
+    /// Runs one GAIMD scenario per `alpha`, all other knobs (clients,
+    /// duration, seed, workload, …) inherited from `base`. Points are
+    /// fanned across `jobs` workers with the same bit-identical reassembly
+    /// as [`Sweep::run_with_jobs_from`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alphas` is empty or any exponent is out of range
+    /// (`alpha` in `[0, 1)`, `beta` in `(0, 1]`).
+    pub fn run_with_jobs_from(
+        base: &ScenarioConfig,
+        alphas: &[f64],
+        beta: f64,
+        jobs: usize,
+    ) -> Self {
+        assert!(!alphas.is_empty(), "need at least one alpha");
+        let cells = crate::parallel::run_indexed(jobs, alphas.len(), |i| {
+            let mut cfg = *base;
+            cfg.apply_protocol(Protocol::Gaimd);
+            cfg.gaimd = GaimdParams { alpha: alphas[i], beta };
+            (alphas[i], Scenario::run(&cfg))
+        });
+        GaimdAlphaSweep {
+            cells,
+            beta,
+            clients: base.num_clients,
+        }
+    }
+
+    /// The c.o.v.-vs-`alpha` table, one row per exponent, with the Poisson
+    /// reference and the loss/timeout columns that explain *why* the
+    /// burstiness moves.
+    pub fn cov_table(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "# GAIMD burstiness vs additive-increase exponent (beta = {}, {} clients)",
+            self.beta, self.clients
+        );
+        let _ = writeln!(
+            out,
+            "{:>8} {:>13} {:>13} {:>13} {:>13} {:>13}",
+            "alpha", "c.o.v.", "Poisson", "ratio", "loss %", "timeout ratio"
+        );
+        for (alpha, r) in &self.cells {
+            let _ = writeln!(
+                out,
+                "{:>8.3} {:>13.4} {:>13.4} {:>13.2} {:>13.2} {:>13.4}",
+                alpha,
+                r.cov,
+                r.poisson_cov,
+                r.cov_ratio(),
+                r.loss_percent,
+                r.timeout_dupack_ratio()
             );
         }
         out

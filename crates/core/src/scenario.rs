@@ -284,6 +284,20 @@ impl Scenario {
         self.sched.now()
     }
 
+    /// How many clients carry an allocated `(time, cwnd)` trace buffer.
+    /// Zero unless the instrumentation stage enabled
+    /// [`trace_cwnd`](ScenarioConfig::trace_cwnd) — the benches assert
+    /// this so sweeps that never read traces never pay for them.
+    pub fn cwnd_trace_allocations(&self) -> usize {
+        self.clients
+            .iter()
+            .filter(|c| match c {
+                ClientEndpoint::Tcp(tx) => tx.cwnd_trace().is_some(),
+                ClientEndpoint::Udp(_) => false,
+            })
+            .count()
+    }
+
     /// Drives the event loop until the configured duration.
     pub fn run_to_completion(&mut self) {
         self.run_with_budget(&RunBudget::UNLIMITED);
@@ -702,6 +716,13 @@ impl Scenario {
                         detail: format!("client {i}: cwnd {cwnd} below 1 MSS"),
                     });
                 }
+                let ssthresh = tx.ssthresh();
+                if !(ssthresh >= 2.0) {
+                    violations.push(InvariantViolation {
+                        invariant: "ssthresh-floor",
+                        detail: format!("client {i}: ssthresh {ssthresh} below 2 MSS"),
+                    });
+                }
             }
         }
 
@@ -743,7 +764,7 @@ impl Scenario {
                 ClientEndpoint::Tcp(tx) => (
                     tx.counters().data_packets_sent,
                     Some(tx.counters()),
-                    cfg.trace_cwnd.then(|| tx.cwnd_trace().clone()),
+                    tx.cwnd_trace().cloned(),
                 ),
                 ClientEndpoint::Udp(udp) => (udp.packets_sent(), None, None),
             };

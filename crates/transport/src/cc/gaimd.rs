@@ -1,0 +1,119 @@
+//! Generalized AIMD: the Ott–Swanson `(alpha, beta)` policy family.
+//!
+//! *Asymptotic behavior of a generalized TCP congestion avoidance
+//! algorithm* (Ott & Swanson) parameterizes TCP's window dynamics: per
+//! round trip the window grows by `cwnd^alpha` packets (so each ACK
+//! contributes `cwnd^alpha / cwnd`) and a loss event removes
+//! `cwnd^beta / 2` packets. Reno is the `(0, 1)` point of the family —
+//! and because IEEE-754 guarantees `x^0 == 1.0` and `x^1 == x` exactly
+//! (and `x − x/2 == x/2` by Sterbenz's lemma), `GeneralizedAimd`
+//! with the default exponents reproduces Reno **bit-for-bit**, which the
+//! golden-trace tests and an equivalence proptest enforce.
+
+use crate::cc::{CongestionControl, LossResponse};
+use crate::config::GaimdParams;
+
+/// The generalized-AIMD policy. Slow start, fast recovery, and timeout
+/// handling are inherited from the Reno-shaped engine defaults; only the
+/// congestion-avoidance increase and the loss decrease are exponentiated.
+#[derive(Debug, Clone, Copy)]
+pub struct GeneralizedAimd {
+    params: GaimdParams,
+}
+
+impl GeneralizedAimd {
+    /// Creates the policy with the given exponents (validated by
+    /// [`TcpConfig::validate`](crate::TcpConfig::validate):
+    /// `alpha ∈ [0, 1)`, `beta ∈ (0, 1]`).
+    pub fn new(params: GaimdParams) -> Self {
+        GeneralizedAimd { params }
+    }
+
+    /// The configured exponents.
+    pub fn params(&self) -> GaimdParams {
+        self.params
+    }
+
+    /// `ssthresh` after a congestion event with `flight` packets
+    /// outstanding: `flight − flight^beta / 2`, floored at two packets.
+    fn decrease_ssthresh(&self, flight: f64) -> f64 {
+        (flight - flight.powf(self.params.beta) / 2.0).max(2.0)
+    }
+}
+
+impl CongestionControl for GeneralizedAimd {
+    fn on_ack_cwnd(
+        &mut self,
+        cwnd: f64,
+        ssthresh: f64,
+        _in_slow_start: bool,
+        advertised: f64,
+    ) -> Option<f64> {
+        Some(if cwnd < ssthresh {
+            (cwnd + 1.0).min(advertised)
+        } else {
+            (cwnd + cwnd.powf(self.params.alpha) / cwnd).min(advertised)
+        })
+    }
+
+    fn on_loss_signal(&mut self, flight: f64) -> LossResponse {
+        LossResponse::FastRecovery {
+            ssthresh: self.decrease_ssthresh(flight),
+        }
+    }
+
+    fn on_rto(&mut self, flight: f64, _resume_from: tcpburst_net::SeqNo) -> f64 {
+        self.decrease_ssthresh(flight)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cc::reno::{reno_ack_cwnd, reno_loss_ssthresh};
+
+    #[test]
+    fn default_exponents_match_reno_bitwise() {
+        let mut g = GeneralizedAimd::new(GaimdParams::default());
+        for cwnd in [1.0, 2.0, 3.7, 10.0, 19.999, 20.0] {
+            let got = g.on_ack_cwnd(cwnd, 2.0, false, 20.0).unwrap();
+            assert_eq!(got.to_bits(), reno_ack_cwnd(cwnd, 2.0, 20.0).to_bits());
+        }
+        for flight in [1.0, 3.0, 7.0, 13.0, 20.0] {
+            let LossResponse::FastRecovery { ssthresh } = g.on_loss_signal(flight) else {
+                panic!("GAIMD must use fast recovery");
+            };
+            assert_eq!(ssthresh.to_bits(), reno_loss_ssthresh(flight).to_bits());
+        }
+    }
+
+    #[test]
+    fn sublinear_exponents_soften_both_directions() {
+        let mut g = GeneralizedAimd::new(GaimdParams {
+            alpha: 0.5,
+            beta: 0.5,
+        });
+        // alpha = 0.5 at cwnd 16: grow by 4/16 = 0.25 per ACK (> Reno's
+        // 1/16), still capped by the advertised window.
+        let grown = g.on_ack_cwnd(16.0, 2.0, false, 20.0).unwrap();
+        assert!((grown - 16.25).abs() < 1e-12, "grown {grown}");
+        // beta = 0.5 at flight 16: shed sqrt(16)/2 = 2 packets instead of 8.
+        let LossResponse::FastRecovery { ssthresh } = g.on_loss_signal(16.0) else {
+            panic!("GAIMD must use fast recovery");
+        };
+        assert!((ssthresh - 14.0).abs() < 1e-12, "ssthresh {ssthresh}");
+    }
+
+    #[test]
+    fn thresholds_never_fall_below_two() {
+        let mut g = GeneralizedAimd::new(GaimdParams {
+            alpha: 0.9,
+            beta: 1.0,
+        });
+        let LossResponse::FastRecovery { ssthresh } = g.on_loss_signal(1.0) else {
+            panic!("GAIMD must use fast recovery");
+        };
+        assert_eq!(ssthresh, 2.0);
+        assert_eq!(g.on_rto(0.0, tcpburst_net::SeqNo(0)), 2.0);
+    }
+}

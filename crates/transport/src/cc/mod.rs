@@ -1,0 +1,273 @@
+//! Pluggable congestion-control policies.
+//!
+//! The transport stack is split into two layers. The **reliability
+//! engine** ([`TcpSender`](crate::TcpSender), in `sender/`) owns
+//! sequencing, in-flight accounting, the retransmission queue, RTO
+//! timers, and dup-ACK / SACK loss *detection*. Everything that decides
+//! *window sizes* — how fast to grow, how hard to cut, what to do once
+//! per round trip — lives behind the [`CongestionControl`] trait, with
+//! one implementation per policy in this module tree:
+//!
+//! * [`Tahoe`] — any loss collapses to a one-segment slow start,
+//! * [`Reno`] — AIMD with fast recovery,
+//! * [`NewReno`] — Reno that stays in recovery across partial ACKs,
+//! * [`Sack`] — Reno window arithmetic over scoreboard-driven repair,
+//! * [`Vegas`] — Brakmo–Peterson delay-based avoidance (per-RTT hooks),
+//! * [`GeneralizedAimd`] — the Ott–Swanson `(alpha, beta)` family.
+//!
+//! The engine holds a [`Policy`] — a plain enum over the concrete
+//! policies, so the per-ACK hot path is a jump table rather than a
+//! `Box<dyn>` indirection. [`Policy::for_config`] is the **only** place
+//! in the crate that branches on [`TcpVariant`]; the engine itself is
+//! variant-agnostic and a new policy plugs in by adding an enum arm
+//! here, nothing else.
+
+use tcpburst_des::{SimDuration, SimTime};
+use tcpburst_net::SeqNo;
+
+use crate::config::{TcpConfig, TcpVariant};
+
+mod gaimd;
+mod newreno;
+mod reno;
+mod sack;
+mod tahoe;
+mod vegas;
+
+pub use gaimd::GeneralizedAimd;
+pub use newreno::NewReno;
+pub use reno::Reno;
+pub use sack::Sack;
+pub use tahoe::Tahoe;
+pub use vegas::Vegas;
+
+/// How a policy answers a fast-retransmit loss signal (the engine's
+/// dup-ACK / early-retransmit detector fired).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LossResponse {
+    /// Collapse to a one-segment slow start and go-back-N (Tahoe): the
+    /// engine sets `cwnd = 1`, rewinds `snd_nxt`, and resends.
+    Collapse {
+        /// The new slow-start threshold.
+        ssthresh: f64,
+    },
+    /// Enter fast recovery: the engine retransmits the hole and inflates
+    /// to `cwnd = ssthresh + 3` (three dup ACKs mean three departures).
+    FastRecovery {
+        /// The new slow-start threshold.
+        ssthresh: f64,
+    },
+}
+
+/// A per-round-trip measurement handed to [`CongestionControl::on_round`]
+/// after every cumulative ACK (the policy decides whether it closes an
+/// epoch).
+#[derive(Debug, Clone, Copy)]
+pub struct RoundSample {
+    /// The cumulative ACK that triggered the hook.
+    pub ack: SeqNo,
+    /// The sender's next fresh sequence number (one past the flight).
+    pub snd_nxt: SeqNo,
+    /// The current congestion window, in packets.
+    pub cwnd: f64,
+    /// True while the sender is in slow start.
+    pub in_slow_start: bool,
+    /// True while the sender is in fast recovery.
+    pub in_fast_recovery: bool,
+    /// The receiver's advertised window, in packets.
+    pub advertised: f64,
+}
+
+/// What a per-RTT policy decided at an epoch boundary.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RoundAdjust {
+    /// Epoch closed, window untouched.
+    Hold,
+    /// Set the congestion window to this value.
+    SetCwnd(f64),
+    /// Leave slow start: set the window and threshold, switch to
+    /// congestion avoidance.
+    ExitSlowStart {
+        /// The new congestion window.
+        cwnd: f64,
+        /// The new slow-start threshold.
+        ssthresh: f64,
+    },
+}
+
+/// A congestion-control policy: pure window arithmetic, driven by the
+/// reliability engine's loss-detection and timer machinery.
+///
+/// Hooks that *return* a window or threshold never apply it themselves —
+/// the engine does, so window changes happen only at hook call sites
+/// (the property-tested contract). Implementations may keep internal
+/// state (Vegas's RTT accumulators) but must uphold two invariants the
+/// end-of-run auditor re-checks on every scenario: any returned window
+/// is at least 1 packet, any returned threshold at least 2.
+pub trait CongestionControl {
+    /// Per-ACK window growth outside recovery. Returns the new window,
+    /// or `None` to leave it untouched (Vegas outside its slow-start
+    /// growth parity). Implementations must cap at `advertised`.
+    fn on_ack_cwnd(
+        &mut self,
+        cwnd: f64,
+        ssthresh: f64,
+        in_slow_start: bool,
+        advertised: f64,
+    ) -> Option<f64>;
+
+    /// The engine's fast-retransmit detector fired with `flight` packets
+    /// outstanding. Returns the new threshold and whether to collapse or
+    /// enter fast recovery.
+    fn on_loss_signal(&mut self, flight: f64) -> LossResponse;
+
+    /// The retransmission timer expired with `flight` packets
+    /// outstanding; the engine will collapse to `cwnd = 1` slow start and
+    /// go back to `resume_from`. Returns the new slow-start threshold.
+    fn on_rto(&mut self, flight: f64, resume_from: SeqNo) -> f64 {
+        let _ = resume_from;
+        (flight / 2.0).max(2.0)
+    }
+
+    /// The window to deflate to when leaving fast recovery.
+    fn post_recovery_cwnd(&mut self, ssthresh: f64) -> f64 {
+        ssthresh.max(1.0)
+    }
+
+    /// The threshold (and window) to cut to on an ECN echo; the engine
+    /// rate-limits the cut to once per RTT.
+    fn on_ecn_cwnd(&mut self, flight: f64) -> f64 {
+        (flight / 2.0).max(2.0)
+    }
+
+    /// One Karn-valid RTT measurement (a never-retransmitted segment was
+    /// acknowledged).
+    fn on_rtt_sample(&mut self, rtt: SimDuration) {
+        let _ = rtt;
+    }
+
+    /// Called after every cumulative ACK with the current round's state.
+    /// A per-RTT policy (Vegas) returns `Some` when the ACK closes its
+    /// measurement epoch; `None` means "not an epoch boundary".
+    fn on_round(&mut self, round: RoundSample) -> Option<RoundAdjust> {
+        let _ = round;
+        None
+    }
+
+    /// True if this dup ACK should trigger retransmission *before* the
+    /// third duplicate (Vegas's fine-grained timer check).
+    fn early_retransmit_due(&self, dup_acks: u32, last_sent: SimTime, now: SimTime) -> bool {
+        let _ = (dup_acks, last_sent, now);
+        false
+    }
+
+    /// True if a partial ACK keeps the sender in fast recovery (NewReno,
+    /// SACK) instead of ending the episode (Reno, Vegas).
+    fn holds_recovery_on_partial_ack(&self) -> bool {
+        false
+    }
+
+    /// The minimum RTT this policy has observed, in seconds (Vegas).
+    fn base_rtt(&self) -> Option<f64> {
+        None
+    }
+}
+
+/// Enum dispatch over every shipped policy.
+///
+/// The sender's per-ACK path goes through this enum (a match compiles to
+/// a jump table) instead of a `Box<dyn CongestionControl>`, keeping the
+/// hot path allocation-free and within the `bench_des --regress` gate.
+#[derive(Debug, Clone)]
+pub enum Policy {
+    /// See [`Tahoe`].
+    Tahoe(Tahoe),
+    /// See [`Reno`].
+    Reno(Reno),
+    /// See [`NewReno`].
+    NewReno(NewReno),
+    /// See [`Sack`].
+    Sack(Sack),
+    /// See [`Vegas`].
+    Vegas(Vegas),
+    /// See [`GeneralizedAimd`].
+    Gaimd(GeneralizedAimd),
+}
+
+impl Policy {
+    /// The policy-construction site: the **only** place in the transport
+    /// crate that inspects [`TcpVariant`] to choose an algorithm
+    /// (`scripts/verify.sh` greps `sender/` and `cc/` to keep it that
+    /// way).
+    pub fn for_config(cfg: &TcpConfig) -> Policy {
+        match cfg.variant {
+            TcpVariant::Tahoe => Policy::Tahoe(Tahoe),
+            TcpVariant::Reno => Policy::Reno(Reno),
+            TcpVariant::NewReno => Policy::NewReno(NewReno),
+            TcpVariant::Sack => Policy::Sack(Sack),
+            TcpVariant::Vegas => Policy::Vegas(Vegas::new(cfg.vegas, cfg.max_rto)),
+            TcpVariant::Gaimd => Policy::Gaimd(GeneralizedAimd::new(cfg.gaimd)),
+        }
+    }
+}
+
+macro_rules! dispatch {
+    ($self:ident, $p:ident => $body:expr) => {
+        match $self {
+            Policy::Tahoe($p) => $body,
+            Policy::Reno($p) => $body,
+            Policy::NewReno($p) => $body,
+            Policy::Sack($p) => $body,
+            Policy::Vegas($p) => $body,
+            Policy::Gaimd($p) => $body,
+        }
+    };
+}
+
+impl CongestionControl for Policy {
+    fn on_ack_cwnd(
+        &mut self,
+        cwnd: f64,
+        ssthresh: f64,
+        in_slow_start: bool,
+        advertised: f64,
+    ) -> Option<f64> {
+        dispatch!(self, p => p.on_ack_cwnd(cwnd, ssthresh, in_slow_start, advertised))
+    }
+
+    fn on_loss_signal(&mut self, flight: f64) -> LossResponse {
+        dispatch!(self, p => p.on_loss_signal(flight))
+    }
+
+    fn on_rto(&mut self, flight: f64, resume_from: SeqNo) -> f64 {
+        dispatch!(self, p => p.on_rto(flight, resume_from))
+    }
+
+    fn post_recovery_cwnd(&mut self, ssthresh: f64) -> f64 {
+        dispatch!(self, p => p.post_recovery_cwnd(ssthresh))
+    }
+
+    fn on_ecn_cwnd(&mut self, flight: f64) -> f64 {
+        dispatch!(self, p => p.on_ecn_cwnd(flight))
+    }
+
+    fn on_rtt_sample(&mut self, rtt: SimDuration) {
+        dispatch!(self, p => p.on_rtt_sample(rtt))
+    }
+
+    fn on_round(&mut self, round: RoundSample) -> Option<RoundAdjust> {
+        dispatch!(self, p => p.on_round(round))
+    }
+
+    fn early_retransmit_due(&self, dup_acks: u32, last_sent: SimTime, now: SimTime) -> bool {
+        dispatch!(self, p => p.early_retransmit_due(dup_acks, last_sent, now))
+    }
+
+    fn holds_recovery_on_partial_ack(&self) -> bool {
+        dispatch!(self, p => p.holds_recovery_on_partial_ack())
+    }
+
+    fn base_rtt(&self) -> Option<f64> {
+        dispatch!(self, p => p.base_rtt())
+    }
+}

@@ -1,0 +1,33 @@
+//! NewReno: Reno that survives multi-loss windows (RFC 6582).
+
+use crate::cc::reno::{reno_ack_cwnd, reno_loss_ssthresh};
+use crate::cc::{CongestionControl, LossResponse};
+
+/// NewReno shares Reno's window arithmetic but stays in fast recovery
+/// across partial ACKs: the engine retransmits the next hole and
+/// deflates, instead of ending the episode, until the whole pre-loss
+/// flight is acknowledged.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NewReno;
+
+impl CongestionControl for NewReno {
+    fn on_ack_cwnd(
+        &mut self,
+        cwnd: f64,
+        ssthresh: f64,
+        _in_slow_start: bool,
+        advertised: f64,
+    ) -> Option<f64> {
+        Some(reno_ack_cwnd(cwnd, ssthresh, advertised))
+    }
+
+    fn on_loss_signal(&mut self, flight: f64) -> LossResponse {
+        LossResponse::FastRecovery {
+            ssthresh: reno_loss_ssthresh(flight),
+        }
+    }
+
+    fn holds_recovery_on_partial_ack(&self) -> bool {
+        true
+    }
+}

@@ -1,0 +1,47 @@
+//! Reno: the classic AIMD window arithmetic (Jacobson '88 plus fast
+//! recovery), the paper's workhorse.
+
+use crate::cc::{CongestionControl, LossResponse};
+
+/// Reno window arithmetic: `cwnd += 1` per ACK below `ssthresh`,
+/// `cwnd += 1/cwnd` above it, halve on loss, enter fast recovery. A
+/// partial ACK ends recovery (the engine's default) — which is exactly
+/// why multi-loss windows in Reno tend to end in a timeout, the
+/// synchronizing event the paper highlights.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Reno;
+
+/// The shared Reno-family per-ACK growth rule: slow start below
+/// `ssthresh`, `1/cwnd` congestion avoidance above, capped by the
+/// advertised window.
+pub(crate) fn reno_ack_cwnd(cwnd: f64, ssthresh: f64, advertised: f64) -> f64 {
+    if cwnd < ssthresh {
+        (cwnd + 1.0).min(advertised)
+    } else {
+        (cwnd + 1.0 / cwnd).min(advertised)
+    }
+}
+
+/// The shared Reno-family loss cut: half the flight, floored at two
+/// packets.
+pub(crate) fn reno_loss_ssthresh(flight: f64) -> f64 {
+    (flight / 2.0).max(2.0)
+}
+
+impl CongestionControl for Reno {
+    fn on_ack_cwnd(
+        &mut self,
+        cwnd: f64,
+        ssthresh: f64,
+        _in_slow_start: bool,
+        advertised: f64,
+    ) -> Option<f64> {
+        Some(reno_ack_cwnd(cwnd, ssthresh, advertised))
+    }
+
+    fn on_loss_signal(&mut self, flight: f64) -> LossResponse {
+        LossResponse::FastRecovery {
+            ssthresh: reno_loss_ssthresh(flight),
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! SACK: Reno window arithmetic over scoreboard-driven repair.
+
+use crate::cc::reno::{reno_ack_cwnd, reno_loss_ssthresh};
+use crate::cc::{CongestionControl, LossResponse};
+
+/// The SACK policy is pure Reno on the window side; what distinguishes
+/// the variant — the RFC 2018 scoreboard and RFC 3517 hole repair — is
+/// loss *detection*, which lives in the reliability engine. Like
+/// NewReno, a partial ACK keeps the episode alive so multiple holes are
+/// repaired in one recovery instead of stalling into a timeout.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Sack;
+
+impl CongestionControl for Sack {
+    fn on_ack_cwnd(
+        &mut self,
+        cwnd: f64,
+        ssthresh: f64,
+        _in_slow_start: bool,
+        advertised: f64,
+    ) -> Option<f64> {
+        Some(reno_ack_cwnd(cwnd, ssthresh, advertised))
+    }
+
+    fn on_loss_signal(&mut self, flight: f64) -> LossResponse {
+        LossResponse::FastRecovery {
+            ssthresh: reno_loss_ssthresh(flight),
+        }
+    }
+
+    fn holds_recovery_on_partial_ack(&self) -> bool {
+        true
+    }
+}

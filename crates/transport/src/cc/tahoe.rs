@@ -1,0 +1,28 @@
+//! Tahoe: Jacobson '88 without fast recovery.
+
+use crate::cc::reno::{reno_ack_cwnd, reno_loss_ssthresh};
+use crate::cc::{CongestionControl, LossResponse};
+
+/// Tahoe treats every loss signal alike: halve into `ssthresh`, collapse
+/// to a one-segment window, and slow-start from scratch (the engine
+/// performs the go-back-N rewind). Growth rules are Reno's.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Tahoe;
+
+impl CongestionControl for Tahoe {
+    fn on_ack_cwnd(
+        &mut self,
+        cwnd: f64,
+        ssthresh: f64,
+        _in_slow_start: bool,
+        advertised: f64,
+    ) -> Option<f64> {
+        Some(reno_ack_cwnd(cwnd, ssthresh, advertised))
+    }
+
+    fn on_loss_signal(&mut self, flight: f64) -> LossResponse {
+        LossResponse::Collapse {
+            ssthresh: reno_loss_ssthresh(flight),
+        }
+    }
+}

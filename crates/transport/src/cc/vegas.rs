@@ -1,4 +1,4 @@
-//! TCP Vegas per-RTT congestion-avoidance state (Brakmo & Peterson 1995).
+//! TCP Vegas per-RTT congestion avoidance (Brakmo & Peterson 1995).
 //!
 //! Vegas compares the *expected* throughput `cwnd / baseRTT` with the
 //! *actual* throughput `cwnd / RTT` once per round-trip. The difference,
@@ -11,6 +11,7 @@
 use tcpburst_des::{SimDuration, SimTime};
 use tcpburst_net::SeqNo;
 
+use crate::cc::{CongestionControl, LossResponse, RoundAdjust, RoundSample};
 use crate::config::VegasParams;
 use crate::rtt::RttEstimator;
 
@@ -29,10 +30,12 @@ pub(crate) enum VegasDecision {
     ExitSlowStart,
 }
 
-/// The Vegas side-car carried by a [`TcpSender`](crate::TcpSender) running
-/// [`TcpVariant::Vegas`](crate::TcpVariant::Vegas).
+/// The Vegas policy: per-RTT `diff`-based window moves through
+/// [`CongestionControl::on_round`], every-other-RTT slow-start growth,
+/// a gentler 3/4 loss cut, and a fine-grained early-retransmission check
+/// on the first two duplicate ACKs.
 #[derive(Debug, Clone)]
-pub(crate) struct Vegas {
+pub struct Vegas {
     params: VegasParams,
     /// Smallest RTT ever observed (propagation + minimum queueing).
     base_rtt: Option<f64>,
@@ -48,7 +51,9 @@ pub(crate) struct Vegas {
 }
 
 impl Vegas {
-    pub(crate) fn new(params: VegasParams, max_rto: SimDuration) -> Self {
+    /// Creates the policy with the given thresholds; `max_rto` bounds the
+    /// fine-grained early-retransmission timer.
+    pub fn new(params: VegasParams, max_rto: SimDuration) -> Self {
         Vegas {
             params,
             base_rtt: None,
@@ -60,27 +65,9 @@ impl Vegas {
         }
     }
 
-    /// The minimum RTT observed so far.
-    pub(crate) fn base_rtt(&self) -> Option<f64> {
-        self.base_rtt
-    }
-
     /// True if slow-start window growth is allowed in the current epoch.
     pub(crate) fn may_grow_in_slow_start(&self) -> bool {
         self.grow_this_epoch
-    }
-
-    /// Feeds one fine-grained RTT sample (every ACKed, never-retransmitted
-    /// segment).
-    pub(crate) fn on_rtt_sample(&mut self, rtt: SimDuration) {
-        let secs = rtt.as_secs_f64();
-        self.base_rtt = Some(match self.base_rtt {
-            None => secs,
-            Some(b) => b.min(secs),
-        });
-        self.rtt_sum += secs;
-        self.rtt_count += 1;
-        self.fine.sample(rtt);
     }
 
     /// True when `ack` closes the current measurement epoch.
@@ -146,13 +133,80 @@ impl Vegas {
         self.grow_this_epoch = true;
         self.epoch_end = next_end;
     }
+}
 
-    /// True if a dup-ACK at `now` for a segment last transmitted at
-    /// `last_sent` should trigger Vegas's early retransmission (the
-    /// fine-grained timeout check Brakmo applies to the first and second
-    /// duplicate ACKs).
-    pub(crate) fn early_retransmit_due(&self, last_sent: SimTime, now: SimTime) -> bool {
-        now.saturating_since(last_sent) > self.fine.rto()
+impl CongestionControl for Vegas {
+    /// Vegas grows per-ACK only in slow start, and only on its growth-parity
+    /// RTTs; congestion-avoidance moves happen once per round in
+    /// [`on_round`](CongestionControl::on_round).
+    fn on_ack_cwnd(
+        &mut self,
+        cwnd: f64,
+        _ssthresh: f64,
+        in_slow_start: bool,
+        advertised: f64,
+    ) -> Option<f64> {
+        (in_slow_start && self.may_grow_in_slow_start()).then(|| (cwnd + 1.0).min(advertised))
+    }
+
+    /// Vegas cuts less aggressively (to 3/4) because its loss was detected
+    /// early, before the queue collapsed.
+    fn on_loss_signal(&mut self, flight: f64) -> LossResponse {
+        LossResponse::FastRecovery {
+            ssthresh: (flight * 0.75).max(2.0),
+        }
+    }
+
+    fn on_rto(&mut self, flight: f64, resume_from: SeqNo) -> f64 {
+        self.reset_epoch(resume_from.next());
+        (flight / 2.0).max(2.0)
+    }
+
+    fn on_rtt_sample(&mut self, rtt: SimDuration) {
+        let secs = rtt.as_secs_f64();
+        self.base_rtt = Some(match self.base_rtt {
+            None => secs,
+            Some(b) => b.min(secs),
+        });
+        self.rtt_sum += secs;
+        self.rtt_count += 1;
+        self.fine.sample(rtt);
+    }
+
+    fn on_round(&mut self, round: RoundSample) -> Option<RoundAdjust> {
+        if !self.epoch_closed_by(round.ack) {
+            return None;
+        }
+        let decision = self.close_epoch(round.cwnd, round.in_slow_start, round.ack, round.snd_nxt);
+        // During fast recovery the window is managed by the loss machinery
+        // (inflation/deflation); close the epoch to keep the measurement
+        // cadence but skip the adjustment.
+        let decision = if round.in_fast_recovery {
+            VegasDecision::Hold
+        } else {
+            decision
+        };
+        Some(match decision {
+            VegasDecision::Increase => RoundAdjust::SetCwnd((round.cwnd + 1.0).min(round.advertised)),
+            VegasDecision::Decrease => RoundAdjust::SetCwnd((round.cwnd - 1.0).max(2.0)),
+            VegasDecision::ExitSlowStart => RoundAdjust::ExitSlowStart {
+                // Brakmo: back off by one eighth and switch to the linear
+                // regime.
+                cwnd: (round.cwnd * 7.0 / 8.0).max(2.0),
+                ssthresh: 2.0,
+            },
+            VegasDecision::Hold | VegasDecision::NoMeasurement => RoundAdjust::Hold,
+        })
+    }
+
+    /// The fine-grained timeout check Brakmo applies to the first and second
+    /// duplicate ACKs.
+    fn early_retransmit_due(&self, dup_acks: u32, last_sent: SimTime, now: SimTime) -> bool {
+        dup_acks <= 2 && now.saturating_since(last_sent) > self.fine.rto()
+    }
+
+    fn base_rtt(&self) -> Option<f64> {
+        self.base_rtt
     }
 }
 
@@ -276,7 +330,9 @@ mod tests {
         v.on_rtt_sample(ms(40));
         let rto = v.fine.rto();
         let sent = SimTime::from_millis(100);
-        assert!(!v.early_retransmit_due(sent, sent + rto / 2));
-        assert!(v.early_retransmit_due(sent, sent + rto + ms(1)));
+        assert!(!v.early_retransmit_due(1, sent, sent + rto / 2));
+        assert!(v.early_retransmit_due(1, sent, sent + rto + ms(1)));
+        // Past the second duplicate the ordinary DupThresh path takes over.
+        assert!(!v.early_retransmit_due(3, sent, sent + rto + ms(1)));
     }
 }

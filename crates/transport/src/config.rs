@@ -24,6 +24,12 @@ pub enum TcpVariant {
     /// RFC 3517 recovery): multiple holes in one window are repaired within
     /// one recovery episode instead of stalling into a timeout.
     Sack,
+    /// Ott–Swanson generalized AIMD: window increase per RTT proportional
+    /// to `cwnd^alpha`, multiplicative decrease proportional to
+    /// `cwnd^beta`. The exponents live in [`TcpConfig::gaimd`] (they are
+    /// `f64`s, so they cannot ride in this `Eq + Hash` enum);
+    /// `alpha = 0, beta = 1` reduces exactly to Reno.
+    Gaimd,
 }
 
 impl TcpVariant {
@@ -62,6 +68,31 @@ impl Default for VegasParams {
     }
 }
 
+/// Exponents of the Ott–Swanson generalized AIMD family
+/// ([`TcpVariant::Gaimd`]).
+///
+/// Congestion avoidance grows the window by `cwnd^alpha / cwnd` per ACK
+/// (one `cwnd^alpha` increase per round trip) and a loss event sets
+/// `ssthresh = flight − flight^beta / 2`. The defaults `(0, 1)` make the
+/// family coincide with Reno bit-for-bit: `x^0` is exactly `1.0` and
+/// `x − x^1/2` is exactly `x/2` in IEEE-754 arithmetic.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GaimdParams {
+    /// Increase exponent, in `[0, 1)`. `0` is Reno's one-packet-per-RTT.
+    pub alpha: f64,
+    /// Decrease exponent, in `(0, 1]`. `1` is Reno's halving.
+    pub beta: f64,
+}
+
+impl Default for GaimdParams {
+    fn default() -> Self {
+        GaimdParams {
+            alpha: 0.0,
+            beta: 1.0,
+        }
+    }
+}
+
 /// Parameters of one TCP connection.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TcpConfig {
@@ -95,6 +126,9 @@ pub struct TcpConfig {
     pub initial_ssthresh: f64,
     /// Vegas thresholds (ignored by the loss-based variants).
     pub vegas: VegasParams,
+    /// Generalized-AIMD exponents (ignored unless the variant is
+    /// [`TcpVariant::Gaimd`]).
+    pub gaimd: GaimdParams,
     /// Record a `(time, cwnd)` trace on every window change (Figures 5–12).
     pub trace_cwnd: bool,
     /// Negotiate ECN: data segments are sent ECN-capable and the sender
@@ -119,6 +153,7 @@ impl TcpConfig {
             initial_cwnd: 1.0,
             initial_ssthresh: 1e9,
             vegas: VegasParams::default(),
+            gaimd: GaimdParams::default(),
             trace_cwnd: false,
             ecn: false,
         }
@@ -143,6 +178,14 @@ impl TcpConfig {
             "Vegas thresholds must satisfy 0 < alpha <= beta"
         );
         assert!(self.vegas.gamma > 0.0, "Vegas gamma must be positive");
+        assert!(
+            (0.0..1.0).contains(&self.gaimd.alpha),
+            "GAIMD alpha must lie in [0, 1)"
+        );
+        assert!(
+            self.gaimd.beta > 0.0 && self.gaimd.beta <= 1.0,
+            "GAIMD beta must lie in (0, 1]"
+        );
     }
 }
 
@@ -158,6 +201,7 @@ mod tests {
             TcpVariant::NewReno,
             TcpVariant::Vegas,
             TcpVariant::Sack,
+            TcpVariant::Gaimd,
         ] {
             let cfg = TcpConfig::paper(v);
             cfg.validate();
@@ -183,6 +227,30 @@ mod tests {
             beta: 1.0,
             gamma: 1.0,
         };
+        cfg.validate();
+    }
+
+    #[test]
+    fn gaimd_defaults_reduce_to_reno() {
+        let p = GaimdParams::default();
+        assert_eq!((p.alpha, p.beta), (0.0, 1.0));
+        assert!(!TcpVariant::Gaimd.is_vegas());
+        assert!(!TcpVariant::Gaimd.uses_sack());
+    }
+
+    #[test]
+    #[should_panic(expected = "GAIMD alpha")]
+    fn gaimd_alpha_out_of_range_panics() {
+        let mut cfg = TcpConfig::paper(TcpVariant::Gaimd);
+        cfg.gaimd.alpha = 1.0;
+        cfg.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "GAIMD beta")]
+    fn gaimd_zero_beta_panics() {
+        let mut cfg = TcpConfig::paper(TcpVariant::Gaimd);
+        cfg.gaimd.beta = 0.0;
         cfg.validate();
     }
 

@@ -9,10 +9,21 @@
 //!   backoff, go-back-N timeout recovery, and optional delayed ACKs;
 //! * [`TcpVariant`] — the congestion-control flavours: **Tahoe** (loss ⇒
 //!   slow start), **Reno** (fast recovery, the paper's workhorse),
-//!   **NewReno** (partial-ACK retransmission, RFC 6582 semantics) and
+//!   **NewReno** (partial-ACK retransmission, RFC 6582 semantics),
 //!   **Vegas** (Brakmo–Peterson congestion *avoidance* via the
-//!   expected-vs-actual rate difference, with α/β/γ thresholds);
+//!   expected-vs-actual rate difference, with α/β/γ thresholds), **SACK**
+//!   (RFC 2018/3517 scoreboard repair) and **GAIMD** (the Ott–Swanson
+//!   generalized-AIMD `(alpha, beta)` family);
+//! * [`cc`] — the congestion-control policy layer: the
+//!   [`CongestionControl`] trait, one implementation per variant, and the
+//!   [`Policy`] enum-dispatch wrapper the sender carries;
 //! * [`UdpSender`] / [`UdpSink`] — the no-feedback baseline.
+//!
+//! The TCP side is built as two layers: the **reliability engine** in
+//! `sender/` (sequencing, retransmission queue, timers, loss detection)
+//! and the **policy layer** in [`cc`] (window arithmetic). Adding a
+//! variant means writing one `CongestionControl` impl and registering it
+//! at the single construction site, [`Policy::for_config`].
 //!
 //! The senders are *sans-io* state machines: they consume ACKs and timer
 //! firings, and push fully formed [`Packet`](tcpburst_net::Packet)s into a
@@ -27,6 +38,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cc;
 mod config;
 mod counters;
 mod event;
@@ -34,9 +46,9 @@ mod receiver;
 mod rtt;
 mod sender;
 mod udp;
-mod vegas;
 
-pub use config::{TcpConfig, TcpVariant, VegasParams};
+pub use cc::{CongestionControl, GeneralizedAimd, LossResponse, Policy, RoundAdjust, RoundSample};
+pub use config::{GaimdParams, TcpConfig, TcpVariant, VegasParams};
 pub use counters::{ReceiverCounters, TcpCounters};
 pub use event::{TimerKind, TransportEvent};
 pub use receiver::TcpReceiver;

@@ -1,0 +1,293 @@
+//! The ACK path: cumulative and duplicate acknowledgments, SACK
+//! scoreboard maintenance, loss detection, recovery entry and exit, and
+//! the ECN echo response.
+
+use tcpburst_des::{Scheduler, SimTime};
+use tcpburst_net::{SackBlocks, SeqNo};
+
+use crate::cc::{CongestionControl, LossResponse, RoundAdjust, RoundSample};
+use crate::event::TransportEvent;
+use crate::sender::state::Phase;
+use crate::sender::TcpSender;
+
+impl TcpSender {
+    /// Handles a cumulative acknowledgment. `ece` is the ACK's ECN-echo
+    /// flag (ignored unless this connection negotiated ECN,
+    /// [`TcpConfig::ecn`](crate::TcpConfig::ecn)); `sack` carries the
+    /// receiver's selective acknowledgments (ignored unless the variant
+    /// is [`TcpVariant::Sack`](crate::TcpVariant::Sack)).
+    pub fn on_ack<E: From<TransportEvent>>(
+        &mut self,
+        ack: SeqNo,
+        ece: bool,
+        sack: SackBlocks,
+        sched: &mut Scheduler<E>,
+        out: &mut Vec<tcpburst_net::Packet>,
+    ) {
+        self.counters.acks_received += 1;
+        if ece && self.cfg.ecn {
+            self.on_ecn_echo(sched.now());
+        }
+        if self.cfg.variant.uses_sack() {
+            for (s, e) in sack.iter() {
+                let lo = s.max(self.snd_una);
+                let hi = e.min(self.snd_nxt);
+                let mut q = lo;
+                while q < hi {
+                    self.sacked.insert(q);
+                    q = q.next();
+                }
+            }
+        }
+        if ack > self.snd_una {
+            self.on_new_ack(ack, sched, out);
+        } else if self.in_flight() > 0 {
+            self.on_dup_ack(sched, out);
+        }
+    }
+
+    /// The lowest un-SACKed hole in `[self.sack_rtx_next, upto)` that is
+    /// *lost* by RFC 3517's DupThresh heuristic: at least three SACKed
+    /// segments lie above it. Merely in-flight segments (no evidence above
+    /// them) are left alone.
+    fn next_sack_hole(&self, upto: SeqNo) -> Option<SeqNo> {
+        let mut q = self.sack_rtx_next.max(self.snd_una);
+        while q < upto {
+            if !self.sacked.contains(&q) {
+                let evidence = self.sacked.range(q..).take(3).count();
+                if evidence >= 3 {
+                    return Some(q);
+                }
+                // Not enough SACK evidence above this hole; anything higher
+                // has even less, so stop scanning.
+                return None;
+            }
+            q = q.next();
+        }
+        None
+    }
+
+    /// RFC 3168 response, simplified: cut the window at most once per
+    /// smoothed RTT (the policy decides how deep the cut goes); no
+    /// retransmission is needed because nothing was lost.
+    fn on_ecn_echo(&mut self, now: SimTime) {
+        if self.in_fast_recovery() {
+            return; // already responding to loss
+        }
+        let holdoff = self
+            .rtt
+            .srtt()
+            .unwrap_or(self.cfg.min_rto)
+            .max(self.cfg.tick);
+        if let Some(last) = self.last_ecn_cut {
+            if now.saturating_since(last) < holdoff {
+                return;
+            }
+        }
+        self.last_ecn_cut = Some(now);
+        self.counters.ecn_window_cuts += 1;
+        self.hold_growth = true;
+        self.ssthresh = self.policy.on_ecn_cwnd(self.in_flight() as f64);
+        self.set_cwnd(now, self.ssthresh);
+        if self.phase == Phase::SlowStart {
+            self.phase = Phase::CongestionAvoidance;
+        }
+    }
+
+    fn on_new_ack<E: From<TransportEvent>>(
+        &mut self,
+        ack: SeqNo,
+        sched: &mut Scheduler<E>,
+        out: &mut Vec<tcpburst_net::Packet>,
+    ) {
+        let now = sched.now();
+        let newly_acked = self.snd_una.distance_to(ack);
+
+        // Retire send records; sample the RTT from the newest segment that
+        // was transmitted exactly once (Karn's rule).
+        let mut sample = None;
+        while let Some(front) = self.records.front() {
+            if front.seq >= ack {
+                break;
+            }
+            let r = self.records.pop_front().expect("front exists");
+            if !r.retransmitted {
+                sample = Some(now.saturating_since(r.last_sent));
+            }
+        }
+        if let Some(s) = sample {
+            self.rtt.sample(s);
+            self.counters.rtt_samples += 1;
+            self.policy.on_rtt_sample(s);
+        }
+
+        self.snd_una = ack;
+        if self.snd_nxt < self.snd_una {
+            // A segment from before a go-back-N rewind was still in flight
+            // and got acknowledged; fast-forward past it.
+            self.snd_nxt = self.snd_una;
+        }
+        if !self.sacked.is_empty() {
+            self.sacked = self.sacked.split_off(&self.snd_una);
+        }
+
+        match self.phase {
+            Phase::FastRecovery { recover } => {
+                let full = ack >= recover;
+                if !full && self.policy.holds_recovery_on_partial_ack() {
+                    // Partial ACK: the cumulative point is the next lost
+                    // segment (for SACK, even if an earlier retransmission
+                    // of it was lost too, RFC 3517 §5 step C; for NewReno,
+                    // RFC 6582). Repair it, deflate by the amount
+                    // acknowledged, stay in recovery.
+                    self.set_cwnd(now, (self.cwnd - newly_acked as f64 + 1.0).max(1.0));
+                    self.transmit(self.snd_una, now, out);
+                    if self.cfg.variant.uses_sack() {
+                        self.sack_rtx_next = self.sack_rtx_next.max(self.snd_una.next());
+                    }
+                    self.arm_rto(sched);
+                } else {
+                    // Reno and Vegas leave recovery on any new ACK (this
+                    // is precisely why a multi-loss window in Reno
+                    // usually ends in a timeout); NewReno and SACK leave
+                    // on a full ACK.
+                    let deflated = self.policy.post_recovery_cwnd(self.ssthresh);
+                    self.set_cwnd(now, deflated);
+                    self.phase = if self.cwnd < self.ssthresh {
+                        Phase::SlowStart
+                    } else {
+                        Phase::CongestionAvoidance
+                    };
+                    self.dup_acks = 0;
+                }
+            }
+            Phase::SlowStart | Phase::CongestionAvoidance => {
+                self.dup_acks = 0;
+                if self.hold_growth {
+                    // RFC 3168: no window increase on the ACK that echoed
+                    // congestion.
+                    self.hold_growth = false;
+                } else {
+                    self.grow_window(now);
+                }
+            }
+        }
+
+        if self.in_flight() == 0 {
+            // Everything acknowledged: delete the queued RTO firing in place
+            // instead of letting a dead event travel through the queue.
+            self.rto_timer.cancel_scheduled(sched);
+        } else {
+            self.arm_rto(sched);
+        }
+        self.send_pending(sched, out);
+
+        // The policy's once-per-round decision (Vegas). This runs after
+        // `send_pending` so the next epoch marker covers the full flight
+        // just released — the epoch must span one whole window, not end at
+        // its first ACK.
+        let round = RoundSample {
+            ack,
+            snd_nxt: self.snd_nxt,
+            cwnd: self.cwnd,
+            in_slow_start: self.phase == Phase::SlowStart,
+            in_fast_recovery: matches!(self.phase, Phase::FastRecovery { .. }),
+            advertised: f64::from(self.cfg.advertised_window),
+        };
+        if let Some(adjust) = self.policy.on_round(round) {
+            match adjust {
+                RoundAdjust::Hold => {}
+                RoundAdjust::SetCwnd(w) => self.set_cwnd(now, w),
+                RoundAdjust::ExitSlowStart { cwnd, ssthresh } => {
+                    self.set_cwnd(now, cwnd);
+                    self.ssthresh = ssthresh;
+                    if self.phase == Phase::SlowStart {
+                        self.phase = Phase::CongestionAvoidance;
+                    }
+                }
+            }
+            // An increase may have opened the window.
+            self.send_pending(sched, out);
+        }
+    }
+
+    fn on_dup_ack<E: From<TransportEvent>>(
+        &mut self,
+        sched: &mut Scheduler<E>,
+        out: &mut Vec<tcpburst_net::Packet>,
+    ) {
+        let now = sched.now();
+        self.counters.dup_acks_received += 1;
+        self.dup_acks += 1;
+
+        if self.in_fast_recovery() {
+            // Window inflation: each dup ACK signals a departure.
+            self.set_cwnd(now, self.cwnd + 1.0);
+            if self.cfg.variant.uses_sack() {
+                // The scoreboard lets us repair further holes without
+                // waiting for partial ACKs.
+                if let Phase::FastRecovery { recover } = self.phase {
+                    if let Some(hole) = self.next_sack_hole(recover) {
+                        self.transmit(hole, now, out);
+                        self.sack_rtx_next = hole.next();
+                        return;
+                    }
+                }
+            }
+            self.send_pending(sched, out);
+            return;
+        }
+
+        let early = match self.records.front() {
+            Some(front) => self
+                .policy
+                .early_retransmit_due(self.dup_acks, front.last_sent, now),
+            None => false,
+        };
+        if self.dup_acks >= 3 || early {
+            self.enter_loss_recovery(sched, out);
+        }
+    }
+
+    fn enter_loss_recovery<E: From<TransportEvent>>(
+        &mut self,
+        sched: &mut Scheduler<E>,
+        out: &mut Vec<tcpburst_net::Packet>,
+    ) {
+        let now = sched.now();
+        let flight = self.in_flight() as f64;
+        self.counters.fast_retransmits += 1;
+        match self.policy.on_loss_signal(flight) {
+            LossResponse::Collapse { ssthresh } => {
+                // Tahoe: fast retransmit, then slow-start from scratch.
+                self.ssthresh = ssthresh;
+                self.set_cwnd(now, 1.0);
+                self.phase = Phase::SlowStart;
+                self.dup_acks = 0;
+                self.snd_nxt = self.snd_una; // go-back-N
+                self.send_pending(sched, out);
+            }
+            LossResponse::FastRecovery { ssthresh } => {
+                self.ssthresh = ssthresh;
+                self.phase = Phase::FastRecovery { recover: self.snd_nxt };
+                self.transmit(self.snd_una, now, out);
+                self.sack_rtx_next = self.snd_una.next();
+                self.set_cwnd(now, self.ssthresh + 3.0);
+                self.arm_rto(sched);
+            }
+        }
+    }
+
+    /// Per-ACK window growth outside recovery; the policy returns the new
+    /// window (or holds), the engine applies the slow-start exit.
+    pub(super) fn grow_window(&mut self, now: SimTime) {
+        let adv = f64::from(self.cfg.advertised_window);
+        let in_ss = self.phase == Phase::SlowStart;
+        if let Some(w) = self.policy.on_ack_cwnd(self.cwnd, self.ssthresh, in_ss, adv) {
+            self.set_cwnd(now, w);
+        }
+        if self.phase == Phase::SlowStart && self.cwnd >= self.ssthresh {
+            self.phase = Phase::CongestionAvoidance;
+        }
+    }
+}

@@ -1,0 +1,21 @@
+//! The TCP sender, split along the two-layer architecture:
+//!
+//! * [`state`] — the [`TcpSender`] state machine itself: connection
+//!   state, window/threshold storage, accessors, construction;
+//! * [`ack`] — the ACK path: cumulative and duplicate ACKs, SACK
+//!   scoreboard maintenance, loss detection, recovery entry/exit, ECN;
+//! * [`send`] — transmission: the application send buffer, the usable
+//!   window, and segment (re)transmission;
+//! * [`timer`] — the retransmission timer: RTO arming and expiry.
+//!
+//! All *policy* decisions (how much to grow or cut the window) are
+//! delegated to the sender's [`Policy`](crate::cc::Policy) through the
+//! [`CongestionControl`](crate::cc::CongestionControl) trait; these
+//! modules implement only the reliability engine.
+
+mod ack;
+mod send;
+mod state;
+mod timer;
+
+pub use state::TcpSender;

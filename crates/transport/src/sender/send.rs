@@ -1,0 +1,84 @@
+//! Transmission: the application send buffer, the usable window, and
+//! segment (re)transmission.
+
+use tcpburst_des::{Scheduler, SimTime};
+use tcpburst_net::{Ecn, Packet, PacketKind, SeqNo};
+
+use crate::event::TransportEvent;
+use crate::sender::state::SendRecord;
+use crate::sender::TcpSender;
+
+impl TcpSender {
+    /// The application submits `count` more segments to the (unbounded) send
+    /// buffer; anything the window permits goes out immediately.
+    pub fn on_app_packets<E: From<TransportEvent>>(
+        &mut self,
+        count: u64,
+        sched: &mut Scheduler<E>,
+        out: &mut Vec<Packet>,
+    ) {
+        self.app_limit = SeqNo(self.app_limit.0 + count);
+        self.counters.app_packets_submitted += count;
+        self.send_pending(sched, out);
+        self.counters.peak_backlog = self.counters.peak_backlog.max(self.backlog());
+    }
+
+    /// The usable window: `min(⌊cwnd⌋, advertised)`.
+    fn usable_window(&self) -> u64 {
+        (self.cwnd.floor() as u64).min(u64::from(self.cfg.advertised_window))
+    }
+
+    pub(super) fn send_pending<E: From<TransportEvent>>(
+        &mut self,
+        sched: &mut Scheduler<E>,
+        out: &mut Vec<Packet>,
+    ) {
+        let now = sched.now();
+        let mut sent_any = false;
+        while self.in_flight() < self.usable_window() && self.snd_nxt < self.app_limit {
+            let seq = self.snd_nxt;
+            self.transmit(seq, now, out);
+            self.snd_nxt = seq.next();
+            sent_any = true;
+        }
+        if sent_any && !self.rto_timer.is_armed() {
+            self.arm_rto(sched);
+        }
+    }
+
+    pub(super) fn transmit(&mut self, seq: SeqNo, now: SimTime, out: &mut Vec<Packet>) {
+        let idx = (seq.0 - self.snd_una.0) as usize;
+        let retransmit = if idx < self.records.len() {
+            let r = &mut self.records[idx];
+            debug_assert_eq!(r.seq, seq, "send records out of alignment");
+            r.last_sent = now;
+            r.retransmitted = true;
+            true
+        } else {
+            debug_assert_eq!(idx, self.records.len(), "non-contiguous transmission");
+            self.records.push_back(SendRecord {
+                seq,
+                last_sent: now,
+                retransmitted: false,
+            });
+            false
+        };
+        if retransmit {
+            self.counters.retransmits += 1;
+        }
+        self.counters.data_packets_sent += 1;
+        out.push(Packet {
+            flow: self.flow,
+            kind: PacketKind::TcpData { seq, retransmit },
+            size_bytes: self.cfg.mss_bytes,
+            src: self.local,
+            dst: self.remote,
+            created_at: now,
+            ecn: if self.cfg.ecn {
+                Ecn::Capable
+            } else {
+                Ecn::NotCapable
+            },
+        });
+    }
+}

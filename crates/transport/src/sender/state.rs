@@ -1,0 +1,220 @@
+//! The [`TcpSender`] state machine: fields, construction, accessors.
+
+use std::collections::{BTreeSet, VecDeque};
+
+use tcpburst_des::{SimTime, TimerSlot};
+use tcpburst_net::{FlowId, NodeId, SeqNo};
+use tcpburst_stats::TimeSeries;
+
+use crate::cc::{CongestionControl, Policy};
+use crate::config::TcpConfig;
+use crate::counters::TcpCounters;
+use crate::rtt::RttEstimator;
+
+/// Congestion-control phase.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(super) enum Phase {
+    SlowStart,
+    CongestionAvoidance,
+    /// Reno-style fast recovery; `recover` is `snd_nxt` at entry (NewReno
+    /// stays in recovery until the cumulative ACK reaches it).
+    FastRecovery { recover: SeqNo },
+}
+
+/// Book-keeping for one transmitted, not-yet-acknowledged segment.
+#[derive(Debug, Clone, Copy)]
+pub(super) struct SendRecord {
+    pub(super) seq: SeqNo,
+    pub(super) last_sent: SimTime,
+    pub(super) retransmitted: bool,
+}
+
+/// The client-side endpoint of one TCP connection.
+///
+/// A sans-io state machine: the application submits segments with
+/// [`on_app_packets`](TcpSender::on_app_packets) (they accumulate in an
+/// unbounded send buffer, exactly the decoupling the paper's Section 3.2
+/// analyzes), ACKs arrive through [`on_ack`](TcpSender::on_ack), timer
+/// firings through [`on_timer`](TcpSender::on_timer), and every outbound
+/// segment is pushed to the caller's `Vec<Packet>` for injection into the
+/// network.
+///
+/// The sender is the **reliability engine** of the two-layer transport
+/// architecture: it owns sequencing, the retransmission queue, RTO
+/// handling with Karn's rule and exponential backoff, go-back-N timeout
+/// recovery, dup-ACK and SACK-scoreboard loss detection, and the fast
+/// recovery inflation/deflation machinery. Every *window-sizing* decision
+/// is delegated to its [`Policy`](crate::cc::Policy) — one
+/// [`CongestionControl`](crate::cc::CongestionControl) implementation per
+/// [`TcpVariant`](crate::TcpVariant) — so the engine itself contains no
+/// per-variant branches.
+#[derive(Debug)]
+pub struct TcpSender {
+    pub(super) cfg: TcpConfig,
+    pub(super) flow: FlowId,
+    pub(super) local: NodeId,
+    pub(super) remote: NodeId,
+
+    pub(super) snd_una: SeqNo,
+    pub(super) snd_nxt: SeqNo,
+    /// One past the last segment the application has submitted.
+    pub(super) app_limit: SeqNo,
+
+    pub(super) cwnd: f64,
+    pub(super) ssthresh: f64,
+    pub(super) dup_acks: u32,
+    pub(super) phase: Phase,
+
+    /// Records for `[snd_una, highest_sent)`, front-aligned with `snd_una`.
+    pub(super) records: VecDeque<SendRecord>,
+    pub(super) rtt: RttEstimator,
+    pub(super) rto_timer: TimerSlot,
+    /// The congestion-control policy (window arithmetic lives here).
+    pub(super) policy: Policy,
+    /// When the window was last reduced in response to an ECN echo (the
+    /// response is rate-limited to once per RTT, like RFC 3168's CWR).
+    pub(super) last_ecn_cut: Option<SimTime>,
+    /// Growth is suppressed for the ACK that carried the ECN echo.
+    pub(super) hold_growth: bool,
+    /// SACK scoreboard: segments above `snd_una` the receiver holds.
+    pub(super) sacked: BTreeSet<SeqNo>,
+    /// Next hole candidate during a SACK recovery episode.
+    pub(super) sack_rtx_next: SeqNo,
+
+    pub(super) counters: TcpCounters,
+    /// `(time, cwnd)` trace; allocated only when
+    /// [`TcpConfig::trace_cwnd`] asks for it.
+    pub(super) trace: Option<TimeSeries>,
+}
+
+impl TcpSender {
+    /// Creates a sender for `flow`, living on node `local`, sending to
+    /// `remote`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see
+    /// [`TcpConfig::validate`]).
+    pub fn new(cfg: TcpConfig, flow: FlowId, local: NodeId, remote: NodeId) -> Self {
+        cfg.validate();
+        let policy = Policy::for_config(&cfg);
+        let mut sender = TcpSender {
+            cfg,
+            flow,
+            local,
+            remote,
+            snd_una: SeqNo::ZERO,
+            snd_nxt: SeqNo::ZERO,
+            app_limit: SeqNo::ZERO,
+            cwnd: cfg.initial_cwnd,
+            ssthresh: cfg.initial_ssthresh,
+            dup_acks: 0,
+            phase: Phase::SlowStart,
+            records: VecDeque::new(),
+            rtt: RttEstimator::new(cfg.tick, cfg.min_rto, cfg.max_rto),
+            rto_timer: TimerSlot::new(),
+            policy,
+            last_ecn_cut: None,
+            hold_growth: false,
+            sacked: BTreeSet::new(),
+            sack_rtx_next: SeqNo::ZERO,
+            counters: TcpCounters::default(),
+            trace: cfg.trace_cwnd.then(TimeSeries::new),
+        };
+        if let Some(trace) = sender.trace.as_mut() {
+            trace.record(SimTime::ZERO, sender.cwnd);
+        }
+        sender
+    }
+
+    /// The current congestion window, in packets.
+    pub fn cwnd(&self) -> f64 {
+        self.cwnd
+    }
+
+    /// The current slow-start threshold, in packets.
+    pub fn ssthresh(&self) -> f64 {
+        self.ssthresh
+    }
+
+    /// Packets in flight (sent, not yet cumulatively acknowledged).
+    pub fn in_flight(&self) -> u64 {
+        self.snd_una.distance_to(self.snd_nxt)
+    }
+
+    /// Segments submitted by the application but not yet transmitted.
+    pub fn backlog(&self) -> u64 {
+        self.snd_nxt.distance_to(self.app_limit)
+    }
+
+    /// Oldest unacknowledged sequence number.
+    pub fn snd_una(&self) -> SeqNo {
+        self.snd_una
+    }
+
+    /// Next fresh sequence number.
+    pub fn snd_nxt(&self) -> SeqNo {
+        self.snd_nxt
+    }
+
+    /// True while the sender is in slow start.
+    pub fn in_slow_start(&self) -> bool {
+        self.phase == Phase::SlowStart
+    }
+
+    /// True while the sender is in fast recovery.
+    pub fn in_fast_recovery(&self) -> bool {
+        matches!(self.phase, Phase::FastRecovery { .. })
+    }
+
+    /// Sender counters.
+    pub fn counters(&self) -> TcpCounters {
+        self.counters
+    }
+
+    /// The RTT estimator (for inspection).
+    pub fn rtt(&self) -> &RttEstimator {
+        &self.rtt
+    }
+
+    /// The `(time, cwnd)` trace; `None` unless [`TcpConfig::trace_cwnd`]
+    /// was set (no storage is allocated for untraced senders).
+    pub fn cwnd_trace(&self) -> Option<&TimeSeries> {
+        self.trace.as_ref()
+    }
+
+    /// Vegas's minimum observed RTT in seconds, if this is a Vegas sender
+    /// with at least one measurement.
+    pub fn vegas_base_rtt(&self) -> Option<f64> {
+        self.policy.base_rtt()
+    }
+
+    /// When the oldest in-flight segment was last (re)transmitted, or
+    /// `None` with nothing outstanding. A test/instrumentation hook: it
+    /// lets a harness deliver an ACK at an exact RTT after the send.
+    pub fn oldest_unacked_sent_at(&self) -> Option<SimTime> {
+        self.records.front().map(|r| r.last_sent)
+    }
+
+    /// Test support: overrides the slow-start threshold so a harness can
+    /// reach congestion avoidance in a handful of ACKs.
+    pub fn force_ssthresh(&mut self, ssthresh: f64) {
+        self.ssthresh = ssthresh;
+    }
+
+    /// Test support: jumps straight to congestion avoidance with the
+    /// given window and threshold, bypassing slow start (no trace entry
+    /// is recorded — the jump is scaffolding, not simulated behavior).
+    pub fn force_congestion_avoidance(&mut self, cwnd: f64, ssthresh: f64) {
+        self.phase = Phase::CongestionAvoidance;
+        self.cwnd = cwnd;
+        self.ssthresh = ssthresh;
+    }
+
+    pub(super) fn set_cwnd(&mut self, now: SimTime, value: f64) {
+        self.cwnd = value;
+        if let Some(trace) = self.trace.as_mut() {
+            trace.record(now, value);
+        }
+    }
+}

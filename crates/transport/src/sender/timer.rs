@@ -1,0 +1,70 @@
+//! The retransmission timer: RTO arming and expiry.
+
+use tcpburst_des::{Scheduler, TimerGeneration};
+use tcpburst_net::Packet;
+
+use crate::cc::CongestionControl;
+use crate::event::{TimerKind, TransportEvent};
+use crate::sender::state::Phase;
+use crate::sender::TcpSender;
+
+impl TcpSender {
+    /// Handles a timer firing addressed to this sender.
+    ///
+    /// Returns `true` if the firing was live (matched the current arming)
+    /// and `false` if it was stale or misrouted — callers use this to count
+    /// how much dead-timer traffic still reaches dispatch (it should be
+    /// nearly zero with eager cancellation; see
+    /// [`TimerSlot::schedule`](tcpburst_des::TimerSlot::schedule)).
+    pub fn on_timer<E: From<TransportEvent>>(
+        &mut self,
+        kind: TimerKind,
+        generation: TimerGeneration,
+        sched: &mut Scheduler<E>,
+        out: &mut Vec<Packet>,
+    ) -> bool {
+        if kind != TimerKind::Rto || !self.rto_timer.fires(generation) {
+            return false; // stale or misrouted firing
+        }
+        self.rto_timer.disarm();
+        if self.in_flight() == 0 {
+            return true;
+        }
+        let now = sched.now();
+        self.counters.timeouts += 1;
+
+        // Classic timeout response: the policy picks the new threshold,
+        // the engine collapses the window to one segment, backs the timer
+        // off, and resends from the hole (go-back-N, like the ns agents).
+        self.ssthresh = self.policy.on_rto(self.in_flight() as f64, self.snd_una);
+        self.set_cwnd(now, 1.0);
+        self.phase = Phase::SlowStart;
+        self.dup_acks = 0;
+        self.rtt.back_off();
+        self.snd_nxt = self.snd_una;
+        self.sacked.clear();
+        self.send_pending(sched, out);
+        // send_pending arms the timer only if something went out; make sure
+        // a zombie connection still retries.
+        if !self.rto_timer.is_armed() {
+            self.arm_rto(sched);
+        }
+        true
+    }
+
+    pub(super) fn arm_rto<E: From<TransportEvent>>(&mut self, sched: &mut Scheduler<E>) {
+        let deadline = sched.now() + self.rtt.rto();
+        let flow = self.flow;
+        // Eager re-arm: the superseded firing (one per ACK on a busy
+        // connection) is deleted from the queue instead of shipped through
+        // dispatch as a dead event.
+        self.rto_timer.schedule(sched, deadline, |generation| {
+            TransportEvent {
+                flow,
+                kind: TimerKind::Rto,
+                generation,
+            }
+            .into()
+        });
+    }
+}

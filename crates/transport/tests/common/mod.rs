@@ -1,0 +1,59 @@
+//! Shared harness for the sender integration tests.
+//!
+//! Every per-module test file (`sender_window`, `sender_recovery`,
+//! `sender_timer`, `sender_vegas`, `sender_ecn`, …) drives a
+//! [`TcpSender`] through the same construction and clock plumbing; this
+//! module holds the one copy of it (it used to be duplicated ~30× across
+//! the old monolithic sender test module).
+
+use tcpburst_des::{Scheduler, SimDuration};
+use tcpburst_net::{FlowId, NodeId, Packet, PacketKind, SackBlocks, SeqNo};
+use tcpburst_transport::{TcpConfig, TcpSender, TcpVariant, TransportEvent};
+
+pub type Sched = Scheduler<TransportEvent>;
+
+/// A fresh paper-configured sender plus its scheduler and output buffer.
+pub fn sender(variant: TcpVariant) -> (TcpSender, Sched, Vec<Packet>) {
+    sender_with(TcpConfig::paper(variant))
+}
+
+/// Same, from an explicit (possibly customized) configuration.
+pub fn sender_with(cfg: TcpConfig) -> (TcpSender, Sched, Vec<Packet>) {
+    (
+        TcpSender::new(cfg, FlowId(0), NodeId(0), NodeId(1)),
+        Sched::new(),
+        Vec::new(),
+    )
+}
+
+/// The data sequence numbers in `out`, in emission order.
+pub fn data_seqs(out: &[Packet]) -> Vec<u64> {
+    out.iter()
+        .filter_map(|p| match p.kind {
+            PacketKind::TcpData { seq, .. } => Some(seq.0),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Advances the scheduler clock without dispatching (timer events are
+/// delivered manually where a test needs them).
+pub fn advance(sched: &mut Sched, ms: u64) {
+    let target = sched.now() + SimDuration::from_millis(ms);
+    while sched.pop_until(target).is_some() {}
+}
+
+/// Acknowledges the oldest outstanding packet exactly `delay_ms` after its
+/// (re)transmission, advancing the simulated clock as needed.
+pub fn ack_after(s: &mut TcpSender, sched: &mut Sched, out: &mut Vec<Packet>, delay_ms: u64) {
+    let sent = s.oldest_unacked_sent_at().expect("something in flight");
+    let target = sent + SimDuration::from_millis(delay_ms);
+    while sched.pop_until(target).is_some() {}
+    let a = s.snd_una().next();
+    s.on_ack(a, false, SackBlocks::EMPTY, sched, out);
+}
+
+/// Cumulatively ACKs `upto` with no SACK/ECE decoration.
+pub fn plain_ack(s: &mut TcpSender, sched: &mut Sched, out: &mut Vec<Packet>, upto: u64) {
+    s.on_ack(SeqNo(upto), false, SackBlocks::EMPTY, sched, out);
+}

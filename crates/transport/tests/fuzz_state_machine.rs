@@ -44,6 +44,7 @@ fn variants() -> impl Strategy<Value = TcpVariant> {
         Just(TcpVariant::NewReno),
         Just(TcpVariant::Vegas),
         Just(TcpVariant::Sack),
+        Just(TcpVariant::Gaimd),
     ]
 }
 

@@ -1,0 +1,51 @@
+//! ECN: the once-per-RTT echo response and capability marking.
+
+mod common;
+
+use common::{plain_ack, sender, sender_with};
+use tcpburst_net::{Ecn, SackBlocks, SeqNo};
+use tcpburst_transport::{TcpConfig, TcpVariant};
+
+#[test]
+fn ecn_echo_halves_window_once_per_rtt() {
+    let mut cfg = TcpConfig::paper(TcpVariant::Reno);
+    cfg.ecn = true;
+    let (mut s, mut sched, mut out) = sender_with(cfg);
+    s.force_ssthresh(2.0);
+    s.on_app_packets(100, &mut sched, &mut out);
+    for a in 1..=8u64 {
+        plain_ack(&mut s, &mut sched, &mut out, a);
+    }
+    let before = s.cwnd();
+    let flight = s.in_flight() as f64;
+    // First ECE: cut to half the flight.
+    s.on_ack(SeqNo(9), true, SackBlocks::EMPTY, &mut sched, &mut out);
+    assert_eq!(s.counters().ecn_window_cuts, 1);
+    assert!(s.cwnd() <= (flight / 2.0).max(2.0) + 1e-9);
+    assert!(s.cwnd() < before);
+    // A second ECE within the same RTT is ignored (once-per-RTT rule).
+    let after_first = s.cwnd();
+    s.on_ack(SeqNo(10), true, SackBlocks::EMPTY, &mut sched, &mut out);
+    assert_eq!(s.counters().ecn_window_cuts, 1);
+    assert!(s.cwnd() >= after_first - 1e-9);
+    // No retransmissions happened: nothing was lost.
+    assert_eq!(s.counters().retransmits, 0);
+    assert_eq!(s.counters().timeouts, 0);
+}
+
+#[test]
+fn ecn_echo_ignored_when_not_negotiated() {
+    let (mut s, mut sched, mut out) = sender(TcpVariant::Reno);
+    s.on_app_packets(10, &mut sched, &mut out);
+    s.on_ack(SeqNo(1), true, SackBlocks::EMPTY, &mut sched, &mut out);
+    assert_eq!(s.counters().ecn_window_cuts, 0);
+}
+
+#[test]
+fn ecn_sender_marks_segments_capable() {
+    let mut cfg = TcpConfig::paper(TcpVariant::Reno);
+    cfg.ecn = true;
+    let (mut s, mut sched, mut out) = sender_with(cfg);
+    s.on_app_packets(1, &mut sched, &mut out);
+    assert_eq!(out[0].ecn, Ecn::Capable);
+}

@@ -1,0 +1,215 @@
+//! Loss detection and recovery: fast retransmit, Reno inflation and
+//! deflation, the Reno/NewReno partial-ACK split, Tahoe's collapse, and
+//! the SACK scoreboard episodes.
+
+mod common;
+
+use common::{data_seqs, plain_ack, sender};
+use tcpburst_net::{SackBlocks, SeqNo};
+use tcpburst_transport::TcpVariant;
+
+#[test]
+fn third_dup_ack_triggers_fast_retransmit() {
+    let (mut s, mut sched, mut out) = sender(TcpVariant::Reno);
+    s.force_ssthresh(2.0); // get to CA quickly
+    s.on_app_packets(100, &mut sched, &mut out);
+    // Grow the window a bit.
+    for a in 1..=8u64 {
+        plain_ack(&mut s, &mut sched, &mut out, a);
+    }
+    let flight_before = s.in_flight();
+    assert!(flight_before >= 4, "need at least 4 in flight");
+    out.clear();
+    // Packet 8 lost: three dup ACKs for 8.
+    plain_ack(&mut s, &mut sched, &mut out, 8);
+    plain_ack(&mut s, &mut sched, &mut out, 8);
+    assert!(!s.in_fast_recovery());
+    plain_ack(&mut s, &mut sched, &mut out, 8);
+    assert!(s.in_fast_recovery());
+    // The hole was retransmitted.
+    let retx: Vec<_> = out
+        .iter()
+        .filter(|p| matches!(p.kind, tcpburst_net::PacketKind::TcpData { retransmit: true, .. }))
+        .collect();
+    assert_eq!(retx.len(), 1);
+    assert!(matches!(
+        retx[0].kind,
+        tcpburst_net::PacketKind::TcpData { seq: SeqNo(8), .. }
+    ));
+    assert_eq!(s.counters().fast_retransmits, 1);
+    assert_eq!(s.ssthresh(), (flight_before as f64 / 2.0).max(2.0));
+    assert_eq!(s.cwnd(), s.ssthresh() + 3.0);
+}
+
+#[test]
+fn fast_recovery_inflates_and_deflates() {
+    let (mut s, mut sched, mut out) = sender(TcpVariant::Reno);
+    s.force_ssthresh(2.0);
+    s.on_app_packets(100, &mut sched, &mut out);
+    for a in 1..=8u64 {
+        plain_ack(&mut s, &mut sched, &mut out, a);
+    }
+    for _ in 0..3 {
+        plain_ack(&mut s, &mut sched, &mut out, 8);
+    }
+    let after_retx = s.cwnd();
+    // Additional dup ACKs inflate.
+    plain_ack(&mut s, &mut sched, &mut out, 8);
+    assert_eq!(s.cwnd(), after_retx + 1.0);
+    // The retransmission is finally acknowledged: deflate to ssthresh.
+    let recovery_ack = s.snd_nxt();
+    plain_ack(&mut s, &mut sched, &mut out, recovery_ack.0);
+    assert!(!s.in_fast_recovery());
+    assert_eq!(s.cwnd(), s.ssthresh());
+    assert_eq!(s.counters().timeouts, 0);
+}
+
+#[test]
+fn reno_partial_ack_exits_recovery_newreno_stays() {
+    for (variant, expect_still_in_fr) in [(TcpVariant::Reno, false), (TcpVariant::NewReno, true)] {
+        let (mut s, mut sched, mut out) = sender(variant);
+        s.force_ssthresh(2.0);
+        s.on_app_packets(100, &mut sched, &mut out);
+        for a in 1..=8u64 {
+            plain_ack(&mut s, &mut sched, &mut out, a);
+        }
+        for _ in 0..3 {
+            plain_ack(&mut s, &mut sched, &mut out, 8);
+        }
+        assert!(s.in_fast_recovery());
+        out.clear();
+        // Partial ACK: one packet past the hole, but well short of
+        // everything outstanding at entry.
+        let partial = SeqNo(9);
+        assert!(partial < s.snd_nxt());
+        plain_ack(&mut s, &mut sched, &mut out, 9);
+        assert_eq!(
+            s.in_fast_recovery(),
+            expect_still_in_fr,
+            "variant {variant:?}"
+        );
+        if expect_still_in_fr {
+            // NewReno retransmits the next hole immediately.
+            assert!(data_seqs(&out).contains(&9), "NewReno must plug the hole");
+        }
+    }
+}
+
+#[test]
+fn tahoe_fast_retransmit_collapses_to_slow_start() {
+    let (mut s, mut sched, mut out) = sender(TcpVariant::Tahoe);
+    s.force_ssthresh(2.0);
+    s.on_app_packets(100, &mut sched, &mut out);
+    for a in 1..=8u64 {
+        plain_ack(&mut s, &mut sched, &mut out, a);
+    }
+    out.clear();
+    for _ in 0..3 {
+        plain_ack(&mut s, &mut sched, &mut out, 8);
+    }
+    assert!(!s.in_fast_recovery(), "Tahoe has no fast recovery");
+    assert!(s.in_slow_start());
+    assert_eq!(s.cwnd(), 1.0);
+    // Go-back-N: exactly one packet (the hole) goes out at cwnd 1.
+    assert_eq!(data_seqs(&out), vec![8]);
+    assert_eq!(s.counters().fast_retransmits, 1);
+}
+
+#[test]
+fn duplicate_acks_with_nothing_outstanding_are_ignored() {
+    let (mut s, mut sched, mut out) = sender(TcpVariant::Reno);
+    s.on_app_packets(1, &mut sched, &mut out);
+    plain_ack(&mut s, &mut sched, &mut out, 1);
+    for _ in 0..5 {
+        plain_ack(&mut s, &mut sched, &mut out, 1);
+    }
+    assert_eq!(s.counters().dup_acks_received, 0);
+    assert!(!s.in_fast_recovery());
+}
+
+/// Two holes in one window: Reno exits recovery on the partial ACK and
+/// (with no further dup ACKs) stalls into a timeout; SACK repairs both
+/// holes within the same recovery episode.
+#[test]
+fn sack_repairs_multiple_holes_in_one_recovery() {
+    let (mut s, mut sched, mut out) = sender(TcpVariant::Sack);
+    // Open the window wide enough for a 14-packet flight.
+    s.force_congestion_avoidance(14.0, 2.0);
+    s.on_app_packets(100, &mut sched, &mut out);
+    assert_eq!(s.snd_nxt(), SeqNo(14));
+    out.clear();
+    // Packets 8 and 10 are lost; 9 and 11..=13 arrive and generate
+    // dup ACKs for 8 with growing SACK information. ACKs 1..8 arrive
+    // first.
+    for a in 1..=8u64 {
+        plain_ack(&mut s, &mut sched, &mut out, a);
+    }
+    out.clear();
+    let sack1 = SackBlocks::from_ranges(&[(SeqNo(9), SeqNo(10))]);
+    let sack2 = SackBlocks::from_ranges(&[(SeqNo(11), SeqNo(12)), (SeqNo(9), SeqNo(10))]);
+    let sack3 = SackBlocks::from_ranges(&[(SeqNo(11), SeqNo(13)), (SeqNo(9), SeqNo(10))]);
+    let sack4 = SackBlocks::from_ranges(&[(SeqNo(11), SeqNo(14)), (SeqNo(9), SeqNo(10))]);
+    s.on_ack(SeqNo(8), false, sack1, &mut sched, &mut out);
+    s.on_ack(SeqNo(8), false, sack2, &mut sched, &mut out);
+    s.on_ack(SeqNo(8), false, sack3, &mut sched, &mut out);
+    assert!(s.in_fast_recovery());
+    // Hole 8 was fast-retransmitted.
+    assert_eq!(data_seqs(&out), vec![8]);
+    out.clear();
+    // The 4th dup ACK: the scoreboard now shows 3 SACKed segments above
+    // hole 10 (11, 12, 13), so RFC 3517 declares it lost and SACK
+    // repairs it without waiting for the partial ACK.
+    s.on_ack(SeqNo(8), false, sack4, &mut sched, &mut out);
+    assert_eq!(data_seqs(&out), vec![10]);
+    out.clear();
+    // Partial ACK up to 10 (hole 8 repaired): stay in recovery.
+    s.on_ack(SeqNo(10), false, sack4, &mut sched, &mut out);
+    assert!(s.in_fast_recovery(), "SACK stays in recovery on partial ACK");
+    // Full ACK ends the episode with no timeout.
+    let recover = s.snd_nxt();
+    plain_ack(&mut s, &mut sched, &mut out, recover.0);
+    assert!(!s.in_fast_recovery());
+    assert_eq!(s.counters().timeouts, 0);
+    assert_eq!(s.counters().fast_retransmits, 1);
+}
+
+/// Holes without three SACKed segments above them are treated as
+/// in-flight, not lost (RFC 3517 DupThresh): no spurious retransmission.
+#[test]
+fn sack_requires_dupthresh_evidence_before_repairing() {
+    let (mut s, mut sched, mut out) = sender(TcpVariant::Sack);
+    s.force_congestion_avoidance(14.0, 2.0);
+    s.on_app_packets(100, &mut sched, &mut out);
+    for a in 1..=8u64 {
+        plain_ack(&mut s, &mut sched, &mut out, a);
+    }
+    out.clear();
+    // Only packets 9 and 11 SACKed: hole 10 has one segment above it.
+    let weak = SackBlocks::from_ranges(&[(SeqNo(11), SeqNo(12)), (SeqNo(9), SeqNo(10))]);
+    for _ in 0..3 {
+        s.on_ack(SeqNo(8), false, weak, &mut sched, &mut out);
+    }
+    assert!(s.in_fast_recovery());
+    assert_eq!(data_seqs(&out), vec![8], "only the cumulative hole goes out");
+    out.clear();
+    // Further dup ACKs with the same weak evidence must not touch 10.
+    s.on_ack(SeqNo(8), false, weak, &mut sched, &mut out);
+    assert!(!data_seqs(&out).contains(&10));
+}
+
+#[test]
+fn sack_scoreboard_is_cleared_by_timeout_and_cumack() {
+    let (mut s, mut sched, mut out) = sender(TcpVariant::Sack);
+    s.on_app_packets(10, &mut sched, &mut out);
+    let sack = SackBlocks::from_ranges(&[(SeqNo(0), SeqNo(1))]);
+    // A dup ack at snd_una=0 carrying SACK for packet 0 is nonsense
+    // (below the hole), but ranges intersected with [snd_una, snd_nxt)
+    // keep the scoreboard consistent; a cumulative ACK retires entries.
+    s.on_ack(SeqNo(1), false, sack, &mut sched, &mut out);
+    assert_eq!(s.snd_una(), SeqNo(1));
+    // Timeout clears whatever remains and goes back N.
+    let (_, ev) = sched.pop().expect("rto armed");
+    s.on_timer(ev.kind, ev.generation, &mut sched, &mut out);
+    assert_eq!(s.counters().timeouts, 1);
+    assert!(s.in_slow_start());
+}

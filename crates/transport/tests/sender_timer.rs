@@ -1,0 +1,72 @@
+//! The retransmission timer: timeout collapse, stale-firing immunity,
+//! eager cancellation, and Karn's sampling rule.
+
+mod common;
+
+use common::{plain_ack, sender};
+use tcpburst_des::SimTime;
+use tcpburst_net::{PacketKind, SeqNo};
+use tcpburst_transport::{TcpVariant, TimerKind};
+
+#[test]
+fn timeout_collapses_window_and_backs_off() {
+    let (mut s, mut sched, mut out) = sender(TcpVariant::Reno);
+    s.on_app_packets(10, &mut sched, &mut out);
+    out.clear();
+    // Let the RTO fire (no ACKs at all).
+    let (t, ev) = sched.pop().expect("RTO scheduled");
+    assert_eq!(ev.kind, TimerKind::Rto);
+    assert_eq!(t, SimTime::ZERO + s.rtt().rto()); // armed at send time
+    s.on_timer(ev.kind, ev.generation, &mut sched, &mut out);
+    assert_eq!(s.counters().timeouts, 1);
+    assert_eq!(s.cwnd(), 1.0);
+    assert!(s.in_slow_start());
+    // The first packet is retransmitted, marked as such.
+    assert!(matches!(
+        out[0].kind,
+        PacketKind::TcpData { seq: SeqNo(0), retransmit: true }
+    ));
+    assert_eq!(s.counters().retransmits, 1);
+    assert_eq!(s.rtt().backoff_level(), 1);
+}
+
+#[test]
+fn stale_rto_firing_is_ignored() {
+    let (mut s, mut sched, mut out) = sender(TcpVariant::Reno);
+    s.on_app_packets(5, &mut sched, &mut out);
+    let (_, stale) = sched.pop().expect("first RTO");
+    // An ACK re-arms the timer, invalidating the popped firing.
+    plain_ack(&mut s, &mut sched, &mut out, 1);
+    out.clear();
+    s.on_timer(stale.kind, stale.generation, &mut sched, &mut out);
+    assert_eq!(s.counters().timeouts, 0);
+    assert!(out.is_empty());
+}
+
+#[test]
+fn rto_disarmed_when_everything_acked() {
+    let (mut s, mut sched, mut out) = sender(TcpVariant::Reno);
+    s.on_app_packets(1, &mut sched, &mut out);
+    plain_ack(&mut s, &mut sched, &mut out, 1);
+    assert_eq!(s.in_flight(), 0);
+    // Eager cancellation deleted the queued firing in place: nothing
+    // dead left to travel through the queue.
+    assert!(sched.pop().is_none(), "RTO event should be cancelled in place");
+    assert_eq!(sched.cancelled_in_place(), 1);
+    assert_eq!(s.counters().timeouts, 0);
+}
+
+#[test]
+fn karn_rule_skips_retransmitted_samples() {
+    let (mut s, mut sched, mut out) = sender(TcpVariant::Reno);
+    s.on_app_packets(2, &mut sched, &mut out);
+    // Timeout retransmits packet 0.
+    let (_, ev) = sched.pop().unwrap();
+    s.on_timer(ev.kind, ev.generation, &mut sched, &mut out);
+    // The (late) ACK for it must not feed the estimator.
+    plain_ack(&mut s, &mut sched, &mut out, 1);
+    assert_eq!(s.counters().rtt_samples, 0);
+    // A fresh, never-retransmitted packet does.
+    plain_ack(&mut s, &mut sched, &mut out, 2);
+    assert_eq!(s.counters().rtt_samples, 1);
+}

@@ -1,0 +1,80 @@
+//! Vegas through the engine: every-other-RTT slow start, the gamma exit,
+//! and the once-per-epoch diff-driven decrease.
+
+mod common;
+
+use common::{ack_after, advance, plain_ack, sender, sender_with};
+use tcpburst_transport::{TcpConfig, TcpVariant, VegasParams};
+
+#[test]
+fn vegas_slow_start_grows_every_other_rtt() {
+    let mut cfg = TcpConfig::paper(TcpVariant::Vegas);
+    cfg.vegas = VegasParams {
+        alpha: 1.0,
+        beta: 3.0,
+        gamma: 1000.0, // never exit slow start in this test
+    };
+    let (mut s, mut sched, mut out) = sender_with(cfg);
+    s.on_app_packets(1000, &mut sched, &mut out);
+    assert_eq!(s.cwnd(), 1.0);
+    // Epoch 1 (grow parity): ACK for packet 0 -> cwnd 2.
+    advance(&mut sched, 44);
+    plain_ack(&mut s, &mut sched, &mut out, 1);
+    assert_eq!(s.cwnd(), 2.0);
+    // Epoch 2 (hold parity): ACKs do not grow the window.
+    advance(&mut sched, 44);
+    plain_ack(&mut s, &mut sched, &mut out, 2);
+    plain_ack(&mut s, &mut sched, &mut out, 3);
+    assert_eq!(s.cwnd(), 2.0);
+    // Epoch 3 (grow parity again): cwnd 2 -> 4.
+    advance(&mut sched, 44);
+    plain_ack(&mut s, &mut sched, &mut out, 4);
+    plain_ack(&mut s, &mut sched, &mut out, 5);
+    assert_eq!(s.cwnd(), 4.0);
+}
+
+#[test]
+fn vegas_exits_slow_start_on_queue_buildup() {
+    let (mut s, mut sched, mut out) = sender(TcpVariant::Vegas);
+    s.on_app_packets(1000, &mut sched, &mut out);
+    // Epoch 1 at base RTT 44 ms.
+    advance(&mut sched, 44);
+    plain_ack(&mut s, &mut sched, &mut out, 1);
+    let before = s.cwnd();
+    assert!(s.in_slow_start());
+    // Epoch 2: RTT has tripled — a lot of queueing. diff > gamma.
+    advance(&mut sched, 132);
+    let target = s.snd_nxt();
+    while s.snd_una() < target {
+        let a = s.snd_una().next();
+        plain_ack(&mut s, &mut sched, &mut out, a.0);
+    }
+    assert!(!s.in_slow_start(), "Vegas should have left slow start");
+    assert!(s.cwnd() <= before + 2.0, "no exponential blow-up");
+}
+
+#[test]
+fn vegas_decreases_when_queue_exceeds_beta() {
+    let (mut s, mut sched, mut out) = sender(TcpVariant::Vegas);
+    // Start in congestion avoidance with a roomy window.
+    s.force_congestion_avoidance(10.0, 2.0);
+    s.on_app_packets(100_000, &mut sched, &mut out);
+    // Several epochs at the 44 ms base RTT: diff ≈ 0, Vegas probes up.
+    for _ in 0..50 {
+        ack_after(&mut s, &mut sched, &mut out, 44);
+    }
+    let uncongested = s.cwnd();
+    assert!(uncongested > 10.0, "diff < alpha should grow the window");
+    // The path RTT doubles (persistent queueing): diff = cwnd/2, so
+    // Vegas must shed one packet per RTT until cwnd/2 <= beta = 3.
+    for _ in 0..300 {
+        ack_after(&mut s, &mut sched, &mut out, 88);
+    }
+    assert!(
+        s.cwnd() <= 6.5,
+        "cwnd {} should settle into the [alpha, beta] band (≤ 2·beta)",
+        s.cwnd()
+    );
+    assert!(s.cwnd() >= 2.0, "Vegas never collapses below 2");
+    assert_eq!(s.counters().timeouts, 0, "no losses were injected");
+}

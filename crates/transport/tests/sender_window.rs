@@ -1,0 +1,143 @@
+//! Window mechanics outside loss recovery: slow start, congestion
+//! avoidance, the advertised-window cap, backlog accounting, counters,
+//! and the optional cwnd trace.
+
+mod common;
+
+use common::{advance, data_seqs, plain_ack, sender, sender_with};
+use tcpburst_transport::{TcpConfig, TcpVariant};
+
+#[test]
+fn initial_window_sends_one_packet() {
+    let (mut s, mut sched, mut out) = sender(TcpVariant::Reno);
+    s.on_app_packets(10, &mut sched, &mut out);
+    assert_eq!(data_seqs(&out), vec![0]);
+    assert_eq!(s.in_flight(), 1);
+    assert_eq!(s.backlog(), 9);
+    assert!(s.in_slow_start());
+}
+
+#[test]
+fn slow_start_doubles_per_rtt() {
+    let (mut s, mut sched, mut out) = sender(TcpVariant::Reno);
+    s.on_app_packets(100, &mut sched, &mut out);
+    out.clear();
+    // ACK the first packet: cwnd 1 -> 2, releasing two more packets.
+    advance(&mut sched, 44);
+    plain_ack(&mut s, &mut sched, &mut out, 1);
+    assert_eq!(data_seqs(&out), vec![1, 2]);
+    assert_eq!(s.cwnd(), 2.0);
+    out.clear();
+    // ACK both: cwnd -> 4.
+    advance(&mut sched, 44);
+    plain_ack(&mut s, &mut sched, &mut out, 2);
+    plain_ack(&mut s, &mut sched, &mut out, 3);
+    assert_eq!(s.cwnd(), 4.0);
+    assert_eq!(data_seqs(&out), vec![3, 4, 5, 6]);
+}
+
+#[test]
+fn congestion_avoidance_grows_linearly() {
+    let (mut s, mut sched, mut out) = sender(TcpVariant::Reno);
+    s.force_ssthresh(2.0);
+    s.on_app_packets(100, &mut sched, &mut out);
+    out.clear();
+    // First ACK: slow start (cwnd 1 < ssthresh 2) -> cwnd 2, phase CA.
+    plain_ack(&mut s, &mut sched, &mut out, 1);
+    assert!(!s.in_slow_start());
+    assert_eq!(s.cwnd(), 2.0);
+    // Two more ACKs at cwnd 2: each adds 1/cwnd.
+    plain_ack(&mut s, &mut sched, &mut out, 2);
+    assert!((s.cwnd() - 2.5).abs() < 1e-9);
+    plain_ack(&mut s, &mut sched, &mut out, 3);
+    assert!((s.cwnd() - 2.9).abs() < 1e-9);
+}
+
+#[test]
+fn cwnd_capped_by_advertised_window() {
+    let (mut s, mut sched, mut out) = sender(TcpVariant::Reno);
+    s.on_app_packets(1000, &mut sched, &mut out);
+    let mut acked = 0u64;
+    for _ in 0..100 {
+        acked += 1;
+        plain_ack(&mut s, &mut sched, &mut out, acked);
+    }
+    assert!(s.cwnd() <= 20.0);
+    assert!(s.in_flight() <= 20);
+}
+
+#[test]
+fn gaimd_default_exponents_track_reno_exactly() {
+    // The engine-level counterpart of the golden-table equivalence: with
+    // (alpha = 0, beta = 1) GAIMD's per-ACK arithmetic is bitwise Reno's.
+    let (mut reno, mut sched_r, mut out_r) = sender(TcpVariant::Reno);
+    let (mut gaimd, mut sched_g, mut out_g) = sender(TcpVariant::Gaimd);
+    reno.force_ssthresh(4.0);
+    gaimd.force_ssthresh(4.0);
+    reno.on_app_packets(200, &mut sched_r, &mut out_r);
+    gaimd.on_app_packets(200, &mut sched_g, &mut out_g);
+    let mut acked = 0u64;
+    for _ in 0..60 {
+        acked += 1;
+        plain_ack(&mut reno, &mut sched_r, &mut out_r, acked);
+        plain_ack(&mut gaimd, &mut sched_g, &mut out_g, acked);
+        assert_eq!(reno.cwnd().to_bits(), gaimd.cwnd().to_bits(), "ack {acked}");
+        assert_eq!(reno.ssthresh().to_bits(), gaimd.ssthresh().to_bits());
+    }
+    assert_eq!(data_seqs(&out_r), data_seqs(&out_g));
+}
+
+#[test]
+fn backlog_waits_for_window_not_app() {
+    let (mut s, mut sched, mut out) = sender(TcpVariant::Reno);
+    s.on_app_packets(50, &mut sched, &mut out);
+    assert_eq!(s.backlog(), 49);
+    assert_eq!(s.counters().peak_backlog, 49);
+    assert_eq!(s.counters().app_packets_submitted, 50);
+    // As the window opens, the backlog drains in bursts — the paper's
+    // slow-start burst mechanism.
+    out.clear();
+    plain_ack(&mut s, &mut sched, &mut out, 1);
+    assert_eq!(out.len(), 2);
+    assert_eq!(s.backlog(), 47);
+}
+
+#[test]
+fn cwnd_trace_records_changes() {
+    let mut cfg = TcpConfig::paper(TcpVariant::Reno);
+    cfg.trace_cwnd = true;
+    let (mut s, mut sched, mut out) = sender_with(cfg);
+    s.on_app_packets(10, &mut sched, &mut out);
+    advance(&mut sched, 44);
+    plain_ack(&mut s, &mut sched, &mut out, 1);
+    let trace = s.cwnd_trace().expect("tracing was enabled");
+    assert!(trace.len() >= 2);
+    assert_eq!(trace.last().unwrap().1, 2.0);
+}
+
+#[test]
+fn cwnd_trace_unallocated_unless_requested() {
+    // Tracing is an instrumentation opt-in: an untraced sender must not
+    // carry trace storage at all, however busy the connection gets.
+    let (mut s, mut sched, mut out) = sender(TcpVariant::Reno);
+    assert!(s.cwnd_trace().is_none());
+    s.on_app_packets(100, &mut sched, &mut out);
+    for a in 1..=30u64 {
+        plain_ack(&mut s, &mut sched, &mut out, a);
+    }
+    assert!(s.cwnd_trace().is_none(), "trace appeared without trace_cwnd");
+}
+
+#[test]
+fn counters_track_sends_and_acks() {
+    let (mut s, mut sched, mut out) = sender(TcpVariant::Reno);
+    s.on_app_packets(3, &mut sched, &mut out);
+    plain_ack(&mut s, &mut sched, &mut out, 1);
+    plain_ack(&mut s, &mut sched, &mut out, 2);
+    plain_ack(&mut s, &mut sched, &mut out, 3);
+    let c = s.counters();
+    assert_eq!(c.data_packets_sent, 3);
+    assert_eq!(c.acks_received, 3);
+    assert_eq!(c.retransmits, 0);
+    assert!(c.rtt_samples >= 1);
+}

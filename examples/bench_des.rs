@@ -39,7 +39,16 @@ fn timed_scenario(clients: usize, secs: u64, backend: QueueBackend) -> ScenarioR
         .transport(|t| t.protocol(Protocol::Reno))
         .instrumentation(|i| i.secs(secs).queue(backend))
         .finish();
-    Scenario::run(&cfg)
+    // The bench never reads cwnd traces, so no sender may allocate one —
+    // trace storage is gated on the instrumentation stage's trace_cwnd.
+    let mut s = Scenario::new(&cfg);
+    assert_eq!(
+        s.cwnd_trace_allocations(),
+        0,
+        "untraced bench run allocated cwnd trace storage"
+    );
+    s.run_to_completion();
+    s.into_report()
 }
 
 /// Best (minimum wall-clock) of `reps` scenario runs.

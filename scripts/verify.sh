@@ -53,6 +53,41 @@ diff "$TMP/fresh.txt" "$TMP/resumed.txt"
 grep -q "resumed 3 point(s)" "$TMP/resumed.err"
 echo "resumed sweep output is byte-identical to the fresh run"
 
+echo "==> golden traces: figure tables are backend- and variant-stable"
+# Reno + Vegas, 20-client smoke, on both event-queue backends and at two
+# worker counts: the policy-layer refactor must never move a byte of the
+# figure tables, whatever engine configuration produced them.
+./target/release/tcpburst sweep --protocols reno,vegas --clients 20 \
+    --secs 4 --queue calendar --jobs 1 > "$TMP/golden_cal.txt"
+./target/release/tcpburst sweep --protocols reno,vegas --clients 20 \
+    --secs 4 --queue heap --jobs 4 > "$TMP/golden_heap.txt"
+diff "$TMP/golden_cal.txt" "$TMP/golden_heap.txt"
+echo "Reno+Vegas tables byte-identical across backends and job counts"
+
+echo "==> golden traces: GAIMD default exponents reproduce Reno"
+# GeneralizedAimd{alpha: 0, beta: 1} must be Reno bit-for-bit; only the
+# column label may differ (width-preserving substitution).
+./target/release/tcpburst sweep --protocols reno --clients 20 \
+    --secs 4 > "$TMP/reno.txt"
+./target/release/tcpburst sweep --protocols gaimd --clients 20 \
+    --secs 4 | sed 's/ GAIMD/  Reno/g' > "$TMP/gaimd.txt"
+diff "$TMP/reno.txt" "$TMP/gaimd.txt"
+echo "GAIMD(0, 1) tables byte-identical to Reno"
+
+echo "==> policy layer: no variant dispatch outside Policy::for_config"
+# The reliability engine (sender/) and the policies (cc/) must stay
+# variant-agnostic: the single match on TcpVariant lives in cc/mod.rs
+# (the policy-construction site).
+LEAKS="$(grep -RnE 'match .*TcpVariant' \
+    crates/transport/src/sender crates/transport/src/cc \
+    | grep -v 'cc/mod.rs' || true)"
+if [ -n "$LEAKS" ]; then
+    echo "TcpVariant dispatch leaked outside Policy::for_config:" >&2
+    echo "$LEAKS" >&2
+    exit 1
+fi
+echo "TcpVariant is matched only at the policy-construction site"
+
 echo "==> robustness: no bare unwrap in non-test library code"
 # Scan crates/core/src and crates/net/src, ignoring everything at or below
 # a #[cfg(test)] marker in each file (module tests live at the bottom).
