@@ -173,7 +173,7 @@ impl ScenarioBuilder {
     /// `--clients` lists) are not scenario configuration and stay in the
     /// CLI proper.
     #[rustfmt::skip]
-    pub const CLI_FLAGS: [CliFlag; 16] = [
+    pub const CLI_FLAGS: [CliFlag; 17] = [
         CliFlag { name: "--clients", metavar: Some("N"), help: "number of clients M", stage: BuilderStage::Topology },
         CliFlag { name: "--spread", metavar: Some("F"), help: "heterogeneous-RTT spread factor (0 = paper)", stage: BuilderStage::Topology },
         CliFlag { name: "--buffer", metavar: Some("PKTS"), help: "gateway buffer size B", stage: BuilderStage::Topology },
@@ -190,6 +190,7 @@ impl ScenarioBuilder {
         CliFlag { name: "--queue", metavar: Some("BACKEND"), help: "event list: calendar or heap", stage: BuilderStage::Instrumentation },
         CliFlag { name: "--trace-events", metavar: None, help: "record the structured event timeline", stage: BuilderStage::Instrumentation },
         CliFlag { name: "--audit", metavar: None, help: "end-of-run invariant audit (conservation, cwnd floor)", stage: BuilderStage::Instrumentation },
+        CliFlag { name: "--shards", metavar: Some("K"), help: "parallel-engine worker threads (0 = serial engine)", stage: BuilderStage::Instrumentation },
     ];
 
     /// Looks up a flag in [`ScenarioBuilder::CLI_FLAGS`]; the CLI uses this
@@ -643,6 +644,13 @@ impl InstrumentationStage<'_> {
         self
     }
 
+    /// Worker threads for the conservative parallel engine; `0` keeps the
+    /// serial engine (see [`ScenarioConfig::shards`]).
+    pub fn shards(self, k: usize) -> Self {
+        self.cfg.shards = k;
+        self
+    }
+
     fn apply_flag(self, flag: &'static str, v: &str) -> Result<(), ConfigError> {
         match flag {
             "--secs" => {
@@ -681,6 +689,10 @@ impl InstrumentationStage<'_> {
             }
             "--audit" => {
                 self.audit(true);
+            }
+            "--shards" => {
+                let k = parse_num(flag, v)?;
+                self.shards(k);
             }
             _ => unreachable!("flag table routed {flag} to the instrumentation stage"),
         }

@@ -368,6 +368,17 @@ pub struct ScenarioConfig {
     /// counters. Off by default — the audited run loop tracks clock
     /// monotonicity, which the zero-overhead hot path skips.
     pub audit: bool,
+    /// Worker threads for the conservative parallel engine; `0` (the
+    /// default) runs the serial single-scheduler engine.
+    ///
+    /// Any value ≥ 1 selects the sharded engine, whose results are
+    /// **identical at every shard count** (the domain decomposition is
+    /// fixed by the configuration; threads only partition it) but differ
+    /// from the serial engine in same-instant tie-breaks — golden traces
+    /// pin `shards: 0`. Configurations the sharded engine cannot honor
+    /// (`audit`, `trace_events`, wire corruption, a zero base client
+    /// delay) fall back to the serial engine.
+    pub shards: usize,
 }
 
 impl ScenarioConfig {
@@ -420,6 +431,7 @@ impl ScenarioConfig {
             trace_cwnd: false,
             trace_events: false,
             audit: false,
+            shards: 0,
         }
     }
 

@@ -64,6 +64,7 @@ mod profile;
 mod replicate;
 mod report;
 mod scenario;
+mod shard;
 pub mod supervise;
 mod trace;
 

@@ -6,7 +6,7 @@ use tcpburst_net::{
     Delivered, Dumbbell, Ecn, FlowId, NetEvent, Packet, PacketKind, WireLoss, CROSS_TRAFFIC_FLOW,
 };
 use tcpburst_stats::{jain_fairness, poisson_cov, BinnedCounter};
-use tcpburst_traffic::{ArrivalProcess, CbrSource, ParetoOnOffSource, PoissonSource};
+use tcpburst_traffic::{AnySource, ArrivalProcess, CbrSource, ParetoOnOffSource, PoissonSource};
 use tcpburst_transport::{
     TcpReceiver, TcpSender, TimerKind, TransportEvent, UdpSender, UdpSink,
 };
@@ -25,31 +25,37 @@ const CROSS_STREAM: u64 = u64::MAX;
 /// independent of every arrival stream.
 const WIRE_SEED_XOR: u64 = 0x7769_7265_636f_7272; // "wirecorr"
 
-/// The client-side transport endpoint of one flow.
+/// The client-side transport endpoints, one arena per protocol family.
+///
+/// A run is homogeneous — every client speaks the same transport — so the
+/// endpoints live in one contiguous `Vec` per kind rather than a vector of
+/// individually boxed per-flow enums: dispatch branches once per event
+/// instead of once per endpoint, and adjacent flows' state shares cache
+/// lines instead of being scattered across the heap.
 #[derive(Debug)]
-enum ClientEndpoint {
-    Tcp(Box<TcpSender>),
-    Udp(UdpSender),
+enum Clients {
+    Tcp(Vec<TcpSender>),
+    Udp(Vec<UdpSender>),
 }
 
-/// The server-side transport endpoint of one flow.
+/// The server-side transport endpoints (see [`Clients`]).
 #[derive(Debug)]
-enum ServerEndpoint {
-    Tcp(Box<TcpReceiver>),
-    Udp(UdpSink),
+enum Servers {
+    Tcp(Vec<TcpReceiver>),
+    Udp(Vec<UdpSink>),
 }
 
 /// A periodic two-state toggle between a nominal and a perturbed value.
 #[derive(Debug)]
-struct Toggle<T> {
-    cycle: PhaseCycle,
-    nominal: T,
-    perturbed: T,
+pub(crate) struct Toggle<T> {
+    pub(crate) cycle: PhaseCycle,
+    pub(crate) nominal: T,
+    pub(crate) perturbed: T,
 }
 
 impl<T: Copy> Toggle<T> {
     /// Advances the cycle and returns the value now in effect.
-    fn advance(&mut self) -> T {
+    pub(crate) fn advance(&mut self) -> T {
         if self.cycle.advance() == 0 {
             self.nominal
         } else {
@@ -60,21 +66,68 @@ impl<T: Copy> Toggle<T> {
 
 /// Background cross-traffic generator state.
 #[derive(Debug)]
-struct CrossRuntime {
-    source: PoissonSource,
-    packet_bytes: u32,
+pub(crate) struct CrossRuntime {
+    pub(crate) source: PoissonSource,
+    pub(crate) packet_bytes: u32,
 }
 
 /// Live state of the impairment schedule. Boxed and absent on healthy runs
-/// so the unimpaired hot loop pays nothing for the machinery.
+/// so the unimpaired hot loop pays nothing for the machinery. Shared with
+/// the sharded engine (`crate::shard`), whose central domain owns the
+/// bottleneck link and therefore the whole schedule.
 #[derive(Debug)]
-struct ImpairRuntime {
+pub(crate) struct ImpairRuntime {
     /// Flap phases `[up, down]`; index 0 means the link is currently lit.
-    flap: Option<PhaseCycle>,
-    capacity: Option<Toggle<u64>>,
-    delay: Option<Toggle<SimDuration>>,
-    cross: Option<CrossRuntime>,
-    counters: ImpairmentReport,
+    pub(crate) flap: Option<PhaseCycle>,
+    pub(crate) capacity: Option<Toggle<u64>>,
+    pub(crate) delay: Option<Toggle<SimDuration>>,
+    pub(crate) cross: Option<CrossRuntime>,
+    pub(crate) counters: ImpairmentReport,
+}
+
+impl ImpairRuntime {
+    /// Builds the runtime from a validated schedule; `None` when the
+    /// configuration injects no faults.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the impairment schedule is inconsistent.
+    pub(crate) fn build(cfg: &ScenarioConfig) -> Option<Box<ImpairRuntime>> {
+        (!cfg.impair.is_none()).then(|| {
+            cfg.impair
+                .validate()
+                .unwrap_or_else(|e| panic!("invalid impairment schedule: {e}"));
+            Box::new(ImpairRuntime {
+                flap: cfg.impair.flap.map(|f| PhaseCycle::new([f.up, f.down])),
+                capacity: cfg.impair.capacity.map(|c| {
+                    let nominal = cfg.params.bottleneck_bandwidth_bps;
+                    Toggle {
+                        cycle: PhaseCycle::new([c.period, c.period]),
+                        nominal,
+                        perturbed: ((nominal as f64 * c.factor).round() as u64).max(1),
+                    }
+                }),
+                delay: cfg.impair.delay.map(|d| {
+                    let nominal = cfg.params.bottleneck_delay;
+                    Toggle {
+                        cycle: PhaseCycle::new([d.period, d.period]),
+                        nominal,
+                        perturbed: SimDuration::from_nanos(
+                            (nominal.as_nanos() as f64 * d.factor).round() as u64,
+                        ),
+                    }
+                }),
+                cross: cfg.impair.cross.map(|x| CrossRuntime {
+                    source: PoissonSource::new(
+                        x.rate_pps,
+                        SimRng::derive(cfg.seed, CROSS_STREAM),
+                    ),
+                    packet_bytes: x.packet_bytes,
+                }),
+                counters: ImpairmentReport::default(),
+            })
+        })
+    }
 }
 
 /// A fully assembled simulation of the paper's Figure 1 network.
@@ -87,12 +140,15 @@ pub struct Scenario {
     cfg: ScenarioConfig,
     sched: Scheduler<Event>,
     db: Dumbbell,
-    clients: Vec<ClientEndpoint>,
-    servers: Vec<ServerEndpoint>,
-    sources: Vec<Box<dyn ArrivalProcess>>,
+    clients: Clients,
+    servers: Servers,
+    sources: Vec<AnySource>,
     probe: BinnedCounter,
     /// Scratch buffer for packets produced by endpoint handlers.
     outbox: Vec<Packet>,
+    /// Scratch buffer for same-timestamp event batches (the unbudgeted hot
+    /// loop drains one timestamp's run per scheduler call).
+    batch_buf: Vec<Event>,
     generated: u64,
     event_log: Option<EventLog>,
     /// Per-event-class dispatch counts (and timing with `event-timing` on).
@@ -127,85 +183,51 @@ impl Scenario {
     /// TCP or RED parameters).
     pub fn new(cfg: &ScenarioConfig) -> Self {
         let db = Dumbbell::build(&cfg.dumbbell_config());
-        let mut clients = Vec::with_capacity(cfg.num_clients);
-        let mut servers = Vec::with_capacity(cfg.num_clients);
-        let mut sources: Vec<Box<dyn ArrivalProcess>> = Vec::with_capacity(cfg.num_clients);
-
-        for i in 0..cfg.num_clients {
-            let flow = FlowId(i as u32);
-            let client_node = db.clients[i];
-            match cfg.transport {
-                TransportKind::Tcp(_) => {
-                    let tcp = cfg.tcp_config();
-                    clients.push(ClientEndpoint::Tcp(Box::new(TcpSender::new(
-                        tcp,
-                        flow,
-                        client_node,
-                        db.server,
-                    ))));
-                    servers.push(ServerEndpoint::Tcp(Box::new(TcpReceiver::new(
-                        tcp,
-                        flow,
-                        db.server,
-                        client_node,
-                    ))));
+        let (clients, servers) = match cfg.transport {
+            TransportKind::Tcp(_) => {
+                let tcp = cfg.tcp_config();
+                let mut txs = Vec::with_capacity(cfg.num_clients);
+                let mut rxs = Vec::with_capacity(cfg.num_clients);
+                for i in 0..cfg.num_clients {
+                    let flow = FlowId(i as u32);
+                    let client_node = db.clients[i];
+                    txs.push(TcpSender::new(tcp, flow, client_node, db.server));
+                    rxs.push(TcpReceiver::new(tcp, flow, db.server, client_node));
                 }
-                TransportKind::Udp => {
-                    clients.push(ClientEndpoint::Udp(UdpSender::new(
+                (Clients::Tcp(txs), Servers::Tcp(rxs))
+            }
+            TransportKind::Udp => {
+                let mut txs = Vec::with_capacity(cfg.num_clients);
+                let mut sinks = Vec::with_capacity(cfg.num_clients);
+                for i in 0..cfg.num_clients {
+                    let flow = FlowId(i as u32);
+                    txs.push(UdpSender::new(
                         flow,
-                        client_node,
+                        db.clients[i],
                         db.server,
                         cfg.params.packet_bytes,
-                    )));
-                    servers.push(ServerEndpoint::Udp(UdpSink::new()));
+                    ));
+                    sinks.push(UdpSink::new());
                 }
+                (Clients::Udp(txs), Servers::Udp(sinks))
             }
-            let stream = SimRng::derive(cfg.seed, i as u64);
-            sources.push(match cfg.source {
-                SourceKind::Poisson { rate } => Box::new(PoissonSource::new(rate, stream)),
-                SourceKind::Cbr { rate } => Box::new(CbrSource::from_rate(rate)),
-                SourceKind::ParetoOnOff(pcfg) => {
-                    Box::new(ParetoOnOffSource::new(pcfg, stream))
+        };
+        let sources: Vec<AnySource> = (0..cfg.num_clients)
+            .map(|i| {
+                let stream = SimRng::derive(cfg.seed, i as u64);
+                match cfg.source {
+                    SourceKind::Poisson { rate } => PoissonSource::new(rate, stream).into(),
+                    SourceKind::Cbr { rate } => CbrSource::from_rate(rate).into(),
+                    SourceKind::ParetoOnOff(pcfg) => {
+                        ParetoOnOffSource::new(pcfg, stream).into()
+                    }
                 }
-            });
-        }
+            })
+            .collect();
 
         let probe = BinnedCounter::starting_at(SimTime::ZERO + cfg.warmup, cfg.cov_bin_width());
 
-        let impair_rt = (!cfg.impair.is_none()).then(|| {
-            cfg.impair
-                .validate()
-                .unwrap_or_else(|e| panic!("invalid impairment schedule: {e}"));
-            Box::new(ImpairRuntime {
-                flap: cfg.impair.flap.map(|f| PhaseCycle::new([f.up, f.down])),
-                capacity: cfg.impair.capacity.map(|c| {
-                    let nominal = cfg.params.bottleneck_bandwidth_bps;
-                    Toggle {
-                        cycle: PhaseCycle::new([c.period, c.period]),
-                        nominal,
-                        perturbed: ((nominal as f64 * c.factor).round() as u64).max(1),
-                    }
-                }),
-                delay: cfg.impair.delay.map(|d| {
-                    let nominal = cfg.params.bottleneck_delay;
-                    Toggle {
-                        cycle: PhaseCycle::new([d.period, d.period]),
-                        nominal,
-                        perturbed: SimDuration::from_nanos(
-                            (nominal.as_nanos() as f64 * d.factor).round() as u64,
-                        ),
-                    }
-                }),
-                cross: cfg.impair.cross.map(|x| CrossRuntime {
-                    source: PoissonSource::new(
-                        x.rate_pps,
-                        SimRng::derive(cfg.seed, CROSS_STREAM),
-                    ),
-                    packet_bytes: x.packet_bytes,
-                }),
-                counters: ImpairmentReport::default(),
-            })
-        });
+        let impair_rt = ImpairRuntime::build(cfg);
 
         let mut scenario = Scenario {
             cfg: *cfg,
@@ -216,6 +238,7 @@ impl Scenario {
             sources,
             probe,
             outbox: Vec::with_capacity(64),
+            batch_buf: Vec::with_capacity(64),
             generated: 0,
             event_log: cfg
                 .trace_events
@@ -273,7 +296,15 @@ impl Scenario {
     }
 
     /// Builds and runs the scenario to its configured duration.
+    ///
+    /// With [`shards`](ScenarioConfig::shards) set and the configuration
+    /// supported by the conservative parallel engine, the run is delegated
+    /// to [`crate::shard`]; everything else uses the serial single-scheduler
+    /// engine below.
     pub fn run(cfg: &ScenarioConfig) -> ScenarioReport {
+        if cfg.shards > 0 && crate::shard::supported(cfg) {
+            return crate::shard::run_sharded(cfg);
+        }
         let mut s = Scenario::new(cfg);
         s.run_to_completion();
         s.into_report()
@@ -289,13 +320,10 @@ impl Scenario {
     /// [`trace_cwnd`](ScenarioConfig::trace_cwnd) — the benches assert
     /// this so sweeps that never read traces never pay for them.
     pub fn cwnd_trace_allocations(&self) -> usize {
-        self.clients
-            .iter()
-            .filter(|c| match c {
-                ClientEndpoint::Tcp(tx) => tx.cwnd_trace().is_some(),
-                ClientEndpoint::Udp(_) => false,
-            })
-            .count()
+        match &self.clients {
+            Clients::Tcp(txs) => txs.iter().filter(|t| t.cwnd_trace().is_some()).count(),
+            Clients::Udp(_) => 0,
+        }
     }
 
     /// Drives the event loop until the configured duration.
@@ -317,9 +345,20 @@ impl Scenario {
         let horizon = SimTime::ZERO + self.cfg.duration;
 
         if budget.is_unlimited() && !self.cfg.audit {
-            while let Some((_, event)) = self.sched.pop_until(horizon) {
-                self.dispatch(event);
+            // Batch dispatch: pull each timestamp's full run of events in
+            // one scheduler call and dispatch it as a slice — one queue
+            // search amortized over the whole run instead of per event.
+            // Events scheduled *during* the batch at the same instant land
+            // after it in `(time, seq)` order, so the next `drain_due` call
+            // picks them up and the dispatch order is event-for-event
+            // identical to the single-pop loop.
+            let mut batch = std::mem::take(&mut self.batch_buf);
+            while self.sched.drain_due(horizon, &mut batch).is_some() {
+                for event in batch.drain(..) {
+                    self.dispatch(event);
+                }
             }
+            self.batch_buf = batch; // keep the allocation
             self.wall_clock += started.elapsed();
             return None;
         }
@@ -388,12 +427,14 @@ impl Scenario {
             }
             Event::Net(NetEvent::Delivery { link, epoch, packet }) => {
                 // The paper's probe: data packets arriving at the gateway,
-                // counted per round-trip propagation delay. Decide before
-                // the delivery call (which consumes the packet), record
-                // after it — a packet lost on the wire never arrives.
+                // counted per round-trip propagation delay. Peek the parked
+                // packet before the delivery call (which redeems its arena
+                // ticket), record after it — a packet lost on the wire never
+                // arrives.
+                let peek = self.db.network.packet(packet);
                 let probed =
-                    self.db.network.link(link).to() == self.db.gateway && packet.kind.is_data();
-                let flow = packet.flow;
+                    peek.kind.is_data() && self.db.network.link(link).to() == self.db.gateway;
+                let flow = peek.flow;
                 match self.db.network.on_delivery(link, epoch, packet, &mut self.sched) {
                     Delivered::ToHost { node, packet } => {
                         if probed {
@@ -509,12 +550,12 @@ impl Scenario {
         let idx = client as usize;
         let now = self.sched.now();
         self.generated += 1;
-        match &mut self.clients[idx] {
-            ClientEndpoint::Tcp(tcp) => {
-                tcp.on_app_packets(1, &mut self.sched, &mut self.outbox);
+        match &mut self.clients {
+            Clients::Tcp(txs) => {
+                txs[idx].on_app_packets(1, &mut self.sched, &mut self.outbox);
             }
-            ClientEndpoint::Udp(udp) => {
-                let pkt = udp.on_app_packet(now);
+            Clients::Udp(txs) => {
+                let pkt = txs[idx].on_app_packet(now);
                 self.outbox.push(pkt);
             }
         }
@@ -534,24 +575,27 @@ impl Scenario {
         }
         let idx = packet.flow.0 as usize;
         if at_server {
-            match (&mut self.servers[idx], packet.kind) {
-                (ServerEndpoint::Tcp(rx), PacketKind::TcpData { .. }) => {
-                    rx.on_data(&packet, &mut self.sched, &mut self.outbox);
+            match (&mut self.servers, packet.kind) {
+                (Servers::Tcp(rxs), PacketKind::TcpData { .. }) => {
+                    rxs[idx].on_data(&packet, &mut self.sched, &mut self.outbox);
                 }
-                (ServerEndpoint::Udp(sink), PacketKind::Datagram) => {
+                (Servers::Udp(sinks), PacketKind::Datagram) => {
                     let now = self.sched.now();
-                    sink.on_packet(&packet, now);
+                    sinks[idx].on_packet(&packet, now);
                 }
-                (endpoint, kind) => {
-                    unreachable!("server {endpoint:?} received unexpected {kind:?}")
+                (_, kind) => {
+                    unreachable!("server received unexpected {kind:?}")
                 }
             }
         } else {
-            match (&mut self.clients[idx], packet.kind) {
-                (ClientEndpoint::Tcp(tx), PacketKind::TcpAck { ack, ece, sack }) => {
-                    let before = tx.counters();
+            match (&mut self.clients, packet.kind) {
+                (Clients::Tcp(txs), PacketKind::TcpAck { ack, ece, sack }) => {
+                    let tx = &mut txs[idx];
+                    // Snapshot the counters only when a trace log wants the
+                    // before/after diff — the copy is pure overhead otherwise.
+                    let before = self.event_log.is_some().then(|| tx.counters());
                     tx.on_ack(ack, ece, sack, &mut self.sched, &mut self.outbox);
-                    if let Some(log) = self.event_log.as_mut() {
+                    if let (Some(log), Some(before)) = (self.event_log.as_mut(), before) {
                         let after = tx.counters();
                         let now = self.sched.now();
                         if after.fast_retransmits > before.fast_retransmits {
@@ -562,8 +606,8 @@ impl Scenario {
                         }
                     }
                 }
-                (endpoint, kind) => {
-                    unreachable!("client {endpoint:?} received unexpected {kind:?}")
+                (_, kind) => {
+                    unreachable!("client received unexpected {kind:?}")
                 }
             }
         }
@@ -574,7 +618,8 @@ impl Scenario {
         let idx = ev.flow.0 as usize;
         match ev.kind {
             TimerKind::Rto => {
-                if let ClientEndpoint::Tcp(tx) = &mut self.clients[idx] {
+                if let Clients::Tcp(txs) = &mut self.clients {
+                    let tx = &mut txs[idx];
                     let before = tx.counters().timeouts;
                     let live =
                         tx.on_timer(ev.kind, ev.generation, &mut self.sched, &mut self.outbox);
@@ -589,9 +634,9 @@ impl Scenario {
                 }
             }
             TimerKind::DelAck => {
-                if let ServerEndpoint::Tcp(rx) = &mut self.servers[idx] {
+                if let Servers::Tcp(rxs) = &mut self.servers {
                     let now = self.sched.now();
-                    let live = rx.on_timer(ev.kind, ev.generation, now, &mut self.outbox);
+                    let live = rxs[idx].on_timer(ev.kind, ev.generation, now, &mut self.outbox);
                     if !live {
                         self.stale_fired += 1;
                     }
@@ -689,14 +734,10 @@ impl Scenario {
             });
         }
 
-        let submitted: u64 = self
-            .clients
-            .iter()
-            .map(|c| match c {
-                ClientEndpoint::Tcp(tx) => tx.counters().app_packets_submitted,
-                ClientEndpoint::Udp(udp) => udp.packets_sent(),
-            })
-            .sum();
+        let submitted: u64 = match &self.clients {
+            Clients::Tcp(txs) => txs.iter().map(|t| t.counters().app_packets_submitted).sum(),
+            Clients::Udp(txs) => txs.iter().map(UdpSender::packets_sent).sum(),
+        };
         if self.generated != submitted {
             violations.push(InvariantViolation {
                 invariant: "app-conservation",
@@ -707,8 +748,8 @@ impl Scenario {
             });
         }
 
-        for (i, c) in self.clients.iter().enumerate() {
-            if let ClientEndpoint::Tcp(tx) = c {
+        if let Clients::Tcp(txs) = &self.clients {
+            for (i, tx) in txs.iter().enumerate() {
                 let cwnd = tx.cwnd();
                 if !(cwnd >= 1.0) {
                     violations.push(InvariantViolation {
@@ -759,26 +800,30 @@ impl Scenario {
         );
 
         let mut flows = Vec::with_capacity(cfg.num_clients);
-        for (client, server) in self.clients.iter().zip(&self.servers) {
-            let (sent, counters, trace) = match client {
-                ClientEndpoint::Tcp(tx) => (
-                    tx.counters().data_packets_sent,
-                    Some(tx.counters()),
-                    tx.cwnd_trace().cloned(),
-                ),
-                ClientEndpoint::Udp(udp) => (udp.packets_sent(), None, None),
-            };
-            let (delivered, mean_delay_secs) = match server {
-                ServerEndpoint::Tcp(rx) => (rx.counters().delivered, rx.delay_stats().mean()),
-                ServerEndpoint::Udp(sink) => (sink.delivered(), sink.mean_delay_secs()),
-            };
-            flows.push(FlowReport {
-                packets_sent: sent,
-                delivered,
-                mean_delay_secs,
-                tcp: counters,
-                cwnd_trace: trace,
-            });
+        match (&self.clients, &self.servers) {
+            (Clients::Tcp(txs), Servers::Tcp(rxs)) => {
+                for (tx, rx) in txs.iter().zip(rxs) {
+                    flows.push(FlowReport {
+                        packets_sent: tx.counters().data_packets_sent,
+                        delivered: rx.counters().delivered,
+                        mean_delay_secs: rx.delay_stats().mean(),
+                        tcp: Some(tx.counters()),
+                        cwnd_trace: tx.cwnd_trace().cloned(),
+                    });
+                }
+            }
+            (Clients::Udp(txs), Servers::Udp(sinks)) => {
+                for (tx, sink) in txs.iter().zip(sinks) {
+                    flows.push(FlowReport {
+                        packets_sent: tx.packets_sent(),
+                        delivered: sink.delivered(),
+                        mean_delay_secs: sink.mean_delay_secs(),
+                        tcp: None,
+                        cwnd_trace: None,
+                    });
+                }
+            }
+            _ => unreachable!("client and server arenas share one transport kind"),
         }
 
         let bottleneck_link = self.db.network.link(self.db.bottleneck);
@@ -1163,3 +1208,4 @@ mod tests {
         assert!(r.delivered_packets > 0);
     }
 }
+

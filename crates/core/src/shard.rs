@@ -1,0 +1,925 @@
+//! Conservative parallel DES: one run sharded across worker threads.
+//!
+//! The serial engine in [`crate::scenario`] drives the whole dumbbell from
+//! one scheduler. This module splits the same simulation into **fixed
+//! domains** — one per client (application source, transport sender, access
+//! uplink) plus one **central** domain (gateway, bottleneck and reverse
+//! links, server-side endpoints, return downlinks, the paper's arrival
+//! probe and the impairment schedule) — and advances them in lock-step
+//! windows of the topology's minimum cross-domain propagation delay.
+//!
+//! # Why this is deterministic at every shard count
+//!
+//! The domain decomposition is a function of the *configuration only*: `M`
+//! clients always produce `M + 1` domains, whatever `--shards` says. Worker
+//! threads merely partition the fixed domain set, so the event streams each
+//! domain processes — and therefore every counter, queue decision and RNG
+//! draw — are identical whether one thread owns all domains or eight split
+//! them. The only cross-thread data are the boundary mailboxes, and those
+//! are merged in a deterministic order (time, then source domain, then
+//! per-source FIFO) before any of their events is scheduled.
+//!
+//! # Lookahead
+//!
+//! Every packet crossing a domain boundary rides an access link with
+//! propagation delay ≥ the configured base client delay `W` (the RTT
+//! spread only lengthens delays). A window processes local events with
+//! `t < end`; a boundary packet finishing serialization at `t` arrives at
+//! `t + prop ≥ end`, i.e. never inside the window that produced it — the
+//! classic conservative-synchronization argument, with `W` as the lookahead
+//! horizon. Two barriers per window keep the exchange race-free: one after
+//! local processing (all exports flushed), one after the merge (no worker
+//! starts the next window while a peer is still draining its inbox).
+//!
+//! # Relation to the serial engine
+//!
+//! A sharded run is *self*-consistent across shard counts, but it is not
+//! byte-identical to the serial engine: the single global `(time, seq)`
+//! order interleaves same-instant events of different clients differently
+//! than `M + 1` independent schedulers do. Golden traces therefore pin the
+//! serial engine (`shards: 0`, the default), and
+//! `tests/shard_determinism.rs` pins the sharded engine's shard-count
+//! invariance plus its statistical agreement with the serial results.
+
+use std::collections::VecDeque;
+use std::sync::{Barrier, Mutex};
+
+use tcpburst_des::{Scheduler, SimDuration, SimRng, SimTime};
+use tcpburst_net::{
+    Delivered, DropTailQueue, FlowId, LinkId, NetEvent, Network, NodeId, Packet, PacketKind,
+    WireLoss, CROSS_TRAFFIC_FLOW,
+};
+use tcpburst_stats::{jain_fairness, poisson_cov, BinnedCounter};
+use tcpburst_traffic::{AnySource, ArrivalProcess, CbrSource, ParetoOnOffSource, PoissonSource};
+use tcpburst_transport::{
+    TcpReceiver, TcpSender, TimerKind, TransportEvent, UdpSender, UdpSink,
+};
+
+use crate::config::{ScenarioConfig, SourceKind, TransportKind};
+use crate::event::ImpairEvent;
+use crate::profile::{DispatchProfile, ProfClock, TimerReport};
+use crate::report::{FlowReport, ScenarioReport};
+use crate::scenario::ImpairRuntime;
+
+/// Can the sharded engine honor this configuration?
+///
+/// Unsupported features fall back to the serial engine (see
+/// [`crate::Scenario::run`]):
+///
+/// * `audit` — the conservation identities need the single global
+///   injected/delivered ledger,
+/// * `trace_events` — the event log is a single globally ordered stream,
+/// * wire corruption — the per-[`Network`] corruption RNG is consumed in
+///   global delivery order, which sharding does not reproduce,
+/// * a zero base client delay — the lookahead window would be empty.
+pub(crate) fn supported(cfg: &ScenarioConfig) -> bool {
+    !cfg.audit
+        && !cfg.trace_events
+        && cfg.impair.corrupt_prob == 0.0
+        && cfg.params.client_delay > SimDuration::ZERO
+}
+
+/// Node-id layout of the central domain's network, mirrored by the client
+/// domains when they stamp packets: the ids must agree so routing and
+/// reporting see one consistent address space.
+const GATEWAY_NODE: NodeId = NodeId(0);
+const SERVER_NODE: NodeId = NodeId(1);
+
+/// The client stub node standing in for client `i` inside the central
+/// domain (and the id client `i`'s own endpoints stamp as their source).
+fn client_node(i: usize) -> NodeId {
+    NodeId(2 + i as u32)
+}
+
+/// A boundary packet in flight between two domains: (arrival time, packet).
+type Export = (SimTime, Packet);
+
+/// The cross-thread mailboxes. Each slot has exactly one writer per phase
+/// (client `i` writes `to_central[i]` during local processing; only the
+/// central domain writes `to_client[i]`), so the mutexes are uncontended
+/// and exist to make the sharing safe, not to arbitrate an order — order
+/// comes from the deterministic merge in the drain phase.
+struct Exchange {
+    to_central: Vec<Mutex<Vec<Export>>>,
+    to_client: Vec<Mutex<Vec<Export>>>,
+}
+
+impl Exchange {
+    fn new(clients: usize) -> Self {
+        Exchange {
+            to_central: (0..clients).map(|_| Mutex::new(Vec::new())).collect(),
+            to_client: (0..clients).map(|_| Mutex::new(Vec::new())).collect(),
+        }
+    }
+}
+
+/// A hand-rolled simplex access link: drop-tail admission queue, one
+/// packet serializing at a time, fixed propagation delay.
+///
+/// The real [`tcpburst_net::Link`] schedules its own `TxComplete` and
+/// `Delivery` events on one scheduler; a boundary link cannot, because its
+/// far end lives in another domain. This mirror keeps the exact same
+/// queueing and timing semantics (admission check, dequeue-on-start,
+/// `div_ceil` serialization time) but *returns* the arrival stamp so the
+/// domain can export it at serialization end — the moment the packet's
+/// future is fully determined, one lookahead window before it arrives.
+#[derive(Debug)]
+struct AccessLink {
+    bandwidth_bps: u64,
+    prop: SimDuration,
+    capacity: usize,
+    queue: VecDeque<Packet>,
+    serializing: Option<Packet>,
+}
+
+impl AccessLink {
+    fn new(bandwidth_bps: u64, prop: SimDuration, capacity: usize) -> Self {
+        assert!(bandwidth_bps > 0, "access link needs nonzero bandwidth");
+        AccessLink {
+            bandwidth_bps,
+            prop,
+            capacity,
+            queue: VecDeque::new(),
+            serializing: None,
+        }
+    }
+
+    /// Serialization time, matching `Link::tx_time` bit for bit.
+    fn tx_time(&self, pkt: &Packet) -> SimDuration {
+        let bits = u64::from(pkt.size_bytes) * 8;
+        let ns = (u128::from(bits) * 1_000_000_000u128).div_ceil(u128::from(self.bandwidth_bps));
+        SimDuration::from_nanos(u64::try_from(ns).unwrap_or(u64::MAX))
+    }
+
+    /// Offers a packet to the admission queue. Returns the serialization
+    /// completion time if the transmitter just went busy; `None` if the
+    /// packet queued behind others or was dropped at a full queue.
+    fn offer(&mut self, pkt: Packet, now: SimTime) -> Option<SimTime> {
+        if self.queue.len() >= self.capacity {
+            return None; // drop-tail, same admission rule as DropTailQueue
+        }
+        self.queue.push_back(pkt);
+        if self.serializing.is_none() {
+            self.start_next(now)
+        } else {
+            None
+        }
+    }
+
+    fn start_next(&mut self, now: SimTime) -> Option<SimTime> {
+        let pkt = self.queue.pop_front()?;
+        let done = now + self.tx_time(&pkt);
+        self.serializing = Some(pkt);
+        Some(done)
+    }
+
+    /// Serialization finished: yields the `(arrival, packet)` export and
+    /// the completion time of the next packet, if one starts.
+    fn on_tx(&mut self, now: SimTime) -> (Export, Option<SimTime>) {
+        let pkt = self
+            .serializing
+            .take()
+            .expect("tx-complete fired on an idle access link");
+        ((now + self.prop, pkt), self.start_next(now))
+    }
+}
+
+/// Events on a client domain's scheduler.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum KEvent {
+    /// The application submits its next packet.
+    Generate,
+    /// A boundary packet (an ACK) arrived from the central domain.
+    Arrive(Packet),
+    /// The uplink finished serializing a packet.
+    UpTx,
+    /// A transport timer (RTO) fired.
+    Transport(TransportEvent),
+}
+
+impl From<TransportEvent> for KEvent {
+    fn from(ev: TransportEvent) -> Self {
+        KEvent::Transport(ev)
+    }
+}
+
+/// Events on the central domain's scheduler.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum CEvent {
+    /// A boundary packet (client data) arrived at the gateway.
+    Arrive(Packet),
+    /// A bottleneck/reverse link event.
+    Net(NetEvent),
+    /// A transport timer (delayed ACK) fired.
+    Transport(TransportEvent),
+    /// An impairment-schedule step.
+    Impair(ImpairEvent),
+    /// Downlink `i` finished serializing a packet.
+    DownTx(u32),
+}
+
+impl From<TransportEvent> for CEvent {
+    fn from(ev: TransportEvent) -> Self {
+        CEvent::Transport(ev)
+    }
+}
+
+impl From<NetEvent> for CEvent {
+    fn from(ev: NetEvent) -> Self {
+        CEvent::Net(ev)
+    }
+}
+
+/// One client's shard: source, sender-side transport, access uplink.
+#[derive(Debug)]
+struct ClientDomain {
+    idx: usize,
+    sched: Scheduler<KEvent>,
+    ep: ClientEndpoint,
+    source: AnySource,
+    uplink: AccessLink,
+    outbox: Vec<Packet>,
+    exports: Vec<Export>,
+    generated: u64,
+    stale_fired: u64,
+    profile: DispatchProfile,
+}
+
+#[derive(Debug)]
+enum ClientEndpoint {
+    Tcp(TcpSender),
+    Udp(UdpSender),
+}
+
+impl ClientDomain {
+    fn new(cfg: &ScenarioConfig, i: usize) -> Self {
+        let dcfg = cfg.dumbbell_config();
+        let ep = match cfg.transport {
+            TransportKind::Tcp(_) => ClientEndpoint::Tcp(TcpSender::new(
+                cfg.tcp_config(),
+                FlowId(i as u32),
+                client_node(i),
+                SERVER_NODE,
+            )),
+            TransportKind::Udp => ClientEndpoint::Udp(UdpSender::new(
+                FlowId(i as u32),
+                client_node(i),
+                SERVER_NODE,
+                cfg.params.packet_bytes,
+            )),
+        };
+        let stream = SimRng::derive(cfg.seed, i as u64);
+        let source: AnySource = match cfg.source {
+            SourceKind::Poisson { rate } => PoissonSource::new(rate, stream).into(),
+            SourceKind::Cbr { rate } => CbrSource::from_rate(rate).into(),
+            SourceKind::ParetoOnOff(pcfg) => ParetoOnOffSource::new(pcfg, stream).into(),
+        };
+        let mut dom = ClientDomain {
+            idx: i,
+            // A client's pending set is its own timers plus a window's
+            // arrivals — far smaller than the global event list.
+            sched: Scheduler::with_capacity_and_backend(64, cfg.queue),
+            ep,
+            source,
+            uplink: AccessLink::new(
+                dcfg.client_bandwidth_bps,
+                dcfg.client_delay_of(i),
+                dcfg.access_queue_capacity,
+            ),
+            outbox: Vec::with_capacity(16),
+            exports: Vec::new(),
+            generated: 0,
+            stale_fired: 0,
+            profile: DispatchProfile::default(),
+        };
+        let gap = dom.source.next_gap();
+        dom.sched.schedule_after(gap, KEvent::Generate);
+        dom
+    }
+
+    /// Processes every local event strictly before `end`, accumulating
+    /// boundary exports.
+    fn run_window(&mut self, end: SimTime) {
+        while self.sched.peek_time().is_some_and(|t| t < end) {
+            let (_, ev) = self.sched.pop().expect("peeked event vanished");
+            self.dispatch(ev);
+        }
+    }
+
+    fn dispatch(&mut self, ev: KEvent) {
+        let clock = ProfClock::start();
+        match ev {
+            KEvent::Generate => {
+                self.generated += 1;
+                let now = self.sched.now();
+                match &mut self.ep {
+                    ClientEndpoint::Tcp(tx) => {
+                        tx.on_app_packets(1, &mut self.sched, &mut self.outbox);
+                    }
+                    ClientEndpoint::Udp(tx) => {
+                        let pkt = tx.on_app_packet(now);
+                        self.outbox.push(pkt);
+                    }
+                }
+                self.flush_outbox();
+                let gap = self.source.next_gap();
+                self.sched.schedule_after(gap, KEvent::Generate);
+                clock.charge(&mut self.profile.generate);
+            }
+            KEvent::Arrive(pkt) => {
+                match (&mut self.ep, pkt.kind) {
+                    (ClientEndpoint::Tcp(tx), PacketKind::TcpAck { ack, ece, sack }) => {
+                        tx.on_ack(ack, ece, sack, &mut self.sched, &mut self.outbox);
+                    }
+                    (_, kind) => unreachable!("client received unexpected {kind:?}"),
+                }
+                self.flush_outbox();
+                clock.charge(&mut self.profile.net_delivery);
+            }
+            KEvent::UpTx => {
+                let now = self.sched.now();
+                let (export, next) = self.uplink.on_tx(now);
+                self.exports.push(export);
+                if let Some(done) = next {
+                    self.sched.schedule_at(done, KEvent::UpTx);
+                }
+                clock.charge(&mut self.profile.net_tx);
+            }
+            KEvent::Transport(ev) => {
+                debug_assert_eq!(ev.kind, TimerKind::Rto, "client-side timers are RTOs");
+                if let ClientEndpoint::Tcp(tx) = &mut self.ep {
+                    let live =
+                        tx.on_timer(ev.kind, ev.generation, &mut self.sched, &mut self.outbox);
+                    if !live {
+                        self.stale_fired += 1;
+                    }
+                }
+                self.flush_outbox();
+                clock.charge(&mut self.profile.transport);
+            }
+        }
+    }
+
+    fn flush_outbox(&mut self) {
+        let now = self.sched.now();
+        // FIFO: a burst of segments must hit the wire in sequence order.
+        let mut pkts = std::mem::take(&mut self.outbox);
+        for pkt in pkts.drain(..) {
+            if let Some(done) = self.uplink.offer(pkt, now) {
+                self.sched.schedule_at(done, KEvent::UpTx);
+            }
+        }
+        self.outbox = pkts; // keep the allocation
+    }
+
+    /// Publishes this window's exports and schedules the arrivals the
+    /// central domain sent here.
+    fn flush_exports(&mut self, ex: &Exchange) {
+        if !self.exports.is_empty() {
+            ex.to_central[self.idx]
+                .lock()
+                .expect("boundary mailbox poisoned")
+                .append(&mut self.exports);
+        }
+    }
+
+    fn drain_inbox(&mut self, ex: &Exchange) {
+        let mut inbox = ex.to_client[self.idx]
+            .lock()
+            .expect("boundary mailbox poisoned");
+        // Single writer (the central domain) pushed these in its own
+        // deterministic processing order; same-instant ties keep it.
+        for (t, pkt) in inbox.drain(..) {
+            self.sched.schedule_at(t, KEvent::Arrive(pkt));
+        }
+    }
+}
+
+/// The server side of the dumbbell, one endpoint arena per transport kind.
+#[derive(Debug)]
+enum ServerEndpoints {
+    Tcp(Vec<TcpReceiver>),
+    Udp(Vec<UdpSink>),
+}
+
+/// The central shard: gateway + server, the bottleneck and reverse links
+/// (real [`Network`] machinery, so RED/ECN, flaps and capacity toggles work
+/// unchanged), the return downlinks, the arrival probe and the impairment
+/// schedule.
+#[derive(Debug)]
+struct CentralDomain {
+    sched: Scheduler<CEvent>,
+    net: Network,
+    bottleneck: LinkId,
+    rxs: ServerEndpoints,
+    downlinks: Vec<AccessLink>,
+    probe: BinnedCounter,
+    outbox: Vec<Packet>,
+    /// Per-client export buffers, flushed to the exchange once per window.
+    exports: Vec<Vec<Export>>,
+    impair: Option<Box<ImpairRuntime>>,
+    stale_fired: u64,
+    profile: DispatchProfile,
+    /// Scratch for the deterministic inbox merge.
+    merge_buf: Vec<Export>,
+}
+
+impl CentralDomain {
+    fn new(cfg: &ScenarioConfig) -> Self {
+        let dcfg = cfg.dumbbell_config();
+        let mut net = Network::new();
+        // The gateway is a *host* here: reverse-link deliveries terminate
+        // at it and are handed to the per-client downlinks by the dispatch
+        // loop, because the downlinks' far ends live in other domains.
+        let gateway = net.add_host();
+        let server = net.add_host();
+        assert_eq!(gateway, GATEWAY_NODE);
+        assert_eq!(server, SERVER_NODE);
+        for i in 0..cfg.num_clients {
+            let stub = net.add_host();
+            assert_eq!(stub, client_node(i));
+        }
+        let bottleneck = net.add_link(
+            gateway,
+            server,
+            dcfg.bottleneck_bandwidth_bps,
+            dcfg.bottleneck_delay,
+            dcfg.gateway_queue.build(dcfg.seed),
+        );
+        let reverse = net.add_link(
+            server,
+            gateway,
+            dcfg.bottleneck_bandwidth_bps,
+            dcfg.bottleneck_delay,
+            DropTailQueue::new(dcfg.access_queue_capacity),
+        );
+        net.set_route(gateway, server, bottleneck);
+        for i in 0..cfg.num_clients {
+            net.set_route(server, client_node(i), reverse);
+        }
+
+        let rxs = match cfg.transport {
+            TransportKind::Tcp(_) => {
+                let tcp = cfg.tcp_config();
+                ServerEndpoints::Tcp(
+                    (0..cfg.num_clients)
+                        .map(|i| {
+                            TcpReceiver::new(tcp, FlowId(i as u32), SERVER_NODE, client_node(i))
+                        })
+                        .collect(),
+                )
+            }
+            TransportKind::Udp => {
+                ServerEndpoints::Udp((0..cfg.num_clients).map(|_| UdpSink::new()).collect())
+            }
+        };
+        let downlinks = (0..cfg.num_clients)
+            .map(|i| {
+                AccessLink::new(
+                    dcfg.client_bandwidth_bps,
+                    dcfg.client_delay_of(i),
+                    dcfg.access_queue_capacity,
+                )
+            })
+            .collect();
+
+        let mut dom = CentralDomain {
+            sched: Scheduler::with_capacity_and_backend(cfg.event_list_capacity(), cfg.queue),
+            net,
+            bottleneck,
+            rxs,
+            downlinks,
+            probe: BinnedCounter::starting_at(SimTime::ZERO + cfg.warmup, cfg.cov_bin_width()),
+            outbox: Vec::with_capacity(64),
+            exports: (0..cfg.num_clients).map(|_| Vec::new()).collect(),
+            impair: ImpairRuntime::build(cfg),
+            stale_fired: 0,
+            profile: DispatchProfile::default(),
+            merge_buf: Vec::new(),
+        };
+        // Arm the periodic impairments (corruption is gated out by
+        // `supported`, so only link-level schedules appear here).
+        if let Some(rt) = dom.impair.as_mut() {
+            if let Some(cycle) = &rt.flap {
+                dom.sched
+                    .schedule_after(cycle.hold(), CEvent::Impair(ImpairEvent::FlapToggle));
+            }
+            if let Some(t) = &rt.capacity {
+                dom.sched
+                    .schedule_after(t.cycle.hold(), CEvent::Impair(ImpairEvent::CapacityToggle));
+            }
+            if let Some(t) = &rt.delay {
+                dom.sched
+                    .schedule_after(t.cycle.hold(), CEvent::Impair(ImpairEvent::DelayToggle));
+            }
+            if let Some(x) = rt.cross.as_mut() {
+                let gap = x.source.next_gap();
+                dom.sched
+                    .schedule_after(gap, CEvent::Impair(ImpairEvent::CrossArrival));
+            }
+        }
+        dom
+    }
+
+    fn run_window(&mut self, end: SimTime) {
+        while self.sched.peek_time().is_some_and(|t| t < end) {
+            let (_, ev) = self.sched.pop().expect("peeked event vanished");
+            self.dispatch(ev);
+        }
+    }
+
+    fn dispatch(&mut self, ev: CEvent) {
+        let clock = ProfClock::start();
+        match ev {
+            CEvent::Arrive(pkt) => {
+                // The paper's probe: data packets arriving at the gateway,
+                // counted per round-trip propagation delay — exactly the
+                // uplink-delivery instant the serial engine records.
+                if pkt.kind.is_data() {
+                    self.probe.record(self.sched.now());
+                }
+                self.net.send_on(self.bottleneck, pkt, &mut self.sched);
+                clock.charge(&mut self.profile.net_delivery);
+            }
+            CEvent::Net(NetEvent::TxComplete { link, epoch }) => {
+                self.net.on_tx_complete(link, epoch, &mut self.sched);
+                clock.charge(&mut self.profile.net_tx);
+            }
+            CEvent::Net(NetEvent::Delivery { link, epoch, packet }) => {
+                match self.net.on_delivery(link, epoch, packet, &mut self.sched) {
+                    Delivered::ToHost { node, packet } => self.on_host_delivery(node, packet),
+                    Delivered::Forwarded { .. } => {
+                        unreachable!("central domain has no routers")
+                    }
+                    Delivered::LostOnWire { cause, .. } => {
+                        if let Some(rt) = self.impair.as_mut() {
+                            match cause {
+                                WireLoss::LinkDown => rt.counters.lost_in_flight += 1,
+                                WireLoss::Corrupted => rt.counters.corrupted += 1,
+                            }
+                        }
+                    }
+                }
+                clock.charge(&mut self.profile.net_delivery);
+            }
+            CEvent::Transport(ev) => {
+                debug_assert_eq!(ev.kind, TimerKind::DelAck, "server-side timers are delacks");
+                if let ServerEndpoints::Tcp(rxs) = &mut self.rxs {
+                    let now = self.sched.now();
+                    let live = rxs[ev.flow.0 as usize].on_timer(
+                        ev.kind,
+                        ev.generation,
+                        now,
+                        &mut self.outbox,
+                    );
+                    if !live {
+                        self.stale_fired += 1;
+                    }
+                }
+                self.flush_outbox();
+                clock.charge(&mut self.profile.transport);
+            }
+            CEvent::Impair(ev) => {
+                self.on_impair(ev);
+                clock.charge(&mut self.profile.impair);
+            }
+            CEvent::DownTx(i) => {
+                let now = self.sched.now();
+                let (export, next) = self.downlinks[i as usize].on_tx(now);
+                self.exports[i as usize].push(export);
+                if let Some(done) = next {
+                    self.sched.schedule_at(done, CEvent::DownTx(i));
+                }
+                clock.charge(&mut self.profile.net_tx);
+            }
+        }
+    }
+
+    fn on_host_delivery(&mut self, node: NodeId, packet: Packet) {
+        if node == SERVER_NODE {
+            if packet.flow == CROSS_TRAFFIC_FLOW {
+                if let Some(rt) = self.impair.as_mut() {
+                    rt.counters.cross_delivered += 1;
+                }
+                return;
+            }
+            let idx = packet.flow.0 as usize;
+            match (&mut self.rxs, packet.kind) {
+                (ServerEndpoints::Tcp(rxs), PacketKind::TcpData { .. }) => {
+                    rxs[idx].on_data(&packet, &mut self.sched, &mut self.outbox);
+                }
+                (ServerEndpoints::Udp(sinks), PacketKind::Datagram) => {
+                    let now = self.sched.now();
+                    sinks[idx].on_packet(&packet, now);
+                }
+                (_, kind) => unreachable!("server received unexpected {kind:?}"),
+            }
+            self.flush_outbox();
+        } else {
+            // Reverse-link delivery at the gateway host: hand the ACK to
+            // the owning client's downlink.
+            debug_assert_eq!(node, GATEWAY_NODE);
+            let i = packet.flow.0;
+            let now = self.sched.now();
+            if let Some(done) = self.downlinks[i as usize].offer(packet, now) {
+                self.sched.schedule_at(done, CEvent::DownTx(i));
+            }
+        }
+    }
+
+    /// Mirrors the serial engine's impairment stepping on the central
+    /// domain's bottleneck link.
+    fn on_impair(&mut self, ev: ImpairEvent) {
+        let now = self.sched.now();
+        let Some(rt) = self.impair.as_mut() else {
+            unreachable!("impairment event without a schedule");
+        };
+        match ev {
+            ImpairEvent::FlapToggle => {
+                let cycle = rt.flap.as_mut().expect("flap toggle without a flap");
+                let up = cycle.advance() == 0;
+                self.net.set_link_up(self.bottleneck, up, &mut self.sched);
+                if up {
+                    rt.counters.link_up_events += 1;
+                } else {
+                    rt.counters.link_down_events += 1;
+                }
+                self.sched
+                    .schedule_after(cycle.hold(), CEvent::Impair(ImpairEvent::FlapToggle));
+            }
+            ImpairEvent::CapacityToggle => {
+                let t = rt.capacity.as_mut().expect("capacity toggle without one");
+                let rate = t.advance();
+                self.net.link_mut(self.bottleneck).set_bandwidth_bps(rate);
+                self.sched
+                    .schedule_after(t.cycle.hold(), CEvent::Impair(ImpairEvent::CapacityToggle));
+            }
+            ImpairEvent::DelayToggle => {
+                let t = rt.delay.as_mut().expect("delay toggle without one");
+                let delay = t.advance();
+                self.net.link_mut(self.bottleneck).set_delay(delay);
+                self.sched
+                    .schedule_after(t.cycle.hold(), CEvent::Impair(ImpairEvent::DelayToggle));
+            }
+            ImpairEvent::CrossArrival => {
+                let x = rt.cross.as_mut().expect("cross arrival without a source");
+                let pkt = Packet {
+                    flow: CROSS_TRAFFIC_FLOW,
+                    kind: PacketKind::Datagram,
+                    size_bytes: x.packet_bytes,
+                    src: GATEWAY_NODE,
+                    dst: SERVER_NODE,
+                    created_at: now,
+                    ecn: tcpburst_net::Ecn::NotCapable,
+                };
+                rt.counters.cross_injected += 1;
+                self.net.inject(pkt, &mut self.sched);
+                let gap = x.source.next_gap();
+                self.sched
+                    .schedule_after(gap, CEvent::Impair(ImpairEvent::CrossArrival));
+            }
+        }
+    }
+
+    fn flush_outbox(&mut self) {
+        // ACKs ride the real reverse link: route(server → client stub).
+        let mut pkts = std::mem::take(&mut self.outbox);
+        for pkt in pkts.drain(..) {
+            self.net.inject(pkt, &mut self.sched);
+        }
+        self.outbox = pkts; // keep the allocation
+    }
+
+    fn flush_exports(&mut self, ex: &Exchange) {
+        for (i, buf) in self.exports.iter_mut().enumerate() {
+            if !buf.is_empty() {
+                ex.to_client[i]
+                    .lock()
+                    .expect("boundary mailbox poisoned")
+                    .append(buf);
+            }
+        }
+    }
+
+    /// Drains every client's outbound mailbox and schedules the arrivals in
+    /// a deterministic order: ascending time, ties broken by source client,
+    /// per-source FIFO preserved — independent of which worker produced
+    /// what when.
+    fn drain_inboxes(&mut self, ex: &Exchange) {
+        let mut merge = std::mem::take(&mut self.merge_buf);
+        for slot in &ex.to_central {
+            let mut inbox = slot.lock().expect("boundary mailbox poisoned");
+            merge.append(&mut inbox);
+        }
+        // Concatenated in client order, so a stable sort on time alone
+        // leaves same-instant entries ordered by source client and keeps
+        // each client's own FIFO.
+        merge.sort_by_key(|&(t, _)| t);
+        for (t, pkt) in merge.drain(..) {
+            self.sched.schedule_at(t, CEvent::Arrive(pkt));
+        }
+        self.merge_buf = merge; // keep the allocation
+    }
+}
+
+/// Runs `cfg` on the conservative parallel engine with
+/// `cfg.shards.min(cfg.num_clients)` worker threads.
+///
+/// # Panics
+///
+/// Panics if the configuration is inconsistent (same contract as
+/// [`crate::Scenario::new`]) or unsupported here (callers must check
+/// [`supported`] first).
+pub(crate) fn run_sharded(cfg: &ScenarioConfig) -> ScenarioReport {
+    assert!(supported(cfg), "unsupported config for the sharded engine");
+    assert!(cfg.num_clients > 0, "need at least one client");
+    let started = std::time::Instant::now();
+
+    let workers = cfg.shards.min(cfg.num_clients).max(1);
+    let horizon = SimTime::ZERO + cfg.duration;
+    let lookahead = cfg.dumbbell_config().client_delay;
+    // Windows [k·W, (k+1)·W) cover [0, horizon]; the final window's end is
+    // horizon + 1 ns because the serial engine's drain is inclusive of the
+    // horizon instant.
+    let full_windows = horizon.as_nanos() / lookahead.as_nanos();
+    let end_of = |k: u64| {
+        if k < full_windows {
+            SimTime::ZERO + lookahead * (k + 1)
+        } else {
+            horizon + SimDuration::from_nanos(1)
+        }
+    };
+
+    let mut central = Some(CentralDomain::new(cfg));
+    let mut buckets: Vec<Vec<ClientDomain>> = (0..workers).map(|_| Vec::new()).collect();
+    for i in 0..cfg.num_clients {
+        buckets[i % workers].push(ClientDomain::new(cfg, i));
+    }
+
+    let exchange = Exchange::new(cfg.num_clients);
+    let barrier = Barrier::new(workers);
+
+    let (central, client_doms) = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for (w, mut mine) in buckets.into_iter().enumerate() {
+            let mut central = (w == 0).then(|| central.take().expect("central taken twice"));
+            let (exchange, barrier) = (&exchange, &barrier);
+            handles.push(scope.spawn(move || {
+                for k in 0..=full_windows {
+                    let end = end_of(k);
+                    for dom in &mut mine {
+                        dom.run_window(end);
+                        dom.flush_exports(exchange);
+                    }
+                    if let Some(c) = central.as_mut() {
+                        c.run_window(end);
+                        c.flush_exports(exchange);
+                    }
+                    // Everyone's exports are published; nobody may read
+                    // a mailbox a peer is still appending to.
+                    barrier.wait();
+                    for dom in &mut mine {
+                        dom.drain_inbox(exchange);
+                    }
+                    if let Some(c) = central.as_mut() {
+                        c.drain_inboxes(exchange);
+                    }
+                    // Nobody may publish next-window exports into a
+                    // mailbox a peer is still draining.
+                    barrier.wait();
+                }
+                (central, mine)
+            }));
+        }
+        let mut central = None;
+        let mut clients: Vec<ClientDomain> = Vec::with_capacity(cfg.num_clients);
+        for h in handles {
+            let (c, mine) = h.join().expect("shard worker panicked");
+            if let Some(c) = c {
+                central = Some(c);
+            }
+            clients.extend(mine);
+        }
+        (central.expect("central domain lost"), clients)
+    });
+    let mut clients = client_doms;
+    // Workers interleave clients round-robin; the report is per-flow.
+    clients.sort_by_key(|d| d.idx);
+
+    assemble_report(cfg, central, clients, started.elapsed())
+}
+
+fn assemble_report(
+    cfg: &ScenarioConfig,
+    central: CentralDomain,
+    clients: Vec<ClientDomain>,
+    wall_clock: std::time::Duration,
+) -> ScenarioReport {
+    let end = SimTime::ZERO + cfg.duration;
+    let bins = central.probe.finish(end);
+    let cov = bins.cov();
+    let pcov = poisson_cov(
+        cfg.source.mean_rate(),
+        cfg.cov_bin_width().as_secs_f64(),
+        cfg.num_clients,
+    );
+
+    let mut flows = Vec::with_capacity(cfg.num_clients);
+    for dom in &clients {
+        let i = dom.idx;
+        match (&dom.ep, &central.rxs) {
+            (ClientEndpoint::Tcp(tx), ServerEndpoints::Tcp(rxs)) => {
+                flows.push(FlowReport {
+                    packets_sent: tx.counters().data_packets_sent,
+                    delivered: rxs[i].counters().delivered,
+                    mean_delay_secs: rxs[i].delay_stats().mean(),
+                    tcp: Some(tx.counters()),
+                    cwnd_trace: tx.cwnd_trace().cloned(),
+                });
+            }
+            (ClientEndpoint::Udp(tx), ServerEndpoints::Udp(sinks)) => {
+                flows.push(FlowReport {
+                    packets_sent: tx.packets_sent(),
+                    delivered: sinks[i].delivered(),
+                    mean_delay_secs: sinks[i].mean_delay_secs(),
+                    tcp: None,
+                    cwnd_trace: None,
+                });
+            }
+            _ => unreachable!("client and server arenas share one transport kind"),
+        }
+    }
+
+    let bottleneck_link = central.net.link(central.bottleneck);
+    let bottleneck_queue = bottleneck_link.queue().stats();
+    let avg_queue_len = bottleneck_link
+        .queue()
+        .occupancy()
+        .average(end, bottleneck_link.queue().len());
+    let delivered_packets: u64 = flows.iter().map(|f| f.delivered).sum();
+    let goodputs: Vec<f64> = flows.iter().map(|f| f.delivered as f64).collect();
+
+    let mut tcp_totals = tcpburst_transport::TcpCounters::default();
+    for f in &flows {
+        if let Some(c) = &f.tcp {
+            tcp_totals.merge(c);
+        }
+    }
+
+    let mean_delay_secs = if delivered_packets == 0 {
+        0.0
+    } else {
+        flows
+            .iter()
+            .map(|f| f.mean_delay_secs * f.delivered as f64)
+            .sum::<f64>()
+            / delivered_packets as f64
+    };
+
+    // Engine counters aggregate over every domain scheduler.
+    let mut profile = central.profile;
+    let mut events_processed = central.sched.processed();
+    let mut stale_fired = central.stale_fired;
+    let mut cancelled_in_place = central.sched.cancelled_in_place();
+    let mut pending_peak = central.sched.pending_peak() as u64;
+    let mut generated = 0;
+    for dom in &clients {
+        profile.merge(&dom.profile);
+        events_processed += dom.sched.processed();
+        stale_fired += dom.stale_fired;
+        cancelled_in_place += dom.sched.cancelled_in_place();
+        pending_peak += dom.sched.pending_peak() as u64;
+        generated += dom.generated;
+    }
+
+    ScenarioReport {
+        cov,
+        poisson_cov: pcov,
+        bins,
+        generated_packets: generated,
+        delivered_packets,
+        loss_percent: bottleneck_queue.loss_fraction() * 100.0,
+        bottleneck_queue,
+        avg_queue_len,
+        mean_delay_secs,
+        fairness: jain_fairness(&goodputs),
+        tcp_totals,
+        flows,
+        duration_secs: (cfg.duration - cfg.warmup).as_secs_f64(),
+        events_processed,
+        wall_clock_secs: wall_clock.as_secs_f64(),
+        timers: TimerReport {
+            stale_fired,
+            cancelled_in_place,
+            pending_peak,
+        },
+        dispatch: profile,
+        event_log: None,
+        impairments: central
+            .impair
+            .map(|rt| rt.counters)
+            .unwrap_or_default(),
+        audit: None,
+        budget_exceeded: None,
+    }
+}

@@ -16,14 +16,25 @@
 //! empty days with `trailing_zeros` instead of touching their `Vec`
 //! headers.
 //!
+//! Population-triggered resizes alone cannot keep the width honest: a
+//! workload whose *distribution* drifts at constant population — the classic
+//! hold benchmark's event pack compresses from its initial span to a few
+//! multiples of the mean increment — strands the width estimate and piles
+//! the whole population into a handful of days. Following the SNOOPy
+//! calendar queue (Tan & Thng 2000), every operation therefore adds its
+//! structural work (entries displaced by an insert, buckets probed by a
+//! scan) to a cost accumulator, and a sustained average above
+//! [`COST_THRESHOLD`] triggers a recalibrating rebuild no matter what the
+//! population did.
+//!
 //! Unlike a heap, buckets also support *deletion by key*: an event whose
 //! `(time, seq)` is known can be removed in place, which is what makes the
 //! scheduler's eager timer cancellation possible.
 //!
 //! Determinism: every structural decision (bucket index, resize trigger,
-//! width estimate) is a pure function of the pushed `(time, seq)` sequence,
-//! so the pop order is exactly the ascending `(time, seq)` order regardless
-//! of resize history — property-tested against a [`std::collections::BinaryHeap`]
+//! width estimate) is a pure function of the operation sequence, so the pop
+//! order is exactly the ascending `(time, seq)` order regardless of resize
+//! history — property-tested against a [`std::collections::BinaryHeap`]
 //! reference in `tests/prop_calendar.rs`.
 
 use std::cell::Cell;
@@ -51,6 +62,26 @@ const DEFAULT_SHIFT: u32 = 20;
 const MIN_SHIFT: u32 = 1;
 /// Widest bucket the estimator will pick (2^40 ns ≈ 18 simulated minutes).
 const MAX_SHIFT: u32 = 40;
+/// Events per bucket the resizer aims for.
+///
+/// The classic calendar targets one event per day, but a table sized that
+/// sparsely stops paying off below a few thousand pending events: the ring
+/// outgrows cache while most days sit empty, and the hold benchmark showed
+/// the heap winning at 1k–10k pending. Aiming for a couple of events per
+/// day halves the ring's footprint and the bitmap scan distance; the
+/// descending-sorted buckets keep the per-bucket walk at one or two
+/// comparisons.
+const TARGET_LOAD: usize = 2;
+/// Average structural work per operation (entries displaced on insert,
+/// buckets probed on scan) above which the table recalibrates. A healthy
+/// table averages ≲ [`TARGET_LOAD`]; a stranded width averages hundreds.
+const COST_THRESHOLD: u64 = 8;
+/// Operations between cost checks when the table is healthy.
+const BASE_CHECK_OPS: u32 = 1 << 10;
+/// Ceiling for the exponential back-off when recalibration cannot help
+/// (e.g. every pending event shares one timestamp): checks at this cadence
+/// make the O(n) rebuild attempt amortized O(1) per operation.
+const MAX_CHECK_OPS: u32 = 1 << 20;
 
 #[derive(Debug)]
 pub(crate) struct Calendar<E> {
@@ -72,11 +103,19 @@ pub(crate) struct Calendar<E> {
     cur_day: Cell<u64>,
     /// Whether the width has been estimated from live data yet.
     calibrated: bool,
+    /// Structural work accumulated since the last cost check. `Cell` because
+    /// scans also run under `&self` (see `cur_day`); the cost only ever
+    /// influences *when* the table rebuilds, never what pops next.
+    cost: Cell<u64>,
+    /// Operations since the last cost check.
+    ops_since_check: u32,
+    /// Current cost-check cadence (doubles while rebuilds cannot help).
+    check_ops: u32,
 }
 
 impl<E> Calendar<E> {
     pub(crate) fn with_capacity(capacity: usize) -> Self {
-        let nbuckets = (capacity / 2)
+        let nbuckets = (capacity / TARGET_LOAD)
             .max(MIN_BUCKETS)
             .next_power_of_two()
             .min(MAX_BUCKETS);
@@ -90,6 +129,9 @@ impl<E> Calendar<E> {
             len: 0,
             cur_day: Cell::new(0),
             calibrated: false,
+            cost: Cell::new(0),
+            ops_since_check: 0,
+            check_ops: BASE_CHECK_OPS,
         }
     }
 
@@ -121,6 +163,75 @@ impl<E> Calendar<E> {
         self.occupied[idx >> 6] &= !(1 << (idx & 63));
     }
 
+    #[inline]
+    fn add_cost(&self, units: u64) {
+        self.cost.set(self.cost.get() + units);
+    }
+
+    /// Counts one operation toward the cost check, recalibrating when the
+    /// recent average says the day width no longer fits the distribution.
+    #[inline]
+    fn note_op(&mut self) {
+        self.ops_since_check += 1;
+        if self.ops_since_check >= self.check_ops {
+            self.check_cost();
+        }
+    }
+
+    fn check_cost(&mut self) {
+        let ops = u64::from(self.ops_since_check);
+        let cost = self.cost.get();
+        self.ops_since_check = 0;
+        self.cost.set(0);
+        if cost <= COST_THRESHOLD * ops {
+            self.check_ops = BASE_CHECK_OPS;
+            return;
+        }
+        // Operations are running hot. Before paying the O(n) rebuild, probe
+        // whether it could even help: re-estimate the geometry from a strided
+        // sample of the live buckets (O(nbuckets)). Some workloads are
+        // expensive at *any* width — e.g. a dense burst in front of a long
+        // sparse tail — and rebuilding into identical geometry is pure loss;
+        // ±1 shift of hysteresis absorbs sampling noise so such workloads
+        // cannot buy a rebuild every check. When even probing cannot help,
+        // back off exponentially so degenerate inputs (every event at one
+        // timestamp) amortize the probe cost to O(1) per operation.
+        let target_nbuckets = (self.len / TARGET_LOAD)
+            .clamp(MIN_BUCKETS, MAX_BUCKETS)
+            .next_power_of_two();
+        let productive = target_nbuckets != self.buckets.len()
+            || self
+                .candidate_shift()
+                .is_some_and(|s| s.abs_diff(self.shift) > 1);
+        if productive {
+            self.resize(self.len / TARGET_LOAD);
+            self.check_ops = BASE_CHECK_OPS;
+        } else {
+            self.check_ops = (self.check_ops * 2).min(MAX_CHECK_OPS);
+        }
+    }
+
+    /// The shift a rebuild would pick right now, estimated from a strided
+    /// sample of the live buckets without draining them.
+    fn candidate_shift(&self) -> Option<u32> {
+        const SAMPLE: usize = 128;
+        let step = (self.len / SAMPLE).max(1);
+        let mut sample = Vec::with_capacity(SAMPLE);
+        let mut next = 0usize;
+        let mut seen = 0usize;
+        'outer: for bucket in &self.buckets {
+            while next < seen + bucket.len() {
+                sample.push(bucket[next - seen].time.as_nanos());
+                next += step;
+                if sample.len() == SAMPLE {
+                    break 'outer;
+                }
+            }
+            seen += bucket.len();
+        }
+        estimate_shift_from(sample, self.len)
+    }
+
     pub(crate) fn push(&mut self, entry: Entry<E>) {
         let day = self.day_of(entry.time.as_nanos());
         // An event landing before the current scan day would be skipped by
@@ -137,22 +248,25 @@ impl<E> Calendar<E> {
         match bucket.last() {
             Some(tail) if (tail.time, tail.seq) < key => {
                 let pos = bucket.partition_point(|e| (e.time, e.seq) > key);
+                let displaced = (bucket.len() - pos) as u64;
                 bucket.insert(pos, entry);
+                self.add_cost(displaced);
             }
             _ => bucket.push(entry),
         }
         self.mark_occupied(idx);
         self.len += 1;
 
-        if self.len > self.buckets.len() {
-            // Keep the table at least twice the population: a mostly-empty
-            // ring makes the average day hold ≲1 event, so a dequeue is one
-            // bitmap hop instead of a sorted-bucket walk.
-            self.resize(2 * self.len);
+        if self.len > 2 * TARGET_LOAD * self.buckets.len() {
+            // Let the load drift up to 2x the target before rebuilding, so
+            // the table doubles at most once per population doubling.
+            self.resize(self.len / TARGET_LOAD);
         } else if !self.calibrated && self.len >= 32 {
             // First calibration: the default width is a guess; re-estimate
             // from the live population once it is big enough to sample.
-            self.resize(2 * self.len);
+            self.resize(self.len / TARGET_LOAD);
+        } else {
+            self.note_op();
         }
     }
 
@@ -205,18 +319,22 @@ impl<E> Calendar<E> {
         // partition time and are scanned in order, so the first entry found
         // belonging to its probe day is the global minimum. An occupied
         // bucket whose minimum lies in a *later* year is skipped over.
+        let mut probes = 0u64;
         let mut skip = 1;
         while let Some((idx, dist)) = self.next_occupied(day, skip, nbuckets) {
+            probes += 1;
             let e = self.buckets[idx].last().expect("occupied bucket is nonempty");
             let e_day = self.day_of(e.time.as_nanos());
             if e_day <= day + dist as u64 {
                 self.cur_day.set(e_day);
+                self.add_cost(probes + (dist as u64) / 64);
                 return idx;
             }
             skip = dist + 1;
         }
         // Rare: every pending event lies beyond one full calendar year.
         // Fall back to a direct search across bucket minima.
+        self.add_cost(probes + (nbuckets as u64) / 64 + self.len as u64);
         let (key, best) = self
             .iter_occupied()
             .map(|i| {
@@ -275,13 +393,49 @@ impl<E> Calendar<E> {
         Some(self.pop_from(idx))
     }
 
+    /// Pops *every* entry sharing the earliest pending timestamp, provided
+    /// it is at most `horizon`, appending the events to `out` in ascending
+    /// `seq` (FIFO) order. Returns the shared timestamp, or `None` when
+    /// nothing is due.
+    ///
+    /// Equal timestamps hash to the same day, so the whole run lives in one
+    /// bucket; buckets are sorted descending by `(time, seq)`, so the run is
+    /// exactly the bucket's tail and popping tail-first yields ascending
+    /// `seq`. One bucket scan and one occupancy update amortize the queue
+    /// overhead across the run — the win on the synchronized event bursts
+    /// this simulator exists to produce.
+    pub(crate) fn pop_due_run(&mut self, horizon: SimTime, out: &mut Vec<E>) -> Option<SimTime> {
+        if self.len == 0 {
+            return None;
+        }
+        let idx = self.locate_min();
+        let bucket = &mut self.buckets[idx];
+        let run_time = bucket.last().expect("locate_min found an entry").time;
+        if run_time > horizon {
+            return None;
+        }
+        while let Some(tail) = bucket.last() {
+            if tail.time != run_time {
+                break;
+            }
+            let entry = bucket.pop().expect("tail just checked");
+            out.push(entry.event);
+            self.len -= 1;
+        }
+        if self.buckets[idx].is_empty() {
+            self.mark_empty(idx);
+        }
+        self.note_op();
+        Some(run_time)
+    }
+
     fn pop_from(&mut self, idx: usize) -> Entry<E> {
         let entry = self.buckets[idx].pop().expect("locate_min found an entry");
         if self.buckets[idx].is_empty() {
             self.mark_empty(idx);
         }
         self.len -= 1;
-        self.maybe_shrink();
+        self.note_op();
         entry
     }
 
@@ -297,25 +451,18 @@ impl<E> Calendar<E> {
                 self.mark_empty(idx);
             }
             self.len -= 1;
-            self.maybe_shrink();
+            self.note_op();
             Some(entry.event)
         } else {
             None
         }
     }
 
-    fn maybe_shrink(&mut self) {
-        let nbuckets = self.buckets.len();
-        // 4x hysteresis against the grow trigger (`len > nbuckets`) so a
-        // population oscillating around a threshold cannot thrash resizes.
-        if nbuckets > MIN_BUCKETS && self.len < nbuckets / 8 {
-            self.resize(2 * self.len);
-        }
-    }
-
     /// Rebuilds the calendar with `new_nbuckets` buckets and a bucket width
     /// re-estimated from the live population. O(n), amortized O(1) because
-    /// it only triggers on doubling/halving thresholds.
+    /// it only triggers on the doubling threshold or a (backed-off)
+    /// sustained cost overrun. Shrinking needs no dedicated trigger: an
+    /// oversized table shows up as scan cost and recalibrates here.
     fn resize(&mut self, new_nbuckets: usize) {
         let new_nbuckets = new_nbuckets
             .clamp(MIN_BUCKETS, MAX_BUCKETS)
@@ -354,29 +501,43 @@ impl<E> Calendar<E> {
     }
 }
 
-/// Estimates a bucket shift (log2 width) targeting one event per day,
-/// from a deterministic sample of the live population. `None` when there
-/// are too few distinct timestamps to tell.
+/// Estimates a bucket shift (log2 width) targeting [`TARGET_LOAD`] events
+/// per day, from a deterministic sample of the live population. `None` when
+/// there are too few distinct timestamps to tell.
 ///
 /// A strided sample of `k` of the `n` timestamps, sorted, has consecutive
-/// gaps averaging `span / k` over the densely-populated core; the *median*
-/// sampled gap ignores the handful of giant gaps contributed by far-future
-/// outliers (retransmission timers parked hundreds of milliseconds out).
-/// Rescaling that median by `k / n` recovers the core inter-event gap — the
-/// ideal day width — without ever sorting the full population.
+/// gaps averaging `span / k` over the densely-populated core. Both enqueue
+/// and dequeue work concentrates where the *scan* lives — just ahead of the
+/// pending minimum — and many workloads (the hold benchmark's stationary
+/// pack is exponential) are markedly denser there than at the population
+/// average, so the estimate uses the median of the *earliest quarter* of
+/// the sampled gaps: the near-minimum region. That same trimming also
+/// ignores the giant gaps contributed by far-future outliers
+/// (retransmission timers parked hundreds of milliseconds out). Rescaling
+/// the median by `k / n` recovers the near-minimum inter-event gap — and a
+/// day spans [`TARGET_LOAD`] of those — without ever sorting the full
+/// population. Events past the resulting year wrap around the ring and are
+/// skipped over by the dequeue scan's year check.
 fn estimate_shift<E>(entries: &[Entry<E>]) -> Option<u32> {
     const SAMPLE: usize = 128;
     let n = entries.len();
-    if n < 2 {
-        return None;
-    }
     let step = (n / SAMPLE).max(1);
-    let mut sample: Vec<u64> = entries
+    let sample: Vec<u64> = entries
         .iter()
         .step_by(step)
         .take(SAMPLE)
         .map(|e| e.time.as_nanos())
         .collect();
+    estimate_shift_from(sample, n)
+}
+
+/// Core of the width estimate, shared by the rebuild path and the cheap
+/// [`Calendar::candidate_shift`] probe: `sample` holds up to 128 timestamps
+/// strided evenly across the `n` pending events.
+fn estimate_shift_from(mut sample: Vec<u64>, n: usize) -> Option<u32> {
+    if sample.len() < 2 {
+        return None;
+    }
     sample.sort_unstable();
     let mut gaps: Vec<u64> = sample
         .windows(2)
@@ -386,11 +547,18 @@ fn estimate_shift<E>(entries: &[Entry<E>]) -> Option<u32> {
     if gaps.is_empty() {
         return None;
     }
+    // Keep only the earliest quarter of the inter-sample gaps (at least 8):
+    // the hot region near the pending minimum.
+    let near = (gaps.len() / 4).max(8).min(gaps.len());
+    gaps.truncate(near);
     gaps.sort_unstable();
     let median = gaps[gaps.len() / 2];
-    // median ≈ core_span / sample_len, so median * sample_len / n ≈ the
-    // core inter-event gap. The u128 widening cannot overflow.
-    let width = ((u128::from(median) * sample.len() as u128 / n as u128) as u64).max(2);
+    // median ≈ near_span / covered_samples, so median * sample_len / n ≈
+    // the near-minimum inter-event gap; a day spans TARGET_LOAD of those.
+    // The u128 widening cannot overflow.
+    let gap = u128::from(median) * sample.len() as u128 / n as u128;
+    let width = ((gap * TARGET_LOAD as u128) as u64).max(2);
     let width = width.next_power_of_two();
     Some(width.trailing_zeros().clamp(MIN_SHIFT, MAX_SHIFT))
 }
+

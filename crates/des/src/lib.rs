@@ -44,6 +44,7 @@
 #![warn(missing_docs)]
 
 mod calendar;
+
 mod queue;
 mod rng;
 mod scheduler;

@@ -198,6 +198,42 @@ impl<E> EventQueue<E> {
         }
     }
 
+    /// Removes *every* event sharing the earliest pending timestamp — the
+    /// same-timestamp *run* — provided that timestamp is at most `horizon`,
+    /// appending the events to `out` in FIFO (insertion) order.
+    ///
+    /// Returns the run's shared timestamp, or `None` (with `out` untouched)
+    /// when nothing is due. Dispatching the returned batch in order is
+    /// exactly equivalent to repeated [`pop_due`](EventQueue::pop_due)
+    /// calls: events pushed *during* batch dispatch at the same timestamp
+    /// get higher sequence numbers, so they form the next run — the same
+    /// place single-pop dispatch would put them. Property-tested in
+    /// `tests/prop_calendar.rs`.
+    ///
+    /// The calendar backend pays one bucket scan and one occupancy update
+    /// for the whole run instead of one per event.
+    pub fn pop_due_run(&mut self, horizon: SimTime, out: &mut Vec<E>) -> Option<SimTime> {
+        match &mut self.inner {
+            Inner::Calendar(cal) => cal.pop_due_run(horizon, out),
+            Inner::Heap(heap) => {
+                let run_time = match heap.peek() {
+                    Some(e) if e.time <= horizon => e.time,
+                    _ => return None,
+                };
+                // A max-heap keyed on reversed (time, seq) pops equal times
+                // in ascending seq order, i.e. FIFO.
+                while let Some(e) = heap.peek() {
+                    if e.time != run_time {
+                        break;
+                    }
+                    let e = heap.pop().expect("peek just succeeded");
+                    out.push(e.event);
+                }
+                Some(run_time)
+            }
+        }
+    }
+
     /// The timestamp of the earliest pending event, if any.
     pub fn peek_time(&self) -> Option<SimTime> {
         match &self.inner {
@@ -337,6 +373,31 @@ mod tests {
     }
 
     #[test]
+    fn pop_due_run_drains_equal_timestamps_fifo() {
+        for mut q in both() {
+            let t = SimTime::from_millis(2);
+            q.push(SimTime::from_millis(1), 0);
+            q.push(t, 1);
+            q.push(t, 2);
+            q.push(t, 3);
+            q.push(SimTime::from_millis(3), 4);
+            let mut out = Vec::new();
+            // First run: the lone earlier event.
+            assert_eq!(q.pop_due_run(SimTime::from_millis(9), &mut out), Some(SimTime::from_millis(1)));
+            assert_eq!(out, [0]);
+            // Second run: all three tied events, in insertion order.
+            out.clear();
+            assert_eq!(q.pop_due_run(SimTime::from_millis(9), &mut out), Some(t));
+            assert_eq!(out, [1, 2, 3]);
+            // Horizon before the next event: nothing due, queue untouched.
+            out.clear();
+            assert_eq!(q.pop_due_run(t, &mut out), None);
+            assert!(out.is_empty());
+            assert_eq!(q.len(), 1);
+        }
+    }
+
+    #[test]
     fn push_before_advanced_peek_still_pops_first() {
         // Peeking far ahead advances the calendar's scan; a later push at an
         // earlier time must still pop first.
@@ -370,3 +431,4 @@ mod tests {
         }
     }
 }
+

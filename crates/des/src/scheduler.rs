@@ -205,6 +205,37 @@ impl<E> Scheduler<E> {
         }
     }
 
+    /// Pops every event sharing the earliest due timestamp (at most
+    /// `horizon`) into `out`, advancing the clock to that timestamp.
+    ///
+    /// Returns the batch's shared timestamp. When nothing is due the clock
+    /// advances to exactly `horizon` (mirroring
+    /// [`pop_until`](Scheduler::pop_until)) and `None` is returned with
+    /// `out` untouched.
+    ///
+    /// Dispatching the batch in order is event-for-event equivalent to a
+    /// [`pop_until`](Scheduler::pop_until) loop: same-instant events pushed
+    /// *during* dispatch sequence after the batch, exactly where single-pop
+    /// would place them, and the next `drain_due` call picks them up (the
+    /// clock sits at their timestamp, which is still within `horizon`).
+    pub fn drain_due(&mut self, horizon: SimTime, out: &mut Vec<E>) -> Option<SimTime> {
+        let before = out.len();
+        match self.queue.pop_due_run(horizon, out) {
+            Some(time) => {
+                debug_assert!(time >= self.now, "event queue went backwards");
+                self.now = time;
+                self.processed += (out.len() - before) as u64;
+                Some(time)
+            }
+            None => {
+                if self.now < horizon {
+                    self.now = horizon;
+                }
+                None
+            }
+        }
+    }
+
     /// Number of events pending in the queue.
     pub fn pending(&self) -> usize {
         self.queue.len()
@@ -319,6 +350,41 @@ mod tests {
         assert_eq!(s.cancelled_in_place(), 1);
         assert_eq!(s.pop().map(|(_, e)| e), Some("data"));
         assert!(s.pop().is_none());
+    }
+
+    #[test]
+    fn drain_due_pops_whole_run_and_parks_at_horizon() {
+        let mut s = Scheduler::new();
+        let t = SimTime::from_millis(3);
+        s.schedule_at(t, "a");
+        s.schedule_at(t, "b");
+        s.schedule_at(SimTime::from_secs(10), "late");
+        let mut batch = Vec::new();
+        assert_eq!(s.drain_due(SimTime::from_secs(5), &mut batch), Some(t));
+        assert_eq!(batch, ["a", "b"]);
+        assert_eq!(s.now(), t);
+        assert_eq!(s.processed(), 2);
+        batch.clear();
+        assert_eq!(s.drain_due(SimTime::from_secs(5), &mut batch), None);
+        assert!(batch.is_empty());
+        assert_eq!(s.now(), SimTime::from_secs(5));
+        assert_eq!(s.pending(), 1);
+    }
+
+    #[test]
+    fn drain_due_then_same_instant_push_forms_next_batch() {
+        // An event scheduled *at* the batch timestamp during dispatch must
+        // come out of the following drain_due call, as in single-pop order.
+        let mut s = Scheduler::new();
+        let t = SimTime::from_millis(1);
+        s.schedule_at(t, "first");
+        let mut batch = Vec::new();
+        assert_eq!(s.drain_due(SimTime::from_secs(1), &mut batch), Some(t));
+        assert_eq!(batch, ["first"]);
+        s.schedule_now("second");
+        batch.clear();
+        assert_eq!(s.drain_due(SimTime::from_secs(1), &mut batch), Some(t));
+        assert_eq!(batch, ["second"]);
     }
 
     #[test]

@@ -185,6 +185,50 @@ impl TimerSlot {
         token
     }
 
+    /// Arms (or re-arms) the timer for `deadline`, coalescing with an
+    /// already-queued earlier firing instead of touching the queue.
+    ///
+    /// A deadline that only ever moves *forward* (the retransmission timer
+    /// re-armed on every ACK) would pay one in-place deletion and one push
+    /// per re-arm under [`TimerSlot::schedule`]. This variant leaves the
+    /// queued firing where it is whenever it is due **no later** than the
+    /// new deadline and merely records the new deadline: the queued event
+    /// pops early, and the pop handler must then consult
+    /// [`TimerSlot::deadline`] — a pop at `now` strictly before the
+    /// deadline is a *deferred* firing, not an expiry, and the handler
+    /// re-schedules it (after [`TimerSlot::note_popped`]) at the real
+    /// deadline. On a busy connection this replaces two queue operations
+    /// per ACK with a field store, at the cost of one extra (filtered) pop
+    /// per RTO-length quiet period.
+    pub fn schedule_coalesced<E>(
+        &mut self,
+        sched: &mut Scheduler<E>,
+        deadline: SimTime,
+        make: impl FnOnce(TimerGeneration) -> E,
+    ) -> TimerGeneration {
+        if self.deadline.is_some() {
+            // While armed with a tracked queue entry, that entry carries the
+            // current generation: defer by fiat and let its pop re-schedule.
+            if let Some(key) = self.key {
+                if key.time() <= deadline {
+                    self.deadline = Some(deadline);
+                    return TimerGeneration(self.generation);
+                }
+            }
+        }
+        self.schedule(sched, deadline, make)
+    }
+
+    /// Notes that the current arming's queued firing has left the queue.
+    ///
+    /// Call this when a live firing pops (after [`TimerSlot::fires`]
+    /// returns true) and before re-scheduling: it stops a later
+    /// [`TimerSlot::schedule_coalesced`] from coalescing onto a queue entry
+    /// that no longer exists.
+    pub fn note_popped(&mut self) {
+        self.key = None;
+    }
+
     /// Cancels the timer; any in-flight firing becomes stale.
     ///
     /// Lazy half only — a queued firing stays in the queue and is filtered
@@ -327,6 +371,63 @@ mod tests {
         assert!(!t.fires(g));
         assert!(sched.pop().is_none());
         assert_eq!(sched.cancelled_in_place(), 1);
+    }
+
+    #[test]
+    fn coalesced_rearm_defers_without_queue_traffic() {
+        let mut sched: Scheduler<TimerGeneration> = Scheduler::new();
+        let mut t = TimerSlot::new();
+        let g1 = t.schedule(&mut sched, SimTime::from_secs(1), |g| g);
+        // Forward re-arm coalesces: same token, same queue entry, new
+        // deadline in the slot only.
+        let g2 = t.schedule_coalesced(&mut sched, SimTime::from_secs(3), |g| g);
+        assert_eq!(g1, g2);
+        assert_eq!(sched.pending(), 1);
+        assert_eq!(sched.cancelled_in_place(), 0);
+        assert_eq!(t.deadline(), Some(SimTime::from_secs(3)));
+
+        // The early firing pops live; the handler re-schedules at the real
+        // deadline.
+        let (when, popped) = sched.pop().unwrap();
+        assert_eq!(when, SimTime::from_secs(1));
+        assert!(t.fires(popped));
+        t.note_popped();
+        let deadline = t.deadline().unwrap();
+        assert!(deadline > when);
+        let g3 = t.schedule(&mut sched, deadline, |g| g);
+        let (when, popped) = sched.pop().unwrap();
+        assert_eq!(when, SimTime::from_secs(3));
+        assert_eq!(popped, g3);
+        assert!(t.fires(popped));
+    }
+
+    #[test]
+    fn coalesced_rearm_backward_reschedules_eagerly() {
+        let mut sched: Scheduler<TimerGeneration> = Scheduler::new();
+        let mut t = TimerSlot::new();
+        let g1 = t.schedule(&mut sched, SimTime::from_secs(5), |g| g);
+        // The new deadline precedes the queued firing: coalescing cannot
+        // defer, so this falls back to delete + push.
+        let g2 = t.schedule_coalesced(&mut sched, SimTime::from_secs(2), |g| g);
+        assert!(!t.fires(g1));
+        assert_eq!(sched.pending(), 1);
+        let (when, popped) = sched.pop().unwrap();
+        assert_eq!(when, SimTime::from_secs(2));
+        assert_eq!(popped, g2);
+    }
+
+    #[test]
+    fn coalesce_after_pop_pushes_fresh_entry() {
+        let mut sched: Scheduler<TimerGeneration> = Scheduler::new();
+        let mut t = TimerSlot::new();
+        t.schedule(&mut sched, SimTime::from_secs(1), |g| g);
+        let (_, popped) = sched.pop().unwrap();
+        assert!(t.fires(popped));
+        t.note_popped();
+        // With the queued entry gone, a coalesced re-arm must schedule a
+        // real firing, not defer onto the departed one.
+        t.schedule_coalesced(&mut sched, SimTime::from_secs(4), |g| g);
+        assert_eq!(sched.pending(), 1);
     }
 
     #[test]

@@ -39,8 +39,10 @@ pub use impair::{
 };
 pub use link::{Link, LinkStats};
 pub use network::{Delivered, NetEvent, Network, WireLoss};
-pub use packet::{Ecn, FlowId, LinkId, NodeId, Packet, PacketKind, SackBlocks, SeqNo};
+pub use packet::{
+    Ecn, FlowId, LinkId, NodeId, Packet, PacketArena, PacketId, PacketKind, SackBlocks, SeqNo,
+};
 pub use queue::{
-    DropTailQueue, EnqueueOutcome, Occupancy, Queue, QueueStats, RedParams, RedQueue,
+    AnyQueue, DropTailQueue, EnqueueOutcome, Occupancy, Queue, QueueStats, RedParams, RedQueue,
 };
 pub use topology::{Dumbbell, DumbbellConfig, QueueSpec};

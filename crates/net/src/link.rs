@@ -3,7 +3,7 @@
 use tcpburst_des::{SimDuration, SimTime};
 
 use crate::packet::{NodeId, Packet};
-use crate::queue::Queue;
+use crate::queue::AnyQueue;
 
 /// Transmission accounting for one link.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -40,7 +40,10 @@ pub struct Link {
     to: NodeId,
     bandwidth_bps: u64,
     delay: SimDuration,
-    queue: Box<dyn Queue>,
+    /// Admission discipline, stored as the closed [`AnyQueue`] enum: the
+    /// per-packet enqueue/dequeue pair is the hottest call in the simulator
+    /// and must not go through a vtable.
+    queue: AnyQueue,
     busy: bool,
     /// False while the link is administratively down (fault injection).
     up: bool,
@@ -72,7 +75,7 @@ impl Link {
         to: NodeId,
         bandwidth_bps: u64,
         delay: SimDuration,
-        queue: Box<dyn Queue>,
+        queue: impl Into<AnyQueue>,
     ) -> Self {
         assert!(bandwidth_bps > 0, "link bandwidth must be positive");
         Link {
@@ -80,7 +83,7 @@ impl Link {
             to,
             bandwidth_bps,
             delay,
-            queue,
+            queue: queue.into(),
             busy: false,
             up: true,
             epoch: 0,
@@ -195,13 +198,13 @@ impl Link {
     }
 
     /// The admission queue.
-    pub fn queue(&self) -> &dyn Queue {
-        self.queue.as_ref()
+    pub fn queue(&self) -> &AnyQueue {
+        &self.queue
     }
 
     /// The admission queue, mutably.
-    pub fn queue_mut(&mut self) -> &mut dyn Queue {
-        self.queue.as_mut()
+    pub fn queue_mut(&mut self) -> &mut AnyQueue {
+        &mut self.queue
     }
 
     /// True while a packet is being serialized.
@@ -244,7 +247,7 @@ mod tests {
             NodeId(1),
             bps,
             SimDuration::from_millis(delay_ms),
-            Box::new(DropTailQueue::new(10)),
+            DropTailQueue::new(10),
         )
     }
 

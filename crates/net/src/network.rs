@@ -3,8 +3,8 @@
 use tcpburst_des::{Scheduler, SimDuration, SimRng};
 
 use crate::link::Link;
-use crate::packet::{LinkId, NodeId, Packet};
-use crate::queue::{EnqueueOutcome, Queue};
+use crate::packet::{LinkId, NodeId, Packet, PacketArena, PacketId};
+use crate::queue::{AnyQueue, EnqueueOutcome};
 
 /// Events the network schedules on the simulation loop.
 ///
@@ -32,8 +32,12 @@ pub enum NetEvent {
         link: LinkId,
         /// The link's epoch when serialization started.
         epoch: u32,
-        /// The packet itself.
-        packet: Packet,
+        /// Ticket for the in-flight packet, parked in the network's
+        /// [`PacketArena`]. An 8-byte handle instead of the ~120-byte
+        /// packet keeps event-queue entries small — the single biggest
+        /// lever on calendar insert/pop cost. [`Network::on_delivery`]
+        /// redeems it; [`Network::packet`] peeks without redeeming.
+        packet: PacketId,
     },
 }
 
@@ -105,7 +109,7 @@ const NO_ROUTE: u32 = u32::MAX;
 /// let a = net.add_host();
 /// let b = net.add_host();
 /// let ab = net.add_link(a, b, 1_000_000, SimDuration::from_millis(10),
-///                       Box::new(DropTailQueue::new(10)));
+///                       DropTailQueue::new(10));
 /// net.set_route(a, b, ab);
 ///
 /// let mut sched: Scheduler<NetEvent> = Scheduler::new();
@@ -140,6 +144,9 @@ pub struct Network {
     /// event queue's `(time, seq)` total order is identical on every
     /// backend, so the draws (and therefore the losses) are deterministic.
     wire_rng: SimRng,
+    /// Packets in flight on some link, parked between `start_tx` and
+    /// `on_delivery` so the `Delivery` event only carries a ticket.
+    in_flight: PacketArena,
 }
 
 impl Default for Network {
@@ -149,6 +156,7 @@ impl Default for Network {
             links: Vec::new(),
             routes: Vec::new(),
             wire_rng: SimRng::seed_from_u64(0),
+            in_flight: PacketArena::new(),
         }
     }
 }
@@ -217,7 +225,7 @@ impl Network {
         to: NodeId,
         bandwidth_bps: u64,
         delay: SimDuration,
-        queue: Box<dyn Queue>,
+        queue: impl Into<AnyQueue>,
     ) -> LinkId {
         assert!((from.0 as usize) < self.nodes.len(), "unknown node {from:?}");
         assert!((to.0 as usize) < self.nodes.len(), "unknown node {to:?}");
@@ -270,6 +278,23 @@ impl Network {
     /// Number of simplex links.
     pub fn link_count(&self) -> usize {
         self.links.len()
+    }
+
+    /// Looks at an in-flight packet without consuming its ticket — for
+    /// probes that classify a delivery before [`Network::on_delivery`]
+    /// redeems it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ticket is stale.
+    #[inline]
+    pub fn packet(&self, id: PacketId) -> &Packet {
+        self.in_flight.get(id)
+    }
+
+    /// Number of packets currently in flight on links.
+    pub fn in_flight_count(&self) -> usize {
+        self.in_flight.live()
     }
 
     /// The outgoing link `node` uses to reach `dst`, if routed.
@@ -329,11 +354,9 @@ impl Network {
                 l.note_tx(&pkt);
                 let epoch = l.epoch();
                 let (done, arrive) = l.schedule_times(&pkt, now);
+                let packet = self.in_flight.insert(pkt);
                 sched.schedule_at(done, NetEvent::TxComplete { link, epoch }.into());
-                sched.schedule_at(
-                    arrive,
-                    NetEvent::Delivery { link, epoch, packet: pkt }.into(),
-                );
+                sched.schedule_at(arrive, NetEvent::Delivery { link, epoch, packet }.into());
             }
             None => l.set_busy(false),
         }
@@ -368,14 +391,19 @@ impl Network {
     ///
     /// # Panics
     ///
-    /// Panics if a router has no route for the packet's destination.
+    /// Panics if a router has no route for the packet's destination, or if
+    /// the ticket is stale (every delivery — including losses — must redeem
+    /// its ticket exactly once, or the arena would leak).
     pub fn on_delivery<E: From<NetEvent>>(
         &mut self,
         link: LinkId,
         epoch: u32,
-        packet: Packet,
+        packet: PacketId,
         sched: &mut Scheduler<E>,
     ) -> Delivered {
+        // Redeem unconditionally: even a stale-epoch or corrupted delivery
+        // frees its arena slot, so the slab never leaks across outages.
+        let packet = self.in_flight.take(packet);
         let l = &mut self.links[link.0 as usize];
         if epoch != l.epoch() {
             l.note_lost_in_flight();
@@ -429,8 +457,8 @@ mod tests {
         }
     }
 
-    fn dt(cap: usize) -> Box<dyn Queue> {
-        Box::new(DropTailQueue::new(cap))
+    fn dt(cap: usize) -> DropTailQueue {
+        DropTailQueue::new(cap)
     }
 
     /// host A -> router R -> host B, both hops 1 Mbps / 1 ms.
@@ -703,5 +731,44 @@ mod tests {
         assert_eq!(net.link(rb).stats().bytes_tx, 1000);
         assert_eq!(net.link(ar).stats().arrived, 1);
         assert_eq!(net.link(rb).stats().arrived, 1);
+    }
+
+    #[test]
+    fn arena_drains_even_through_outages_and_corruption() {
+        // Every delivery path — clean, stale-epoch, corrupted — must redeem
+        // its ticket, so a drained scheduler leaves zero packets in flight.
+        let mut net = Network::new();
+        let a = net.add_host();
+        let b = net.add_host();
+        let ab = net.add_link(a, b, 1_000_000, SimDuration::from_millis(1), dt(10));
+        net.set_route(a, b, ab);
+        net.link_mut(ab).set_corrupt_prob(0.5);
+        net.set_wire_seed(11);
+        let mut sched: Scheduler<FlapEv> = Scheduler::new();
+        for _ in 0..6 {
+            net.inject(pkt(a, b), &mut sched);
+        }
+        sched.schedule_at(SimTime::from_millis(4), FlapEv::Down);
+        sched.schedule_at(SimTime::from_millis(20), FlapEv::Up);
+        while let Some((_, ev)) = sched.pop() {
+            match ev {
+                FlapEv::Down => {
+                    net.set_link_up(ab, false, &mut sched);
+                }
+                FlapEv::Up => {
+                    net.set_link_up(ab, true, &mut sched);
+                }
+                FlapEv::Net(NetEvent::TxComplete { link, epoch }) => {
+                    net.on_tx_complete(link, epoch, &mut sched)
+                }
+                FlapEv::Net(NetEvent::Delivery { link, epoch, packet }) => {
+                    net.on_delivery(link, epoch, packet, &mut sched);
+                }
+            }
+        }
+        assert_eq!(net.in_flight_count(), 0);
+        // One slot for normal stop-and-wait flight, plus one while the
+        // casualty's stale ticket overlaps the post-recovery transmission.
+        assert_eq!(net.in_flight.capacity(), 2);
     }
 }

@@ -90,12 +90,21 @@ impl Ecn {
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub struct SackBlocks {
-    blocks: [Option<(SeqNo, SeqNo)>; 3],
+    // Flat ranges plus a length instead of `[Option<(SeqNo, SeqNo)>; 3]`:
+    // `u64` pairs have no niche, so the `Option` layout costs 24 bytes per
+    // slot (72 total) against 56 here. The packet is copied several times
+    // per hop on the hottest path, so every cacheline matters. Unused
+    // slots stay zeroed so the derived `Eq`/`Hash` see a canonical form.
+    blocks: [(SeqNo, SeqNo); 3],
+    len: u8,
 }
 
 impl SackBlocks {
     /// No blocks.
-    pub const EMPTY: SackBlocks = SackBlocks { blocks: [None; 3] };
+    pub const EMPTY: SackBlocks = SackBlocks {
+        blocks: [(SeqNo(0), SeqNo(0)); 3],
+        len: 0,
+    };
 
     /// Builds from up to the first three `[start, end)` ranges.
     ///
@@ -103,17 +112,18 @@ impl SackBlocks {
     ///
     /// Panics if any range is empty or inverted.
     pub fn from_ranges(ranges: &[(SeqNo, SeqNo)]) -> Self {
-        let mut blocks = [None; 3];
-        for (slot, &(s, e)) in blocks.iter_mut().zip(ranges) {
+        let mut out = SackBlocks::EMPTY;
+        for (slot, &(s, e)) in out.blocks.iter_mut().zip(ranges) {
             assert!(s < e, "SACK range [{s}, {e}) is empty or inverted");
-            *slot = Some((s, e));
+            *slot = (s, e);
+            out.len += 1;
         }
-        SackBlocks { blocks }
+        out
     }
 
     /// The populated ranges.
     pub fn iter(&self) -> impl Iterator<Item = (SeqNo, SeqNo)> + '_ {
-        self.blocks.iter().filter_map(|b| *b)
+        self.blocks[..self.len as usize].iter().copied()
     }
 
     /// True if `seq` falls inside any block.
@@ -123,7 +133,7 @@ impl SackBlocks {
 
     /// True if no block is present.
     pub fn is_empty(&self) -> bool {
-        self.blocks.iter().all(Option::is_none)
+        self.len == 0
     }
 }
 
@@ -209,6 +219,126 @@ impl Packet {
     }
 }
 
+/// Handle to a packet parked in a [`PacketArena`] while it propagates along
+/// a link.
+///
+/// A [`Packet`] is ~120 bytes (the SACK option dominates); carrying it by
+/// value inside every `Delivery` event would make the event queue's entries
+/// an order of magnitude larger than they need to be. The arena keeps the
+/// payload in one slab and the event carries this 8-byte ticket instead.
+///
+/// The handle is generational: each slot remembers how many times it has
+/// been reused, and redeeming a stale ticket (the slot was freed and
+/// recycled since) panics instead of silently returning someone else's
+/// packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PacketId {
+    idx: u32,
+    gen: u32,
+}
+
+#[derive(Debug, Clone)]
+struct ArenaSlot {
+    gen: u32,
+    pkt: Option<Packet>,
+}
+
+/// A generational slab holding packets while they are in flight on a link
+/// (from the start of serialization until delivery).
+///
+/// Slots are recycled LIFO, so steady-state traffic churns through a small,
+/// cache-hot prefix of the slab regardless of how many packets have ever
+/// existed.
+///
+/// # Example
+///
+/// ```
+/// use tcpburst_des::SimTime;
+/// use tcpburst_net::{FlowId, NodeId, Packet, PacketArena, PacketKind, SeqNo};
+///
+/// let pkt = Packet {
+///     flow: FlowId(0),
+///     kind: PacketKind::Datagram,
+///     size_bytes: 1000,
+///     src: NodeId(0),
+///     dst: NodeId(1),
+///     created_at: SimTime::ZERO,
+///     ecn: tcpburst_net::Ecn::NotCapable,
+/// };
+/// let mut arena = PacketArena::new();
+/// let id = arena.insert(pkt);
+/// assert_eq!(arena.get(id).size_bytes, 1000);
+/// assert_eq!(arena.take(id), pkt);
+/// assert_eq!(arena.live(), 0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct PacketArena {
+    slots: Vec<ArenaSlot>,
+    free: Vec<u32>,
+    live: usize,
+}
+
+impl PacketArena {
+    /// Creates an empty arena.
+    pub fn new() -> Self {
+        PacketArena::default()
+    }
+
+    /// Parks a packet and returns its ticket.
+    pub fn insert(&mut self, pkt: Packet) -> PacketId {
+        self.live += 1;
+        match self.free.pop() {
+            Some(idx) => {
+                let slot = &mut self.slots[idx as usize];
+                debug_assert!(slot.pkt.is_none());
+                slot.pkt = Some(pkt);
+                PacketId { idx, gen: slot.gen }
+            }
+            None => {
+                let idx = u32::try_from(self.slots.len()).expect("packet arena overflow");
+                self.slots.push(ArenaSlot { gen: 0, pkt: Some(pkt) });
+                PacketId { idx, gen: 0 }
+            }
+        }
+    }
+
+    /// Looks at a parked packet without redeeming the ticket.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is stale or was never issued.
+    pub fn get(&self, id: PacketId) -> &Packet {
+        let slot = &self.slots[id.idx as usize];
+        assert_eq!(slot.gen, id.gen, "stale packet ticket {id:?}");
+        slot.pkt.as_ref().expect("packet ticket redeemed twice")
+    }
+
+    /// Redeems a ticket, freeing the slot and returning the packet.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is stale or was already redeemed.
+    pub fn take(&mut self, id: PacketId) -> Packet {
+        let slot = &mut self.slots[id.idx as usize];
+        assert_eq!(slot.gen, id.gen, "stale packet ticket {id:?}");
+        let pkt = slot.pkt.take().expect("packet ticket redeemed twice");
+        slot.gen = slot.gen.wrapping_add(1);
+        self.free.push(id.idx);
+        self.live -= 1;
+        pkt
+    }
+
+    /// Number of packets currently parked.
+    pub fn live(&self) -> usize {
+        self.live
+    }
+
+    /// Number of slots ever allocated (the slab's high-water mark).
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -232,6 +362,54 @@ mod tests {
         assert!(data.is_data() && !data.is_ack());
         assert!(ack.is_ack() && !ack.is_data());
         assert!(PacketKind::Datagram.is_data());
+    }
+
+    fn dg(size_bytes: u32) -> Packet {
+        Packet {
+            flow: FlowId(0),
+            kind: PacketKind::Datagram,
+            size_bytes,
+            src: NodeId(0),
+            dst: NodeId(1),
+            created_at: SimTime::ZERO,
+            ecn: Ecn::default(),
+        }
+    }
+
+    #[test]
+    fn arena_recycles_slots_lifo() {
+        let mut arena = PacketArena::new();
+        let a = arena.insert(dg(1));
+        let b = arena.insert(dg(2));
+        assert_eq!(arena.live(), 2);
+        assert_eq!(arena.take(b).size_bytes, 2);
+        // The freed slot is reused immediately; the slab does not grow.
+        let c = arena.insert(dg(3));
+        assert_eq!(arena.capacity(), 2);
+        assert_eq!(arena.get(c).size_bytes, 3);
+        assert_eq!(arena.take(a).size_bytes, 1);
+        assert_eq!(arena.take(c).size_bytes, 3);
+        assert_eq!(arena.live(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "stale packet ticket")]
+    fn arena_rejects_stale_ticket() {
+        let mut arena = PacketArena::new();
+        let a = arena.insert(dg(1));
+        arena.take(a);
+        let _b = arena.insert(dg(2)); // reuses the slot, bumps generation
+        arena.get(a);
+    }
+
+    #[test]
+    #[should_panic(expected = "stale packet ticket")]
+    fn arena_rejects_double_free() {
+        // Freeing bumps the generation, so a double free reads as stale.
+        let mut arena = PacketArena::new();
+        let a = arena.insert(dg(1));
+        arena.take(a);
+        arena.take(a);
     }
 
     #[test]

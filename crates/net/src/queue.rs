@@ -4,6 +4,7 @@ use std::collections::VecDeque;
 
 use tcpburst_des::{SimRng, SimTime};
 
+use crate::adaptive::SelfConfiguringRed;
 use crate::packet::Packet;
 
 /// Why an arriving packet was dropped.
@@ -404,6 +405,126 @@ impl Queue for RedQueue {
 
     fn occupancy(&self) -> Occupancy {
         self.occupancy
+    }
+}
+
+/// Any of the built-in queueing disciplines, dispatched statically.
+///
+/// Every packet crossing a link pays one `enqueue` and one `dequeue`, which
+/// makes the admission path the hottest per-packet code in the simulator.
+/// A `Box<dyn Queue>` per link costs a pointer chase and a vtable call on
+/// each of those operations and defeats inlining of the (tiny) drop-tail
+/// fast path; the discipline set is closed, so each [`Link`](crate::Link)
+/// stores this enum instead and the dispatch compiles to one branch.
+///
+/// `AnyQueue` also implements [`Queue`], so code written against the trait
+/// (stats readers, property tests) keeps working unchanged.
+#[derive(Debug)]
+pub enum AnyQueue {
+    /// Bounded FIFO that drops arrivals when full.
+    DropTail(DropTailQueue),
+    /// Random early detection (Floyd & Jacobson).
+    Red(RedQueue),
+    /// RED that re-tunes its own `max_p` (Feng et al.).
+    AdaptiveRed(SelfConfiguringRed),
+}
+
+impl AnyQueue {
+    /// Offers `pkt` to the queue at time `now`.
+    #[inline]
+    pub fn enqueue(&mut self, pkt: Packet, now: SimTime) -> EnqueueOutcome {
+        match self {
+            AnyQueue::DropTail(q) => Queue::enqueue(q, pkt, now),
+            AnyQueue::Red(q) => Queue::enqueue(q, pkt, now),
+            AnyQueue::AdaptiveRed(q) => Queue::enqueue(q, pkt, now),
+        }
+    }
+
+    /// Removes the head-of-line packet for transmission.
+    #[inline]
+    pub fn dequeue(&mut self, now: SimTime) -> Option<Packet> {
+        match self {
+            AnyQueue::DropTail(q) => Queue::dequeue(q, now),
+            AnyQueue::Red(q) => Queue::dequeue(q, now),
+            AnyQueue::AdaptiveRed(q) => Queue::dequeue(q, now),
+        }
+    }
+
+    /// Instantaneous backlog in packets.
+    #[inline]
+    pub fn len(&self) -> usize {
+        match self {
+            AnyQueue::DropTail(q) => Queue::len(q),
+            AnyQueue::Red(q) => Queue::len(q),
+            AnyQueue::AdaptiveRed(q) => Queue::len(q),
+        }
+    }
+
+    /// True if no packet is waiting.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Arrival/drop counters.
+    pub fn stats(&self) -> QueueStats {
+        match self {
+            AnyQueue::DropTail(q) => Queue::stats(q),
+            AnyQueue::Red(q) => Queue::stats(q),
+            AnyQueue::AdaptiveRed(q) => Queue::stats(q),
+        }
+    }
+
+    /// The occupancy integral (time-weighted backlog).
+    pub fn occupancy(&self) -> Occupancy {
+        match self {
+            AnyQueue::DropTail(q) => Queue::occupancy(q),
+            AnyQueue::Red(q) => Queue::occupancy(q),
+            AnyQueue::AdaptiveRed(q) => Queue::occupancy(q),
+        }
+    }
+}
+
+impl Queue for AnyQueue {
+    #[inline]
+    fn enqueue(&mut self, pkt: Packet, now: SimTime) -> EnqueueOutcome {
+        AnyQueue::enqueue(self, pkt, now)
+    }
+
+    #[inline]
+    fn dequeue(&mut self, now: SimTime) -> Option<Packet> {
+        AnyQueue::dequeue(self, now)
+    }
+
+    #[inline]
+    fn len(&self) -> usize {
+        AnyQueue::len(self)
+    }
+
+    fn stats(&self) -> QueueStats {
+        AnyQueue::stats(self)
+    }
+
+    fn occupancy(&self) -> Occupancy {
+        AnyQueue::occupancy(self)
+    }
+}
+
+impl From<DropTailQueue> for AnyQueue {
+    fn from(q: DropTailQueue) -> Self {
+        AnyQueue::DropTail(q)
+    }
+}
+
+impl From<RedQueue> for AnyQueue {
+    fn from(q: RedQueue) -> Self {
+        AnyQueue::Red(q)
+    }
+}
+
+impl From<SelfConfiguringRed> for AnyQueue {
+    fn from(q: SelfConfiguringRed) -> Self {
+        AnyQueue::AdaptiveRed(q)
     }
 }
 

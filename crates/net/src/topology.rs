@@ -5,7 +5,7 @@ use tcpburst_des::SimDuration;
 use crate::adaptive::{AdaptiveRedParams, SelfConfiguringRed};
 use crate::network::Network;
 use crate::packet::{LinkId, NodeId};
-use crate::queue::{DropTailQueue, Queue, RedParams, RedQueue};
+use crate::queue::{AnyQueue, DropTailQueue, RedParams, RedQueue};
 
 /// Which queueing discipline guards a link.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -22,12 +22,16 @@ pub enum QueueSpec {
 }
 
 impl QueueSpec {
-    fn build(self, seed: u64) -> Box<dyn Queue> {
+    /// Instantiates the queue (RED queues derive their marking RNG from
+    /// `seed`). Public so engines that assemble their own [`Network`] —
+    /// the sharded engine's central domain — build the exact gateway
+    /// queue the dumbbell would.
+    pub fn build(self, seed: u64) -> AnyQueue {
         match self {
-            QueueSpec::DropTail { capacity } => Box::new(DropTailQueue::new(capacity)),
-            QueueSpec::Red(params) => Box::new(RedQueue::new(params, seed)),
+            QueueSpec::DropTail { capacity } => DropTailQueue::new(capacity).into(),
+            QueueSpec::Red(params) => RedQueue::new(params, seed).into(),
             QueueSpec::AdaptiveRed(red, adapt) => {
-                Box::new(SelfConfiguringRed::new(red, adapt, seed))
+                SelfConfiguringRed::new(red, adapt, seed).into()
             }
         }
     }
@@ -172,7 +176,7 @@ impl Dumbbell {
             gateway,
             cfg.bottleneck_bandwidth_bps,
             cfg.bottleneck_delay,
-            Box::new(DropTailQueue::new(cfg.access_queue_capacity)),
+            DropTailQueue::new(cfg.access_queue_capacity),
         );
         network.set_route(gateway, server, bottleneck);
 
@@ -187,14 +191,14 @@ impl Dumbbell {
                 gateway,
                 cfg.client_bandwidth_bps,
                 delay,
-                Box::new(DropTailQueue::new(cfg.access_queue_capacity)),
+                DropTailQueue::new(cfg.access_queue_capacity),
             );
             let down = network.add_link(
                 gateway,
                 c,
                 cfg.client_bandwidth_bps,
                 delay,
-                Box::new(DropTailQueue::new(cfg.access_queue_capacity)),
+                DropTailQueue::new(cfg.access_queue_capacity),
             );
             network.set_route(c, server, up);
             network.set_route(gateway, c, down);

@@ -103,16 +103,17 @@ impl TcpSender {
         let now = sched.now();
         let newly_acked = self.snd_una.distance_to(ack);
 
-        // Retire send records; sample the RTT from the newest segment that
-        // was transmitted exactly once (Karn's rule).
+        // Retire the acknowledged window slots (the window is front-aligned
+        // with `snd_una`, so that is exactly the first `newly_acked` slots);
+        // sample the RTT from the newest segment that was transmitted
+        // exactly once (Karn's rule).
         let mut sample = None;
-        while let Some(front) = self.records.front() {
-            if front.seq >= ack {
+        for _ in 0..newly_acked {
+            let Some((last_sent, retransmitted)) = self.window.pop_front() else {
                 break;
-            }
-            let r = self.records.pop_front().expect("front exists");
-            if !r.retransmitted {
-                sample = Some(now.saturating_since(r.last_sent));
+            };
+            if !retransmitted {
+                sample = Some(now.saturating_since(last_sent));
             }
         }
         if let Some(s) = sample {
@@ -238,10 +239,8 @@ impl TcpSender {
             return;
         }
 
-        let early = match self.records.front() {
-            Some(front) => self
-                .policy
-                .early_retransmit_due(self.dup_acks, front.last_sent, now),
+        let early = match self.window.front_last_sent() {
+            Some(sent) => self.policy.early_retransmit_due(self.dup_acks, sent, now),
             None => false,
         };
         if self.dup_acks >= 3 || early {

@@ -5,7 +5,6 @@ use tcpburst_des::{Scheduler, SimTime};
 use tcpburst_net::{Ecn, Packet, PacketKind, SeqNo};
 
 use crate::event::TransportEvent;
-use crate::sender::state::SendRecord;
 use crate::sender::TcpSender;
 
 impl TcpSender {
@@ -48,19 +47,12 @@ impl TcpSender {
 
     pub(super) fn transmit(&mut self, seq: SeqNo, now: SimTime, out: &mut Vec<Packet>) {
         let idx = (seq.0 - self.snd_una.0) as usize;
-        let retransmit = if idx < self.records.len() {
-            let r = &mut self.records[idx];
-            debug_assert_eq!(r.seq, seq, "send records out of alignment");
-            r.last_sent = now;
-            r.retransmitted = true;
+        let retransmit = if idx < self.window.len() {
+            self.window.mark_retransmitted(idx, now);
             true
         } else {
-            debug_assert_eq!(idx, self.records.len(), "non-contiguous transmission");
-            self.records.push_back(SendRecord {
-                seq,
-                last_sent: now,
-                retransmitted: false,
-            });
+            debug_assert_eq!(idx, self.window.len(), "non-contiguous transmission");
+            self.window.push(now);
             false
         };
         if retransmit {

@@ -21,12 +21,62 @@ pub(super) enum Phase {
     FastRecovery { recover: SeqNo },
 }
 
-/// Book-keeping for one transmitted, not-yet-acknowledged segment.
-#[derive(Debug, Clone, Copy)]
-pub(super) struct SendRecord {
-    pub(super) seq: SeqNo,
-    pub(super) last_sent: SimTime,
-    pub(super) retransmitted: bool,
+/// Per-segment book-keeping for `[snd_una, highest_sent)`, stored
+/// structure-of-arrays.
+///
+/// Slot `i` describes segment `snd_una + i`; the sequence number is never
+/// stored. The ACK path touches exactly one column at a time — Karn's
+/// retirement reads both fronts, the early-retransmit check reads only the
+/// front `last_sent` — so splitting the columns keeps each scan dense
+/// instead of striding over 24-byte records.
+#[derive(Debug, Default)]
+pub(super) struct SendWindow {
+    /// When slot `i`'s segment was last (re)transmitted.
+    last_sent: VecDeque<SimTime>,
+    /// Whether slot `i`'s segment was ever retransmitted (Karn's rule
+    /// disqualifies it from RTT sampling).
+    retransmitted: VecDeque<bool>,
+}
+
+impl SendWindow {
+    /// Pre-sizes both columns; the window can never hold more than the
+    /// advertised window's worth of in-flight segments.
+    pub(super) fn with_capacity(cap: usize) -> Self {
+        SendWindow {
+            last_sent: VecDeque::with_capacity(cap),
+            retransmitted: VecDeque::with_capacity(cap),
+        }
+    }
+
+    /// Number of tracked segments (`highest_sent - snd_una`).
+    pub(super) fn len(&self) -> usize {
+        self.last_sent.len()
+    }
+
+    /// Records a first transmission of the next untracked segment.
+    pub(super) fn push(&mut self, now: SimTime) {
+        self.last_sent.push_back(now);
+        self.retransmitted.push_back(false);
+    }
+
+    /// Records a retransmission of the segment in slot `idx`.
+    pub(super) fn mark_retransmitted(&mut self, idx: usize, now: SimTime) {
+        self.last_sent[idx] = now;
+        self.retransmitted[idx] = true;
+    }
+
+    /// Retires the front slot (its segment was cumulatively acknowledged),
+    /// returning `(last_sent, retransmitted)`.
+    pub(super) fn pop_front(&mut self) -> Option<(SimTime, bool)> {
+        let last_sent = self.last_sent.pop_front()?;
+        let retransmitted = self.retransmitted.pop_front().expect("columns in lockstep");
+        Some((last_sent, retransmitted))
+    }
+
+    /// When the oldest tracked segment was last (re)transmitted.
+    pub(super) fn front_last_sent(&self) -> Option<SimTime> {
+        self.last_sent.front().copied()
+    }
 }
 
 /// The client-side endpoint of one TCP connection.
@@ -65,8 +115,9 @@ pub struct TcpSender {
     pub(super) dup_acks: u32,
     pub(super) phase: Phase,
 
-    /// Records for `[snd_una, highest_sent)`, front-aligned with `snd_una`.
-    pub(super) records: VecDeque<SendRecord>,
+    /// Per-segment columns for `[snd_una, highest_sent)`, front-aligned
+    /// with `snd_una` (slot `i` is segment `snd_una + i`).
+    pub(super) window: SendWindow,
     pub(super) rtt: RttEstimator,
     pub(super) rto_timer: TimerSlot,
     /// The congestion-control policy (window arithmetic lives here).
@@ -110,7 +161,7 @@ impl TcpSender {
             ssthresh: cfg.initial_ssthresh,
             dup_acks: 0,
             phase: Phase::SlowStart,
-            records: VecDeque::new(),
+            window: SendWindow::with_capacity(cfg.advertised_window as usize + 4),
             rtt: RttEstimator::new(cfg.tick, cfg.min_rto, cfg.max_rto),
             rto_timer: TimerSlot::new(),
             policy,
@@ -193,7 +244,7 @@ impl TcpSender {
     /// `None` with nothing outstanding. A test/instrumentation hook: it
     /// lets a harness deliver an ACK at an exact RTT after the send.
     pub fn oldest_unacked_sent_at(&self) -> Option<SimTime> {
-        self.records.front().map(|r| r.last_sent)
+        self.window.front_last_sent()
     }
 
     /// Test support: overrides the slow-start threshold so a harness can

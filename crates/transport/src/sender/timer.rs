@@ -26,11 +26,27 @@ impl TcpSender {
         if kind != TimerKind::Rto || !self.rto_timer.fires(generation) {
             return false; // stale or misrouted firing
         }
+        self.rto_timer.note_popped();
+        let now = sched.now();
+        let deadline = self.rto_timer.deadline().expect("a live firing is armed");
+        if deadline > now {
+            // Coalesced re-arms (one per ACK) pushed the logical deadline
+            // past this queued firing; nothing expired. Queue the real one.
+            let flow = self.flow;
+            self.rto_timer.schedule(sched, deadline, |generation| {
+                TransportEvent {
+                    flow,
+                    kind: TimerKind::Rto,
+                    generation,
+                }
+                .into()
+            });
+            return true;
+        }
         self.rto_timer.disarm();
         if self.in_flight() == 0 {
             return true;
         }
-        let now = sched.now();
         self.counters.timeouts += 1;
 
         // Classic timeout response: the policy picks the new threshold,
@@ -55,10 +71,11 @@ impl TcpSender {
     pub(super) fn arm_rto<E: From<TransportEvent>>(&mut self, sched: &mut Scheduler<E>) {
         let deadline = sched.now() + self.rtt.rto();
         let flow = self.flow;
-        // Eager re-arm: the superseded firing (one per ACK on a busy
-        // connection) is deleted from the queue instead of shipped through
-        // dispatch as a dead event.
-        self.rto_timer.schedule(sched, deadline, |generation| {
+        // Coalesced re-arm: the queued earlier firing stays put and the
+        // deadline only moves in the slot; its early pop re-schedules at the
+        // real deadline (see `on_timer`). A busy connection thus re-arms
+        // with a field store instead of a queue delete + push per ACK.
+        self.rto_timer.schedule_coalesced(sched, deadline, |generation| {
             TransportEvent {
                 flow,
                 kind: TimerKind::Rto,

@@ -1,14 +1,22 @@
 //! Dependency-free microbenchmark of the event engine: calendar queue vs
-//! the binary-heap reference.
+//! the binary-heap reference, plus the sharded-engine series and a
+//! steady-state allocation audit.
 //!
-//! Two measurements, both A/B across [`QueueBackend`]s:
+//! Four measurements:
 //!
 //! 1. **Scenario**: the paper's 64-client Reno run — the real workload,
 //!    with eager timer cancellation active on the calendar backend (the
 //!    heap backend cannot delete interior entries, so it carries every
 //!    superseded RTO/delayed-ACK firing through dispatch, exactly the
 //!    pre-calendar engine's behavior).
-//! 2. **Hold model**: the classic priority-queue benchmark — prefill to a
+//! 2. **Sharded**: the same workload through the conservative parallel
+//!    engine at shards 1, 2 and 4, asserting the reports agree across
+//!    shard counts (the engine's determinism contract).
+//! 3. **Alloc check**: warms the first half of a run, then counts global
+//!    allocations while the batch-dispatch hot loop runs the second half.
+//!    The steady-state loop must be allocation-free up to amortized
+//!    container growth (time bins, batch buffer doubling).
+//! 4. **Hold model**: the classic priority-queue benchmark — prefill to a
 //!    target size, then alternate pop/push with exponential increments —
 //!    swept across queue sizes to show the O(1) vs O(log n) separation.
 //!
@@ -17,20 +25,58 @@
 //!
 //! `--regress` instead *checks* the disabled-impairments fast path: it
 //! re-times the recorded scenario on the calendar backend and fails (exit
-//! 1) if events/s fell more than 5% below the `BENCH_des.json` baseline —
+//! 1) if events/s fell more than 10% below the `BENCH_des.json` baseline —
 //! the guard that the fault-injection hooks cost nothing when off.
 //!
+//! `--shards-smoke` runs a small workload through the sharded engine at
+//! shards 1 and 2 and fails (exit 1) unless the two reports are identical
+//! — the CI-fast version of the determinism suite.
+//!
 //! ```sh
-//! cargo run --release --example bench_des              # full benchmark
-//! cargo run --release --example bench_des -- --smoke   # CI smoke test
-//! cargo run --release --example bench_des -- --regress # compare to baseline
+//! cargo run --release --example bench_des                    # full benchmark
+//! cargo run --release --example bench_des -- --smoke         # CI smoke test
+//! cargo run --release --example bench_des -- --regress       # compare to baseline
+//! cargo run --release --example bench_des -- --shards-smoke  # shard determinism
 //! ```
 
+use std::alloc::{GlobalAlloc, Layout, System};
 use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
-use tcpburst_core::{Protocol, Scenario, ScenarioBuilder, ScenarioReport};
-use tcpburst_des::{EventQueue, QueueBackend, SimRng, SimTime};
+use tcpburst_core::{Protocol, RunBudget, Scenario, ScenarioBuilder, ScenarioReport};
+use tcpburst_des::{EventQueue, QueueBackend, SimDuration, SimRng, SimTime};
+
+/// Counting wrapper around the system allocator, backing the steady-state
+/// allocation audit. Lives in the example only: the library crates all
+/// carry `#![forbid(unsafe_code)]`, and examples are separate compilation
+/// units, so that guarantee is untouched.
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: defers entirely to `System`; the only addition is a relaxed
+// atomic increment on the allocating entry points.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
 
 /// One timed scenario run on the given backend.
 fn timed_scenario(clients: usize, secs: u64, backend: QueueBackend) -> ScenarioReport {
@@ -92,6 +138,86 @@ fn hold_model(n: usize, ops: usize, backend: QueueBackend) -> f64 {
     (ops * 2) as f64 / elapsed
 }
 
+/// One timed run through the sharded engine.
+fn timed_sharded(clients: usize, secs: u64, shards: usize) -> ScenarioReport {
+    let cfg = ScenarioBuilder::paper()
+        .topology(|t| t.clients(clients))
+        .transport(|t| t.protocol(Protocol::Reno))
+        .instrumentation(|i| i.secs(secs).shards(shards))
+        .finish();
+    Scenario::run(&cfg)
+}
+
+/// Best (minimum wall-clock) of `reps` sharded runs; same rationale as
+/// [`best_scenario`].
+fn best_sharded(reps: usize, clients: usize, secs: u64, shards: usize) -> ScenarioReport {
+    let mut best = timed_sharded(clients, secs, shards);
+    for _ in 1..reps {
+        let run = timed_sharded(clients, secs, shards);
+        assert_eq!(run.cov, best.cov, "sharded reps diverged on c.o.v.");
+        if run.wall_clock_secs < best.wall_clock_secs {
+            best = run;
+        }
+    }
+    best
+}
+
+/// Steady-state allocation audit: run the first half of the scenario to
+/// warm every container (scheduler calendar, batch buffer, per-flow state,
+/// outboxes, time bins), then count global allocations while the
+/// batch-dispatch hot loop runs the second half.
+///
+/// Returns `(steady_allocs, total_events)`.
+fn alloc_check(clients: usize, secs: u64) -> (u64, u64) {
+    let cfg = ScenarioBuilder::paper()
+        .topology(|t| t.clients(clients))
+        .transport(|t| t.protocol(Protocol::Reno))
+        .instrumentation(|i| i.secs(secs))
+        .finish();
+    let mut s = Scenario::new(&cfg);
+    let warmup = RunBudget {
+        max_sim_time: Some(SimDuration::from_secs(secs.div_ceil(2))),
+        ..RunBudget::UNLIMITED
+    };
+    s.run_with_budget(&warmup);
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    s.run_to_completion();
+    let steady = ALLOCATIONS.load(Ordering::Relaxed) - before;
+    (steady, s.into_report().events_processed)
+}
+
+/// The ceiling the steady-state half must stay under: the hot loop itself
+/// is allocation-free, so the only permitted allocations are amortized
+/// container growth — binned-counter time-series doublings, and calendar
+/// queue resizes (each rebuild reallocates the whole O(nbuckets) bucket
+/// array, so a single resize shows up as ~100 allocations). A few hundred
+/// over a half-run of ~600k events is amortized noise; a per-event
+/// allocation would register in the hundreds of thousands.
+const STEADY_ALLOC_CEILING: u64 = 512;
+
+/// `--shards-smoke`: tiny sharded runs at shards 1 and 2 must produce
+/// identical reports. Returns the process exit code.
+fn shards_smoke() -> u8 {
+    let fingerprint = |mut r: ScenarioReport| {
+        r.wall_clock_secs = 0.0; // the one documented nondeterministic field
+        format!("{r:?}")
+    };
+    let one = timed_sharded(8, 2, 1);
+    let two = timed_sharded(8, 2, 2);
+    println!(
+        "shards-smoke: 8-client Reno, 2 simulated s; shards=1 {} events, shards=2 {} events",
+        one.events_processed, two.events_processed
+    );
+    assert!(one.delivered_packets > 0, "smoke run must do real work");
+    if fingerprint(one) == fingerprint(two) {
+        println!("  OK: reports identical across shard counts");
+        0
+    } else {
+        eprintln!("  FAIL: shards=2 report diverged from shards=1");
+        1
+    }
+}
+
 /// Pulls `"events_per_sec"` out of the `"calendar"` object of a previously
 /// written `BENCH_des.json` without a JSON dependency: the file is our own
 /// output, so a positional scan is reliable.
@@ -105,8 +231,30 @@ fn baseline_calendar_events_per_sec(json: &str) -> Option<f64> {
     tail[..end].trim().parse().ok()
 }
 
+/// Pulls the recorded calendar hold-model throughput at queue size 10 000
+/// out of `BENCH_des.json` — the host-speed calibration reference for
+/// `--regress`. Positional scan, same rationale as
+/// [`baseline_calendar_events_per_sec`].
+fn baseline_hold_calibration(json: &str) -> Option<f64> {
+    let at = json.find("\"queue_size\": 10000")?;
+    let rest = &json[at..];
+    let key = "\"calendar_ops_per_sec\": ";
+    let from = rest.find(key)? + key.len();
+    let tail = &rest[from..];
+    let end = tail.find([',', '}', '\n'])?;
+    tail[..end].trim().parse().ok()
+}
+
 /// `--regress`: compare a fresh calendar-backend run against the recorded
 /// baseline. Returns the process exit code.
+///
+/// Shared and throttled hosts drift in absolute speed by 10%+ between the
+/// minute the baseline was recorded and the minute the gate runs, which
+/// would flake any absolute events/s comparison. So the gate first
+/// re-measures the hold model (a fixed, code-stable workload) and scales
+/// the recorded baseline by the observed host-speed ratio: sustained
+/// throttling moves both measurements together and cancels out, while a
+/// real engine regression moves only the scenario number and is caught.
 fn regress(baseline_path: &str) -> u8 {
     let json = match std::fs::read_to_string(baseline_path) {
         Ok(j) => j,
@@ -119,20 +267,37 @@ fn regress(baseline_path: &str) -> u8 {
         eprintln!("no calendar events_per_sec in {baseline_path}");
         return 1;
     };
-    let (clients, secs, reps) = (64, 30, 3);
-    println!("regress: {clients}-client Reno, {secs} simulated s, best of {reps}");
+    let Some(hold_then) = baseline_hold_calibration(&json) else {
+        eprintln!("no size-10000 calendar hold-model entry in {baseline_path}");
+        return 1;
+    };
+    let hold_now = hold_model(10_000, 2_000_000, QueueBackend::Calendar);
+    // Clamp: the calibration corrects drift, it must never hide a 2x
+    // regression behind an implausible "the host got 2x slower" claim.
+    let host_speed = (hold_now / hold_then).clamp(0.5, 2.0);
+    let adjusted = baseline * host_speed;
+    let (clients, secs, reps) = (64, 30, 5);
+    println!(
+        "regress: {clients}-client Reno, {secs} simulated s, best of {reps} \
+         (host speed {host_speed:.2}x of record time)"
+    );
     let run = best_scenario(reps, clients, secs, QueueBackend::Calendar);
     let now = run.events_per_sec();
-    let ratio = now / baseline;
+    let ratio = now / adjusted;
     println!(
-        "  baseline {baseline:.0} events/s, now {now:.0} events/s ({:+.1}%)",
+        "  baseline {baseline:.0} events/s ({adjusted:.0} host-adjusted), \
+         now {now:.0} events/s ({:+.1}%)",
         (ratio - 1.0) * 100.0
     );
-    if ratio < 0.95 {
-        eprintln!("  FAIL: more than 5% below baseline");
+    // 10% on top of the calibration: the hold model and the scenario
+    // stress the host differently, so the correction is approximate; the
+    // regressions this gate exists to catch (an impairment hook left hot,
+    // a per-event allocation) cost far more than 10%.
+    if ratio < 0.90 {
+        eprintln!("  FAIL: more than 10% below the host-adjusted baseline");
         1
     } else {
-        println!("  OK: within the 5% budget");
+        println!("  OK: within the 10% budget");
         0
     }
 }
@@ -141,6 +306,9 @@ fn main() {
     if std::env::args().any(|a| a == "--regress") {
         let code = regress("BENCH_des.json");
         std::process::exit(code.into());
+    }
+    if std::env::args().any(|a| a == "--shards-smoke") {
+        std::process::exit(shards_smoke().into());
     }
     let smoke = std::env::args().any(|a| a == "--smoke");
     let (clients, secs, reps, sizes, ops, path): (usize, u64, usize, &[usize], usize, &str) =
@@ -209,7 +377,55 @@ fn main() {
         heap.timers.pending_peak,
     );
     let _ = writeln!(json, "    \"events_per_sec_speedup\": {speedup:.2}");
-    json.push_str("  },\n  \"hold_model\": [\n");
+    json.push_str("  },\n  \"sharded\": [\n");
+
+    println!("sharded engine: same workload, shards 1/2/4 (best of {reps})");
+    let shard_counts = [1usize, 2, 4];
+    let mut shard_cov = None;
+    for (i, &k) in shard_counts.iter().enumerate() {
+        let run = best_sharded(reps, clients, secs, k);
+        // The determinism contract: every shard count computes the same
+        // simulated world (the full byte-level check lives in the
+        // shard_determinism suite; c.o.v. equality catches drift here).
+        match shard_cov {
+            None => shard_cov = Some(run.cov),
+            Some(cov) => assert_eq!(run.cov, cov, "shards={k} diverged on c.o.v."),
+        }
+        println!(
+            "  shards {k}: {:>9} events in {:.2} s ({:.0} events/s)",
+            run.events_processed,
+            run.wall_clock_secs,
+            run.events_per_sec(),
+        );
+        let _ = writeln!(
+            json,
+            "    {{\"shards\": {k}, \"events\": {}, \"wall_clock_s\": {:.3}, \
+             \"events_per_sec\": {:.0}}}{}",
+            run.events_processed,
+            run.wall_clock_secs,
+            run.events_per_sec(),
+            if i + 1 < shard_counts.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ],\n");
+
+    println!("alloc check: steady-state allocations in the second half of a warmed run");
+    let (steady_allocs, alloc_events) = alloc_check(clients, secs);
+    println!(
+        "  {steady_allocs} allocations over ~{} steady-state events (ceiling {STEADY_ALLOC_CEILING})",
+        alloc_events / 2
+    );
+    assert!(
+        steady_allocs <= STEADY_ALLOC_CEILING,
+        "steady-state hot loop allocated {steady_allocs} times \
+         (ceiling {STEADY_ALLOC_CEILING}): a per-event allocation crept in"
+    );
+    let _ = writeln!(
+        json,
+        "  \"alloc_check\": {{\"steady_allocs\": {steady_allocs}, \
+         \"ceiling\": {STEADY_ALLOC_CEILING}, \"total_events\": {alloc_events}}},"
+    );
+    json.push_str("  \"hold_model\": [\n");
 
     println!("hold model: steady-size pop/push, calendar vs binary heap");
     for (i, &n) in sizes.iter().enumerate() {

@@ -63,7 +63,7 @@ fn main() {
     let g1 = net.add_router();
     let g2 = net.add_router();
     let server = net.add_host();
-    let dt = |cap: usize| Box::new(DropTailQueue::new(cap));
+    let dt = |cap: usize| DropTailQueue::new(cap);
 
     // Two 5 Mbps bottlenecks in series, 10 ms each, 50-packet buffers.
     let g1g2 = net.add_link(g1, g2, 5_000_000, SimDuration::from_millis(10), dt(50));

@@ -23,6 +23,9 @@ cargo test -q --offline -p tcpburst-core --test parallel_determinism -- --test-t
 echo "==> fault injection: impaired runs stay deterministic"
 cargo test -q --offline -p tcpburst-core --test impair_determinism
 
+echo "==> sharded engine: reports invariant in the shard count"
+cargo test -q --offline -p tcpburst-core --test shard_determinism
+
 echo "==> fault injection: CLI smoke (flap + corruption + cross-traffic)"
 ./target/release/tcpburst run --clients 10 --secs 5 \
     --impair flap:500ms/2s,corrupt:1e-4,cross:100 | grep -q "impairments:"
@@ -105,6 +108,21 @@ if [ -n "$UNWRAPS" ]; then
 fi
 echo "library sources are unwrap-free outside #[cfg(test)]"
 
+echo "==> hot loop: no Box<dyn> dispatch in the engine crates"
+# The event loop's per-event path (scheduler, links/queues, transport,
+# sources) is enum-dispatched by design; a trait object creeping in
+# reintroduces a heap allocation plus a vtable call per event. Comments
+# explaining that choice are exempt.
+BOXDYN="$(grep -RnF 'Box<dyn' \
+    crates/des/src crates/net/src crates/transport/src crates/traffic/src \
+    | grep -vE ':[0-9]+:\s*//' || true)"
+if [ -n "$BOXDYN" ]; then
+    echo "Box<dyn> dispatch in a hot-loop crate:" >&2
+    echo "$BOXDYN" >&2
+    exit 1
+fi
+echo "engine crates dispatch via enums, no trait objects"
+
 if [ "${BENCH:-1}" = "1" ]; then
     echo "==> event engine: bench_des smoke (calendar vs binary heap)"
     cargo run --release --offline --example bench_des -- --smoke
@@ -118,17 +136,33 @@ with open("BENCH_des_smoke.json") as f:
 for side in ("calendar", "binary_heap"):
     eps = data["scenario"][side]["events_per_sec"]
     assert eps > 0, f"{side}: events_per_sec is zero"
-print("BENCH_des_smoke.json: valid JSON, nonzero events/s")
+sharded = data["sharded"]
+assert len(sharded) >= 2, "sharded series must cover several shard counts"
+events = {s["events"] for s in sharded}
+assert len(events) == 1, f"sharded event counts diverged: {events}"
+for s in sharded:
+    assert s["events_per_sec"] > 0, f"shards={s['shards']}: events_per_sec is zero"
+alloc = data["alloc_check"]
+assert alloc["steady_allocs"] <= alloc["ceiling"], "steady-state alloc over ceiling"
+assert alloc["total_events"] > 0, "alloc check processed no events"
+assert data["hold_model"], "hold_model series is empty"
+print("BENCH_des_smoke.json: valid JSON; scenario, sharded, alloc_check, hold_model OK")
 EOF
     else
         grep -q '"events_per_sec": [1-9]' BENCH_des_smoke.json
-        echo "BENCH_des_smoke.json: nonzero events/s (python3 unavailable, grep check)"
+        grep -q '"shards": 2' BENCH_des_smoke.json
+        grep -q '"steady_allocs": ' BENCH_des_smoke.json
+        echo "BENCH_des_smoke.json: nonzero events/s, sharded + alloc_check present" \
+             "(python3 unavailable, grep check)"
     fi
+
+    echo "==> sharded engine: shards=2 smoke must match shards=1 bit-for-bit"
+    cargo run --release --offline --example bench_des -- --shards-smoke
 
     echo "==> throughput: parallel sweep benchmark (writes BENCH_sweep.json)"
     cargo run --release --offline --example bench_sweep
 
-    echo "==> zero overhead: disabled impairments within 5% of BENCH_des.json"
+    echo "==> zero overhead: disabled impairments within 10% of host-adjusted BENCH_des.json"
     cargo run --release --offline --example bench_des -- --regress
 fi
 

@@ -12,7 +12,7 @@ use tcpburst_core::experiments::Sweep;
 use tcpburst_core::{Protocol, Scenario, ScenarioBuilder, ScenarioConfig};
 use tcpburst_des::{QueueBackend, Scheduler, SimDuration, SimTime};
 use tcpburst_net::{
-    Delivered, DropTailQueue, Ecn, FlowId, NetEvent, Network, Packet, PacketKind, Queue,
+    Delivered, DropTailQueue, Ecn, FlowId, NetEvent, Network, Packet, PacketKind,
 };
 
 /// A schedule that exercises every impairment class at once.
@@ -115,7 +115,7 @@ proptest! {
             b,
             1_000_000,
             SimDuration::from_millis(1),
-            Box::new(DropTailQueue::new(n)) as Box<dyn Queue>,
+            DropTailQueue::new(n),
         );
         net.set_route(a, b, ab);
         let mut sched: Scheduler<Ev> = Scheduler::new();

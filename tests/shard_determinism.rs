@@ -1,0 +1,184 @@
+//! The conservative parallel engine's determinism contract.
+//!
+//! The sharded engine (`--shards`) partitions one run's fixed domain set
+//! (one per client, plus the central gateway/server domain) across worker
+//! threads. The contract it must keep:
+//!
+//! 1. **Shard-count invariance** — the `ScenarioReport` is byte-identical
+//!    at shards 1, 2 and 4 (and any other count): threads only partition
+//!    the domains, they never change what any domain computes.
+//! 2. **Statistical agreement with the serial engine** — the sharded
+//!    engine is allowed to differ from `shards: 0` in same-instant
+//!    tie-breaks, but both engines simulate the same physics, so their
+//!    aggregate results must agree closely.
+//! 3. **Honest fallback** — configurations the sharded engine cannot honor
+//!    (audit, event traces, wire corruption) run on the serial engine and
+//!    reproduce its results exactly.
+//!
+//! The property test at the bottom drives the invariance check across
+//! randomized small configurations.
+
+use proptest::prelude::*;
+use tcpburst_core::{Protocol, Scenario, ScenarioBuilder, ScenarioReport};
+
+/// Debug-formats a report with the wall clock (the one documented
+/// non-deterministic field) zeroed, so equality means byte equality of
+/// every simulated quantity: bins, flows, counters, queue stats, timers.
+fn fingerprint(mut report: ScenarioReport) -> String {
+    report.wall_clock_secs = 0.0;
+    format!("{report:?}")
+}
+
+fn run_sharded(protocol: Protocol, clients: usize, secs: u64, shards: usize) -> ScenarioReport {
+    let cfg = ScenarioBuilder::paper()
+        .topology(|t| t.clients(clients))
+        .transport(|t| t.protocol(protocol))
+        .instrumentation(|i| i.secs(secs).shards(shards))
+        .finish();
+    Scenario::run(&cfg)
+}
+
+fn assert_shard_invariant(label: &str, reports: Vec<(usize, ScenarioReport)>) {
+    let mut prints = reports.into_iter().map(|(k, r)| (k, fingerprint(r)));
+    let (k0, base) = prints.next().expect("at least one shard count");
+    for (k, p) in prints {
+        assert_eq!(
+            base, p,
+            "{label}: shards={k} diverged from shards={k0}"
+        );
+    }
+}
+
+#[test]
+fn reno_report_is_identical_at_shards_1_2_4() {
+    let reports: Vec<_> = [1, 2, 4]
+        .into_iter()
+        .map(|k| (k, run_sharded(Protocol::Reno, 32, 5, k)))
+        .collect();
+    assert!(reports[0].1.delivered_packets > 0, "run must do real work");
+    assert!(
+        reports[0].1.tcp_totals.fast_retransmits + reports[0].1.tcp_totals.timeouts > 0,
+        "run must exercise loss recovery, or the test is too easy"
+    );
+    assert_shard_invariant("Reno", reports);
+}
+
+#[test]
+fn delack_red_spread_report_is_identical_at_shards_1_2_4() {
+    // Delayed ACKs put timers in the central domain; RED puts an RNG in
+    // the gateway queue; the RTT spread de-aligns the per-client windows.
+    let run = |k| {
+        let cfg = ScenarioBuilder::paper()
+            .topology(|t| t.clients(10).rtt_spread(0.5))
+            .transport(|t| t.protocol(Protocol::RenoRed).delayed_ack(true))
+            .instrumentation(|i| i.secs(5).shards(k))
+            .finish();
+        Scenario::run(&cfg)
+    };
+    let reports: Vec<_> = [1, 2, 4].into_iter().map(|k| (k, run(k))).collect();
+    assert!(reports[0].1.delivered_packets > 0);
+    assert_shard_invariant("RenoRed+delack+spread", reports);
+}
+
+#[test]
+fn udp_report_is_identical_at_shards_1_2_4() {
+    let reports: Vec<_> = [1, 2, 4]
+        .into_iter()
+        .map(|k| (k, run_sharded(Protocol::Udp, 12, 5, k)))
+        .collect();
+    assert!(reports[0].1.delivered_packets > 0);
+    assert_shard_invariant("UDP", reports);
+}
+
+#[test]
+fn impaired_report_is_identical_at_shards_1_2_4() {
+    // Flap, capacity, delay and cross-traffic all live in the central
+    // domain; corruption is excluded (it falls back to serial).
+    let run = |k| {
+        let cfg = ScenarioBuilder::paper()
+            .topology(|t| t.clients(10))
+            .transport(|t| t.protocol(Protocol::Reno))
+            .impairments(|i| i.spec("flap:300ms/1500ms,cross:200,cap:0.5/1s").expect("valid"))
+            .instrumentation(|i| i.secs(5).shards(k))
+            .finish();
+        Scenario::run(&cfg)
+    };
+    let reports: Vec<_> = [1, 2, 4].into_iter().map(|k| (k, run(k))).collect();
+    let first = &reports[0].1;
+    assert!(first.impairments.link_down_events > 0, "flap must fire");
+    assert!(first.impairments.cross_injected > 0, "cross must fire");
+    assert_shard_invariant("impaired", reports);
+}
+
+#[test]
+fn sharded_engine_agrees_with_serial_statistics() {
+    let serial = run_sharded(Protocol::Reno, 12, 5, 0);
+    let sharded = run_sharded(Protocol::Reno, 12, 5, 2);
+    // Generation is open-loop (source RNG only), so the counts match
+    // exactly; delivery differs only in same-instant tie-breaks.
+    assert_eq!(serial.generated_packets, sharded.generated_packets);
+    let rel = |a: f64, b: f64| (a - b).abs() / a.max(1e-9);
+    assert!(
+        rel(serial.delivered_packets as f64, sharded.delivered_packets as f64) < 0.02,
+        "delivered diverged: serial {} vs sharded {}",
+        serial.delivered_packets,
+        sharded.delivered_packets
+    );
+    assert!(
+        rel(serial.cov, sharded.cov) < 0.10,
+        "c.o.v. diverged: serial {} vs sharded {}",
+        serial.cov,
+        sharded.cov
+    );
+}
+
+#[test]
+fn unsupported_configs_fall_back_to_the_serial_engine() {
+    // Audit is serial-only: shards must be ignored, bit for bit.
+    let run = |k: usize| {
+        let cfg = ScenarioBuilder::paper()
+            .topology(|t| t.clients(8))
+            .instrumentation(|i| i.secs(3).audit(true).shards(k))
+            .finish();
+        Scenario::run(&cfg)
+    };
+    let serial = run(0);
+    let fell_back = run(4);
+    assert!(serial.audit.is_some(), "audit must have run");
+    assert_eq!(fingerprint(serial), fingerprint(fell_back));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Whatever the (small) configuration, the report is invariant in the
+    /// shard count.
+    #[test]
+    fn report_is_shard_count_invariant(
+        clients in 1usize..9,
+        secs in 2u64..4,
+        seed in 0u64..1_000,
+        proto_ix in 0usize..3,
+        spread_ix in 0usize..2,
+    ) {
+        let protocol = [Protocol::Reno, Protocol::Vegas, Protocol::Udp][proto_ix];
+        let spread = [0.0, 0.5][spread_ix];
+        let run = |k: usize| {
+            let cfg = ScenarioBuilder::paper()
+                .topology(|t| t.clients(clients).rtt_spread(spread))
+                .transport(|t| t.protocol(protocol))
+                .instrumentation(|i| i.secs(secs).seed(seed).shards(k))
+                .finish();
+            Scenario::run(&cfg)
+        };
+        let base = fingerprint(run(1));
+        for k in [2, 4] {
+            prop_assert_eq!(
+                &base,
+                &fingerprint(run(k)),
+                "shards={} diverged (protocol {:?}, {} clients, seed {})",
+                k, protocol, clients, seed
+            );
+        }
+    }
+}
