@@ -9,6 +9,7 @@
 use std::env;
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Duration;
 
 use tcpburst_core::experiments::{
@@ -16,8 +17,8 @@ use tcpburst_core::experiments::{
 };
 use tcpburst_des::SimDuration;
 use tcpburst_core::{
-    run_point, FailurePolicy, Protocol, ReplicatedSweep, RunBudget, RunError, ScenarioBuilder,
-    SupervisedSweep, SweepSupervisor,
+    run_point, worker_main, FailurePolicy, Protocol, ReplicatedSweep, ResultStore, RunBudget,
+    RunError, ScenarioBuilder, SupervisedSweep, SweepSupervisor, WorkerCommand,
 };
 
 fn usage() -> String {
@@ -42,6 +43,22 @@ ORCHESTRATION:
                            paper's six; accepts any PROTOCOLS name)
     --seeds R              replications per grid point (from --seed up)
     --jobs N               worker threads; 0 = all cores
+    --workers N            sweep only: shard fresh grid points across N
+                           crash-isolated worker *processes* (0 = all cores;
+                           default 1 = in-process threads); output is
+                           byte-identical at every N
+
+RESULT CACHE (sweep and replicate; `run` always simulates):
+    --cache PATH           content-addressed result store location (default:
+                           $TCPBURST_CACHE, else $XDG_CACHE_HOME/tcpburst/
+                           store, else ~/.cache/tcpburst/store)
+    --no-cache             skip the result store for this invocation
+                           Completed grid points persist under a digest of
+                           their full configuration, seed and engine schema;
+                           a repeated sweep loads them instead of simulating
+                           (bit-identical by construction). Trace-capturing
+                           and sharded-engine configurations bypass the
+                           cache; an engine schema bump invalidates it.
 
 ROBUSTNESS (supervision and watchdog budgets):
     --keep-going           run every grid point; report failures at the end
@@ -80,11 +97,23 @@ EXAMPLES:
     tcpburst sweep --clients 5,15,25,35,39 --secs 60 --jobs 0
     tcpburst sweep --clients 5,15 --journal sweep.jsonl
     tcpburst sweep --clients 5,15 --resume sweep.jsonl
+    tcpburst sweep --clients 5,15,25 --workers 4 --no-cache
     tcpburst sweep --clients 20,39 --protocols reno,gaimd --secs 10
     tcpburst run --clients 39 --variant gaimd:0.31,0.875
 ",
         ScenarioBuilder::cli_help()
     )
+}
+
+/// Where the result store lives, if anywhere.
+enum CacheChoice {
+    /// `ResultStore::default_location()`, best-effort (no cache if it has
+    /// no usable location).
+    Default,
+    /// `--no-cache`.
+    Off,
+    /// `--cache PATH`; failing to open this one is a hard error.
+    Explicit(PathBuf),
 }
 
 struct Args {
@@ -96,11 +125,17 @@ struct Args {
     protocol_set: Vec<Protocol>,
     seeds: usize,
     jobs: usize,
+    workers: usize,
+    cache: CacheChoice,
     policy: FailurePolicy,
     retries: u32,
     budget: RunBudget,
     journal: Option<PathBuf>,
     resume: Option<PathBuf>,
+    /// The raw argument tail after the subcommand, verbatim — re-executed
+    /// by worker processes so parent and child parse the identical base
+    /// configuration.
+    raw: Vec<String>,
 }
 
 fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
@@ -111,6 +146,8 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
     let mut protocol_set: Vec<Protocol> = Protocol::PAPER_SET.to_vec();
     let mut seeds = 5usize;
     let mut jobs = 0usize;
+    let mut workers = 1usize;
+    let mut cache = CacheChoice::Default;
     let mut policy = FailurePolicy::KeepGoing;
     let mut retries = 1u32;
     let mut budget = RunBudget::UNLIMITED;
@@ -139,6 +176,15 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
                 let v = argv.next().ok_or("--jobs requires a value")?;
                 jobs = v.parse().map_err(|e| format!("--jobs: {e}"))?;
             }
+            "--workers" => {
+                let v = argv.next().ok_or("--workers requires a value")?;
+                workers = v.parse().map_err(|e| format!("--workers: {e}"))?;
+            }
+            "--cache" => {
+                let v = argv.next().ok_or("--cache requires a value")?;
+                cache = CacheChoice::Explicit(PathBuf::from(v));
+            }
+            "--no-cache" => cache = CacheChoice::Off,
             "--keep-going" => policy = FailurePolicy::KeepGoing,
             "--fail-fast" => policy = FailurePolicy::FailFast,
             "--retries" => {
@@ -230,12 +276,41 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
         protocol_set,
         seeds,
         jobs,
+        workers,
+        cache,
         policy,
         retries,
         budget,
         journal,
         resume,
+        raw: Vec::new(),
     })
+}
+
+/// Resolves the `--cache`/`--no-cache` choice into an open store. The
+/// default location is best-effort (an unopenable default degrades to "no
+/// cache" with a note); an explicit `--cache PATH` that cannot open is a
+/// hard error.
+fn open_store(choice: &CacheChoice) -> Result<Option<Arc<ResultStore>>, String> {
+    match choice {
+        CacheChoice::Off => Ok(None),
+        CacheChoice::Explicit(path) => ResultStore::open(path.clone())
+            .map(|s| Some(Arc::new(s)))
+            .map_err(|e| format!("--cache {}: {e}", path.display())),
+        CacheChoice::Default => match ResultStore::default_location() {
+            Some(root) => match ResultStore::open(root.clone()) {
+                Ok(s) => Ok(Some(Arc::new(s))),
+                Err(e) => {
+                    eprintln!(
+                        "note: result cache disabled ({}: {e})",
+                        root.display()
+                    );
+                    Ok(None)
+                }
+            },
+            None => Ok(None),
+        },
+    }
 }
 
 fn cmd_run(args: &Args) -> Result<(), String> {
@@ -284,18 +359,33 @@ fn cmd_run(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_sweep(args: &Args) -> Result<(), String> {
-    let supervisor = SweepSupervisor::new(&args.cfg, &args.protocol_set, &args.client_list)
+    let store = open_store(&args.cache)?;
+    let mut supervisor = SweepSupervisor::new(&args.cfg, &args.protocol_set, &args.client_list)
         .jobs(args.jobs)
         .policy(args.policy)
         .budget(args.budget)
         .retries(args.retries);
+    if let Some(store) = &store {
+        supervisor = supervisor.store(Arc::clone(store));
+    }
+    if args.workers != 1 {
+        // Worker processes re-execute this binary's hidden `worker`
+        // subcommand with our own argument tail, so both sides parse the
+        // identical base configuration.
+        let mut worker_args = vec!["worker".to_string()];
+        worker_args.extend(args.raw.iter().cloned());
+        let command = WorkerCommand::current_exe(worker_args)
+            .map_err(|e| format!("resolving worker binary: {e}"))?;
+        supervisor = supervisor.workers(args.workers).worker_command(command);
+    }
     let supervised: SupervisedSweep = match (&args.journal, &args.resume) {
         (Some(path), None) => supervisor.run_with_journal(path).map_err(|e| e.to_string())?,
         (None, Some(path)) => supervisor.resume_from(path).map_err(|e| e.to_string())?,
         _ => supervisor.run(),
     };
     // Figure tables on stdout stay byte-identical whether the sweep ran
-    // fresh, journalled, or resumed; supervision bookkeeping goes to stderr.
+    // fresh, journalled, resumed, cached, in-process or in worker
+    // processes; supervision bookkeeping goes to stderr.
     println!("{}", supervised.sweep.fig2_cov_table());
     println!("{}", supervised.sweep.fig3_throughput_table());
     println!("{}", supervised.sweep.fig4_loss_table());
@@ -305,6 +395,20 @@ fn cmd_sweep(args: &Args) -> Result<(), String> {
             "resumed {} point(s) from journal, ran {} fresh",
             supervised.resumed_points, supervised.completed_points
         );
+    }
+    if store.is_some() {
+        let (hits, misses) = (supervised.cache_hits, supervised.cache_misses);
+        eprintln!(
+            "cache: {hits} hit(s), {misses} miss(es){}",
+            if misses == 0 && hits > 0 {
+                " (100% cache hits)"
+            } else {
+                ""
+            }
+        );
+    }
+    if let Some(e) = &supervised.journal_error {
+        eprintln!("warning: journal finalize failed: {e}");
     }
     for f in &supervised.failures {
         eprintln!("FAILED  {f}");
@@ -324,15 +428,21 @@ fn cmd_sweep(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_replicate(args: &Args) -> Result<(), String> {
+    let store = open_store(&args.cache)?;
     let seeds: Vec<u64> = (0..args.seeds as u64).map(|i| args.cfg.seed + i).collect();
-    let sweep = ReplicatedSweep::try_run_with_jobs_from(
+    let sweep = ReplicatedSweep::try_run_with_jobs_store(
         &args.cfg,
         &args.protocol_set,
         &args.client_list,
         &seeds,
         args.jobs,
+        store.as_deref(),
     )
     .map_err(|f| format!("replicated sweep point failed: {f}"))?;
+    if let Some(store) = &store {
+        let stats = store.stats();
+        eprintln!("cache: {} hit(s), {} miss(es)", stats.hits, stats.misses);
+    }
     println!("{}", sweep.fig2_cov_table());
     println!("{}", sweep.fig3_throughput_table());
     println!("{}", sweep.fig4_loss_table());
@@ -351,12 +461,13 @@ fn cmd_cwnd(args: &Args) {
 }
 
 fn main() -> ExitCode {
-    let mut argv = env::args().skip(1);
-    let Some(cmd) = argv.next() else {
+    let all: Vec<String> = env::args().skip(1).collect();
+    let Some(cmd) = all.first().cloned() else {
         eprint!("{}", usage());
         return ExitCode::FAILURE;
     };
-    let args = match parse_args(argv) {
+    let rest: Vec<String> = all[1..].to_vec();
+    let mut args = match parse_args(rest.iter().cloned()) {
         Ok(a) => a,
         Err(e) => {
             eprintln!("error: {e}\n");
@@ -364,6 +475,12 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    args.raw = rest;
+    if cmd == "worker" {
+        // Hidden subcommand: a sweep parent spawned us with its own flag
+        // tail; serve grid points over stdin/stdout until EOF.
+        return ExitCode::from(worker_main(&args.cfg) as u8);
+    }
     let result = match cmd.as_str() {
         "run" => cmd_run(&args),
         "sweep" => cmd_sweep(&args),

@@ -307,6 +307,13 @@ impl FromStr for Protocol {
 }
 
 /// Full configuration of one simulation run.
+///
+/// The `Debug` rendering of this struct is a stable serialization the
+/// harness depends on: it feeds the content-addressed store digest
+/// ([`crate::store::point_digest`]) and the sweep journal's identity
+/// check. Renaming or reordering fields therefore (correctly) invalidates
+/// every cached result — any field change can change simulation output —
+/// but gratuitous churn here has a real cache-eviction cost.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ScenarioConfig {
     /// Number of clients `M`.

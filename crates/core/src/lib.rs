@@ -25,7 +25,13 @@
 //! * [`PaperParams`] — the reconstructed Table 1,
 //! * [`parallel`] — the deterministic multi-core fan-out engine behind
 //!   [`experiments::Sweep`] and [`ReplicatedSweep`]: any `--jobs` value
-//!   produces bit-identical reports.
+//!   produces bit-identical reports,
+//! * [`store`] — the content-addressed result store: a finished grid
+//!   point is persisted under a digest of its full configuration and is
+//!   never recomputed,
+//! * [`workers`] — multi-process sweep execution: grid points sharded
+//!   across crash-isolated worker processes, byte-identical to the
+//!   in-process run.
 //!
 //! Scenarios are assembled with the staged [`ScenarioBuilder`]
 //! (topology → workload → transport → impairments → instrumentation);
@@ -55,6 +61,7 @@
 #![warn(missing_docs)]
 
 mod builder;
+pub mod codec;
 mod config;
 mod event;
 pub mod experiments;
@@ -65,8 +72,10 @@ mod replicate;
 mod report;
 mod scenario;
 mod shard;
+pub mod store;
 pub mod supervise;
 mod trace;
+pub mod workers;
 
 pub use builder::{
     BuilderStage, CliFlag, ImpairmentStage, InstrumentationStage, ScenarioBuilder, TopologyStage,
@@ -76,16 +85,23 @@ pub use config::{
     ConfigError, GatewayKind, PaperParams, Protocol, ScenarioConfig, SourceKind, TransportKind,
 };
 pub use event::{Event, ImpairEvent};
-pub use parallel::{available_jobs, run_indexed, run_indexed_partial, PartialResults};
+pub use parallel::{
+    available_jobs, run_indexed, run_indexed_partial, run_indexed_partial_with, PartialResults,
+};
 pub use profile::{DispatchProfile, EventClassStats, TimerReport};
 pub use replicate::{ReplicatedCell, ReplicatedSweep};
 pub use report::{FlowReport, ImpairmentReport, ScenarioReport};
 pub use scenario::Scenario;
+pub use store::{
+    point_digest, run_point_cached, sweep_digest, Digest, ResultStore, StoreStats,
+    ENGINE_SCHEMA_VERSION,
+};
 pub use supervise::{
     run_point, AuditReport, ExceededBudget, FailurePolicy, InvariantViolation, JournalEntry,
-    PointFailure, PointOutcome, RunBudget, RunError, RunJournal, SupervisedSweep, Supervisor,
-    SweepPoint, SweepSupervisor,
+    JournalFormat, PointFailure, PointOutcome, RunBudget, RunError, RunJournal, SupervisedSweep,
+    Supervisor, SweepPoint, SweepSupervisor,
 };
 pub use trace::{EventLog, TraceEvent, TraceKind};
+pub use workers::{worker_main, PointSpec, WorkerCommand, WorkerPool};
 
 pub use tcpburst_net::Impairments;

@@ -12,7 +12,7 @@ use tcpburst_stats::RunningStats;
 
 use crate::config::{Protocol, ScenarioConfig};
 use crate::supervise::{
-    run_point, FailurePolicy, PointFailure, PointOutcome, RunBudget, Supervisor, SweepPoint,
+    FailurePolicy, PointFailure, PointOutcome, RunBudget, Supervisor, SweepPoint,
 };
 
 /// Just the per-run numbers the fold needs — workers return this instead
@@ -134,6 +134,25 @@ impl ReplicatedSweep {
         seeds: &[u64],
         jobs: usize,
     ) -> Result<Self, PointFailure> {
+        Self::try_run_with_jobs_store(base, protocols, clients, seeds, jobs, None)
+    }
+
+    /// Like [`ReplicatedSweep::try_run_with_jobs_from`], resolving every
+    /// `(protocol, clients, seed)` run against a content-addressed result
+    /// store first: replicate shares its grid points with plain sweeps, so
+    /// a warm store makes the whole replication a sequence of cache loads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any axis or the seed list is empty.
+    pub fn try_run_with_jobs_store(
+        base: &ScenarioConfig,
+        protocols: &[Protocol],
+        clients: &[usize],
+        seeds: &[u64],
+        jobs: usize,
+        store: Option<&crate::store::ResultStore>,
+    ) -> Result<Self, PointFailure> {
         assert!(!protocols.is_empty(), "need at least one protocol");
         assert!(!clients.is_empty(), "need at least one client count");
         assert!(!seeds.is_empty(), "need at least one seed");
@@ -158,7 +177,7 @@ impl ReplicatedSweep {
             cfg.num_clients = n;
             cfg.apply_protocol(p);
             cfg.seed = seed;
-            let r = run_point(&cfg, budget)?;
+            let r = crate::store::run_point_cached(&cfg, budget, store)?;
             Ok(RunSample {
                 cov: r.cov,
                 poisson_cov: r.poisson_cov,

@@ -24,9 +24,21 @@
 //!    [`RunError::InvariantViolation`] with the offending counters.
 //!
 //! Completed points are journalled as one JSONL line each
-//! ([`RunJournal`]), keyed by an FNV-1a hash of the sweep configuration,
-//! so `tcpburst sweep --resume <journal>` skips finished points and
+//! ([`RunJournal`]), keyed by the content-addressed store digest of the
+//! point's full configuration (see [`crate::store`]), so
+//! `tcpburst sweep --resume <journal>` skips finished points and
 //! reproduces the fresh run's figure tables byte-for-byte at any `--jobs`.
+//! Journals written by the pre-digest format (version 1, FNV-1a keys) are
+//! still resumable. A journal whose every point completed is *finalized*:
+//! atomically rewritten in canonical grid order, so an interrupted-then-
+//! resumed sweep leaves the byte-identical journal an uninterrupted run
+//! would have.
+//!
+//! Two further layers compose with supervision (both opt-in):
+//! a content-addressed [result store](crate::store) resolves already-
+//! computed points without simulating, and a [worker-process
+//! pool](crate::workers) runs fresh points in crash-isolated child
+//! processes.
 
 use std::collections::HashMap;
 use std::fmt;
@@ -34,7 +46,7 @@ use std::fs::{File, OpenOptions};
 use std::io::{BufRead, BufReader, Write as _};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;
 use std::time::Duration;
 
@@ -44,6 +56,9 @@ use crate::config::{Protocol, ScenarioConfig};
 use crate::experiments::{Sweep, SweepCell};
 use crate::report::ScenarioReport;
 use crate::scenario::Scenario;
+use crate::store::{self, Digest, ResultStore, ENGINE_SCHEMA_VERSION};
+use crate::workers::{PointSpec, WorkerCommand, WorkerPool};
+use std::sync::Arc;
 
 // ---------------------------------------------------------------------------
 // Invariant auditing
@@ -226,6 +241,18 @@ pub enum RunError {
         /// The underlying error, as text.
         message: String,
     },
+    /// A worker *process* reported a failure. The rich diagnostic payloads
+    /// (partial reports, violation structures) stay in the worker; only the
+    /// original error's kind tag and rendered message cross the pipe. The
+    /// kind `worker-died` means the child process itself crashed (segfault,
+    /// OOM kill, abort) while holding this point.
+    Remote {
+        /// The original [`RunError::kind`] tag inside the worker, or
+        /// `worker-died`.
+        kind: String,
+        /// The rendered error message.
+        message: String,
+    },
 }
 
 impl RunError {
@@ -236,6 +263,7 @@ impl RunError {
             RunError::InvariantViolation { .. } => "invariant-violation",
             RunError::BudgetExceeded { .. } => "budget-exceeded",
             RunError::Io { .. } => "io",
+            RunError::Remote { .. } => "remote",
         }
     }
 }
@@ -258,6 +286,9 @@ impl fmt::Display for RunError {
             ),
             RunError::Io { path, message } => {
                 write!(f, "journal {}: {message}", path.display())
+            }
+            RunError::Remote { kind, message } => {
+                write!(f, "worker {kind}: {message}")
             }
         }
     }
@@ -440,21 +471,36 @@ fn fnv1a64(bytes: &[u8]) -> u64 {
     h
 }
 
-/// Hash identifying a sweep: the full base configuration (`Debug` form is
-/// stable and covers every knob) plus both grid axes. A journal written
-/// under one key refuses to resume under another.
+/// Legacy (journal format 1) sweep hash: FNV-1a over the full base
+/// configuration (`Debug` form is stable and covers every knob) plus both
+/// grid axes. New journals are keyed by [`store::sweep_digest`] instead;
+/// this survives only to validate and resume pre-digest journal files.
 pub fn sweep_key(base: &ScenarioConfig, protocols: &[Protocol], clients: &[usize]) -> u64 {
     let text = format!("{base:?}|{protocols:?}|{clients:?}");
     fnv1a64(text.as_bytes())
 }
 
+/// Legacy (journal format 1) per-point key.
 fn point_key(sweep: u64, protocol: Protocol, clients: usize, seed: u64) -> u64 {
     let text = format!("{sweep:016x}|{}|{clients}|{seed}", protocol.cli_name());
     fnv1a64(text.as_bytes())
 }
 
 const JOURNAL_MAGIC: &str = "tcpburst-sweep";
-const JOURNAL_VERSION: u32 = 1;
+const JOURNAL_VERSION: u32 = 2;
+
+/// The on-disk format of a resumed journal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JournalFormat {
+    /// The pre-store format: 16-hex FNV-1a keys, no engine schema stamp.
+    /// Still resumable, but never finalized (its keys cannot be
+    /// regenerated under the digest scheme without rewriting history).
+    V1,
+    /// The content-addressed format: 64-hex store-digest keys, an
+    /// `engine schema` stamp in the header and every line, and canonical-
+    /// order finalization on completion.
+    V2,
+}
 
 /// Splits a flat one-line JSON object into `(key, raw value)` pairs. Only
 /// handles the journal's own output (no nesting, no commas inside values),
@@ -481,8 +527,10 @@ fn unquote(v: &str) -> Option<&str> {
 /// sweep renders the same table bytes as the fresh run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct JournalEntry {
-    /// The point's key (sweep hash ⊕ protocol ⊕ clients ⊕ seed).
-    pub key: u64,
+    /// The point's key: the hex of its configuration's
+    /// [`store::point_digest`] (64 hex digits), or a legacy 16-hex FNV
+    /// key when the entry came from a format-1 journal.
+    pub key: String,
     /// Protocol of the point.
     pub protocol: Protocol,
     /// Client count of the point.
@@ -510,7 +558,7 @@ pub struct JournalEntry {
 impl JournalEntry {
     /// Captures the journalled metrics of one completed run.
     pub fn from_report(
-        key: u64,
+        key: String,
         protocol: Protocol,
         clients: usize,
         seed: u64,
@@ -532,10 +580,13 @@ impl JournalEntry {
         }
     }
 
-    /// One JSONL line (no trailing newline).
+    /// One JSONL line (no trailing newline). Every line written by this
+    /// engine carries its `schema_version` stamp, whatever the journal's
+    /// header format.
     pub fn to_json_line(&self) -> String {
         format!(
-            "{{\"key\":\"{:016x}\",\"protocol\":\"{}\",\"clients\":{},\"seed\":{},\
+            "{{\"key\":\"{}\",\"schema_version\":{ENGINE_SCHEMA_VERSION},\
+             \"protocol\":\"{}\",\"clients\":{},\"seed\":{},\
              \"cov\":{},\"poisson_cov\":{},\"generated\":{},\"delivered\":{},\
              \"loss_percent\":{},\"timeouts\":{},\"fast_retransmits\":{},\"events\":{}}}",
             self.key,
@@ -557,8 +608,10 @@ impl JournalEntry {
     pub fn parse(line: &str) -> Option<JournalEntry> {
         let fields = json_fields(line)?;
         let get = |name: &str| fields.iter().find(|(k, _)| *k == name).map(|(_, v)| *v);
+        // `schema_version` is validated at the journal level (header), not
+        // per line; lines from the pre-stamp format simply lack it.
         Some(JournalEntry {
-            key: u64::from_str_radix(unquote(get("key")?)?, 16).ok()?,
+            key: unquote(get("key")?)?.to_string(),
             protocol: unquote(get("protocol")?)?.parse().ok()?,
             clients: get("clients")?.parse().ok()?,
             seed: get("seed")?.parse().ok()?,
@@ -612,10 +665,18 @@ impl JournalEntry {
 /// An append-only JSONL journal of completed grid points. Thread-safe:
 /// workers append entries as points finish, under a mutex, with a flush per
 /// line so a killed sweep loses at most the line being written.
+///
+/// Appends happen in *completion* order (durability first: a line hits the
+/// disk the moment its point finishes). Once every grid point has
+/// completed, [`RunJournal::finalize`] atomically rewrites the file in
+/// canonical grid order — so the finished journal's bytes are independent
+/// of thread/worker scheduling *and* of whether the sweep was interrupted
+/// and resumed along the way.
 #[derive(Debug)]
 pub struct RunJournal {
     file: Mutex<File>,
     path: PathBuf,
+    header: String,
 }
 
 fn io_error(path: &Path, e: std::io::Error) -> RunError {
@@ -626,61 +687,93 @@ fn io_error(path: &Path, e: std::io::Error) -> RunError {
 }
 
 impl RunJournal {
-    /// Creates (truncating) a journal for the given sweep key and writes
-    /// the header line.
-    pub fn create(path: &Path, sweep: u64) -> Result<RunJournal, RunError> {
-        let mut file = File::create(path).map_err(|e| io_error(path, e))?;
-        writeln!(
-            file,
+    fn header_line(sweep: &Digest) -> String {
+        format!(
             "{{\"journal\":\"{JOURNAL_MAGIC}\",\"version\":{JOURNAL_VERSION},\
-             \"sweep\":\"{sweep:016x}\"}}"
+             \"schema_version\":{ENGINE_SCHEMA_VERSION},\"sweep\":\"{}\"}}",
+            sweep.hex()
         )
-        .map_err(|e| io_error(path, e))?;
+    }
+
+    /// Creates (truncating) a journal for the given sweep digest and writes
+    /// the format-2 header line.
+    pub fn create(path: &Path, sweep: &Digest) -> Result<RunJournal, RunError> {
+        let header = RunJournal::header_line(sweep);
+        let mut file = File::create(path).map_err(|e| io_error(path, e))?;
+        writeln!(file, "{header}").map_err(|e| io_error(path, e))?;
         file.flush().map_err(|e| io_error(path, e))?;
         Ok(RunJournal {
             file: Mutex::new(file),
             path: path.to_path_buf(),
+            header,
         })
     }
 
     /// Opens an existing journal for resumption: validates the header
-    /// against `sweep`, parses every well-formed entry (a truncated last
-    /// line — the kill case — is skipped), and reopens the file in append
-    /// mode for the remaining points.
-    pub fn resume(path: &Path, sweep: u64) -> Result<(RunJournal, Vec<JournalEntry>), RunError> {
+    /// against the sweep identity (`sweep` for format-2 journals,
+    /// `legacy_key` for format-1), parses every well-formed entry (a
+    /// truncated last line — the kill case — is skipped), and reopens the
+    /// file in append mode for the remaining points. The returned
+    /// [`JournalFormat`] tells the caller which key scheme the entries use.
+    pub fn resume(
+        path: &Path,
+        sweep: &Digest,
+        legacy_key: u64,
+    ) -> Result<(RunJournal, Vec<JournalEntry>, JournalFormat), RunError> {
+        let bad = |message: String| RunError::Io {
+            path: path.to_path_buf(),
+            message,
+        };
         let file = File::open(path).map_err(|e| io_error(path, e))?;
         let mut lines = BufReader::new(file).lines();
         let header = match lines.next() {
             Some(line) => line.map_err(|e| io_error(path, e))?,
-            None => {
-                return Err(RunError::Io {
-                    path: path.to_path_buf(),
-                    message: "empty journal (missing header)".to_string(),
-                })
-            }
+            None => return Err(bad("empty journal (missing header)".to_string())),
         };
         let fields = json_fields(&header).unwrap_or_default();
         let get = |name: &str| fields.iter().find(|(k, _)| *k == name).map(|(_, v)| *v);
-        let magic = get("journal").and_then(unquote);
-        let recorded = get("sweep")
-            .and_then(unquote)
-            .and_then(|s| u64::from_str_radix(s, 16).ok());
-        if magic != Some(JOURNAL_MAGIC) {
-            return Err(RunError::Io {
-                path: path.to_path_buf(),
-                message: "not a tcpburst sweep journal".to_string(),
-            });
+        if get("journal").and_then(unquote) != Some(JOURNAL_MAGIC) {
+            return Err(bad("not a tcpburst sweep journal".to_string()));
         }
-        if recorded != Some(sweep) {
-            return Err(RunError::Io {
-                path: path.to_path_buf(),
-                message: format!(
-                    "journal was written for a different sweep configuration \
-                     (recorded {:016x}, expected {sweep:016x})",
-                    recorded.unwrap_or(0)
-                ),
-            });
-        }
+        let version = get("version").and_then(|v| v.parse::<u32>().ok());
+        let recorded = get("sweep").and_then(unquote).unwrap_or_default();
+        let format = match version {
+            Some(1) => {
+                let expected = format!("{legacy_key:016x}");
+                if recorded != expected {
+                    return Err(bad(format!(
+                        "journal was written for a different sweep configuration \
+                         (recorded {recorded}, expected {expected})"
+                    )));
+                }
+                JournalFormat::V1
+            }
+            Some(2) => {
+                let schema = get("schema_version").and_then(|v| v.parse::<u32>().ok());
+                if schema != Some(ENGINE_SCHEMA_VERSION) {
+                    return Err(bad(format!(
+                        "journal was written by engine schema {} but this build \
+                         is schema {ENGINE_SCHEMA_VERSION}; its results are not \
+                         comparable — start a fresh journal",
+                        schema.map_or_else(|| "?".to_string(), |s| s.to_string()),
+                    )));
+                }
+                if recorded != sweep.hex() {
+                    return Err(bad(format!(
+                        "journal was written for a different sweep configuration \
+                         (recorded {recorded}, expected {})",
+                        sweep.hex()
+                    )));
+                }
+                JournalFormat::V2
+            }
+            _ => {
+                return Err(bad(format!(
+                    "unsupported journal version {}",
+                    version.map_or_else(|| "?".to_string(), |v| v.to_string())
+                )))
+            }
+        };
         let mut entries = Vec::new();
         for line in lines {
             let line = line.map_err(|e| io_error(path, e))?;
@@ -701,8 +794,10 @@ impl RunJournal {
             RunJournal {
                 file: Mutex::new(file),
                 path: path.to_path_buf(),
+                header,
             },
             entries,
+            format,
         ))
     }
 
@@ -714,6 +809,33 @@ impl RunJournal {
             .unwrap_or_else(|poisoned| poisoned.into_inner());
         writeln!(file, "{}", entry.to_json_line()).map_err(|e| io_error(&self.path, e))?;
         file.flush().map_err(|e| io_error(&self.path, e))
+    }
+
+    /// Atomically rewrites the journal as the header plus `entries` in the
+    /// order given (the caller passes canonical grid order). Called only
+    /// once every point has completed; after it, the journal's bytes no
+    /// longer depend on completion order or on interruption history.
+    pub fn finalize(&self, entries: &[JournalEntry]) -> Result<(), RunError> {
+        // Hold the append lock across the rename so no in-flight append can
+        // interleave (none should exist by the time this is called).
+        let _guard = self
+            .file
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        let mut tmp_name = self.path.as_os_str().to_owned();
+        tmp_name.push(".tmp");
+        let tmp = PathBuf::from(tmp_name);
+        let write = |path: &Path| -> std::io::Result<()> {
+            let mut out = File::create(path)?;
+            writeln!(out, "{}", self.header)?;
+            for entry in entries {
+                writeln!(out, "{}", entry.to_json_line())?;
+            }
+            out.flush()?;
+            out.sync_all()
+        };
+        write(&tmp).map_err(|e| io_error(&tmp, e))?;
+        std::fs::rename(&tmp, &self.path).map_err(|e| io_error(&self.path, e))
     }
 
     /// The journal's path.
@@ -778,17 +900,37 @@ pub struct SupervisedSweep {
     pub resumed_points: usize,
     /// How many points actually ran (freshly) to completion.
     pub completed_points: usize,
+    /// How many points were resolved from the content-addressed result
+    /// store without simulating (0 when no store is attached).
+    pub cache_hits: usize,
+    /// How many store lookups missed and fell through to a fresh run
+    /// (0 when no store is attached).
+    pub cache_misses: usize,
+    /// Set when the end-of-sweep journal finalization failed. The journal
+    /// is still valid and resumable (appends all landed); only the
+    /// canonical-order rewrite was lost.
+    pub journal_error: Option<RunError>,
 }
 
 impl SupervisedSweep {
-    /// True when every grid point completed (fresh or resumed).
+    /// True when every grid point completed (fresh, resumed, or cached).
     pub fn all_complete(&self) -> bool {
         self.failures.is_empty() && self.skipped.is_empty()
     }
 }
 
+/// How to key journal entries: new journals use the store digest; resumed
+/// format-1 journals keep their FNV keys so the already-written lines
+/// still match.
+#[derive(Debug, Clone, Copy)]
+enum KeyMode {
+    Digest,
+    Legacy(u64),
+}
+
 /// Orchestrates a protocol × clients sweep under a [`Supervisor`], with
-/// optional journalling and resumption.
+/// optional journalling/resumption, an optional content-addressed result
+/// store, and optional worker-process execution.
 #[derive(Debug, Clone)]
 pub struct SweepSupervisor {
     base: ScenarioConfig,
@@ -796,6 +938,9 @@ pub struct SweepSupervisor {
     clients: Vec<usize>,
     /// The supervision knobs (jobs, policy, budget, retries).
     pub supervisor: Supervisor,
+    workers: usize,
+    worker_command: Option<WorkerCommand>,
+    store: Option<Arc<ResultStore>>,
 }
 
 impl SweepSupervisor {
@@ -813,6 +958,9 @@ impl SweepSupervisor {
             protocols: protocols.to_vec(),
             clients: clients.to_vec(),
             supervisor: Supervisor::default(),
+            workers: 1,
+            worker_command: None,
+            store: None,
         }
     }
 
@@ -840,92 +988,268 @@ impl SweepSupervisor {
         self
     }
 
-    /// The sweep key this grid journals under.
+    /// Shards fresh grid points across worker *processes* instead of
+    /// in-process threads: `0` = one per core, `1` (the default) = stay
+    /// in-process, `n > 1` = that many children. Has no effect until a
+    /// [`worker_command`](Self::worker_command) is also set. Output is
+    /// byte-identical at every worker count.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Sets the command used to launch worker processes (the harness
+    /// binary's hidden `worker` subcommand, with the same scenario flags
+    /// as the parent so both sides build the identical base config).
+    pub fn worker_command(mut self, command: WorkerCommand) -> Self {
+        self.worker_command = Some(command);
+        self
+    }
+
+    /// Attaches a content-addressed result store: points whose digest is
+    /// already stored load instead of simulating, and fresh completions
+    /// are written back. Ignored for configurations
+    /// [`store::cacheable`] refuses (trace capture, sharded engine).
+    pub fn store(mut self, store: Arc<ResultStore>) -> Self {
+        self.store = Some(store);
+        self
+    }
+
+    /// The legacy (format-1) sweep key; new journals are identified by
+    /// [`digest`](Self::digest) instead.
     pub fn key(&self) -> u64 {
         sweep_key(&self.base, &self.protocols, &self.clients)
     }
 
+    /// The sweep's content digest — the identity new journals are written
+    /// under.
+    pub fn digest(&self) -> Digest {
+        store::sweep_digest(&self.base, &self.protocols, &self.clients)
+    }
+
     /// Runs the whole grid with no journal.
     pub fn run(&self) -> SupervisedSweep {
-        self.run_inner(None, &HashMap::new())
+        self.run_inner(None, &HashMap::new(), KeyMode::Digest)
     }
 
     /// Runs the grid, journalling every completed point to `path`
     /// (truncating any existing file).
     pub fn run_with_journal(&self, path: &Path) -> Result<SupervisedSweep, RunError> {
-        let journal = RunJournal::create(path, self.key())?;
-        Ok(self.run_inner(Some(&journal), &HashMap::new()))
+        let journal = RunJournal::create(path, &self.digest())?;
+        Ok(self.run_inner(Some(&journal), &HashMap::new(), KeyMode::Digest))
     }
 
     /// Resumes from an existing journal: completed points are restored from
     /// their journal entries (and *not* re-run or re-appended); the rest
     /// run normally and are appended as they finish. The rendered figure
-    /// tables are byte-identical to an uninterrupted run at any job count.
+    /// tables are byte-identical to an uninterrupted run at any job count,
+    /// and once every point completes the journal file itself is finalized
+    /// to the uninterrupted run's exact bytes.
     pub fn resume_from(&self, path: &Path) -> Result<SupervisedSweep, RunError> {
-        let (journal, entries) = RunJournal::resume(path, self.key())?;
-        let done: HashMap<u64, JournalEntry> =
-            entries.into_iter().map(|e| (e.key, e)).collect();
-        Ok(self.run_inner(Some(&journal), &done))
+        let (journal, entries, format) = RunJournal::resume(path, &self.digest(), self.key())?;
+        let done: HashMap<String, JournalEntry> = entries
+            .into_iter()
+            .map(|e| (e.key.clone(), e))
+            .collect();
+        let mode = match format {
+            JournalFormat::V1 => KeyMode::Legacy(self.key()),
+            JournalFormat::V2 => KeyMode::Digest,
+        };
+        Ok(self.run_inner(Some(&journal), &done, mode))
     }
 
     fn run_inner(
         &self,
         journal: Option<&RunJournal>,
-        done: &HashMap<u64, JournalEntry>,
+        done: &HashMap<String, JournalEntry>,
+        mode: KeyMode,
     ) -> SupervisedSweep {
         let grid = crate::experiments::canonical_grid(&self.protocols, &self.clients);
-        let sweep = self.key();
         let seed = self.base.seed;
-        let resumed = AtomicUsize::new(0);
-        let outcomes = self.supervisor.run_grid(grid.len(), |i, budget| {
-            let (p, n) = grid[i];
-            let key = point_key(sweep, p, n, seed);
-            if let Some(entry) = done.get(&key) {
-                resumed.fetch_add(1, Ordering::Relaxed);
-                return Ok(SweepCell {
-                    protocol: p,
-                    clients: n,
-                    report: entry.reconstruct_report(),
-                });
-            }
+
+        // Per-point configs, digests and journal keys, in canonical order.
+        let mut cfgs = Vec::with_capacity(grid.len());
+        let mut digests = Vec::with_capacity(grid.len());
+        let mut keys = Vec::with_capacity(grid.len());
+        for &(p, n) in &grid {
             let mut cfg = self.base;
             cfg.num_clients = n;
             cfg.apply_protocol(p);
-            let report = run_point(&cfg, budget)?;
-            if let Some(journal) = journal {
-                journal.append(&JournalEntry::from_report(key, p, n, seed, &report))?;
-            }
-            Ok(SweepCell {
-                protocol: p,
-                clients: n,
-                report,
-            })
-        });
+            let digest = store::point_digest(&cfg);
+            keys.push(match mode {
+                KeyMode::Digest => digest.hex(),
+                KeyMode::Legacy(sweep) => format!("{:016x}", point_key(sweep, p, n, seed)),
+            });
+            digests.push(digest);
+            cfgs.push(cfg);
+        }
 
+        let store = self
+            .store
+            .as_deref()
+            .filter(|_| store::cacheable(&self.base));
+
+        // Phase 1 (sequential, cheap): resolve each point against the
+        // journal and then the result store, before any dispatch.
+        let mut slots: Vec<Option<ScenarioReport>> = (0..grid.len()).map(|_| None).collect();
+        let mut fail_map: HashMap<usize, RunError> = HashMap::new();
+        let mut resumed_points = 0usize;
+        let mut cache_hits = 0usize;
+        let mut cache_misses = 0usize;
+        for i in 0..grid.len() {
+            if let Some(entry) = done.get(&keys[i]) {
+                slots[i] = Some(entry.reconstruct_report());
+                resumed_points += 1;
+                continue;
+            }
+            let Some(store) = store else { continue };
+            match store.get(&digests[i]) {
+                Some(report) => {
+                    // A cache hit still earns its journal line, so a later
+                    // resume needs neither the store nor a re-run.
+                    if let Some(journal) = journal {
+                        let (p, n) = grid[i];
+                        let entry =
+                            JournalEntry::from_report(keys[i].clone(), p, n, seed, &report);
+                        if let Err(e) = journal.append(&entry) {
+                            fail_map.insert(i, e);
+                            continue;
+                        }
+                    }
+                    cache_hits += 1;
+                    slots[i] = Some(report);
+                }
+                None => cache_misses += 1,
+            }
+        }
+
+        // Phase 2: dispatch what remains — worker processes when configured
+        // and worthwhile, the in-process thread pool otherwise.
+        let pending: Vec<usize> = (0..grid.len())
+            .filter(|i| slots[*i].is_none() && !fail_map.contains_key(i))
+            .collect();
+        let complete = |i: usize, report: &ScenarioReport| -> Result<(), RunError> {
+            if let Some(store) = store {
+                // A failed write-back must not fail a completed point; the
+                // next run simply recomputes.
+                let _ = store.put(&digests[i], report);
+            }
+            if let Some(journal) = journal {
+                let (p, n) = grid[i];
+                journal.append(&JournalEntry::from_report(
+                    keys[i].clone(),
+                    p,
+                    n,
+                    seed,
+                    report,
+                ))?;
+            }
+            Ok(())
+        };
+        let use_workers = self.workers != 1
+            && pending.len() > 1
+            && self.worker_command.is_some()
+            && !self.base.trace_cwnd
+            && !self.base.trace_events;
+        let outcomes: Vec<PointOutcome<ScenarioReport>> = if use_workers {
+            let pool = WorkerPool {
+                command: self
+                    .worker_command
+                    .clone()
+                    .expect("use_workers checked worker_command.is_some()"),
+                workers: self.workers,
+                policy: self.supervisor.policy,
+                budget: self.supervisor.budget,
+                retries: self.supervisor.retries,
+            };
+            let specs: Vec<PointSpec> = pending
+                .iter()
+                .map(|&i| PointSpec {
+                    protocol: grid[i].0,
+                    clients: grid[i].1,
+                    seed,
+                })
+                .collect();
+            pool.run_points(&specs, |j, report| complete(pending[j], report))
+        } else {
+            self.supervisor.run_grid(pending.len(), |j, budget| {
+                let i = pending[j];
+                let report = run_point(&cfgs[i], budget)?;
+                complete(i, &report)?;
+                Ok(report)
+            })
+        };
+
+        // Phase 3: merge everything back in canonical grid order.
+        let completed_points = outcomes
+            .iter()
+            .filter(|o| matches!(o, PointOutcome::Done(_)))
+            .count();
+        let mut skip_set = vec![false; grid.len()];
+        for (j, outcome) in outcomes.into_iter().enumerate() {
+            let i = pending[j];
+            match outcome {
+                PointOutcome::Done(report) => slots[i] = Some(report),
+                PointOutcome::Failed(error) => {
+                    fail_map.insert(i, error);
+                }
+                PointOutcome::Skipped => skip_set[i] = true,
+            }
+        }
         let mut cells = Vec::new();
         let mut failures = Vec::new();
         let mut skipped = Vec::new();
-        for (i, outcome) in outcomes.into_iter().enumerate() {
-            let (protocol, clients) = grid[i];
+        for (i, &(protocol, clients)) in grid.iter().enumerate() {
             let point = SweepPoint {
                 protocol,
                 clients,
                 seed,
             };
-            match outcome {
-                PointOutcome::Done(cell) => cells.push(cell),
-                PointOutcome::Failed(error) => failures.push(PointFailure { point, error }),
-                PointOutcome::Skipped => skipped.push(point),
+            if let Some(error) = fail_map.remove(&i) {
+                failures.push(PointFailure { point, error });
+            } else if skip_set[i] {
+                skipped.push(point);
+            } else if let Some(report) = slots[i].take() {
+                cells.push(SweepCell {
+                    protocol,
+                    clients,
+                    report,
+                });
             }
         }
-        let resumed_points = resumed.load(Ordering::Relaxed);
-        let completed_points = cells.len() - resumed_points;
+
+        // Every point landed: canonicalize the journal so its bytes match
+        // an uninterrupted run's. (Legacy journals keep their history —
+        // their old lines cannot be regenerated under digest keys.)
+        let mut journal_error = None;
+        if let (Some(journal), true, KeyMode::Digest) =
+            (journal, failures.is_empty() && skipped.is_empty(), mode)
+        {
+            let entries: Vec<JournalEntry> = cells
+                .iter()
+                .enumerate()
+                .map(|(i, cell)| {
+                    JournalEntry::from_report(
+                        keys[i].clone(),
+                        cell.protocol,
+                        cell.clients,
+                        seed,
+                        &cell.report,
+                    )
+                })
+                .collect();
+            journal_error = journal.finalize(&entries).err();
+        }
+
         SupervisedSweep {
             sweep: Sweep::from_cells(cells, self.protocols.clone(), self.clients.clone()),
             failures,
             skipped,
             resumed_points,
             completed_points,
+            cache_hits,
+            cache_misses,
+            journal_error,
         }
     }
 }
@@ -956,7 +1280,7 @@ mod tests {
     #[test]
     fn journal_entry_round_trips_exactly() {
         let entry = JournalEntry {
-            key: 0xdead_beef_0123_4567,
+            key: "deadbeef01234567".to_string(),
             protocol: Protocol::VegasRed,
             clients: 39,
             seed: 0x1CDC_2000,
@@ -983,7 +1307,7 @@ mod tests {
         assert_eq!(JournalEntry::parse("{\"key\":\"zz\"}"), None);
         // A truncated tail (the kill case).
         let full = JournalEntry {
-            key: 1,
+            key: "0000000000000001".to_string(),
             protocol: Protocol::Udp,
             clients: 5,
             seed: 7,

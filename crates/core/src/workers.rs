@@ -1,0 +1,543 @@
+//! Multi-process sweep execution: grid points sharded across worker
+//! *processes* with work-stealing and per-worker crash isolation.
+//!
+//! Thread-level fan-out ([`crate::parallel`]) shares one address space: a
+//! segfault, allocator corruption or OOM kill in any grid point takes the
+//! whole sweep down. This module moves the blast radius to a child
+//! process: the supervisor spawns `N` copies of the harness binary running
+//! the hidden `tcpburst worker` subcommand, feeds them grid points over a
+//! length-prefixed stdin/stdout protocol, and work-steals from the shared
+//! queue exactly like the thread pool (each driver thread claims the next
+//! unclaimed index and forwards it to its private child). A worker that
+//! dies loses *one* point — the driver records the failure, respawns the
+//! child, and keeps claiming.
+//!
+//! ## Protocol
+//!
+//! Every frame is a `u32` little-endian byte length followed by that many
+//! bytes of UTF-8 text. On startup the worker sends
+//! `ready <schema-version>`; a schema mismatch (parent and worker built
+//! from different engine versions) aborts the handshake. The parent then
+//! sends one `point <index> <protocol> <clients> <seed> <sim|-> <events|->
+//! <wall|->` frame per claimed grid point (the trailing triple is the
+//! watchdog budget, `-` = unlimited); the worker replies
+//! `done <index>\n<codec payload>` or `fail <index> <kind>\n<message>`.
+//! EOF on the worker's stdin is the shutdown signal.
+//!
+//! The scenario *base configuration* never crosses the pipe: the worker
+//! process re-parses the parent's own CLI argument tail (captured
+//! verbatim), so both sides build the identical base config by running the
+//! identical parser, and only the per-point coordinates travel as data.
+//!
+//! ## Determinism
+//!
+//! Replies are decoded by the same exact codec the result store uses, and
+//! results are re-slotted in canonical grid order by the same machinery as
+//! the thread pool — so sweep output is byte-identical at every
+//! `--workers × --jobs` combination (`scripts/verify.sh` diffs
+//! `--workers 2` against the in-process run).
+
+use std::io::{self, BufReader, Read, Write};
+use std::path::PathBuf;
+use std::process::{Child, ChildStdin, ChildStdout, Command, Stdio};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+use tcpburst_des::SimDuration;
+
+use crate::codec;
+use crate::config::{Protocol, ScenarioConfig};
+use crate::parallel::{effective_jobs, run_indexed_partial_with};
+use crate::report::ScenarioReport;
+use crate::store::ENGINE_SCHEMA_VERSION;
+use crate::supervise::{run_point, FailurePolicy, PointOutcome, RunBudget, RunError};
+
+/// Reject frames above this size: a corrupted length prefix must not make
+/// the reader attempt a multi-gigabyte allocation.
+const MAX_FRAME: usize = 256 << 20;
+
+/// Environment variable naming a grid-point index at which a worker
+/// process deliberately aborts — the crash-isolation test hook. Unset in
+/// normal operation.
+pub const CRASH_AT_ENV: &str = "TCPBURST_WORKER_CRASH_AT";
+
+// ---------------------------------------------------------------------------
+// Frame I/O
+// ---------------------------------------------------------------------------
+
+fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    let len = u32::try_from(payload.len())
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "frame too large"))?;
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one frame; `Ok(None)` on a clean EOF at a frame boundary (the
+/// shutdown signal), `Err` on truncation mid-frame or an oversized length.
+fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
+    let mut len_bytes = [0u8; 4];
+    let mut filled = 0;
+    while filled < 4 {
+        let n = r.read(&mut len_bytes[filled..])?;
+        if n == 0 {
+            if filled == 0 {
+                return Ok(None);
+            }
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "EOF inside a frame length prefix",
+            ));
+        }
+        filled += n;
+    }
+    let len = u32::from_le_bytes(len_bytes) as usize;
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds the {MAX_FRAME}-byte cap"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+fn budget_field(v: Option<u64>) -> String {
+    match v {
+        Some(n) => n.to_string(),
+        None => "-".to_string(),
+    }
+}
+
+fn parse_budget_field(token: &str) -> Option<Option<u64>> {
+    if token == "-" {
+        Some(None)
+    } else {
+        token.parse().ok().map(Some)
+    }
+}
+
+fn point_frame(index: usize, point: &PointSpec, budget: &RunBudget) -> String {
+    format!(
+        "point {index} {} {} {} {} {} {}",
+        point.protocol.cli_name(),
+        point.clients,
+        point.seed,
+        budget_field(budget.max_sim_time.map(|d| d.as_nanos())),
+        budget_field(budget.max_events),
+        budget_field(budget.max_wall.map(|w| w.as_nanos() as u64)),
+    )
+}
+
+// ---------------------------------------------------------------------------
+// The worker process side
+// ---------------------------------------------------------------------------
+
+/// The body of the hidden `tcpburst worker` subcommand: reads point frames
+/// from stdin, runs each under [`run_point`], and writes reply frames to
+/// stdout until EOF. Returns the process exit code (0 for a clean
+/// shutdown, 1 on a protocol or pipe error).
+///
+/// `base` is the scenario configuration rebuilt from the parent's CLI
+/// argument tail; each point frame overrides only its protocol, client
+/// count and seed.
+pub fn worker_main(base: &ScenarioConfig) -> i32 {
+    let stdin = io::stdin();
+    let stdout = io::stdout();
+    let mut input = stdin.lock();
+    let mut output = stdout.lock();
+    let crash_at: Option<usize> = std::env::var(CRASH_AT_ENV)
+        .ok()
+        .and_then(|v| v.parse().ok());
+    if write_frame(&mut output, format!("ready {ENGINE_SCHEMA_VERSION}").as_bytes()).is_err() {
+        return 1;
+    }
+    loop {
+        let frame = match read_frame(&mut input) {
+            Ok(Some(frame)) => frame,
+            Ok(None) => return 0,
+            Err(_) => return 1,
+        };
+        let Ok(text) = String::from_utf8(frame) else {
+            return 1;
+        };
+        let Some(reply) = handle_point(base, &text, crash_at) else {
+            return 1;
+        };
+        if write_frame(&mut output, reply.as_bytes()).is_err() {
+            return 1;
+        }
+    }
+}
+
+fn handle_point(base: &ScenarioConfig, text: &str, crash_at: Option<usize>) -> Option<String> {
+    let rest = text.strip_prefix("point ")?;
+    let mut tokens = rest.split_whitespace();
+    let index: usize = tokens.next()?.parse().ok()?;
+    if crash_at == Some(index) {
+        // The crash-isolation hook: die like a segfault would, with no
+        // unwinding and no reply frame.
+        std::process::abort();
+    }
+    let protocol: Protocol = tokens.next()?.parse().ok()?;
+    let clients: usize = tokens.next()?.parse().ok()?;
+    let seed: u64 = tokens.next()?.parse().ok()?;
+    let budget = RunBudget {
+        max_sim_time: parse_budget_field(tokens.next()?)?.map(SimDuration::from_nanos),
+        max_events: parse_budget_field(tokens.next()?)?,
+        max_wall: parse_budget_field(tokens.next()?)?.map(Duration::from_nanos),
+    };
+    if tokens.next().is_some() {
+        return None;
+    }
+    let mut cfg = *base;
+    cfg.num_clients = clients;
+    cfg.apply_protocol(protocol);
+    cfg.seed = seed;
+    Some(match run_point(&cfg, &budget) {
+        Ok(report) => match codec::encode(&report) {
+            Some(payload) => format!("done {index}\n{payload}"),
+            None => format!(
+                "fail {index} unencodable\nreport carries trace payloads \
+                 the worker protocol cannot ship"
+            ),
+        },
+        Err(error) => format!("fail {index} {}\n{error}", error.kind()),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// The parent (pool) side
+// ---------------------------------------------------------------------------
+
+/// How to launch one worker process: a program plus its full argument
+/// vector. The sweep CLI uses its own binary with
+/// `["worker", <the parent's scenario flags...>]`; the bench example
+/// self-spawns with a private flag its `main` recognises.
+#[derive(Debug, Clone)]
+pub struct WorkerCommand {
+    /// The executable to spawn.
+    pub program: PathBuf,
+    /// Its complete argument vector.
+    pub args: Vec<String>,
+}
+
+impl WorkerCommand {
+    /// A command that re-executes the current binary with `args`.
+    pub fn current_exe(args: Vec<String>) -> io::Result<WorkerCommand> {
+        Ok(WorkerCommand {
+            program: std::env::current_exe()?,
+            args,
+        })
+    }
+}
+
+/// One grid point's coordinates, as shipped to a worker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PointSpec {
+    /// Protocol of the point.
+    pub protocol: Protocol,
+    /// Client count of the point.
+    pub clients: usize,
+    /// Seed of the point.
+    pub seed: u64,
+}
+
+/// What a worker sent back for one point.
+enum Reply {
+    Done(ScenarioReport),
+    Fail { kind: String, message: String },
+}
+
+/// One live child process with its pipes.
+struct WorkerProc {
+    child: Child,
+    stdin: ChildStdin,
+    stdout: BufReader<ChildStdout>,
+}
+
+impl WorkerProc {
+    fn spawn(command: &WorkerCommand) -> io::Result<WorkerProc> {
+        let mut child = Command::new(&command.program)
+            .args(&command.args)
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .spawn()?;
+        let stdin = child
+            .stdin
+            .take()
+            .ok_or_else(|| io::Error::other("worker stdin not piped"))?;
+        let stdout = child
+            .stdout
+            .take()
+            .ok_or_else(|| io::Error::other("worker stdout not piped"))?;
+        let mut this = WorkerProc {
+            child,
+            stdin,
+            stdout: BufReader::new(stdout),
+        };
+        this.handshake()?;
+        Ok(this)
+    }
+
+    fn handshake(&mut self) -> io::Result<()> {
+        let frame = read_frame(&mut self.stdout)?.ok_or_else(|| {
+            io::Error::new(io::ErrorKind::UnexpectedEof, "worker exited before handshake")
+        })?;
+        let text = String::from_utf8(frame)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 handshake"))?;
+        let schema = text
+            .strip_prefix("ready ")
+            .and_then(|v| v.parse::<u32>().ok())
+            .ok_or_else(|| {
+                io::Error::new(io::ErrorKind::InvalidData, "malformed worker handshake")
+            })?;
+        if schema != ENGINE_SCHEMA_VERSION {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "worker speaks engine schema {schema}, parent expects \
+                     {ENGINE_SCHEMA_VERSION} (mixed builds?)"
+                ),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Ships one point and blocks for its reply.
+    fn run_point(&mut self, index: usize, point: &PointSpec, budget: &RunBudget) -> io::Result<Reply> {
+        write_frame(&mut self.stdin, point_frame(index, point, budget).as_bytes())?;
+        let frame = read_frame(&mut self.stdout)?.ok_or_else(|| {
+            io::Error::new(io::ErrorKind::UnexpectedEof, "worker exited mid-point")
+        })?;
+        let text = String::from_utf8(frame)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 reply"))?;
+        let bad = || io::Error::new(io::ErrorKind::InvalidData, "malformed worker reply");
+        let (head, body) = text.split_once('\n').ok_or_else(bad)?;
+        let mut tokens = head.split_whitespace();
+        let tag = tokens.next().ok_or_else(bad)?;
+        let echoed: usize = tokens
+            .next()
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(bad)?;
+        if echoed != index {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("worker replied for point {echoed}, expected {index}"),
+            ));
+        }
+        match tag {
+            "done" => {
+                let report = codec::decode(body).ok_or_else(|| {
+                    io::Error::new(io::ErrorKind::InvalidData, "undecodable worker report")
+                })?;
+                Ok(Reply::Done(report))
+            }
+            "fail" => Ok(Reply::Fail {
+                kind: tokens.next().ok_or_else(bad)?.to_string(),
+                message: body.to_string(),
+            }),
+            _ => Err(bad()),
+        }
+    }
+}
+
+impl Drop for WorkerProc {
+    fn drop(&mut self) {
+        // Kill unconditionally, then reap: a healthy worker would exit on
+        // the stdin EOF anyway, and a wedged one must not hang the sweep.
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// A pool of worker processes executing grid points with work-stealing,
+/// per-worker crash isolation and the supervisor's budget-doubling retry
+/// policy (retries are driven from the parent: the point is re-sent with
+/// a doubled budget).
+#[derive(Debug, Clone)]
+pub struct WorkerPool {
+    /// How to launch each worker.
+    pub command: WorkerCommand,
+    /// Worker-process count (0 = all cores).
+    pub workers: usize,
+    /// Keep-going (default) or fail-fast.
+    pub policy: FailurePolicy,
+    /// Watchdog budget per point.
+    pub budget: RunBudget,
+    /// Budget-failure retries per point (doubling each time).
+    pub retries: u32,
+}
+
+impl WorkerPool {
+    /// A pool with default supervision knobs.
+    pub fn new(command: WorkerCommand, workers: usize) -> WorkerPool {
+        WorkerPool {
+            command,
+            workers,
+            policy: FailurePolicy::KeepGoing,
+            budget: RunBudget::UNLIMITED,
+            retries: 1,
+        }
+    }
+
+    /// Runs every point across the pool; outcomes come back in point
+    /// order. `on_done` runs on the driver thread the moment its point
+    /// completes (this is where the supervisor appends the journal line
+    /// and writes the result store) — an `Err` from it demotes the point
+    /// to [`PointOutcome::Failed`].
+    pub fn run_points<F>(
+        &self,
+        points: &[PointSpec],
+        on_done: F,
+    ) -> Vec<PointOutcome<ScenarioReport>>
+    where
+        F: Fn(usize, &ScenarioReport) -> Result<(), RunError> + Sync,
+    {
+        let workers = effective_jobs(self.workers, points.len());
+        let abort = AtomicBool::new(false);
+        let fail = |error: RunError| {
+            if self.policy == FailurePolicy::FailFast {
+                abort.store(true, Ordering::SeqCst);
+            }
+            PointOutcome::Failed(error)
+        };
+        let mut partial = run_indexed_partial_with(
+            workers,
+            points.len(),
+            || None::<WorkerProc>,
+            |proc, index| {
+                if abort.load(Ordering::SeqCst) {
+                    return PointOutcome::Skipped;
+                }
+                let point = &points[index];
+                let mut budget = self.budget;
+                let mut attempt = 0u32;
+                loop {
+                    if proc.is_none() {
+                        match WorkerProc::spawn(&self.command) {
+                            Ok(w) => *proc = Some(w),
+                            Err(e) => {
+                                return fail(RunError::Io {
+                                    path: self.command.program.clone(),
+                                    message: format!("spawning worker: {e}"),
+                                })
+                            }
+                        }
+                    }
+                    let worker = proc.as_mut().expect("worker was just spawned");
+                    match worker.run_point(index, point, &budget) {
+                        Ok(Reply::Done(report)) => {
+                            return match on_done(index, &report) {
+                                Ok(()) => PointOutcome::Done(report),
+                                Err(e) => fail(e),
+                            }
+                        }
+                        Ok(Reply::Fail { kind, message }) => {
+                            if kind == "budget-exceeded" && attempt < self.retries {
+                                attempt += 1;
+                                budget = budget.doubled();
+                                continue;
+                            }
+                            return fail(RunError::Remote { kind, message });
+                        }
+                        Err(e) => {
+                            // The pipe broke: the child crashed (or wedged
+                            // and wrote garbage). This point is lost; the
+                            // next point this driver claims gets a fresh
+                            // worker.
+                            *proc = None;
+                            return fail(RunError::Remote {
+                                kind: "worker-died".to_string(),
+                                message: format!(
+                                    "worker process died running this point: {e}"
+                                ),
+                            });
+                        }
+                    }
+                }
+            },
+        );
+        partial
+            .results
+            .iter_mut()
+            .map(|slot| match slot.take() {
+                Some(outcome) => outcome,
+                None => PointOutcome::Failed(RunError::Panicked {
+                    message: "pool driver died before reporting".to_string(),
+                }),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello frame").expect("write");
+        write_frame(&mut buf, b"").expect("write empty");
+        let mut cursor = io::Cursor::new(buf);
+        assert_eq!(
+            read_frame(&mut cursor).expect("read").as_deref(),
+            Some(&b"hello frame"[..])
+        );
+        assert_eq!(read_frame(&mut cursor).expect("read").as_deref(), Some(&b""[..]));
+        assert_eq!(read_frame(&mut cursor).expect("eof").as_deref(), None);
+    }
+
+    #[test]
+    fn truncated_frames_error_cleanly() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"payload").expect("write");
+        // Cut inside the payload and inside the length prefix.
+        for cut in [2usize, 6] {
+            let mut cursor = io::Cursor::new(buf[..cut].to_vec());
+            assert!(read_frame(&mut cursor).is_err(), "cut={cut}");
+        }
+        // An absurd length prefix is rejected, not allocated.
+        let mut huge = (u32::MAX).to_le_bytes().to_vec();
+        huge.extend_from_slice(b"x");
+        assert!(read_frame(&mut io::Cursor::new(huge)).is_err());
+    }
+
+    #[test]
+    fn point_frames_parse_back() {
+        let base = crate::ScenarioBuilder::paper().finish();
+        let spec = PointSpec {
+            protocol: Protocol::VegasRed,
+            clients: 25,
+            seed: 0x1CDC_2000,
+        };
+        let budget = RunBudget {
+            max_sim_time: Some(SimDuration::from_secs(3)),
+            max_events: None,
+            max_wall: Some(Duration::from_millis(250)),
+        };
+        let frame = point_frame(7, &spec, &budget);
+        // handle_point runs the (tiny) scenario and replies `done 7`.
+        let mut cfg = base;
+        cfg.duration = SimDuration::from_millis(200);
+        let reply = handle_point(&cfg, &frame, None).expect("parses");
+        assert!(reply.starts_with("done 7\n") || reply.starts_with("fail 7 "));
+
+        assert!(handle_point(&cfg, "point", None).is_none());
+        assert!(handle_point(&cfg, "point 1 nosuch 5 0 - - -", None).is_none());
+        assert!(handle_point(&cfg, &format!("{frame} extra"), None).is_none());
+    }
+
+    #[test]
+    fn unlimited_budget_serializes_as_dashes() {
+        let spec = PointSpec {
+            protocol: Protocol::Udp,
+            clients: 5,
+            seed: 1,
+        };
+        let frame = point_frame(0, &spec, &RunBudget::UNLIMITED);
+        assert!(frame.ends_with("- - -"), "{frame}");
+    }
+}

@@ -49,7 +49,11 @@ proptest! {
             .run_with_journal(&path)
             .expect("temp journal is writable");
         prop_assert!(fresh.all_complete());
+        prop_assert!(fresh.journal_error.is_none());
         let fresh_tables = figure_tables(&fresh);
+        // A completed sweep finalizes its journal into canonical grid
+        // order, so the file on disk is a deterministic artifact.
+        let fresh_journal = fs::read(&path).expect("finalized journal exists");
 
         // Simulate a crash part-way through: keep the header plus the first
         // `keep` completed points. The journal is in completion order, so
@@ -73,6 +77,16 @@ proptest! {
         prop_assert_eq!(resumed.completed_points, 6 - keep);
         prop_assert!(resumed.all_complete());
         prop_assert_eq!(figure_tables(&resumed), fresh_tables);
+        // The resumed sweep's finalized journal is byte-identical to the
+        // uninterrupted run's, regardless of where the crash cut it or
+        // how many threads replayed the remainder.
+        prop_assert!(resumed.journal_error.is_none());
+        prop_assert_eq!(
+            fs::read(&path).expect("refinalized journal exists"),
+            fresh_journal.clone(),
+            "kill-at-{} + resume must merge to the uninterrupted journal",
+            keep
+        );
 
         // After the resume the journal holds the full grid again: resuming
         // a second time re-runs nothing.

@@ -1,0 +1,95 @@
+//! End-to-end tests of multi-process sweep execution through the real
+//! `tcpburst` binary: worker-process output is byte-identical to the
+//! in-process path, and a crashing worker loses one grid point, not the
+//! sweep.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static CASE: AtomicU64 = AtomicU64::new(0);
+
+fn temp_dir() -> PathBuf {
+    let n = CASE.fetch_add(1, Ordering::SeqCst);
+    let dir = std::env::temp_dir().join(format!("tcpburst-workers-{}-{n}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir is creatable");
+    dir
+}
+
+/// Runs the release `tcpburst` binary with a throwaway cache root so the
+/// test never reads or pollutes the developer's real cache.
+fn tcpburst(cache_root: &PathBuf, args: &[&str], envs: &[(&str, &str)]) -> Output {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_tcpburst"));
+    cmd.args(args).env("TCPBURST_CACHE", cache_root);
+    for (k, v) in envs {
+        cmd.env(k, v);
+    }
+    cmd.output().expect("tcpburst binary runs")
+}
+
+const SWEEP: &[&str] = &[
+    "sweep",
+    "--protocols",
+    "udp,reno",
+    "--clients",
+    "4,7",
+    "--secs",
+    "2",
+    "--no-cache",
+];
+
+#[test]
+fn worker_processes_match_in_process_output_byte_for_byte() {
+    let dir = temp_dir();
+
+    let serial = tcpburst(&dir, SWEEP, &[]);
+    assert!(serial.status.success(), "in-process sweep fails: {serial:?}");
+
+    let mut forked = SWEEP.to_vec();
+    forked.extend_from_slice(&["--workers", "2"]);
+    let workers = tcpburst(&dir, &forked, &[]);
+    assert!(workers.status.success(), "worker sweep fails: {workers:?}");
+
+    assert_eq!(
+        String::from_utf8_lossy(&serial.stdout),
+        String::from_utf8_lossy(&workers.stdout),
+        "--workers 2 must reproduce --workers 1 byte-for-byte"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn a_crashing_worker_loses_one_point_not_the_sweep() {
+    let dir = temp_dir();
+
+    // Index 2 of the 4-point grid aborts inside the worker process. The
+    // supervisor must respawn a worker, finish the other three points,
+    // and report exactly one failed cell.
+    let mut forked = SWEEP.to_vec();
+    forked.extend_from_slice(&["--workers", "2"]);
+    let crash = tcpburst(&dir, &forked, &[("TCPBURST_WORKER_CRASH_AT", "2")]);
+    assert!(
+        !crash.status.success(),
+        "a lost grid point must fail the sweep run"
+    );
+    let stderr = String::from_utf8_lossy(&crash.stderr);
+    assert_eq!(
+        stderr.matches("FAILED").count(),
+        1,
+        "exactly one cell fails: {stderr}"
+    );
+    assert!(
+        stderr.contains("worker"),
+        "the failure names the worker process: {stderr}"
+    );
+    // The surviving cells still render: the sweep completed around the
+    // crash rather than aborting wholesale.
+    let stdout = String::from_utf8_lossy(&crash.stdout);
+    assert!(
+        stdout.contains("Figure 2"),
+        "surviving cells still produce the figure tables: {stdout}"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

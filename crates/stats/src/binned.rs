@@ -127,6 +127,18 @@ impl BinnedCounter {
 }
 
 impl BinCounts {
+    /// Reassembles a finished series from its raw parts — the inverse of
+    /// [`BinCounts::counts`] + [`BinCounts::bin_width`], used when a series
+    /// is reloaded from a persisted result-store entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bin` is zero.
+    pub fn from_raw(counts: Vec<u64>, bin: SimDuration) -> BinCounts {
+        assert!(!bin.is_zero(), "bin width must be positive");
+        BinCounts { counts, bin }
+    }
+
     /// The per-bin event counts.
     pub fn counts(&self) -> &[u64] {
         &self.counts

@@ -348,7 +348,14 @@ fn main() {
     );
     println!("  events/s speedup: {speedup:.2}x");
 
-    let mut json = String::from("{\n  \"scenario\": {\n");
+    let mut json = String::from("{\n");
+    // The host-speed context every other number in this file depends on.
+    let _ = writeln!(
+        json,
+        "  \"host_cores\": {},",
+        tcpburst_core::available_jobs()
+    );
+    json.push_str("  \"scenario\": {\n");
     let _ = writeln!(
         json,
         "    \"clients\": {clients}, \"protocol\": \"Reno\", \"sim_secs\": {secs}, \

@@ -35,6 +35,11 @@ echo "impaired run reported impairment counters; faults example ran"
 TMP="$(mktemp -d)"
 trap 'rm -rf "$TMP"' EXIT
 
+# Hermetic cache: every sweep below reads and writes a throwaway store, so
+# the gate neither depends on nor pollutes the developer's real cache.
+TCPBURST_CACHE="$TMP/cache"
+export TCPBURST_CACHE
+
 echo "==> invariant auditor: CLI smoke (--audit must report audit PASS)"
 # Capture to a file: grep -q on a pipe would close it early and panic the
 # writer with a broken pipe.
@@ -55,6 +60,28 @@ head -n 4 "$TMP/sweep.jsonl" > "$TMP/trunc.jsonl"
 diff "$TMP/fresh.txt" "$TMP/resumed.txt"
 grep -q "resumed 3 point(s)" "$TMP/resumed.err"
 echo "resumed sweep output is byte-identical to the fresh run"
+
+echo "==> result cache: a repeated sweep must be 100% hits and byte-identical"
+# Its own store (--cache, also exercising the flag): the sweeps above
+# already warmed $TCPBURST_CACHE, and this smoke needs a genuine cold run.
+./target/release/tcpburst sweep --clients 5,15 --secs 3 --jobs 2 \
+    --cache "$TMP/roundtrip" > "$TMP/cold.txt" 2> "$TMP/cold.err"
+grep -q "cache: 0 hit(s)" "$TMP/cold.err"
+./target/release/tcpburst sweep --clients 5,15 --secs 3 --jobs 2 \
+    --cache "$TMP/roundtrip" > "$TMP/warm.txt" 2> "$TMP/warm.err"
+diff "$TMP/cold.txt" "$TMP/warm.txt"
+grep -q "(100% cache hits)" "$TMP/warm.err"
+echo "warm re-sweep served every point from the cache, same bytes"
+
+echo "==> worker processes: --workers 2 must equal --workers 1 bit-for-bit"
+# --no-cache so the second run actually exercises the fork/IPC/merge path
+# instead of replaying the store.
+./target/release/tcpburst sweep --clients 5,15 --secs 3 --no-cache \
+    > "$TMP/inproc.txt"
+./target/release/tcpburst sweep --clients 5,15 --secs 3 --no-cache \
+    --workers 2 > "$TMP/forked.txt"
+diff "$TMP/inproc.txt" "$TMP/forked.txt"
+echo "worker-process sweep output is byte-identical to the in-process run"
 
 echo "==> golden traces: figure tables are backend- and variant-stable"
 # Reno + Vegas, 20-client smoke, on both event-queue backends and at two
@@ -161,6 +188,38 @@ EOF
 
     echo "==> throughput: parallel sweep benchmark (writes BENCH_sweep.json)"
     cargo run --release --offline --example bench_sweep
+    # The bench must have produced the full three-series schema with a
+    # real warm-cache win; the example itself already asserted that every
+    # variant's figure tables matched the serial run byte-for-byte.
+    if command -v python3 >/dev/null 2>&1; then
+        python3 - <<'EOF'
+import json
+with open("BENCH_sweep.json") as f:
+    data = json.load(f)
+assert data["host_cores"] >= 1, "host_cores missing or zero"
+threads = data["threads"]
+assert threads, "threads series is empty"
+assert any(t["threads"] == 1 for t in threads), "no serial baseline row"
+for t in threads:
+    assert t["events_per_sec"] > 0, f"threads={t['threads']}: zero events/s"
+workers = data["workers"]
+assert workers, "workers series is empty"
+for w in workers:
+    assert w["workers"] >= 2, "workers series must fork real processes"
+    assert w["events_per_sec"] > 0, f"workers={w['workers']}: zero events/s"
+cache = data["cache"]
+assert cache["warm_hits"] == cache["points"], "warm sweep was not 100% hits"
+assert cache["speedup"] >= 20, f"warm cache only {cache['speedup']}x faster"
+print("BENCH_sweep.json: valid JSON; threads, workers, cache series OK"
+      f" (warm cache {cache['speedup']}x)")
+EOF
+    else
+        grep -q '"host_cores": [1-9]' BENCH_sweep.json
+        grep -q '"workers": 2' BENCH_sweep.json
+        grep -q '"warm_hits": ' BENCH_sweep.json
+        echo "BENCH_sweep.json: host_cores, workers, cache present" \
+             "(python3 unavailable, grep check)"
+    fi
 
     echo "==> zero overhead: disabled impairments within 10% of host-adjusted BENCH_des.json"
     cargo run --release --offline --example bench_des -- --regress
