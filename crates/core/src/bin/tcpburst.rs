@@ -40,7 +40,8 @@ SCENARIO FLAGS (one builder stage each):
 ORCHESTRATION:
     --clients a,b,c        sweep/replicate client-count axis
     --protocols a,b,c      sweep/replicate protocol set (default: the
-                           paper's six; accepts any PROTOCOLS name)
+                           paper's six, or the --variant's own column when
+                           one is named; accepts any PROTOCOLS name)
     --seeds R              replications per grid point (from --seed up)
     --jobs N               worker threads; 0 = all cores
     --workers N            sweep only: shard fresh grid points across N
@@ -79,11 +80,13 @@ ROBUSTNESS (supervision and watchdog budgets):
 
 PROTOCOLS:
     udp, reno, reno-red, vegas, vegas-red, reno-delayack, tahoe, newreno,
-    sack, gaimd
+    sack, gaimd, cubic, hstcp, bbr
 
     --variant swaps only the TCP congestion-control policy, keeping the
     gateway and ACK behaviour from --protocol; gaimd:<alpha>,<beta> sets
     the Ott-Swanson exponents (gaimd alone means alpha=0, beta=1 = Reno).
+    The full policy vocabulary is listed under `variants` above; bbr is
+    the only policy that paces its transmissions.
 
 DEFAULTS:
     39 clients, reno, 30 s, seed 0x1CDC2000; sweeps use the paper's
@@ -144,6 +147,8 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
     let mut protocol = Protocol::Reno;
     let mut client_list = vec![5, 15, 25, 35, 39, 45, 60];
     let mut protocol_set: Vec<Protocol> = Protocol::PAPER_SET.to_vec();
+    let mut protocols_explicit = false;
+    let mut variant_protocol: Option<Protocol> = None;
     let mut seeds = 5usize;
     let mut jobs = 0usize;
     let mut workers = 1usize;
@@ -171,6 +176,7 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
                 if protocol_set.is_empty() {
                     return Err("--protocols requires at least one name".into());
                 }
+                protocols_explicit = true;
             }
             "--jobs" => {
                 let v = argv.next().ok_or("--jobs requires a value")?;
@@ -257,10 +263,18 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
                     let name = v.split(':').next().unwrap_or(v);
                     if let Ok(p) = name.parse::<Protocol>() {
                         protocol = p;
+                        variant_protocol = Some(p);
                     }
                 }
                 builder.apply_cli_flag(&flag, value.as_deref())?;
             }
+        }
+    }
+    // `sweep --variant cubic` with no explicit --protocols means "sweep
+    // that one policy", not "sweep the paper set and ignore the flag".
+    if !protocols_explicit {
+        if let Some(p) = variant_protocol {
+            protocol_set = vec![p];
         }
     }
     if journal.is_some() && resume.is_some() {

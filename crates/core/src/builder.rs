@@ -30,7 +30,9 @@
 use tcpburst_des::{QueueBackend, SimDuration};
 use tcpburst_net::{CapacityVariation, CrossTraffic, DelayVariation, Impairments, LinkFlap};
 use tcpburst_traffic::ParetoOnOffConfig;
-use tcpburst_transport::{GaimdParams, TcpVariant, VegasParams};
+use tcpburst_transport::{
+    variant_by_name, variant_spellings, GaimdParams, TcpVariant, VegasParams, VARIANT_REGISTRY,
+};
 
 use crate::config::{
     ConfigError, GatewayKind, Protocol, ScenarioConfig, SourceKind, TransportKind,
@@ -180,7 +182,7 @@ impl ScenarioBuilder {
         CliFlag { name: "--rate", metavar: Some("PPS"), help: "per-client offered load (packets/s)", stage: BuilderStage::Workload },
         CliFlag { name: "--source", metavar: Some("KIND"), help: "workload: poisson, cbr or pareto", stage: BuilderStage::Workload },
         CliFlag { name: "--protocol", metavar: Some("P"), help: "protocol configuration (see PROTOCOLS)", stage: BuilderStage::Transport },
-        CliFlag { name: "--variant", metavar: Some("V"), help: "TCP policy only: tahoe|reno|newreno|vegas|sack|gaimd:a,b", stage: BuilderStage::Transport },
+        CliFlag { name: "--variant", metavar: Some("V"), help: "TCP policy only (see the variants list below)", stage: BuilderStage::Transport },
         CliFlag { name: "--window", metavar: Some("PKTS"), help: "TCP max advertised window", stage: BuilderStage::Transport },
         CliFlag { name: "--ecn", metavar: None, help: "negotiate ECN; RED gateways mark, not drop", stage: BuilderStage::Transport },
         CliFlag { name: "--impair", metavar: Some("SPEC"), help: "fault schedule, e.g. flap:3s/10s,corrupt:1e-5", stage: BuilderStage::Impairments },
@@ -255,6 +257,17 @@ impl ScenarioBuilder {
                 out.push_str(&format!("    {left:<22} {}\n", f.help));
             }
         }
+        // The --variant vocabulary comes straight from the policy
+        // registry, so a new congestion-control policy shows up here (and
+        // in parse errors) without touching the CLI.
+        out.push_str("  variants (--variant):\n");
+        for info in &VARIANT_REGISTRY {
+            let left = match info.value_syntax {
+                Some(syntax) => format!("{}{syntax}", info.name),
+                None => info.name.to_string(),
+            };
+            out.push_str(&format!("    {left:<22} {}\n", info.summary));
+        }
         out
     }
 }
@@ -291,20 +304,16 @@ fn parse_variant(v: &str) -> Result<(TcpVariant, Option<GaimdParams>), ConfigErr
         }
         return Ok((TcpVariant::Gaimd, Some(GaimdParams { alpha, beta })));
     }
-    let variant = match v {
-        "tahoe" => TcpVariant::Tahoe,
-        "reno" => TcpVariant::Reno,
-        "newreno" => TcpVariant::NewReno,
-        "vegas" => TcpVariant::Vegas,
-        "sack" => TcpVariant::Sack,
-        "gaimd" => TcpVariant::Gaimd, // defaults: (0, 1), i.e. Reno
-        other => {
-            return Err(invalid(format!(
-                "unknown variant `{other}` (expected tahoe|reno|newreno|vegas|sack|gaimd:a,b)"
-            )))
-        }
-    };
-    Ok((variant, None))
+    // A bare registry name (for `gaimd` that means the default (0, 1)
+    // exponents, i.e. Reno); the suggestion list in the error is generated
+    // from the same registry.
+    match variant_by_name(v) {
+        Some(variant) => Ok((variant, None)),
+        None => Err(invalid(format!(
+            "unknown variant `{v}` (expected {})",
+            variant_spellings()
+        ))),
+    }
 }
 
 /// Topology stage: how many clients, link geometry, the gateway queue.
@@ -779,9 +788,23 @@ mod tests {
         let cfg = b.clone().finish();
         assert_eq!(cfg.transport, TransportKind::Tcp(TcpVariant::Gaimd));
         assert_eq!(cfg.gaimd, GaimdParams::default());
-        for bad in ["cubic", "gaimd:0.5", "gaimd:1.5,1", "gaimd:0,0", "gaimd:x,y"] {
+        for modern in [
+            ("cubic", TcpVariant::Cubic),
+            ("hstcp", TcpVariant::Hstcp),
+            ("bbr", TcpVariant::Bbr),
+        ] {
+            assert!(b.apply_cli_flag("--variant", Some(modern.0)).unwrap());
+            assert_eq!(b.clone().finish().transport, TransportKind::Tcp(modern.1));
+        }
+        for bad in ["mosh", "gaimd:0.5", "gaimd:1.5,1", "gaimd:0,0", "gaimd:x,y"] {
             let err = b.apply_cli_flag("--variant", Some(bad)).unwrap_err();
             assert!(err.to_string().contains("--variant"), "{bad}: {err}");
+        }
+        // The parse error's suggestion list is registry-generated.
+        let err = b.apply_cli_flag("--variant", Some("mosh")).unwrap_err();
+        let msg = err.to_string();
+        for name in ["tahoe", "cubic", "hstcp", "bbr", "gaimd:<alpha>,<beta>"] {
+            assert!(msg.contains(name), "suggestions miss {name}: {msg}");
         }
     }
 

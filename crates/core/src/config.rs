@@ -198,6 +198,15 @@ pub enum Protocol {
     /// beyond the paper; the `(alpha, beta)` exponents live in
     /// [`ScenarioConfig::gaimd`]).
     Gaimd,
+    /// TCP Cubic (RFC 8312) through a FIFO gateway (modern-stack
+    /// extension beyond the paper).
+    Cubic,
+    /// HighSpeed TCP (RFC 3649, Westwood loss response) through a FIFO
+    /// gateway (modern-stack extension beyond the paper).
+    Hstcp,
+    /// BBR-lite (paced, model-based) through a FIFO gateway
+    /// (modern-stack extension beyond the paper).
+    Bbr,
 }
 
 impl Protocol {
@@ -233,6 +242,9 @@ impl Protocol {
             Protocol::NewReno => "NewReno",
             Protocol::Sack => "SACK",
             Protocol::Gaimd => "GAIMD",
+            Protocol::Cubic => "Cubic",
+            Protocol::Hstcp => "HSTCP",
+            Protocol::Bbr => "BBR",
         }
     }
 
@@ -252,6 +264,9 @@ impl Protocol {
             Protocol::NewReno => "newreno",
             Protocol::Sack => "sack",
             Protocol::Gaimd => "gaimd",
+            Protocol::Cubic => "cubic",
+            Protocol::Hstcp => "hstcp",
+            Protocol::Bbr => "bbr",
         }
     }
 
@@ -267,6 +282,9 @@ impl Protocol {
             Protocol::NewReno => TransportKind::Tcp(TcpVariant::NewReno),
             Protocol::Sack => TransportKind::Tcp(TcpVariant::Sack),
             Protocol::Gaimd => TransportKind::Tcp(TcpVariant::Gaimd),
+            Protocol::Cubic => TransportKind::Tcp(TcpVariant::Cubic),
+            Protocol::Hstcp => TransportKind::Tcp(TcpVariant::Hstcp),
+            Protocol::Bbr => TransportKind::Tcp(TcpVariant::Bbr),
         }
     }
 
@@ -288,7 +306,8 @@ impl FromStr for Protocol {
     type Err = ConfigError;
 
     /// Parses the CLI spelling: `udp`, `reno`, `reno-red`, `vegas`,
-    /// `vegas-red`, `reno-delayack`, `tahoe`, `newreno`, `sack`, `gaimd`.
+    /// `vegas-red`, `reno-delayack`, `tahoe`, `newreno`, `sack`, `gaimd`,
+    /// `cubic`, `hstcp`, `bbr`.
     fn from_str(name: &str) -> Result<Self, Self::Err> {
         Ok(match name {
             "udp" => Protocol::Udp,
@@ -301,6 +320,9 @@ impl FromStr for Protocol {
             "newreno" => Protocol::NewReno,
             "sack" => Protocol::Sack,
             "gaimd" => Protocol::Gaimd,
+            "cubic" => Protocol::Cubic,
+            "hstcp" => Protocol::Hstcp,
+            "bbr" => Protocol::Bbr,
             other => return Err(ConfigError::UnknownProtocol(other.to_string())),
         })
     }
@@ -392,21 +414,6 @@ impl ScenarioConfig {
     /// Maximum number of entries an event log keeps (further events are
     /// counted but not stored).
     pub const EVENT_LOG_CAP: usize = 200_000;
-
-    /// The paper's setup for `num_clients` clients running `protocol`.
-    ///
-    /// Superseded by the staged [`ScenarioBuilder`](crate::ScenarioBuilder):
-    /// `ScenarioBuilder::paper().clients(n).protocol(p)...finish()`.
-    #[deprecated(
-        since = "0.4.0",
-        note = "use ScenarioBuilder::paper() and walk its stages instead"
-    )]
-    pub fn paper(num_clients: usize, protocol: Protocol) -> Self {
-        let mut cfg = Self::paper_default();
-        cfg.num_clients = num_clients;
-        cfg.apply_protocol(protocol);
-        cfg
-    }
 
     /// The paper's full Table 1 baseline: 39 Reno clients, FIFO gateway,
     /// Poisson workload, 200 simulated seconds. The builder's starting
@@ -563,9 +570,11 @@ mod tests {
         assert_eq!("reno".parse::<Protocol>(), Ok(Protocol::Reno));
         assert_eq!("vegas-red".parse::<Protocol>(), Ok(Protocol::VegasRed));
         assert_eq!("reno-delayack".parse::<Protocol>(), Ok(Protocol::RenoDelayAck));
+        assert_eq!("cubic".parse::<Protocol>(), Ok(Protocol::Cubic));
+        assert_eq!("bbr".parse::<Protocol>(), Ok(Protocol::Bbr));
         assert_eq!(
-            "cubic".parse::<Protocol>(),
-            Err(ConfigError::UnknownProtocol("cubic".into()))
+            "mosh".parse::<Protocol>(),
+            Err(ConfigError::UnknownProtocol("mosh".into()))
         );
     }
 
@@ -582,6 +591,9 @@ mod tests {
             Protocol::NewReno,
             Protocol::Sack,
             Protocol::Gaimd,
+            Protocol::Cubic,
+            Protocol::Hstcp,
+            Protocol::Bbr,
         ] {
             assert_eq!(p.cli_name().parse::<Protocol>(), Ok(p));
         }
@@ -595,18 +607,8 @@ mod tests {
         };
         assert!(e.to_string().contains("--clients"));
         assert!(ConfigError::MissingValue("--seed").to_string().contains("--seed"));
-        let s: String = ConfigError::UnknownProtocol("cubic".into()).into();
-        assert!(s.contains("cubic"));
-    }
-
-    #[test]
-    fn deprecated_paper_matches_builder_path() {
-        #[allow(deprecated)]
-        let old = ScenarioConfig::paper(38, Protocol::RenoRed);
-        let mut new = ScenarioConfig::paper_default();
-        new.num_clients = 38;
-        new.apply_protocol(Protocol::RenoRed);
-        assert_eq!(old, new);
+        let s: String = ConfigError::UnknownProtocol("mosh".into()).into();
+        assert!(s.contains("mosh"));
     }
 
     #[test]

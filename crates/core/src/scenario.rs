@@ -617,7 +617,7 @@ impl Scenario {
     fn on_transport_timer(&mut self, ev: TransportEvent) {
         let idx = ev.flow.0 as usize;
         match ev.kind {
-            TimerKind::Rto => {
+            TimerKind::Rto | TimerKind::Pace => {
                 if let Clients::Tcp(txs) = &mut self.clients {
                     let tx = &mut txs[idx];
                     let before = tx.counters().timeouts;

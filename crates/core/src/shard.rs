@@ -346,7 +346,11 @@ impl ClientDomain {
                 clock.charge(&mut self.profile.net_tx);
             }
             KEvent::Transport(ev) => {
-                debug_assert_eq!(ev.kind, TimerKind::Rto, "client-side timers are RTOs");
+                debug_assert!(
+                    matches!(ev.kind, TimerKind::Rto | TimerKind::Pace),
+                    "client-side timers are RTOs or paced sends, got {:?}",
+                    ev.kind
+                );
                 if let ClientEndpoint::Tcp(tx) = &mut self.ep {
                     let live =
                         tx.on_timer(ev.kind, ev.generation, &mut self.sched, &mut self.outbox);

@@ -1,0 +1,321 @@
+//! BBR-lite: model-based congestion control over a windowed
+//! max-bandwidth × min-RTT estimate, with paced sending.
+//!
+//! Where every other policy here reacts to *loss*, BBR builds an
+//! explicit model of the path — the bottleneck bandwidth (the windowed
+//! maximum of the engine's delivery-rate samples, [`AckSample::rate`])
+//! and the round-trip propagation delay (the windowed minimum RTT) — and
+//! operates at their product, the bandwidth-delay product. Transmissions
+//! are *paced* at a gain times the bandwidth estimate via
+//! [`pacing_rate`](CongestionControl::pacing_rate), which the engine
+//! turns into paced-send timer events; the congestion window is only a
+//! backstop (`cwnd_gain × BDP`).
+//!
+//! This is the "lite" state machine: **Startup** (gain 2/ln 2 ≈ 2.885,
+//! doubling the delivery rate every round until it stops growing),
+//! **Drain** (inverse gain, bleeding the queue Startup built), and
+//! **ProbeBw** (an eight-phase gain cycle `1.25, 0.75, 1, …, 1` that
+//! probes for more bandwidth and then yields). ProbeRtt is omitted: the
+//! paper's scenarios run fixed-propagation dumbbells where the windowed
+//! min-RTT never stales.
+//!
+//! Rounds are counted the way BBR's rate sampler does: a round ends when
+//! an ACK's [`RateSample::prior_delivered`] reaches the `delivered`
+//! count recorded at the previous round's end.
+
+use crate::cc::{AckSample, CongestionControl, LossContext, LossResponse};
+
+/// Startup/Drain gain `2 / ln 2`: fills the pipe in one round.
+const STARTUP_GAIN: f64 = 2.885;
+/// ProbeBw pacing-gain cycle (one phase per round).
+const PROBE_CYCLE: [f64; 8] = [1.25, 0.75, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0];
+/// cwnd backstop: this many BDPs in flight outside Startup.
+const CWND_GAIN: f64 = 2.0;
+/// Bandwidth samples survive this many rounds in the max filter.
+const BW_WINDOW_ROUNDS: u64 = 10;
+/// Startup ends after this many rounds without 25% bandwidth growth.
+const FULL_BW_ROUNDS: u32 = 3;
+/// Minimum congestion window, in packets (keeps ACK clocking alive).
+const MIN_CWND: f64 = 4.0;
+
+/// Which phase of the BBR state machine the flow is in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Startup,
+    Drain,
+    ProbeBw,
+}
+
+/// The BBR-lite policy.
+#[derive(Debug, Clone)]
+pub struct Bbr {
+    mode: Mode,
+    /// Windowed max filter over `(round, bandwidth)` samples, kept as a
+    /// monotonically decreasing deque (front is the running maximum).
+    bw_filter: Vec<(u64, f64)>,
+    /// Completed round trips.
+    round: u64,
+    /// The `delivered` count that ends the current round.
+    next_round_delivered: u64,
+    /// Best bandwidth seen when the Startup plateau check last ran.
+    full_bw: f64,
+    /// Consecutive plateau rounds observed in Startup.
+    full_bw_rounds: u32,
+    /// Index into [`PROBE_CYCLE`].
+    cycle_index: usize,
+}
+
+impl Default for Bbr {
+    fn default() -> Self {
+        Bbr::new()
+    }
+}
+
+impl Bbr {
+    /// Creates the policy in Startup with an empty path model.
+    pub fn new() -> Self {
+        Bbr {
+            mode: Mode::Startup,
+            bw_filter: Vec::new(),
+            round: 0,
+            next_round_delivered: 0,
+            full_bw: 0.0,
+            full_bw_rounds: 0,
+            cycle_index: 0,
+        }
+    }
+
+    /// The bottleneck-bandwidth estimate, in packets per second.
+    pub fn bottleneck_bw(&self) -> Option<f64> {
+        self.bw_filter.first().map(|&(_, bw)| bw)
+    }
+
+    /// The current pacing gain.
+    fn pacing_gain(&self) -> f64 {
+        match self.mode {
+            Mode::Startup => STARTUP_GAIN,
+            Mode::Drain => 1.0 / STARTUP_GAIN,
+            Mode::ProbeBw => PROBE_CYCLE[self.cycle_index],
+        }
+    }
+
+    /// Inserts a bandwidth sample and expires entries older than the
+    /// filter window, keeping the deque max-monotone.
+    fn update_bw(&mut self, bw: f64) {
+        while let Some(&(r, _)) = self.bw_filter.first() {
+            if r + BW_WINDOW_ROUNDS < self.round {
+                self.bw_filter.remove(0);
+            } else {
+                break;
+            }
+        }
+        while let Some(&(_, tail)) = self.bw_filter.last() {
+            if tail <= bw {
+                self.bw_filter.pop();
+            } else {
+                break;
+            }
+        }
+        self.bw_filter.push((self.round, bw));
+    }
+
+    /// The bandwidth-delay product in packets, if the model has both
+    /// halves.
+    fn bdp_packets(&self, min_rtt: Option<tcpburst_des::SimDuration>) -> Option<f64> {
+        let bw = self.bottleneck_bw()?;
+        let rtt = min_rtt?.as_secs_f64();
+        Some(bw * rtt)
+    }
+
+    /// Per-round state transitions: the Startup plateau check and the
+    /// ProbeBw gain cycle.
+    fn on_round_end(&mut self, flight: f64, min_rtt: Option<tcpburst_des::SimDuration>) {
+        match self.mode {
+            Mode::Startup => {
+                let bw = self.bottleneck_bw().unwrap_or(0.0);
+                if bw > self.full_bw * 1.25 {
+                    self.full_bw = bw;
+                    self.full_bw_rounds = 0;
+                } else {
+                    self.full_bw_rounds += 1;
+                    if self.full_bw_rounds >= FULL_BW_ROUNDS {
+                        self.mode = Mode::Drain;
+                    }
+                }
+            }
+            Mode::Drain => {
+                if let Some(bdp) = self.bdp_packets(min_rtt) {
+                    if flight <= bdp {
+                        self.mode = Mode::ProbeBw;
+                        self.cycle_index = 2; // start in a cruise phase
+                    }
+                }
+            }
+            Mode::ProbeBw => {
+                self.cycle_index = (self.cycle_index + 1) % PROBE_CYCLE.len();
+            }
+        }
+    }
+}
+
+impl CongestionControl for Bbr {
+    fn on_ack(&mut self, sample: &AckSample) -> Option<f64> {
+        if let Some(rate) = sample.rate {
+            if rate.prior_delivered >= self.next_round_delivered {
+                self.next_round_delivered = rate.delivered;
+                self.round += 1;
+                self.on_round_end(sample.flight, sample.min_rtt);
+            }
+            // An app-limited sample can't raise the estimate but may
+            // confirm it (BBR's filter rule).
+            if !rate.is_app_limited || rate.delivery_rate >= self.bottleneck_bw().unwrap_or(0.0)
+            {
+                self.update_bw(rate.delivery_rate);
+            }
+        }
+        let Some(bdp) = self.bdp_packets(sample.min_rtt) else {
+            // No model yet: grow like slow start so the first flight
+            // leaves the ground and produces rate samples.
+            return Some((sample.cwnd + 1.0).min(sample.advertised));
+        };
+        let gain = match self.mode {
+            Mode::Startup | Mode::Drain => STARTUP_GAIN,
+            Mode::ProbeBw => CWND_GAIN,
+        };
+        Some((gain * bdp).max(MIN_CWND).min(sample.advertised))
+    }
+
+    fn on_loss_signal(&mut self, loss: &LossContext) -> LossResponse {
+        // BBR does not treat loss as a capacity signal; recovery deflates
+        // to the model's BDP (or Reno's cut while the model is empty).
+        let ssthresh = self
+            .bdp_packets(loss.min_rtt)
+            .unwrap_or(loss.flight / 2.0)
+            .max(2.0);
+        LossResponse::FastRecovery { ssthresh }
+    }
+
+    fn on_rto(&mut self, loss: &LossContext) -> f64 {
+        // A timeout means the model is stale: restart discovery.
+        self.mode = Mode::Startup;
+        self.full_bw = 0.0;
+        self.full_bw_rounds = 0;
+        self.bdp_packets(loss.min_rtt)
+            .unwrap_or(loss.flight / 2.0)
+            .max(2.0)
+    }
+
+    fn pacing_rate(&self) -> Option<f64> {
+        Some(self.pacing_gain() * self.bottleneck_bw()?)
+    }
+
+    fn holds_recovery_on_partial_ack(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cc::RateSample;
+    use tcpburst_des::{SimDuration, SimTime};
+
+    fn ack(cwnd: f64, rate: Option<RateSample>) -> AckSample {
+        AckSample {
+            now: SimTime::ZERO,
+            cwnd,
+            ssthresh: 1e9,
+            in_slow_start: true,
+            advertised: 64.0,
+            newly_acked: 1,
+            flight: cwnd,
+            rtt: Some(SimDuration::from_millis(50)),
+            srtt: Some(SimDuration::from_millis(50)),
+            min_rtt: Some(SimDuration::from_millis(50)),
+            rate,
+        }
+    }
+
+    fn rate(pps: f64, prior: u64, delivered: u64) -> RateSample {
+        RateSample {
+            delivery_rate: pps,
+            interval: SimDuration::from_millis(50),
+            delivered,
+            prior_delivered: prior,
+            is_app_limited: false,
+        }
+    }
+
+    #[test]
+    fn unpaced_and_slow_start_like_before_the_first_sample() {
+        let mut b = Bbr::new();
+        assert_eq!(b.pacing_rate(), None);
+        assert_eq!(b.on_ack(&ack(4.0, None)), Some(5.0));
+    }
+
+    #[test]
+    fn pacing_rate_is_gain_times_bottleneck_bw() {
+        let mut b = Bbr::new();
+        b.on_ack(&ack(4.0, Some(rate(100.0, 0, 5))));
+        let paced = b.pacing_rate().expect("model exists");
+        assert!((paced - STARTUP_GAIN * 100.0).abs() < 1e-9, "rate {paced}");
+    }
+
+    #[test]
+    fn max_filter_keeps_the_best_recent_sample() {
+        let mut b = Bbr::new();
+        b.update_bw(100.0);
+        b.update_bw(80.0);
+        assert_eq!(b.bottleneck_bw(), Some(100.0));
+        b.update_bw(150.0);
+        assert_eq!(b.bottleneck_bw(), Some(150.0));
+        // Expire the old maximum out of the window.
+        b.round += BW_WINDOW_ROUNDS + 1;
+        b.update_bw(90.0);
+        assert_eq!(b.bottleneck_bw(), Some(90.0));
+    }
+
+    #[test]
+    fn startup_plateaus_into_drain_then_probe_bw() {
+        let mut b = Bbr::new();
+        let mut delivered = 0u64;
+        // Rounds with flat bandwidth: Startup must exit after three.
+        for _ in 0..12 {
+            let prior = delivered;
+            delivered += 10;
+            b.on_ack(&ack(4.0, Some(rate(100.0, prior, delivered))));
+        }
+        assert_eq!(b.mode, Mode::ProbeBw, "mode {:?}", b.mode);
+        // In ProbeBw the cwnd backstop is CWND_GAIN × BDP = 2 × 5 = 10.
+        let w = b.on_ack(&ack(10.0, None)).unwrap();
+        assert!((w - 10.0).abs() < 1e-9, "cwnd {w}");
+    }
+
+    #[test]
+    fn probe_bw_cycles_through_the_gain_table() {
+        let mut b = Bbr::new();
+        b.mode = Mode::ProbeBw;
+        b.cycle_index = 0;
+        b.update_bw(100.0);
+        assert_eq!(b.pacing_rate(), Some(125.0));
+        b.on_round_end(4.0, Some(SimDuration::from_millis(50)));
+        assert_eq!(b.pacing_rate(), Some(75.0));
+    }
+
+    #[test]
+    fn loss_keeps_the_model_and_rto_restarts_discovery() {
+        let mut b = Bbr::new();
+        b.update_bw(200.0);
+        let loss = LossContext {
+            min_rtt: Some(SimDuration::from_millis(50)),
+            ..LossContext::synthetic(12.0)
+        };
+        let LossResponse::FastRecovery { ssthresh } = b.on_loss_signal(&loss) else {
+            panic!("BBR must use fast recovery");
+        };
+        assert!((ssthresh - 10.0).abs() < 1e-9, "ssthresh {ssthresh}");
+        b.mode = Mode::ProbeBw;
+        b.on_rto(&loss);
+        assert_eq!(b.mode, Mode::Startup);
+    }
+}

@@ -1,0 +1,214 @@
+//! Cubic: window growth as a cubic function of time since the last cut
+//! (RFC 8312), with the TCP-friendly region and fast convergence.
+//!
+//! After a loss at window `w_max`, the window re-grows along
+//! `W(t) = C·(t − K)³ + w_max` — concave while approaching the old
+//! plateau, briefly flat around it, then convex while probing beyond —
+//! where `K = ∛(w_max·(1 − β)/C)` is the time to return to `w_max`.
+//! Growth is driven by *time*, not ACK cadence, which is exactly why the
+//! policy needs the [`AckSample`] context's clock rather than the old
+//! positional per-ACK hook. In the TCP-friendly region the window also
+//! tracks an AIMD estimate `w_est` (growing `3(1−β)/(1+β)` per RTT) and
+//! takes whichever is larger, so Cubic never does worse than Reno on
+//! short-RTT paths like the paper's 44 ms dumbbell.
+
+use tcpburst_des::SimTime;
+
+use crate::cc::reno::reno_ack_cwnd;
+use crate::cc::{AckSample, CongestionControl, LossContext, LossResponse};
+
+/// RFC 8312's scaling constant `C`, in packets per second cubed.
+const C: f64 = 0.4;
+/// RFC 8312's multiplicative decrease factor `β`.
+const BETA: f64 = 0.7;
+
+/// The Cubic policy state: the pre-loss plateau, the epoch clock, and
+/// the TCP-friendly AIMD estimate.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Cubic {
+    /// Window at the most recent loss (the plateau the cubic aims back at).
+    w_max: f64,
+    /// Time-to-plateau `K` for the current epoch, in seconds.
+    k: f64,
+    /// When the current growth epoch opened (first ACK after a cut);
+    /// `None` right after a loss, lazily re-opened on the next ACK.
+    epoch_start: Option<SimTime>,
+    /// The TCP-friendly AIMD window estimate for the current epoch.
+    w_est: f64,
+}
+
+impl Cubic {
+    /// Creates the policy with an empty history (the first slow start is
+    /// plain Reno until the first loss establishes a plateau).
+    pub fn new() -> Self {
+        Cubic::default()
+    }
+
+    /// Registers a window cut: remembers the plateau (with RFC 8312 §4.6
+    /// fast convergence — a shrinking flow releases its share sooner by
+    /// aiming below the old plateau) and closes the growth epoch.
+    fn register_loss(&mut self, cwnd: f64) -> f64 {
+        self.w_max = if cwnd < self.w_max {
+            // Fast convergence: the available bandwidth shrank.
+            cwnd * (2.0 - BETA) / 2.0
+        } else {
+            cwnd
+        };
+        self.epoch_start = None;
+        (cwnd * BETA).max(2.0)
+    }
+}
+
+impl CongestionControl for Cubic {
+    fn on_ack(&mut self, sample: &AckSample) -> Option<f64> {
+        if sample.in_slow_start {
+            // Slow start is Reno's; the cubic takes over from the first
+            // congestion-avoidance ACK.
+            return Some(reno_ack_cwnd(sample.cwnd, sample.ssthresh, sample.advertised));
+        }
+        if self.epoch_start.is_none() {
+            self.k = if self.w_max > sample.cwnd {
+                ((self.w_max - sample.cwnd) / C).cbrt()
+            } else {
+                0.0
+            };
+            self.w_est = sample.cwnd;
+            self.epoch_start = Some(sample.now);
+        }
+        let epoch_start = self.epoch_start.expect("epoch opened above");
+        // Project one RTT ahead (RFC 8312 computes W_cubic(t + RTT)).
+        let rtt = sample.srtt.map_or(0.0, |d| d.as_secs_f64());
+        let t = sample.now.saturating_since(epoch_start).as_secs_f64() + rtt;
+        let target = C * (t - self.k).powi(3) + self.w_max;
+        // TCP-friendly region: an AIMD flow with the same loss cadence
+        // would add 3(1−β)/(1+β) packets per RTT.
+        let aimd_gain = 3.0 * (1.0 - BETA) / (1.0 + BETA);
+        self.w_est += aimd_gain * sample.newly_acked as f64 / sample.cwnd;
+        let goal = target.max(self.w_est);
+        let next = if goal > sample.cwnd {
+            sample.cwnd + (goal - sample.cwnd) / sample.cwnd
+        } else {
+            // At or above the cubic's current value (the plateau): hold.
+            sample.cwnd
+        };
+        Some(next.min(sample.advertised).max(1.0))
+    }
+
+    fn on_loss_signal(&mut self, loss: &LossContext) -> LossResponse {
+        LossResponse::FastRecovery {
+            ssthresh: self.register_loss(loss.cwnd.min(loss.flight.max(1.0))),
+        }
+    }
+
+    fn on_rto(&mut self, loss: &LossContext) -> f64 {
+        self.register_loss(loss.cwnd.min(loss.flight.max(1.0)))
+    }
+
+    fn on_ecn_cwnd(&mut self, loss: &LossContext) -> f64 {
+        self.register_loss(loss.cwnd.min(loss.flight.max(1.0)))
+    }
+
+    fn holds_recovery_on_partial_ack(&self) -> bool {
+        // Modern stacks pair Cubic with NewReno/SACK-style recovery.
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcpburst_des::SimDuration;
+
+    fn ack_at(now_ms: u64, cwnd: f64, ssthresh: f64) -> AckSample {
+        AckSample {
+            now: SimTime::from_millis(now_ms),
+            cwnd,
+            ssthresh,
+            in_slow_start: cwnd < ssthresh,
+            advertised: 64.0,
+            newly_acked: 1,
+            flight: cwnd,
+            rtt: Some(SimDuration::from_millis(44)),
+            srtt: Some(SimDuration::from_millis(44)),
+            min_rtt: Some(SimDuration::from_millis(44)),
+            rate: None,
+        }
+    }
+
+    #[test]
+    fn slow_start_is_reno() {
+        let mut c = Cubic::new();
+        let got = c.on_ack(&ack_at(0, 4.0, 100.0)).unwrap();
+        assert_eq!(got, 5.0);
+    }
+
+    #[test]
+    fn loss_cuts_by_beta_and_sets_plateau() {
+        let mut c = Cubic::new();
+        let LossResponse::FastRecovery { ssthresh } =
+            c.on_loss_signal(&LossContext::synthetic(20.0))
+        else {
+            panic!("Cubic must use fast recovery");
+        };
+        assert!((ssthresh - 14.0).abs() < 1e-12, "ssthresh {ssthresh}");
+        assert_eq!(c.w_max, 20.0);
+    }
+
+    #[test]
+    fn fast_convergence_lowers_the_plateau_on_back_to_back_losses() {
+        let mut c = Cubic::new();
+        c.on_loss_signal(&LossContext::synthetic(20.0));
+        // Second loss at a smaller window: aim below it.
+        c.on_loss_signal(&LossContext::synthetic(10.0));
+        assert!((c.w_max - 10.0 * (2.0 - BETA) / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn growth_is_concave_toward_the_plateau_then_convex_beyond() {
+        let big = |now_ms: u64, cwnd: f64| AckSample {
+            advertised: 1e9,
+            srtt: Some(SimDuration::from_millis(100)),
+            ..ack_at(now_ms, cwnd, 2.0)
+        };
+        let mut c = Cubic::new();
+        c.on_loss_signal(&LossContext::synthetic(300.0));
+        // Re-grow from the post-loss window, delivering `cwnd` ACKs per
+        // 100 ms round trip so the window tracks the cubic instead of
+        // lagging it; record the per-round increment. K = ∛(90/0.4) ≈ 6.1 s
+        // ≈ round 61, so round 60 sits at the plateau.
+        let mut cwnd = 210.0;
+        let mut per_round = Vec::new();
+        for round in 0..120u64 {
+            let before = cwnd;
+            for _ in 0..before as u64 {
+                cwnd = c.on_ack(&big(round * 100, cwnd)).unwrap();
+            }
+            per_round.push(cwnd - before);
+        }
+        // The window must pass the old plateau and keep probing.
+        assert!(cwnd > 300.0, "cwnd {cwnd} never crossed the plateau");
+        // Concave: growth decelerates into the plateau; convex: it
+        // re-accelerates while probing beyond it.
+        let (early, plateau, late) = (per_round[5], per_round[60], per_round[115]);
+        assert!(
+            early > 4.0 * plateau,
+            "no deceleration into the plateau: early {early}, plateau {plateau}"
+        );
+        assert!(
+            late > 4.0 * plateau,
+            "no re-acceleration past the plateau: late {late}, plateau {plateau}"
+        );
+    }
+
+    #[test]
+    fn window_never_exceeds_advertised() {
+        let mut c = Cubic::new();
+        c.on_loss_signal(&LossContext::synthetic(20.0));
+        let mut cwnd = 14.0;
+        for ms in (0..200_000).step_by(1000) {
+            cwnd = c.on_ack(&ack_at(ms, cwnd, 2.0)).unwrap();
+            assert!(cwnd <= 64.0);
+        }
+        assert_eq!(cwnd, 64.0);
+    }
+}

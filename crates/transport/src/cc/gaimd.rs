@@ -10,7 +10,7 @@
 //! with the default exponents reproduces Reno **bit-for-bit**, which the
 //! golden-trace tests and an equivalence proptest enforce.
 
-use crate::cc::{CongestionControl, LossResponse};
+use crate::cc::{AckSample, CongestionControl, LossContext, LossResponse};
 use crate::config::GaimdParams;
 
 /// The generalized-AIMD policy. Slow start, fast recovery, and timeout
@@ -42,28 +42,23 @@ impl GeneralizedAimd {
 }
 
 impl CongestionControl for GeneralizedAimd {
-    fn on_ack_cwnd(
-        &mut self,
-        cwnd: f64,
-        ssthresh: f64,
-        _in_slow_start: bool,
-        advertised: f64,
-    ) -> Option<f64> {
-        Some(if cwnd < ssthresh {
-            (cwnd + 1.0).min(advertised)
+    fn on_ack(&mut self, sample: &AckSample) -> Option<f64> {
+        Some(if sample.cwnd < sample.ssthresh {
+            (sample.cwnd + 1.0).min(sample.advertised)
         } else {
-            (cwnd + cwnd.powf(self.params.alpha) / cwnd).min(advertised)
+            (sample.cwnd + sample.cwnd.powf(self.params.alpha) / sample.cwnd)
+                .min(sample.advertised)
         })
     }
 
-    fn on_loss_signal(&mut self, flight: f64) -> LossResponse {
+    fn on_loss_signal(&mut self, loss: &LossContext) -> LossResponse {
         LossResponse::FastRecovery {
-            ssthresh: self.decrease_ssthresh(flight),
+            ssthresh: self.decrease_ssthresh(loss.flight),
         }
     }
 
-    fn on_rto(&mut self, flight: f64, _resume_from: tcpburst_net::SeqNo) -> f64 {
-        self.decrease_ssthresh(flight)
+    fn on_rto(&mut self, loss: &LossContext) -> f64 {
+        self.decrease_ssthresh(loss.flight)
     }
 }
 
@@ -72,15 +67,32 @@ mod tests {
     use super::*;
     use crate::cc::reno::{reno_ack_cwnd, reno_loss_ssthresh};
 
+    fn ack(cwnd: f64, ssthresh: f64, advertised: f64) -> AckSample {
+        AckSample {
+            now: tcpburst_des::SimTime::ZERO,
+            cwnd,
+            ssthresh,
+            in_slow_start: cwnd < ssthresh,
+            advertised,
+            newly_acked: 1,
+            flight: cwnd.max(1.0),
+            rtt: None,
+            srtt: None,
+            min_rtt: None,
+            rate: None,
+        }
+    }
+
     #[test]
     fn default_exponents_match_reno_bitwise() {
         let mut g = GeneralizedAimd::new(GaimdParams::default());
         for cwnd in [1.0, 2.0, 3.7, 10.0, 19.999, 20.0] {
-            let got = g.on_ack_cwnd(cwnd, 2.0, false, 20.0).unwrap();
+            let got = g.on_ack(&ack(cwnd, 2.0, 20.0)).unwrap();
             assert_eq!(got.to_bits(), reno_ack_cwnd(cwnd, 2.0, 20.0).to_bits());
         }
         for flight in [1.0, 3.0, 7.0, 13.0, 20.0] {
-            let LossResponse::FastRecovery { ssthresh } = g.on_loss_signal(flight) else {
+            let ctx = LossContext::synthetic(flight);
+            let LossResponse::FastRecovery { ssthresh } = g.on_loss_signal(&ctx) else {
                 panic!("GAIMD must use fast recovery");
             };
             assert_eq!(ssthresh.to_bits(), reno_loss_ssthresh(flight).to_bits());
@@ -95,10 +107,12 @@ mod tests {
         });
         // alpha = 0.5 at cwnd 16: grow by 4/16 = 0.25 per ACK (> Reno's
         // 1/16), still capped by the advertised window.
-        let grown = g.on_ack_cwnd(16.0, 2.0, false, 20.0).unwrap();
+        let grown = g.on_ack(&ack(16.0, 2.0, 20.0)).unwrap();
         assert!((grown - 16.25).abs() < 1e-12, "grown {grown}");
         // beta = 0.5 at flight 16: shed sqrt(16)/2 = 2 packets instead of 8.
-        let LossResponse::FastRecovery { ssthresh } = g.on_loss_signal(16.0) else {
+        let LossResponse::FastRecovery { ssthresh } =
+            g.on_loss_signal(&LossContext::synthetic(16.0))
+        else {
             panic!("GAIMD must use fast recovery");
         };
         assert!((ssthresh - 14.0).abs() < 1e-12, "ssthresh {ssthresh}");
@@ -110,10 +124,12 @@ mod tests {
             alpha: 0.9,
             beta: 1.0,
         });
-        let LossResponse::FastRecovery { ssthresh } = g.on_loss_signal(1.0) else {
+        let LossResponse::FastRecovery { ssthresh } =
+            g.on_loss_signal(&LossContext::synthetic(1.0))
+        else {
             panic!("GAIMD must use fast recovery");
         };
         assert_eq!(ssthresh, 2.0);
-        assert_eq!(g.on_rto(0.0, tcpburst_net::SeqNo(0)), 2.0);
+        assert_eq!(g.on_rto(&LossContext::synthetic(0.0)), 2.0);
     }
 }

@@ -1,0 +1,210 @@
+//! HighSpeed TCP (RFC 3649) growth with a Westwood-style
+//! bandwidth-estimate loss response.
+//!
+//! RFC 3649 replaces Reno's one-packet-per-RTT increase and one-half
+//! decrease with window-dependent `a(w)` / `b(w)`: below `w = 38`
+//! packets the response is exactly Reno's, and above it the increase
+//! grows (and the decrease shrinks) along the RFC's log-interpolated
+//! response function, so large windows recover in far fewer round trips.
+//!
+//! The loss response is Westwood's "faster recovery": instead of blindly
+//! applying `(1 − b(w))·flight`, the policy keeps an EWMA of the
+//! engine's delivery-rate samples ([`AckSample::rate`], skipping
+//! app-limited ones) and cuts to the measured `bandwidth × min-RTT` —
+//! the pipe's actual capacity — whenever an estimate exists. Over a
+//! drop-tail bottleneck that erases the queueing share of the window
+//! while keeping the path full, which is the behavior the delivery-rate
+//! sampler was added to enable.
+
+use crate::cc::reno::reno_ack_cwnd;
+use crate::cc::{AckSample, CongestionControl, LossContext, LossResponse};
+
+/// Below this window the response is exactly Reno's (RFC 3649 §4).
+const LOW_WINDOW: f64 = 38.0;
+/// The window at which the response is tuned for `p = 10^-7`.
+const HIGH_WINDOW: f64 = 83_000.0;
+/// Decrease fraction at `HIGH_WINDOW`.
+const HIGH_DECREASE: f64 = 0.1;
+/// EWMA gain for the bandwidth estimate (Westwood's low-pass filter).
+const BWE_GAIN: f64 = 1.0 / 8.0;
+
+/// RFC 3649 §4 decrease fraction `b(w)`: 0.5 at `LOW_WINDOW`,
+/// log-interpolated down to 0.1 at `HIGH_WINDOW`.
+fn decrease_fraction(w: f64) -> f64 {
+    if w <= LOW_WINDOW {
+        return 0.5;
+    }
+    let frac = (w.ln() - LOW_WINDOW.ln()) / (HIGH_WINDOW.ln() - LOW_WINDOW.ln());
+    0.5 + frac.min(1.0) * (HIGH_DECREASE - 0.5)
+}
+
+/// RFC 3649 §4 increase `a(w)`, from the response function
+/// `p(w) = 0.078 / w^1.2`: `a(w) = w²·p(w)·2·b(w) / (2 − b(w))`,
+/// which is 1 (Reno) at and below `LOW_WINDOW`.
+fn increase_packets(w: f64) -> f64 {
+    if w <= LOW_WINDOW {
+        return 1.0;
+    }
+    let b = decrease_fraction(w);
+    let p = 0.078 / w.powf(1.2);
+    (w * w * p * 2.0 * b / (2.0 - b)).max(1.0)
+}
+
+/// The HighSpeed policy with a Westwood bandwidth estimator.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Hstcp {
+    /// EWMA of the delivery rate, in packets per second.
+    bwe: Option<f64>,
+}
+
+impl Hstcp {
+    /// Creates the policy with no bandwidth history (the first loss falls
+    /// back to the analytic `(1 − b(w))` cut).
+    pub fn new() -> Self {
+        Hstcp::default()
+    }
+
+    /// The current bandwidth estimate, in packets per second.
+    pub fn bandwidth_estimate(&self) -> Option<f64> {
+        self.bwe
+    }
+
+    /// Westwood cut: the pipe's capacity `BWE × minRTT` in packets, or
+    /// the RFC 3649 analytic decrease when no estimate exists yet.
+    fn loss_ssthresh(&self, loss: &LossContext) -> f64 {
+        let analytic = ((1.0 - decrease_fraction(loss.cwnd)) * loss.flight).max(2.0);
+        match (self.bwe, loss.min_rtt) {
+            (Some(bwe), Some(min_rtt)) => (bwe * min_rtt.as_secs_f64()).max(2.0),
+            _ => analytic,
+        }
+    }
+}
+
+impl CongestionControl for Hstcp {
+    fn on_ack(&mut self, sample: &AckSample) -> Option<f64> {
+        // Feed the Westwood filter from the ACK's delivery-rate sample;
+        // app-limited samples under-report the path and are skipped.
+        if let Some(rate) = sample.rate {
+            if !rate.is_app_limited {
+                self.bwe = Some(match self.bwe {
+                    None => rate.delivery_rate,
+                    Some(bwe) => bwe + BWE_GAIN * (rate.delivery_rate - bwe),
+                });
+            }
+        }
+        if sample.in_slow_start {
+            return Some(reno_ack_cwnd(sample.cwnd, sample.ssthresh, sample.advertised));
+        }
+        let next = sample.cwnd + increase_packets(sample.cwnd) / sample.cwnd;
+        Some(next.min(sample.advertised))
+    }
+
+    fn on_loss_signal(&mut self, loss: &LossContext) -> LossResponse {
+        LossResponse::FastRecovery {
+            ssthresh: self.loss_ssthresh(loss),
+        }
+    }
+
+    fn on_rto(&mut self, loss: &LossContext) -> f64 {
+        self.loss_ssthresh(loss)
+    }
+
+    fn holds_recovery_on_partial_ack(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cc::RateSample;
+    use tcpburst_des::{SimDuration, SimTime};
+
+    fn ack(cwnd: f64, rate: Option<RateSample>) -> AckSample {
+        AckSample {
+            now: SimTime::ZERO,
+            cwnd,
+            ssthresh: 2.0,
+            in_slow_start: false,
+            advertised: 1e9,
+            newly_acked: 1,
+            flight: cwnd,
+            rtt: Some(SimDuration::from_millis(44)),
+            srtt: Some(SimDuration::from_millis(44)),
+            min_rtt: Some(SimDuration::from_millis(44)),
+            rate,
+        }
+    }
+
+    fn rate(pps: f64, app_limited: bool) -> RateSample {
+        RateSample {
+            delivery_rate: pps,
+            interval: SimDuration::from_millis(44),
+            delivered: 100,
+            prior_delivered: 90,
+            is_app_limited: app_limited,
+        }
+    }
+
+    #[test]
+    fn reno_region_below_the_low_window() {
+        assert_eq!(increase_packets(10.0), 1.0);
+        assert_eq!(decrease_fraction(10.0), 0.5);
+        let mut h = Hstcp::new();
+        let got = h.on_ack(&ack(10.0, None)).unwrap();
+        assert_eq!(got.to_bits(), (10.0f64 + 0.1).to_bits());
+    }
+
+    #[test]
+    fn response_scales_up_past_the_low_window() {
+        // From the response function at w = 1000: b ≈ 0.33, and
+        // a = w²·p·2b/(2−b) ≈ 7.7 — an order of magnitude past Reno.
+        let a = increase_packets(1000.0);
+        let b = decrease_fraction(1000.0);
+        assert!((6.0..10.0).contains(&a), "a(1000) = {a}");
+        assert!((0.30..0.36).contains(&b), "b(1000) = {b}");
+        // Monotone: bigger windows grow faster and cut shallower.
+        assert!(increase_packets(10_000.0) > a);
+        assert!(decrease_fraction(10_000.0) < b);
+    }
+
+    #[test]
+    fn bandwidth_estimate_tracks_samples_and_skips_app_limited() {
+        let mut h = Hstcp::new();
+        h.on_ack(&ack(10.0, Some(rate(500.0, false))));
+        assert_eq!(h.bandwidth_estimate(), Some(500.0));
+        // App-limited samples leave the filter untouched.
+        h.on_ack(&ack(10.0, Some(rate(50.0, true))));
+        assert_eq!(h.bandwidth_estimate(), Some(500.0));
+        // Valid samples move the EWMA by 1/8 of the difference.
+        h.on_ack(&ack(10.0, Some(rate(900.0, false))));
+        assert_eq!(h.bandwidth_estimate(), Some(550.0));
+    }
+
+    #[test]
+    fn westwood_cut_uses_bandwidth_times_min_rtt() {
+        let mut h = Hstcp::new();
+        h.on_ack(&ack(10.0, Some(rate(500.0, false))));
+        let loss = LossContext {
+            min_rtt: Some(SimDuration::from_millis(40)),
+            ..LossContext::synthetic(18.0)
+        };
+        let LossResponse::FastRecovery { ssthresh } = h.on_loss_signal(&loss) else {
+            panic!("HSTCP must use fast recovery");
+        };
+        // 500 pkt/s × 0.040 s = 20 packets of pipe.
+        assert!((ssthresh - 20.0).abs() < 1e-9, "ssthresh {ssthresh}");
+    }
+
+    #[test]
+    fn analytic_cut_without_an_estimate() {
+        let mut h = Hstcp::new();
+        let LossResponse::FastRecovery { ssthresh } =
+            h.on_loss_signal(&LossContext::synthetic(18.0))
+        else {
+            panic!("HSTCP must use fast recovery");
+        };
+        assert!((ssthresh - 9.0).abs() < 1e-12, "ssthresh {ssthresh}");
+        assert_eq!(h.on_rto(&LossContext::synthetic(0.0)), 2.0);
+    }
+}

@@ -13,33 +13,149 @@
 //! * [`NewReno`] — Reno that stays in recovery across partial ACKs,
 //! * [`Sack`] — Reno window arithmetic over scoreboard-driven repair,
 //! * [`Vegas`] — Brakmo–Peterson delay-based avoidance (per-RTT hooks),
-//! * [`GeneralizedAimd`] — the Ott–Swanson `(alpha, beta)` family.
+//! * [`GeneralizedAimd`] — the Ott–Swanson `(alpha, beta)` family,
+//! * [`Cubic`] — RFC 8312 cubic growth with a TCP-friendly region,
+//! * [`Hstcp`] — RFC 3649 HighSpeed response with a Westwood-style
+//!   bandwidth-estimate loss cut,
+//! * [`Bbr`] — a BBR-lite model (startup / drain / probe-bw over a
+//!   windowed max-bandwidth × min-RTT estimate) that paces its sends.
+//!
+//! Every hook takes one *context* value — [`AckSample`] on the ACK path,
+//! [`LossContext`] on the loss path — so adding a measurement (the
+//! delivery-rate sample, say) never breaks existing implementations: they
+//! simply ignore the new field. Rate-based policies additionally expose a
+//! [`pacing_rate`](CongestionControl::pacing_rate); when it is `Some`,
+//! the engine spaces transmissions at that rate with a paced-send timer,
+//! and when it is `None` (every window-based policy) the send path is
+//! byte-identical to the pre-pacing engine.
 //!
 //! The engine holds a [`Policy`] — a plain enum over the concrete
 //! policies, so the per-ACK hot path is a jump table rather than a
 //! `Box<dyn>` indirection. [`Policy::for_config`] is the **only** place
 //! in the crate that branches on [`TcpVariant`]; the engine itself is
 //! variant-agnostic and a new policy plugs in by adding an enum arm
-//! here, nothing else.
+//! here, plus a row in [`VARIANT_REGISTRY`] (which generates the CLI
+//! help and parse errors), nothing else.
 
 use tcpburst_des::{SimDuration, SimTime};
 use tcpburst_net::SeqNo;
 
 use crate::config::{TcpConfig, TcpVariant};
 
+mod bbr;
+mod cubic;
 mod gaimd;
+mod hstcp;
 mod newreno;
 mod reno;
 mod sack;
 mod tahoe;
 mod vegas;
 
+pub use bbr::Bbr;
+pub use cubic::Cubic;
 pub use gaimd::GeneralizedAimd;
+pub use hstcp::Hstcp;
 pub use newreno::NewReno;
 pub use reno::Reno;
 pub use sack::Sack;
 pub use tahoe::Tahoe;
 pub use vegas::Vegas;
+
+/// A delivery-rate measurement in the spirit of BBR's rate sampler.
+///
+/// Every fresh segment is stamped at transmission with the connection's
+/// `delivered` count and `delivered_time`; when the segment is
+/// cumulatively acknowledged, the rate over its flight is
+/// `(delivered_now − delivered_then) / (now − delivered_time_then)`.
+/// Samples from retransmitted segments are discarded (Karn's rule), so a
+/// sample is only present on ACKs that retire at least one
+/// once-transmitted segment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RateSample {
+    /// Measured delivery rate, in packets per second.
+    pub delivery_rate: f64,
+    /// The interval the rate was measured over.
+    pub interval: SimDuration,
+    /// Total segments delivered at sampling time.
+    pub delivered: u64,
+    /// The `delivered` total when the sampled segment was transmitted.
+    /// BBR-style round counting compares this against a saved marker.
+    pub prior_delivered: u64,
+    /// True if the sampled segment drained the application backlog when
+    /// it was sent: the flight was limited by the application, not the
+    /// window, so the sample under-estimates the path's capacity.
+    pub is_app_limited: bool,
+}
+
+/// The per-ACK context handed to [`CongestionControl::on_ack`]: one
+/// struct instead of a positional argument list, so policies that need
+/// time (Cubic), RTT (Vegas, BBR) or delivery rate (HSTCP/Westwood, BBR)
+/// read the fields they care about and adding a field never breaks the
+/// other implementations.
+#[derive(Debug, Clone, Copy)]
+pub struct AckSample {
+    /// The simulation clock at the ACK.
+    pub now: SimTime,
+    /// The congestion window before any growth, in packets.
+    pub cwnd: f64,
+    /// The current slow-start threshold, in packets.
+    pub ssthresh: f64,
+    /// True while the sender is in slow start.
+    pub in_slow_start: bool,
+    /// The receiver's advertised window, in packets.
+    pub advertised: f64,
+    /// Segments newly acknowledged by this cumulative ACK.
+    pub newly_acked: u64,
+    /// Packets still in flight after the ACK.
+    pub flight: f64,
+    /// This ACK's Karn-valid RTT measurement, if it produced one.
+    pub rtt: Option<SimDuration>,
+    /// The smoothed RTT (Jacobson/Karels), once at least one sample exists.
+    pub srtt: Option<SimDuration>,
+    /// The minimum RTT observed over the connection's lifetime.
+    pub min_rtt: Option<SimDuration>,
+    /// The delivery-rate sample this ACK produced, if any.
+    pub rate: Option<RateSample>,
+}
+
+/// The context handed to the loss-path hooks
+/// ([`on_loss_signal`](CongestionControl::on_loss_signal),
+/// [`on_rto`](CongestionControl::on_rto),
+/// [`on_ecn_cwnd`](CongestionControl::on_ecn_cwnd)): one struct for all
+/// three signals, so a policy reads the fields it needs and a new field
+/// never breaks the existing implementations.
+#[derive(Debug, Clone, Copy)]
+pub struct LossContext {
+    /// The simulation clock at the loss signal.
+    pub now: SimTime,
+    /// Packets in flight when the signal fired.
+    pub flight: f64,
+    /// The congestion window before any cut, in packets.
+    pub cwnd: f64,
+    /// The slow-start threshold before any cut, in packets.
+    pub ssthresh: f64,
+    /// Where retransmission resumes (`snd_una`): on an RTO the engine
+    /// rewinds `snd_nxt` here (go-back-N).
+    pub resume_from: SeqNo,
+    /// The minimum RTT observed over the connection's lifetime.
+    pub min_rtt: Option<SimDuration>,
+}
+
+impl LossContext {
+    /// A bare context for unit tests and harnesses that only exercise the
+    /// `flight`-driven arithmetic.
+    pub fn synthetic(flight: f64) -> Self {
+        LossContext {
+            now: SimTime::ZERO,
+            flight,
+            cwnd: flight.max(1.0),
+            ssthresh: flight.max(2.0),
+            resume_from: SeqNo::ZERO,
+            min_rtt: None,
+        }
+    }
+}
 
 /// How a policy answers a fast-retransmit loss signal (the engine's
 /// dup-ACK / early-retransmit detector fired).
@@ -101,32 +217,25 @@ pub enum RoundAdjust {
 /// Hooks that *return* a window or threshold never apply it themselves —
 /// the engine does, so window changes happen only at hook call sites
 /// (the property-tested contract). Implementations may keep internal
-/// state (Vegas's RTT accumulators) but must uphold two invariants the
-/// end-of-run auditor re-checks on every scenario: any returned window
-/// is at least 1 packet, any returned threshold at least 2.
+/// state (Vegas's RTT accumulators, BBR's bandwidth filter) but must
+/// uphold two invariants the end-of-run auditor re-checks on every
+/// scenario: any returned window is at least 1 packet, any returned
+/// threshold at least 2.
 pub trait CongestionControl {
     /// Per-ACK window growth outside recovery. Returns the new window,
     /// or `None` to leave it untouched (Vegas outside its slow-start
-    /// growth parity). Implementations must cap at `advertised`.
-    fn on_ack_cwnd(
-        &mut self,
-        cwnd: f64,
-        ssthresh: f64,
-        in_slow_start: bool,
-        advertised: f64,
-    ) -> Option<f64>;
+    /// growth parity). Implementations must cap at `sample.advertised`.
+    fn on_ack(&mut self, sample: &AckSample) -> Option<f64>;
 
-    /// The engine's fast-retransmit detector fired with `flight` packets
-    /// outstanding. Returns the new threshold and whether to collapse or
-    /// enter fast recovery.
-    fn on_loss_signal(&mut self, flight: f64) -> LossResponse;
+    /// The engine's fast-retransmit detector fired. Returns the new
+    /// threshold and whether to collapse or enter fast recovery.
+    fn on_loss_signal(&mut self, loss: &LossContext) -> LossResponse;
 
-    /// The retransmission timer expired with `flight` packets
-    /// outstanding; the engine will collapse to `cwnd = 1` slow start and
-    /// go back to `resume_from`. Returns the new slow-start threshold.
-    fn on_rto(&mut self, flight: f64, resume_from: SeqNo) -> f64 {
-        let _ = resume_from;
-        (flight / 2.0).max(2.0)
+    /// The retransmission timer expired; the engine will collapse to
+    /// `cwnd = 1` slow start and go back to `loss.resume_from`. Returns
+    /// the new slow-start threshold.
+    fn on_rto(&mut self, loss: &LossContext) -> f64 {
+        (loss.flight / 2.0).max(2.0)
     }
 
     /// The window to deflate to when leaving fast recovery.
@@ -136,8 +245,17 @@ pub trait CongestionControl {
 
     /// The threshold (and window) to cut to on an ECN echo; the engine
     /// rate-limits the cut to once per RTT.
-    fn on_ecn_cwnd(&mut self, flight: f64) -> f64 {
-        (flight / 2.0).max(2.0)
+    fn on_ecn_cwnd(&mut self, loss: &LossContext) -> f64 {
+        (loss.flight / 2.0).max(2.0)
+    }
+
+    /// The rate to space transmissions at, in packets per second, or
+    /// `None` for windowed (back-to-back) sending. The engine re-reads
+    /// this on every send opportunity and schedules a paced-send timer
+    /// when the next transmission lands in the future; with `None` the
+    /// send path is exactly the pre-pacing engine, no timer ever armed.
+    fn pacing_rate(&self) -> Option<f64> {
+        None
     }
 
     /// One Karn-valid RTT measurement (a never-retransmitted segment was
@@ -173,6 +291,113 @@ pub trait CongestionControl {
     }
 }
 
+/// One row of the policy registry: the CLI spelling, the variant it
+/// selects, and a one-line summary for the generated help text.
+#[derive(Debug, Clone, Copy)]
+pub struct VariantInfo {
+    /// The CLI spelling (`--variant <name>`).
+    pub name: &'static str,
+    /// The variant this name selects.
+    pub variant: TcpVariant,
+    /// One-line summary for generated help text.
+    pub summary: &'static str,
+    /// Extra value syntax accepted after the name, e.g. `":<a>,<b>"`.
+    pub value_syntax: Option<&'static str>,
+}
+
+/// The policy registry, kept next to [`Policy::for_config`] so a new
+/// variant lands in the CLI help, the parse-error suggestion list, and
+/// the construction site in one edit. Order is the display order.
+pub const VARIANT_REGISTRY: [VariantInfo; 9] = [
+    VariantInfo {
+        name: "tahoe",
+        variant: TcpVariant::Tahoe,
+        summary: "Jacobson '88: any loss collapses to a one-segment slow start",
+        value_syntax: None,
+    },
+    VariantInfo {
+        name: "reno",
+        variant: TcpVariant::Reno,
+        summary: "AIMD with fast recovery (the paper's workhorse)",
+        value_syntax: None,
+    },
+    VariantInfo {
+        name: "newreno",
+        variant: TcpVariant::NewReno,
+        summary: "Reno that stays in recovery across partial ACKs (RFC 6582)",
+        value_syntax: None,
+    },
+    VariantInfo {
+        name: "vegas",
+        variant: TcpVariant::Vegas,
+        summary: "Brakmo-Peterson delay-based congestion avoidance",
+        value_syntax: None,
+    },
+    VariantInfo {
+        name: "sack",
+        variant: TcpVariant::Sack,
+        summary: "Reno arithmetic over RFC 2018/3517 scoreboard repair",
+        value_syntax: None,
+    },
+    VariantInfo {
+        name: "gaimd",
+        variant: TcpVariant::Gaimd,
+        summary: "Ott-Swanson generalized AIMD with (alpha, beta) exponents",
+        value_syntax: Some(":<alpha>,<beta>"),
+    },
+    VariantInfo {
+        name: "cubic",
+        variant: TcpVariant::Cubic,
+        summary: "RFC 8312 cubic growth with TCP-friendly region",
+        value_syntax: None,
+    },
+    VariantInfo {
+        name: "hstcp",
+        variant: TcpVariant::Hstcp,
+        summary: "RFC 3649 HighSpeed response, Westwood bandwidth-estimate cut",
+        value_syntax: None,
+    },
+    VariantInfo {
+        name: "bbr",
+        variant: TcpVariant::Bbr,
+        summary: "BBR-lite: paced max-bandwidth x min-RTT model",
+        value_syntax: None,
+    },
+];
+
+/// Looks a variant up by its CLI spelling (the bare name, without any
+/// `:<values>` suffix).
+pub fn variant_by_name(name: &str) -> Option<TcpVariant> {
+    VARIANT_REGISTRY
+        .iter()
+        .find(|info| info.name == name)
+        .map(|info| info.variant)
+}
+
+/// The registry row for a variant (every variant has exactly one).
+pub fn variant_info(variant: TcpVariant) -> &'static VariantInfo {
+    VARIANT_REGISTRY
+        .iter()
+        .find(|info| info.variant == variant)
+        .expect("every TcpVariant has a registry row")
+}
+
+/// The `|`-separated spelling list for help and error messages, e.g.
+/// `tahoe|reno|newreno|vegas|sack|gaimd:<alpha>,<beta>|cubic|hstcp|bbr`.
+pub fn variant_spellings() -> String {
+    let mut s = String::new();
+    for (i, info) in VARIANT_REGISTRY.iter().enumerate() {
+        if i > 0 {
+            s.push('|');
+        }
+        s.push_str(info.name);
+        if let Some(syntax) = info.value_syntax {
+            s.push_str(syntax);
+        }
+    }
+    s
+}
+
 /// Enum dispatch over every shipped policy.
 ///
 /// The sender's per-ACK path goes through this enum (a match compiles to
@@ -192,6 +417,12 @@ pub enum Policy {
     Vegas(Vegas),
     /// See [`GeneralizedAimd`].
     Gaimd(GeneralizedAimd),
+    /// See [`Cubic`].
+    Cubic(Cubic),
+    /// See [`Hstcp`].
+    Hstcp(Hstcp),
+    /// See [`Bbr`].
+    Bbr(Bbr),
 }
 
 impl Policy {
@@ -207,6 +438,9 @@ impl Policy {
             TcpVariant::Sack => Policy::Sack(Sack),
             TcpVariant::Vegas => Policy::Vegas(Vegas::new(cfg.vegas, cfg.max_rto)),
             TcpVariant::Gaimd => Policy::Gaimd(GeneralizedAimd::new(cfg.gaimd)),
+            TcpVariant::Cubic => Policy::Cubic(Cubic::new()),
+            TcpVariant::Hstcp => Policy::Hstcp(Hstcp::new()),
+            TcpVariant::Bbr => Policy::Bbr(Bbr::new()),
         }
     }
 }
@@ -220,35 +454,36 @@ macro_rules! dispatch {
             Policy::Sack($p) => $body,
             Policy::Vegas($p) => $body,
             Policy::Gaimd($p) => $body,
+            Policy::Cubic($p) => $body,
+            Policy::Hstcp($p) => $body,
+            Policy::Bbr($p) => $body,
         }
     };
 }
 
 impl CongestionControl for Policy {
-    fn on_ack_cwnd(
-        &mut self,
-        cwnd: f64,
-        ssthresh: f64,
-        in_slow_start: bool,
-        advertised: f64,
-    ) -> Option<f64> {
-        dispatch!(self, p => p.on_ack_cwnd(cwnd, ssthresh, in_slow_start, advertised))
+    fn on_ack(&mut self, sample: &AckSample) -> Option<f64> {
+        dispatch!(self, p => p.on_ack(sample))
     }
 
-    fn on_loss_signal(&mut self, flight: f64) -> LossResponse {
-        dispatch!(self, p => p.on_loss_signal(flight))
+    fn on_loss_signal(&mut self, loss: &LossContext) -> LossResponse {
+        dispatch!(self, p => p.on_loss_signal(loss))
     }
 
-    fn on_rto(&mut self, flight: f64, resume_from: SeqNo) -> f64 {
-        dispatch!(self, p => p.on_rto(flight, resume_from))
+    fn on_rto(&mut self, loss: &LossContext) -> f64 {
+        dispatch!(self, p => p.on_rto(loss))
     }
 
     fn post_recovery_cwnd(&mut self, ssthresh: f64) -> f64 {
         dispatch!(self, p => p.post_recovery_cwnd(ssthresh))
     }
 
-    fn on_ecn_cwnd(&mut self, flight: f64) -> f64 {
-        dispatch!(self, p => p.on_ecn_cwnd(flight))
+    fn on_ecn_cwnd(&mut self, loss: &LossContext) -> f64 {
+        dispatch!(self, p => p.on_ecn_cwnd(loss))
+    }
+
+    fn pacing_rate(&self) -> Option<f64> {
+        dispatch!(self, p => p.pacing_rate())
     }
 
     fn on_rtt_sample(&mut self, rtt: SimDuration) {
@@ -269,5 +504,51 @@ impl CongestionControl for Policy {
 
     fn base_rtt(&self) -> Option<f64> {
         dispatch!(self, p => p.base_rtt())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_covers_every_variant_exactly_once() {
+        for v in TcpVariant::ALL {
+            let rows = VARIANT_REGISTRY
+                .iter()
+                .filter(|info| info.variant == v)
+                .count();
+            assert_eq!(rows, 1, "{v:?} must have exactly one registry row");
+        }
+        assert_eq!(VARIANT_REGISTRY.len(), TcpVariant::ALL.len());
+    }
+
+    #[test]
+    fn names_round_trip_through_lookup() {
+        for info in &VARIANT_REGISTRY {
+            assert_eq!(variant_by_name(info.name), Some(info.variant));
+            assert_eq!(variant_info(info.variant).name, info.name);
+        }
+        assert_eq!(variant_by_name("mosh"), None);
+    }
+
+    #[test]
+    fn spellings_list_every_name_and_value_syntax() {
+        let spellings = variant_spellings();
+        for info in &VARIANT_REGISTRY {
+            assert!(spellings.contains(info.name), "missing {}", info.name);
+        }
+        assert!(spellings.contains("gaimd:<alpha>,<beta>"));
+    }
+
+    #[test]
+    fn only_bbr_paces_by_default() {
+        for v in TcpVariant::ALL {
+            let policy = Policy::for_config(&TcpConfig::paper(v));
+            let paced = policy.pacing_rate().is_some();
+            // BBR paces only once it has a bandwidth sample; fresh
+            // policies are all unpaced so startup stays windowed.
+            assert!(!paced, "{v:?} must start unpaced");
+        }
     }
 }

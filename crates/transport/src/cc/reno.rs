@@ -1,7 +1,7 @@
 //! Reno: the classic AIMD window arithmetic (Jacobson '88 plus fast
 //! recovery), the paper's workhorse.
 
-use crate::cc::{CongestionControl, LossResponse};
+use crate::cc::{AckSample, CongestionControl, LossContext, LossResponse};
 
 /// Reno window arithmetic: `cwnd += 1` per ACK below `ssthresh`,
 /// `cwnd += 1/cwnd` above it, halve on loss, enter fast recovery. A
@@ -29,19 +29,13 @@ pub(crate) fn reno_loss_ssthresh(flight: f64) -> f64 {
 }
 
 impl CongestionControl for Reno {
-    fn on_ack_cwnd(
-        &mut self,
-        cwnd: f64,
-        ssthresh: f64,
-        _in_slow_start: bool,
-        advertised: f64,
-    ) -> Option<f64> {
-        Some(reno_ack_cwnd(cwnd, ssthresh, advertised))
+    fn on_ack(&mut self, sample: &AckSample) -> Option<f64> {
+        Some(reno_ack_cwnd(sample.cwnd, sample.ssthresh, sample.advertised))
     }
 
-    fn on_loss_signal(&mut self, flight: f64) -> LossResponse {
+    fn on_loss_signal(&mut self, loss: &LossContext) -> LossResponse {
         LossResponse::FastRecovery {
-            ssthresh: reno_loss_ssthresh(flight),
+            ssthresh: reno_loss_ssthresh(loss.flight),
         }
     }
 }

@@ -1,7 +1,7 @@
 //! SACK: Reno window arithmetic over scoreboard-driven repair.
 
 use crate::cc::reno::{reno_ack_cwnd, reno_loss_ssthresh};
-use crate::cc::{CongestionControl, LossResponse};
+use crate::cc::{AckSample, CongestionControl, LossContext, LossResponse};
 
 /// The SACK policy is pure Reno on the window side; what distinguishes
 /// the variant — the RFC 2018 scoreboard and RFC 3517 hole repair — is
@@ -12,19 +12,13 @@ use crate::cc::{CongestionControl, LossResponse};
 pub struct Sack;
 
 impl CongestionControl for Sack {
-    fn on_ack_cwnd(
-        &mut self,
-        cwnd: f64,
-        ssthresh: f64,
-        _in_slow_start: bool,
-        advertised: f64,
-    ) -> Option<f64> {
-        Some(reno_ack_cwnd(cwnd, ssthresh, advertised))
+    fn on_ack(&mut self, sample: &AckSample) -> Option<f64> {
+        Some(reno_ack_cwnd(sample.cwnd, sample.ssthresh, sample.advertised))
     }
 
-    fn on_loss_signal(&mut self, flight: f64) -> LossResponse {
+    fn on_loss_signal(&mut self, loss: &LossContext) -> LossResponse {
         LossResponse::FastRecovery {
-            ssthresh: reno_loss_ssthresh(flight),
+            ssthresh: reno_loss_ssthresh(loss.flight),
         }
     }
 

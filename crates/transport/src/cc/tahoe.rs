@@ -1,7 +1,7 @@
 //! Tahoe: Jacobson '88 without fast recovery.
 
 use crate::cc::reno::{reno_ack_cwnd, reno_loss_ssthresh};
-use crate::cc::{CongestionControl, LossResponse};
+use crate::cc::{AckSample, CongestionControl, LossContext, LossResponse};
 
 /// Tahoe treats every loss signal alike: halve into `ssthresh`, collapse
 /// to a one-segment window, and slow-start from scratch (the engine
@@ -10,19 +10,13 @@ use crate::cc::{CongestionControl, LossResponse};
 pub struct Tahoe;
 
 impl CongestionControl for Tahoe {
-    fn on_ack_cwnd(
-        &mut self,
-        cwnd: f64,
-        ssthresh: f64,
-        _in_slow_start: bool,
-        advertised: f64,
-    ) -> Option<f64> {
-        Some(reno_ack_cwnd(cwnd, ssthresh, advertised))
+    fn on_ack(&mut self, sample: &AckSample) -> Option<f64> {
+        Some(reno_ack_cwnd(sample.cwnd, sample.ssthresh, sample.advertised))
     }
 
-    fn on_loss_signal(&mut self, flight: f64) -> LossResponse {
+    fn on_loss_signal(&mut self, loss: &LossContext) -> LossResponse {
         LossResponse::Collapse {
-            ssthresh: reno_loss_ssthresh(flight),
+            ssthresh: reno_loss_ssthresh(loss.flight),
         }
     }
 }

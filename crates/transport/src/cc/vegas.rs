@@ -11,7 +11,7 @@
 use tcpburst_des::{SimDuration, SimTime};
 use tcpburst_net::SeqNo;
 
-use crate::cc::{CongestionControl, LossResponse, RoundAdjust, RoundSample};
+use crate::cc::{AckSample, CongestionControl, LossContext, LossResponse, RoundAdjust, RoundSample};
 use crate::config::VegasParams;
 use crate::rtt::RttEstimator;
 
@@ -139,27 +139,22 @@ impl CongestionControl for Vegas {
     /// Vegas grows per-ACK only in slow start, and only on its growth-parity
     /// RTTs; congestion-avoidance moves happen once per round in
     /// [`on_round`](CongestionControl::on_round).
-    fn on_ack_cwnd(
-        &mut self,
-        cwnd: f64,
-        _ssthresh: f64,
-        in_slow_start: bool,
-        advertised: f64,
-    ) -> Option<f64> {
-        (in_slow_start && self.may_grow_in_slow_start()).then(|| (cwnd + 1.0).min(advertised))
+    fn on_ack(&mut self, sample: &AckSample) -> Option<f64> {
+        (sample.in_slow_start && self.may_grow_in_slow_start())
+            .then(|| (sample.cwnd + 1.0).min(sample.advertised))
     }
 
     /// Vegas cuts less aggressively (to 3/4) because its loss was detected
     /// early, before the queue collapsed.
-    fn on_loss_signal(&mut self, flight: f64) -> LossResponse {
+    fn on_loss_signal(&mut self, loss: &LossContext) -> LossResponse {
         LossResponse::FastRecovery {
-            ssthresh: (flight * 0.75).max(2.0),
+            ssthresh: (loss.flight * 0.75).max(2.0),
         }
     }
 
-    fn on_rto(&mut self, flight: f64, resume_from: SeqNo) -> f64 {
-        self.reset_epoch(resume_from.next());
-        (flight / 2.0).max(2.0)
+    fn on_rto(&mut self, loss: &LossContext) -> f64 {
+        self.reset_epoch(loss.resume_from.next());
+        (loss.flight / 2.0).max(2.0)
     }
 
     fn on_rtt_sample(&mut self, rtt: SimDuration) {

@@ -30,9 +30,31 @@ pub enum TcpVariant {
     /// `f64`s, so they cannot ride in this `Eq + Hash` enum);
     /// `alpha = 0, beta = 1` reduces exactly to Reno.
     Gaimd,
+    /// RFC 8312 Cubic: window growth as a cubic of the time since the
+    /// last cut, with the TCP-friendly region and fast convergence.
+    Cubic,
+    /// RFC 3649 HighSpeed TCP with a Westwood-style bandwidth-estimate
+    /// loss response (cut to measured `bandwidth × min-RTT`).
+    Hstcp,
+    /// BBR-lite: startup/drain/probe-bw over a windowed max-bandwidth ×
+    /// min-RTT path model, with paced sending.
+    Bbr,
 }
 
 impl TcpVariant {
+    /// Every variant, in registry/display order.
+    pub const ALL: [TcpVariant; 9] = [
+        TcpVariant::Tahoe,
+        TcpVariant::Reno,
+        TcpVariant::NewReno,
+        TcpVariant::Vegas,
+        TcpVariant::Sack,
+        TcpVariant::Gaimd,
+        TcpVariant::Cubic,
+        TcpVariant::Hstcp,
+        TcpVariant::Bbr,
+    ];
+
     /// True for Vegas (which carries extra per-RTT state).
     pub fn is_vegas(self) -> bool {
         matches!(self, TcpVariant::Vegas)
@@ -195,14 +217,7 @@ mod tests {
 
     #[test]
     fn paper_defaults_are_valid_for_all_variants() {
-        for v in [
-            TcpVariant::Tahoe,
-            TcpVariant::Reno,
-            TcpVariant::NewReno,
-            TcpVariant::Vegas,
-            TcpVariant::Sack,
-            TcpVariant::Gaimd,
-        ] {
+        for v in TcpVariant::ALL {
             let cfg = TcpConfig::paper(v);
             cfg.validate();
             assert_eq!(cfg.mss_bytes, 1500);

@@ -10,13 +10,18 @@ pub enum TimerKind {
     Rto,
     /// The receiver's delayed-ACK flush timer.
     DelAck,
+    /// The sender's paced-send timer: the policy's
+    /// [`pacing_rate`](crate::CongestionControl::pacing_rate) put the next
+    /// transmission in the future. Never scheduled for unpaced policies.
+    Pace,
 }
 
 /// A transport timer firing, addressed by flow.
 ///
 /// The driving loop embeds these in its event enum via `From` and routes
-/// them to the right [`TcpSender`](crate::TcpSender) (for [`TimerKind::Rto`])
-/// or [`TcpReceiver`](crate::TcpReceiver) (for [`TimerKind::DelAck`]).
+/// them to the right [`TcpSender`](crate::TcpSender) (for [`TimerKind::Rto`]
+/// and [`TimerKind::Pace`]) or [`TcpReceiver`](crate::TcpReceiver) (for
+/// [`TimerKind::DelAck`]).
 /// Stale firings (the timer was re-armed or cancelled since this event was
 /// scheduled) are filtered inside the handlers via the generation token.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

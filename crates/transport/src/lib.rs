@@ -12,18 +12,24 @@
 //!   **NewReno** (partial-ACK retransmission, RFC 6582 semantics),
 //!   **Vegas** (Brakmo–Peterson congestion *avoidance* via the
 //!   expected-vs-actual rate difference, with α/β/γ thresholds), **SACK**
-//!   (RFC 2018/3517 scoreboard repair) and **GAIMD** (the Ott–Swanson
-//!   generalized-AIMD `(alpha, beta)` family);
+//!   (RFC 2018/3517 scoreboard repair), **GAIMD** (the Ott–Swanson
+//!   generalized-AIMD `(alpha, beta)` family), **Cubic** (RFC 8312),
+//!   **HSTCP** (RFC 3649 with a Westwood-style bandwidth-estimate loss
+//!   response) and **BBR** (a startup/drain/probe-bw model over the
+//!   engine's delivery-rate samples, with paced sending);
 //! * [`cc`] — the congestion-control policy layer: the
-//!   [`CongestionControl`] trait, one implementation per variant, and the
-//!   [`Policy`] enum-dispatch wrapper the sender carries;
+//!   [`CongestionControl`] trait, one implementation per variant, the
+//!   [`Policy`] enum-dispatch wrapper the sender carries, and the
+//!   [`VARIANT_REGISTRY`] that maps spelled names to variants for CLIs;
 //! * [`UdpSender`] / [`UdpSink`] — the no-feedback baseline.
 //!
 //! The TCP side is built as two layers: the **reliability engine** in
-//! `sender/` (sequencing, retransmission queue, timers, loss detection)
-//! and the **policy layer** in [`cc`] (window arithmetic). Adding a
-//! variant means writing one `CongestionControl` impl and registering it
-//! at the single construction site, [`Policy::for_config`].
+//! `sender/` (sequencing, retransmission queue, timers, loss detection,
+//! BBR-style delivery-rate sampling, and the paced-send clock) and the
+//! **policy layer** in [`cc`] (window arithmetic over [`AckSample`] /
+//! [`LossContext`]). Adding a variant means writing one
+//! `CongestionControl` impl, registering it at the single construction
+//! site [`Policy::for_config`], and adding its registry row.
 //!
 //! The senders are *sans-io* state machines: they consume ACKs and timer
 //! firings, and push fully formed [`Packet`](tcpburst_net::Packet)s into a
@@ -47,7 +53,11 @@ mod rtt;
 mod sender;
 mod udp;
 
-pub use cc::{CongestionControl, GeneralizedAimd, LossResponse, Policy, RoundAdjust, RoundSample};
+pub use cc::{
+    variant_by_name, variant_info, variant_spellings, AckSample, Bbr, CongestionControl, Cubic,
+    GeneralizedAimd, Hstcp, LossContext, LossResponse, Policy, RateSample, RoundAdjust,
+    RoundSample, VariantInfo, VARIANT_REGISTRY,
+};
 pub use config::{GaimdParams, TcpConfig, TcpVariant, VegasParams};
 pub use counters::{ReceiverCounters, TcpCounters};
 pub use event::{TimerKind, TransportEvent};

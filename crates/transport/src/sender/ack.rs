@@ -1,11 +1,13 @@
 //! The ACK path: cumulative and duplicate acknowledgments, SACK
-//! scoreboard maintenance, loss detection, recovery entry and exit, and
-//! the ECN echo response.
+//! scoreboard maintenance, delivery-rate sampling, loss detection,
+//! recovery entry and exit, and the ECN echo response.
 
-use tcpburst_des::{Scheduler, SimTime};
+use tcpburst_des::{Scheduler, SimDuration, SimTime};
 use tcpburst_net::{SackBlocks, SeqNo};
 
-use crate::cc::{CongestionControl, LossResponse, RoundAdjust, RoundSample};
+use crate::cc::{
+    AckSample, CongestionControl, LossContext, LossResponse, RateSample, RoundAdjust, RoundSample,
+};
 use crate::event::TransportEvent;
 use crate::sender::state::Phase;
 use crate::sender::TcpSender;
@@ -67,6 +69,19 @@ impl TcpSender {
         None
     }
 
+    /// The loss-signal context handed to the policy: the state it may need
+    /// to size its response, gathered once.
+    fn loss_context(&self, now: SimTime) -> LossContext {
+        LossContext {
+            now,
+            flight: self.in_flight() as f64,
+            cwnd: self.cwnd,
+            ssthresh: self.ssthresh,
+            resume_from: self.snd_una,
+            min_rtt: self.min_rtt,
+        }
+    }
+
     /// RFC 3168 response, simplified: cut the window at most once per
     /// smoothed RTT (the policy decides how deep the cut goes); no
     /// retransmission is needed because nothing was lost.
@@ -87,7 +102,8 @@ impl TcpSender {
         self.last_ecn_cut = Some(now);
         self.counters.ecn_window_cuts += 1;
         self.hold_growth = true;
-        self.ssthresh = self.policy.on_ecn_cwnd(self.in_flight() as f64);
+        let loss = self.loss_context(now);
+        self.ssthresh = self.policy.on_ecn_cwnd(&loss);
         self.set_cwnd(now, self.ssthresh);
         if self.phase == Phase::SlowStart {
             self.phase = Phase::CongestionAvoidance;
@@ -104,23 +120,50 @@ impl TcpSender {
         let newly_acked = self.snd_una.distance_to(ack);
 
         // Retire the acknowledged window slots (the window is front-aligned
-        // with `snd_una`, so that is exactly the first `newly_acked` slots);
-        // sample the RTT from the newest segment that was transmitted
-        // exactly once (Karn's rule).
-        let mut sample = None;
+        // with `snd_una`, so that is exactly the first `newly_acked` slots).
+        // The newest segment that was transmitted exactly once anchors both
+        // the RTT sample and the delivery-rate sample (Karn's rule: a
+        // retransmitted segment's stamps are ambiguous).
+        let mut anchor = None;
         for _ in 0..newly_acked {
-            let Some((last_sent, retransmitted)) = self.window.pop_front() else {
+            let Some(seg) = self.window.pop_front() else {
                 break;
             };
-            if !retransmitted {
-                sample = Some(now.saturating_since(last_sent));
+            if !seg.retransmitted {
+                anchor = Some(seg);
             }
         }
-        if let Some(s) = sample {
+        // Advance the connection's delivered count before deriving the rate
+        // sample so the sample's `delivered` includes this very ACK.
+        self.delivered += newly_acked;
+        self.delivered_time = now;
+        let mut rtt = None;
+        let mut rate = None;
+        if let Some(seg) = anchor {
+            let s = now.saturating_since(seg.last_sent);
             self.rtt.sample(s);
             self.counters.rtt_samples += 1;
             self.policy.on_rtt_sample(s);
+            rtt = Some(s);
+            self.min_rtt = Some(match self.min_rtt {
+                Some(m) => m.min(s),
+                None => s,
+            });
+            // Delivery rate over the segment's flight: what the connection
+            // delivered between this segment's departure and its ACK.
+            let interval = now.saturating_since(seg.delivered_time);
+            if !interval.is_zero() {
+                rate = Some(RateSample {
+                    delivery_rate: (self.delivered - seg.delivered) as f64
+                        / interval.as_secs_f64(),
+                    interval,
+                    delivered: self.delivered,
+                    prior_delivered: seg.delivered,
+                    is_app_limited: seg.app_limited,
+                });
+            }
         }
+        self.last_rate = rate;
 
         self.snd_una = ack;
         if self.snd_nxt < self.snd_una {
@@ -169,7 +212,7 @@ impl TcpSender {
                     // congestion.
                     self.hold_growth = false;
                 } else {
-                    self.grow_window(now);
+                    self.grow_window(now, newly_acked, rtt, rate);
                 }
             }
         }
@@ -254,9 +297,9 @@ impl TcpSender {
         out: &mut Vec<tcpburst_net::Packet>,
     ) {
         let now = sched.now();
-        let flight = self.in_flight() as f64;
         self.counters.fast_retransmits += 1;
-        match self.policy.on_loss_signal(flight) {
+        let loss = self.loss_context(now);
+        match self.policy.on_loss_signal(&loss) {
             LossResponse::Collapse { ssthresh } => {
                 // Tahoe: fast retransmit, then slow-start from scratch.
                 self.ssthresh = ssthresh;
@@ -277,12 +320,30 @@ impl TcpSender {
         }
     }
 
-    /// Per-ACK window growth outside recovery; the policy returns the new
-    /// window (or holds), the engine applies the slow-start exit.
-    pub(super) fn grow_window(&mut self, now: SimTime) {
-        let adv = f64::from(self.cfg.advertised_window);
-        let in_ss = self.phase == Phase::SlowStart;
-        if let Some(w) = self.policy.on_ack_cwnd(self.cwnd, self.ssthresh, in_ss, adv) {
+    /// Per-ACK window growth outside recovery; the policy sees the full
+    /// [`AckSample`] and returns the new window (or holds), the engine
+    /// applies the slow-start exit.
+    fn grow_window(
+        &mut self,
+        now: SimTime,
+        newly_acked: u64,
+        rtt: Option<SimDuration>,
+        rate: Option<RateSample>,
+    ) {
+        let sample = AckSample {
+            now,
+            cwnd: self.cwnd,
+            ssthresh: self.ssthresh,
+            in_slow_start: self.phase == Phase::SlowStart,
+            advertised: f64::from(self.cfg.advertised_window),
+            newly_acked,
+            flight: self.in_flight() as f64,
+            rtt,
+            srtt: self.rtt.srtt(),
+            min_rtt: self.min_rtt,
+            rate,
+        };
+        if let Some(w) = self.policy.on_ack(&sample) {
             self.set_cwnd(now, w);
         }
         if self.phase == Phase::SlowStart && self.cwnd >= self.ssthresh {

@@ -1,10 +1,10 @@
-//! Transmission: the application send buffer, the usable window, and
-//! segment (re)transmission.
+//! Transmission: the application send buffer, the usable window, paced
+//! and windowed sending, and segment (re)transmission.
 
-use tcpburst_des::{Scheduler, SimTime};
+use tcpburst_des::{Scheduler, SimDuration, SimTime};
 use tcpburst_net::{Ecn, Packet, PacketKind, SeqNo};
 
-use crate::event::TransportEvent;
+use crate::event::{TimerKind, TransportEvent};
 use crate::sender::TcpSender;
 
 impl TcpSender {
@@ -27,6 +27,14 @@ impl TcpSender {
         (self.cwnd.floor() as u64).min(u64::from(self.cfg.advertised_window))
     }
 
+    /// Releases everything the window (and, for a pacing policy, the
+    /// clock) permits.
+    ///
+    /// With no pacing rate this is exactly the pre-pacing engine's loop —
+    /// back-to-back transmission, no timer, no extra state touched — so
+    /// window-based policies stay byte-identical. With a rate, segments
+    /// are spaced `1/rate` apart; when the next send lands in the future
+    /// the remainder of the flight waits on the [`TimerKind::Pace`] timer.
     pub(super) fn send_pending<E: From<TransportEvent>>(
         &mut self,
         sched: &mut Scheduler<E>,
@@ -34,11 +42,42 @@ impl TcpSender {
     ) {
         let now = sched.now();
         let mut sent_any = false;
-        while self.in_flight() < self.usable_window() && self.snd_nxt < self.app_limit {
-            let seq = self.snd_nxt;
-            self.transmit(seq, now, out);
-            self.snd_nxt = seq.next();
-            sent_any = true;
+        match self.pacing_rate() {
+            Some(rate) if rate > 0.0 => {
+                let spacing = SimDuration::from_secs_f64(1.0 / rate);
+                while self.in_flight() < self.usable_window() && self.snd_nxt < self.app_limit {
+                    if now < self.next_send_time {
+                        self.pace_deferrals += 1;
+                        let flow = self.flow;
+                        let deadline = self.next_send_time;
+                        self.pace_timer.schedule(sched, deadline, |generation| {
+                            TransportEvent {
+                                flow,
+                                kind: TimerKind::Pace,
+                                generation,
+                            }
+                            .into()
+                        });
+                        break;
+                    }
+                    let seq = self.snd_nxt;
+                    self.transmit(seq, now, out);
+                    self.snd_nxt = seq.next();
+                    // Credit accumulated while idle is forfeited: the next
+                    // slot opens one spacing after *now*, not after the
+                    // stale next_send_time.
+                    self.next_send_time = self.next_send_time.max(now) + spacing;
+                    sent_any = true;
+                }
+            }
+            _ => {
+                while self.in_flight() < self.usable_window() && self.snd_nxt < self.app_limit {
+                    let seq = self.snd_nxt;
+                    self.transmit(seq, now, out);
+                    self.snd_nxt = seq.next();
+                    sent_any = true;
+                }
+            }
         }
         if sent_any && !self.rto_timer.is_armed() {
             self.arm_rto(sched);
@@ -52,7 +91,13 @@ impl TcpSender {
             true
         } else {
             debug_assert_eq!(idx, self.window.len(), "non-contiguous transmission");
-            self.window.push(now);
+            // Delivery-rate stamp (BBR-style): snapshot the connection's
+            // delivered state at departure. The flight is app-limited when
+            // this transmission drains the backlog — the sample will then
+            // measure the application, not the path.
+            let app_limited = seq.next() >= self.app_limit;
+            self.window
+                .push(now, self.delivered, self.delivered_time, app_limited);
             false
         };
         if retransmit {

@@ -6,7 +6,9 @@ use tcpburst_des::{SimTime, TimerSlot};
 use tcpburst_net::{FlowId, NodeId, SeqNo};
 use tcpburst_stats::TimeSeries;
 
-use crate::cc::{CongestionControl, Policy};
+use tcpburst_des::SimDuration;
+
+use crate::cc::{CongestionControl, Policy, RateSample};
 use crate::config::TcpConfig;
 use crate::counters::TcpCounters;
 use crate::rtt::RttEstimator;
@@ -34,17 +36,43 @@ pub(super) struct SendWindow {
     /// When slot `i`'s segment was last (re)transmitted.
     last_sent: VecDeque<SimTime>,
     /// Whether slot `i`'s segment was ever retransmitted (Karn's rule
-    /// disqualifies it from RTT sampling).
+    /// disqualifies it from RTT *and* delivery-rate sampling).
     retransmitted: VecDeque<bool>,
+    /// The connection's `delivered` count when slot `i` was first sent
+    /// (BBR-style per-segment stamp for the delivery-rate sampler).
+    delivered: VecDeque<u64>,
+    /// The connection's `delivered_time` when slot `i` was first sent.
+    delivered_time: VecDeque<SimTime>,
+    /// Whether slot `i`'s transmission drained the application backlog:
+    /// its rate sample is app-limited, not a capacity measurement.
+    app_limited: VecDeque<bool>,
+}
+
+/// One retired (cumulatively acknowledged) window slot.
+#[derive(Debug, Clone, Copy)]
+pub(super) struct RetiredSegment {
+    /// When the segment was last (re)transmitted.
+    pub(super) last_sent: SimTime,
+    /// Whether Karn's rule disqualifies it from sampling.
+    pub(super) retransmitted: bool,
+    /// `delivered` stamp taken at first transmission.
+    pub(super) delivered: u64,
+    /// `delivered_time` stamp taken at first transmission.
+    pub(super) delivered_time: SimTime,
+    /// App-limited stamp taken at first transmission.
+    pub(super) app_limited: bool,
 }
 
 impl SendWindow {
-    /// Pre-sizes both columns; the window can never hold more than the
+    /// Pre-sizes all columns; the window can never hold more than the
     /// advertised window's worth of in-flight segments.
     pub(super) fn with_capacity(cap: usize) -> Self {
         SendWindow {
             last_sent: VecDeque::with_capacity(cap),
             retransmitted: VecDeque::with_capacity(cap),
+            delivered: VecDeque::with_capacity(cap),
+            delivered_time: VecDeque::with_capacity(cap),
+            app_limited: VecDeque::with_capacity(cap),
         }
     }
 
@@ -53,10 +81,20 @@ impl SendWindow {
         self.last_sent.len()
     }
 
-    /// Records a first transmission of the next untracked segment.
-    pub(super) fn push(&mut self, now: SimTime) {
+    /// Records a first transmission of the next untracked segment,
+    /// stamping the delivery-rate sampler's connection state.
+    pub(super) fn push(
+        &mut self,
+        now: SimTime,
+        delivered: u64,
+        delivered_time: SimTime,
+        app_limited: bool,
+    ) {
         self.last_sent.push_back(now);
         self.retransmitted.push_back(false);
+        self.delivered.push_back(delivered);
+        self.delivered_time.push_back(delivered_time);
+        self.app_limited.push_back(app_limited);
     }
 
     /// Records a retransmission of the segment in slot `idx`.
@@ -65,12 +103,23 @@ impl SendWindow {
         self.retransmitted[idx] = true;
     }
 
-    /// Retires the front slot (its segment was cumulatively acknowledged),
-    /// returning `(last_sent, retransmitted)`.
-    pub(super) fn pop_front(&mut self) -> Option<(SimTime, bool)> {
+    /// Retires the front slot (its segment was cumulatively acknowledged).
+    pub(super) fn pop_front(&mut self) -> Option<RetiredSegment> {
         let last_sent = self.last_sent.pop_front()?;
         let retransmitted = self.retransmitted.pop_front().expect("columns in lockstep");
-        Some((last_sent, retransmitted))
+        let delivered = self.delivered.pop_front().expect("columns in lockstep");
+        let delivered_time = self
+            .delivered_time
+            .pop_front()
+            .expect("columns in lockstep");
+        let app_limited = self.app_limited.pop_front().expect("columns in lockstep");
+        Some(RetiredSegment {
+            last_sent,
+            retransmitted,
+            delivered,
+            delivered_time,
+            app_limited,
+        })
     }
 
     /// When the oldest tracked segment was last (re)transmitted.
@@ -122,6 +171,26 @@ pub struct TcpSender {
     pub(super) rto_timer: TimerSlot,
     /// The congestion-control policy (window arithmetic lives here).
     pub(super) policy: Policy,
+    /// Total segments cumulatively delivered (the delivery-rate
+    /// sampler's `delivered` counter).
+    pub(super) delivered: u64,
+    /// When `delivered` last advanced.
+    pub(super) delivered_time: SimTime,
+    /// Minimum Karn-valid RTT over the connection's lifetime.
+    pub(super) min_rtt: Option<SimDuration>,
+    /// The most recent delivery-rate sample (inspection hook for tests
+    /// and instrumentation; the policy gets it via `AckSample`).
+    pub(super) last_rate: Option<RateSample>,
+    /// The paced-send timer; armed only while a policy paces.
+    pub(super) pace_timer: TimerSlot,
+    /// Earliest time the next paced transmission may leave.
+    pub(super) next_send_time: SimTime,
+    /// Times a send was deferred to the pace timer (must stay zero for
+    /// unpaced policies — the byte-identity contract with the pre-pacing
+    /// engine).
+    pub(super) pace_deferrals: u64,
+    /// Test support: overrides the policy's pacing rate when `Some`.
+    pub(super) pace_override: Option<f64>,
     /// When the window was last reduced in response to an ECN echo (the
     /// response is rate-limited to once per RTT, like RFC 3168's CWR).
     pub(super) last_ecn_cut: Option<SimTime>,
@@ -165,6 +234,14 @@ impl TcpSender {
             rtt: RttEstimator::new(cfg.tick, cfg.min_rto, cfg.max_rto),
             rto_timer: TimerSlot::new(),
             policy,
+            delivered: 0,
+            delivered_time: SimTime::ZERO,
+            min_rtt: None,
+            last_rate: None,
+            pace_timer: TimerSlot::new(),
+            next_send_time: SimTime::ZERO,
+            pace_deferrals: 0,
+            pace_override: None,
             last_ecn_cut: None,
             hold_growth: false,
             sacked: BTreeSet::new(),
@@ -245,6 +322,43 @@ impl TcpSender {
     /// lets a harness deliver an ACK at an exact RTT after the send.
     pub fn oldest_unacked_sent_at(&self) -> Option<SimTime> {
         self.window.front_last_sent()
+    }
+
+    /// Total segments cumulatively delivered (the delivery-rate
+    /// sampler's monotone counter).
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// The minimum Karn-valid RTT observed so far.
+    pub fn min_rtt(&self) -> Option<SimDuration> {
+        self.min_rtt
+    }
+
+    /// The most recent delivery-rate sample, if any ACK has produced one
+    /// (inspection hook for tests and instrumentation).
+    pub fn last_rate_sample(&self) -> Option<RateSample> {
+        self.last_rate
+    }
+
+    /// The pacing rate currently in force: the test override if set,
+    /// otherwise whatever the policy asks for.
+    pub fn pacing_rate(&self) -> Option<f64> {
+        self.pace_override.or_else(|| self.policy.pacing_rate())
+    }
+
+    /// Times a send was deferred to the paced-send timer. Stays zero for
+    /// any policy whose `pacing_rate()` is `None` — that path is
+    /// byte-identical to the pre-pacing engine.
+    pub fn pace_deferrals(&self) -> u64 {
+        self.pace_deferrals
+    }
+
+    /// Test support: forces pacing at the given rate (packets/second)
+    /// regardless of the policy. `f64::INFINITY` exercises the paced
+    /// send path with zero inter-send spacing.
+    pub fn force_pacing_rate(&mut self, rate: Option<f64>) {
+        self.pace_override = rate;
     }
 
     /// Test support: overrides the slow-start threshold so a harness can

@@ -1,9 +1,9 @@
-//! The retransmission timer: RTO arming and expiry.
+//! The sender's timers: RTO arming and expiry, and the paced-send timer.
 
 use tcpburst_des::{Scheduler, TimerGeneration};
 use tcpburst_net::Packet;
 
-use crate::cc::CongestionControl;
+use crate::cc::{CongestionControl, LossContext};
 use crate::event::{TimerKind, TransportEvent};
 use crate::sender::state::Phase;
 use crate::sender::TcpSender;
@@ -23,8 +23,38 @@ impl TcpSender {
         sched: &mut Scheduler<E>,
         out: &mut Vec<Packet>,
     ) -> bool {
-        if kind != TimerKind::Rto || !self.rto_timer.fires(generation) {
-            return false; // stale or misrouted firing
+        match kind {
+            TimerKind::Rto => self.on_rto_timer(generation, sched, out),
+            TimerKind::Pace => self.on_pace_timer(generation, sched, out),
+            TimerKind::DelAck => false, // misrouted: that timer is the receiver's
+        }
+    }
+
+    /// The paced-send timer: the pacing clock has caught up with the next
+    /// transmission slot, so release whatever the window now permits.
+    fn on_pace_timer<E: From<TransportEvent>>(
+        &mut self,
+        generation: TimerGeneration,
+        sched: &mut Scheduler<E>,
+        out: &mut Vec<Packet>,
+    ) -> bool {
+        if !self.pace_timer.fires(generation) {
+            return false;
+        }
+        self.pace_timer.note_popped();
+        self.pace_timer.disarm();
+        self.send_pending(sched, out);
+        true
+    }
+
+    fn on_rto_timer<E: From<TransportEvent>>(
+        &mut self,
+        generation: TimerGeneration,
+        sched: &mut Scheduler<E>,
+        out: &mut Vec<Packet>,
+    ) -> bool {
+        if !self.rto_timer.fires(generation) {
+            return false; // stale firing
         }
         self.rto_timer.note_popped();
         let now = sched.now();
@@ -52,7 +82,15 @@ impl TcpSender {
         // Classic timeout response: the policy picks the new threshold,
         // the engine collapses the window to one segment, backs the timer
         // off, and resends from the hole (go-back-N, like the ns agents).
-        self.ssthresh = self.policy.on_rto(self.in_flight() as f64, self.snd_una);
+        let loss = LossContext {
+            now,
+            flight: self.in_flight() as f64,
+            cwnd: self.cwnd,
+            ssthresh: self.ssthresh,
+            resume_from: self.snd_una,
+            min_rtt: self.min_rtt,
+        };
+        self.ssthresh = self.policy.on_rto(&loss);
         self.set_cwnd(now, 1.0);
         self.phase = Phase::SlowStart;
         self.dup_acks = 0;

@@ -5,6 +5,10 @@
 //! [`TcpSender`] through the same construction and clock plumbing; this
 //! module holds the one copy of it (it used to be duplicated ~30× across
 //! the old monolithic sender test module).
+//!
+//! Each integration-test binary compiles its own copy, and no single
+//! binary uses every helper, hence the blanket `dead_code` allowance.
+#![allow(dead_code)]
 
 use tcpburst_des::{Scheduler, SimDuration};
 use tcpburst_net::{FlowId, NodeId, Packet, PacketKind, SackBlocks, SeqNo};

@@ -1,0 +1,142 @@
+//! The delivery-rate sampler (the BBR-style `delivered`/`delivered_time`
+//! stamps harvested on each cumulative ACK).
+//!
+//! Covers the properties the modern policies rely on: samples are
+//! monotone (the `delivered` count never moves backwards and each
+//! sample's interval is positive), app-limited flights are detected and
+//! flagged, retransmitted segments never anchor a sample (Karn's rule,
+//! same as the RTT estimator), and the windowed min-RTT only ratchets
+//! down.
+
+mod common;
+
+use common::{ack_after, advance, plain_ack, sender};
+use tcpburst_des::SimDuration;
+use tcpburst_net::SackBlocks;
+use tcpburst_transport::TcpVariant;
+
+#[test]
+fn delivered_count_tracks_cumulative_acks() {
+    let (mut s, mut sched, mut out) = sender(TcpVariant::Reno);
+    assert_eq!(s.delivered(), 0);
+    s.on_app_packets(10, &mut sched, &mut out);
+    ack_after(&mut s, &mut sched, &mut out, 40);
+    assert_eq!(s.delivered(), 1);
+    // Slow start opened the window to 2; ack both at once.
+    ack_after(&mut s, &mut sched, &mut out, 40);
+    let upto = s.snd_una().0;
+    assert_eq!(s.delivered(), upto, "delivered must equal the cumulative ACK point");
+}
+
+#[test]
+fn samples_are_monotone_and_positive() {
+    let (mut s, mut sched, mut out) = sender(TcpVariant::Reno);
+    s.on_app_packets(50, &mut sched, &mut out);
+    let mut last_delivered = 0;
+    for _ in 0..12 {
+        ack_after(&mut s, &mut sched, &mut out, 44);
+        let rate = s.last_rate_sample().expect("clean ACK must carry a sample");
+        assert!(rate.delivered > last_delivered, "delivered went backwards");
+        assert!(rate.prior_delivered < rate.delivered);
+        assert!(!rate.interval.is_zero(), "zero-interval sample escaped the guard");
+        assert!(rate.delivery_rate > 0.0);
+        // delivery_rate is (delivered − prior) / interval by construction.
+        let expect = (rate.delivered - rate.prior_delivered) as f64 / rate.interval.as_secs_f64();
+        assert!((rate.delivery_rate - expect).abs() < 1e-9);
+        last_delivered = rate.delivered;
+    }
+}
+
+#[test]
+fn draining_the_backlog_marks_the_flight_app_limited() {
+    let (mut s, mut sched, mut out) = sender(TcpVariant::Reno);
+    // One lonely segment: its transmission empties the send buffer, so
+    // the sample it produces measures the application, not the path.
+    s.on_app_packets(1, &mut sched, &mut out);
+    ack_after(&mut s, &mut sched, &mut out, 40);
+    let rate = s.last_rate_sample().expect("sample");
+    assert!(rate.is_app_limited, "a backlog-draining flight is app-limited");
+
+    // A deep backlog keeps the window the binding constraint.
+    s.on_app_packets(100, &mut sched, &mut out);
+    ack_after(&mut s, &mut sched, &mut out, 40);
+    let rate = s.last_rate_sample().expect("sample");
+    assert!(!rate.is_app_limited, "a window-limited flight is not app-limited");
+}
+
+#[test]
+fn retransmitted_segments_never_anchor_a_sample() {
+    let (mut s, mut sched, mut out) = sender(TcpVariant::NewReno);
+    s.on_app_packets(40, &mut sched, &mut out);
+    // Grow the window so a loss episode has dup-ACK fuel.
+    for _ in 0..6 {
+        ack_after(&mut s, &mut sched, &mut out, 40);
+    }
+    let hole = s.snd_una();
+    assert!(s.in_flight() >= 4, "need a window to fast-retransmit from");
+    // Three dup ACKs: fast retransmit of `hole`.
+    for _ in 0..3 {
+        s.on_ack(hole, false, SackBlocks::EMPTY, &mut sched, &mut out);
+    }
+    assert!(s.in_fast_recovery());
+    let before = s.last_rate_sample();
+    // The partial ACK retires exactly the retransmitted slot; Karn's rule
+    // must discard it as a rate anchor, leaving the stale sample in place.
+    plain_ack(&mut s, &mut sched, &mut out, hole.0 + 1);
+    assert_eq!(
+        s.last_rate_sample(),
+        None,
+        "a retransmitted segment anchored a delivery-rate sample"
+    );
+    assert_ne!(before, None, "the pre-loss ACKs did produce samples");
+}
+
+#[test]
+fn min_rtt_only_ratchets_down() {
+    let (mut s, mut sched, mut out) = sender(TcpVariant::Reno);
+    s.on_app_packets(30, &mut sched, &mut out);
+    assert_eq!(s.min_rtt(), None);
+    // Cumulatively ACK the whole flight `delay` ms after it went out: the
+    // rate/RTT anchor is the newest retired segment, which was transmitted
+    // at the previous ACK's instant, so the sampled RTT equals `delay`.
+    let round = |s: &mut tcpburst_transport::TcpSender,
+                 sched: &mut common::Sched,
+                 out: &mut Vec<tcpburst_net::Packet>,
+                 delay_ms: u64| {
+        let nxt = s.snd_nxt().0;
+        advance(sched, delay_ms);
+        plain_ack(s, sched, out, nxt);
+    };
+    round(&mut s, &mut sched, &mut out, 80);
+    assert_eq!(s.min_rtt(), Some(SimDuration::from_millis(80)));
+    // A slower round trip leaves the floor alone...
+    round(&mut s, &mut sched, &mut out, 120);
+    assert_eq!(s.min_rtt(), Some(SimDuration::from_millis(80)));
+    // ...and a faster one lowers it.
+    round(&mut s, &mut sched, &mut out, 44);
+    assert_eq!(s.min_rtt(), Some(SimDuration::from_millis(44)));
+}
+
+#[test]
+fn first_transmission_round_has_prior_delivered_zero() {
+    let (mut s, mut sched, mut out) = sender(TcpVariant::Reno);
+    s.on_app_packets(5, &mut sched, &mut out);
+    ack_after(&mut s, &mut sched, &mut out, 40);
+    let rate = s.last_rate_sample().expect("sample");
+    assert_eq!(rate.prior_delivered, 0);
+    assert_eq!(rate.delivered, 1);
+}
+
+#[test]
+fn dup_acks_leave_the_last_sample_untouched() {
+    let (mut s, mut sched, mut out) = sender(TcpVariant::Reno);
+    s.on_app_packets(20, &mut sched, &mut out);
+    ack_after(&mut s, &mut sched, &mut out, 40);
+    let sample = s.last_rate_sample();
+    assert_ne!(sample, None);
+    let una = s.snd_una();
+    s.on_ack(una, false, SackBlocks::EMPTY, &mut sched, &mut out);
+    assert_eq!(s.last_rate_sample(), sample, "a dup ACK is not a delivery");
+    // Guard the harness assumption: the dup ACK really was a dup.
+    assert_eq!(s.snd_una(), una);
+}

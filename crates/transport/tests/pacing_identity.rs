@@ -1,0 +1,142 @@
+//! The pacing layer must be invisible unless a policy asks for it.
+//!
+//! Two guarantees, proptested over random write/ACK schedules:
+//!
+//! 1. **Zero-overhead None path** — a policy whose `pacing_rate()` is
+//!    `None` drives the exact pre-pacing send loop: no paced-send timer
+//!    is ever armed and no transmission is ever deferred.
+//! 2. **Degenerate-rate identity** — forcing an *infinite* pacing rate
+//!    routes every transmission through the paced branch with a zero
+//!    inter-send gap, which must reproduce the unpaced engine's output
+//!    byte for byte: same segments, same windows, same counters.
+//!
+//! Together these pin the refactored `send_pending` from both sides: the
+//! unpaced branch is untouched, and the paced branch differs only by the
+//! clock it waits on.
+
+mod common;
+
+use common::{ack_after, advance, data_seqs, sender, Sched};
+use proptest::prelude::*;
+use tcpburst_net::Packet;
+use tcpburst_transport::{TcpSender, TcpVariant};
+
+/// One step of an application/network schedule.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// The application submits `n` more segments.
+    Write(u64),
+    /// The oldest outstanding segment is acknowledged `delay_ms` after its
+    /// transmission (a no-op clock advance when nothing is in flight).
+    Ack { delay_ms: u64 },
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (1u64..8).prop_map(Op::Write),
+            (1u64..200).prop_map(|delay_ms| Op::Ack { delay_ms }),
+        ],
+        1..60,
+    )
+}
+
+/// Every unpaced policy (BBR is excluded: it paces by design, so an
+/// override would change its behavior rather than exercise the
+/// degenerate path).
+const UNPACED: [TcpVariant; 8] = [
+    TcpVariant::Tahoe,
+    TcpVariant::Reno,
+    TcpVariant::NewReno,
+    TcpVariant::Vegas,
+    TcpVariant::Sack,
+    TcpVariant::Gaimd,
+    TcpVariant::Cubic,
+    TcpVariant::Hstcp,
+];
+
+fn unpaced_variants() -> impl Strategy<Value = TcpVariant> {
+    (0usize..UNPACED.len()).prop_map(|i| UNPACED[i])
+}
+
+fn drive(s: &mut TcpSender, sched: &mut Sched, out: &mut Vec<Packet>, ops: &[Op]) {
+    for &op in ops {
+        match op {
+            Op::Write(n) => s.on_app_packets(n, sched, out),
+            Op::Ack { delay_ms } => {
+                if s.in_flight() > 0 {
+                    ack_after(s, sched, out, delay_ms);
+                } else {
+                    advance(sched, delay_ms);
+                }
+            }
+        }
+    }
+}
+
+/// The observable outcome of a schedule: emitted data segments in order,
+/// the deferral count, and the end-state summary.
+fn run(variant: TcpVariant, ops: &[Op], rate: Option<f64>) -> (Vec<u64>, u64, String) {
+    let (mut s, mut sched, mut out) = sender(variant);
+    s.force_pacing_rate(rate);
+    drive(&mut s, &mut sched, &mut out, ops);
+    let summary = format!(
+        "cwnd={:?} ssthresh={:?} una={:?} nxt={:?} counters={:?}",
+        s.cwnd().to_bits(),
+        s.ssthresh().to_bits(),
+        s.snd_una(),
+        s.snd_nxt(),
+        s.counters()
+    );
+    (data_seqs(&out), s.pace_deferrals(), summary)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn none_pacing_never_defers_or_arms_the_pacer(
+        variant in unpaced_variants(),
+        ops in ops(),
+    ) {
+        let (_, deferrals, _) = run(variant, &ops, None);
+        prop_assert_eq!(
+            deferrals, 0,
+            "{:?}: the None path must never touch the paced-send machinery", variant
+        );
+    }
+
+    #[test]
+    fn infinite_rate_reproduces_the_unpaced_engine_byte_for_byte(
+        variant in unpaced_variants(),
+        ops in ops(),
+    ) {
+        let plain = run(variant, &ops, None);
+        let degenerate = run(variant, &ops, Some(f64::INFINITY));
+        prop_assert_eq!(
+            &plain.0, &degenerate.0,
+            "{:?}: paced branch with zero spacing emitted different segments", variant
+        );
+        prop_assert_eq!(
+            &plain.2, &degenerate.2,
+            "{:?}: end states diverged", variant
+        );
+        prop_assert_eq!(degenerate.1, 0, "an infinite rate must never defer");
+    }
+}
+
+/// A tiny finite rate *must* defer: the guard that the paced branch is
+/// actually reachable, so the identity tests above aren't vacuous.
+#[test]
+fn finite_rate_defers_back_to_back_sends() {
+    let (mut s, mut sched, mut out) = sender(TcpVariant::Reno);
+    s.force_pacing_rate(Some(10.0)); // one segment per 100 ms
+    // Open the window so more than one segment is eligible at once.
+    s.on_app_packets(2, &mut sched, &mut out);
+    ack_after(&mut s, &mut sched, &mut out, 40);
+    s.on_app_packets(4, &mut sched, &mut out);
+    assert!(
+        s.pace_deferrals() > 0,
+        "a 10 pkt/s pacer must defer a multi-segment burst"
+    );
+}

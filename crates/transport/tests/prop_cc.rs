@@ -13,11 +13,11 @@
 //!    passage of time leave it untouched.
 
 use proptest::prelude::*;
-use tcpburst_des::Scheduler;
+use tcpburst_des::{Scheduler, SimTime};
 use tcpburst_net::{FlowId, NodeId, SackBlocks, SeqNo};
 use tcpburst_transport::{
-    CongestionControl, GaimdParams, LossResponse, Policy, TcpConfig, TcpSender, TcpVariant,
-    TransportEvent,
+    AckSample, CongestionControl, GaimdParams, LossContext, LossResponse, Policy, TcpConfig,
+    TcpSender, TcpVariant, TransportEvent,
 };
 
 /// One policy hook invocation, with the engine-side state transition the
@@ -54,14 +54,34 @@ fn drive_policy(policy: &mut Policy, hooks: &[Hook], advertised: f64) -> Vec<(f6
     let mut trajectory = Vec::with_capacity(hooks.len());
     for &h in hooks {
         let flight = cwnd.min(advertised).max(1.0).floor();
+        let loss = LossContext {
+            now: SimTime::ZERO,
+            flight,
+            cwnd,
+            ssthresh,
+            resume_from: SeqNo(0),
+            min_rtt: None,
+        };
         match h {
             Hook::Ack => {
-                let in_ss = cwnd < ssthresh;
-                if let Some(w) = policy.on_ack_cwnd(cwnd, ssthresh, in_ss, advertised) {
+                let sample = AckSample {
+                    now: SimTime::ZERO,
+                    cwnd,
+                    ssthresh,
+                    in_slow_start: cwnd < ssthresh,
+                    advertised,
+                    newly_acked: 1,
+                    flight,
+                    rtt: None,
+                    srtt: None,
+                    min_rtt: None,
+                    rate: None,
+                };
+                if let Some(w) = policy.on_ack(&sample) {
                     cwnd = w;
                 }
             }
-            Hook::Loss => match policy.on_loss_signal(flight) {
+            Hook::Loss => match policy.on_loss_signal(&loss) {
                 LossResponse::Collapse { ssthresh: s } => {
                     ssthresh = s;
                     cwnd = 1.0;
@@ -72,11 +92,11 @@ fn drive_policy(policy: &mut Policy, hooks: &[Hook], advertised: f64) -> Vec<(f6
                 }
             },
             Hook::Rto => {
-                ssthresh = policy.on_rto(flight, SeqNo(0));
+                ssthresh = policy.on_rto(&loss);
                 cwnd = 1.0;
             }
             Hook::Ecn => {
-                ssthresh = policy.on_ecn_cwnd(flight);
+                ssthresh = policy.on_ecn_cwnd(&loss);
                 cwnd = ssthresh;
             }
             Hook::PostRecovery => {
@@ -95,14 +115,7 @@ fn policy_for(variant: TcpVariant, gaimd: GaimdParams) -> Policy {
 }
 
 fn variants() -> impl Strategy<Value = TcpVariant> {
-    prop_oneof![
-        Just(TcpVariant::Tahoe),
-        Just(TcpVariant::Reno),
-        Just(TcpVariant::NewReno),
-        Just(TcpVariant::Vegas),
-        Just(TcpVariant::Sack),
-        Just(TcpVariant::Gaimd),
-    ]
+    (0usize..TcpVariant::ALL.len()).prop_map(|i| TcpVariant::ALL[i])
 }
 
 fn gaimd_beta() -> impl Strategy<Value = f64> {

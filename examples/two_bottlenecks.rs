@@ -142,7 +142,7 @@ fn main() {
             Event::Transport(tev) => {
                 let i = tev.flow.0 as usize;
                 match tev.kind {
-                    TimerKind::Rto => {
+                    TimerKind::Rto | TimerKind::Pace => {
                         senders[i].on_timer(tev.kind, tev.generation, &mut sched, &mut out);
                     }
                     TimerKind::DelAck => {

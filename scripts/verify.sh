@@ -104,6 +104,33 @@ echo "==> golden traces: GAIMD default exponents reproduce Reno"
 diff "$TMP/reno.txt" "$TMP/gaimd.txt"
 echo "GAIMD(0, 1) tables byte-identical to Reno"
 
+echo "==> modern policies: run + sweep + resume smoke for cubic/hstcp/bbr"
+# Every modern variant must drive the full stack end-to-end: a single run
+# (bbr also exercises the paced-send timer path), a journalled sweep, and
+# a truncated-journal resume that reproduces the sweep byte-for-byte.
+for v in cubic hstcp bbr; do
+    ./target/release/tcpburst run --clients 10 --secs 5 --variant "$v" \
+        > "$TMP/modern_run.txt"
+    grep -q "c.o.v." "$TMP/modern_run.txt"
+    ./target/release/tcpburst sweep --variant "$v" --clients 5,15 --secs 3 \
+        --jobs 2 --no-cache --journal "$TMP/modern.jsonl" \
+        > "$TMP/modern_fresh.txt"
+    head -n 2 "$TMP/modern.jsonl" > "$TMP/modern_trunc.jsonl"
+    ./target/release/tcpburst sweep --variant "$v" --clients 5,15 --secs 3 \
+        --jobs 2 --no-cache --resume "$TMP/modern_trunc.jsonl" \
+        > "$TMP/modern_resumed.txt" 2> "$TMP/modern_resumed.err"
+    diff "$TMP/modern_fresh.txt" "$TMP/modern_resumed.txt"
+    grep -q "resumed 1 point(s)" "$TMP/modern_resumed.err"
+    rm -f "$TMP/modern.jsonl" "$TMP/modern_trunc.jsonl"
+done
+# The paced policy through the fork/IPC/merge path: worker processes must
+# reproduce the in-process sweep (modern_fresh.txt is bbr's, the loop's
+# last iteration) bit-for-bit.
+./target/release/tcpburst sweep --variant bbr --clients 5,15 --secs 3 \
+    --no-cache --workers 2 > "$TMP/modern_forked.txt"
+diff "$TMP/modern_fresh.txt" "$TMP/modern_forked.txt"
+echo "cubic/hstcp/bbr run, sweep, journal-resume, and worker processes all reproduce"
+
 echo "==> policy layer: no variant dispatch outside Policy::for_config"
 # The reliability engine (sender/) and the policies (cc/) must stay
 # variant-agnostic: the single match on TcpVariant lives in cc/mod.rs

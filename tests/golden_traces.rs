@@ -31,11 +31,19 @@ const VARIANTS: [Protocol; 5] = [
     Protocol::Sack,
 ];
 
+/// The modern policies added with the delivery-rate/pacing engine, pinned
+/// by their own golden file (`tests/golden/modern_tables.txt`).
+const MODERN: [Protocol; 3] = [Protocol::Cubic, Protocol::Hstcp, Protocol::Bbr];
+
 const CLIENTS: [usize; 2] = [12, 48];
 const SECS: u64 = 6;
 
 fn golden_path() -> std::path::PathBuf {
     std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden/fig_tables.txt")
+}
+
+fn modern_golden_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden/modern_tables.txt")
 }
 
 fn figure_tables(protocols: &[Protocol], queue: QueueBackend, jobs: usize) -> String {
@@ -97,6 +105,43 @@ fn tables_invariant_across_backends_and_jobs() {
             figure_tables(&VARIANTS, queue, jobs),
             reference,
             "figure tables differ for {queue:?} with jobs={jobs}"
+        );
+    }
+}
+
+#[test]
+fn modern_variants_match_golden_tables() {
+    let got = figure_tables(&MODERN, QueueBackend::Calendar, 1);
+    let path = modern_golden_path();
+    if std::env::var("BLESS_GOLDEN").is_ok() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &got).unwrap();
+        return;
+    }
+    let want = std::fs::read_to_string(&path)
+        .expect("tests/golden/modern_tables.txt missing; bless it with BLESS_GOLDEN=1");
+    assert_eq!(
+        got, want,
+        "modern-policy figure tables diverged from tests/golden/modern_tables.txt; \
+         if the change is intentional, re-bless with BLESS_GOLDEN=1"
+    );
+}
+
+/// Cubic, HSTCP and BBR (the one paced policy, so its burst timing rides
+/// the paced-send timer path) must be bit-identical across the two event
+/// queue backends and across `--jobs` 1 vs 4, exactly like the legacy set.
+#[test]
+fn modern_tables_invariant_across_backends_and_jobs() {
+    let reference = figure_tables(&MODERN, QueueBackend::Calendar, 1);
+    for (queue, jobs) in [
+        (QueueBackend::Calendar, 4),
+        (QueueBackend::BinaryHeap, 1),
+        (QueueBackend::BinaryHeap, 4),
+    ] {
+        assert_eq!(
+            figure_tables(&MODERN, queue, jobs),
+            reference,
+            "modern figure tables differ for {queue:?} with jobs={jobs}"
         );
     }
 }
