@@ -7,6 +7,7 @@
 //! [`ScenarioBuilder::CLI_FLAGS`], so the help can never go stale.
 
 use std::env;
+use std::io::Write;
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -17,8 +18,10 @@ use tcpburst_core::experiments::{
 };
 use tcpburst_des::SimDuration;
 use tcpburst_core::{
-    run_point, worker_main, FailurePolicy, Protocol, ReplicatedSweep, ResultStore, RunBudget,
-    RunError, ScenarioBuilder, SupervisedSweep, SweepSupervisor, WorkerCommand,
+    remote_worker_main, run_point, submit_job, worker_main, ExecTuning, FailurePolicy, Gateway,
+    JobConn, Protocol, RemoteExec, ReplicatedSweep, ResultStore, RunBudget, RunError,
+    ScenarioBuilder, SupervisedSweep, SweepSupervisor, WorkerCommand, WorkerOptions,
+    DEFAULT_TOKEN,
 };
 
 fn usage() -> String {
@@ -34,6 +37,11 @@ USAGE:
                        [--jobs N]
     tcpburst cwnd      [scenario flags]
     tcpburst table1
+    tcpburst serve     --listen ADDR [--token T] [--once]
+                       [--liveness-ms N] [--grace-ms N]
+    tcpburst worker    --connect ADDR [--token T] [--heartbeat-ms N]
+                       [--max-reconnects N]
+    tcpburst submit    --connect ADDR [--token T] sweep [sweep flags...]
 
 SCENARIO FLAGS (one builder stage each):
 {}
@@ -77,6 +85,35 @@ ROBUSTNESS (supervision and watchdog budgets):
                            journal (truncates PATH)
     --resume PATH          skip points already in the journal; the output is
                            byte-identical to an uninterrupted sweep
+
+SWEEP SERVICE (distributed fan-out over TCP):
+    serve                  long-running daemon: accepts sweep jobs and
+                           worker registrations on --listen (prints the
+                           bound address to stderr; --once exits after one
+                           job)
+    worker --connect       remote worker: dials the daemon, authenticates
+                           with the shared --token, steals grid points,
+                           heartbeats while computing, reconnects with
+                           exponential backoff + jitter and a digest-keyed
+                           resume handshake
+    submit                 sends a sweep job to the daemon and streams its
+                           output back; exits nonzero if the sweep failed
+    --token T              shared job token (both sides default to
+                           '{DEFAULT_TOKEN}')
+    --liveness-ms N        daemon: declare a worker dead after N ms of
+                           silence and requeue its in-flight point
+                           (default 2000)
+    --grace-ms N           daemon: with zero live workers for N ms, finish
+                           the sweep in-process (default 1500)
+    --heartbeat-ms N       worker: heartbeat interval while a point is
+                           computing (default 400)
+    --max-reconnects N     worker: reconnect attempts before giving up
+                           (default 8)
+    A sweep's finalized journal and figure tables are byte-identical to
+    the serial in-process run at any worker count and under any injected
+    fault schedule; killed/stalled/partitioned workers cost requeues, not
+    results (counters on stderr: requeued_points, worker_restarts,
+    heartbeat_misses, backoff_retries).
 
 PROTOCOLS:
     udp, reno, reno-red, vegas, vegas-red, reno-delayack, tahoe, newreno,
@@ -139,6 +176,76 @@ struct Args {
     /// by worker processes so parent and child parse the identical base
     /// configuration.
     raw: Vec<String>,
+}
+
+/// Sweep-service flags, stripped from the argument tail before scenario
+/// parsing so `serve`/`worker`/`submit` can share the flag space.
+struct NetOpts {
+    listen: Option<String>,
+    connect: Option<String>,
+    token: String,
+    once: bool,
+    heartbeat: Duration,
+    liveness: Duration,
+    grace: Duration,
+    max_reconnects: u32,
+}
+
+/// Extracts the sweep-service flags; everything else passes through to
+/// the scenario parser (or, for `submit`, travels as the job argv).
+fn split_net_flags(args: &[String]) -> Result<(NetOpts, Vec<String>), String> {
+    let mut net = NetOpts {
+        listen: None,
+        connect: None,
+        token: DEFAULT_TOKEN.to_string(),
+        once: false,
+        heartbeat: Duration::from_millis(400),
+        liveness: Duration::from_millis(2000),
+        grace: Duration::from_millis(1500),
+        max_reconnects: 8,
+    };
+    let mut rest = Vec::new();
+    let mut it = args.iter().cloned();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or(format!("{name} requires a value"));
+        match flag.as_str() {
+            "--listen" => net.listen = Some(value("--listen")?),
+            "--connect" => net.connect = Some(value("--connect")?),
+            "--token" => {
+                let t = value("--token")?;
+                if t.is_empty() || t.split_whitespace().count() != 1 {
+                    return Err("--token must be one non-empty word".into());
+                }
+                net.token = t;
+            }
+            "--once" => net.once = true,
+            "--heartbeat-ms" => {
+                let ms: u64 = value("--heartbeat-ms")?
+                    .parse()
+                    .map_err(|e| format!("--heartbeat-ms: {e}"))?;
+                net.heartbeat = Duration::from_millis(ms.max(1));
+            }
+            "--liveness-ms" => {
+                let ms: u64 = value("--liveness-ms")?
+                    .parse()
+                    .map_err(|e| format!("--liveness-ms: {e}"))?;
+                net.liveness = Duration::from_millis(ms.max(1));
+            }
+            "--grace-ms" => {
+                let ms: u64 = value("--grace-ms")?
+                    .parse()
+                    .map_err(|e| format!("--grace-ms: {e}"))?;
+                net.grace = Duration::from_millis(ms);
+            }
+            "--max-reconnects" => {
+                net.max_reconnects = value("--max-reconnects")?
+                    .parse()
+                    .map_err(|e| format!("--max-reconnects: {e}"))?;
+            }
+            _ => rest.push(flag),
+        }
+    }
+    Ok((net, rest))
 }
 
 fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
@@ -373,6 +480,20 @@ fn cmd_run(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_sweep(args: &Args) -> Result<(), String> {
+    let mut out = std::io::stdout().lock();
+    let mut err = std::io::stderr().lock();
+    run_sweep(args, None, &mut out, &mut err)
+}
+
+/// The sweep body, shared by the `sweep` command (stdout/stderr) and the
+/// daemon's job loop (buffers streamed back to the submitter). `remote`
+/// attaches the daemon's remote-worker executor.
+fn run_sweep(
+    args: &Args,
+    remote: Option<Arc<RemoteExec>>,
+    out: &mut dyn Write,
+    err: &mut dyn Write,
+) -> Result<(), String> {
     let store = open_store(&args.cache)?;
     let mut supervisor = SweepSupervisor::new(&args.cfg, &args.protocol_set, &args.client_list)
         .jobs(args.jobs)
@@ -382,7 +503,9 @@ fn cmd_sweep(args: &Args) -> Result<(), String> {
     if let Some(store) = &store {
         supervisor = supervisor.store(Arc::clone(store));
     }
-    if args.workers != 1 {
+    if let Some(remote) = remote {
+        supervisor = supervisor.remote(remote);
+    } else if args.workers != 1 {
         // Worker processes re-execute this binary's hidden `worker`
         // subcommand with our own argument tail, so both sides parse the
         // identical base configuration.
@@ -398,21 +521,25 @@ fn cmd_sweep(args: &Args) -> Result<(), String> {
         _ => supervisor.run(),
     };
     // Figure tables on stdout stay byte-identical whether the sweep ran
-    // fresh, journalled, resumed, cached, in-process or in worker
-    // processes; supervision bookkeeping goes to stderr.
-    println!("{}", supervised.sweep.fig2_cov_table());
-    println!("{}", supervised.sweep.fig3_throughput_table());
-    println!("{}", supervised.sweep.fig4_loss_table());
-    println!("{}", supervised.sweep.fig13_timeout_ratio_table());
+    // fresh, journalled, resumed, cached, in-process, in worker processes
+    // or on remote workers under chaos; supervision bookkeeping goes to
+    // stderr.
+    let w = |e: std::io::Error| format!("writing output: {e}");
+    writeln!(out, "{}", supervised.sweep.fig2_cov_table()).map_err(w)?;
+    writeln!(out, "{}", supervised.sweep.fig3_throughput_table()).map_err(w)?;
+    writeln!(out, "{}", supervised.sweep.fig4_loss_table()).map_err(w)?;
+    writeln!(out, "{}", supervised.sweep.fig13_timeout_ratio_table()).map_err(w)?;
     if supervised.resumed_points > 0 {
-        eprintln!(
+        let _ = writeln!(
+            err,
             "resumed {} point(s) from journal, ran {} fresh",
             supervised.resumed_points, supervised.completed_points
         );
     }
     if store.is_some() {
         let (hits, misses) = (supervised.cache_hits, supervised.cache_misses);
-        eprintln!(
+        let _ = writeln!(
+            err,
             "cache: {hits} hit(s), {misses} miss(es){}",
             if misses == 0 && hits > 0 {
                 " (100% cache hits)"
@@ -421,14 +548,17 @@ fn cmd_sweep(args: &Args) -> Result<(), String> {
             }
         );
     }
+    if supervised.robustness.any() {
+        let _ = writeln!(err, "robustness: {}", supervised.robustness);
+    }
     if let Some(e) = &supervised.journal_error {
-        eprintln!("warning: journal finalize failed: {e}");
+        let _ = writeln!(err, "warning: journal finalize failed: {e}");
     }
     for f in &supervised.failures {
-        eprintln!("FAILED  {f}");
+        let _ = writeln!(err, "FAILED  {f}");
     }
     for p in &supervised.skipped {
-        eprintln!("SKIPPED {p} (fail-fast abort)");
+        let _ = writeln!(err, "SKIPPED {p} (fail-fast abort)");
     }
     if supervised.all_complete() {
         Ok(())
@@ -438,6 +568,61 @@ fn cmd_sweep(args: &Args) -> Result<(), String> {
             supervised.failures.len(),
             supervised.skipped.len()
         ))
+    }
+}
+
+/// The `serve` daemon loop: accept submitted jobs, run each with the
+/// gateway's remote workers attached, stream the output back.
+fn cmd_serve(net: &NetOpts) -> Result<(), String> {
+    let listen = net.listen.as_deref().ok_or("serve requires --listen ADDR")?;
+    let gateway =
+        Arc::new(Gateway::bind(listen, &net.token).map_err(|e| format!("--listen {listen}: {e}"))?);
+    // The bound address goes to stderr so scripts can discover an
+    // ephemeral (`:0`) port.
+    eprintln!("listening on {}", gateway.local_addr());
+    loop {
+        let Some(mut job) = gateway
+            .next_job() else {
+            return Err("gateway accept loop died".into());
+        };
+        serve_one_job(&gateway, &mut job, net);
+        if net.once {
+            return Ok(());
+        }
+    }
+}
+
+fn serve_one_job(gateway: &Arc<Gateway>, job: &mut JobConn, net: &NetOpts) {
+    let argv = job.argv().to_vec();
+    let Some(("sweep", tail)) = argv.split_first().map(|(s, t)| (s.as_str(), t)) else {
+        job.finish(false, "only 'sweep' jobs are supported");
+        return;
+    };
+    let mut args = match parse_args(tail.iter().cloned()) {
+        Ok(args) => args,
+        Err(e) => {
+            job.finish(false, &format!("job argv: {e}"));
+            return;
+        }
+    };
+    args.raw = tail.to_vec();
+    let tuning = ExecTuning {
+        liveness: net.liveness,
+        grace: net.grace,
+    };
+    let exec = Arc::new(RemoteExec::new(Arc::clone(gateway), tail.to_vec(), tuning));
+    let mut out = Vec::new();
+    let mut err = Vec::new();
+    let result = run_sweep(&args, Some(exec), &mut out, &mut err);
+    if !out.is_empty() {
+        job.send_out(&String::from_utf8_lossy(&out));
+    }
+    if !err.is_empty() {
+        job.send_err(&String::from_utf8_lossy(&err));
+    }
+    match result {
+        Ok(()) => job.finish(true, ""),
+        Err(e) => job.finish(false, &e),
     }
 }
 
@@ -481,7 +666,63 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     };
     let rest: Vec<String> = all[1..].to_vec();
-    let mut args = match parse_args(rest.iter().cloned()) {
+    // Networking flags (--listen/--connect/--token/...) are peeled off
+    // before scenario parsing so `serve`, `submit` and remote `worker`
+    // share the scenario grammar with the in-process commands.
+    let (net, scenario_rest) = match split_net_flags(&rest) {
+        Ok(split) => split,
+        Err(e) => {
+            eprintln!("error: {e}\n");
+            eprint!("{}", usage());
+            return ExitCode::FAILURE;
+        }
+    };
+    if cmd == "serve" {
+        return match cmd_serve(&net) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if cmd == "submit" {
+        // Ship the scenario argv to a daemon verbatim; it is parsed there.
+        let Some(addr) = net.connect.clone() else {
+            eprintln!("error: submit requires --connect ADDR");
+            return ExitCode::FAILURE;
+        };
+        let mut out = std::io::stdout().lock();
+        let mut err = std::io::stderr().lock();
+        return match submit_job(&addr, &net.token, &scenario_rest, &mut out, &mut err) {
+            Ok(true) => ExitCode::SUCCESS,
+            Ok(false) => ExitCode::FAILURE,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if cmd == "worker" {
+        if let Some(addr) = net.connect.clone() {
+            // Remote worker: dial a daemon, authenticate, steal points
+            // until the job drains; reconnect with backoff on failures.
+            let opts = WorkerOptions {
+                connect: addr,
+                token: net.token.clone(),
+                heartbeat: net.heartbeat,
+                max_reconnects: net.max_reconnects,
+                ..WorkerOptions::default()
+            };
+            let parse = |argv: &[String]| -> Result<_, String> {
+                let mut args = parse_args(argv.iter().cloned())?;
+                args.raw = argv.to_vec();
+                Ok(args.cfg)
+            };
+            return ExitCode::from(remote_worker_main(&opts, &parse) as u8);
+        }
+    }
+    let mut args = match parse_args(scenario_rest.iter().cloned()) {
         Ok(a) => a,
         Err(e) => {
             eprintln!("error: {e}\n");
@@ -489,7 +730,7 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    args.raw = rest;
+    args.raw = scenario_rest;
     if cmd == "worker" {
         // Hidden subcommand: a sweep parent spawned us with its own flag
         // tail; serve grid points over stdin/stdout until EOF.

@@ -61,10 +61,13 @@
 #![warn(missing_docs)]
 
 mod builder;
+pub mod chaos;
 pub mod codec;
 mod config;
+pub mod daemon;
 mod event;
 pub mod experiments;
+pub mod net_transport;
 pub mod parallel;
 pub mod plot;
 mod profile;
@@ -76,6 +79,15 @@ pub mod store;
 pub mod supervise;
 mod trace;
 pub mod workers;
+
+pub use chaos::{ChaosAction, ChaosSchedule, ChaosTransport, CHAOS_ENV, CHAOS_ID_ENV};
+pub use daemon::{
+    remote_worker_main, submit_job, ExecTuning, Gateway, JobConn, RemoteExec, WorkerOptions,
+    DEFAULT_TOKEN,
+};
+pub use net_transport::{
+    encode_frame, FrameError, FrameTransport, PipeTransport, TcpTransport, MAX_FRAME,
+};
 
 pub use builder::{
     BuilderStage, CliFlag, ImpairmentStage, InstrumentationStage, ScenarioBuilder, TopologyStage,
@@ -102,6 +114,6 @@ pub use supervise::{
     Supervisor, SweepPoint, SweepSupervisor,
 };
 pub use trace::{EventLog, TraceEvent, TraceKind};
-pub use workers::{worker_main, PointSpec, WorkerCommand, WorkerPool};
+pub use workers::{worker_main, PointSpec, RobustnessCounters, WorkerCommand, WorkerPool};
 
 pub use tcpburst_net::Impairments;

@@ -57,7 +57,8 @@ use crate::experiments::{Sweep, SweepCell};
 use crate::report::ScenarioReport;
 use crate::scenario::Scenario;
 use crate::store::{self, Digest, ResultStore, ENGINE_SCHEMA_VERSION};
-use crate::workers::{PointSpec, WorkerCommand, WorkerPool};
+use crate::daemon::RemoteExec;
+use crate::workers::{PointSpec, RobustnessCounters, WorkerCommand, WorkerPool};
 use std::sync::Arc;
 
 // ---------------------------------------------------------------------------
@@ -906,6 +907,10 @@ pub struct SupervisedSweep {
     /// How many store lookups missed and fell through to a fresh run
     /// (0 when no store is attached).
     pub cache_misses: usize,
+    /// Control-plane robustness accounting (requeues, worker restarts,
+    /// heartbeat misses, backoff resumes). All zeros on a fault-free run
+    /// and for purely in-process execution.
+    pub robustness: RobustnessCounters,
     /// Set when the end-of-sweep journal finalization failed. The journal
     /// is still valid and resumable (appends all landed); only the
     /// canonical-order rewrite was lost.
@@ -941,6 +946,7 @@ pub struct SweepSupervisor {
     workers: usize,
     worker_command: Option<WorkerCommand>,
     store: Option<Arc<ResultStore>>,
+    remote: Option<Arc<RemoteExec>>,
 }
 
 impl SweepSupervisor {
@@ -961,6 +967,7 @@ impl SweepSupervisor {
             workers: 1,
             worker_command: None,
             store: None,
+            remote: None,
         }
     }
 
@@ -1012,6 +1019,16 @@ impl SweepSupervisor {
     /// [`store::cacheable`] refuses (trace capture, sharded engine).
     pub fn store(mut self, store: Arc<ResultStore>) -> Self {
         self.store = Some(store);
+        self
+    }
+
+    /// Dispatches fresh grid points across the daemon's registered remote
+    /// workers ([`crate::daemon`]) instead of local processes or threads,
+    /// with in-process graceful degradation when no worker is available.
+    /// Takes priority over [`workers`](Self::workers). Output stays
+    /// byte-identical to the in-process run.
+    pub fn remote(mut self, remote: Arc<RemoteExec>) -> Self {
+        self.remote = Some(remote);
         self
     }
 
@@ -1146,39 +1163,60 @@ impl SweepSupervisor {
             }
             Ok(())
         };
-        let use_workers = self.workers != 1
-            && pending.len() > 1
-            && self.worker_command.is_some()
-            && !self.base.trace_cwnd
-            && !self.base.trace_events;
-        let outcomes: Vec<PointOutcome<ScenarioReport>> = if use_workers {
-            let pool = WorkerPool {
-                command: self
-                    .worker_command
-                    .clone()
-                    .expect("use_workers checked worker_command.is_some()"),
-                workers: self.workers,
-                policy: self.supervisor.policy,
-                budget: self.supervisor.budget,
-                retries: self.supervisor.retries,
-            };
-            let specs: Vec<PointSpec> = pending
-                .iter()
-                .map(|&i| PointSpec {
-                    protocol: grid[i].0,
-                    clients: grid[i].1,
-                    seed,
-                })
-                .collect();
-            pool.run_points(&specs, |j, report| complete(pending[j], report))
-        } else {
-            self.supervisor.run_grid(pending.len(), |j, budget| {
-                let i = pending[j];
-                let report = run_point(&cfgs[i], budget)?;
-                complete(i, &report)?;
-                Ok(report)
+        // Trace payloads cannot cross the worker codec, so remote/process
+        // dispatch is only eligible for plain report sweeps.
+        let shippable = !self.base.trace_cwnd && !self.base.trace_events;
+        let use_remote = self.remote.is_some() && !pending.is_empty() && shippable;
+        let use_workers =
+            self.workers != 1 && pending.len() > 1 && self.worker_command.is_some() && shippable;
+        let specs: Vec<PointSpec> = pending
+            .iter()
+            .map(|&i| PointSpec {
+                protocol: grid[i].0,
+                clients: grid[i].1,
+                seed,
             })
-        };
+            .collect();
+        // Graceful degradation path shared by both distributed engines:
+        // compute one pending point in-process under the given budget.
+        let fallback =
+            |j: usize, budget: &RunBudget| run_point(&cfgs[pending[j]], budget);
+        let (outcomes, robustness): (Vec<PointOutcome<ScenarioReport>>, RobustnessCounters) =
+            if use_remote {
+                let remote = self
+                    .remote
+                    .as_ref()
+                    .expect("use_remote checked remote.is_some()");
+                remote.run_points(
+                    &self.digest().hex(),
+                    &specs,
+                    self.supervisor.budget,
+                    self.supervisor.policy,
+                    self.supervisor.retries,
+                    fallback,
+                    |j, report| complete(pending[j], report),
+                )
+            } else if use_workers {
+                let pool = WorkerPool {
+                    command: self
+                        .worker_command
+                        .clone()
+                        .expect("use_workers checked worker_command.is_some()"),
+                    workers: self.workers,
+                    policy: self.supervisor.policy,
+                    budget: self.supervisor.budget,
+                    retries: self.supervisor.retries,
+                };
+                pool.run_points(&specs, fallback, |j, report| complete(pending[j], report))
+            } else {
+                let outcomes = self.supervisor.run_grid(pending.len(), |j, budget| {
+                    let i = pending[j];
+                    let report = run_point(&cfgs[i], budget)?;
+                    complete(i, &report)?;
+                    Ok(report)
+                });
+                (outcomes, RobustnessCounters::default())
+            };
 
         // Phase 3: merge everything back in canonical grid order.
         let completed_points = outcomes
@@ -1249,6 +1287,7 @@ impl SweepSupervisor {
             completed_points,
             cache_hits,
             cache_misses,
+            robustness,
             journal_error,
         }
     }

@@ -83,6 +83,51 @@ echo "==> worker processes: --workers 2 must equal --workers 1 bit-for-bit"
 diff "$TMP/inproc.txt" "$TMP/forked.txt"
 echo "worker-process sweep output is byte-identical to the in-process run"
 
+echo "==> chaos: a worker killed by the fault hook must not move a byte"
+# Deterministic fault injection: the first pipe worker aborts at its 3rd
+# wire frame; the pool requeues its in-flight point, respawns, and the
+# tables stay byte-identical. The robustness counters must record it.
+TCPBURST_CHAOS="w1:kill@3" ./target/release/tcpburst sweep \
+    --clients 5,15 --secs 3 --no-cache --workers 2 \
+    > "$TMP/chaos_pipe.txt" 2> "$TMP/chaos_pipe.err"
+diff "$TMP/inproc.txt" "$TMP/chaos_pipe.txt"
+grep -q "robustness:" "$TMP/chaos_pipe.err"
+echo "pipe-pool kill requeued cleanly; robustness counters reported"
+
+echo "==> sweep service: kill a remote TCP worker mid-sweep"
+# Baseline: serial journalled sweep.
+./target/release/tcpburst sweep --clients 5,15 --secs 3 --no-cache \
+    --journal "$TMP/svc_serial.jsonl" > "$TMP/svc_serial.txt"
+# Daemon on an ephemeral loopback port; one doomed worker (aborted by the
+# chaos hook at its 5th frame, never reconnecting) and one healthy worker.
+./target/release/tcpburst serve --listen 127.0.0.1:0 --once \
+    2> "$TMP/serve.err" &
+SERVE_PID=$!
+ADDR=""
+for _ in $(seq 1 100); do
+    ADDR="$(sed -n 's/^listening on //p' "$TMP/serve.err")"
+    [ -n "$ADDR" ] && break
+    sleep 0.1
+done
+[ -n "$ADDR" ] || { echo "sweep daemon never bound" >&2; exit 1; }
+TCPBURST_CHAOS="kill@5" ./target/release/tcpburst worker \
+    --connect "$ADDR" --max-reconnects 0 2> /dev/null &
+./target/release/tcpburst worker --connect "$ADDR" 2> /dev/null &
+# The whole distributed sweep — including the kill, the requeue and the
+# surviving worker finishing the job — must land inside a bounded
+# wall-clock budget, and both the tables and the finalized journal must
+# be byte-identical to the serial run.
+TIMEOUT="timeout 120"
+command -v timeout > /dev/null 2>&1 || TIMEOUT=""
+$TIMEOUT ./target/release/tcpburst submit --connect "$ADDR" \
+    sweep --clients 5,15 --secs 3 --no-cache \
+    --journal "$TMP/svc_chaos.jsonl" \
+    > "$TMP/svc_chaos.txt" 2> "$TMP/svc_chaos.err"
+wait "$SERVE_PID"
+diff "$TMP/svc_serial.txt" "$TMP/svc_chaos.txt"
+diff "$TMP/svc_serial.jsonl" "$TMP/svc_chaos.jsonl"
+echo "remote-worker kill requeued cleanly; tables and journal byte-identical"
+
 echo "==> golden traces: figure tables are backend- and variant-stable"
 # Reno + Vegas, 20-client smoke, on both event-queue backends and at two
 # worker counts: the policy-layer refactor must never move a byte of the
