@@ -20,7 +20,7 @@ use tcpburst_des::SimDuration;
 use tcpburst_core::{
     remote_worker_main, run_point, submit_job, worker_main, ExecTuning, FailurePolicy, Gateway,
     JobConn, Protocol, RemoteExec, ReplicatedSweep, ResultStore, RunBudget, RunError,
-    ScenarioBuilder, SupervisedSweep, SweepSupervisor, WorkerCommand, WorkerOptions,
+    ScenarioBuilder, SupervisedSweep, SweepSupervisor, TopoKind, WorkerCommand, WorkerOptions,
     DEFAULT_TOKEN,
 };
 
@@ -140,6 +140,8 @@ EXAMPLES:
     tcpburst sweep --clients 5,15,25 --workers 4 --no-cache
     tcpburst sweep --clients 20,39 --protocols reno,gaimd --secs 10
     tcpburst run --clients 39 --variant gaimd:0.31,0.875
+    tcpburst run --topology parking-lot:5,4 --trace-hops --impair cross:2000/1500
+    tcpburst sweep --topology incast:16 --protocols reno,cubic --secs 10
 ",
         ScenarioBuilder::cli_help()
     )
@@ -451,8 +453,11 @@ fn cmd_run(args: &Args) -> Result<(), String> {
     let mut headline = format!(
         "{} / {} clients / {secs} s",
         args.protocol.label(),
-        args.cfg.num_clients,
+        args.cfg.num_flows(),
     );
+    if args.cfg.topology != TopoKind::Dumbbell {
+        headline.push_str(&format!(" / {}", args.cfg.topology.cli_spec()));
+    }
     if args.cfg.ecn {
         headline.push_str(" / ECN");
     }
@@ -467,6 +472,18 @@ fn cmd_run(args: &Args) -> Result<(), String> {
         r.avg_queue_len,
         r.mean_delay_secs * 1e3
     );
+    if let Some(hops) = &r.hop_series {
+        println!("per-hop series ({} hops, one sample per c.o.v. bin):", hops.occupancy.len());
+        for (i, (occ, util)) in hops.occupancy.iter().zip(&hops.utilization).enumerate() {
+            let peak_occ = occ.iter().map(|(_, v)| v).fold(0.0f64, f64::max);
+            let n = util.len().max(1) as f64;
+            let mean_util: f64 = util.iter().map(|(_, v)| v).sum::<f64>() / n;
+            println!(
+                "  hop {i}: peak queue {peak_occ:.0} pkts, mean utilization {:.1}%",
+                mean_util * 100.0
+            );
+        }
+    }
     println!(
         "engine: {} events in {:.2} s ({:.0} events/s)",
         r.events_processed,

@@ -35,7 +35,7 @@ use tcpburst_transport::{
 };
 
 use crate::config::{
-    ConfigError, GatewayKind, Protocol, ScenarioConfig, SourceKind, TransportKind,
+    ConfigError, GatewayKind, Protocol, ScenarioConfig, SourceKind, TopoKind, TransportKind,
 };
 
 /// Which builder stage owns a CLI flag.
@@ -154,6 +154,10 @@ impl ScenarioBuilder {
     /// stage setters validate eagerly).
     pub fn try_finish(self) -> Result<ScenarioConfig, ConfigError> {
         self.cfg.impair.validate().map_err(ConfigError::Impairments)?;
+        self.cfg
+            .topology_spec()
+            .validate()
+            .map_err(ConfigError::Topology)?;
         Ok(self.cfg)
     }
 
@@ -175,8 +179,9 @@ impl ScenarioBuilder {
     /// `--clients` lists) are not scenario configuration and stay in the
     /// CLI proper.
     #[rustfmt::skip]
-    pub const CLI_FLAGS: [CliFlag; 17] = [
+    pub const CLI_FLAGS: [CliFlag; 19] = [
         CliFlag { name: "--clients", metavar: Some("N"), help: "number of clients M", stage: BuilderStage::Topology },
+        CliFlag { name: "--topology", metavar: Some("SPEC"), help: "dumbbell, parking-lot:H,F, incast:N or waxman:N,a,b", stage: BuilderStage::Topology },
         CliFlag { name: "--spread", metavar: Some("F"), help: "heterogeneous-RTT spread factor (0 = paper)", stage: BuilderStage::Topology },
         CliFlag { name: "--buffer", metavar: Some("PKTS"), help: "gateway buffer size B", stage: BuilderStage::Topology },
         CliFlag { name: "--rate", metavar: Some("PPS"), help: "per-client offered load (packets/s)", stage: BuilderStage::Workload },
@@ -191,6 +196,7 @@ impl ScenarioBuilder {
         CliFlag { name: "--seed", metavar: Some("K"), help: "master RNG seed", stage: BuilderStage::Instrumentation },
         CliFlag { name: "--queue", metavar: Some("BACKEND"), help: "event list: calendar or heap", stage: BuilderStage::Instrumentation },
         CliFlag { name: "--trace-events", metavar: None, help: "record the structured event timeline", stage: BuilderStage::Instrumentation },
+        CliFlag { name: "--trace-hops", metavar: None, help: "record per-hop queue/utilization series (serial engine)", stage: BuilderStage::Instrumentation },
         CliFlag { name: "--audit", metavar: None, help: "end-of-run invariant audit (conservation, cwnd floor)", stage: BuilderStage::Instrumentation },
         CliFlag { name: "--shards", metavar: Some("K"), help: "parallel-engine worker threads (0 = serial engine)", stage: BuilderStage::Instrumentation },
     ];
@@ -329,6 +335,15 @@ impl TopologyStage<'_> {
         self
     }
 
+    /// The graph shape flows run over (default: the paper's dumbbell).
+    ///
+    /// Non-dumbbell shapes derive their flow count from the shape itself
+    /// ([`ScenarioConfig::num_flows`]), not from [`clients`](Self::clients).
+    pub fn shape(self, kind: TopoKind) -> Self {
+        self.cfg.topology = kind;
+        self
+    }
+
     /// Heterogeneous-RTT spread factor (0 = the paper's homogeneous RTTs).
     pub fn rtt_spread(self, f: f64) -> Self {
         self.cfg.rtt_spread = f;
@@ -365,6 +380,13 @@ impl TopologyStage<'_> {
             "--clients" => {
                 let n = parse_num(flag, v)?;
                 self.clients(n);
+            }
+            "--topology" => {
+                let kind: TopoKind = v.parse().map_err(|reason| ConfigError::InvalidValue {
+                    flag,
+                    reason,
+                })?;
+                self.shape(kind);
             }
             "--spread" => {
                 let f = parse_num(flag, v)?;
@@ -646,6 +668,13 @@ impl InstrumentationStage<'_> {
         self
     }
 
+    /// Record per-hop queue-occupancy and utilization series along the
+    /// topology's bottleneck path (the congestion-wave instrument).
+    pub fn trace_hops(self, on: bool) -> Self {
+        self.cfg.trace_hops = on;
+        self
+    }
+
     /// Run the end-of-run invariant auditor (see
     /// [`ScenarioConfig::audit`]).
     pub fn audit(self, on: bool) -> Self {
@@ -695,6 +724,9 @@ impl InstrumentationStage<'_> {
             }
             "--trace-events" => {
                 self.trace_events(true);
+            }
+            "--trace-hops" => {
+                self.trace_hops(true);
             }
             "--audit" => {
                 self.audit(true);
@@ -766,6 +798,25 @@ mod tests {
         assert_eq!(cfg.queue, QueueBackend::BinaryHeap);
         assert!(cfg.ecn);
         assert!(cfg.audit);
+    }
+
+    #[test]
+    fn topology_flag_selects_a_shape_and_bad_specs_fail() {
+        let mut b = ScenarioBuilder::paper();
+        assert!(b.apply_cli_flag("--topology", Some("parking-lot:5,4")).unwrap());
+        assert!(b.apply_cli_flag("--trace-hops", None).unwrap());
+        let cfg = b.clone().finish();
+        assert_eq!(cfg.topology, TopoKind::ParkingLot { hops: 5, flows_per_hop: 4 });
+        assert!(cfg.trace_hops);
+        assert_eq!(cfg.num_flows(), 20);
+        for bad in ["ring:9", "parking-lot:x", "waxman:3", "incast:"] {
+            let err = b.apply_cli_flag("--topology", Some(bad)).unwrap_err();
+            assert!(err.to_string().contains("--topology"), "{bad}: {err}");
+        }
+        // A shape that parses but cannot be built fails at finish time.
+        assert!(b.apply_cli_flag("--topology", Some("parking-lot:0,4")).unwrap());
+        let err = b.try_finish().unwrap_err();
+        assert!(err.to_string().contains("topology"), "{err}");
     }
 
     #[test]

@@ -88,6 +88,7 @@ fn parse_tcp(tokens: &mut std::str::SplitWhitespace<'_>) -> Option<TcpCounters> 
 /// module docs for the three refused shapes).
 pub fn encodable(report: &ScenarioReport) -> bool {
     report.event_log.is_none()
+        && report.hop_series.is_none()
         && report.budget_exceeded.is_none()
         && report.flows.iter().all(|f| f.cwnd_trace.is_none())
         && report.audit.as_ref().map_or(true, |a| a.passed())
@@ -384,6 +385,7 @@ pub fn decode(payload: &str) -> Option<ScenarioReport> {
         timers,
         dispatch,
         event_log: None,
+        hop_series: None,
         impairments,
         audit,
         budget_exceeded: None,
@@ -468,6 +470,7 @@ mod tests {
                 impair: EventClassStats { count: 0, nanos: 0 },
             },
             event_log: None,
+            hop_series: None,
             impairments: ImpairmentReport {
                 link_down_events: 1,
                 link_up_events: 1,

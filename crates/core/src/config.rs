@@ -5,7 +5,10 @@ use std::fmt;
 use std::str::FromStr;
 
 use tcpburst_des::{QueueBackend, SimDuration};
-use tcpburst_net::{AdaptiveRedParams, DumbbellConfig, Impairments, QueueSpec, RedParams};
+use tcpburst_net::{
+    AdaptiveRedParams, DumbbellConfig, Impairments, QueueSpec, RedParams, TopologyError,
+    TopologySpec,
+};
 use tcpburst_traffic::ParetoOnOffConfig;
 use tcpburst_transport::{GaimdParams, TcpConfig, TcpVariant, VegasParams};
 
@@ -33,6 +36,8 @@ pub enum ConfigError {
     UnknownProtocol(String),
     /// The impairment schedule failed to parse or validate.
     Impairments(String),
+    /// The topology spec failed to validate (see [`TopologyError`]).
+    Topology(TopologyError),
 }
 
 impl fmt::Display for ConfigError {
@@ -43,6 +48,7 @@ impl fmt::Display for ConfigError {
             ConfigError::InvalidValue { flag, reason } => write!(f, "{flag}: {reason}"),
             ConfigError::UnknownProtocol(name) => write!(f, "unknown protocol: {name}"),
             ConfigError::Impairments(reason) => write!(f, "{reason}"),
+            ConfigError::Topology(e) => write!(f, "topology: {e}"),
         }
     }
 }
@@ -167,6 +173,127 @@ impl SourceKind {
         match *self {
             SourceKind::Poisson { rate } | SourceKind::Cbr { rate } => rate,
             SourceKind::ParetoOnOff(cfg) => cfg.mean_rate(),
+        }
+    }
+}
+
+/// Which network shape the scenario builds (expanded to a
+/// [`TopologySpec`] by [`ScenarioConfig::topology_spec`]). All link
+/// parameters — bandwidths, delays, the gateway queue — come from
+/// [`PaperParams`] and the gateway/seed knobs; this enum only picks the
+/// graph shape and its dimensions.
+///
+/// For every shape except the dumbbell the flow count is determined by the
+/// shape itself ([`ScenarioConfig::num_flows`]), and `num_clients` is
+/// ignored.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TopoKind {
+    /// The paper's Figure-1 dumbbell with `num_clients` clients.
+    Dumbbell,
+    /// Chain of `hops` bottleneck links with `flows_per_hop` flows
+    /// entering at each chain router (CLI: `parking-lot:HOPS,FLOWS`).
+    ParkingLot {
+        /// Number of chain (bottleneck) links.
+        hops: usize,
+        /// Flows entering at each chain router.
+        flows_per_hop: usize,
+    },
+    /// Datacenter fan-in of `fanin` senders onto one receiver link
+    /// (CLI: `incast:FANIN`).
+    Incast {
+        /// Number of simultaneous senders.
+        fanin: usize,
+    },
+    /// Seeded Waxman random graph of `nodes` sites
+    /// (CLI: `waxman:NODES,ALPHA,BETA`).
+    Waxman {
+        /// Number of router sites (each with one attached host and flow).
+        nodes: usize,
+        /// Edge-probability ceiling in `(0, 1]`.
+        alpha: f64,
+        /// Distance-decay scale; positive.
+        beta: f64,
+    },
+}
+
+impl TopoKind {
+    /// The CLI spelling this value parses back from
+    /// (`TopoKind::from_str`), e.g. `parking-lot:5,4`.
+    pub fn cli_spec(&self) -> String {
+        match *self {
+            TopoKind::Dumbbell => "dumbbell".to_string(),
+            TopoKind::ParkingLot {
+                hops,
+                flows_per_hop,
+            } => format!("parking-lot:{hops},{flows_per_hop}"),
+            TopoKind::Incast { fanin } => format!("incast:{fanin}"),
+            TopoKind::Waxman { nodes, alpha, beta } => {
+                format!("waxman:{nodes},{alpha},{beta}")
+            }
+        }
+    }
+}
+
+impl FromStr for TopoKind {
+    type Err = String;
+
+    /// Parses the CLI spelling: `dumbbell`, `parking-lot:HOPS,FLOWS`,
+    /// `incast:FANIN`, or `waxman:NODES,ALPHA,BETA`.
+    fn from_str(s: &str) -> Result<Self, String> {
+        let (name, args) = match s.split_once(':') {
+            Some((n, a)) => (n, Some(a)),
+            None => (s, None),
+        };
+        fn split(args: Option<&str>, n: usize, shape: &str) -> Result<Vec<String>, String> {
+            let args = args.ok_or_else(|| format!("{shape} needs {n} parameter(s)"))?;
+            let parts: Vec<String> = args.split(',').map(str::to_string).collect();
+            if parts.len() != n {
+                return Err(format!(
+                    "{shape} needs {n} parameter(s), got {}",
+                    parts.len()
+                ));
+            }
+            Ok(parts)
+        }
+        fn num<T: FromStr>(part: &str, what: &str) -> Result<T, String>
+        where
+            T::Err: fmt::Display,
+        {
+            part.trim()
+                .parse()
+                .map_err(|e| format!("{what} {part:?}: {e}"))
+        }
+        match name {
+            "dumbbell" => {
+                if args.is_some() {
+                    return Err("dumbbell takes no parameters".into());
+                }
+                Ok(TopoKind::Dumbbell)
+            }
+            "parking-lot" => {
+                let p = split(args, 2, "parking-lot")?;
+                Ok(TopoKind::ParkingLot {
+                    hops: num(&p[0], "hops")?,
+                    flows_per_hop: num(&p[1], "flows per hop")?,
+                })
+            }
+            "incast" => {
+                let p = split(args, 1, "incast")?;
+                Ok(TopoKind::Incast {
+                    fanin: num(&p[0], "fan-in")?,
+                })
+            }
+            "waxman" => {
+                let p = split(args, 3, "waxman")?;
+                Ok(TopoKind::Waxman {
+                    nodes: num(&p[0], "nodes")?,
+                    alpha: num(&p[1], "alpha")?,
+                    beta: num(&p[2], "beta")?,
+                })
+            }
+            other => Err(format!(
+                "unknown topology {other:?} (expected dumbbell, parking-lot, incast or waxman)"
+            )),
         }
     }
 }
@@ -338,8 +465,11 @@ impl FromStr for Protocol {
 /// but gratuitous churn here has a real cache-eviction cost.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ScenarioConfig {
-    /// Number of clients `M`.
+    /// Number of clients `M` (dumbbell only; other topologies fix their
+    /// own flow count — see [`ScenarioConfig::num_flows`]).
     pub num_clients: usize,
+    /// Which network shape to build.
+    pub topology: TopoKind,
     /// Transport under test.
     pub transport: TransportKind,
     /// Gateway discipline.
@@ -390,6 +520,11 @@ pub struct ScenarioConfig {
     /// retransmits, ECN cuts); capped at [`ScenarioConfig::EVENT_LOG_CAP`]
     /// entries.
     pub trace_events: bool,
+    /// Record per-hop queue-occupancy and utilization time series for
+    /// every instrumented bottleneck hop, sampled once per c.o.v. bin —
+    /// the congestion-wave probe. Off by default; no sampling events are
+    /// scheduled when disabled.
+    pub trace_hops: bool,
     /// Run the end-of-run invariant auditor: packet conservation across
     /// every queue and wire, non-negative occupancy, monotone clock,
     /// cwnd ≥ 1 MSS. Violations land in
@@ -422,6 +557,7 @@ impl ScenarioConfig {
         let params = PaperParams::default();
         ScenarioConfig {
             num_clients: 39,
+            topology: TopoKind::Dumbbell,
             transport: Protocol::Reno.transport(),
             gateway: Protocol::Reno.gateway(),
             delayed_ack: Protocol::Reno.delayed_ack(),
@@ -444,6 +580,7 @@ impl ScenarioConfig {
             queue: QueueBackend::Calendar,
             trace_cwnd: false,
             trace_events: false,
+            trace_hops: false,
             audit: false,
             shards: 0,
         }
@@ -472,7 +609,46 @@ impl ScenarioConfig {
     /// plus a fixed floor covers the steady state without reallocation;
     /// being a hint, a miss only costs the heap doublings it costs today.
     pub fn event_list_capacity(&self) -> usize {
-        64 + self.num_clients * (self.params.advertised_window as usize + 4)
+        64 + self.num_flows() * (self.params.advertised_window as usize + 4)
+    }
+
+    /// Number of traffic flows this scenario runs: `num_clients` on the
+    /// dumbbell, the shape's own count everywhere else.
+    pub fn num_flows(&self) -> usize {
+        match self.topology {
+            TopoKind::Dumbbell => self.num_clients,
+            TopoKind::ParkingLot {
+                hops,
+                flows_per_hop,
+            } => hops * flows_per_hop,
+            TopoKind::Incast { fanin } => fanin,
+            TopoKind::Waxman { nodes, .. } => nodes,
+        }
+    }
+
+    /// The buildable topology spec for this scenario:
+    /// [`ScenarioConfig::topology`] expanded with the link parameters of
+    /// [`ScenarioConfig::dumbbell_config`] as the shared base.
+    pub fn topology_spec(&self) -> TopologySpec {
+        let base = self.dumbbell_config();
+        match self.topology {
+            TopoKind::Dumbbell => TopologySpec::Dumbbell(base),
+            TopoKind::ParkingLot {
+                hops,
+                flows_per_hop,
+            } => TopologySpec::ParkingLot {
+                base,
+                hops,
+                flows_per_hop,
+            },
+            TopoKind::Incast { fanin } => TopologySpec::Incast { base, fanin },
+            TopoKind::Waxman { nodes, alpha, beta } => TopologySpec::Waxman {
+                base,
+                nodes,
+                alpha,
+                beta,
+            },
+        }
     }
 
     /// The RED parameters assembled from this configuration.
@@ -635,6 +811,39 @@ mod tests {
         let mut cfg = ScenarioConfig::paper_default();
         cfg.apply_protocol(Protocol::Udp);
         cfg.tcp_config();
+    }
+
+    #[test]
+    fn topo_kinds_parse_and_round_trip() {
+        for spec in ["dumbbell", "parking-lot:5,4", "incast:16", "waxman:8,0.6,0.4"] {
+            let kind: TopoKind = spec.parse().expect("parses");
+            assert_eq!(kind.cli_spec(), spec);
+        }
+        assert!("parking-lot".parse::<TopoKind>().is_err());
+        assert!("parking-lot:5".parse::<TopoKind>().is_err());
+        assert!("dumbbell:3".parse::<TopoKind>().is_err());
+        assert!("ring:4".parse::<TopoKind>().is_err());
+        assert!("incast:x".parse::<TopoKind>().is_err());
+    }
+
+    #[test]
+    fn num_flows_follows_the_topology() {
+        let mut cfg = ScenarioConfig::paper_default();
+        assert_eq!(cfg.num_flows(), 39);
+        cfg.topology = TopoKind::ParkingLot {
+            hops: 5,
+            flows_per_hop: 4,
+        };
+        assert_eq!(cfg.num_flows(), 20);
+        cfg.topology = TopoKind::Incast { fanin: 7 };
+        assert_eq!(cfg.num_flows(), 7);
+        cfg.topology = TopoKind::Waxman {
+            nodes: 6,
+            alpha: 0.5,
+            beta: 0.5,
+        };
+        assert_eq!(cfg.num_flows(), 6);
+        assert!(cfg.topology_spec().validate().is_ok());
     }
 
     #[test]

@@ -17,6 +17,9 @@ pub enum Event {
     },
     /// A scheduled impairment action (see [`ImpairEvent`]).
     Impair(ImpairEvent),
+    /// Sample every instrumented hop's queue backlog and utilization
+    /// (scheduled once per c.o.v. bin when `trace_hops` is on).
+    HopSample,
 }
 
 /// Impairment-schedule actions, executed as ordinary scheduler events so

@@ -94,7 +94,8 @@ pub use builder::{
     TransportStage, WorkloadStage,
 };
 pub use config::{
-    ConfigError, GatewayKind, PaperParams, Protocol, ScenarioConfig, SourceKind, TransportKind,
+    ConfigError, GatewayKind, PaperParams, Protocol, ScenarioConfig, SourceKind, TopoKind,
+    TransportKind,
 };
 pub use event::{Event, ImpairEvent};
 pub use parallel::{
@@ -102,7 +103,7 @@ pub use parallel::{
 };
 pub use profile::{DispatchProfile, EventClassStats, TimerReport};
 pub use replicate::{ReplicatedCell, ReplicatedSweep};
-pub use report::{FlowReport, ImpairmentReport, ScenarioReport};
+pub use report::{FlowReport, HopSeries, ImpairmentReport, ScenarioReport};
 pub use scenario::Scenario;
 pub use store::{
     point_digest, run_point_cached, sweep_digest, Digest, ResultStore, StoreStats,

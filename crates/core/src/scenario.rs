@@ -1,11 +1,12 @@
-//! One simulation run: build the dumbbell, attach endpoints and sources,
+//! One simulation run: build the topology, attach endpoints and sources,
 //! drive the event loop, collect the report.
 
 use tcpburst_des::{PhaseCycle, Scheduler, SimDuration, SimRng, SimTime};
 use tcpburst_net::{
-    Delivered, Dumbbell, Ecn, FlowId, NetEvent, Packet, PacketKind, WireLoss, CROSS_TRAFFIC_FLOW,
+    BuiltTopology, Delivered, Ecn, FlowId, NetEvent, Packet, PacketKind, WireLoss,
+    CROSS_TRAFFIC_FLOW,
 };
-use tcpburst_stats::{jain_fairness, poisson_cov, BinnedCounter};
+use tcpburst_stats::{jain_fairness, poisson_cov, BinnedCounter, TimeSeries};
 use tcpburst_traffic::{AnySource, ArrivalProcess, CbrSource, ParetoOnOffSource, PoissonSource};
 use tcpburst_transport::{
     TcpReceiver, TcpSender, TimerKind, TransportEvent, UdpSender, UdpSink,
@@ -14,7 +15,7 @@ use tcpburst_transport::{
 use crate::config::{ScenarioConfig, SourceKind, TransportKind};
 use crate::event::{Event, ImpairEvent};
 use crate::profile::{DispatchProfile, ProfClock, TimerReport};
-use crate::report::{FlowReport, ImpairmentReport, ScenarioReport};
+use crate::report::{FlowReport, HopSeries, ImpairmentReport, ScenarioReport};
 use crate::supervise::{AuditReport, ExceededBudget, InvariantViolation, RunBudget};
 use crate::trace::{EventLog, TraceKind};
 
@@ -130,7 +131,9 @@ impl ImpairRuntime {
     }
 }
 
-/// A fully assembled simulation of the paper's Figure 1 network.
+/// A fully assembled simulation of one configured topology (the paper's
+/// Figure-1 dumbbell by default; see
+/// [`TopoKind`](crate::config::TopoKind) for the rest).
 ///
 /// Most callers only need [`Scenario::run`]; the step-by-step API
 /// ([`Scenario::new`] + [`Scenario::run_to_completion`]) exists for tests
@@ -139,7 +142,7 @@ impl ImpairRuntime {
 pub struct Scenario {
     cfg: ScenarioConfig,
     sched: Scheduler<Event>,
-    db: Dumbbell,
+    topo: BuiltTopology,
     clients: Clients,
     servers: Servers,
     sources: Vec<AnySource>,
@@ -171,6 +174,14 @@ pub struct Scenario {
     clock_violation: Option<(SimTime, SimTime)>,
     /// Which watchdog budget aborted the run, if any.
     budget_exceeded: Option<ExceededBudget>,
+    /// Per-hop queue-occupancy series, index-aligned with
+    /// `topo.hops`; empty unless `trace_hops` is on.
+    hop_occ: Vec<TimeSeries>,
+    /// Per-hop utilization series (fraction of the hop's instantaneous
+    /// capacity transmitted in the sample period).
+    hop_util: Vec<TimeSeries>,
+    /// Per-hop `bytes_tx` at the previous sample, for the delta.
+    hop_prev_bytes: Vec<u64>,
 }
 
 impl Scenario {
@@ -179,32 +190,38 @@ impl Scenario {
     ///
     /// # Panics
     ///
-    /// Panics if the configuration is inconsistent (zero clients, invalid
-    /// TCP or RED parameters).
+    /// Panics if the configuration is inconsistent (zero clients, an
+    /// invalid topology spec, invalid TCP or RED parameters). The staged
+    /// [`ScenarioBuilder`](crate::ScenarioBuilder) validates the same
+    /// conditions into typed errors before they can reach this point.
     pub fn new(cfg: &ScenarioConfig) -> Self {
-        let db = Dumbbell::build(&cfg.dumbbell_config());
+        let topo = cfg
+            .topology_spec()
+            .build()
+            .unwrap_or_else(|e| panic!("invalid topology: {e}"));
+        let num_flows = cfg.num_flows();
+        debug_assert_eq!(topo.flows.len(), num_flows);
         let (clients, servers) = match cfg.transport {
             TransportKind::Tcp(_) => {
                 let tcp = cfg.tcp_config();
-                let mut txs = Vec::with_capacity(cfg.num_clients);
-                let mut rxs = Vec::with_capacity(cfg.num_clients);
-                for i in 0..cfg.num_clients {
+                let mut txs = Vec::with_capacity(num_flows);
+                let mut rxs = Vec::with_capacity(num_flows);
+                for (i, ep) in topo.flows.iter().enumerate() {
                     let flow = FlowId(i as u32);
-                    let client_node = db.clients[i];
-                    txs.push(TcpSender::new(tcp, flow, client_node, db.server));
-                    rxs.push(TcpReceiver::new(tcp, flow, db.server, client_node));
+                    txs.push(TcpSender::new(tcp, flow, ep.src, ep.dst));
+                    rxs.push(TcpReceiver::new(tcp, flow, ep.dst, ep.src));
                 }
                 (Clients::Tcp(txs), Servers::Tcp(rxs))
             }
             TransportKind::Udp => {
-                let mut txs = Vec::with_capacity(cfg.num_clients);
-                let mut sinks = Vec::with_capacity(cfg.num_clients);
-                for i in 0..cfg.num_clients {
+                let mut txs = Vec::with_capacity(num_flows);
+                let mut sinks = Vec::with_capacity(num_flows);
+                for (i, ep) in topo.flows.iter().enumerate() {
                     let flow = FlowId(i as u32);
                     txs.push(UdpSender::new(
                         flow,
-                        db.clients[i],
-                        db.server,
+                        ep.src,
+                        ep.dst,
                         cfg.params.packet_bytes,
                     ));
                     sinks.push(UdpSink::new());
@@ -212,7 +229,7 @@ impl Scenario {
                 (Clients::Udp(txs), Servers::Udp(sinks))
             }
         };
-        let sources: Vec<AnySource> = (0..cfg.num_clients)
+        let sources: Vec<AnySource> = (0..num_flows)
             .map(|i| {
                 let stream = SimRng::derive(cfg.seed, i as u64);
                 match cfg.source {
@@ -229,10 +246,11 @@ impl Scenario {
 
         let impair_rt = ImpairRuntime::build(cfg);
 
+        let num_hops = topo.hops.len();
         let mut scenario = Scenario {
             cfg: *cfg,
             sched: Scheduler::with_capacity_and_backend(cfg.event_list_capacity(), cfg.queue),
-            db,
+            topo,
             clients,
             servers,
             sources,
@@ -251,18 +269,40 @@ impl Scenario {
             host_delivered: 0,
             clock_violation: None,
             budget_exceeded: None,
+            hop_occ: if cfg.trace_hops {
+                vec![TimeSeries::default(); num_hops]
+            } else {
+                Vec::new()
+            },
+            hop_util: if cfg.trace_hops {
+                vec![TimeSeries::default(); num_hops]
+            } else {
+                Vec::new()
+            },
+            hop_prev_bytes: if cfg.trace_hops {
+                vec![0; num_hops]
+            } else {
+                Vec::new()
+            },
         };
-        // Prime every client's first generation event.
-        for i in 0..scenario.cfg.num_clients {
+        // Prime every flow's first generation event.
+        for i in 0..num_flows {
             let gap = scenario.sources[i].next_gap();
             scenario
                 .sched
                 .schedule_after(gap, Event::Generate { client: i as u32 });
         }
+        // Prime the per-hop congestion-wave sampler (one event per bin;
+        // nothing is scheduled when the trace is off).
+        if scenario.cfg.trace_hops {
+            scenario
+                .sched
+                .schedule_after(scenario.cfg.cov_bin_width(), Event::HopSample);
+        }
         // Arm the impairment schedule: per-hop corruption on every link,
         // plus the first firing of each periodic perturbation.
         if scenario.cfg.impair.corrupt_prob > 0.0 {
-            let net = &mut scenario.db.network;
+            let net = &mut scenario.topo.network;
             net.set_wire_seed(scenario.cfg.seed ^ WIRE_SEED_XOR);
             for id in 0..net.link_count() {
                 net.link_mut(tcpburst_net::LinkId(id as u32))
@@ -422,31 +462,32 @@ impl Scenario {
                 clock.charge(&mut self.profile.generate);
             }
             Event::Net(NetEvent::TxComplete { link, epoch }) => {
-                self.db.network.on_tx_complete(link, epoch, &mut self.sched);
+                self.topo.network.on_tx_complete(link, epoch, &mut self.sched);
                 clock.charge(&mut self.profile.net_tx);
             }
             Event::Net(NetEvent::Delivery { link, epoch, packet }) => {
-                // The paper's probe: data packets arriving at the gateway,
-                // counted per round-trip propagation delay. Peek the parked
-                // packet before the delivery call (which redeems its arena
-                // ticket), record after it — a packet lost on the wire never
-                // arrives.
-                let peek = self.db.network.packet(packet);
-                let probed =
-                    peek.kind.is_data() && self.db.network.link(link).to() == self.db.gateway;
+                // The paper's probe: data packets arriving at the probe
+                // node (the bottleneck's upstream router — the gateway on
+                // the dumbbell), counted per round-trip propagation delay.
+                // Peek the parked packet before the delivery call (which
+                // redeems its arena ticket), record after it — a packet
+                // lost on the wire never arrives.
+                let peek = self.topo.network.packet(packet);
+                let probed = peek.kind.is_data()
+                    && self.topo.network.link(link).to() == self.topo.probe_node;
                 let flow = peek.flow;
-                match self.db.network.on_delivery(link, epoch, packet, &mut self.sched) {
-                    Delivered::ToHost { node, packet } => {
+                match self.topo.network.on_delivery(link, epoch, packet, &mut self.sched) {
+                    Delivered::ToHost { node: _, packet } => {
                         if probed {
                             self.probe.record(self.sched.now());
                         }
-                        self.on_host_delivery(node == self.db.server, packet);
+                        self.on_host_delivery(packet);
                     }
                     Delivered::Forwarded { via, outcome, .. } => {
                         if probed {
                             self.probe.record(self.sched.now());
                         }
-                        if outcome.is_drop() && via == self.db.bottleneck {
+                        if outcome.is_drop() && via == self.topo.bottleneck {
                             if let Some(log) = self.event_log.as_mut() {
                                 let early =
                                     outcome != tcpburst_net::EnqueueOutcome::DroppedFull;
@@ -481,6 +522,33 @@ impl Scenario {
                 self.on_impair(ev);
                 clock.charge(&mut self.profile.impair);
             }
+            Event::HopSample => {
+                self.on_hop_sample();
+                clock.charge(&mut self.profile.impair);
+            }
+        }
+    }
+
+    /// Samples every instrumented hop's queue backlog and utilization and
+    /// re-arms the next sample. Only ever scheduled under `trace_hops`.
+    fn on_hop_sample(&mut self) {
+        let now = self.sched.now();
+        let bin = self.cfg.cov_bin_width();
+        let net = &self.topo.network;
+        for (i, &hop) in self.topo.hops.iter().enumerate() {
+            let link = net.link(hop);
+            self.hop_occ[i].record(now, link.queue().len() as f64);
+            let bytes = link.stats().bytes_tx;
+            let delta = bytes - self.hop_prev_bytes[i];
+            self.hop_prev_bytes[i] = bytes;
+            // Fraction of the hop's *instantaneous* capacity used this
+            // bin; a capacity impairment mid-bin can push it past 1.
+            let capacity_bits = link.bandwidth_bps() as f64 * bin.as_secs_f64();
+            self.hop_util[i].record(now, delta as f64 * 8.0 / capacity_bits);
+        }
+        let horizon = SimTime::ZERO + self.cfg.duration;
+        if now + bin <= horizon {
+            self.sched.schedule_after(bin, Event::HopSample);
         }
     }
 
@@ -494,9 +562,9 @@ impl Scenario {
             ImpairEvent::FlapToggle => {
                 let cycle = rt.flap.as_mut().expect("flap toggle without a flap");
                 let up = cycle.advance() == 0;
-                self.db
+                self.topo
                     .network
-                    .set_link_up(self.db.bottleneck, up, &mut self.sched);
+                    .set_link_up(self.topo.impair_link, up, &mut self.sched);
                 if up {
                     rt.counters.link_up_events += 1;
                 } else {
@@ -511,9 +579,9 @@ impl Scenario {
             ImpairEvent::CapacityToggle => {
                 let t = rt.capacity.as_mut().expect("capacity toggle without one");
                 let rate = t.advance();
-                self.db
+                self.topo
                     .network
-                    .link_mut(self.db.bottleneck)
+                    .link_mut(self.topo.impair_link)
                     .set_bandwidth_bps(rate);
                 self.sched
                     .schedule_after(t.cycle.hold(), Event::Impair(ImpairEvent::CapacityToggle));
@@ -521,7 +589,10 @@ impl Scenario {
             ImpairEvent::DelayToggle => {
                 let t = rt.delay.as_mut().expect("delay toggle without one");
                 let delay = t.advance();
-                self.db.network.link_mut(self.db.bottleneck).set_delay(delay);
+                self.topo
+                    .network
+                    .link_mut(self.topo.impair_link)
+                    .set_delay(delay);
                 self.sched
                     .schedule_after(t.cycle.hold(), Event::Impair(ImpairEvent::DelayToggle));
             }
@@ -531,14 +602,14 @@ impl Scenario {
                     flow: CROSS_TRAFFIC_FLOW,
                     kind: PacketKind::Datagram,
                     size_bytes: x.packet_bytes,
-                    src: self.db.gateway,
-                    dst: self.db.server,
+                    src: self.topo.cross_src,
+                    dst: self.topo.cross_dst,
                     created_at: now,
                     ecn: Ecn::NotCapable,
                 };
                 rt.counters.cross_injected += 1;
                 self.injected += 1;
-                self.db.network.inject(pkt, &mut self.sched);
+                self.topo.network.inject(pkt, &mut self.sched);
                 let gap = x.source.next_gap();
                 self.sched
                     .schedule_after(gap, Event::Impair(ImpairEvent::CrossArrival));
@@ -564,7 +635,7 @@ impl Scenario {
         self.sched.schedule_after(gap, Event::Generate { client });
     }
 
-    fn on_host_delivery(&mut self, at_server: bool, packet: Packet) {
+    fn on_host_delivery(&mut self, packet: Packet) {
         self.host_delivered += 1;
         if packet.flow == CROSS_TRAFFIC_FLOW {
             // Background datagrams carry no transport state; count and drop.
@@ -573,23 +644,26 @@ impl Scenario {
             }
             return;
         }
+        // Which agent handles the packet follows from its kind alone: data
+        // flows toward the flow's receiver host, ACKs flow back to its
+        // sender. On an arbitrary graph neither end is "the server".
         let idx = packet.flow.0 as usize;
-        if at_server {
-            match (&mut self.servers, packet.kind) {
-                (Servers::Tcp(rxs), PacketKind::TcpData { .. }) => {
+        match packet.kind {
+            PacketKind::TcpData { .. } => match &mut self.servers {
+                Servers::Tcp(rxs) => {
                     rxs[idx].on_data(&packet, &mut self.sched, &mut self.outbox);
                 }
-                (Servers::Udp(sinks), PacketKind::Datagram) => {
+                Servers::Udp(_) => unreachable!("UDP sink received TCP data"),
+            },
+            PacketKind::Datagram => match &mut self.servers {
+                Servers::Udp(sinks) => {
                     let now = self.sched.now();
                     sinks[idx].on_packet(&packet, now);
                 }
-                (_, kind) => {
-                    unreachable!("server received unexpected {kind:?}")
-                }
-            }
-        } else {
-            match (&mut self.clients, packet.kind) {
-                (Clients::Tcp(txs), PacketKind::TcpAck { ack, ece, sack }) => {
+                Servers::Tcp(_) => unreachable!("TCP receiver got a datagram"),
+            },
+            PacketKind::TcpAck { ack, ece, sack } => match &mut self.clients {
+                Clients::Tcp(txs) => {
                     let tx = &mut txs[idx];
                     // Snapshot the counters only when a trace log wants the
                     // before/after diff — the copy is pure overhead otherwise.
@@ -606,10 +680,8 @@ impl Scenario {
                         }
                     }
                 }
-                (_, kind) => {
-                    unreachable!("client received unexpected {kind:?}")
-                }
-            }
+                Clients::Udp(_) => unreachable!("UDP source received a TCP ACK"),
+            },
         }
         self.flush_outbox();
     }
@@ -651,7 +723,7 @@ impl Scenario {
         let mut pkts = std::mem::take(&mut self.outbox);
         self.injected += pkts.len() as u64;
         for pkt in pkts.drain(..) {
-            self.db.network.inject(pkt, &mut self.sched);
+            self.topo.network.inject(pkt, &mut self.sched);
         }
         self.outbox = pkts; // keep the allocation
     }
@@ -661,7 +733,7 @@ impl Scenario {
     /// app-layer accounting and clock monotonicity.
     fn run_audit(&self) -> AuditReport {
         let end = self.sched.now();
-        let net = &self.db.network;
+        let net = &self.topo.network;
         let mut violations = Vec::new();
         let mut queue_drops = 0u64;
         let mut wire_lost = 0u64;
@@ -796,10 +868,10 @@ impl Scenario {
         let pcov = poisson_cov(
             cfg.source.mean_rate(),
             cfg.cov_bin_width().as_secs_f64(),
-            cfg.num_clients,
+            cfg.num_flows(),
         );
 
-        let mut flows = Vec::with_capacity(cfg.num_clients);
+        let mut flows = Vec::with_capacity(cfg.num_flows());
         match (&self.clients, &self.servers) {
             (Clients::Tcp(txs), Servers::Tcp(rxs)) => {
                 for (tx, rx) in txs.iter().zip(rxs) {
@@ -826,7 +898,7 @@ impl Scenario {
             _ => unreachable!("client and server arenas share one transport kind"),
         }
 
-        let bottleneck_link = self.db.network.link(self.db.bottleneck);
+        let bottleneck_link = self.topo.network.link(self.topo.bottleneck);
         let bottleneck_queue = bottleneck_link.queue().stats();
         let avg_queue_len = bottleneck_link
             .queue()
@@ -874,6 +946,10 @@ impl Scenario {
             },
             dispatch: self.profile,
             event_log: self.event_log,
+            hop_series: (!self.hop_occ.is_empty()).then(|| HopSeries {
+                occupancy: self.hop_occ,
+                utilization: self.hop_util,
+            }),
             impairments: self
                 .impair_rt
                 .map(|rt| rt.counters)

@@ -71,10 +71,15 @@ use crate::scenario::ImpairRuntime;
 /// * `trace_events` — the event log is a single globally ordered stream,
 /// * wire corruption — the per-[`Network`] corruption RNG is consumed in
 ///   global delivery order, which sharding does not reproduce,
-/// * a zero base client delay — the lookahead window would be empty.
+/// * a zero base client delay — the lookahead window would be empty,
+/// * a non-dumbbell topology or `trace_hops` — the two-domain split bakes
+///   in the dumbbell's client/gateway cut; arbitrary graphs (and their
+///   per-hop instrumentation) run on the serial engine.
 pub(crate) fn supported(cfg: &ScenarioConfig) -> bool {
     !cfg.audit
         && !cfg.trace_events
+        && !cfg.trace_hops
+        && matches!(cfg.topology, crate::config::TopoKind::Dumbbell)
         && cfg.impair.corrupt_prob == 0.0
         && cfg.params.client_delay > SimDuration::ZERO
 }
@@ -919,6 +924,7 @@ fn assemble_report(
         },
         dispatch: profile,
         event_log: None,
+        hop_series: None,
         impairments: central
             .impair
             .map(|rt| rt.counters)

@@ -50,7 +50,7 @@ use crate::supervise::{run_point, RunBudget, RunError};
 /// Version of the engine's observable behaviour. Bumping it invalidates
 /// every result-store entry and every resume journal at once — do so
 /// whenever a simulation change moves any reported number.
-pub const ENGINE_SCHEMA_VERSION: u32 = 2;
+pub const ENGINE_SCHEMA_VERSION: u32 = 3;
 
 // ---------------------------------------------------------------------------
 // SHA-256 (in-tree: the workspace builds fully offline, no external crates)
@@ -401,7 +401,7 @@ impl ResultStore {
 /// supervised (serial-engine) path and `Scenario::run` (sharded-engine
 /// path) would disagree about the same digest's bytes.
 pub fn cacheable(cfg: &ScenarioConfig) -> bool {
-    !cfg.trace_cwnd && !cfg.trace_events && cfg.shards == 0
+    !cfg.trace_cwnd && !cfg.trace_events && !cfg.trace_hops && cfg.shards == 0
 }
 
 /// [`run_point`] with a read-through cache: a valid store entry is

@@ -656,6 +656,7 @@ impl JournalEntry {
             timers: Default::default(),
             dispatch: Default::default(),
             event_log: None,
+            hop_series: None,
             impairments: Default::default(),
             audit: None,
             budget_exceeded: None,

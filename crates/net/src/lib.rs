@@ -11,7 +11,9 @@
 //! * [`Link`] — simplex store-and-forward pipes with a serialization rate and
 //!   a propagation delay; a full-duplex cable is a pair of these,
 //! * [`Network`] — the arena of nodes and links plus static routing,
-//! * [`Dumbbell`] — the paper's client/gateway/server topology builder.
+//! * [`Topology`] — a graph builder with computed minimum-hop routing,
+//! * [`TopologySpec`] — buildable shapes: the paper's [`Dumbbell`],
+//!   parking-lot chains, incast fan-in, and seeded Waxman random graphs.
 //!
 //! The crate is purely mechanical: it moves packets and counts drops.
 //! Protocol behaviour lives in `tcpburst-transport`; instrumentation policy
@@ -45,4 +47,7 @@ pub use packet::{
 pub use queue::{
     AnyQueue, DropTailQueue, EnqueueOutcome, Occupancy, Queue, QueueStats, RedParams, RedQueue,
 };
-pub use topology::{Dumbbell, DumbbellConfig, QueueSpec};
+pub use topology::{
+    route_path_len, BuiltTopology, Dumbbell, DumbbellConfig, FlowEndpoints, QueueSpec, Topology,
+    TopologyError, TopologySpec,
+};

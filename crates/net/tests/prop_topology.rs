@@ -1,0 +1,128 @@
+//! Property tests of the generic topology layer: every generated
+//! [`TopologySpec`] yields mutually reachable flow endpoints and loop-free
+//! route tables (walks bounded by the node count).
+
+use proptest::prelude::*;
+use tcpburst_net::{route_path_len, BuiltTopology, DumbbellConfig, QueueSpec, TopologySpec};
+
+/// Builds one spec from a flat parameter draw; `shape` selects the family,
+/// the in-tree proptest subset has no tuple strategies to compose with.
+#[allow(clippy::too_many_arguments)]
+fn spec_from(
+    shape: usize,
+    seed: u64,
+    buf: usize,
+    n: usize,
+    spread: f64,
+    hops: usize,
+    flows_per_hop: usize,
+    fanin: usize,
+    nodes: usize,
+    alpha: f64,
+    beta: f64,
+) -> TopologySpec {
+    let base = DumbbellConfig {
+        gateway_queue: QueueSpec::DropTail { capacity: buf },
+        seed,
+        ..DumbbellConfig::paper(4)
+    };
+    match shape {
+        0 => {
+            let mut b = base;
+            b.num_clients = n;
+            b.client_delay_spread = spread;
+            TopologySpec::Dumbbell(b)
+        }
+        1 => TopologySpec::ParkingLot { base, hops, flows_per_hop },
+        2 => TopologySpec::Incast { base, fanin },
+        _ => TopologySpec::Waxman { base, nodes, alpha, beta },
+    }
+}
+
+/// Walk bound: a loop-free route visits each node at most once.
+fn assert_routable(built: &BuiltTopology) {
+    let bound = built.network.node_count();
+    for ep in &built.flows {
+        let fwd = route_path_len(&built.network, ep.src, ep.dst);
+        let back = route_path_len(&built.network, ep.dst, ep.src);
+        assert!(
+            fwd.is_some_and(|h| h <= bound),
+            "no loop-free forward path {:?} -> {:?} (got {fwd:?})",
+            ep.src,
+            ep.dst
+        );
+        assert!(
+            back.is_some_and(|h| h <= bound),
+            "no loop-free return path {:?} -> {:?} (got {back:?})",
+            ep.dst,
+            ep.src
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every flow the spec declares is mutually reachable over the computed
+    /// route tables, with loop-free paths bounded by the node count; the
+    /// spec's instrumented handles point at real links and the
+    /// cross-traffic pair is routable too.
+    #[test]
+    fn flows_are_mutually_reachable_and_loop_free(
+        shape in 0usize..4,
+        seed in any::<u64>(),
+        buf in 4usize..200,
+        n in 1usize..30,
+        spread in 0.0f64..0.9,
+        hops in 1usize..8,
+        flows_per_hop in 1usize..6,
+        fanin in 1usize..40,
+        nodes in 2usize..16,
+        alpha in 0.1f64..1.0,
+        beta in 0.1f64..1.0,
+    ) {
+        let spec = spec_from(
+            shape, seed, buf, n, spread, hops, flows_per_hop, fanin, nodes, alpha, beta,
+        );
+        let built = spec.build().expect("generated spec builds");
+        prop_assert_eq!(built.flows.len(), spec.num_flows());
+        assert_routable(&built);
+
+        let links = built.network.link_count() as u32;
+        for &hop in &built.hops {
+            prop_assert!(hop.0 < links, "hop {:?} out of range", hop);
+        }
+        prop_assert!(built.bottleneck.0 < links);
+        prop_assert!(built.impair_link.0 < links);
+        let cross = route_path_len(&built.network, built.cross_src, built.cross_dst);
+        prop_assert!(cross.is_some(), "cross-traffic path missing");
+    }
+
+    /// Building the same spec twice yields identical wiring: same node and
+    /// link counts, flows and instrumented path (seeded determinism).
+    #[test]
+    fn builds_are_deterministic(
+        shape in 0usize..4,
+        seed in any::<u64>(),
+        buf in 4usize..200,
+        n in 1usize..30,
+        spread in 0.0f64..0.9,
+        hops in 1usize..8,
+        flows_per_hop in 1usize..6,
+        fanin in 1usize..40,
+        nodes in 2usize..16,
+        alpha in 0.1f64..1.0,
+        beta in 0.1f64..1.0,
+    ) {
+        let spec = spec_from(
+            shape, seed, buf, n, spread, hops, flows_per_hop, fanin, nodes, alpha, beta,
+        );
+        let a = spec.build().expect("builds");
+        let b = spec.build().expect("builds again");
+        prop_assert_eq!(a.network.node_count(), b.network.node_count());
+        prop_assert_eq!(a.network.link_count(), b.network.link_count());
+        prop_assert_eq!(a.flows, b.flows);
+        prop_assert_eq!(a.hops, b.hops);
+        prop_assert_eq!(a.bottleneck, b.bottleneck);
+    }
+}

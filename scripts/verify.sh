@@ -139,6 +139,28 @@ echo "==> golden traces: figure tables are backend- and variant-stable"
 diff "$TMP/golden_cal.txt" "$TMP/golden_heap.txt"
 echo "Reno+Vegas tables byte-identical across backends and job counts"
 
+echo "==> topologies: parking-lot sweep is backend- and job-count-stable"
+# The generic graph path must be as deterministic as the dumbbell it
+# replaced: a multi-bottleneck chain swept on both event-queue backends at
+# two worker counts may not move a byte.
+./target/release/tcpburst sweep --topology parking-lot:3,2 \
+    --protocols reno,vegas --clients 6 --secs 4 \
+    --queue calendar --jobs 1 > "$TMP/pl_cal.txt"
+./target/release/tcpburst sweep --topology parking-lot:3,2 \
+    --protocols reno,vegas --clients 6 --secs 4 \
+    --queue heap --jobs 4 > "$TMP/pl_heap.txt"
+diff "$TMP/pl_cal.txt" "$TMP/pl_heap.txt"
+echo "parking-lot tables byte-identical across backends and job counts"
+
+echo "==> topologies: incast + waxman + per-hop tracing CLI smoke"
+./target/release/tcpburst run --topology incast:8 --secs 3 \
+    > "$TMP/topo_run.txt"
+grep -q "incast:8" "$TMP/topo_run.txt"
+./target/release/tcpburst run --topology waxman:8,0.6,0.4 --secs 3 \
+    --trace-hops > "$TMP/topo_run.txt"
+grep -q "per-hop series" "$TMP/topo_run.txt"
+echo "incast and waxman shapes run end-to-end from the CLI"
+
 echo "==> golden traces: GAIMD default exponents reproduce Reno"
 # GeneralizedAimd{alpha: 0, beta: 1} must be Reno bit-for-bit; only the
 # column label may differ (width-preserving substitution).
@@ -189,6 +211,22 @@ if [ -n "$LEAKS" ]; then
     exit 1
 fi
 echo "TcpVariant is matched only at the policy-construction site"
+
+echo "==> topology layer: no dumbbell field access outside the shim"
+# The graph-first refactor routes everything through BuiltTopology; the
+# only code allowed to reach into dumbbell-specific handles (gateway,
+# server, clients, uplinks, downlinks) is topology.rs itself and the
+# sharded engine's two-domain compat shim (dumbbell-only by construction).
+DBLEAK="$(grep -RnE '\.(uplinks|downlinks)\b|\bDumbbell::(try_)?build\b|\bdb\.(gateway|server|clients|bottleneck|reverse)\b' \
+    crates/core/src --include='*.rs' \
+    | grep -v 'shard\.rs' \
+    | grep -vE ':[0-9]+:\s*(//|/// )' || true)"
+if [ -n "$DBLEAK" ]; then
+    echo "dumbbell-specific field access outside topology.rs/shard.rs:" >&2
+    echo "$DBLEAK" >&2
+    exit 1
+fi
+echo "core reads topology only through BuiltTopology handles"
 
 echo "==> robustness: no bare unwrap in non-test library code"
 # Scan crates/core/src and crates/net/src, ignoring everything at or below
